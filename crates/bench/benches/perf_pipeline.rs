@@ -1,0 +1,76 @@
+//! Criterion micro/macro benchmarks for the distillation pipeline —
+//! not a paper table, but the throughput numbers a systems reader
+//! expects: per-substrate cost (tokenize, parse, attend, LM) and
+//! end-to-end distillation latency.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use gced::{Gced, GcedConfig};
+use gced_datasets::{generate, DatasetKind, GeneratorConfig};
+use gced_nn::{AttentionConfig, EmbeddingTable, MultiHeadAttention};
+use gced_parser::CkyParser;
+use std::hint::black_box;
+
+const CONTEXT: &str = "The American Football Conference (AFC) champion Denver Broncos defeated \
+                       the National Football Conference (NFC) champion Carolina Panthers to earn \
+                       the Super Bowl 50 title. The game was played at Lockwood Stadium in Boston. \
+                       The halftime show featured a famous singer and a large fireworks display.";
+
+fn bench_substrates(c: &mut Criterion) {
+    c.bench_function("text/analyze_context", |b| {
+        b.iter(|| gced_text::analyze(black_box(CONTEXT)))
+    });
+
+    let doc = gced_text::analyze(CONTEXT);
+    let parser = CkyParser::embedded();
+    c.bench_function("parser/cky_parse_document", |b| {
+        b.iter(|| gced_parser::parse_document_with(black_box(&doc), &parser))
+    });
+
+    let cfg = AttentionConfig { d_model: 64, heads: 16, d_k: 64, seed: 42, positional_weight: 0.35 };
+    let mha = MultiHeadAttention::new(cfg);
+    let table = EmbeddingTable::new(64, 42);
+    let words: Vec<String> = doc.tokens.iter().map(|t| t.lower()).collect();
+    c.bench_function("nn/attention_16head_d64", |b| {
+        b.iter(|| mha.attend_words(black_box(&words), &table))
+    });
+
+    let corpus: Vec<Vec<String>> = (0..200)
+        .map(|i| {
+            format!("the team {i} won the title in the final game")
+                .split(' ')
+                .map(String::from)
+                .collect()
+        })
+        .collect();
+    let lm = gced_lm::TrigramLm::train(&corpus);
+    c.bench_function("lm/perplexity_27_tokens", |b| {
+        b.iter(|| lm.perplexity(black_box(&words[..27.min(words.len())])))
+    });
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let ds = generate(DatasetKind::Squad11, GeneratorConfig { train: 200, dev: 40, seed: 42 });
+    let gced = Gced::fit(&ds, GcedConfig::default());
+    let question = "Which NFL team represented the AFC at Super Bowl 50?";
+
+    c.bench_function("gced/distill_end_to_end", |b| {
+        b.iter_batched(
+            || (),
+            |_| gced.distill(black_box(question), "Denver Broncos", CONTEXT).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+
+    let mut qa = gced_qa::QaModel::new(gced_qa::ModelProfile::plm());
+    qa.train(&ds.train.examples);
+    c.bench_function("qa/predict_span", |b| {
+        b.iter(|| qa.predict(black_box(question), CONTEXT))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_substrates, bench_pipeline
+}
+criterion_main!(benches);

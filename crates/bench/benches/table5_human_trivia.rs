@@ -1,0 +1,58 @@
+//! Table V: human evaluation of distilled evidences on TriviaQA-Web and
+//! TriviaQA-Wiki (I/C/R/H per baseline + ground truth), plus the larger
+//! word-reduction the paper reports for TriviaQA (87.2 %).
+
+use gced_bench::{finish, start};
+use gced_datasets::DatasetKind;
+use gced_eval::experiments::{self, ExperimentContext};
+use gced_eval::tables::{score, TextTable};
+use gced_qa::zoo;
+
+/// Paper Table V hybrid scores (TriviaQA-Web, TriviaQA-Wiki) per row.
+const PAPER_H: [(f64, f64); 10] = [
+    (0.81, 0.82),
+    (0.80, 0.78),
+    (0.83, 0.80),
+    (0.79, 0.77),
+    (0.78, 0.79),
+    (0.84, 0.81),
+    (0.80, 0.82),
+    (0.82, 0.80),
+    (0.83, 0.81),
+    (0.85, 0.83), // ground truth
+];
+
+fn main() {
+    let (scale, seed, t0) = start(
+        "table5_human_trivia",
+        "human evaluation of distilled evidences on TriviaQA (Table V)",
+    );
+    let zoo = zoo::trivia_models();
+    for (v_idx, kind) in [DatasetKind::TriviaWeb, DatasetKind::TriviaWiki].into_iter().enumerate()
+    {
+        println!("\n--- {} ---", kind.name());
+        let ctx = ExperimentContext::prepare(kind, scale, seed);
+        let rows = experiments::human_eval(&ctx, &zoo, scale);
+        let mut table = TextTable::new(&["Source", "I", "C", "R", "H", "paper H", "reduction"]);
+        for (i, r) in rows.iter().enumerate() {
+            let paper = if v_idx == 0 { PAPER_H[i].0 } else { PAPER_H[i].1 };
+            table.row(vec![
+                r.source.clone(),
+                score(r.outcome.informativeness),
+                score(r.outcome.conciseness),
+                score(r.outcome.readability),
+                score(r.outcome.hybrid),
+                score(paper),
+                format!("{:.1}%", r.word_reduction * 100.0),
+            ]);
+        }
+        println!("{}", table.render());
+        println!(
+            "mean gt word reduction on {}: {:.1}% (paper: 87.2% on TriviaQA)",
+            kind.name(),
+            ctx.mean_word_reduction() * 100.0
+        );
+        println!("TSV:\n{}", table.render_tsv());
+    }
+    finish(t0);
+}

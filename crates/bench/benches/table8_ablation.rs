@@ -1,0 +1,121 @@
+//! Table VIII: component ablation (BERT + ground-truth evidences on
+//! SQuAD-2.0): human-evaluation I/C/R/H plus EM/F1 for each knocked-out
+//! component vs. the full system.
+//!
+//! Extended design-choice ablations beyond the paper's table (DESIGN.md
+//! §4): grow-order (max-attention vs index-order), clip protection
+//! (forest-protected vs unrestricted), the clip-count M sweep, and the
+//! Eq. 5 weight sweep that justifies the default (α, β, γ).
+
+use gced::{ClipMode, GcedConfig};
+use gced_bench::{finish, start};
+use gced_datasets::DatasetKind;
+use gced_eval::experiments::{self, ExperimentContext};
+use gced_eval::raters::RatedItem;
+use gced_eval::tables::{pct, score, TextTable};
+use gced_eval::RatingProtocol;
+use gced_qa::zoo;
+
+/// Paper Table VIII rows (I, C, R, H, EM, F1), ending with the full
+/// system, in the same order as our runner output.
+const PAPER: [(f64, f64, f64, f64, f64, f64); 8] = [
+    (0.85, 0.65, 0.80, 0.77, 72.0, 78.2), // w/o ASE
+    (0.67, 0.79, 0.77, 0.74, 70.2, 76.5), // w/o QWS
+    (0.82, 0.80, 0.67, 0.76, 75.2, 80.6), // w/o Grow
+    (0.81, 0.70, 0.81, 0.77, 80.5, 86.3), // w/o Clip
+    (0.73, 0.78, 0.80, 0.77, 80.2, 87.0), // w/o I
+    (0.80, 0.72, 0.76, 0.76, 79.3, 86.9), // w/o C
+    (0.81, 0.83, 0.75, 0.80, 82.1, 88.4), // w/o R
+    (0.86, 0.83, 0.82, 0.84, 85.0, 90.9), // BERT+GCED (full)
+];
+
+fn main() {
+    let (scale, seed, t0) =
+        start("table8_ablation", "GCED component ablation (Table VIII, BERT on SQuAD-2.0)");
+    let ctx = ExperimentContext::prepare(DatasetKind::Squad20, scale, seed);
+    let bert = &zoo::squad_models()[0];
+
+    let rows = experiments::ablation(&ctx, bert, scale);
+    let mut table = TextTable::new(&[
+        "Sources", "I", "C", "R", "H", "EM", "F1", "paper H", "paper EM",
+    ]);
+    for (i, r) in rows.iter().enumerate() {
+        table.row(vec![
+            r.label.clone(),
+            score(r.outcome.informativeness),
+            score(r.outcome.conciseness),
+            score(r.outcome.readability),
+            score(r.outcome.hybrid),
+            pct(r.em),
+            pct(r.f1),
+            score(PAPER[i].3),
+            pct(PAPER[i].4),
+        ]);
+    }
+    println!("\n{}", table.render());
+    println!("TSV:\n{}", table.render_tsv());
+
+    // ---- extended design ablations -------------------------------------
+    println!("\n--- design-choice ablations (beyond the paper's table) ---");
+    let protocol = RatingProtocol::paper(seed);
+    let sample: Vec<&gced_datasets::QaExample> =
+        ctx.dataset.dev.examples.iter().filter(|e| e.answerable).take(scale.rated).collect();
+
+    let mut design = TextTable::new(&["Variant", "I", "C", "R", "H", "mean tokens"]);
+    let variants: Vec<(&str, GcedConfig)> = vec![
+        ("max-attention grow (default)", GcedConfig { seed, ..GcedConfig::default() }),
+        (
+            "index-order grow",
+            GcedConfig { grow_max_attention: false, seed, ..GcedConfig::default() },
+        ),
+        (
+            "unprotected clip",
+            GcedConfig { clip_protect_forest: false, seed, ..GcedConfig::default() },
+        ),
+        ("M=0 (no clip)", GcedConfig { clip: ClipMode::Fixed(0), seed, ..GcedConfig::default() }),
+        ("M=1", GcedConfig { clip: ClipMode::Fixed(1), seed, ..GcedConfig::default() }),
+        ("M=2", GcedConfig { clip: ClipMode::Fixed(2), seed, ..GcedConfig::default() }),
+        ("M=4", GcedConfig { clip: ClipMode::Fixed(4), seed, ..GcedConfig::default() }),
+        ("M=8", GcedConfig { clip: ClipMode::Fixed(8), seed, ..GcedConfig::default() }),
+        (
+            "weights a=.8 b=.1 g=.1",
+            GcedConfig { alpha: 0.8, beta: 0.1, gamma: 0.1, seed, ..GcedConfig::default() },
+        ),
+        (
+            "weights a=.2 b=.2 g=.6",
+            GcedConfig { alpha: 0.2, beta: 0.2, gamma: 0.6, seed, ..GcedConfig::default() },
+        ),
+        (
+            "weights a=.33 b=.33 g=.33",
+            GcedConfig { alpha: 1.0 / 3.0, beta: 1.0 / 3.0, gamma: 1.0 / 3.0, seed, ..GcedConfig::default() },
+        ),
+    ];
+    for (label, cfg) in variants {
+        let pipeline = ctx.gced.clone().with_config(cfg);
+        let mut items = Vec::new();
+        let mut tokens = Vec::new();
+        for ex in &sample {
+            if let Ok(d) = pipeline.distill(&ex.question, &ex.answer, &ex.context) {
+                items.push(RatedItem::from_distillation(
+                    format!("{label}-{}", ex.id),
+                    &d,
+                    &ex.answer,
+                ));
+                tokens.push(d.evidence_tokens.len() as f64);
+            }
+        }
+        let out = protocol.run(&items);
+        let mean_tokens = tokens.iter().sum::<f64>() / tokens.len().max(1) as f64;
+        design.row(vec![
+            label.to_string(),
+            score(out.informativeness),
+            score(out.conciseness),
+            score(out.readability),
+            score(out.hybrid),
+            format!("{mean_tokens:.1}"),
+        ]);
+    }
+    println!("{}", design.render());
+    println!("TSV:\n{}", design.render_tsv());
+    finish(t0);
+}

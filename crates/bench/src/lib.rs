@@ -1,0 +1,31 @@
+//! Shared helpers for the table/figure bench targets.
+//!
+//! Every bench in `benches/` is a `harness = false` binary that
+//! regenerates one table or figure of the paper: it builds the workload,
+//! runs the experiment at the `GCED_SCALE` scale, and prints the same
+//! rows/series the paper reports (human-readable table + TSV block).
+
+use gced_eval::Scale;
+use std::time::Instant;
+
+/// Standard bench banner + scale resolution.
+pub fn start(name: &str, what: &str) -> (Scale, u64, Instant) {
+    let scale = Scale::from_env();
+    let seed = Scale::seed_from_env();
+    println!("================================================================");
+    println!("{name}: {what}");
+    println!(
+        "scale: train={} dev={} rated={} (GCED_SCALE={}), seed={seed}",
+        scale.train,
+        scale.dev,
+        scale.rated,
+        std::env::var("GCED_SCALE").unwrap_or_else(|_| "default".into()),
+    );
+    println!("================================================================");
+    (scale, seed, Instant::now())
+}
+
+/// Standard bench footer.
+pub fn finish(t0: Instant) {
+    println!("\nelapsed: {:.1}s", t0.elapsed().as_secs_f64());
+}

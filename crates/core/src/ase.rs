@@ -1,0 +1,199 @@
+//! Answer-oriented Sentences Extractor (paper Sec. III-B, Fig. 4).
+//!
+//! Greedy minimal-subset search: repeatedly add the context sentence that
+//! maximizes the QA model's answer-prediction F1 against the input
+//! answer; stop at the first exact prediction. If no subset ever predicts
+//! the answer exactly, the best-overlap subset seen is returned — the
+//! paper's fallback ("the sentence subset with the maximum overlap").
+
+use gced_metrics::overlap::token_f1;
+use gced_qa::{QaModel, QuestionAnalysis};
+use gced_text::{analyze, Document, SentId};
+
+/// Outcome of the ASE search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AseResult {
+    /// Selected sentence indices, ascending.
+    pub sentences: Vec<usize>,
+    /// True when the QA model reproduced the input answer exactly
+    /// (F1 = 1 after normalization).
+    pub exact: bool,
+    /// Best prediction overlap achieved (Eq. 1 F1).
+    pub best_f1: f64,
+    /// Greedy trajectory: (sentence added, F1 after adding).
+    pub steps: Vec<(usize, f64)>,
+}
+
+/// Run the greedy search. `max_sentences` bounds the subset size (the
+/// minimum sentence subsets of the paper's datasets are 1–3 sentences).
+pub fn extract(
+    qa: &QaModel,
+    q: &QuestionAnalysis,
+    question: &str,
+    answer: &str,
+    doc: &Document,
+    max_sentences: usize,
+) -> AseResult {
+    let n_sents = doc.sentences.len();
+    if n_sents == 0 {
+        return AseResult { sentences: vec![], exact: false, best_f1: 0.0, steps: vec![] };
+    }
+    let mut selected: Vec<usize> = Vec::new();
+    let mut steps: Vec<(usize, f64)> = Vec::new();
+    let mut best_subset: Vec<usize> = vec![0]; // degenerate fallback: first sentence
+    let mut best_f1 = f1_of_subset(qa, q, question, answer, doc, &[0]);
+    let cap = max_sentences.max(1).min(n_sents);
+
+    while selected.len() < cap {
+        let mut round_best: Option<(usize, f64)> = None;
+        for s in 0..n_sents {
+            if selected.contains(&s) {
+                continue;
+            }
+            let mut trial = selected.clone();
+            trial.push(s);
+            trial.sort_unstable();
+            let f1 = f1_of_subset(qa, q, question, answer, doc, &trial);
+            match round_best {
+                Some((_, bf)) if bf >= f1 => {}
+                _ => round_best = Some((s, f1)),
+            }
+        }
+        let Some((chosen, f1)) = round_best else { break };
+        selected.push(chosen);
+        selected.sort_unstable();
+        steps.push((chosen, f1));
+        if f1 > best_f1 {
+            best_f1 = f1;
+            best_subset = selected.clone();
+        }
+        if f1 >= 1.0 - 1e-9 {
+            return AseResult { sentences: selected, exact: true, best_f1: 1.0, steps };
+        }
+    }
+    AseResult { sentences: best_subset, exact: false, best_f1, steps }
+}
+
+/// Prediction overlap of the QA model on a sentence subset.
+fn f1_of_subset(
+    qa: &QaModel,
+    q: &QuestionAnalysis,
+    question: &str,
+    answer: &str,
+    doc: &Document,
+    subset: &[usize],
+) -> f64 {
+    let text = subset_text(doc, subset);
+    let sub_doc = analyze(&text);
+    let pred = qa.predict_analyzed(q, &sub_doc, question);
+    token_f1(&pred.text, answer).f1
+}
+
+/// Surface text of a sentence subset, in document order.
+pub fn subset_text(doc: &Document, subset: &[usize]) -> String {
+    let mut parts = Vec::with_capacity(subset.len());
+    for &s in subset {
+        parts.push(doc.sentence_text(SentId(s)));
+    }
+    parts.join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gced_qa::ModelProfile;
+    use std::sync::OnceLock;
+
+    /// A PLM trained once on a small synthetic split (ASE always runs
+    /// with the trained model in the real pipeline).
+    fn plm() -> &'static QaModel {
+        static MODEL: OnceLock<QaModel> = OnceLock::new();
+        MODEL.get_or_init(|| {
+            let ds = gced_datasets::generate(
+                gced_datasets::DatasetKind::Squad11,
+                gced_datasets::GeneratorConfig { train: 150, dev: 16, seed: 21 },
+            );
+            let mut qa = QaModel::new(ModelProfile::plm());
+            qa.train(&ds.train.examples);
+            qa
+        })
+    }
+
+    #[test]
+    fn finds_the_answer_sentence() {
+        let qa = plm();
+        let question = "Which team defeated the Panthers?";
+        let q = QuestionAnalysis::new(question);
+        let doc = analyze(
+            "The weather was mild that week. The Denver Broncos defeated the Carolina Panthers. \
+             Tickets sold out early.",
+        );
+        let r = extract(qa, &q, question, "Denver Broncos", &doc, 3);
+        assert!(r.sentences.contains(&1), "selected {:?}", r.sentences);
+        assert!(r.best_f1 > 0.9);
+    }
+
+    #[test]
+    fn stops_at_first_exact_prediction() {
+        let qa = plm();
+        let question = "Which team defeated the Panthers?";
+        let q = QuestionAnalysis::new(question);
+        let doc = analyze(
+            "The Denver Broncos defeated the Carolina Panthers. The parade lasted two days.",
+        );
+        let r = extract(qa, &q, question, "Denver Broncos", &doc, 4);
+        if r.exact {
+            assert_eq!(r.sentences.len(), 1, "exact stop should keep the subset minimal");
+        }
+    }
+
+    #[test]
+    fn falls_back_to_best_overlap_when_unpredictable() {
+        let qa = plm();
+        let question = "Who composed the anthem?";
+        let q = QuestionAnalysis::new(question);
+        let doc = analyze("The bridge was built in 1876. The river floods in spring.");
+        let r = extract(qa, &q, question, "Johann Strauss", &doc, 2);
+        assert!(!r.exact);
+        assert!(!r.sentences.is_empty());
+        assert_eq!(r.best_f1, 0.0);
+    }
+
+    #[test]
+    fn empty_document() {
+        let qa = plm();
+        let q = QuestionAnalysis::new("Who?");
+        let doc = analyze("");
+        let r = extract(qa, &q, "Who?", "X", &doc, 3);
+        assert!(r.sentences.is_empty());
+    }
+
+    #[test]
+    fn respects_sentence_cap() {
+        let qa = plm();
+        let question = "Which team defeated the Panthers?";
+        let q = QuestionAnalysis::new(question);
+        let doc = analyze(
+            "Rain fell. Wind blew. Clouds came. The Broncos defeated the Panthers. Snow fell.",
+        );
+        let r = extract(qa, &q, question, "Broncos", &doc, 2);
+        assert!(r.sentences.len() <= 2);
+    }
+
+    #[test]
+    fn subset_text_in_document_order() {
+        let doc = analyze("First one. Second one. Third one.");
+        assert_eq!(subset_text(&doc, &[0, 2]), "First one. Third one.");
+    }
+
+    #[test]
+    fn deterministic() {
+        let qa = plm();
+        let question = "Which river flows through the city?";
+        let q = QuestionAnalysis::new(question);
+        let doc = analyze("The Seine River flows through the center of Paris. Paris is large.");
+        let a = extract(qa, &q, question, "Seine", &doc, 3);
+        let b = extract(qa, &q, question, "Seine", &doc, 3);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,187 @@
+//! Pipeline configuration: hybrid-score weights, clip policy, ablations.
+
+/// How many Sequential-Clip-Searching iterations to run (paper: "M is a
+/// hyperparameter tuned by experiments").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ClipMode {
+    /// Exactly M clips (the paper's formulation; their tuned M was 1 on
+    /// the running example).
+    Fixed(usize),
+    /// Clip while the hybrid score improves, up to `max` iterations —
+    /// the setting our M-sweep ablation bench selects.
+    WhileImproving {
+        /// Hard iteration cap.
+        max: usize,
+    },
+}
+
+/// Component switches for the Table VIII ablation study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ablation {
+    /// Answer-oriented Sentences Extractor. Off ⇒ all context sentences
+    /// are treated as answer-oriented.
+    pub use_ase: bool,
+    /// Question-relevant Words Selector. Off ⇒ no clue words are marked.
+    pub use_qws: bool,
+    /// SGS grow step. Off ⇒ the forest is emitted without connecting.
+    pub use_grow: bool,
+    /// SCS clip step. Off ⇒ the unclipped evidence tree is emitted.
+    pub use_clip: bool,
+    /// Informativeness term of the hybrid score (Eq. 5 α-term).
+    pub use_i: bool,
+    /// Conciseness term (γ-term).
+    pub use_c: bool,
+    /// Readability term (β-term).
+    pub use_r: bool,
+}
+
+impl Default for Ablation {
+    fn default() -> Self {
+        Ablation {
+            use_ase: true,
+            use_qws: true,
+            use_grow: true,
+            use_clip: true,
+            use_i: true,
+            use_c: true,
+            use_r: true,
+        }
+    }
+}
+
+impl Ablation {
+    /// The full system.
+    pub fn full() -> Self {
+        Self::default()
+    }
+
+    /// Named single-component knockouts, matching Table VIII's rows.
+    pub fn without(component: &str) -> Self {
+        let mut a = Self::default();
+        match component {
+            "ASE" => a.use_ase = false,
+            "QWS" => a.use_qws = false,
+            "Grow" => a.use_grow = false,
+            "Clip" => a.use_clip = false,
+            "I" => a.use_i = false,
+            "C" => a.use_c = false,
+            "R" => a.use_r = false,
+            other => panic!("unknown ablation component {other:?}"),
+        }
+        a
+    }
+
+    /// The Table VIII row labels in paper order.
+    pub fn table8_rows() -> [&'static str; 7] {
+        ["ASE", "QWS", "Grow", "Clip", "I", "C", "R"]
+    }
+}
+
+/// Full pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct GcedConfig {
+    /// Informativeness weight α (Eq. 5).
+    pub alpha: f64,
+    /// Readability weight β (Eq. 5).
+    pub beta: f64,
+    /// Conciseness weight γ (Eq. 5).
+    pub gamma: f64,
+    /// Clip policy.
+    pub clip: ClipMode,
+    /// Upper bound on sentences ASE may select (keeps the parse small).
+    pub max_ase_sentences: usize,
+    /// Component switches.
+    pub ablation: Ablation,
+    /// SGS root selection: true = max-attention (Algorithm 1 line 3),
+    /// false = lowest-index root (design-choice ablation).
+    pub grow_max_attention: bool,
+    /// SCS candidate restriction: true = forest nodes are unclippable
+    /// (Clip Step line 3), false = unrestricted clipping (design-choice
+    /// ablation demonstrating why the guarantee matters).
+    pub clip_protect_forest: bool,
+    /// Seed for the attention substrate.
+    pub seed: u64,
+}
+
+impl Default for GcedConfig {
+    fn default() -> Self {
+        GcedConfig {
+            alpha: 0.5,
+            beta: 0.2,
+            gamma: 0.3,
+            clip: ClipMode::WhileImproving { max: 16 },
+            max_ase_sentences: 4,
+            ablation: Ablation::default(),
+            grow_max_attention: true,
+            clip_protect_forest: true,
+            seed: 42,
+        }
+    }
+}
+
+impl GcedConfig {
+    /// Effective (α, β, γ) after applying the score ablations, rescaled
+    /// to sum to 1 (α+β+γ = 1 is a constraint of Eq. 5).
+    pub fn effective_weights(&self) -> (f64, f64, f64) {
+        let a = if self.ablation.use_i { self.alpha } else { 0.0 };
+        let b = if self.ablation.use_r { self.beta } else { 0.0 };
+        let c = if self.ablation.use_c { self.gamma } else { 0.0 };
+        let sum = a + b + c;
+        if sum <= 0.0 {
+            // All terms ablated: fall back to uniform (degenerate case).
+            (1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0)
+        } else {
+            (a / sum, b / sum, c / sum)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_weights_sum_to_one() {
+        let c = GcedConfig::default();
+        assert!((c.alpha + c.beta + c.gamma - 1.0).abs() < 1e-12);
+        let (a, b, g) = c.effective_weights();
+        assert!((a + b + g - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ablation_without_each_component() {
+        for name in Ablation::table8_rows() {
+            let a = Ablation::without(name);
+            assert_ne!(a, Ablation::full(), "{name} knockout changed nothing");
+        }
+        assert!(!Ablation::without("ASE").use_ase);
+        assert!(!Ablation::without("Clip").use_clip);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown ablation")]
+    fn unknown_component_panics() {
+        let _ = Ablation::without("XYZ");
+    }
+
+    #[test]
+    fn effective_weights_renormalize() {
+        let mut c = GcedConfig::default();
+        c.ablation.use_i = false;
+        let (a, b, g) = c.effective_weights();
+        assert_eq!(a, 0.0);
+        assert!((b + g - 1.0).abs() < 1e-12);
+        assert!(b > 0.0 && g > 0.0);
+    }
+
+    #[test]
+    fn all_terms_ablated_degenerates_to_uniform() {
+        let mut c = GcedConfig::default();
+        c.ablation.use_i = false;
+        c.ablation.use_r = false;
+        c.ablation.use_c = false;
+        let (a, b, g) = c.effective_weights();
+        assert!((a - 1.0 / 3.0).abs() < 1e-12);
+        assert!((b - g).abs() < 1e-12);
+    }
+}

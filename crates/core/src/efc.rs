@@ -1,0 +1,206 @@
+//! Evidence Forest Constructor (paper Sec. III-E).
+//!
+//! Each question-relevant clue word and each answer word seeds a tree
+//! consisting of the word plus its parent in the weighted syntactic
+//! parsing tree; seeds whose node sets overlap merge into one tree
+//! (paper Fig. 6(b): nodes 5 and 7 share parent 6, forming the tree
+//! {5, 6, 7}). Trees containing answer tokens are the answer tree(s).
+
+use gced_parser::DepTree;
+use std::collections::BTreeSet;
+
+/// One tree of the evidence forest: a connected node set of the weighted
+/// syntactic parse tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ForestTree {
+    /// Member node (token) indices.
+    pub nodes: BTreeSet<usize>,
+    /// The topmost node (the unique member whose parent is outside the
+    /// set, or the global root).
+    pub root: usize,
+    /// True if any seed answer token is a member.
+    pub contains_answer: bool,
+}
+
+/// The evidence forest.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct EvidenceForest {
+    pub trees: Vec<ForestTree>,
+}
+
+impl EvidenceForest {
+    /// Number of trees.
+    pub fn len(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// True when no tree exists (no clue and no answer tokens).
+    pub fn is_empty(&self) -> bool {
+        self.trees.is_empty()
+    }
+
+    /// Union of all member nodes (the set SCS must never clip).
+    pub fn all_nodes(&self) -> BTreeSet<usize> {
+        self.trees.iter().flat_map(|t| t.nodes.iter().copied()).collect()
+    }
+}
+
+/// Build the forest from clue-word and answer token indices.
+pub fn construct(tree: &DepTree, clue_tokens: &[usize], answer_tokens: &[usize]) -> EvidenceForest {
+    let mut sets: Vec<(BTreeSet<usize>, bool)> = Vec::new();
+    for (&seed, is_answer) in clue_tokens
+        .iter()
+        .map(|s| (s, false))
+        .chain(answer_tokens.iter().map(|s| (s, true)))
+        .map(|(s, a)| (s, a))
+    {
+        if seed >= tree.len() {
+            continue;
+        }
+        let mut set = BTreeSet::new();
+        set.insert(seed);
+        if let Some(p) = tree.parent(seed) {
+            set.insert(p);
+        }
+        sets.push((set, is_answer));
+    }
+    // Merge overlapping node sets to a fixed point.
+    loop {
+        let mut merged_any = false;
+        'outer: for i in 0..sets.len() {
+            for j in (i + 1)..sets.len() {
+                if !sets[i].0.is_disjoint(&sets[j].0) {
+                    let (sj, aj) = sets.swap_remove(j);
+                    sets[i].0.extend(sj);
+                    sets[i].1 |= aj;
+                    merged_any = true;
+                    break 'outer;
+                }
+            }
+        }
+        if !merged_any {
+            break;
+        }
+    }
+    let trees = sets
+        .into_iter()
+        .map(|(nodes, contains_answer)| {
+            let root = *nodes
+                .iter()
+                .find(|&&n| tree.parent(n).map_or(true, |p| !nodes.contains(&p)))
+                .expect("non-empty connected set has a topmost node");
+            ForestTree { nodes, root, contains_answer }
+        })
+        .collect();
+    EvidenceForest { trees }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Fig. 6(b)-style tree:
+    ///     0
+    ///    / \
+    ///   1   6
+    ///  / \   \
+    /// 2   4   7
+    /// |   |
+    /// 3   5
+    fn t() -> DepTree {
+        DepTree::from_parents(vec![
+            None,
+            Some(0),
+            Some(1),
+            Some(2),
+            Some(1),
+            Some(4),
+            Some(0),
+            Some(6),
+        ])
+    }
+
+    #[test]
+    fn seed_plus_parent() {
+        let f = construct(&t(), &[3], &[]);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f.trees[0].nodes, BTreeSet::from([2, 3]));
+        assert_eq!(f.trees[0].root, 2);
+        assert!(!f.trees[0].contains_answer);
+    }
+
+    #[test]
+    fn overlapping_seeds_merge() {
+        // Seeds 2 and 4 share parent 1 => one tree {1, 2, 4}.
+        let f = construct(&t(), &[2, 4], &[]);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f.trees[0].nodes, BTreeSet::from([1, 2, 4]));
+        assert_eq!(f.trees[0].root, 1);
+    }
+
+    #[test]
+    fn disjoint_seeds_stay_separate() {
+        let f = construct(&t(), &[3], &[7]);
+        assert_eq!(f.len(), 2);
+        let roots: BTreeSet<usize> = f.trees.iter().map(|t| t.root).collect();
+        assert_eq!(roots, BTreeSet::from([2, 6]));
+    }
+
+    #[test]
+    fn answer_flag_propagates_through_merge() {
+        let f = construct(&t(), &[2], &[4]);
+        assert_eq!(f.len(), 1);
+        assert!(f.trees[0].contains_answer);
+    }
+
+    #[test]
+    fn root_seed_forms_single_node_tree_context() {
+        // Seeding the global root: parent is None, set = {0}.
+        let f = construct(&t(), &[0], &[]);
+        assert_eq!(f.trees[0].nodes, BTreeSet::from([0]));
+        assert_eq!(f.trees[0].root, 0);
+    }
+
+    #[test]
+    fn chained_seeds_merge_transitively() {
+        // Seeds 3 ({2,3}), 2 ({1,2}), 4 ({1,4}): all share nodes => one tree.
+        let f = construct(&t(), &[3, 2, 4], &[]);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f.trees[0].nodes, BTreeSet::from([1, 2, 3, 4]));
+        assert_eq!(f.trees[0].root, 1);
+    }
+
+    #[test]
+    fn empty_seeds_empty_forest() {
+        let f = construct(&t(), &[], &[]);
+        assert!(f.is_empty());
+        assert!(f.all_nodes().is_empty());
+    }
+
+    #[test]
+    fn out_of_bounds_seeds_ignored() {
+        let f = construct(&t(), &[99], &[]);
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn all_nodes_union() {
+        let f = construct(&t(), &[3], &[7]);
+        assert_eq!(f.all_nodes(), BTreeSet::from([2, 3, 6, 7]));
+    }
+
+    #[test]
+    fn forest_trees_are_connected_in_t() {
+        let tree = t();
+        let f = construct(&tree, &[3, 5, 7], &[2]);
+        for ft in &f.trees {
+            // Every non-root member's parent is also a member.
+            for &n in &ft.nodes {
+                if n != ft.root {
+                    let p = tree.parent(n).unwrap();
+                    assert!(ft.nodes.contains(&p), "tree {ft:?} disconnected at {n}");
+                }
+            }
+        }
+    }
+}

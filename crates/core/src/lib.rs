@@ -1,0 +1,501 @@
+//! # gced — Grow-and-Clip Evidence Distillation
+//!
+//! The core library of this reproduction: the five-module pipeline of
+//! the ICDE 2022 paper *Grow-and-Clip: Informative-yet-Concise Evidence
+//! Distillation for Answer Explanation* (Chen, Xiao, Liu).
+//!
+//! ```text
+//! (question, answer, context)
+//!        │
+//!        ▼
+//!   ASE — Answer-oriented Sentences Extractor      (Sec. III-B)
+//!        ▼
+//!   QWS — Question-relevant Words Selector         (Sec. III-C)
+//!        ▼
+//!   WSPTC — Weighted Syntactic Parsing Tree        (Sec. III-D)
+//!        ▼
+//!   EFC — Evidence Forest Constructor              (Sec. III-E)
+//!        ▼
+//!   OEC — Optimal Evidence Distiller (SGS + SCS)   (Sec. III-F)
+//!        ▼
+//!   informative-yet-concise, readable evidence
+//! ```
+//!
+//! The pipeline object [`Gced`] owns every substrate: the trained PLM
+//! substitute (`gced-qa`), the lexicon (`gced-lexicon`), the L-PCFG
+//! parser (`gced-parser`), the attention layer (`gced-nn`) and the
+//! corpus language model (`gced-lm`). [`Gced::fit`] trains/fits them on
+//! a dataset; [`Gced::distill`] produces one evidence with a full trace.
+//!
+//! ```no_run
+//! use gced_datasets::{generate, DatasetKind, GeneratorConfig};
+//! use gced::{Gced, GcedConfig};
+//!
+//! let ds = generate(DatasetKind::Squad11, GeneratorConfig::tiny(42));
+//! let gced = Gced::fit(&ds, GcedConfig::default());
+//! let ex = &ds.dev.examples[0];
+//! let d = gced.distill(&ex.question, &ex.answer, &ex.context).unwrap();
+//! println!("evidence: {}", d.evidence);
+//! ```
+
+pub mod ase;
+pub mod config;
+pub mod efc;
+pub mod oec;
+pub mod qws;
+pub mod scoring;
+pub mod trace;
+pub mod wsptc;
+
+pub use config::{Ablation, ClipMode, GcedConfig};
+pub use scoring::{EvidenceScores, EvidenceScorer};
+pub use trace::DistillTrace;
+
+use gced_datasets::Dataset;
+use gced_lexicon::Lexicon;
+use gced_lm::TrigramLm;
+use gced_nn::{AttentionConfig, EmbeddingTable, MultiHeadAttention};
+use gced_parser::CkyParser;
+use gced_qa::{ModelProfile, QaModel};
+use gced_text::{analyze, join_tokens, Document};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Distillation failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DistillError {
+    /// The input answer is empty (nothing to explain).
+    EmptyAnswer,
+    /// The context contains no tokens.
+    EmptyContext,
+}
+
+impl fmt::Display for DistillError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistillError::EmptyAnswer => write!(f, "input answer is empty"),
+            DistillError::EmptyContext => write!(f, "context contains no tokens"),
+        }
+    }
+}
+
+impl std::error::Error for DistillError {}
+
+/// One distilled evidence plus its quality scores and trace.
+#[derive(Debug, Clone)]
+pub struct Distillation {
+    /// The final evidence text (nodes of the clipped evidence tree,
+    /// rearranged by token index — Sec. III-F).
+    pub evidence: String,
+    /// The evidence tokens (surface forms, in order).
+    pub evidence_tokens: Vec<String>,
+    /// Scores of the final evidence (Eqs. 1–5).
+    pub scores: EvidenceScores,
+    /// The answer-oriented sentences the evidence was distilled from.
+    pub aos_text: String,
+    /// Fraction of context words removed (the paper reports 78.5 % on
+    /// SQuAD / 87.2 % on TriviaQA).
+    pub word_reduction: f64,
+    /// Full decision trace.
+    pub trace: DistillTrace,
+}
+
+/// The GCED pipeline with all fitted substrates.
+#[derive(Clone)]
+pub struct Gced {
+    config: GcedConfig,
+    qa: QaModel,
+    lexicon: Lexicon,
+    parser: CkyParser,
+    attention: MultiHeadAttention,
+    embeddings: EmbeddingTable,
+    lm: TrigramLm,
+    ppl_ref: f64,
+}
+
+impl Gced {
+    /// Fit every substrate on a dataset: train the PLM substitute on the
+    /// training split, train the trigram LM and fit embeddings on the
+    /// corpus, and freeze the attention layer from the config seed.
+    pub fn fit(dataset: &Dataset, config: GcedConfig) -> Self {
+        let corpus = dataset.corpus_sentences();
+        Self::fit_with_corpus(&dataset.train.examples, &corpus, config)
+    }
+
+    /// [`Gced::fit`] from explicit parts (used by experiments that train
+    /// on modified splits).
+    pub fn fit_with_corpus(
+        train: &[gced_datasets::QaExample],
+        corpus: &[Vec<String>],
+        config: GcedConfig,
+    ) -> Self {
+        let mut qa = QaModel::new(ModelProfile::plm());
+        qa.train(train);
+        let lm = TrigramLm::train(corpus);
+        let ppl_ref = scoring::reference_perplexity(&lm, corpus, 512);
+        let d_model = 64;
+        let attn_cfg = AttentionConfig {
+            d_model,
+            heads: 16,
+            d_k: 64,
+            seed: config.seed,
+            positional_weight: 0.35,
+        };
+        let mut embeddings = EmbeddingTable::new(d_model, config.seed);
+        // Fit embeddings on a bounded corpus sample (distributional
+        // signal saturates quickly on the synthetic corpora).
+        let sample: Vec<Vec<String>> = corpus.iter().take(1500).cloned().collect();
+        embeddings.fit(&sample, 2, 2, 0.25);
+        Gced {
+            config,
+            qa,
+            lexicon: Lexicon::embedded(),
+            parser: CkyParser::embedded(),
+            attention: MultiHeadAttention::new(attn_cfg),
+            embeddings,
+            lm,
+            ppl_ref,
+        }
+    }
+
+    /// The pipeline configuration.
+    pub fn config(&self) -> &GcedConfig {
+        &self.config
+    }
+
+    /// Replace the configuration (ablation sweeps reuse fitted substrates).
+    pub fn with_config(mut self, config: GcedConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// The internal PLM-substitute QA model.
+    pub fn qa_model(&self) -> &QaModel {
+        &self.qa
+    }
+
+    /// The corpus language model.
+    pub fn lm(&self) -> &TrigramLm {
+        &self.lm
+    }
+
+    /// Distill an evidence for (question, answer, context) —
+    /// the paper's e_i for the tuple (q_i, a_i, c_i).
+    pub fn distill(
+        &self,
+        question: &str,
+        answer: &str,
+        context: &str,
+    ) -> Result<Distillation, DistillError> {
+        if answer.trim().is_empty() {
+            return Err(DistillError::EmptyAnswer);
+        }
+        let ctx_doc = analyze(context);
+        if ctx_doc.is_empty() {
+            return Err(DistillError::EmptyContext);
+        }
+        let mut trace = DistillTrace::default();
+        let weights = self.config.effective_weights();
+        let scorer =
+            EvidenceScorer::new(&self.qa, &self.lm, question, answer, self.ppl_ref, weights);
+
+        // ---- ASE ---------------------------------------------------------
+        let aos_text = if self.config.ablation.use_ase {
+            let r = ase::extract(
+                &self.qa,
+                scorer.question_analysis(),
+                question,
+                answer,
+                &ctx_doc,
+                self.config.max_ase_sentences,
+            );
+            let text = ase::subset_text(&ctx_doc, &r.sentences);
+            trace.ase = Some(r);
+            text
+        } else {
+            context.to_string()
+        };
+        let aos = analyze(&aos_text);
+        if aos.is_empty() {
+            return Err(DistillError::EmptyContext);
+        }
+
+        // ---- answer tokens in the AOS -------------------------------------
+        let answer_tokens = locate_answer(&aos, answer);
+        trace.answer_words =
+            answer_tokens.iter().map(|&i| aos.tokens[i].text.clone()).collect();
+
+        // ---- QWS -----------------------------------------------------------
+        let clue_tokens = if self.config.ablation.use_qws {
+            let r = qws::select(&self.lexicon, question, &aos, &answer_tokens);
+            trace.significant_words = r.significant_words;
+            trace.clue_words = r.clue_tokens.iter().map(|&i| aos.tokens[i].text.clone()).collect();
+            r.clue_tokens
+        } else {
+            Vec::new()
+        };
+
+        // ---- WSPTC ----------------------------------------------------------
+        let wt = wsptc::construct(&self.parser, &self.attention, &self.embeddings, &aos);
+
+        // ---- EFC ------------------------------------------------------------
+        let forest = efc::construct(&wt.tree, &clue_tokens, &answer_tokens);
+        trace.forest_size = forest.len();
+        if forest.is_empty() {
+            // No clue and no answer tokens: fall back to the first AOS
+            // sentence as the evidence (failure injection path).
+            trace.fallback = true;
+            let first: BTreeSet<usize> = aos
+                .sentences
+                .first()
+                .map(|s| (s.token_start..s.token_end).collect())
+                .unwrap_or_default();
+            return Ok(self.finish(&aos, &aos_text, &ctx_doc, first, &scorer, trace));
+        }
+
+        // ---- OEC: SGS -------------------------------------------------------
+        let (mut te, te_root, grow_steps) = if self.config.ablation.use_grow {
+            let (te, root, steps) =
+                oec::grow_with_order(&wt, &forest, self.config.grow_max_attention);
+            (te, root, steps)
+        } else {
+            // Ablation: emit the disconnected forest directly; the
+            // "root" is the shallowest forest root.
+            let nodes = forest.all_nodes();
+            let root = forest
+                .trees
+                .iter()
+                .map(|t| t.root)
+                .min_by_key(|&r| wt.tree.depth(r))
+                .expect("forest non-empty");
+            (nodes, root, Vec::new())
+        };
+        trace.grow_steps = grow_steps;
+
+        // ---- OEC: SCS -------------------------------------------------------
+        if self.config.ablation.use_clip {
+            let protected = if self.config.clip_protect_forest {
+                forest.all_nodes()
+            } else {
+                BTreeSet::new()
+            };
+            trace.clip_steps =
+                oec::clip(&wt, &mut te, te_root, &protected, &scorer, &aos, self.config.clip);
+        }
+
+        Ok(self.finish(&aos, &aos_text, &ctx_doc, te, &scorer, trace))
+    }
+
+    /// Assemble the final [`Distillation`] from a node selection.
+    fn finish(
+        &self,
+        aos: &Document,
+        aos_text: &str,
+        ctx_doc: &Document,
+        te: BTreeSet<usize>,
+        scorer: &EvidenceScorer<'_>,
+        trace: DistillTrace,
+    ) -> Distillation {
+        let tokens: Vec<gced_text::Token> = te.iter().map(|&i| aos.tokens[i].clone()).collect();
+        let evidence = join_tokens(&tokens);
+        let scores = scorer.score_selection(aos, &te);
+        let ctx_words = ctx_doc.len().max(1);
+        Distillation {
+            evidence_tokens: tokens.iter().map(|t| t.text.clone()).collect(),
+            evidence,
+            scores,
+            aos_text: aos_text.to_string(),
+            word_reduction: 1.0 - te.len() as f64 / ctx_words as f64,
+            trace,
+        }
+    }
+}
+
+/// Token indices of the answer inside the AOS: the first contiguous
+/// occurrence when present, otherwise a bag-of-words match (the answer
+/// may be a predicted string that only partially overlaps the context).
+fn locate_answer(aos: &Document, answer: &str) -> Vec<usize> {
+    if let Some((s, e)) = gced_qa::model::gold_span(aos, answer) {
+        return (s..e).collect();
+    }
+    let answer_words: BTreeSet<String> =
+        analyze(answer).tokens.iter().map(|t| t.lower()).collect();
+    aos.tokens
+        .iter()
+        .filter(|t| answer_words.contains(&t.lower()))
+        .map(|t| t.index)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gced_datasets::{generate, DatasetKind, GeneratorConfig};
+
+    fn fitted() -> (Gced, gced_datasets::Dataset) {
+        let ds = generate(DatasetKind::Squad11, GeneratorConfig { train: 80, dev: 20, seed: 9 });
+        let g = Gced::fit(&ds, GcedConfig::default());
+        (g, ds)
+    }
+
+    #[test]
+    fn distills_paper_style_example() {
+        let (g, _) = fitted();
+        let question = "Which NFL team represented the AFC at Super Bowl 50?";
+        let context = "The American Football Conference (AFC) champion Denver Broncos defeated \
+                       the National Football Conference (NFC) champion Carolina Panthers to earn \
+                       the Super Bowl 50 title. The game was played on February 7, 2016. \
+                       The halftime show featured a famous singer.";
+        let d = g.distill(question, "Denver Broncos", context).unwrap();
+        assert!(d.evidence.contains("Denver Broncos"), "evidence: {}", d.evidence);
+        assert!(!d.evidence_tokens.is_empty());
+        assert!(d.word_reduction > 0.0, "no reduction: {}", d.word_reduction);
+        assert!(d.scores.informativeness > 0.5, "I = {}", d.scores.informativeness);
+    }
+
+    #[test]
+    fn evidence_is_shorter_than_context() {
+        let (g, ds) = fitted();
+        let mut reductions = Vec::new();
+        for ex in ds.dev.examples.iter().filter(|e| e.answerable).take(8) {
+            let d = g.distill(&ex.question, &ex.answer, &ex.context).unwrap();
+            reductions.push(d.word_reduction);
+        }
+        let mean = reductions.iter().sum::<f64>() / reductions.len() as f64;
+        assert!(mean > 0.3, "mean reduction {mean}");
+    }
+
+    #[test]
+    fn evidence_preserves_answer_when_present() {
+        let (g, ds) = fitted();
+        for ex in ds.dev.examples.iter().filter(|e| e.answerable).take(8) {
+            let d = g.distill(&ex.question, &ex.answer, &ex.context).unwrap();
+            let ev_lower = d.evidence.to_lowercase();
+            let first_answer_word =
+                ex.answer.split_whitespace().next().unwrap().to_lowercase();
+            assert!(
+                ev_lower.contains(&first_answer_word),
+                "{}: answer {:?} absent from evidence {:?}",
+                ex.id,
+                ex.answer,
+                d.evidence
+            );
+        }
+    }
+
+    #[test]
+    fn empty_inputs_error() {
+        let (g, _) = fitted();
+        assert!(matches!(g.distill("q?", "", "some context."), Err(DistillError::EmptyAnswer)));
+        assert!(matches!(g.distill("q?", "x", "   "), Err(DistillError::EmptyContext)));
+    }
+
+    #[test]
+    fn distillation_is_deterministic() {
+        let (g, ds) = fitted();
+        let ex = ds.dev.examples.iter().find(|e| e.answerable).unwrap();
+        let a = g.distill(&ex.question, &ex.answer, &ex.context).unwrap();
+        let b = g.distill(&ex.question, &ex.answer, &ex.context).unwrap();
+        assert_eq!(a.evidence, b.evidence);
+        assert_eq!(a.scores, b.scores);
+    }
+
+    #[test]
+    fn answer_absent_from_context_still_distills() {
+        let (g, _) = fitted();
+        let d = g
+            .distill(
+                "Who won the match?",
+                "Zanzibar Zebras",
+                "The Broncos won the title. The fans celebrated.",
+            )
+            .unwrap();
+        assert!(!d.evidence_tokens.is_empty());
+    }
+
+    #[test]
+    fn no_clue_no_answer_falls_back_to_first_sentence() {
+        let (g, _) = fitted();
+        let d = g
+            .distill("zzz?", "qqq", "The weather was mild. Nothing else happened.")
+            .unwrap();
+        assert!(d.trace.fallback);
+        assert!(!d.evidence_tokens.is_empty());
+    }
+
+    #[test]
+    fn ablations_change_output_shape() {
+        let ds = generate(DatasetKind::Squad11, GeneratorConfig { train: 60, dev: 10, seed: 5 });
+        let question = "Which team defeated the Panthers in the final?";
+        let answer = "Denver Broncos";
+        let context = "The rain had stopped by noon. The Denver Broncos defeated the Carolina \
+                       Panthers in the final. The trophy ceremony lasted an hour. Thousands of \
+                       fans filled the stadium to celebrate the victory that evening.";
+        let full = Gced::fit(&ds, GcedConfig::default());
+        let d_full = full.distill(question, answer, context).unwrap();
+
+        let no_clip_cfg = GcedConfig {
+            ablation: Ablation::without("Clip"),
+            ..GcedConfig::default()
+        };
+        let no_clip = Gced::fit(&ds, no_clip_cfg);
+        let d_no_clip = no_clip.distill(question, answer, context).unwrap();
+        assert!(
+            d_no_clip.evidence_tokens.len() >= d_full.evidence_tokens.len(),
+            "clip should shorten: {} vs {}",
+            d_no_clip.evidence_tokens.len(),
+            d_full.evidence_tokens.len()
+        );
+
+        let no_ase_cfg = GcedConfig {
+            ablation: Ablation::without("ASE"),
+            ..GcedConfig::default()
+        };
+        let no_ase = Gced::fit(&ds, no_ase_cfg);
+        let d_no_ase = no_ase.distill(question, answer, context).unwrap();
+        assert!(d_no_ase.aos_text.len() >= d_full.aos_text.len());
+    }
+
+    #[test]
+    fn trace_records_pipeline_decisions() {
+        let (g, _) = fitted();
+        let d = g
+            .distill(
+                "Which team defeated the Panthers?",
+                "Denver Broncos",
+                "The Denver Broncos defeated the Carolina Panthers to earn the title. \
+                 The band played all night.",
+            )
+            .unwrap();
+        assert!(d.trace.ase.is_some());
+        assert!(!d.trace.answer_words.is_empty());
+        assert!(d.trace.forest_size >= 1);
+        let rendered = d.trace.to_string();
+        assert!(rendered.contains("QWS"));
+    }
+
+    #[test]
+    fn fixed_clip_mode_clips_at_most_m_times() {
+        let ds = generate(DatasetKind::Squad11, GeneratorConfig { train: 60, dev: 10, seed: 5 });
+        let cfg = GcedConfig { clip: ClipMode::Fixed(1), ..GcedConfig::default() };
+        let g = Gced::fit(&ds, cfg);
+        let d = g
+            .distill(
+                "Which team defeated the Panthers?",
+                "Denver Broncos",
+                "The Denver Broncos defeated the Carolina Panthers to earn the championship \
+                 title in a long and memorable evening game.",
+            )
+            .unwrap();
+        assert!(d.trace.clip_steps.len() <= 1);
+    }
+
+    #[test]
+    fn scores_are_consistent_with_reported_evidence() {
+        let (g, ds) = fitted();
+        let ex = ds.dev.examples.iter().find(|e| e.answerable).unwrap();
+        let d = g.distill(&ex.question, &ex.answer, &ex.context).unwrap();
+        assert!(d.scores.hybrid.is_finite() || d.evidence_tokens.len() <= 2);
+        assert!((0.0..=1.0).contains(&d.scores.informativeness));
+    }
+}

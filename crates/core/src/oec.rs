@@ -1,0 +1,313 @@
+//! Optimal Evidence Distiller (paper Sec. III-F, Algorithm 1).
+//!
+//! * **SGS (Sequential Grow Searching)** connects the evidence forest:
+//!   while more than one tree remains, the tree whose root has the
+//!   maximal attention weight to its parent is replaced by the *full
+//!   subtree of T rooted at that parent* (absorbing the parent and all
+//!   sibling subtrees — Grow Step line 4); any forest tree now contained
+//!   is merged. The loop terminates because each step strictly raises
+//!   the chosen root toward T's root.
+//! * **SCS (Sequential Clip Searching)** prunes the unclipped evidence
+//!   tree: candidate subtrees are those containing **no** forest node
+//!   (clue/answer words and their parents are unclippable — Clip Step
+//!   line 3), the candidate whose removal maximizes the hybrid score is
+//!   clipped (ties broken by minimal root-to-parent attention — line 5),
+//!   for M iterations or while the score improves.
+
+use crate::config::ClipMode;
+use crate::efc::EvidenceForest;
+use crate::scoring::EvidenceScorer;
+use crate::wsptc::WeightedTree;
+use gced_text::Document;
+use std::collections::BTreeSet;
+
+/// One SGS iteration, for the trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GrowStep {
+    /// Root of the tree chosen to grow (max attention weight).
+    pub chosen_root: usize,
+    /// Its parent in T — the new subtree root.
+    pub parent: usize,
+    /// The attention weight that won the argmax.
+    pub weight: f64,
+    /// Roots of the forest trees absorbed by the new subtree.
+    pub merged_roots: Vec<usize>,
+    /// Node count of the grown tree.
+    pub new_size: usize,
+}
+
+/// One SCS iteration, for the trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClipStep {
+    /// Root of the clipped subtree.
+    pub clipped_node: usize,
+    /// All removed nodes (the full subtree).
+    pub removed: Vec<usize>,
+    /// Hybrid score before the clip.
+    pub hybrid_before: f64,
+    /// Hybrid score after the clip.
+    pub hybrid_after: f64,
+}
+
+/// Run SGS with the paper's max-attention root selection.
+pub fn grow(wt: &WeightedTree, forest: &EvidenceForest) -> (BTreeSet<usize>, usize, Vec<GrowStep>) {
+    grow_with_order(wt, forest, true)
+}
+
+/// Run SGS. Returns the unclipped evidence tree as (member nodes, root)
+/// plus the step log. The forest must be non-empty. With
+/// `max_attention = false` the lowest-root-index growable tree is chosen
+/// instead (the grow-order design ablation).
+pub fn grow_with_order(
+    wt: &WeightedTree,
+    forest: &EvidenceForest,
+    max_attention: bool,
+) -> (BTreeSet<usize>, usize, Vec<GrowStep>) {
+    assert!(!forest.is_empty(), "SGS requires a non-empty forest");
+    let tree = &wt.tree;
+    // Working set: (nodes, root) per live tree.
+    let mut live: Vec<(BTreeSet<usize>, usize)> =
+        forest.trees.iter().map(|t| (t.nodes.clone(), t.root)).collect();
+    let mut steps = Vec::new();
+    while live.len() > 1 {
+        // Select among trees whose root still has a parent.
+        let growable = live
+            .iter()
+            .enumerate()
+            .filter(|(_, (_, root))| tree.parent(*root).is_some());
+        let chosen = if max_attention {
+            growable
+                .max_by(|a, b| {
+                    let wa = wt.edge_weight(a.1 .1);
+                    let wb = wt.edge_weight(b.1 .1);
+                    wa.partial_cmp(&wb).expect("weights are never NaN")
+                })
+                .map(|(i, _)| i)
+        } else {
+            growable.min_by_key(|(_, (_, root))| *root).map(|(i, _)| i)
+        }
+        .expect("at least one growable tree while more than one remains");
+        let old_root = live[chosen].1;
+        let parent = tree.parent(old_root).expect("chosen tree is growable");
+        let weight = wt.edge_weight(old_root);
+        // Grow Step line 4: the new T_opt is the full subtree of T rooted
+        // at the parent (parent + all sibling subtrees).
+        let grown: BTreeSet<usize> = tree.subtree(parent).into_iter().collect();
+        // Merge every live tree now contained in the grown subtree.
+        let mut merged_roots = Vec::new();
+        live = live
+            .into_iter()
+            .filter(|(_, root)| {
+                if grown.contains(root) {
+                    merged_roots.push(*root);
+                    false
+                } else {
+                    true
+                }
+            })
+            .collect();
+        steps.push(GrowStep {
+            chosen_root: old_root,
+            parent,
+            weight,
+            merged_roots,
+            new_size: grown.len(),
+        });
+        live.push((grown, parent));
+    }
+    let (nodes, root) = live.pop().expect("exactly one tree remains");
+    (nodes, root, steps)
+}
+
+/// The subtree of `node` *within* the current evidence set `te`
+/// (descendants through members only).
+pub fn subtree_within(wt: &WeightedTree, node: usize, te: &BTreeSet<usize>) -> BTreeSet<usize> {
+    let mut out = BTreeSet::new();
+    let mut stack = vec![node];
+    while let Some(x) = stack.pop() {
+        if !te.contains(&x) || !out.insert(x) {
+            continue;
+        }
+        for &c in wt.tree.children(x) {
+            if te.contains(&c) {
+                stack.push(c);
+            }
+        }
+    }
+    out
+}
+
+/// Run SCS in place over `te`. `protected` is the union of forest nodes
+/// (never clipped). Returns the step log.
+pub fn clip(
+    wt: &WeightedTree,
+    te: &mut BTreeSet<usize>,
+    te_root: usize,
+    protected: &BTreeSet<usize>,
+    scorer: &EvidenceScorer<'_>,
+    aos: &Document,
+    mode: ClipMode,
+) -> Vec<ClipStep> {
+    let max_iters = match mode {
+        ClipMode::Fixed(m) => m,
+        ClipMode::WhileImproving { max } => max,
+    };
+    let mut steps = Vec::new();
+    let mut current_h = scorer.score_selection(aos, te).hybrid;
+    for _ in 0..max_iters {
+        // Enumerate candidates: members (≠ root) whose in-TE subtree is
+        // disjoint from the protected set.
+        let mut best: Option<(usize, BTreeSet<usize>, f64)> = None;
+        for &v in te.iter() {
+            if v == te_root {
+                continue;
+            }
+            // Only consider subtree roots: clipping an inner node removes
+            // its whole subtree anyway, so evaluating each member once as
+            // a root covers all distinct removals.
+            let sub = subtree_within(wt, v, te);
+            if sub.iter().any(|n| protected.contains(n)) {
+                continue;
+            }
+            if sub.len() >= te.len() {
+                continue; // would delete everything
+            }
+            let mut after: BTreeSet<usize> = te.clone();
+            for n in &sub {
+                after.remove(n);
+            }
+            let h = scorer.score_selection(aos, &after).hybrid;
+            let better = match &best {
+                None => true,
+                Some((bv, _, bh)) => {
+                    h > *bh + 1e-12
+                        || ((h - *bh).abs() <= 1e-12
+                            && wt.edge_weight(v) < wt.edge_weight(*bv))
+                }
+            };
+            if better {
+                best = Some((v, sub, h));
+            }
+        }
+        let Some((v, sub, h)) = best else { break };
+        if !h.is_finite() {
+            break; // every removal lands in the C = −∞ discard region
+        }
+        if let ClipMode::WhileImproving { .. } = mode {
+            if h <= current_h {
+                break;
+            }
+        }
+        for n in &sub {
+            te.remove(n);
+        }
+        steps.push(ClipStep {
+            clipped_node: v,
+            removed: sub.into_iter().collect(),
+            hybrid_before: current_h,
+            hybrid_after: h,
+        });
+        current_h = h;
+    }
+    steps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::efc;
+    use gced_parser::DepTree;
+
+    /// A hand-built weighted tree:
+    ///        0
+    ///      / | \
+    ///     1  4  6
+    ///    /\  |   \
+    ///   2 3  5    7
+    fn wt(weights: Vec<f64>) -> WeightedTree {
+        let tree = DepTree::from_parents(vec![
+            None,
+            Some(0),
+            Some(1),
+            Some(1),
+            Some(0),
+            Some(4),
+            Some(0),
+            Some(6),
+        ]);
+        WeightedTree { tree, weights }
+    }
+
+    fn uniform_wt() -> WeightedTree {
+        wt(vec![0.0, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5])
+    }
+
+    #[test]
+    fn grow_single_tree_is_identity() {
+        let w = uniform_wt();
+        let forest = efc::construct(&w.tree, &[2], &[]);
+        let (nodes, root, steps) = grow(&w, &forest);
+        assert_eq!(nodes, BTreeSet::from([1, 2]));
+        assert_eq!(root, 1);
+        assert!(steps.is_empty());
+    }
+
+    #[test]
+    fn grow_connects_two_trees() {
+        let w = uniform_wt();
+        // Trees: {1,2} (seed 2) and {6,7} (seed 7). Connecting requires
+        // growing to the root's full subtree.
+        let forest = efc::construct(&w.tree, &[2], &[7]);
+        let (nodes, root, steps) = grow(&w, &forest);
+        assert_eq!(root, 0);
+        assert_eq!(nodes, BTreeSet::from([0, 1, 2, 3, 4, 5, 6, 7]));
+        assert!(!steps.is_empty());
+        // Final step must have merged the remaining tree.
+        assert!(steps.last().unwrap().merged_roots.len() >= 1);
+    }
+
+    #[test]
+    fn grow_prefers_max_weight_root() {
+        // Tree {1,2} has root 1 with weight 0.9; tree {6,7} root 6 with
+        // weight 0.2 — SGS must grow the 0.9 tree first.
+        let w = wt(vec![0.0, 0.9, 0.5, 0.5, 0.5, 0.5, 0.2, 0.5]);
+        let forest = efc::construct(&w.tree, &[2], &[7]);
+        let (_, _, steps) = grow(&w, &forest);
+        assert_eq!(steps[0].chosen_root, 1);
+        assert!((steps[0].weight - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grow_result_contains_all_forest_nodes_and_is_connected() {
+        let w = uniform_wt();
+        let forest = efc::construct(&w.tree, &[3, 5], &[7]);
+        let (nodes, root, _) = grow(&w, &forest);
+        for n in forest.all_nodes() {
+            assert!(nodes.contains(&n));
+        }
+        // Connectivity: every member other than the root has its parent
+        // in the set.
+        for &n in &nodes {
+            if n != root {
+                assert!(nodes.contains(&w.tree.parent(n).unwrap()));
+            }
+        }
+    }
+
+    #[test]
+    fn subtree_within_respects_removals() {
+        let w = uniform_wt();
+        let mut te: BTreeSet<usize> = (0..8).collect();
+        te.remove(&3);
+        let sub = subtree_within(&w, 1, &te);
+        assert_eq!(sub, BTreeSet::from([1, 2]));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty forest")]
+    fn grow_empty_forest_panics() {
+        let w = uniform_wt();
+        let forest = EvidenceForest::default();
+        let _ = grow(&w, &forest);
+    }
+}

@@ -1,0 +1,301 @@
+//! Evidence goodness metrics (paper Sec. II-B, Eqs. 1–5).
+//!
+//! Raw quantities follow the paper exactly:
+//! * informativeness I(e): token F1 between the PLM's prediction on
+//!   (question, evidence) and the input answer (Eq. 1);
+//! * conciseness C(e): 1/L(e), or −∞ when the evidence is not longer
+//!   than the answer (Eq. 2);
+//! * readability R(e): 1/PPL(e) under the corpus LM (Eqs. 3–4).
+//!
+//! For the hybrid score H = αI + βR + γC (Eq. 5) the paper states
+//! H ∈ [0, 1], which requires each term on a commensurate [0, 1] scale;
+//! raw 1/PPL and 1/L live on tiny, corpus-dependent scales. The distiller
+//! therefore uses **monotone normalizations**:
+//! * R_norm = PPL_ref / (PPL + PPL_ref), with PPL_ref the mean sentence
+//!   perplexity of the training corpus (R_norm = ½ at corpus-typical
+//!   fluency, → 1 for highly fluent, → 0 for garbled);
+//! * C_norm = min(1, (L(a) + 2) / L(e)) (= 1 when the evidence is within
+//!   two tokens of the answer length, decaying harmonically like Eq. 2).
+//!
+//! Both normalizations preserve the orderings induced by Eqs. 2–4, so
+//! every argmax the Grow-and-Clip search takes is unchanged in spirit;
+//! raw values are also reported.
+
+use gced_lm::TrigramLm;
+use gced_metrics::overlap::token_f1;
+use gced_qa::{QaModel, QuestionAnalysis};
+use gced_text::Document;
+
+/// All scores for one candidate evidence.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvidenceScores {
+    /// Informativeness I(e) ∈ [0, 1] (Eq. 1).
+    pub informativeness: f64,
+    /// Raw conciseness 1/L(e) or −∞ (Eq. 2).
+    pub conciseness_raw: f64,
+    /// Raw readability 1/PPL(e) (Eq. 4).
+    pub readability_raw: f64,
+    /// Normalized conciseness ∈ [0, 1] (or −∞ on the discard branch).
+    pub conciseness: f64,
+    /// Normalized readability ∈ (0, 1).
+    pub readability: f64,
+    /// Hybrid score H(e) (Eq. 5) over the normalized terms.
+    pub hybrid: f64,
+}
+
+/// Scores evidences against one (question, answer) pair.
+pub struct EvidenceScorer<'a> {
+    qa: &'a QaModel,
+    lm: &'a TrigramLm,
+    question: &'a str,
+    q_analysis: QuestionAnalysis,
+    answer: &'a str,
+    answer_len: usize,
+    ppl_ref: f64,
+    weights: (f64, f64, f64),
+}
+
+impl<'a> EvidenceScorer<'a> {
+    /// Build a scorer. `ppl_ref` is the corpus reference perplexity
+    /// (see [`reference_perplexity`]); `weights` is the effective
+    /// (α, β, γ).
+    pub fn new(
+        qa: &'a QaModel,
+        lm: &'a TrigramLm,
+        question: &'a str,
+        answer: &'a str,
+        ppl_ref: f64,
+        weights: (f64, f64, f64),
+    ) -> Self {
+        let answer_len = answer.split_whitespace().count();
+        EvidenceScorer {
+            qa,
+            lm,
+            question,
+            q_analysis: QuestionAnalysis::new(question),
+            answer,
+            answer_len,
+            ppl_ref: ppl_ref.max(1.0),
+            weights,
+        }
+    }
+
+    /// The question analysis (shared with ASE).
+    pub fn question_analysis(&self) -> &QuestionAnalysis {
+        &self.q_analysis
+    }
+
+    /// The input answer.
+    pub fn answer(&self) -> &str {
+        self.answer
+    }
+
+    /// Score an evidence given as an analysed document.
+    pub fn score_doc(&self, evidence: &Document) -> EvidenceScores {
+        let words: Vec<String> = evidence.tokens.iter().map(|t| t.lower()).collect();
+        let pred = self.qa.predict_analyzed(&self.q_analysis, evidence, self.question);
+        let informativeness = token_f1(&pred.text, self.answer).f1;
+        self.assemble(informativeness, &words)
+    }
+
+    /// Score an evidence given as lowercased tokens, reusing a
+    /// previously computed informativeness value (the clip search
+    /// evaluates many candidates whose I must be recomputed, but tests
+    /// and diagnostics sometimes have it already).
+    pub fn score_tokens(&self, words: &[String]) -> EvidenceScores {
+        let text = words.join(" ");
+        let pred = self.qa.predict(self.question, &text);
+        let informativeness = token_f1(&pred.text, self.answer).f1;
+        self.assemble(informativeness, words)
+    }
+
+    /// Score a node selection of an analysed AOS document (the form the
+    /// clip search evaluates): evidence = the selected tokens in index
+    /// order, detokenized with original casing for the QA model and
+    /// lowercased for the LM.
+    pub fn score_selection(
+        &self,
+        aos: &Document,
+        selected: &std::collections::BTreeSet<usize>,
+    ) -> EvidenceScores {
+        let tokens: Vec<gced_text::Token> =
+            selected.iter().map(|&i| aos.tokens[i].clone()).collect();
+        let text = gced_text::join_tokens(&tokens);
+        let words: Vec<String> = tokens.iter().map(|t| t.lower()).collect();
+        let pred = self.qa.predict(self.question, &text);
+        let informativeness = token_f1(&pred.text, self.answer).f1;
+        self.assemble(informativeness, &words)
+    }
+
+    fn assemble(&self, informativeness: f64, words: &[String]) -> EvidenceScores {
+        let len = words.len();
+        let (conciseness_raw, conciseness) = if len > self.answer_len.max(0) {
+            let raw = 1.0 / len as f64;
+            let norm = ((self.answer_len as f64 + 2.0) / len as f64).min(1.0);
+            (raw, norm)
+        } else {
+            (f64::NEG_INFINITY, f64::NEG_INFINITY)
+        };
+        let ppl = self.lm.perplexity(words);
+        let readability_raw = if ppl.is_finite() { 1.0 / ppl } else { 0.0 };
+        let readability = self.ppl_ref / (ppl + self.ppl_ref);
+        let (a, b, g) = self.weights;
+        let hybrid = if conciseness.is_finite() {
+            a * informativeness + b * readability + g * conciseness
+        } else {
+            f64::NEG_INFINITY
+        };
+        EvidenceScores {
+            informativeness,
+            conciseness_raw,
+            readability_raw,
+            conciseness,
+            readability,
+            hybrid,
+        }
+    }
+}
+
+/// Mean sentence perplexity of a sample of the training corpus — the
+/// reference point for readability normalization.
+pub fn reference_perplexity(lm: &TrigramLm, corpus: &[Vec<String>], sample: usize) -> f64 {
+    let take = corpus.len().min(sample.max(1));
+    if take == 0 {
+        return 50.0;
+    }
+    let mut total = 0.0;
+    let mut n = 0usize;
+    for sent in corpus.iter().take(take) {
+        let ppl = lm.perplexity(sent);
+        if ppl.is_finite() {
+            total += ppl;
+            n += 1;
+        }
+    }
+    if n == 0 {
+        50.0
+    } else {
+        total / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gced_qa::ModelProfile;
+
+    fn corpus() -> Vec<Vec<String>> {
+        [
+            "the broncos defeated the panthers to earn the title",
+            "the broncos won the final game",
+            "the panthers lost the championship",
+            "the team earned the title in denver",
+        ]
+        .iter()
+        .map(|s| s.split(' ').map(String::from).collect())
+        .collect()
+    }
+
+    fn scorer_parts() -> (QaModel, TrigramLm, f64) {
+        let qa = QaModel::new(ModelProfile::plm());
+        let lm = TrigramLm::train(&corpus());
+        let ppl_ref = reference_perplexity(&lm, &corpus(), 100);
+        (qa, lm, ppl_ref)
+    }
+
+    #[test]
+    fn informative_evidence_scores_high_i() {
+        let (qa, lm, ppl_ref) = scorer_parts();
+        let s = EvidenceScorer::new(
+            &qa,
+            &lm,
+            "Which team defeated the Panthers?",
+            "Broncos",
+            ppl_ref,
+            (0.5, 0.2, 0.3),
+        );
+        let good = gced_text::analyze("The Broncos defeated the Panthers.");
+        let bad = gced_text::analyze("The weather was mild and calm today.");
+        let sg = s.score_doc(&good);
+        let sb = s.score_doc(&bad);
+        assert!(sg.informativeness > sb.informativeness);
+        assert!(sg.hybrid > sb.hybrid);
+    }
+
+    #[test]
+    fn conciseness_discards_evidence_not_longer_than_answer() {
+        let (qa, lm, ppl_ref) = scorer_parts();
+        let s = EvidenceScorer::new(&qa, &lm, "Who won?", "Denver Broncos", ppl_ref, (0.5, 0.2, 0.3));
+        let too_short = s.score_tokens(&["denver".into(), "broncos".into()]);
+        assert_eq!(too_short.conciseness, f64::NEG_INFINITY);
+        assert_eq!(too_short.hybrid, f64::NEG_INFINITY);
+        let ok = s.score_tokens(&["the".into(), "denver".into(), "broncos".into(), "won".into()]);
+        assert!(ok.conciseness.is_finite());
+        assert!(ok.hybrid.is_finite());
+    }
+
+    #[test]
+    fn shorter_evidence_is_more_concise() {
+        let (qa, lm, ppl_ref) = scorer_parts();
+        let s = EvidenceScorer::new(&qa, &lm, "Who won?", "Broncos", ppl_ref, (0.5, 0.2, 0.3));
+        let short: Vec<String> = "the broncos won".split(' ').map(String::from).collect();
+        let long: Vec<String> =
+            "the broncos won the final game in the city of denver that year"
+                .split(' ')
+                .map(String::from)
+                .collect();
+        let ss = s.score_tokens(&short);
+        let sl = s.score_tokens(&long);
+        assert!(ss.conciseness > sl.conciseness);
+        assert!(ss.conciseness_raw > sl.conciseness_raw);
+    }
+
+    #[test]
+    fn fluent_evidence_is_more_readable() {
+        let (qa, lm, ppl_ref) = scorer_parts();
+        let s = EvidenceScorer::new(&qa, &lm, "Who won?", "Broncos", ppl_ref, (0.5, 0.2, 0.3));
+        let fluent: Vec<String> = "the broncos won the final game".split(' ').map(String::from).collect();
+        let garbled: Vec<String> = "game won final broncos the the".split(' ').map(String::from).collect();
+        let sf = s.score_tokens(&fluent);
+        let sg = s.score_tokens(&garbled);
+        assert!(sf.readability > sg.readability);
+        assert!(sf.readability_raw > sg.readability_raw);
+    }
+
+    #[test]
+    fn normalized_scores_in_unit_interval() {
+        let (qa, lm, ppl_ref) = scorer_parts();
+        let s = EvidenceScorer::new(&qa, &lm, "Who won?", "Broncos", ppl_ref, (0.5, 0.2, 0.3));
+        let sc = s.score_tokens(&"the broncos won the game".split(' ').map(String::from).collect::<Vec<_>>());
+        assert!((0.0..=1.0).contains(&sc.informativeness));
+        assert!((0.0..=1.0).contains(&sc.conciseness));
+        assert!((0.0..=1.0).contains(&sc.readability));
+        assert!((0.0..=1.0).contains(&sc.hybrid), "H = {}", sc.hybrid);
+    }
+
+    #[test]
+    fn normalization_preserves_raw_ordering() {
+        let (qa, lm, ppl_ref) = scorer_parts();
+        let s = EvidenceScorer::new(&qa, &lm, "Who won?", "Broncos", ppl_ref, (0.5, 0.2, 0.3));
+        let e1: Vec<String> = "the broncos won".split(' ').map(String::from).collect();
+        let e2: Vec<String> = "the broncos won the final game in denver".split(' ').map(String::from).collect();
+        let s1 = s.score_tokens(&e1);
+        let s2 = s.score_tokens(&e2);
+        assert_eq!(
+            s1.conciseness_raw > s2.conciseness_raw,
+            s1.conciseness > s2.conciseness
+        );
+        assert_eq!(
+            s1.readability_raw > s2.readability_raw,
+            s1.readability > s2.readability
+        );
+    }
+
+    #[test]
+    fn reference_perplexity_is_positive_and_finite() {
+        let lm = TrigramLm::train(&corpus());
+        let r = reference_perplexity(&lm, &corpus(), 10);
+        assert!(r.is_finite() && r > 0.0);
+        assert_eq!(reference_perplexity(&lm, &[], 10), 50.0);
+    }
+}

@@ -1,0 +1,121 @@
+//! Step-by-step distillation traces.
+//!
+//! The paper lists traceability as a core advantage of GCED over
+//! end-to-end neural explainers ("each step is traceable", Sec. I). The
+//! trace records every decision the pipeline takes; the `case_study`
+//! example renders it for the paper's Fig. 8 walkthrough.
+
+use crate::ase::AseResult;
+use crate::oec::{ClipStep, GrowStep};
+use std::fmt;
+
+/// Everything the pipeline decided for one distillation.
+#[derive(Debug, Clone, Default)]
+pub struct DistillTrace {
+    /// ASE outcome (None when ASE was ablated).
+    pub ase: Option<AseResult>,
+    /// Significant question words QWS expanded.
+    pub significant_words: Vec<String>,
+    /// Clue tokens (surface forms) QWS marked.
+    pub clue_words: Vec<String>,
+    /// Answer tokens (surface forms) located in the AOS.
+    pub answer_words: Vec<String>,
+    /// Number of trees in the evidence forest.
+    pub forest_size: usize,
+    /// SGS step log.
+    pub grow_steps: Vec<GrowStep>,
+    /// SCS step log.
+    pub clip_steps: Vec<ClipStep>,
+    /// True when no forest could be built and the pipeline fell back to
+    /// emitting the first answer-oriented sentence.
+    pub fallback: bool,
+}
+
+impl fmt::Display for DistillTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(ase) = &self.ase {
+            writeln!(
+                f,
+                "ASE: sentences {:?} (exact = {}, best F1 = {:.3})",
+                ase.sentences, ase.exact, ase.best_f1
+            )?;
+        } else {
+            writeln!(f, "ASE: ablated (all sentences kept)")?;
+        }
+        writeln!(f, "QWS: significant words = {:?}", self.significant_words)?;
+        writeln!(f, "QWS: clue words = {:?}", self.clue_words)?;
+        writeln!(f, "EFC: answer words = {:?}", self.answer_words)?;
+        writeln!(f, "EFC: forest has {} tree(s)", self.forest_size)?;
+        for (i, s) in self.grow_steps.iter().enumerate() {
+            writeln!(
+                f,
+                "SGS step {}: grow root {} -> parent {} (w = {:.4}), merged roots {:?}, size {}",
+                i + 1,
+                s.chosen_root,
+                s.parent,
+                s.weight,
+                s.merged_roots,
+                s.new_size
+            )?;
+        }
+        for (i, s) in self.clip_steps.iter().enumerate() {
+            writeln!(
+                f,
+                "SCS step {}: clip node {} (removed {:?}), H {:.4} -> {:.4}",
+                i + 1,
+                s.clipped_node,
+                s.removed,
+                s.hybrid_before,
+                s.hybrid_after
+            )?;
+        }
+        if self.fallback {
+            writeln!(f, "fallback: emitted first answer-oriented sentence")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_renders_every_section() {
+        let trace = DistillTrace {
+            ase: Some(AseResult { sentences: vec![0, 2], exact: true, best_f1: 1.0, steps: vec![] }),
+            significant_words: vec!["team".into()],
+            clue_words: vec!["Broncos".into()],
+            answer_words: vec!["Denver".into()],
+            forest_size: 2,
+            grow_steps: vec![GrowStep {
+                chosen_root: 3,
+                parent: 1,
+                weight: 0.32,
+                merged_roots: vec![5],
+                new_size: 6,
+            }],
+            clip_steps: vec![ClipStep {
+                clipped_node: 9,
+                removed: vec![9, 10],
+                hybrid_before: 0.61,
+                hybrid_after: 0.70,
+            }],
+            fallback: false,
+        };
+        let s = trace.to_string();
+        assert!(s.contains("ASE: sentences [0, 2]"));
+        assert!(s.contains("clue words"));
+        assert!(s.contains("SGS step 1"));
+        assert!(s.contains("SCS step 1"));
+        assert!(!s.contains("fallback"));
+    }
+
+    #[test]
+    fn ablated_and_fallback_render() {
+        let trace = DistillTrace { fallback: true, ..Default::default() };
+        let s = trace.to_string();
+        assert!(s.contains("ABLATED") || s.contains("ablated"));
+        assert!(s.contains("fallback"));
+    }
+}

@@ -1,0 +1,304 @@
+//! Dataset assembly: scenarios → contexts → splits.
+//!
+//! Per-kind context styles (DESIGN.md S6):
+//! * **SQuAD-1.1** — support sentences + 2–4 same-entity noise sentences;
+//! * **SQuAD-2.0** — same, plus ~1/3 unanswerable questions whose context
+//!   comes from a *different* scenario of the same domain;
+//! * **TriviaQA-Wiki** — support + 4–7 noise sentences + 1–2 cross-domain
+//!   distractor sentences (longer, noisier documents);
+//! * **TriviaQA-Web** — support + 5–9 noise + 2–4 cross-domain
+//!   distractors, and answer aliases are actually used.
+
+use crate::templates::{build, Scenario};
+use crate::{Dataset, DatasetKind, Domain, QaExample, Split};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Size and style configuration for generation.
+#[derive(Debug, Clone, Copy)]
+pub struct GeneratorConfig {
+    /// Number of training examples.
+    pub train: usize,
+    /// Number of dev examples.
+    pub dev: usize,
+    /// Base RNG seed; every example derives its own stream from it.
+    pub seed: u64,
+}
+
+impl GeneratorConfig {
+    /// Table III sizes scaled by `factor` (minimum 16 examples per split
+    /// so every experiment has data even at tiny scales).
+    pub fn scaled(kind: DatasetKind, factor: f64, seed: u64) -> Self {
+        let (t, d) = kind.paper_sizes();
+        GeneratorConfig {
+            train: ((t as f64 * factor) as usize).max(16),
+            dev: ((d as f64 * factor) as usize).max(16),
+            seed,
+        }
+    }
+
+    /// A small fixed-size config for tests.
+    pub fn tiny(seed: u64) -> Self {
+        GeneratorConfig { train: 48, dev: 24, seed }
+    }
+}
+
+/// Generate a full dataset of the given kind.
+pub fn generate(kind: DatasetKind, config: GeneratorConfig) -> Dataset {
+    let mut rng = SmallRng::seed_from_u64(config.seed ^ kind_salt(kind));
+    let train = gen_split(kind, config.train, "train", &mut rng);
+    let dev = gen_split(kind, config.dev, "dev", &mut rng);
+    Dataset { kind, train, dev }
+}
+
+fn kind_salt(kind: DatasetKind) -> u64 {
+    match kind {
+        DatasetKind::Squad11 => 0x5155_3131,
+        DatasetKind::Squad20 => 0x5155_3230,
+        DatasetKind::TriviaWeb => 0x5452_5745,
+        DatasetKind::TriviaWiki => 0x5452_5749,
+    }
+}
+
+fn gen_split(kind: DatasetKind, n: usize, split: &str, rng: &mut SmallRng) -> Split {
+    let mut examples = Vec::with_capacity(n);
+    for i in 0..n {
+        examples.push(gen_example(kind, split, i, rng));
+    }
+    Split { examples }
+}
+
+/// Style knobs per dataset kind.
+struct Style {
+    noise: std::ops::Range<usize>,
+    cross_domain: std::ops::Range<usize>,
+    unanswerable_rate: f64,
+    use_aliases: bool,
+}
+
+fn style(kind: DatasetKind) -> Style {
+    match kind {
+        DatasetKind::Squad11 => Style {
+            noise: 2..5,
+            cross_domain: 0..1,
+            unanswerable_rate: 0.0,
+            use_aliases: false,
+        },
+        DatasetKind::Squad20 => Style {
+            noise: 2..5,
+            cross_domain: 0..1,
+            unanswerable_rate: 0.33,
+            use_aliases: false,
+        },
+        DatasetKind::TriviaWiki => Style {
+            noise: 4..7,
+            cross_domain: 1..3,
+            unanswerable_rate: 0.0,
+            use_aliases: true,
+        },
+        DatasetKind::TriviaWeb => Style {
+            noise: 5..9,
+            cross_domain: 2..5,
+            unanswerable_rate: 0.0,
+            use_aliases: true,
+        },
+    }
+}
+
+fn gen_example(kind: DatasetKind, split: &str, index: usize, rng: &mut SmallRng) -> QaExample {
+    let st = style(kind);
+    let domain = *Domain::all().choose(rng).expect("domains non-empty");
+    let scenario = build(domain, rng);
+    let qa_idx = rng.gen_range(0..scenario.qa.len());
+
+    if rng.gen_bool(st.unanswerable_rate) {
+        return gen_unanswerable(kind, split, index, &scenario, qa_idx, rng);
+    }
+
+    let qa = &scenario.qa[qa_idx];
+    let context = assemble_context(&scenario, &qa.support, &st, rng);
+    debug_assert!(context.contains(&qa.answer), "answer must be a context span");
+    let aliases = if st.use_aliases {
+        let mut a = qa.aliases.clone();
+        let lower = qa.answer.to_lowercase();
+        if !a.contains(&lower) {
+            a.push(lower);
+        }
+        a
+    } else {
+        vec![qa.answer.clone()]
+    };
+    QaExample {
+        id: format!("{}-{split}-{index:06}", kind.name().to_lowercase()),
+        question: qa.question.clone(),
+        context,
+        answer: qa.answer.clone(),
+        aliases,
+        answerable: true,
+        domain,
+    }
+}
+
+/// SQuAD-2.0 negative: the question comes from one scenario, the context
+/// from a different scenario of the same domain, re-rolled until the
+/// answer string genuinely does not occur in the context.
+fn gen_unanswerable(
+    kind: DatasetKind,
+    split: &str,
+    index: usize,
+    q_scenario: &Scenario,
+    qa_idx: usize,
+    rng: &mut SmallRng,
+) -> QaExample {
+    let st = style(kind);
+    let qa = &q_scenario.qa[qa_idx];
+    let context = loop {
+        let other = build(q_scenario.domain, rng);
+        let ctx = assemble_context(&other, &[], &st, rng);
+        if !ctx.contains(&qa.answer) {
+            break ctx;
+        }
+    };
+    QaExample {
+        id: format!("{}-{split}-{index:06}", kind.name().to_lowercase()),
+        question: qa.question.clone(),
+        context,
+        answer: String::new(),
+        aliases: vec![],
+        answerable: false,
+        domain: q_scenario.domain,
+    }
+}
+
+/// Pick support ∪ noise sentences (in document order) and append
+/// cross-domain distractors for the TriviaQA styles.
+fn assemble_context(
+    scenario: &Scenario,
+    support: &[usize],
+    st: &Style,
+    rng: &mut SmallRng,
+) -> String {
+    let n = scenario.sentences.len();
+    let mut chosen: Vec<usize> = support.to_vec();
+    let mut others: Vec<usize> = (0..n).filter(|i| !support.contains(i)).collect();
+    others.shuffle(rng);
+    let noise = rng.gen_range(st.noise.clone()).min(others.len());
+    chosen.extend(others.into_iter().take(noise));
+    chosen.sort_unstable();
+    chosen.dedup();
+    let mut parts: Vec<String> = chosen.iter().map(|&i| scenario.sentences[i].clone()).collect();
+
+    let cross = rng.gen_range(st.cross_domain.clone());
+    for _ in 0..cross {
+        let d = *Domain::all().choose(rng).expect("domains non-empty");
+        let s = build(d, rng);
+        let idx = rng.gen_range(0..s.sentences.len());
+        parts.push(s.sentences[idx].clone());
+    }
+    parts.join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_sizes() {
+        let ds = generate(DatasetKind::Squad11, GeneratorConfig::tiny(1));
+        assert_eq!(ds.train.len(), 48);
+        assert_eq!(ds.dev.len(), 24);
+    }
+
+    #[test]
+    fn answers_are_context_spans() {
+        for kind in DatasetKind::all() {
+            let ds = generate(kind, GeneratorConfig::tiny(2));
+            for ex in ds.train.examples.iter().chain(&ds.dev.examples) {
+                assert!(ex.answer_in_context(), "{}: answer {:?} missing", ex.id, ex.answer);
+                if ex.answerable {
+                    assert!(!ex.answer.is_empty());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(DatasetKind::TriviaWeb, GeneratorConfig::tiny(3));
+        let b = generate(DatasetKind::TriviaWeb, GeneratorConfig::tiny(3));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(DatasetKind::Squad11, GeneratorConfig::tiny(1));
+        let b = generate(DatasetKind::Squad11, GeneratorConfig::tiny(2));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn squad2_contains_unanswerable() {
+        let ds = generate(DatasetKind::Squad20, GeneratorConfig { train: 200, dev: 50, seed: 5 });
+        let neg = ds.train.examples.iter().filter(|e| !e.answerable).count();
+        let rate = neg as f64 / ds.train.len() as f64;
+        assert!(rate > 0.2 && rate < 0.5, "unanswerable rate {rate}");
+        // Negatives genuinely lack the answer (empty answer, no aliases).
+        for ex in ds.train.examples.iter().filter(|e| !e.answerable) {
+            assert!(ex.answer.is_empty());
+        }
+    }
+
+    #[test]
+    fn squad1_has_no_unanswerable() {
+        let ds = generate(DatasetKind::Squad11, GeneratorConfig::tiny(7));
+        assert!(ds.train.examples.iter().all(|e| e.answerable));
+    }
+
+    #[test]
+    fn trivia_contexts_are_longer_than_squad() {
+        let squad = generate(DatasetKind::Squad11, GeneratorConfig { train: 150, dev: 16, seed: 9 });
+        let trivia =
+            generate(DatasetKind::TriviaWeb, GeneratorConfig { train: 150, dev: 16, seed: 9 });
+        assert!(
+            trivia.mean_context_words() > squad.mean_context_words() * 1.3,
+            "trivia {} vs squad {}",
+            trivia.mean_context_words(),
+            squad.mean_context_words()
+        );
+    }
+
+    #[test]
+    fn trivia_has_aliases() {
+        let ds = generate(DatasetKind::TriviaWeb, GeneratorConfig::tiny(11));
+        assert!(ds.train.examples.iter().any(|e| e.aliases.len() > 1));
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let ds = generate(DatasetKind::Squad11, GeneratorConfig::tiny(13));
+        let mut ids: Vec<&str> =
+            ds.train.examples.iter().chain(&ds.dev.examples).map(|e| e.id.as_str()).collect();
+        let before = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), before);
+    }
+
+    #[test]
+    fn scaled_config_respects_minimum() {
+        let c = GeneratorConfig::scaled(DatasetKind::Squad11, 0.000_001, 1);
+        assert!(c.train >= 16 && c.dev >= 16);
+        let c2 = GeneratorConfig::scaled(DatasetKind::Squad11, 0.01, 1);
+        assert_eq!(c2.train, 875);
+        assert_eq!(c2.dev, 105);
+    }
+
+    #[test]
+    fn corpus_sentences_nonempty() {
+        let ds = generate(DatasetKind::Squad11, GeneratorConfig::tiny(17));
+        let corpus = ds.corpus_sentences();
+        assert!(corpus.len() > ds.train.len());
+        assert!(corpus.iter().all(|s| !s.is_empty()));
+    }
+}

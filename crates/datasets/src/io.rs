@@ -1,0 +1,117 @@
+//! JSON (de)serialization for datasets.
+//!
+//! SQuAD and TriviaQA ship as JSON; reproducing their loaders means a
+//! JSON codec, which is why `serde_json` is a dependency (DESIGN.md §2).
+//! The on-disk schema is this crate's own (flat examples), versioned for
+//! forward compatibility.
+
+use crate::Dataset;
+use serde::{Deserialize, Serialize};
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::path::Path;
+
+/// Schema version written into every file.
+const SCHEMA_VERSION: u32 = 1;
+
+#[derive(Serialize, Deserialize)]
+struct FileEnvelope {
+    version: u32,
+    dataset: Dataset,
+}
+
+/// Errors from dataset I/O.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying filesystem error.
+    Io(std::io::Error),
+    /// Malformed JSON or schema mismatch.
+    Format(String),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "io error: {e}"),
+            IoError::Format(m) => write!(f, "format error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// Write a dataset as pretty JSON.
+pub fn save_json(dataset: &Dataset, path: &Path) -> Result<(), IoError> {
+    let file = File::create(path)?;
+    let writer = BufWriter::new(file);
+    let env = FileEnvelope { version: SCHEMA_VERSION, dataset: dataset.clone() };
+    serde_json::to_writer(writer, &env).map_err(|e| IoError::Format(e.to_string()))
+}
+
+/// Load a dataset written by [`save_json`].
+pub fn load_json(path: &Path) -> Result<Dataset, IoError> {
+    let file = File::open(path)?;
+    let reader = BufReader::new(file);
+    let env: FileEnvelope =
+        serde_json::from_reader(reader).map_err(|e| IoError::Format(e.to_string()))?;
+    if env.version != SCHEMA_VERSION {
+        return Err(IoError::Format(format!(
+            "unsupported schema version {} (expected {SCHEMA_VERSION})",
+            env.version
+        )));
+    }
+    Ok(env.dataset)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate, GeneratorConfig};
+    use crate::DatasetKind;
+
+    #[test]
+    fn roundtrip_preserves_dataset() {
+        let ds = generate(DatasetKind::Squad11, GeneratorConfig::tiny(23));
+        let dir = std::env::temp_dir();
+        let path = dir.join("gced_roundtrip_test.json");
+        save_json(&ds, &path).unwrap();
+        let loaded = load_json(&path).unwrap();
+        assert_eq!(ds, loaded);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn load_missing_file_errors() {
+        let err = load_json(Path::new("/nonexistent/gced.json")).unwrap_err();
+        assert!(matches!(err, IoError::Io(_)));
+        assert!(err.to_string().contains("io error"));
+    }
+
+    #[test]
+    fn load_malformed_json_errors() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("gced_malformed_test.json");
+        std::fs::write(&path, b"{not json").unwrap();
+        let err = load_json(&path).unwrap_err();
+        assert!(matches!(err, IoError::Format(_)));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn version_mismatch_errors() {
+        let ds = generate(DatasetKind::Squad11, GeneratorConfig { train: 16, dev: 16, seed: 1 });
+        let env = FileEnvelope { version: 999, dataset: ds };
+        let dir = std::env::temp_dir();
+        let path = dir.join("gced_version_test.json");
+        std::fs::write(&path, serde_json::to_vec(&env).unwrap()).unwrap();
+        let err = load_json(&path).unwrap_err();
+        assert!(err.to_string().contains("version"));
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,213 @@
+//! # gced-datasets — synthetic SQuAD- and TriviaQA-style corpora
+//!
+//! The paper evaluates on SQuAD-1.1/2.0 and TriviaQA-Web/Wiki, none of
+//! which can be downloaded offline. This crate generates **seeded
+//! synthetic equivalents** that preserve the properties GCED interacts
+//! with (see DESIGN.md S6):
+//!
+//! * every answerable question's answer is a literal span of its context;
+//! * contexts mix *fact sentences* (QA-related) with *distractor
+//!   sentences* (noise) — the structure Fig. 1 of the paper illustrates;
+//! * SQuAD-style contexts are entity-centric Wikipedia-like paragraphs
+//!   with moderate noise; SQuAD-2.0 adds unanswerable questions;
+//! * TriviaQA-style contexts are longer, noisier, multi-source documents
+//!   with cross-domain distractor sentences and answer aliases — this is
+//!   what drives the larger word-reduction (87.2 % vs 78.5 %) and the
+//!   larger +GCED gains of Table VII;
+//! * split sizes follow Table III, scaled by a configurable factor.
+//!
+//! Everything is generated from five entity-template domains (sports,
+//! music, history, geography, science) whose vocabulary is covered by the
+//! embedded lexicon in `gced-lexicon`.
+
+pub mod generator;
+pub mod io;
+pub mod pools;
+pub mod templates;
+
+pub use generator::{generate, GeneratorConfig};
+pub use io::{load_json, save_json};
+
+use serde::{Deserialize, Serialize};
+
+/// Which of the paper's four datasets to emulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DatasetKind {
+    /// SQuAD-1.1: Wikipedia paragraphs, all questions answerable.
+    Squad11,
+    /// SQuAD-2.0: SQuAD-1.1 plus unanswerable questions.
+    Squad20,
+    /// TriviaQA (web search results): long, noisy, multi-source.
+    TriviaWeb,
+    /// TriviaQA (Wikipedia): long but cleaner than web.
+    TriviaWiki,
+}
+
+impl DatasetKind {
+    /// Display name matching the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            DatasetKind::Squad11 => "SQuAD-1.1",
+            DatasetKind::Squad20 => "SQuAD-2.0",
+            DatasetKind::TriviaWeb => "TriviaQA-Web",
+            DatasetKind::TriviaWiki => "TriviaQA-Wiki",
+        }
+    }
+
+    /// Paper split sizes (Table III): (train, dev).
+    pub fn paper_sizes(self) -> (usize, usize) {
+        match self {
+            DatasetKind::Squad11 => (87_599, 10_570),
+            DatasetKind::Squad20 => (130_319, 6_078),
+            DatasetKind::TriviaWeb => (100_000, 68_621),
+            DatasetKind::TriviaWiki => (110_647, 14_229),
+        }
+    }
+
+    /// True for the TriviaQA family.
+    pub fn is_trivia(self) -> bool {
+        matches!(self, DatasetKind::TriviaWeb | DatasetKind::TriviaWiki)
+    }
+
+    /// All four datasets, in paper order.
+    pub fn all() -> [DatasetKind; 4] {
+        [DatasetKind::Squad11, DatasetKind::Squad20, DatasetKind::TriviaWeb, DatasetKind::TriviaWiki]
+    }
+}
+
+/// Content domain of a generated example.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Domain {
+    Sports,
+    Music,
+    History,
+    Geography,
+    Science,
+}
+
+impl Domain {
+    /// All domains.
+    pub fn all() -> [Domain; 5] {
+        [Domain::Sports, Domain::Music, Domain::History, Domain::Geography, Domain::Science]
+    }
+}
+
+/// One (question, answer, context) tuple — the paper's (qᵢ, aᵢ, cᵢ).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QaExample {
+    /// Stable identifier ("squad11-train-000042").
+    pub id: String,
+    /// Natural-language question.
+    pub question: String,
+    /// The context paragraph (the answer is a literal span of it when
+    /// `answerable`).
+    pub context: String,
+    /// Ground-truth answer text ("" when unanswerable).
+    pub answer: String,
+    /// Acceptable answer aliases (TriviaQA convention; includes `answer`).
+    pub aliases: Vec<String>,
+    /// False for SQuAD-2.0 negatives.
+    pub answerable: bool,
+    /// Generation domain.
+    pub domain: Domain,
+}
+
+impl QaExample {
+    /// True when the answer occurs verbatim in the context.
+    pub fn answer_in_context(&self) -> bool {
+        !self.answerable || self.context.contains(&self.answer)
+    }
+}
+
+/// A dataset split.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Split {
+    pub examples: Vec<QaExample>,
+}
+
+impl Split {
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.examples.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.examples.is_empty()
+    }
+}
+
+/// A full dataset: name + train/dev splits.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    pub kind: DatasetKind,
+    pub train: Split,
+    pub dev: Split,
+}
+
+impl Dataset {
+    /// Lowercased token sentences of every context (for LM / embedding
+    /// training), via the shared analyzer.
+    pub fn corpus_sentences(&self) -> Vec<Vec<String>> {
+        let mut out = Vec::new();
+        for ex in self.train.examples.iter().chain(&self.dev.examples) {
+            let doc = gced_text::analyze(&ex.context);
+            for s in &doc.sentences {
+                out.push(
+                    doc.tokens[s.token_start..s.token_end]
+                        .iter()
+                        .map(|t| t.text.to_lowercase())
+                        .collect(),
+                );
+            }
+        }
+        out
+    }
+
+    /// Mean context length in whitespace words (reported next to the
+    /// paper's word-reduction statistics).
+    pub fn mean_context_words(&self) -> f64 {
+        let all: Vec<&QaExample> =
+            self.train.examples.iter().chain(&self.dev.examples).collect();
+        if all.is_empty() {
+            return 0.0;
+        }
+        let total: usize = all.iter().map(|e| e.context.split_whitespace().count()).sum();
+        total as f64 / all.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_sizes_match_table3() {
+        assert_eq!(DatasetKind::Squad11.paper_sizes(), (87_599, 10_570));
+        assert_eq!(DatasetKind::Squad20.paper_sizes(), (130_319, 6_078));
+        assert_eq!(DatasetKind::TriviaWiki.paper_sizes(), (110_647, 14_229));
+        assert_eq!(DatasetKind::TriviaWeb.paper_sizes(), (100_000, 68_621));
+    }
+
+    #[test]
+    fn kind_names_match_paper() {
+        assert_eq!(DatasetKind::Squad11.name(), "SQuAD-1.1");
+        assert_eq!(DatasetKind::TriviaWeb.name(), "TriviaQA-Web");
+        assert!(DatasetKind::TriviaWeb.is_trivia());
+        assert!(!DatasetKind::Squad20.is_trivia());
+    }
+
+    #[test]
+    fn answer_in_context_for_unanswerable() {
+        let ex = QaExample {
+            id: "x".into(),
+            question: "q".into(),
+            context: "nothing here".into(),
+            answer: "".into(),
+            aliases: vec![],
+            answerable: false,
+            domain: Domain::Sports,
+        };
+        assert!(ex.answer_in_context());
+    }
+}

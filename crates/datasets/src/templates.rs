@@ -1,0 +1,325 @@
+//! Domain scenario templates.
+//!
+//! A [`Scenario`] is a small "document model": an ordered list of
+//! sentences about one entity plus the QA pairs it supports, each QA pair
+//! pointing at the sentence(s) containing its answer. The generator
+//! assembles contexts by always including a QA pair's support sentences
+//! and sampling the rest as noise — reproducing the fact-plus-noise
+//! structure of Fig. 1 in the paper.
+
+use crate::pools::*;
+use crate::Domain;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A question/answer seed within a scenario.
+#[derive(Debug, Clone)]
+pub struct QaSeed {
+    pub question: String,
+    pub answer: String,
+    /// Acceptable aliases (always contains `answer`).
+    pub aliases: Vec<String>,
+    /// Indices into [`Scenario::sentences`] that must appear in the
+    /// context for the question to be answerable.
+    pub support: Vec<usize>,
+}
+
+/// An entity-centric bundle of sentences and QA pairs.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    pub domain: Domain,
+    pub sentences: Vec<String>,
+    pub qa: Vec<QaSeed>,
+}
+
+/// Build a scenario for `domain` from the seeded RNG.
+pub fn build(domain: Domain, rng: &mut SmallRng) -> Scenario {
+    match domain {
+        Domain::Sports => sports(rng),
+        Domain::Music => music(rng),
+        Domain::History => history(rng),
+        Domain::Geography => geography(rng),
+        Domain::Science => science(rng),
+    }
+}
+
+fn pick<'a>(pool: &[&'a str], rng: &mut SmallRng) -> &'a str {
+    pool.choose(rng).expect("pools are non-empty")
+}
+
+/// Two distinct picks from one pool.
+fn pick2<'a>(pool: &[&'a str], rng: &mut SmallRng) -> (&'a str, &'a str) {
+    let a = pick(pool, rng);
+    loop {
+        let b = pick(pool, rng);
+        if b != a {
+            return (a, b);
+        }
+    }
+}
+
+fn person(rng: &mut SmallRng) -> String {
+    format!("{} {}", pick(FIRST_NAMES, rng), pick(LAST_NAMES, rng))
+}
+
+fn seed(question: String, answer: &str, support: Vec<usize>) -> QaSeed {
+    QaSeed {
+        question,
+        answer: answer.to_string(),
+        aliases: vec![answer.to_string()],
+        support,
+    }
+}
+
+fn sports(rng: &mut SmallRng) -> Scenario {
+    let (city1, city2) = pick2(CITIES, rng);
+    let (mascot1, mascot2) = pick2(MASCOTS, rng);
+    let team1 = format!("{city1} {mascot1}");
+    let team2 = format!("{city2} {mascot2}");
+    let event = format!("{} {}", pick(SPORTS_EVENTS, rng), rng.gen_range(10..60));
+    let year = rng.gen_range(1970..2016).to_string();
+    let city3 = pick(CITIES, rng);
+    let stadium = format!("{} {}", pick(LAST_NAMES, rng), pick(STADIUM_SUFFIX, rng));
+    let coach = person(rng);
+    let sentences = vec![
+        format!(
+            "The American Football Conference (AFC) champion {team1} defeated the National \
+             Football Conference (NFC) champion {team2} to earn the {event} title."
+        ),
+        format!("The {mascot1} won the final game in {year}."),
+        format!("The {event} was played at {stadium} in {city3}."),
+        format!("Coach {coach} had led the {mascot1} for many seasons before the final."),
+        format!("Fans celebrated in the streets of {city1} for several days."),
+        "The halftime show featured a famous singer and a large fireworks display.".to_string(),
+        "Ticket prices rose to record levels in the weeks before the game.".to_string(),
+    ];
+    let mut s1 = seed(
+        format!("Which NFL team represented the AFC at {event}?"),
+        &team1,
+        vec![0],
+    );
+    s1.aliases.push(mascot1.to_string());
+    let mut s2 = seed(
+        format!("Which team did the {team1} defeat in the {event}?"),
+        &team2,
+        vec![0],
+    );
+    s2.aliases.push(mascot2.to_string());
+    let qa = vec![
+        s1,
+        s2,
+        seed(format!("When did the {mascot1} win the final game?"), &year, vec![1]),
+        seed(format!("Where was the {event} played?"), &stadium, vec![2]),
+        seed(format!("Who coached the {mascot1} before the final?"), &coach, vec![3]),
+    ];
+    Scenario { domain: Domain::Sports, sentences, qa }
+}
+
+fn music(rng: &mut SmallRng) -> Scenario {
+    // Occasionally hyphenate the surname, mirroring the paper's
+    // "Knowles-Carter" case-study artist.
+    let first = pick(FIRST_NAMES, rng);
+    let (l1, l2) = pick2(LAST_NAMES, rng);
+    let artist = if rng.gen_bool(0.3) {
+        format!("{first} {l1}-{l2}")
+    } else {
+        format!("{first} {l1}")
+    };
+    let city = pick(CITIES, rng);
+    let genre = pick(GENRES, rng);
+    let instrument = pick(INSTRUMENTS, rng);
+    let award = pick(AWARDS, rng);
+    let album = pick(ALBUMS, rng);
+    let decade = rng.gen_range(195..201) * 10;
+    let year2 = rng.gen_range(1980..2020).to_string();
+    let sentences = vec![
+        format!("{artist} was born and raised in {city}."),
+        format!("{artist} performed in various singing and dancing competitions as a child."),
+        format!(
+            "{artist} rose to fame in the {decade}s as the lead singer of a famous {genre} band."
+        ),
+        format!("The singer later released the album {album}, which won a {award} award in {year2}."),
+        format!("{artist} also played the {instrument} during early performances."),
+        "Critics praised the album for its bold style and clear voice.".to_string(),
+        "The tour that followed visited many large arenas.".to_string(),
+    ];
+    let qa = vec![
+        seed(
+            format!("What did {artist} perform in as a child?"),
+            "singing and dancing competitions",
+            vec![1],
+        ),
+        seed(format!("Where was {artist} born?"), city, vec![0]),
+        seed(format!("Which album of {artist} won a {award} award?"), album, vec![3]),
+        seed(format!("When did the album {album} win a {award} award?"), &year2, vec![3]),
+        seed(format!("Which instrument did {artist} play?"), instrument, vec![4]),
+    ];
+    Scenario { domain: Domain::Music, sentences, qa }
+}
+
+fn history(rng: &mut SmallRng) -> Scenario {
+    const EPITHETS: &[&str] = &["Conqueror", "Bold", "Wise", "Fearless", "Great", "Pious", "Young"];
+    let figure = format!("{} the {}", pick(FIRST_NAMES, rng), pick(EPITHETS, rng));
+    let (country, country2) = pick2(COUNTRIES, rng);
+    let battle = pick(BATTLES, rng);
+    let year = rng.gen_range(900..1700).to_string();
+    let country3 = pick(COUNTRIES, rng);
+    let sentences = vec![
+        format!(
+            "{figure}, the duke of {country}, led troops to victory in the Battle of {battle} \
+             in {year}."
+        ),
+        format!("After the battle, {figure} was crowned king of {country2}."),
+        "The battle lasted from dawn until late in the afternoon.".to_string(),
+        "Chroniclers wrote that the army marched for nine days without rest.".to_string(),
+        format!("The treaty that followed reshaped the borders of {country3}."),
+        "Many castles were built along the coast in the years after the war.".to_string(),
+    ];
+    let qa = vec![
+        seed(
+            format!("Who led troops to victory in the Battle of {battle}?"),
+            &figure,
+            vec![0],
+        ),
+        seed(format!("When was the Battle of {battle} fought?"), &year, vec![0]),
+        seed(format!("Where was {figure} crowned king?"), country2, vec![1]),
+        seed(format!("Which duchy did {figure} rule?"), country, vec![0]),
+    ];
+    Scenario { domain: Domain::History, sentences, qa }
+}
+
+fn geography(rng: &mut SmallRng) -> Scenario {
+    let city = pick(CITIES, rng);
+    let country = pick(COUNTRIES, rng);
+    let river = pick(RIVERS, rng);
+    let millions = rng.gen_range(1..15).to_string();
+    let year = rng.gen_range(1200..1950).to_string();
+    let sentences = vec![
+        format!("{city} is the capital of {country}."),
+        format!("The {river} River flows through the center of {city}."),
+        format!("{city} has a population of about {millions} million people."),
+        format!("The old bridge across the {river} was built in {year}."),
+        "Tourists visit the famous museum near the northern gate every summer.".to_string(),
+        "The region is known for its mild climate and long harvest season.".to_string(),
+    ];
+    let qa = vec![
+        seed(format!("What is the capital of {country}?"), city, vec![0]),
+        seed(format!("Which river flows through the center of {city}?"), river, vec![1]),
+        seed(format!("When was the old bridge across the {river} built?"), &year, vec![3]),
+        seed(format!("How many million people live in {city}?"), &millions, vec![2]),
+    ];
+    Scenario { domain: Domain::Geography, sentences, qa }
+}
+
+fn science(rng: &mut SmallRng) -> Scenario {
+    let scientist = person(rng);
+    let element = pick(ELEMENTS, rng);
+    let theory = pick(THEORIES, rng);
+    let university = pick(UNIVERSITIES, rng);
+    let year = rng.gen_range(1750..1980).to_string();
+    let sentences = vec![
+        format!("{scientist} discovered {element} in {year}."),
+        format!("{scientist} studied physics at {university}."),
+        format!("The discovery of {element} earned {scientist} a Nobel prize."),
+        "Laboratory notebooks from that period are kept in the city museum.".to_string(),
+        format!("{scientist} later developed the theory of {theory}."),
+        "Students from many countries traveled to attend the famous lectures.".to_string(),
+    ];
+    let last = scientist.split(' ').next_back().expect("person has two names").to_string();
+    let mut who = seed(format!("Who discovered {element}?"), &scientist, vec![0]);
+    who.aliases.push(last);
+    let qa = vec![
+        who,
+        seed(format!("When was {element} discovered?"), &year, vec![0]),
+        seed(format!("Which element did {scientist} discover?"), element, vec![0]),
+        seed(format!("What theory did {scientist} develop?"), theory, vec![4]),
+        seed(format!("Where did {scientist} study physics?"), university, vec![1]),
+    ];
+    Scenario { domain: Domain::Science, sentences, qa }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn every_domain_builds() {
+        let mut r = rng();
+        for d in Domain::all() {
+            let s = build(d, &mut r);
+            assert_eq!(s.domain, d);
+            assert!(s.sentences.len() >= 5, "{d:?} too few sentences");
+            assert!(s.qa.len() >= 3, "{d:?} too few QA pairs");
+        }
+    }
+
+    #[test]
+    fn answers_appear_in_their_support_sentences() {
+        let mut r = rng();
+        for d in Domain::all() {
+            for _ in 0..20 {
+                let s = build(d, &mut r);
+                for qa in &s.qa {
+                    assert!(!qa.support.is_empty());
+                    let found = qa
+                        .support
+                        .iter()
+                        .any(|&i| s.sentences[i].contains(&qa.answer));
+                    assert!(
+                        found,
+                        "{d:?}: answer {:?} not in support sentences {:?}",
+                        qa.answer, qa.support
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn aliases_include_answer() {
+        let mut r = rng();
+        for d in Domain::all() {
+            let s = build(d, &mut r);
+            for qa in &s.qa {
+                assert!(qa.aliases.contains(&qa.answer));
+            }
+        }
+    }
+
+    #[test]
+    fn scenarios_are_deterministic_per_seed() {
+        let mut r1 = SmallRng::seed_from_u64(99);
+        let mut r2 = SmallRng::seed_from_u64(99);
+        let s1 = build(Domain::Sports, &mut r1);
+        let s2 = build(Domain::Sports, &mut r2);
+        assert_eq!(s1.sentences, s2.sentences);
+    }
+
+    #[test]
+    fn pick2_returns_distinct() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let (a, b) = pick2(CITIES, &mut r);
+            assert_ne!(a, b);
+        }
+    }
+
+    #[test]
+    fn support_indices_in_bounds() {
+        let mut r = rng();
+        for d in Domain::all() {
+            let s = build(d, &mut r);
+            for qa in &s.qa {
+                for &i in &qa.support {
+                    assert!(i < s.sentences.len());
+                }
+            }
+        }
+    }
+}

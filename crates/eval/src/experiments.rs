@@ -1,0 +1,568 @@
+//! Experiment runners for every table and figure of the paper.
+//!
+//! The expensive artifacts (fitted pipeline, ground-truth-based evidence
+//! caches) live in an [`ExperimentContext`] so the Table IV/V/VI/VII and
+//! Fig. 7 runners can share them; per-model artifacts (predicted-answer
+//! evidences) are built inside each runner.
+
+use crate::protocol::{HumanEvalOutcome, RatingProtocol};
+use crate::raters::RatedItem;
+use crate::scale::Scale;
+use gced::{Ablation, Distillation, Gced, GcedConfig};
+use gced_datasets::{generate, Dataset, DatasetKind, GeneratorConfig, QaExample};
+use gced_qa::model::EvalResult;
+use gced_qa::zoo::ZooEntry;
+use gced_qa::QaModel;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// Shared artifacts for one dataset.
+pub struct ExperimentContext {
+    /// The generated dataset.
+    pub dataset: Dataset,
+    /// The fitted GCED pipeline.
+    pub gced: Gced,
+    /// Ground-truth-answer-based evidence per training example
+    /// (`None` for unanswerable examples or distillation errors).
+    pub gt_train: Vec<Option<Distillation>>,
+    /// Same for the dev split.
+    pub gt_dev: Vec<Option<Distillation>>,
+    /// The experiment seed.
+    pub seed: u64,
+}
+
+impl ExperimentContext {
+    /// Generate the dataset, fit the pipeline, and distill the
+    /// ground-truth evidence caches.
+    pub fn prepare(kind: DatasetKind, scale: Scale, seed: u64) -> Self {
+        let dataset =
+            generate(kind, GeneratorConfig { train: scale.train, dev: scale.dev, seed });
+        let gced = Gced::fit(&dataset, GcedConfig { seed, ..GcedConfig::default() });
+        let gt_train = distill_split(&gced, &dataset.train.examples, None);
+        let gt_dev = distill_split(&gced, &dataset.dev.examples, None);
+        ExperimentContext { dataset, gced, gt_train, gt_dev, seed }
+    }
+
+    /// Dataset kind shortcut.
+    pub fn kind(&self) -> DatasetKind {
+        self.dataset.kind
+    }
+
+    /// Train split with contexts replaced by ground-truth evidences.
+    pub fn evidence_train(&self) -> Vec<QaExample> {
+        replace_contexts(&self.dataset.train.examples, &self.gt_train)
+    }
+
+    /// Dev split with contexts replaced by ground-truth evidences.
+    pub fn evidence_dev(&self) -> Vec<QaExample> {
+        replace_contexts(&self.dataset.dev.examples, &self.gt_dev)
+    }
+
+    /// Mean word reduction of the ground-truth dev evidences (the
+    /// 78.5 % / 87.2 % statistic of Sec. IV-D1).
+    pub fn mean_word_reduction(&self) -> f64 {
+        let r: Vec<f64> =
+            self.gt_dev.iter().flatten().map(|d| d.word_reduction).collect();
+        if r.is_empty() {
+            0.0
+        } else {
+            r.iter().sum::<f64>() / r.len() as f64
+        }
+    }
+}
+
+/// Distill every answerable example; with `answers: Some(_)`, use the
+/// provided per-example answer strings instead of the gold ones (the
+/// predicted-answer experiments).
+pub fn distill_split(
+    gced: &Gced,
+    examples: &[QaExample],
+    answers: Option<&[String]>,
+) -> Vec<Option<Distillation>> {
+    examples
+        .iter()
+        .enumerate()
+        .map(|(i, ex)| {
+            let answer = match answers {
+                Some(a) => a[i].as_str(),
+                None => ex.answer.as_str(),
+            };
+            if !ex.answerable || answer.trim().is_empty() {
+                return None;
+            }
+            gced.distill(&ex.question, answer, &ex.context).ok()
+        })
+        .collect()
+}
+
+/// Replace contexts with evidence texts where available.
+fn replace_contexts(examples: &[QaExample], evidences: &[Option<Distillation>]) -> Vec<QaExample> {
+    examples
+        .iter()
+        .zip(evidences)
+        .map(|(ex, ev)| match ev {
+            Some(d) if !d.evidence.trim().is_empty() => {
+                let mut ex = ex.clone();
+                ex.context = d.evidence.clone();
+                ex
+            }
+            _ => ex.clone(),
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Tables IV & V: human evaluation of distilled evidences
+// ---------------------------------------------------------------------------
+
+/// One row of Table IV/V.
+#[derive(Debug, Clone)]
+pub struct HumanEvalRow {
+    /// Model name ("Ground-truth" for the last row).
+    pub source: String,
+    /// Aggregated rating outcome.
+    pub outcome: HumanEvalOutcome,
+    /// Mean word reduction over the rated evidences.
+    pub word_reduction: f64,
+}
+
+/// Run the Table IV/V experiment: for each baseline model, distill
+/// evidences from its predicted answers and rate them; the final row
+/// rates ground-truth-answer-based evidences.
+pub fn human_eval(ctx: &ExperimentContext, zoo: &[ZooEntry], scale: Scale) -> Vec<HumanEvalRow> {
+    let protocol = RatingProtocol::paper(ctx.seed);
+    let answerable: Vec<&QaExample> =
+        ctx.dataset.dev.examples.iter().filter(|e| e.answerable).collect();
+    let rated_pool: Vec<&QaExample> = answerable.into_iter().take(scale.rated).collect();
+    let mut rows = Vec::with_capacity(zoo.len() + 1);
+
+    for entry in zoo {
+        let mut model = QaModel::new(entry.profile.clone());
+        model.train(&ctx.dataset.train.examples);
+        let mut items = Vec::new();
+        let mut reductions = Vec::new();
+        for ex in &rated_pool {
+            let pred = model.predict(&ex.question, &ex.context);
+            if pred.text.trim().is_empty() {
+                continue;
+            }
+            if let Ok(d) = ctx.gced.distill(&ex.question, &pred.text, &ex.context) {
+                items.push(RatedItem::from_distillation(
+                    format!("{}-{}", entry.profile.name, ex.id),
+                    &d,
+                    &pred.text,
+                ));
+                reductions.push(d.word_reduction);
+            }
+        }
+        rows.push(HumanEvalRow {
+            source: entry.profile.name.clone(),
+            outcome: protocol.run(&items),
+            word_reduction: mean(&reductions),
+        });
+    }
+
+    // Ground-truth row: reuse the context's gt evidence cache.
+    let mut items = Vec::new();
+    let mut reductions = Vec::new();
+    for ex in &rated_pool {
+        let idx = ctx.dataset.dev.examples.iter().position(|e| e.id == ex.id).expect("from dev");
+        if let Some(d) = &ctx.gt_dev[idx] {
+            items.push(RatedItem::from_distillation(format!("gt-{}", ex.id), d, &ex.answer));
+            reductions.push(d.word_reduction);
+        }
+    }
+    rows.push(HumanEvalRow {
+        source: "Ground-truth".to_string(),
+        outcome: protocol.run(&items),
+        word_reduction: mean(&reductions),
+    });
+    rows
+}
+
+/// The Table II agreement study: rate a pooled set of evidences of
+/// genuinely mixed quality — ground-truth-based, predicted-answer-based
+/// (weak model), and ASE-ablated (noisier) — so Krippendorff's α is
+/// computed over variance-bearing data, as in the paper's pooled
+/// protocol (3,000 mixed QA pairs per model).
+pub fn agreement_study(
+    ctx: &ExperimentContext,
+    weak_model: &ZooEntry,
+    scale: Scale,
+) -> HumanEvalOutcome {
+    let protocol = RatingProtocol::paper(ctx.seed);
+    let pool: Vec<&QaExample> = ctx
+        .dataset
+        .dev
+        .examples
+        .iter()
+        .filter(|e| e.answerable)
+        .take(scale.rated)
+        .collect();
+    let mut items = Vec::new();
+    // Source 1: ground-truth evidences (high quality).
+    for ex in &pool {
+        let idx = ctx.dataset.dev.examples.iter().position(|e| e.id == ex.id).expect("dev");
+        if let Some(d) = &ctx.gt_dev[idx] {
+            items.push(RatedItem::from_distillation(format!("agt-{}", ex.id), d, &ex.answer));
+        }
+    }
+    // Source 2: predicted-answer evidences from a weak baseline (mixed).
+    let mut model = QaModel::new(weak_model.profile.clone());
+    model.train(&ctx.dataset.train.examples);
+    for ex in &pool {
+        let pred = model.predict(&ex.question, &ex.context);
+        if pred.text.trim().is_empty() {
+            continue;
+        }
+        if let Ok(d) = ctx.gced.distill(&ex.question, &pred.text, &ex.context) {
+            items.push(RatedItem::from_distillation(format!("apr-{}", ex.id), &d, &pred.text));
+        }
+    }
+    // Source 3: ASE-ablated evidences (longer, noisier).
+    let no_ase = ctx.gced.clone().with_config(GcedConfig {
+        ablation: Ablation::without("ASE"),
+        seed: ctx.seed,
+        ..GcedConfig::default()
+    });
+    for ex in pool.iter().take(scale.rated / 2) {
+        if let Ok(d) = no_ase.distill(&ex.question, &ex.answer, &ex.context) {
+            items.push(RatedItem::from_distillation(format!("ana-{}", ex.id), &d, &ex.answer));
+        }
+    }
+    // Source 4: mismatched pairs — evidence of item i judged for the QA
+    // pair of item j. These populate the rubric's low informativeness
+    // levels ("only some details identical", "irrelevant"), which real
+    // rater pools encounter whenever the system fails; without them α
+    // over informativeness degenerates (no item variance).
+    for w in pool.windows(2).take(scale.rated / 2) {
+        let (ex_i, ex_j) = (w[0], w[1]);
+        let idx = ctx.dataset.dev.examples.iter().position(|e| e.id == ex_i.id).expect("dev");
+        if let Some(d) = &ctx.gt_dev[idx] {
+            let pred = ctx.gced.qa_model().predict(&ex_j.question, &d.evidence);
+            let inference_f1 = gced_metrics::overlap::token_f1(&pred.text, &ex_j.answer).f1;
+            let ev_words: std::collections::HashSet<String> =
+                gced_text::analyze(&d.evidence).tokens.iter().map(|t| t.lower()).collect();
+            let q_doc = gced_text::analyze(&ex_j.question);
+            let sig: Vec<String> = q_doc
+                .tokens
+                .iter()
+                .filter(|t| !gced_text::is_insignificant_question_word(&t.lower()))
+                .filter(|t| !t.is_punct())
+                .map(|t| t.lower())
+                .collect();
+            let question_overlap = if sig.is_empty() {
+                0.5
+            } else {
+                sig.iter().filter(|word| ev_words.contains(*word)).count() as f64
+                    / sig.len() as f64
+            };
+            items.push(RatedItem {
+                id: format!("mis-{}-{}", ex_i.id, ex_j.id),
+                evidence_tokens: d.evidence_tokens.len(),
+                answer_tokens: ex_j.answer.split_whitespace().count().max(1),
+                inference_f1,
+                question_overlap,
+                lm_readability: d.scores.readability,
+                has_verb: true,
+            });
+        }
+    }
+    protocol.run(&items)
+}
+
+// ---------------------------------------------------------------------------
+// Tables VI & VII: QA models augmented by ground-truth-based evidences
+// ---------------------------------------------------------------------------
+
+/// One row of Table VI/VII.
+#[derive(Debug, Clone)]
+pub struct QaRow {
+    pub model: String,
+    /// Measured baseline (raw contexts).
+    pub base: EvalResult,
+    /// Measured +GCED (evidence contexts, train and dev).
+    pub gced: EvalResult,
+    /// Published baseline (EM, F1) for this dataset variant.
+    pub paper_base: (f64, f64),
+    /// Published +GCED (EM, F1).
+    pub paper_gced: (f64, f64),
+}
+
+/// Which of the two dataset variants a zoo entry's paper numbers to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    /// SQuAD-1.1 / TriviaQA-Web.
+    V1,
+    /// SQuAD-2.0 / TriviaQA-Wiki.
+    V2,
+}
+
+/// The paper's variant for a dataset kind.
+pub fn variant_of(kind: DatasetKind) -> Variant {
+    match kind {
+        DatasetKind::Squad11 | DatasetKind::TriviaWeb => Variant::V1,
+        DatasetKind::Squad20 | DatasetKind::TriviaWiki => Variant::V2,
+    }
+}
+
+/// Run the Table VI/VII experiment for every zoo model.
+pub fn qa_augmentation(ctx: &ExperimentContext, zoo: &[ZooEntry]) -> Vec<QaRow> {
+    let ev_train = ctx.evidence_train();
+    let ev_dev = ctx.evidence_dev();
+    let variant = variant_of(ctx.kind());
+    zoo.iter()
+        .map(|entry| {
+            let mut base_model = QaModel::new(entry.profile.clone());
+            base_model.train(&ctx.dataset.train.examples);
+            let base = base_model.evaluate(&ctx.dataset.dev.examples);
+            let mut gced_model = QaModel::new(entry.profile.clone());
+            gced_model.train(&ev_train);
+            let gced = gced_model.evaluate(&ev_dev);
+            let (paper_base, paper_gced) = match variant {
+                Variant::V1 => (entry.paper_v1, entry.paper_v1_gced),
+                Variant::V2 => (entry.paper_v2, entry.paper_v2_gced),
+            };
+            QaRow { model: entry.profile.name.clone(), base, gced, paper_base, paper_gced }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Table VIII: ablation study
+// ---------------------------------------------------------------------------
+
+/// One row of Table VIII.
+#[derive(Debug, Clone)]
+pub struct AblationRow {
+    /// "BERT+GCED" for the full system, "w/o X" for knockouts.
+    pub label: String,
+    pub outcome: HumanEvalOutcome,
+    pub em: f64,
+    pub f1: f64,
+}
+
+/// Run the Table VIII ablation: BERT profile, ground-truth evidences,
+/// one row per knocked-out component plus the full system.
+pub fn ablation(ctx: &ExperimentContext, bert: &ZooEntry, scale: Scale) -> Vec<AblationRow> {
+    let protocol = RatingProtocol::paper(ctx.seed);
+    let mut variants: Vec<(String, Ablation)> = Ablation::table8_rows()
+        .iter()
+        .map(|c| (format!("w/o {c}"), Ablation::without(c)))
+        .collect();
+    variants.push(("BERT+GCED".to_string(), Ablation::full()));
+
+    variants
+        .into_iter()
+        .map(|(label, ablation)| {
+            let cfg = GcedConfig { ablation, seed: ctx.seed, ..GcedConfig::default() };
+            let pipeline = ctx.gced.clone().with_config(cfg);
+            let train_ev = distill_split(&pipeline, &ctx.dataset.train.examples, None);
+            let dev_ev = distill_split(&pipeline, &ctx.dataset.dev.examples, None);
+            // Human evaluation over the first `rated` dev evidences.
+            let items: Vec<RatedItem> = ctx
+                .dataset
+                .dev
+                .examples
+                .iter()
+                .zip(&dev_ev)
+                .filter_map(|(ex, d)| {
+                    d.as_ref().map(|d| {
+                        RatedItem::from_distillation(format!("{label}-{}", ex.id), d, &ex.answer)
+                    })
+                })
+                .take(scale.rated)
+                .collect();
+            let outcome = protocol.run(&items);
+            // QA augmentation with this variant's evidences.
+            let mut model = QaModel::new(bert.profile.clone());
+            model.train(&replace_contexts(&ctx.dataset.train.examples, &train_ev));
+            let eval = model.evaluate(&replace_contexts(&ctx.dataset.dev.examples, &dev_ev));
+            AblationRow { label, outcome, em: eval.em, f1: eval.f1 }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Figure 7: degradation under predicted-answer substitution
+// ---------------------------------------------------------------------------
+
+/// One model's degradation curve.
+#[derive(Debug, Clone)]
+pub struct DegradationSeries {
+    pub model: String,
+    /// (δ, EM, F1) per substitution rate; δ = 0 is the ground-truth
+    /// point ("gt" in Fig. 7).
+    pub points: Vec<(f64, f64, f64)>,
+}
+
+/// Run the Fig. 7 experiment: substitute a δ-fraction of ground-truth
+/// answers with each model's predicted answers before distillation,
+/// retrain on the mixed evidences, and evaluate against the gold
+/// answers.
+pub fn degradation(
+    ctx: &ExperimentContext,
+    zoo: &[ZooEntry],
+    deltas: &[f64],
+) -> Vec<DegradationSeries> {
+    zoo.iter()
+        .map(|entry| {
+            let mut model = QaModel::new(entry.profile.clone());
+            model.train(&ctx.dataset.train.examples);
+            // Predicted answers + predicted-answer evidences, one pass.
+            let pred_train = predict_answers(&model, &ctx.dataset.train.examples);
+            let pred_dev = predict_answers(&model, &ctx.dataset.dev.examples);
+            let pred_train_ev =
+                distill_split(&ctx.gced, &ctx.dataset.train.examples, Some(&pred_train));
+            let pred_dev_ev =
+                distill_split(&ctx.gced, &ctx.dataset.dev.examples, Some(&pred_dev));
+
+            let points = deltas
+                .iter()
+                .map(|&delta| {
+                    let train =
+                        mix_splits(&ctx.dataset.train.examples, &ctx.gt_train, &pred_train_ev, delta, ctx.seed);
+                    let dev =
+                        mix_splits(&ctx.dataset.dev.examples, &ctx.gt_dev, &pred_dev_ev, delta, ctx.seed ^ 1);
+                    let mut m = QaModel::new(entry.profile.clone());
+                    m.train(&train);
+                    let e = m.evaluate(&dev);
+                    (delta, e.em, e.f1)
+                })
+                .collect();
+            DegradationSeries { model: entry.profile.name.clone(), points }
+        })
+        .collect()
+}
+
+fn predict_answers(model: &QaModel, examples: &[QaExample]) -> Vec<String> {
+    examples.iter().map(|ex| model.predict(&ex.question, &ex.context).text).collect()
+}
+
+/// Per-example coin flip with probability δ selects the predicted-answer
+/// evidence, otherwise the ground-truth one (paper: "randomly substitute
+/// δ percent of ground-truth answers with predicted answers").
+fn mix_splits(
+    examples: &[QaExample],
+    gt: &[Option<Distillation>],
+    pred: &[Option<Distillation>],
+    delta: f64,
+    seed: u64,
+) -> Vec<QaExample> {
+    let chosen: Vec<Option<Distillation>> = examples
+        .iter()
+        .enumerate()
+        .map(|(i, ex)| {
+            let mut h = DefaultHasher::new();
+            seed.hash(&mut h);
+            ex.id.hash(&mut h);
+            let u = (h.finish() % 10_000) as f64 / 10_000.0;
+            let take_pred = u < delta;
+            if take_pred {
+                pred[i].clone().or_else(|| gt[i].clone())
+            } else {
+                gt[i].clone()
+            }
+        })
+        .collect();
+    replace_contexts(examples, &chosen)
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::OnceLock;
+
+    /// A shared smoke-scale context (preparation costs seconds).
+    fn ctx() -> &'static ExperimentContext {
+        static CTX: OnceLock<ExperimentContext> = OnceLock::new();
+        CTX.get_or_init(|| ExperimentContext::prepare(DatasetKind::Squad11, Scale::smoke(), 42))
+    }
+
+    #[test]
+    fn context_caches_evidences() {
+        let c = ctx();
+        assert_eq!(c.gt_train.len(), c.dataset.train.len());
+        assert_eq!(c.gt_dev.len(), c.dataset.dev.len());
+        let n_some = c.gt_dev.iter().flatten().count();
+        assert!(n_some > 0, "no dev evidences distilled");
+        assert!(c.mean_word_reduction() > 0.2);
+    }
+
+    #[test]
+    fn evidence_split_replaces_contexts() {
+        let c = ctx();
+        let ev = c.evidence_dev();
+        let changed = ev
+            .iter()
+            .zip(&c.dataset.dev.examples)
+            .filter(|(a, b)| a.context != b.context)
+            .count();
+        assert!(changed > 0);
+        // Evidences must be shorter on average.
+        let before: usize =
+            c.dataset.dev.examples.iter().map(|e| e.context.len()).sum();
+        let after: usize = ev.iter().map(|e| e.context.len()).sum();
+        assert!(after < before);
+    }
+
+    #[test]
+    fn qa_augmentation_improves_models() {
+        let c = ctx();
+        let zoo = &gced_qa::zoo::squad_models()[..2];
+        let rows = qa_augmentation(c, zoo);
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert!(
+                r.gced.f1 >= r.base.f1 - 3.0,
+                "{}: GCED F1 {} far below base {}",
+                r.model,
+                r.gced.f1,
+                r.base.f1
+            );
+        }
+        // At least one model must show a real gain.
+        assert!(rows.iter().any(|r| r.gced.f1 > r.base.f1));
+    }
+
+    #[test]
+    fn human_eval_produces_rows_with_gt_last() {
+        let c = ctx();
+        let zoo = &gced_qa::zoo::squad_models()[..1];
+        let rows = human_eval(c, zoo, Scale::smoke());
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows.last().unwrap().source, "Ground-truth");
+        for r in &rows {
+            assert!(r.outcome.rated > 0, "{} rated nothing", r.source);
+            assert!(r.outcome.hybrid > 0.4, "{}: H = {}", r.source, r.outcome.hybrid);
+        }
+    }
+
+    #[test]
+    fn degradation_points_cover_deltas() {
+        let c = ctx();
+        let zoo = &gced_qa::zoo::squad_models()[..1];
+        let series = degradation(c, zoo, &[0.0, 1.0]);
+        assert_eq!(series.len(), 1);
+        assert_eq!(series[0].points.len(), 2);
+        let em0 = series[0].points[0].1;
+        let em1 = series[0].points[1].1;
+        assert!(em1 <= em0 + 10.0, "full substitution should not beat gt by much: {em0} -> {em1}");
+    }
+
+    #[test]
+    fn variant_mapping() {
+        assert_eq!(variant_of(DatasetKind::Squad11), Variant::V1);
+        assert_eq!(variant_of(DatasetKind::Squad20), Variant::V2);
+        assert_eq!(variant_of(DatasetKind::TriviaWeb), Variant::V1);
+        assert_eq!(variant_of(DatasetKind::TriviaWiki), Variant::V2);
+    }
+}

@@ -1,0 +1,26 @@
+//! # gced-eval — rater simulation and experiment runners
+//!
+//! Everything Section IV of the paper needs:
+//!
+//! * [`rubric`] — the 1–5 scoresheet of Table I;
+//! * [`raters`] — the simulated 9-rater panel (3 groups × 3 raters) of
+//!   Sec. IV-A1 (DESIGN.md S8): each rater measures the three rubric
+//!   constructs through observable proxies, plus a seeded personal bias
+//!   and per-item noise;
+//! * [`protocol`] — the evaluation protocol: per-group Krippendorff's α
+//!   (Table II), the < 0.7 per-item agreement filter, group averaging;
+//! * [`scale`] — experiment sizing via the `GCED_SCALE` env var;
+//! * [`experiments`] — runners regenerating Tables II–VIII and Fig. 7;
+//! * [`tables`] — plain-text + TSV table rendering for the benches.
+
+pub mod experiments;
+pub mod protocol;
+pub mod raters;
+pub mod rubric;
+pub mod scale;
+pub mod tables;
+
+pub use experiments::ExperimentContext;
+pub use protocol::{HumanEvalOutcome, RatingProtocol};
+pub use raters::{Rater, RaterPanel};
+pub use scale::Scale;

@@ -1,0 +1,205 @@
+//! The human-evaluation protocol (paper Sec. IV-A1).
+//!
+//! 1. Items are distributed round-robin over the three rater groups
+//!    (raters within a group rate the same evidences).
+//! 2. Krippendorff's α is computed per group per criterion (Table II);
+//! 3. items with per-item agreement < 0.7 on any criterion are
+//!    discarded as controversial;
+//! 4. surviving ratings are averaged and rescaled to [0, 1], and the
+//!    hybrid score is the equal-weight mean of the three criteria (the
+//!    paper sets the three weight factors equal for human evaluation).
+
+use crate::raters::{RatedItem, RaterPanel};
+use crate::rubric::Criterion;
+use gced_metrics::krippendorff::{alpha_interval, item_agreement};
+
+/// Aggregated outcome of rating a set of items.
+#[derive(Debug, Clone)]
+pub struct HumanEvalOutcome {
+    /// Mean informativeness in [0, 1].
+    pub informativeness: f64,
+    /// Mean conciseness in [0, 1].
+    pub conciseness: f64,
+    /// Mean readability in [0, 1].
+    pub readability: f64,
+    /// Equal-weight hybrid in [0, 1].
+    pub hybrid: f64,
+    /// Items rated (before filtering).
+    pub rated: usize,
+    /// Items discarded by the < 0.7 agreement filter.
+    pub discarded: usize,
+    /// Per-group, per-criterion Krippendorff's α: `alpha[group][criterion]`
+    /// in the order of [`Criterion::all`], plus the hybrid row.
+    pub alpha: Vec<[Option<f64>; 4]>,
+}
+
+/// The rating protocol runner.
+#[derive(Debug, Clone)]
+pub struct RatingProtocol {
+    panel: RaterPanel,
+    /// Agreement threshold below which an item is discarded (paper: 0.7).
+    pub agreement_threshold: f64,
+}
+
+impl RatingProtocol {
+    /// The paper's protocol with a seeded panel.
+    pub fn paper(seed: u64) -> Self {
+        RatingProtocol { panel: RaterPanel::paper(seed), agreement_threshold: 0.7 }
+    }
+
+    /// Rate `items` and aggregate.
+    pub fn run(&self, items: &[RatedItem]) -> HumanEvalOutcome {
+        let n_groups = self.panel.groups.len();
+        // ratings[group][criterion] = units (one Vec<f64> per item).
+        let mut units: Vec<[Vec<Vec<f64>>; 3]> =
+            vec![[Vec::new(), Vec::new(), Vec::new()]; n_groups];
+        // Per-item mean ratings (for the final aggregate) and agreement.
+        let mut kept_scores: Vec<[f64; 3]> = Vec::new();
+        let mut discarded = 0usize;
+        for (i, item) in items.iter().enumerate() {
+            let group = i % n_groups;
+            let raters = &self.panel.groups[group];
+            let mut per_criterion: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+            for (c_idx, c) in Criterion::all().into_iter().enumerate() {
+                for r in raters {
+                    per_criterion[c_idx].push(r.rate(item, c));
+                }
+            }
+            let agreed = per_criterion
+                .iter()
+                .all(|rs| item_agreement(rs, (1.0, 5.0)) >= self.agreement_threshold);
+            for (c_idx, rs) in per_criterion.iter().enumerate() {
+                units[group][c_idx].push(rs.clone());
+            }
+            if agreed {
+                kept_scores.push([
+                    mean(&per_criterion[0]),
+                    mean(&per_criterion[1]),
+                    mean(&per_criterion[2]),
+                ]);
+            } else {
+                discarded += 1;
+            }
+        }
+        let alpha = units
+            .iter()
+            .map(|group_units| {
+                let a0 = alpha_interval(&group_units[0]);
+                let a1 = alpha_interval(&group_units[1]);
+                let a2 = alpha_interval(&group_units[2]);
+                // Hybrid agreement: per-item mean across criteria.
+                let hybrid_units: Vec<Vec<f64>> = (0..group_units[0].len())
+                    .map(|i| {
+                        let m = group_units[0][i].len();
+                        (0..m)
+                            .map(|r| {
+                                (group_units[0][i][r] + group_units[1][i][r] + group_units[2][i][r])
+                                    / 3.0
+                            })
+                            .collect()
+                    })
+                    .collect();
+                [a0, a1, a2, alpha_interval(&hybrid_units)]
+            })
+            .collect();
+        let informativeness = mean(&kept_scores.iter().map(|s| s[0] / 5.0).collect::<Vec<_>>());
+        let conciseness = mean(&kept_scores.iter().map(|s| s[1] / 5.0).collect::<Vec<_>>());
+        let readability = mean(&kept_scores.iter().map(|s| s[2] / 5.0).collect::<Vec<_>>());
+        HumanEvalOutcome {
+            informativeness,
+            conciseness,
+            readability,
+            hybrid: (informativeness + conciseness + readability) / 3.0,
+            rated: items.len(),
+            discarded,
+            alpha,
+        }
+    }
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn items(quality: f64, n: usize) -> Vec<RatedItem> {
+        (0..n)
+            .map(|i| RatedItem {
+                id: format!("item{i}"),
+                evidence_tokens: if quality > 0.5 { 10 } else { 50 },
+                answer_tokens: 2,
+                inference_f1: quality,
+                question_overlap: 0.2 + 0.013 * (i % 50) as f64,
+                lm_readability: 0.25 + quality * 0.3,
+                has_verb: quality > 0.3,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn good_evidences_score_high() {
+        let protocol = RatingProtocol::paper(42);
+        let out = protocol.run(&items(1.0, 60));
+        assert!(out.informativeness > 0.75, "I = {}", out.informativeness);
+        assert!(out.conciseness > 0.75, "C = {}", out.conciseness);
+        assert!(out.readability > 0.7, "R = {}", out.readability);
+        assert!(out.hybrid > 0.72);
+    }
+
+    #[test]
+    fn bad_evidences_score_low() {
+        let protocol = RatingProtocol::paper(42);
+        let out = protocol.run(&items(0.0, 60));
+        assert!(out.hybrid < 0.6, "H = {}", out.hybrid);
+        let good = protocol.run(&items(1.0, 60));
+        assert!(good.hybrid > out.hybrid + 0.15);
+    }
+
+    #[test]
+    fn alpha_is_in_paper_band() {
+        let protocol = RatingProtocol::paper(42);
+        // Mixed-quality items give the rating variance α needs.
+        let mut mixed = items(1.0, 40);
+        mixed.extend(items(0.5, 40));
+        mixed.extend(items(0.0, 40));
+        let out = protocol.run(&mixed);
+        for group in &out.alpha {
+            for a in group.iter().flatten() {
+                assert!(*a > 0.55 && *a <= 1.0, "alpha {a} out of band");
+            }
+        }
+    }
+
+    #[test]
+    fn filter_discards_some_items_but_not_all() {
+        let protocol = RatingProtocol::paper(42);
+        let mut mixed = items(1.0, 30);
+        mixed.extend(items(0.4, 30));
+        let out = protocol.run(&mixed);
+        assert!(out.discarded < out.rated);
+    }
+
+    #[test]
+    fn outcome_is_deterministic() {
+        let protocol = RatingProtocol::paper(7);
+        let a = protocol.run(&items(0.8, 30));
+        let b = protocol.run(&items(0.8, 30));
+        assert_eq!(a.hybrid, b.hybrid);
+        assert_eq!(a.discarded, b.discarded);
+    }
+
+    #[test]
+    fn empty_items() {
+        let protocol = RatingProtocol::paper(1);
+        let out = protocol.run(&[]);
+        assert_eq!(out.rated, 0);
+        assert_eq!(out.hybrid, 0.0);
+    }
+}

@@ -1,0 +1,322 @@
+//! Simulated human raters (paper Sec. IV-A1; DESIGN.md S8).
+//!
+//! Each rater maps an evidence to 1–5 ratings on the Table I rubric by
+//! measuring the three constructs through observable proxies:
+//!
+//! * **informativeness** — whether the input answer can be inferred from
+//!   the evidence, proxied by the PLM's answer-prediction F1 (the same
+//!   construct Eq. 1 measures, which is how the paper motivates Eq. 1 in
+//!   the first place);
+//! * **conciseness** — the evidence length relative to the *expected
+//!   evidence* (answer plus a minimal supporting clause), the explicit
+//!   ratio rubric of Table I;
+//! * **readability** — corpus-normalized LM fluency plus structural
+//!   checks (a verb, a minimum length).
+//!
+//! On top of the shared proxy, every rater has a seeded personal bias
+//! (systematic strictness) and per-item noise (attention fluctuations),
+//! so raters genuinely disagree and Krippendorff's α is a meaningful
+//! quantity to report in Table II.
+
+use crate::rubric::Criterion;
+use gced::Distillation;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// Everything a rater sees for one item.
+#[derive(Debug, Clone)]
+pub struct RatedItem {
+    /// Stable item id (drives per-item noise).
+    pub id: String,
+    /// The distilled evidence under evaluation.
+    pub evidence_tokens: usize,
+    /// Tokens of the input answer.
+    pub answer_tokens: usize,
+    /// PLM answer-inference score on the evidence (Eq. 1 F1).
+    pub inference_f1: f64,
+    /// Fraction of the question's content words present in the evidence
+    /// (drives the rubric's "generally related" distinctions).
+    pub question_overlap: f64,
+    /// Normalized LM readability of the evidence.
+    pub lm_readability: f64,
+    /// True when the evidence contains a main verb.
+    pub has_verb: bool,
+}
+
+impl RatedItem {
+    /// Extract the rater-visible measurements from a distillation.
+    pub fn from_distillation(id: impl Into<String>, d: &Distillation, answer: &str) -> Self {
+        let ev_doc = gced_text::analyze(&d.evidence);
+        let has_verb = ev_doc
+            .tokens
+            .iter()
+            .any(|t| matches!(t.pos, gced_text::Pos::Verb | gced_text::Pos::Aux));
+        let clue_total = d.trace.significant_words.len();
+        let question_overlap = if clue_total == 0 {
+            0.5
+        } else {
+            let ev_words: std::collections::HashSet<String> =
+                ev_doc.tokens.iter().map(|t| t.lower()).collect();
+            d.trace.significant_words.iter().filter(|w| ev_words.contains(*w)).count() as f64
+                / clue_total as f64
+        };
+        RatedItem {
+            id: id.into(),
+            evidence_tokens: d.evidence_tokens.len(),
+            answer_tokens: answer.split_whitespace().count().max(1),
+            inference_f1: d.scores.informativeness,
+            question_overlap,
+            lm_readability: d.scores.readability,
+            has_verb,
+        }
+    }
+
+    /// The rubric's "expected evidence" length: the answer plus a
+    /// minimal supporting clause.
+    fn expected_len(&self) -> f64 {
+        self.answer_tokens as f64 + 6.0
+    }
+
+    /// Shared base assessment (before rater bias/noise), as a real value
+    /// in [1, 5].
+    fn base_score(&self, criterion: Criterion) -> f64 {
+        match criterion {
+            Criterion::Informativeness => {
+                // Table I: 5 = completely inferred … 1 = irrelevant. The
+                // relatedness component (question overlap) grades the
+                // "generally / only some details related" distinctions.
+                let rel = 0.6 * self.question_overlap;
+                if self.inference_f1 >= 0.95 {
+                    4.4 + rel
+                } else if self.inference_f1 >= 0.6 {
+                    3.5 + (self.inference_f1 - 0.6) + rel
+                } else if self.inference_f1 >= 0.3 {
+                    2.7 + (self.inference_f1 - 0.3) + rel
+                } else if self.inference_f1 > 0.0 {
+                    1.9 + self.inference_f1 + rel
+                } else {
+                    1.2 + rel
+                }
+            }
+            Criterion::Conciseness => {
+                let ratio = self.evidence_tokens as f64 / self.expected_len();
+                if ratio <= 1.2 {
+                    5.0
+                } else if ratio <= 1.5 {
+                    4.5
+                } else if ratio <= 2.0 {
+                    4.0 - (ratio - 1.5)
+                } else if ratio <= 3.0 {
+                    3.0 - (ratio - 2.0)
+                } else {
+                    1.2
+                }
+            }
+            Criterion::Readability => {
+                let mut s = if self.lm_readability >= 0.45 {
+                    5.0
+                } else if self.lm_readability >= 0.3 {
+                    4.0 + (self.lm_readability - 0.3) / 0.15
+                } else if self.lm_readability >= 0.2 {
+                    3.0 + (self.lm_readability - 0.2) / 0.1
+                } else if self.lm_readability >= 0.1 {
+                    2.0 + (self.lm_readability - 0.1) / 0.1
+                } else {
+                    1.3
+                };
+                if !self.has_verb {
+                    s = s.min(3.0); // a verbless fragment reads badly
+                }
+                if self.evidence_tokens < 3 {
+                    s = s.min(2.5);
+                }
+                s
+            }
+        }
+    }
+}
+
+/// One simulated rater.
+#[derive(Debug, Clone)]
+pub struct Rater {
+    /// Stable rater id (drives bias and noise).
+    pub id: u64,
+    /// Systematic strictness offset in rating points.
+    pub bias: f64,
+    /// Per-item noise amplitude in rating points.
+    pub noise: f64,
+}
+
+impl Rater {
+    /// Deterministic rater from an id: bias in [−0.35, +0.35], noise
+    /// amplitude 0.55 (calibrated so group α lands in the paper's
+    /// 0.75–0.83 band).
+    pub fn from_id(id: u64) -> Self {
+        let h = hash2(id, 0xB1A5);
+        let bias = ((h % 1000) as f64 / 1000.0 - 0.5) * 0.7;
+        Rater { id, bias, noise: 0.55 }
+    }
+
+    /// Rate one item on one criterion: shared proxy + bias + noise,
+    /// rounded and clamped to the 1–5 scale. With small probability the
+    /// rater "slips" by up to ±2 points (mis-readings, fatigue) — the
+    /// source of the controversial items the paper's < 0.7 agreement
+    /// filter discards.
+    pub fn rate(&self, item: &RatedItem, criterion: Criterion) -> f64 {
+        let base = item.base_score(criterion);
+        let mut h = DefaultHasher::new();
+        self.id.hash(&mut h);
+        item.id.hash(&mut h);
+        (criterion as u8).hash(&mut h);
+        let bits = h.finish();
+        let u = (bits % 10_000) as f64 / 10_000.0;
+        let mut noisy = base + self.bias + (u * 2.0 - 1.0) * self.noise;
+        let slip = ((bits >> 17) % 1000) as f64 / 1000.0;
+        if self.noise > 0.0 && slip < 0.025 {
+            noisy += if (bits >> 33) & 1 == 0 { 2.0 } else { -2.0 };
+        }
+        noisy.round().clamp(1.0, 5.0)
+    }
+}
+
+/// A panel of raters split into groups (paper: 9 raters, 3 groups).
+#[derive(Debug, Clone)]
+pub struct RaterPanel {
+    /// Groups of raters; every rater in a group rates the same items.
+    pub groups: Vec<Vec<Rater>>,
+}
+
+impl RaterPanel {
+    /// The paper's panel: 3 groups × 3 raters, seeded.
+    pub fn paper(seed: u64) -> Self {
+        let mut groups = Vec::with_capacity(3);
+        for g in 0..3u64 {
+            groups.push((0..3u64).map(|r| Rater::from_id(hash2(seed, g * 31 + r))).collect());
+        }
+        RaterPanel { groups }
+    }
+
+    /// Total number of raters.
+    pub fn rater_count(&self) -> usize {
+        self.groups.iter().map(Vec::len).sum()
+    }
+}
+
+fn hash2(a: u64, b: u64) -> u64 {
+    let mut h = DefaultHasher::new();
+    a.hash(&mut h);
+    b.hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn good_item() -> RatedItem {
+        RatedItem {
+            id: "good".into(),
+            evidence_tokens: 9,
+            answer_tokens: 2,
+            inference_f1: 1.0,
+            question_overlap: 0.9,
+            lm_readability: 0.5,
+            has_verb: true,
+        }
+    }
+
+    fn bad_item() -> RatedItem {
+        RatedItem {
+            id: "bad".into(),
+            evidence_tokens: 60,
+            answer_tokens: 2,
+            inference_f1: 0.0,
+            question_overlap: 0.1,
+            lm_readability: 0.05,
+            has_verb: false,
+        }
+    }
+
+    #[test]
+    fn good_items_outscore_bad_items() {
+        let rater = Rater::from_id(7);
+        for c in Criterion::all() {
+            let g = rater.rate(&good_item(), c);
+            let b = rater.rate(&bad_item(), c);
+            assert!(g > b, "{c:?}: good {g} <= bad {b}");
+        }
+    }
+
+    #[test]
+    fn ratings_are_on_scale_and_deterministic() {
+        let rater = Rater::from_id(3);
+        for c in Criterion::all() {
+            let r1 = rater.rate(&good_item(), c);
+            let r2 = rater.rate(&good_item(), c);
+            assert_eq!(r1, r2);
+            assert!((1.0..=5.0).contains(&r1));
+            assert_eq!(r1.fract(), 0.0, "ratings are whole points");
+        }
+    }
+
+    #[test]
+    fn different_raters_disagree_sometimes() {
+        let raters: Vec<Rater> = (0..9).map(Rater::from_id).collect();
+        let mut distinct = std::collections::HashSet::new();
+        for r in &raters {
+            distinct.insert(r.rate(&good_item(), Criterion::Readability) as i64);
+        }
+        // Not all nine raters give the identical rating to every item.
+        let mut item2 = good_item();
+        item2.lm_readability = 0.32;
+        item2.id = "med".into();
+        for r in &raters {
+            distinct.insert(r.rate(&item2, Criterion::Readability) as i64);
+        }
+        assert!(distinct.len() >= 2);
+    }
+
+    #[test]
+    fn panel_shape_matches_paper() {
+        let p = RaterPanel::paper(42);
+        assert_eq!(p.groups.len(), 3);
+        assert_eq!(p.rater_count(), 9);
+        for g in &p.groups {
+            assert_eq!(g.len(), 3);
+        }
+    }
+
+    #[test]
+    fn panel_is_seed_deterministic() {
+        let a = RaterPanel::paper(1);
+        let b = RaterPanel::paper(1);
+        for (ga, gb) in a.groups.iter().zip(&b.groups) {
+            for (ra, rb) in ga.iter().zip(gb) {
+                assert_eq!(ra.id, rb.id);
+                assert_eq!(ra.bias, rb.bias);
+            }
+        }
+    }
+
+    #[test]
+    fn conciseness_tracks_length() {
+        let rater = Rater { id: 1, bias: 0.0, noise: 0.0 };
+        let mut item = good_item();
+        let mut prev = 6.0;
+        for len in [8, 14, 20, 30, 50] {
+            item.evidence_tokens = len;
+            item.id = format!("len{len}");
+            let r = rater.rate(&item, Criterion::Conciseness);
+            assert!(r <= prev, "len {len}: {r} > {prev}");
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn verbless_fragment_caps_readability() {
+        let rater = Rater { id: 1, bias: 0.0, noise: 0.0 };
+        let mut item = good_item();
+        item.has_verb = false;
+        assert!(rater.rate(&item, Criterion::Readability) <= 3.0);
+    }
+}

@@ -1,0 +1,315 @@
+//! Embedded lexical data.
+//!
+//! Coverage is driven by the vocabulary of the synthetic corpora in
+//! `gced-datasets` (sports, music, geography, history, science domains)
+//! plus a layer of frequent general English. All entries are lowercase.
+
+/// Synonym sets. Every member of a set is a synonym of every other member.
+pub const SYNSETS: &[&[&str]] = &[
+    // --- general verbs -------------------------------------------------
+    &["defeat", "beat", "overcome", "vanquish"],
+    &["win", "triumph", "prevail"],
+    &["earn", "gain", "obtain", "secure"],
+    &["lead", "head", "command", "direct"],
+    &["perform", "play", "present"],
+    &["represent", "stand", "embody"],
+    &["found", "establish", "create", "institute"],
+    &["discover", "find", "detect", "uncover"],
+    &["invent", "devise", "originate"],
+    &["write", "compose", "author", "pen"],
+    &["build", "construct", "erect"],
+    &["show", "display", "exhibit", "demonstrate"],
+    &["begin", "start", "commence"],
+    &["end", "finish", "conclude", "terminate"],
+    &["study", "examine", "investigate"],
+    &["describe", "depict", "portray"],
+    &["capture", "seize", "take"],
+    &["release", "publish", "issue"],
+    &["receive", "get", "accept"],
+    &["hold", "host", "stage"],
+    &["move", "relocate", "transfer"],
+    &["name", "call", "designate", "dub"],
+    &["border", "adjoin", "neighbor"],
+    &["cover", "span", "extend"],
+    &["rule", "govern", "reign"],
+    &["teach", "instruct", "educate"],
+    &["live", "reside", "dwell"],
+    &["die", "perish", "expire"],
+    &["marry", "wed"],
+    &["sing", "vocalize"],
+    &["dance", "move"],
+    // --- general nouns --------------------------------------------------
+    &["champion", "winner", "victor", "titleholder"],
+    &["team", "squad", "club", "side"],
+    &["game", "match", "contest"],
+    &["competition", "tournament", "contest", "championship"],
+    &["title", "championship", "crown"],
+    &["battle", "fight", "combat", "conflict"],
+    &["war", "conflict", "warfare"],
+    &["king", "monarch", "ruler", "sovereign"],
+    &["queen", "monarch", "ruler"],
+    &["duke", "noble", "aristocrat"],
+    &["leader", "chief", "head", "commander"],
+    &["army", "force", "troops", "military"],
+    &["city", "town", "municipality", "metropolis"],
+    &["country", "nation", "state", "land"],
+    &["capital", "seat"],
+    &["river", "stream", "waterway"],
+    &["mountain", "peak", "summit"],
+    &["region", "area", "zone", "territory"],
+    &["population", "inhabitants", "residents", "people"],
+    &["singer", "vocalist", "artist"],
+    &["musician", "artist", "performer"],
+    &["band", "group", "ensemble"],
+    &["song", "track", "tune", "number"],
+    &["album", "record", "release"],
+    &["movie", "film", "picture"],
+    &["author", "writer", "novelist"],
+    &["book", "novel", "work", "volume"],
+    &["painting", "artwork", "canvas"],
+    &["painter", "artist"],
+    &["scientist", "researcher", "scholar"],
+    &["physicist", "scientist"],
+    &["chemist", "scientist"],
+    &["discovery", "finding", "breakthrough"],
+    &["invention", "creation", "innovation"],
+    &["theory", "hypothesis", "model"],
+    &["element", "substance"],
+    &["university", "college", "institution", "academy"],
+    &["professor", "academic", "scholar"],
+    &["award", "prize", "honor", "trophy"],
+    &["coach", "manager", "trainer"],
+    &["player", "athlete", "competitor"],
+    &["stadium", "arena", "venue", "ground"],
+    &["child", "kid", "youngster"],
+    &["museum", "gallery"],
+    &["bridge", "crossing", "span"],
+    &["company", "firm", "corporation", "enterprise"],
+    &["founder", "creator", "originator"],
+    &["evidence", "proof", "support"],
+    &["answer", "reply", "response"],
+    &["question", "query", "inquiry"],
+    // --- domain terms -----------------------------------------------------
+    &["nfl", "football"],
+    &["nba", "basketball"],
+    &["mlb", "baseball"],
+    &["duchy", "duke"],
+    // --- adjectives -----------------------------------------------------
+    &["famous", "renowned", "celebrated", "prominent", "notable"],
+    &["big", "large", "huge", "vast"],
+    &["small", "little", "tiny", "minor"],
+    &["old", "ancient", "aged"],
+    &["new", "modern", "recent"],
+    &["important", "significant", "major", "key"],
+    &["quick", "fast", "rapid", "swift"],
+    &["beautiful", "lovely", "gorgeous"],
+    &["popular", "beloved", "favored"],
+    &["first", "initial", "earliest"],
+    &["last", "final", "ultimate"],
+];
+
+/// Symmetric antonym pairs.
+pub const ANTONYMS: &[(&str, &str)] = &[
+    ("win", "lose"),
+    ("winner", "loser"),
+    ("victory", "defeat"),
+    ("north", "south"),
+    ("east", "west"),
+    ("northern", "southern"),
+    ("eastern", "western"),
+    ("big", "small"),
+    ("large", "small"),
+    ("old", "new"),
+    ("old", "young"),
+    ("ancient", "modern"),
+    ("early", "late"),
+    ("first", "last"),
+    ("high", "low"),
+    ("long", "short"),
+    ("begin", "end"),
+    ("start", "finish"),
+    ("open", "close"),
+    ("rise", "fall"),
+    ("major", "minor"),
+    ("war", "peace"),
+    ("attack", "defend"),
+    ("offense", "defense"),
+    ("hot", "cold"),
+    ("day", "night"),
+    ("living", "dead"),
+    ("birth", "death"),
+    ("before", "after"),
+];
+
+/// Hypernym edges: (hyponym, hypernym). Siblings = co-hyponyms.
+pub const HYPERNYMS: &[(&str, &str)] = &[
+    // sports
+    ("football", "sport"),
+    ("basketball", "sport"),
+    ("baseball", "sport"),
+    ("hockey", "sport"),
+    ("soccer", "sport"),
+    ("tennis", "sport"),
+    ("golf", "sport"),
+    ("cricket", "sport"),
+    ("rugby", "sport"),
+    ("nfl", "league"),
+    ("nba", "league"),
+    ("mlb", "league"),
+    ("nhl", "league"),
+    ("afc", "conference"),
+    ("nfc", "conference"),
+    ("quarterback", "player"),
+    ("striker", "player"),
+    ("pitcher", "player"),
+    // music
+    ("violin", "instrument"),
+    ("piano", "instrument"),
+    ("guitar", "instrument"),
+    ("drums", "instrument"),
+    ("cello", "instrument"),
+    ("flute", "instrument"),
+    ("trumpet", "instrument"),
+    ("jazz", "genre"),
+    ("rock", "genre"),
+    ("pop", "genre"),
+    ("blues", "genre"),
+    ("opera", "genre"),
+    ("singing", "performance"),
+    ("dancing", "performance"),
+    ("acting", "performance"),
+    // geography
+    ("river", "waterbody"),
+    ("lake", "waterbody"),
+    ("sea", "waterbody"),
+    ("ocean", "waterbody"),
+    ("mountain", "landform"),
+    ("valley", "landform"),
+    ("plateau", "landform"),
+    ("plain", "landform"),
+    ("desert", "landform"),
+    ("city", "settlement"),
+    ("town", "settlement"),
+    ("village", "settlement"),
+    ("capital", "settlement"),
+    ("france", "country"),
+    ("germany", "country"),
+    ("england", "country"),
+    ("spain", "country"),
+    ("italy", "country"),
+    // history / society
+    ("king", "royalty"),
+    ("queen", "royalty"),
+    ("prince", "royalty"),
+    ("princess", "royalty"),
+    ("duke", "royalty"),
+    ("emperor", "royalty"),
+    ("battle", "event"),
+    ("war", "event"),
+    ("siege", "event"),
+    ("treaty", "agreement"),
+    ("armistice", "agreement"),
+    ("soldier", "fighter"),
+    ("knight", "fighter"),
+    ("warrior", "fighter"),
+    // science
+    ("physics", "science"),
+    ("chemistry", "science"),
+    ("biology", "science"),
+    ("astronomy", "science"),
+    ("geology", "science"),
+    ("mathematics", "science"),
+    ("electron", "particle"),
+    ("proton", "particle"),
+    ("neutron", "particle"),
+    ("hydrogen", "element"),
+    ("oxygen", "element"),
+    ("carbon", "element"),
+    ("radium", "element"),
+    ("polonium", "element"),
+    ("telescope", "instrument"),
+    ("microscope", "instrument"),
+    // arts
+    ("novel", "book"),
+    ("biography", "book"),
+    ("poem", "literature"),
+    ("novel", "literature"),
+    ("play", "literature"),
+    ("portrait", "painting"),
+    ("landscape", "painting"),
+    ("fresco", "painting"),
+    ("sculpture", "artwork"),
+    ("painting", "artwork"),
+    // awards
+    ("grammy", "award"),
+    ("oscar", "award"),
+    ("nobel", "award"),
+    ("pulitzer", "award"),
+    // animals (general layer)
+    ("dog", "animal"),
+    ("cat", "animal"),
+    ("horse", "animal"),
+    ("eagle", "bird"),
+    ("falcon", "bird"),
+    ("bronco", "horse"),
+    ("panther", "cat"),
+    // colors
+    ("red", "color"),
+    ("blue", "color"),
+    ("green", "color"),
+    ("orange", "color"),
+    ("golden", "color"),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn all_entries_lowercase() {
+        for set in SYNSETS {
+            for w in *set {
+                assert_eq!(*w, w.to_lowercase(), "synset entry {w}");
+            }
+        }
+        for (a, b) in ANTONYMS {
+            assert_eq!(*a, a.to_lowercase());
+            assert_eq!(*b, b.to_lowercase());
+        }
+        for (c, p) in HYPERNYMS {
+            assert_eq!(*c, c.to_lowercase());
+            assert_eq!(*p, p.to_lowercase());
+        }
+    }
+
+    #[test]
+    fn synsets_have_at_least_two_members() {
+        for set in SYNSETS {
+            assert!(set.len() >= 2);
+        }
+    }
+
+    #[test]
+    fn no_self_antonyms() {
+        for (a, b) in ANTONYMS {
+            assert_ne!(a, b);
+        }
+    }
+
+    #[test]
+    fn no_duplicate_antonym_pairs() {
+        let mut seen = HashSet::new();
+        for (a, b) in ANTONYMS {
+            let key = if a < b { (*a, *b) } else { (*b, *a) };
+            assert!(seen.insert(key), "duplicate antonym pair {key:?}");
+        }
+    }
+
+    #[test]
+    fn hypernym_edges_are_not_reflexive() {
+        for (c, p) in HYPERNYMS {
+            assert_ne!(c, p);
+        }
+    }
+}

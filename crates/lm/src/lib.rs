@@ -1,0 +1,347 @@
+//! # gced-lm — n-gram language model for evidence readability
+//!
+//! Eq. 3 of the GCED paper scores an evidence's readability by the
+//! inverse of its perplexity under a language model (the paper reuses its
+//! PLM; here the substitution is an interpolated Kneser–Ney trigram
+//! model trained on the corpus of each dataset — see DESIGN.md S3).
+//! The property the Grow-and-Clip search needs is that **clipping a
+//! constituent mid-phrase raises perplexity** and growing along real
+//! syntactic structure lowers it; any well-smoothed n-gram model over the
+//! corpus exhibits exactly that.
+//!
+//! ```
+//! use gced_lm::TrigramLm;
+//!
+//! let corpus: Vec<Vec<String>> = vec![
+//!     "the broncos defeated the panthers".split(' ').map(String::from).collect(),
+//!     "the panthers lost the game".split(' ').map(String::from).collect(),
+//! ];
+//! let lm = TrigramLm::train(&corpus);
+//! let fluent = lm.perplexity(&["the".into(), "broncos".into(), "defeated".into()]);
+//! let garbled = lm.perplexity(&["defeated".into(), "the".into(), "the".into()]);
+//! assert!(fluent < garbled);
+//! ```
+
+use gced_text::vocab::{Vocab, WordId, UNK};
+use std::collections::{HashMap, HashSet};
+
+/// Absolute discount used at every level (standard KN default).
+const DISCOUNT: f64 = 0.75;
+
+/// Sentence-start marker id (never produced by the vocabulary).
+const BOS: WordId = WordId(u32::MAX);
+
+/// Interpolated Kneser–Ney trigram language model.
+#[derive(Debug, Clone)]
+pub struct TrigramLm {
+    vocab: Vocab,
+    /// Raw trigram counts c(u,v,w).
+    c3: HashMap<(WordId, WordId, WordId), u64>,
+    /// Raw bigram counts c(u,v) over *history* positions (includes BOS).
+    c2: HashMap<(WordId, WordId), u64>,
+    /// Distinct continuations after history (u,v): N1+(uv·).
+    follow2: HashMap<(WordId, WordId), u64>,
+    /// Continuation count of bigram (v,w): N1+(·vw).
+    cont2: HashMap<(WordId, WordId), u64>,
+    /// N1+(·v·) = Σ_w N1+(·vw).
+    mid1: HashMap<WordId, u64>,
+    /// Distinct continuations after unigram v: N1+(v·).
+    follow1: HashMap<WordId, u64>,
+    /// Continuation count of unigram w: N1+(·w).
+    cont1: HashMap<WordId, u64>,
+    /// Total distinct bigram types N1+(··).
+    bigram_types: u64,
+}
+
+impl TrigramLm {
+    /// Train on tokenized, lowercased sentences.
+    pub fn train(sentences: &[Vec<String>]) -> Self {
+        let mut vocab = Vocab::new();
+        let mut c3 = HashMap::new();
+        let mut c2 = HashMap::new();
+        let mut seen3: HashSet<(WordId, WordId, WordId)> = HashSet::new();
+        let mut seen2: HashSet<(WordId, WordId)> = HashSet::new();
+        let mut follow2: HashMap<(WordId, WordId), u64> = HashMap::new();
+        let mut cont2: HashMap<(WordId, WordId), u64> = HashMap::new();
+        let mut follow1: HashMap<WordId, u64> = HashMap::new();
+        let mut cont1: HashMap<WordId, u64> = HashMap::new();
+        let mut mid1: HashMap<WordId, u64> = HashMap::new();
+
+        for sent in sentences {
+            if sent.is_empty() {
+                continue;
+            }
+            let ids: Vec<WordId> = sent.iter().map(|w| vocab.add(w)).collect();
+            let padded: Vec<WordId> =
+                std::iter::repeat(BOS).take(2).chain(ids.iter().copied()).collect();
+            for i in 2..padded.len() {
+                let (u, v, w) = (padded[i - 2], padded[i - 1], padded[i]);
+                *c3.entry((u, v, w)).or_insert(0) += 1;
+                *c2.entry((u, v)).or_insert(0) += 1;
+                if seen3.insert((u, v, w)) {
+                    *follow2.entry((u, v)).or_insert(0) += 1;
+                }
+                if seen2.insert((v, w)) {
+                    *cont2.entry((v, w)).or_insert(0) += 1;
+                    *cont1.entry(w).or_insert(0) += 1;
+                    *mid1.entry(v).or_insert(0) += 1;
+                    *follow1.entry(v).or_insert(0) += 1;
+                }
+            }
+        }
+        let bigram_types = seen2.len() as u64;
+        TrigramLm { vocab, c3, c2, follow2, cont2, mid1, follow1, cont1, bigram_types }
+    }
+
+    /// The training vocabulary.
+    pub fn vocab(&self) -> &Vocab {
+        &self.vocab
+    }
+
+    /// Smoothed unigram continuation probability. Never zero: additive
+    /// smoothing over continuation types gives unseen words mass.
+    fn p_uni(&self, w: WordId) -> f64 {
+        let cont = self.cont1.get(&w).copied().unwrap_or(0) as f64;
+        let v = self.vocab.len() as f64 + 1.0;
+        (cont + 0.5) / (self.bigram_types as f64 + 0.5 * v)
+    }
+
+    /// Interpolated KN bigram probability P(w | v).
+    fn p_bi(&self, v: WordId, w: WordId) -> f64 {
+        let mid = self.mid1.get(&v).copied().unwrap_or(0) as f64;
+        if mid == 0.0 {
+            return self.p_uni(w);
+        }
+        let cont = self.cont2.get(&(v, w)).copied().unwrap_or(0) as f64;
+        let types = self.follow1.get(&v).copied().unwrap_or(0) as f64;
+        let disc = (cont - DISCOUNT).max(0.0) / mid;
+        let lambda = DISCOUNT * types / mid;
+        disc + lambda * self.p_uni(w)
+    }
+
+    /// Interpolated KN trigram probability P(w | u, v).
+    fn p_tri(&self, u: WordId, v: WordId, w: WordId) -> f64 {
+        let hist = self.c2.get(&(u, v)).copied().unwrap_or(0) as f64;
+        if hist == 0.0 {
+            return self.p_bi(v, w);
+        }
+        let count = self.c3.get(&(u, v, w)).copied().unwrap_or(0) as f64;
+        let types = self.follow2.get(&(u, v)).copied().unwrap_or(0) as f64;
+        let disc = (count - DISCOUNT).max(0.0) / hist;
+        let lambda = DISCOUNT * types / hist;
+        disc + lambda * self.p_bi(v, w)
+    }
+
+    /// P(words[i] | words[i-2], words[i-1]) for an arbitrary position of a
+    /// word sequence (BOS-padded on the left). Public for diagnostics.
+    pub fn word_prob(&self, words: &[String], i: usize) -> f64 {
+        let id = |j: isize| -> WordId {
+            if j < 0 {
+                BOS
+            } else {
+                self.vocab.get(&words[j as usize])
+            }
+        };
+        let i = i as isize;
+        self.p_tri(id(i - 2), id(i - 1), id(i))
+    }
+
+    /// Natural-log probability of the full sequence.
+    pub fn log_prob(&self, words: &[String]) -> f64 {
+        (0..words.len()).map(|i| self.word_prob(words, i).max(1e-300).ln()).sum()
+    }
+
+    /// Perplexity per Eq. 3: `exp(-log P / L)`. Empty input gives
+    /// `f64::INFINITY` (an empty evidence is maximally unreadable).
+    pub fn perplexity(&self, words: &[String]) -> f64 {
+        if words.is_empty() {
+            return f64::INFINITY;
+        }
+        (-self.log_prob(words) / words.len() as f64).exp()
+    }
+
+    /// Readability per Eq. 4: the reciprocal of perplexity.
+    pub fn readability(&self, words: &[String]) -> f64 {
+        let ppl = self.perplexity(words);
+        if ppl.is_finite() && ppl > 0.0 {
+            1.0 / ppl
+        } else {
+            0.0
+        }
+    }
+
+    /// Fraction of words unknown to the model (diagnostic; OOV hurts PPL).
+    pub fn oov_rate(&self, words: &[String]) -> f64 {
+        if words.is_empty() {
+            return 0.0;
+        }
+        let oov = words.iter().filter(|w| self.vocab.get(w) == UNK).count();
+        oov as f64 / words.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sents(lines: &[&str]) -> Vec<Vec<String>> {
+        lines.iter().map(|l| l.split(' ').map(String::from).collect()).collect()
+    }
+
+    fn small_lm() -> TrigramLm {
+        TrigramLm::train(&sents(&[
+            "the broncos defeated the panthers",
+            "the broncos won the title",
+            "the panthers lost the game",
+            "the team won the championship",
+            "the broncos earned the title",
+        ]))
+    }
+
+    #[test]
+    fn probabilities_are_in_unit_interval() {
+        let lm = small_lm();
+        let seq: Vec<String> = "the broncos won".split(' ').map(String::from).collect();
+        for i in 0..seq.len() {
+            let p = lm.word_prob(&seq, i);
+            assert!(p > 0.0 && p <= 1.0, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn trigram_distribution_sums_to_one() {
+        let lm = small_lm();
+        // Sum P(w | "the", "broncos") over the full vocabulary (+unk).
+        let mut total = 0.0;
+        let u = lm.vocab.get("the");
+        let v = lm.vocab.get("broncos");
+        for (id, _, _) in lm.vocab.iter() {
+            total += lm.p_tri(u, v, id);
+        }
+        total += lm.p_tri(u, v, UNK);
+        assert!((total - 1.0).abs() < 0.02, "sums to {total}");
+    }
+
+    #[test]
+    fn fluent_beats_garbled() {
+        let lm = small_lm();
+        let fluent: Vec<String> = "the broncos won the title".split(' ').map(String::from).collect();
+        let garbled: Vec<String> = "title the won broncos the".split(' ').map(String::from).collect();
+        assert!(lm.perplexity(&fluent) < lm.perplexity(&garbled));
+    }
+
+    #[test]
+    fn in_domain_beats_oov() {
+        let lm = small_lm();
+        let seen: Vec<String> = "the broncos won".split(' ').map(String::from).collect();
+        let unseen: Vec<String> = "zebras quantize kumquats".split(' ').map(String::from).collect();
+        assert!(lm.perplexity(&seen) < lm.perplexity(&unseen));
+        assert_eq!(lm.oov_rate(&unseen), 1.0);
+        assert_eq!(lm.oov_rate(&seen), 0.0);
+    }
+
+    #[test]
+    fn readability_is_reciprocal_of_perplexity() {
+        let lm = small_lm();
+        let seq: Vec<String> = "the broncos won".split(' ').map(String::from).collect();
+        let ppl = lm.perplexity(&seq);
+        assert!((lm.readability(&seq) - 1.0 / ppl).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_sequence_edge_cases() {
+        let lm = small_lm();
+        assert!(lm.perplexity(&[]).is_infinite());
+        assert_eq!(lm.readability(&[]), 0.0);
+        assert_eq!(lm.oov_rate(&[]), 0.0);
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let corpus = sents(&["a b c", "b c d", "c d e"]);
+        let lm1 = TrigramLm::train(&corpus);
+        let lm2 = TrigramLm::train(&corpus);
+        let seq: Vec<String> = "a b c d e".split(' ').map(String::from).collect();
+        assert_eq!(lm1.log_prob(&seq), lm2.log_prob(&seq));
+    }
+
+    #[test]
+    fn empty_corpus_is_usable() {
+        let lm = TrigramLm::train(&[]);
+        let seq: Vec<String> = vec!["anything".into()];
+        let p = lm.perplexity(&seq);
+        assert!(p.is_finite() && p > 0.0);
+    }
+
+    #[test]
+    fn empty_sentences_are_skipped() {
+        let lm = TrigramLm::train(&[vec![], vec!["a".into(), "b".into()]]);
+        assert!(lm.vocab().contains("a"));
+    }
+
+    #[test]
+    fn more_context_helps() {
+        // The trigram "broncos defeated the" is seen; after training, the
+        // model should prefer the attested continuation over an unattested
+        // in-vocabulary one.
+        let lm = small_lm();
+        let attested: Vec<String> =
+            "the broncos defeated the panthers".split(' ').map(String::from).collect();
+        let swapped: Vec<String> =
+            "the broncos defeated the game".split(' ').map(String::from).collect();
+        assert!(lm.log_prob(&attested) > lm.log_prob(&swapped));
+    }
+
+    #[test]
+    fn perplexity_positive_for_any_input() {
+        let lm = small_lm();
+        for seq in [vec!["the".to_string()], vec!["xyzzy".to_string(), "the".to_string()]] {
+            let p = lm.perplexity(&seq);
+            assert!(p > 0.0 && p.is_finite());
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn word_strategy() -> impl Strategy<Value = String> {
+        prop::sample::select(vec![
+            "the".to_string(),
+            "broncos".to_string(),
+            "panthers".to_string(),
+            "won".to_string(),
+            "defeated".to_string(),
+            "title".to_string(),
+            "game".to_string(),
+        ])
+    }
+
+    proptest! {
+        /// Perplexity is finite and positive for any non-empty sequence
+        /// over a mixed seen/unseen vocabulary.
+        #[test]
+        fn ppl_finite_positive(seq in prop::collection::vec(word_strategy(), 1..12)) {
+            let lm = TrigramLm::train(&[
+                vec!["the".into(), "broncos".into(), "won".into(), "the".into(), "title".into()],
+            ]);
+            let ppl = lm.perplexity(&seq);
+            prop_assert!(ppl.is_finite());
+            prop_assert!(ppl > 0.0);
+        }
+
+        /// Per-word probabilities stay in (0, 1] for arbitrary sequences.
+        #[test]
+        fn per_word_probs_bounded(seq in prop::collection::vec(word_strategy(), 1..10)) {
+            let lm = TrigramLm::train(&[
+                vec!["the".into(), "broncos".into(), "won".into()],
+            ]);
+            for i in 0..seq.len() {
+                let p = lm.word_prob(&seq, i);
+                prop_assert!(p > 0.0 && p <= 1.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! Krippendorff's α for inter-rater agreement (paper Table II).
+//!
+//! The paper reports α per rater group and criterion over 1–5 ratings and
+//! discards items whose agreement falls below 0.7. We implement the
+//! standard coincidence-matrix formulation with the **interval** distance
+//! metric δ²(c, k) = (c − k)², which is the conventional choice for
+//! equally-spaced ordinal scales, plus a per-item agreement score used
+//! for the < 0.7 filter.
+
+use std::collections::HashMap;
+
+/// Krippendorff's α with the interval metric.
+///
+/// `units` is one entry per rated item, containing the ratings that were
+/// actually provided (missing ratings simply absent). Items with fewer
+/// than two ratings are ignored (they carry no agreement information).
+///
+/// Returns `None` when no item has two or more ratings. When the data has
+/// zero expected disagreement (all ratings identical everywhere), α is
+/// 1.0 by convention.
+pub fn alpha_interval(units: &[Vec<f64>]) -> Option<f64> {
+    // Coincidence counts o[c][k], with values quantized to bit patterns
+    // so they can key a HashMap (ratings are small discrete scales).
+    let mut values: Vec<f64> = Vec::new();
+    let mut o: HashMap<(u64, u64), f64> = HashMap::new();
+    let mut n_c: HashMap<u64, f64> = HashMap::new();
+    let mut n_total = 0.0f64;
+
+    for unit in units {
+        let m = unit.len();
+        if m < 2 {
+            continue;
+        }
+        let w = 1.0 / (m as f64 - 1.0);
+        for i in 0..m {
+            for j in 0..m {
+                if i == j {
+                    continue;
+                }
+                let ci = unit[i].to_bits();
+                let ck = unit[j].to_bits();
+                *o.entry((ci, ck)).or_insert(0.0) += w;
+            }
+        }
+        for &v in unit {
+            *n_c.entry(v.to_bits()).or_insert(0.0) += 1.0;
+            n_total += 1.0;
+            if !values.contains(&v) {
+                values.push(v);
+            }
+        }
+    }
+    if n_total < 2.0 {
+        return None;
+    }
+    let delta2 = |a: u64, b: u64| {
+        let d = f64::from_bits(a) - f64::from_bits(b);
+        d * d
+    };
+    let d_o: f64 = o.iter().map(|(&(c, k), &w)| w * delta2(c, k)).sum::<f64>() / n_total;
+    let mut d_e = 0.0;
+    for (&c, &nc) in &n_c {
+        for (&k, &nk) in &n_c {
+            d_e += nc * nk * delta2(c, k);
+        }
+    }
+    d_e /= n_total * (n_total - 1.0);
+    if d_e == 0.0 {
+        return Some(if d_o == 0.0 { 1.0 } else { 0.0 });
+    }
+    Some(1.0 - d_o / d_e)
+}
+
+/// Per-item agreement in [0, 1] used for the paper's "< 0.7 discarded"
+/// filter: `1 − Var(ratings) / Var_max`, where `Var_max` is the variance
+/// of an even split across the extreme points of `scale = (min, max)`.
+/// Items with fewer than two ratings count as fully agreed (1.0).
+pub fn item_agreement(ratings: &[f64], scale: (f64, f64)) -> f64 {
+    if ratings.len() < 2 {
+        return 1.0;
+    }
+    let n = ratings.len() as f64;
+    let mean = ratings.iter().sum::<f64>() / n;
+    let var = ratings.iter().map(|r| (r - mean).powi(2)).sum::<f64>() / n;
+    let half_range = (scale.1 - scale.0) / 2.0;
+    let var_max = half_range * half_range;
+    if var_max <= 0.0 {
+        return 1.0;
+    }
+    (1.0 - var / var_max).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_agreement_gives_one() {
+        let units = vec![vec![3.0, 3.0, 3.0], vec![5.0, 5.0, 5.0], vec![1.0, 1.0, 1.0]];
+        let a = alpha_interval(&units).unwrap();
+        assert!((a - 1.0).abs() < 1e-9, "alpha = {a}");
+    }
+
+    #[test]
+    fn constant_data_is_perfect() {
+        let units = vec![vec![4.0, 4.0], vec![4.0, 4.0]];
+        assert_eq!(alpha_interval(&units), Some(1.0));
+    }
+
+    #[test]
+    fn known_value_from_krippendorff_example() {
+        // Krippendorff (2011) interval example: two observers, 10 units.
+        // A: 1 2 3 3 2 1 4 1 2 NA ; B: 1 2 3 3 2 2 4 1 2 5
+        // Pairable units exclude the NA column; documented α ≈ 0.975.
+        let units = vec![
+            vec![1.0, 1.0],
+            vec![2.0, 2.0],
+            vec![3.0, 3.0],
+            vec![3.0, 3.0],
+            vec![2.0, 2.0],
+            vec![1.0, 2.0],
+            vec![4.0, 4.0],
+            vec![1.0, 1.0],
+            vec![2.0, 2.0],
+            vec![5.0], // single rating, ignored
+        ];
+        let a = alpha_interval(&units).unwrap();
+        assert!(a > 0.9 && a < 1.0, "alpha = {a}");
+    }
+
+    #[test]
+    fn near_random_data_is_near_zero() {
+        // Systematic disagreement patterns close to chance.
+        let units = vec![
+            vec![1.0, 5.0],
+            vec![5.0, 1.0],
+            vec![2.0, 4.0],
+            vec![4.0, 2.0],
+            vec![3.0, 3.0],
+            vec![1.0, 4.0],
+            vec![4.0, 1.0],
+            vec![2.0, 5.0],
+            vec![5.0, 2.0],
+        ];
+        let a = alpha_interval(&units).unwrap();
+        assert!(a < 0.2, "alpha = {a}");
+    }
+
+    #[test]
+    fn insufficient_data_returns_none() {
+        assert_eq!(alpha_interval(&[]), None);
+        assert_eq!(alpha_interval(&[vec![3.0]]), None);
+        assert_eq!(alpha_interval(&[vec![3.0], vec![4.0]]), None);
+    }
+
+    #[test]
+    fn alpha_is_at_most_one() {
+        let units = vec![vec![2.0, 2.0, 3.0], vec![4.0, 4.0, 4.0], vec![1.0, 2.0, 1.0]];
+        let a = alpha_interval(&units).unwrap();
+        assert!(a <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn item_agreement_unanimous() {
+        assert_eq!(item_agreement(&[4.0, 4.0, 4.0], (1.0, 5.0)), 1.0);
+    }
+
+    #[test]
+    fn item_agreement_extreme_split_is_zero() {
+        let a = item_agreement(&[1.0, 5.0], (1.0, 5.0));
+        assert!(a.abs() < 1e-9, "agreement = {a}");
+    }
+
+    #[test]
+    fn item_agreement_moderate() {
+        let a = item_agreement(&[3.0, 4.0, 4.0], (1.0, 5.0));
+        assert!(a > 0.7 && a < 1.0);
+    }
+
+    #[test]
+    fn item_agreement_small_samples() {
+        assert_eq!(item_agreement(&[], (1.0, 5.0)), 1.0);
+        assert_eq!(item_agreement(&[2.0], (1.0, 5.0)), 1.0);
+    }
+
+    #[test]
+    fn item_agreement_degenerate_scale() {
+        assert_eq!(item_agreement(&[1.0, 2.0], (3.0, 3.0)), 1.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn rating() -> impl Strategy<Value = f64> {
+        (1u8..=5).prop_map(|r| r as f64)
+    }
+
+    proptest! {
+        /// α never exceeds 1 and is defined whenever two ratings co-occur.
+        #[test]
+        fn alpha_bounded_above(
+            units in prop::collection::vec(prop::collection::vec(rating(), 2..5), 2..12)
+        ) {
+            let a = alpha_interval(&units).expect("enough data");
+            prop_assert!(a <= 1.0 + 1e-9);
+        }
+
+        /// Item agreement is always within [0, 1].
+        #[test]
+        fn item_agreement_bounded(rs in prop::collection::vec(rating(), 0..8)) {
+            let a = item_agreement(&rs, (1.0, 5.0));
+            prop_assert!((0.0..=1.0).contains(&a));
+        }
+    }
+}

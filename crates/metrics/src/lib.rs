@@ -1,0 +1,18 @@
+//! # gced-metrics — evaluation metrics for the GCED reproduction
+//!
+//! * [`overlap`] — SQuAD-style answer normalization, Exact Match, and the
+//!   token-level precision/recall/F1 of Eq. 1 (used both as the QA metric
+//!   of Tables VI/VII and as the informativeness score I(e));
+//! * [`krippendorff`] — Krippendorff's α for the inter-rater agreement of
+//!   Table II, plus the per-item agreement used to discard controversial
+//!   evidences (< 0.7, Sec. IV-A1);
+//! * [`stats`] — small summary-statistics helpers shared by the
+//!   experiment harness.
+
+pub mod krippendorff;
+pub mod overlap;
+pub mod stats;
+
+pub use krippendorff::{alpha_interval, item_agreement};
+pub use overlap::{exact_match, normalize_answer, token_f1, F1Scores};
+pub use stats::{mean, percent_change, std_dev};

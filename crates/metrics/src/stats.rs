@@ -1,0 +1,67 @@
+//! Small summary-statistics helpers for the experiment harness.
+
+/// Arithmetic mean; 0.0 for empty input.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Population standard deviation; 0.0 for fewer than two samples.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// Relative change from `base` to `new`, in percent. Returns 0.0 when the
+/// base is zero (avoids propagating infinities into report tables).
+pub fn percent_change(base: f64, new: f64) -> f64 {
+    if base == 0.0 {
+        0.0
+    } else {
+        (new - base) / base * 100.0
+    }
+}
+
+/// Round to `digits` decimal places (for stable table rendering).
+pub fn round_to(x: f64, digits: u32) -> f64 {
+    let p = 10f64.powi(digits as i32);
+    (x * p).round() / p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_basic() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn std_dev_basic() {
+        assert_eq!(std_dev(&[5.0]), 0.0);
+        let sd = std_dev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((sd - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percent_change_basic() {
+        assert!((percent_change(80.0, 84.0) - 5.0).abs() < 1e-12);
+        assert!((percent_change(50.0, 40.0) + 20.0).abs() < 1e-12);
+        assert_eq!(percent_change(0.0, 10.0), 0.0);
+    }
+
+    #[test]
+    fn round_to_basic() {
+        assert_eq!(round_to(0.12345, 2), 0.12);
+        assert_eq!(round_to(0.875, 2), 0.88);
+        assert_eq!(round_to(-1.005, 1), -1.0);
+    }
+}

@@ -1,0 +1,267 @@
+//! Multi-head scaled dot-product self-attention (paper Eqs. 6–8).
+//!
+//! The paper derives WSPTC edge weights from the first-layer encoder
+//! attention of the PLM: linear Q/K/V maps, `heads = 16` scaled
+//! dot-product attentions with `d_k = 64`, softmax normalization, head
+//! concatenation and an output projection `Wo`. This module reproduces
+//! that computation over the deterministic embeddings of
+//! [`crate::embedding`], with sinusoidal position encodings so that
+//! nearby tokens attend more — the locality bias real layer-1 heads show.
+//!
+//! The quantity GCED consumes is the **token-to-token attention
+//! probability matrix**; following the paper we expose the per-head
+//! softmax scores averaged over heads via
+//! [`MultiHeadAttention::attention_matrix`], and the full Eq. 8 output
+//! (concat + `Wo`) via [`MultiHeadAttention::encode`].
+
+use crate::embedding::EmbeddingTable;
+use crate::matrix::Matrix;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Hyperparameters (paper defaults: 16 heads, d_k = 64).
+#[derive(Debug, Clone, Copy)]
+pub struct AttentionConfig {
+    /// Model (embedding) dimensionality.
+    pub d_model: usize,
+    /// Number of attention heads (paper: 16).
+    pub heads: usize,
+    /// Per-head key/query dimensionality (paper: 64).
+    pub d_k: usize,
+    /// RNG seed for the projection matrices.
+    pub seed: u64,
+    /// Strength of the additive position encoding (0 disables).
+    pub positional_weight: f32,
+}
+
+impl Default for AttentionConfig {
+    fn default() -> Self {
+        AttentionConfig { d_model: 64, heads: 16, d_k: 64, seed: 42, positional_weight: 0.35 }
+    }
+}
+
+/// A frozen multi-head self-attention layer.
+#[derive(Debug, Clone)]
+pub struct MultiHeadAttention {
+    config: AttentionConfig,
+    /// Shared first-stage projections (Eq. 6): d_model × d_model.
+    wq: Matrix,
+    wk: Matrix,
+    wv: Matrix,
+    /// Per-head projections (Eq. 7): d_model × d_k each.
+    head_q: Vec<Matrix>,
+    head_k: Vec<Matrix>,
+    head_v: Vec<Matrix>,
+    /// Output projection (Eq. 8): (heads · d_k) × d_model.
+    wo: Matrix,
+}
+
+impl MultiHeadAttention {
+    /// Initialize all projections from the seeded PRNG (Xavier-style
+    /// scaling, deterministic for a given config).
+    pub fn new(config: AttentionConfig) -> Self {
+        assert!(config.heads > 0 && config.d_k > 0 && config.d_model > 0);
+        let mut rng = SmallRng::seed_from_u64(config.seed);
+        let init = |rows: usize, cols: usize, rng: &mut SmallRng| {
+            let scale = (2.0 / (rows + cols) as f32).sqrt();
+            Matrix::from_fn(rows, cols, |_, _| (rng.gen::<f32>() * 2.0 - 1.0) * scale)
+        };
+        let wq = init(config.d_model, config.d_model, &mut rng);
+        let wk = init(config.d_model, config.d_model, &mut rng);
+        let wv = init(config.d_model, config.d_model, &mut rng);
+        let mut head_q = Vec::with_capacity(config.heads);
+        let mut head_k = Vec::with_capacity(config.heads);
+        let mut head_v = Vec::with_capacity(config.heads);
+        for _ in 0..config.heads {
+            head_q.push(init(config.d_model, config.d_k, &mut rng));
+            head_k.push(init(config.d_model, config.d_k, &mut rng));
+            head_v.push(init(config.d_model, config.d_k, &mut rng));
+        }
+        let wo = init(config.heads * config.d_k, config.d_model, &mut rng);
+        MultiHeadAttention { config, wq, wk, wv, head_q, head_k, head_v, wo }
+    }
+
+    /// The layer's configuration.
+    pub fn config(&self) -> &AttentionConfig {
+        &self.config
+    }
+
+    /// Embed a token sequence (adding position encodings) into an
+    /// `n × d_model` matrix.
+    pub fn embed_sequence(&self, words: &[String], table: &EmbeddingTable) -> Matrix {
+        assert_eq!(table.dim(), self.config.d_model, "embedding dim mismatch");
+        let n = words.len();
+        let mut x = Matrix::zeros(n, self.config.d_model);
+        for (i, w) in words.iter().enumerate() {
+            let e = table.embed(w);
+            for (j, &v) in e.iter().enumerate() {
+                x.set(i, j, v + self.config.positional_weight * positional(i, j, self.config.d_model));
+            }
+        }
+        x
+    }
+
+    /// Eq. 7 attention probabilities, averaged over all heads:
+    /// `A[i][j]` = mean_h softmax_j(Q_h(i)·K_h(j)/√d_k). Rows sum to 1.
+    pub fn attention_matrix(&self, x: &Matrix) -> Matrix {
+        let n = x.rows();
+        let q = x.matmul(&self.wq);
+        let k = x.matmul(&self.wk);
+        let mut avg = Matrix::zeros(n, n);
+        let scale = 1.0 / (self.config.d_k as f32).sqrt();
+        for h in 0..self.config.heads {
+            let qh = q.matmul(&self.head_q[h]);
+            let kh = k.matmul(&self.head_k[h]);
+            let mut scores = qh.matmul(&kh.transpose());
+            scores.scale(scale);
+            scores.softmax_rows();
+            avg.add_assign(&scores);
+        }
+        avg.scale(1.0 / self.config.heads as f32);
+        avg
+    }
+
+    /// Full Eq. 8: per-head attention-weighted values, concatenated and
+    /// projected by `Wo`. Returns an `n × d_model` contextual encoding.
+    pub fn encode(&self, x: &Matrix) -> Matrix {
+        let q = x.matmul(&self.wq);
+        let k = x.matmul(&self.wk);
+        let v = x.matmul(&self.wv);
+        let scale = 1.0 / (self.config.d_k as f32).sqrt();
+        let mut concat: Option<Matrix> = None;
+        for h in 0..self.config.heads {
+            let qh = q.matmul(&self.head_q[h]);
+            let kh = k.matmul(&self.head_k[h]);
+            let vh = v.matmul(&self.head_v[h]);
+            let mut scores = qh.matmul(&kh.transpose());
+            scores.scale(scale);
+            scores.softmax_rows();
+            let head = scores.matmul(&vh);
+            concat = Some(match concat {
+                None => head,
+                Some(c) => c.hconcat(&head),
+            });
+        }
+        concat.expect("heads > 0").matmul(&self.wo)
+    }
+
+    /// Convenience: attention matrix straight from words.
+    pub fn attend_words(&self, words: &[String], table: &EmbeddingTable) -> Matrix {
+        self.attention_matrix(&self.embed_sequence(words, table))
+    }
+}
+
+/// Sinusoidal position encoding (Vaswani et al. form).
+fn positional(pos: usize, dim_index: usize, d_model: usize) -> f32 {
+    let i = (dim_index / 2) as f32;
+    let angle = pos as f32 / (10_000f32).powf(2.0 * i / d_model as f32);
+    if dim_index % 2 == 0 {
+        angle.sin()
+    } else {
+        angle.cos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn words(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn default_layer() -> (MultiHeadAttention, EmbeddingTable) {
+        let cfg = AttentionConfig { d_model: 32, heads: 4, d_k: 16, seed: 7, positional_weight: 0.35 };
+        (MultiHeadAttention::new(cfg), EmbeddingTable::new(32, 7))
+    }
+
+    #[test]
+    fn attention_rows_are_distributions() {
+        let (mha, table) = default_layer();
+        let ws = words(&["denver", "broncos", "defeated", "carolina", "panthers"]);
+        let a = mha.attend_words(&ws, &table);
+        assert_eq!(a.rows(), 5);
+        assert_eq!(a.cols(), 5);
+        for r in 0..5 {
+            let s: f32 = a.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-4, "row {r} sums to {s}");
+            assert!(a.row(r).iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn attention_is_deterministic() {
+        let (mha1, t1) = default_layer();
+        let (mha2, t2) = default_layer();
+        let ws = words(&["the", "battle", "of", "hastings"]);
+        let a1 = mha1.attend_words(&ws, &t1);
+        let a2 = mha2.attend_words(&ws, &t2);
+        for r in 0..4 {
+            for c in 0..4 {
+                assert_eq!(a1.get(r, c), a2.get(r, c));
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let cfg1 = AttentionConfig { seed: 1, d_model: 32, heads: 2, d_k: 8, positional_weight: 0.35 };
+        let cfg2 = AttentionConfig { seed: 2, ..cfg1 };
+        let t = EmbeddingTable::new(32, 1);
+        let ws = words(&["a", "b", "c"]);
+        let a1 = MultiHeadAttention::new(cfg1).attend_words(&ws, &t);
+        let a2 = MultiHeadAttention::new(cfg2).attend_words(&ws, &t);
+        let mut any_diff = false;
+        for r in 0..3 {
+            for c in 0..3 {
+                if (a1.get(r, c) - a2.get(r, c)).abs() > 1e-9 {
+                    any_diff = true;
+                }
+            }
+        }
+        assert!(any_diff);
+    }
+
+    #[test]
+    fn encode_has_model_shape() {
+        let (mha, table) = default_layer();
+        let ws = words(&["grow", "and", "clip"]);
+        let x = mha.embed_sequence(&ws, &table);
+        let enc = mha.encode(&x);
+        assert_eq!(enc.rows(), 3);
+        assert_eq!(enc.cols(), 32);
+    }
+
+    #[test]
+    fn singleton_sequence_attends_to_itself() {
+        let (mha, table) = default_layer();
+        let a = mha.attend_words(&words(&["solo"]), &table);
+        assert_eq!(a.rows(), 1);
+        assert!((a.get(0, 0) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn position_encoding_differentiates_repeated_words() {
+        let (mha, table) = default_layer();
+        let x = mha.embed_sequence(&words(&["echo", "echo"]), &table);
+        let row0: Vec<f32> = x.row(0).to_vec();
+        let row1: Vec<f32> = x.row(1).to_vec();
+        assert_ne!(row0, row1);
+    }
+
+    #[test]
+    fn paper_default_config() {
+        let cfg = AttentionConfig::default();
+        assert_eq!(cfg.heads, 16);
+        assert_eq!(cfg.d_k, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "dim mismatch")]
+    fn mismatched_table_dim_panics() {
+        let cfg = AttentionConfig { d_model: 32, heads: 2, d_k: 8, seed: 1, positional_weight: 0.0 };
+        let mha = MultiHeadAttention::new(cfg);
+        let table = EmbeddingTable::new(16, 1);
+        let _ = mha.embed_sequence(&words(&["x"]), &table);
+    }
+}

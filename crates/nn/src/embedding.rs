@@ -1,0 +1,251 @@
+//! Deterministic word embeddings.
+//!
+//! Two layers of signal, both fully offline and seeded:
+//!
+//! 1. **Hash features** — each word is mapped to a base vector by hashing
+//!    its character n-grams (3..=5, plus the whole word) into `dim`
+//!    buckets, fastText-style. Morphologically similar words share
+//!    n-grams and therefore start out nearby.
+//! 2. **Co-occurrence refinement** — [`EmbeddingTable::fit`] performs a
+//!    few deterministic iterations that pull a word's vector toward the
+//!    mean of its window co-occurrents. Distributionally related words
+//!    (e.g. "Broncos" / "champion") move closer, which is what makes the
+//!    attention weights of Sec. III-D informative for SGS.
+//!
+//! All vectors are L2-normalized on read.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+/// Deterministic word-embedding table.
+#[derive(Debug, Clone)]
+pub struct EmbeddingTable {
+    dim: usize,
+    seed: u64,
+    /// Refined vectors for fitted vocabulary words (lowercased).
+    refined: HashMap<String, Vec<f32>>,
+}
+
+impl EmbeddingTable {
+    /// A fresh table with hash-only embeddings of dimension `dim`.
+    pub fn new(dim: usize, seed: u64) -> Self {
+        assert!(dim > 0, "embedding dim must be positive");
+        EmbeddingTable { dim, seed, refined: HashMap::new() }
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The embedding of `word` (case-insensitive), L2-normalized.
+    /// Fitted words return their refined vector; everything else falls
+    /// back to the hash embedding, so OOV words are always usable.
+    pub fn embed(&self, word: &str) -> Vec<f32> {
+        let lower = word.to_lowercase();
+        let mut v = match self.refined.get(&lower) {
+            Some(r) => r.clone(),
+            None => self.hash_embed(&lower),
+        };
+        normalize(&mut v);
+        v
+    }
+
+    /// Cosine similarity between two word embeddings.
+    pub fn similarity(&self, a: &str, b: &str) -> f32 {
+        let va = self.embed(a);
+        let vb = self.embed(b);
+        va.iter().zip(&vb).map(|(x, y)| x * y).sum()
+    }
+
+    /// Refine embeddings on a corpus of tokenized sentences (lowercased
+    /// words). `iterations` rounds of window-mean smoothing with factor
+    /// `alpha` (0 < alpha < 1); `window` is the one-sided context size.
+    ///
+    /// Deterministic: iteration order is the sentence order given.
+    pub fn fit(&mut self, sentences: &[Vec<String>], window: usize, iterations: usize, alpha: f32) {
+        // Initialize refined vectors for every corpus word from the hash base.
+        for sent in sentences {
+            for w in sent {
+                if !self.refined.contains_key(w) {
+                    let v = self.hash_embed(w);
+                    self.refined.insert(w.clone(), v);
+                }
+            }
+        }
+        for _ in 0..iterations {
+            // Accumulate window means.
+            let mut sums: HashMap<&str, (Vec<f32>, f32)> = HashMap::new();
+            for sent in sentences {
+                for (i, w) in sent.iter().enumerate() {
+                    let lo = i.saturating_sub(window);
+                    let hi = (i + window + 1).min(sent.len());
+                    for j in lo..hi {
+                        if j == i {
+                            continue;
+                        }
+                        let ctx = self.refined.get(&sent[j]).expect("initialized above");
+                        let entry = sums
+                            .entry(w.as_str())
+                            .or_insert_with(|| (vec![0.0; self.dim], 0.0));
+                        for (s, c) in entry.0.iter_mut().zip(ctx) {
+                            *s += c;
+                        }
+                        entry.1 += 1.0;
+                    }
+                }
+            }
+            // Blend each vector toward its context mean.
+            let updates: Vec<(String, Vec<f32>)> = sums
+                .into_iter()
+                .filter(|(_, (_, n))| *n > 0.0)
+                .map(|(w, (sum, n))| {
+                    let cur = &self.refined[w];
+                    let mut blended: Vec<f32> = cur
+                        .iter()
+                        .zip(&sum)
+                        .map(|(c, s)| (1.0 - alpha) * c + alpha * (s / n))
+                        .collect();
+                    normalize(&mut blended);
+                    (w.to_string(), blended)
+                })
+                .collect();
+            for (w, v) in updates {
+                self.refined.insert(w, v);
+            }
+        }
+    }
+
+    /// Number of words with refined (corpus-fitted) vectors.
+    pub fn fitted_len(&self) -> usize {
+        self.refined.len()
+    }
+
+    /// Base hash embedding of a lowercased word.
+    fn hash_embed(&self, lower: &str) -> Vec<f32> {
+        let mut v = vec![0.0f32; self.dim];
+        let chars: Vec<char> = lower.chars().collect();
+        let push = |s: &str, weight: f32, v: &mut Vec<f32>| {
+            let mut h = DefaultHasher::new();
+            self.seed.hash(&mut h);
+            s.hash(&mut h);
+            let x = h.finish();
+            let idx = (x % self.dim as u64) as usize;
+            let sign = if (x >> 32) & 1 == 0 { 1.0 } else { -1.0 };
+            v[idx] += sign * weight;
+            // second bucket for better spread
+            let idx2 = ((x >> 17) % self.dim as u64) as usize;
+            let sign2 = if (x >> 33) & 1 == 0 { 1.0 } else { -1.0 };
+            v[idx2] += sign2 * weight * 0.5;
+        };
+        push(lower, 2.0, &mut v);
+        for n in 3..=5usize {
+            if chars.len() < n {
+                break;
+            }
+            for start in 0..=(chars.len() - n) {
+                let gram: String = chars[start..start + n].iter().collect();
+                push(&gram, 1.0, &mut v);
+            }
+        }
+        v
+    }
+}
+
+fn normalize(v: &mut [f32]) {
+    let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if norm > 1e-12 {
+        for x in v {
+            *x /= norm;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let a = EmbeddingTable::new(64, 7);
+        let b = EmbeddingTable::new(64, 7);
+        assert_eq!(a.embed("broncos"), b.embed("broncos"));
+    }
+
+    #[test]
+    fn seed_changes_embeddings() {
+        let a = EmbeddingTable::new(64, 1);
+        let b = EmbeddingTable::new(64, 2);
+        assert_ne!(a.embed("broncos"), b.embed("broncos"));
+    }
+
+    #[test]
+    fn embeddings_are_unit_norm() {
+        let t = EmbeddingTable::new(48, 3);
+        for w in ["a", "championship", "1066", "beyonc\u{e9}"] {
+            let v = t.embed(w);
+            let n: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+            assert!((n - 1.0).abs() < 1e-4, "{w} norm {n}");
+        }
+    }
+
+    #[test]
+    fn case_insensitive() {
+        let t = EmbeddingTable::new(32, 5);
+        assert_eq!(t.embed("Broncos"), t.embed("broncos"));
+    }
+
+    #[test]
+    fn morphological_similarity_beats_random() {
+        let t = EmbeddingTable::new(128, 11);
+        let related = t.similarity("performing", "performed");
+        let unrelated = t.similarity("performing", "xylophone");
+        assert!(related > unrelated, "related {related} <= unrelated {unrelated}");
+    }
+
+    #[test]
+    fn fit_pulls_cooccurring_words_together() {
+        let mut t = EmbeddingTable::new(64, 13);
+        let before = t.similarity("broncos", "champion");
+        let corpus: Vec<Vec<String>> = (0..30)
+            .map(|_| {
+                vec!["the", "broncos", "champion", "team", "won"]
+                    .into_iter()
+                    .map(String::from)
+                    .collect()
+            })
+            .collect();
+        t.fit(&corpus, 2, 3, 0.3);
+        let after = t.similarity("broncos", "champion");
+        assert!(after > before, "fit did not increase similarity: {before} -> {after}");
+        assert_eq!(t.fitted_len(), 5);
+    }
+
+    #[test]
+    fn fit_is_deterministic() {
+        let corpus: Vec<Vec<String>> =
+            vec![vec!["a".into(), "b".into(), "c".into()], vec!["b".into(), "c".into(), "d".into()]];
+        let mut t1 = EmbeddingTable::new(32, 9);
+        let mut t2 = EmbeddingTable::new(32, 9);
+        t1.fit(&corpus, 1, 2, 0.2);
+        t2.fit(&corpus, 1, 2, 0.2);
+        for w in ["a", "b", "c", "d"] {
+            assert_eq!(t1.embed(w), t2.embed(w));
+        }
+    }
+
+    #[test]
+    fn oov_after_fit_still_embeds() {
+        let mut t = EmbeddingTable::new(32, 1);
+        t.fit(&[vec!["x".into()]], 1, 1, 0.1);
+        let v = t.embed("neverseen");
+        assert_eq!(v.len(), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dim_panics() {
+        let _ = EmbeddingTable::new(0, 1);
+    }
+}

@@ -1,0 +1,29 @@
+//! # gced-nn — deterministic neural substrate
+//!
+//! Section III-D of the GCED paper derives per-edge weights for the
+//! syntactic parse tree from the first-layer multi-head attention of a
+//! pretrained RoBERTa encoder (16 heads, d_k = 64, scaled dot-product,
+//! concat + output projection — Eqs. 6–8). No pretrained transformer is
+//! available offline, so this crate implements the same computation over
+//! deterministic embeddings:
+//!
+//! * [`matrix::Matrix`] — a minimal row-major f32 matrix with the handful
+//!   of operations attention needs (matmul, transpose, row softmax);
+//! * [`embedding::EmbeddingTable`] — hash-based character-n-gram word
+//!   vectors, optionally refined on corpus co-occurrence so that
+//!   distributionally related words end up closer (the property the
+//!   attention weights must expose to SGS/SCS);
+//! * [`attention::MultiHeadAttention`] — Eqs. 6–8 verbatim: Q/K/V linear
+//!   maps, 16 scaled-dot-product heads, softmax, concatenation, and an
+//!   output projection; plus sinusoidal position encodings so locality
+//!   shows up in the weights just as it does in layer-1 BERT heads.
+//!
+//! Everything is seeded; identical inputs give identical weights.
+
+pub mod attention;
+pub mod embedding;
+pub mod matrix;
+
+pub use attention::{AttentionConfig, MultiHeadAttention};
+pub use embedding::EmbeddingTable;
+pub use matrix::Matrix;

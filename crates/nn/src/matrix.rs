@@ -1,0 +1,234 @@
+//! Minimal row-major f32 matrix.
+//!
+//! Only the operations the attention computation needs; no BLAS, no
+//! unsafe. Sizes here are tiny (sentence length × model dim), so clarity
+//! wins over micro-optimization; the matmul loop is still written in the
+//! cache-friendly i-k-j order.
+
+use std::fmt;
+
+/// Dense row-major matrix of `f32`.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Matrix({}x{})", self.rows, self.cols)
+    }
+}
+
+impl Matrix {
+    /// A `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Build from a closure over `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut m = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m.data[r * cols + c] = f(r, c);
+            }
+        }
+        m
+    }
+
+    /// Build from row vectors; panics if rows have unequal lengths.
+    pub fn from_rows(rows: &[Vec<f32>]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, Vec::len);
+        assert!(rows.iter().all(|row| row.len() == c), "ragged rows");
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            data.extend_from_slice(row);
+        }
+        Matrix { rows: r, cols: c, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable element accessor.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrow row `r` as a slice.
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Matrix product `self · rhs`; panics on dimension mismatch.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.rows, "matmul {}x{} · {}x{}", self.rows, self.cols, rhs.rows, rhs.cols);
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let rhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                for (o, &b) in out_row.iter_mut().zip(rhs_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, |r, c| self.get(c, r))
+    }
+
+    /// Multiply every element by `s` in place.
+    pub fn scale(&mut self, s: f32) {
+        for v in &mut self.data {
+            *v *= s;
+        }
+    }
+
+    /// Numerically-stable softmax applied to each row in place.
+    pub fn softmax_rows(&mut self) {
+        for r in 0..self.rows {
+            let row = &mut self.data[r * self.cols..(r + 1) * self.cols];
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0;
+            for v in row.iter_mut() {
+                *v = (*v - max).exp();
+                sum += *v;
+            }
+            if sum > 0.0 {
+                for v in row.iter_mut() {
+                    *v /= sum;
+                }
+            }
+        }
+    }
+
+    /// Elementwise addition in place; panics on shape mismatch.
+    pub fn add_assign(&mut self, rhs: &Matrix) {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
+        for (a, b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += b;
+        }
+    }
+
+    /// Horizontal concatenation `[self | rhs]`; panics on row mismatch.
+    pub fn hconcat(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.rows, rhs.rows);
+        Matrix::from_fn(self.rows, self.cols + rhs.cols, |r, c| {
+            if c < self.cols {
+                self.get(r, c)
+            } else {
+                rhs.get(r, c - self.cols)
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_identity() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let id = Matrix::from_fn(2, 2, |r, c| if r == c { 1.0 } else { 0.0 });
+        assert_eq!(a.matmul(&id), a);
+        assert_eq!(id.matmul(&a), a);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0]]);
+        let b = Matrix::from_rows(&[vec![1.0], vec![0.5], vec![2.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c.rows(), 1);
+        assert_eq!(c.cols(), 1);
+        assert!((c.get(0, 0) - 8.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul")]
+    fn matmul_shape_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose().get(2, 1), 6.0);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let mut m = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![-1.0, 0.0, 1.0]]);
+        m.softmax_rows();
+        for r in 0..2 {
+            let s: f32 = m.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+            assert!(m.row(r).iter().all(|&v| v > 0.0));
+        }
+        // larger logit => larger probability
+        assert!(m.get(0, 2) > m.get(0, 1));
+    }
+
+    #[test]
+    fn softmax_is_stable_for_large_values() {
+        let mut m = Matrix::from_rows(&[vec![1000.0, 1001.0]]);
+        m.softmax_rows();
+        assert!(m.get(0, 1) > m.get(0, 0));
+        assert!((m.row(0).iter().sum::<f32>() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn hconcat_widths_add() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::from_fn(2, 2, |_, _| 1.0);
+        let c = a.hconcat(&b);
+        assert_eq!((c.rows(), c.cols()), (2, 5));
+        assert_eq!(c.get(0, 4), 1.0);
+        assert_eq!(c.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn scale_and_add() {
+        let mut a = Matrix::from_rows(&[vec![1.0, -2.0]]);
+        a.scale(2.0);
+        assert_eq!(a.row(0), &[2.0, -4.0]);
+        let b = Matrix::from_rows(&[vec![1.0, 1.0]]);
+        a.add_assign(&b);
+        assert_eq!(a.row(0), &[3.0, -3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_panic() {
+        let _ = Matrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+}

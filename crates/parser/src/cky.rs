@@ -1,0 +1,417 @@
+//! Probabilistic CKY with unary closure, plus robust token-level parsing.
+//!
+//! [`CkyParser::parse_constituency`] runs exact Viterbi CKY over a POS
+//! sequence; [`CkyParser::parse_tokens`] wraps it into a total function
+//! from tokens to a dependency tree — punctuation/clitics are excluded
+//! from the grammar and re-attached afterwards, and out-of-grammar or
+//! over-long inputs fall back to a right-branching tree rather than
+//! failing (GCED must distill *something* for every context).
+
+use crate::dep::DepTree;
+use crate::grammar::{Grammar, HeadSide, Symbol};
+use crate::tree::{ConstNode, ConstTree};
+use gced_text::{Pos, Token};
+use std::collections::HashMap;
+
+/// Back-pointer for chart entries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Back {
+    /// Preterminal over one token.
+    Term,
+    /// Unary rewrite from another symbol in the same cell.
+    Unary(Symbol),
+    /// Binary combination: split point, child symbols, head side.
+    Binary(usize, Symbol, Symbol, HeadSide),
+}
+
+/// One chart cell: best (log-prob, back-pointer) per symbol.
+type Cell = HashMap<Symbol, (f64, Back)>;
+
+/// A CKY parser over a fixed grammar.
+#[derive(Debug, Clone)]
+pub struct CkyParser {
+    grammar: Grammar,
+    /// Sentences longer than this (in parseable tokens) skip CKY and use
+    /// the right-branching fallback (CKY is O(n³)).
+    max_len: usize,
+}
+
+impl CkyParser {
+    /// Parser over the embedded English grammar.
+    pub fn embedded() -> Self {
+        CkyParser { grammar: Grammar::english(), max_len: 72 }
+    }
+
+    /// Parser over a custom grammar.
+    pub fn new(grammar: Grammar) -> Self {
+        CkyParser { grammar, max_len: 72 }
+    }
+
+    /// Change the CKY length cutoff (mostly for tests/benches).
+    pub fn with_max_len(mut self, max_len: usize) -> Self {
+        self.max_len = max_len;
+        self
+    }
+
+    /// The grammar in use.
+    pub fn grammar(&self) -> &Grammar {
+        &self.grammar
+    }
+
+    /// Exact Viterbi parse of a POS sequence. Returns `None` when the
+    /// grammar cannot derive `TOP` (or any full-span constituent) over
+    /// the input, or the input is empty/over-long.
+    pub fn parse_constituency(&self, tags: &[Pos]) -> Option<ConstTree> {
+        let n = tags.len();
+        if n == 0 || n > self.max_len {
+            return None;
+        }
+        // chart[i][j] spans tokens i..=i+j (j = width-1).
+        let mut chart: Vec<Vec<Cell>> = vec![vec![Cell::new(); n]; n];
+        for (i, &pos) in tags.iter().enumerate() {
+            let mut cell = Cell::new();
+            for r in self.grammar.rules_for_pos(pos) {
+                let lp = r.prob.ln();
+                match cell.get(&r.lhs) {
+                    Some(&(best, _)) if best >= lp => {}
+                    _ => {
+                        cell.insert(r.lhs, (lp, Back::Term));
+                    }
+                }
+            }
+            self.unary_closure(&mut cell);
+            chart[i][0] = cell;
+        }
+        for width in 2..=n {
+            for start in 0..=(n - width) {
+                let mut cell = Cell::new();
+                for split in 1..width {
+                    // Clone the (small) left/right views to appease the
+                    // borrow checker; cells hold a handful of symbols.
+                    let left = chart[start][split - 1].clone();
+                    let right = chart[start + split][width - split - 1].clone();
+                    for (&ls, &(lp, _)) in &left {
+                        for (&rs, &(rp, _)) in &right {
+                            for rule in self.grammar.rules_for_children(ls, rs) {
+                                let score = lp + rp + rule.prob.ln();
+                                match cell.get(&rule.lhs) {
+                                    Some(&(best, _)) if best >= score => {}
+                                    _ => {
+                                        cell.insert(
+                                            rule.lhs,
+                                            (score, Back::Binary(start + split, ls, rs, rule.head)),
+                                        );
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                self.unary_closure(&mut cell);
+                chart[start][width - 1] = cell;
+            }
+        }
+        let top_cell = &chart[0][n - 1];
+        // Prefer TOP; otherwise the best-scoring full-span symbol.
+        let goal = if top_cell.contains_key(&Symbol::Top) {
+            Symbol::Top
+        } else {
+            *top_cell
+                .iter()
+                .max_by(|a, b| a.1 .0.partial_cmp(&b.1 .0).expect("no NaN scores"))?
+                .0
+        };
+        let mut nodes = Vec::new();
+        let root = self.extract(&chart, tags, 0, n - 1, goal, &mut nodes);
+        let tree = ConstTree::new(nodes, root, n);
+        debug_assert!(tree.validate().is_ok(), "CKY produced invalid tree");
+        Some(tree)
+    }
+
+    /// Apply unary rules to a fixed point (grammar unaries are acyclic in
+    /// probability: a rewrite is only taken when it improves the score).
+    fn unary_closure(&self, cell: &mut Cell) {
+        loop {
+            let mut changed = false;
+            for r in self.grammar.unary_rules() {
+                if let Some(&(child_score, _)) = cell.get(&r.child) {
+                    let score = child_score + r.prob.ln();
+                    match cell.get(&r.lhs) {
+                        Some(&(best, _)) if best >= score => {}
+                        _ => {
+                            cell.insert(r.lhs, (score, Back::Unary(r.child)));
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+
+    /// Rebuild the tree from back-pointers; returns the arena id.
+    fn extract(
+        &self,
+        chart: &[Vec<Cell>],
+        tags: &[Pos],
+        start: usize,
+        width_m1: usize,
+        sym: Symbol,
+        nodes: &mut Vec<ConstNode>,
+    ) -> usize {
+        let (_, back) = chart[start][width_m1][&sym];
+        match back {
+            Back::Term => {
+                nodes.push(ConstNode::Leaf { token: start, pos: tags[start] });
+                let leaf = nodes.len() - 1;
+                nodes.push(ConstNode::Internal { label: sym, children: vec![leaf], head: start });
+                nodes.len() - 1
+            }
+            Back::Unary(child) => {
+                let c = self.extract(chart, tags, start, width_m1, child, nodes);
+                let head = head_of_node(nodes, c);
+                nodes.push(ConstNode::Internal { label: sym, children: vec![c], head });
+                nodes.len() - 1
+            }
+            Back::Binary(split, ls, rs, head_side) => {
+                let lw = split - start - 1;
+                let rw = width_m1 - (split - start);
+                let l = self.extract(chart, tags, start, lw, ls, nodes);
+                let r = self.extract(chart, tags, split, rw, rs, nodes);
+                let head = match head_side {
+                    HeadSide::Left => head_of_node(nodes, l),
+                    HeadSide::Right => head_of_node(nodes, r),
+                };
+                nodes.push(ConstNode::Internal { label: sym, children: vec![l, r], head });
+                nodes.len() - 1
+            }
+        }
+    }
+
+    /// Total parse of a token slice into a dependency tree over local
+    /// indices `0..tokens.len()`. Never fails:
+    /// 1. punctuation/particle tokens are excluded from the grammar run;
+    /// 2. CKY parses the remaining POS sequence;
+    /// 3. on failure, a right-branching backbone is used instead;
+    /// 4. excluded tokens re-attach to the nearest preceding kept token.
+    pub fn parse_tokens(&self, tokens: &[Token]) -> DepTree {
+        let n = tokens.len();
+        if n == 0 {
+            return DepTree::empty();
+        }
+        let kept: Vec<usize> = (0..n)
+            .filter(|&i| !matches!(tokens[i].pos, Pos::Punct | Pos::Particle))
+            .collect();
+        if kept.is_empty() {
+            // All punctuation: chain every token to its predecessor.
+            return DepTree::right_branching(n);
+        }
+        let tags: Vec<Pos> = kept.iter().map(|&i| tokens[i].pos).collect();
+        // Edges among kept tokens, in kept-index space.
+        let edges: Vec<Option<usize>> = match self.parse_constituency(&tags) {
+            Some(tree) => dependency_edges(&tree),
+            None => (0..kept.len()).map(|i| if i == 0 { None } else { Some(i - 1) }).collect(),
+        };
+        let mut parent: Vec<Option<usize>> = vec![None; n];
+        for (ki, edge) in edges.iter().enumerate() {
+            parent[kept[ki]] = edge.map(|p| kept[p]);
+        }
+        // Re-attach excluded tokens to the nearest preceding kept token,
+        // or the first kept token when none precedes.
+        for i in 0..n {
+            if matches!(tokens[i].pos, Pos::Punct | Pos::Particle) {
+                let anchor = kept.iter().rev().find(|&&k| k < i).or_else(|| kept.first());
+                parent[i] = anchor.copied();
+            }
+        }
+        DepTree::from_parents(parent)
+    }
+}
+
+/// Head (local token index) of an arena node.
+fn head_of_node(nodes: &[ConstNode], id: usize) -> usize {
+    match &nodes[id] {
+        ConstNode::Leaf { token, .. } => *token,
+        ConstNode::Internal { head, .. } => *head,
+    }
+}
+
+/// Head-percolated dependency extraction: for every constituent, each
+/// non-head child's head token depends on the constituent's head token.
+/// Returns the parent (in local token space) of each token; the sentence
+/// head has parent `None`.
+pub fn dependency_edges(tree: &ConstTree) -> Vec<Option<usize>> {
+    let n = tree.token_count();
+    let mut parent: Vec<Option<usize>> = vec![None; n];
+    for id in 0..tree.node_count() {
+        if let ConstNode::Internal { children, head, .. } = tree.node(id) {
+            for &c in children {
+                let ch = tree.head_of(c);
+                if ch != *head {
+                    parent[ch] = Some(*head);
+                }
+            }
+        }
+    }
+    parent
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gced_text::analyze;
+
+    fn parse(text: &str) -> (Vec<Token>, DepTree) {
+        let doc = analyze(text);
+        let parser = CkyParser::embedded();
+        let tree = parser.parse_tokens(&doc.tokens);
+        (doc.tokens, tree)
+    }
+
+    #[test]
+    fn parses_simple_transitive_clause() {
+        let doc = analyze("The Broncos defeated the Panthers");
+        let parser = CkyParser::embedded();
+        let tags: Vec<Pos> = doc.tokens.iter().map(|t| t.pos).collect();
+        let tree = parser.parse_constituency(&tags).expect("should parse");
+        tree.validate().unwrap();
+        // Sentence head should be the verb "defeated" (index 2).
+        assert_eq!(tree.head_of(tree.root()), 2);
+    }
+
+    #[test]
+    fn dependency_edges_form_a_tree() {
+        let (tokens, tree) = parse("The Broncos defeated the Panthers.");
+        assert_eq!(tree.len(), tokens.len());
+        tree.validate().unwrap();
+        // verb is root
+        let root = tree.root();
+        assert_eq!(tokens[root].text, "defeated");
+        // subject and object heads attach to the verb
+        let broncos = tokens.iter().position(|t| t.text == "Broncos").unwrap();
+        let panthers = tokens.iter().position(|t| t.text == "Panthers").unwrap();
+        assert_eq!(tree.parent(broncos), Some(root));
+        assert_eq!(tree.parent(panthers), Some(root));
+    }
+
+    #[test]
+    fn determiners_attach_to_their_nouns() {
+        let (tokens, tree) = parse("The Broncos defeated the Panthers.");
+        let broncos = tokens.iter().position(|t| t.text == "Broncos").unwrap();
+        assert_eq!(tree.parent(0), Some(broncos)); // "The" -> "Broncos"
+    }
+
+    #[test]
+    fn pp_attaches_into_clause() {
+        let (tokens, tree) = parse("The duke led troops in the battle.");
+        tree.validate().unwrap();
+        let inn = tokens.iter().position(|t| t.text == "in").unwrap();
+        let battle = tokens.iter().position(|t| t.text == "battle").unwrap();
+        // preposition heads its NP; battle under "in"
+        assert_eq!(tree.parent(battle), Some(inn));
+    }
+
+    #[test]
+    fn punctuation_attaches_to_preceding_token() {
+        let (tokens, tree) = parse("The Broncos won.");
+        let dot = tokens.iter().position(|t| t.text == ".").unwrap();
+        assert_eq!(tree.parent(dot), Some(dot - 1));
+    }
+
+    #[test]
+    fn unparseable_input_falls_back() {
+        // A POS soup the grammar cannot derive: conj conj conj.
+        let doc = analyze("and or but and");
+        let parser = CkyParser::embedded();
+        let tree = parser.parse_tokens(&doc.tokens);
+        assert_eq!(tree.len(), 4);
+        tree.validate().unwrap();
+    }
+
+    #[test]
+    fn all_punctuation_input() {
+        let doc = analyze("!!! ???");
+        let parser = CkyParser::embedded();
+        let tree = parser.parse_tokens(&doc.tokens);
+        assert_eq!(tree.len(), doc.tokens.len());
+        tree.validate().unwrap();
+    }
+
+    #[test]
+    fn over_long_input_uses_fallback() {
+        let long = (0..100).map(|_| "word").collect::<Vec<_>>().join(" ");
+        let doc = analyze(&long);
+        let parser = CkyParser::embedded();
+        let tree = parser.parse_tokens(&doc.tokens);
+        assert_eq!(tree.len(), 100);
+        tree.validate().unwrap();
+    }
+
+    #[test]
+    fn empty_input() {
+        let parser = CkyParser::embedded();
+        let tree = parser.parse_tokens(&[]);
+        assert_eq!(tree.len(), 0);
+    }
+
+    #[test]
+    fn coordination_parses() {
+        let (_, tree) = parse("The duke and the king led troops.");
+        tree.validate().unwrap();
+    }
+
+    #[test]
+    fn copula_parses() {
+        let (tokens, tree) = parse("Paris is the capital of France.");
+        tree.validate().unwrap();
+        let is = tokens.iter().position(|t| t.text == "is").unwrap();
+        let root = tree.root();
+        // Either "is" (copula as aux-root) or "capital"; both acceptable —
+        // what matters is the NP internal structure.
+        let capital = tokens.iter().position(|t| t.text == "capital").unwrap();
+        assert!(root == is || root == capital, "root = {}", tokens[root].text);
+    }
+
+    #[test]
+    fn parse_is_deterministic() {
+        let (_, t1) = parse("The famous singer performed in many competitions.");
+        let (_, t2) = parse("The famous singer performed in many competitions.");
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn parentheticals_do_not_break_parsing() {
+        let (tokens, tree) = parse("Football Conference (AFC) champion Denver Broncos won.");
+        tree.validate().unwrap();
+        assert_eq!(tree.len(), tokens.len());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn word() -> impl Strategy<Value = &'static str> {
+        prop::sample::select(vec![
+            "the", "a", "famous", "duke", "battle", "troops", "led", "defeated", "in", "of",
+            "and", "quickly", "Broncos", "title", "won", ",", ".", "1066",
+        ])
+    }
+
+    proptest! {
+        /// parse_tokens is total: any word soup yields a valid dependency
+        /// tree covering every token.
+        #[test]
+        fn parse_tokens_total(ws in prop::collection::vec(word(), 1..18)) {
+            let text = ws.join(" ");
+            let doc = gced_text::analyze(&text);
+            let parser = CkyParser::embedded();
+            let tree = parser.parse_tokens(&doc.tokens);
+            prop_assert_eq!(tree.len(), doc.tokens.len());
+            prop_assert!(tree.validate().is_ok());
+        }
+    }
+}

@@ -1,0 +1,418 @@
+//! Dependency trees over token indices.
+//!
+//! This is the tree type the Grow-and-Clip search operates on: every node
+//! is a token (identified by index, exactly like the numbered nodes of
+//! Fig. 6 in the paper), each non-root node has one parent, and the tree
+//! is connected. [`DepTree::chain`] combines per-sentence trees into one
+//! document tree by linking sentence roots.
+
+use std::fmt;
+
+/// Structural invariant violations detected by [`DepTree::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TreeError {
+    /// Not exactly one root (index of the extra root, if any).
+    RootCount(usize),
+    /// A parent/children inconsistency at this node.
+    Inconsistent(usize),
+    /// A cycle reachable from this node.
+    Cycle(usize),
+    /// A node unreachable from the root.
+    Disconnected(usize),
+    /// Parent index out of bounds at this node.
+    OutOfBounds(usize),
+}
+
+impl fmt::Display for TreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TreeError::RootCount(n) => write!(f, "expected exactly 1 root, found {n}"),
+            TreeError::Inconsistent(i) => write!(f, "parent/children mismatch at node {i}"),
+            TreeError::Cycle(i) => write!(f, "cycle through node {i}"),
+            TreeError::Disconnected(i) => write!(f, "node {i} unreachable from root"),
+            TreeError::OutOfBounds(i) => write!(f, "parent index out of bounds at node {i}"),
+        }
+    }
+}
+
+impl std::error::Error for TreeError {}
+
+/// A rooted dependency tree over token indices `0..len`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DepTree {
+    parent: Vec<Option<usize>>,
+    children: Vec<Vec<usize>>,
+    root: usize,
+}
+
+impl DepTree {
+    /// The empty tree (zero tokens).
+    pub fn empty() -> Self {
+        DepTree { parent: Vec::new(), children: Vec::new(), root: 0 }
+    }
+
+    /// Build from a parent vector (exactly one `None` = root). Children
+    /// are derived; panics if no root exists and `parents` is non-empty.
+    pub fn from_parents(parents: Vec<Option<usize>>) -> Self {
+        let n = parents.len();
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut root = 0;
+        for (i, p) in parents.iter().enumerate() {
+            match p {
+                Some(p) => children[*p].push(i),
+                None => root = i,
+            }
+        }
+        assert!(n == 0 || parents.iter().any(Option::is_none), "no root in parent vector");
+        DepTree { parent: parents, children, root }
+    }
+
+    /// A right-branching chain: token 0 is the root, token *i* attaches
+    /// to token *i−1*. The universal fallback structure.
+    pub fn right_branching(n: usize) -> Self {
+        let parents = (0..n).map(|i| if i == 0 { None } else { Some(i - 1) }).collect();
+        DepTree::from_parents(parents)
+    }
+
+    /// Combine per-sentence trees (given as `(token_offset, tree)`) into
+    /// one document tree of `total_len` tokens. Sentence *k+1*'s root
+    /// attaches to sentence *k*'s root.
+    pub fn chain(trees: Vec<(usize, DepTree)>, total_len: usize) -> Self {
+        if total_len == 0 {
+            return DepTree::empty();
+        }
+        let mut parents: Vec<Option<usize>> = vec![None; total_len];
+        let mut prev_root: Option<usize> = None;
+        for (offset, tree) in &trees {
+            for i in 0..tree.len() {
+                parents[offset + i] = tree.parent(i).map(|p| offset + p);
+            }
+            if tree.len() > 0 {
+                let global_root = offset + tree.root();
+                if let Some(pr) = prev_root {
+                    parents[global_root] = Some(pr);
+                }
+                prev_root = Some(global_root);
+            }
+        }
+        // Tokens not covered by any sentence tree (should not happen for
+        // analyzer output, but keep the function total): attach to the
+        // previous token or become the root.
+        let first_root = trees
+            .iter()
+            .find(|(_, t)| t.len() > 0)
+            .map(|(o, t)| o + t.root());
+        for i in 0..total_len {
+            let covered = trees.iter().any(|(o, t)| i >= *o && i < o + t.len());
+            if !covered {
+                parents[i] = match first_root {
+                    Some(r) if r != i => Some(r),
+                    _ => {
+                        if i == 0 {
+                            None
+                        } else {
+                            Some(i - 1)
+                        }
+                    }
+                };
+            }
+        }
+        if first_root.is_none() && total_len > 0 {
+            parents[0] = None;
+        }
+        DepTree::from_parents(parents)
+    }
+
+    /// Number of nodes (tokens).
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True when the tree has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// The root node index.
+    pub fn root(&self) -> usize {
+        self.root
+    }
+
+    /// Parent of node `i` (`None` for the root).
+    pub fn parent(&self, i: usize) -> Option<usize> {
+        self.parent[i]
+    }
+
+    /// Children of node `i`, in insertion (≈ left-to-right) order.
+    pub fn children(&self, i: usize) -> &[usize] {
+        &self.children[i]
+    }
+
+    /// All descendants of `i`, including `i` itself (preorder).
+    pub fn subtree(&self, i: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut stack = vec![i];
+        while let Some(x) = stack.pop() {
+            out.push(x);
+            for &c in &self.children[x] {
+                stack.push(c);
+            }
+        }
+        out
+    }
+
+    /// True if `anc` is an ancestor of `node` (or equal to it).
+    pub fn is_ancestor(&self, anc: usize, node: usize) -> bool {
+        let mut cur = Some(node);
+        while let Some(x) = cur {
+            if x == anc {
+                return true;
+            }
+            cur = self.parent[x];
+        }
+        false
+    }
+
+    /// Depth of node `i` (root = 0).
+    pub fn depth(&self, i: usize) -> usize {
+        let mut d = 0;
+        let mut cur = self.parent[i];
+        while let Some(p) = cur {
+            d += 1;
+            cur = self.parent[p];
+        }
+        d
+    }
+
+    /// Path from `i` up to the root, inclusive of both ends.
+    pub fn path_to_root(&self, i: usize) -> Vec<usize> {
+        let mut path = vec![i];
+        let mut cur = self.parent[i];
+        while let Some(p) = cur {
+            path.push(p);
+            cur = self.parent[p];
+        }
+        path
+    }
+
+    /// Check all structural invariants.
+    pub fn validate(&self) -> Result<(), TreeError> {
+        let n = self.len();
+        if n == 0 {
+            return Ok(());
+        }
+        let roots: Vec<usize> = (0..n).filter(|&i| self.parent[i].is_none()).collect();
+        if roots.len() != 1 {
+            return Err(TreeError::RootCount(roots.len()));
+        }
+        if roots[0] != self.root {
+            return Err(TreeError::Inconsistent(self.root));
+        }
+        for i in 0..n {
+            if let Some(p) = self.parent[i] {
+                if p >= n {
+                    return Err(TreeError::OutOfBounds(i));
+                }
+                if !self.children[p].contains(&i) {
+                    return Err(TreeError::Inconsistent(i));
+                }
+            }
+            for &c in &self.children[i] {
+                if self.parent[c] != Some(i) {
+                    return Err(TreeError::Inconsistent(c));
+                }
+            }
+        }
+        // Reachability (also proves acyclicity given the 1-parent rule).
+        let reach = self.subtree(self.root);
+        if reach.len() != n {
+            let missing = (0..n).find(|i| !reach.contains(i)).expect("some node missing");
+            // Distinguish cycles from plain disconnection.
+            let mut seen = vec![false; n];
+            let mut cur = Some(missing);
+            while let Some(x) = cur {
+                if seen[x] {
+                    return Err(TreeError::Cycle(x));
+                }
+                seen[x] = true;
+                cur = self.parent[x];
+            }
+            return Err(TreeError::Disconnected(missing));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 0 <- 1 <- {2, 3}; 3 <- 4
+    fn sample() -> DepTree {
+        DepTree::from_parents(vec![None, Some(0), Some(1), Some(1), Some(3)])
+    }
+
+    #[test]
+    fn from_parents_builds_children() {
+        let t = sample();
+        assert_eq!(t.root(), 0);
+        assert_eq!(t.children(1), &[2, 3]);
+        assert_eq!(t.parent(4), Some(3));
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn subtree_collects_descendants() {
+        let t = sample();
+        let mut s = t.subtree(1);
+        s.sort_unstable();
+        assert_eq!(s, vec![1, 2, 3, 4]);
+        assert_eq!(t.subtree(4), vec![4]);
+    }
+
+    #[test]
+    fn ancestor_and_depth() {
+        let t = sample();
+        assert!(t.is_ancestor(0, 4));
+        assert!(t.is_ancestor(1, 2));
+        assert!(!t.is_ancestor(2, 3));
+        assert!(t.is_ancestor(3, 3));
+        assert_eq!(t.depth(0), 0);
+        assert_eq!(t.depth(4), 3);
+        assert_eq!(t.path_to_root(4), vec![4, 3, 1, 0]);
+    }
+
+    #[test]
+    fn right_branching_shape() {
+        let t = DepTree::right_branching(4);
+        assert_eq!(t.root(), 0);
+        assert_eq!(t.parent(3), Some(2));
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn chain_links_sentence_roots() {
+        let s1 = DepTree::from_parents(vec![Some(1), None]); // root at 1
+        let s2 = DepTree::from_parents(vec![None, Some(0)]); // root at 0
+        let t = DepTree::chain(vec![(0, s1), (2, s2)], 4);
+        t.validate().unwrap();
+        assert_eq!(t.root(), 1);
+        assert_eq!(t.parent(2), Some(1)); // second sentence root -> first root
+        assert_eq!(t.parent(3), Some(2));
+    }
+
+    #[test]
+    fn chain_empty() {
+        let t = DepTree::chain(vec![], 0);
+        assert!(t.is_empty());
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_detects_multiple_roots() {
+        let t = DepTree {
+            parent: vec![None, None],
+            children: vec![vec![], vec![]],
+            root: 0,
+        };
+        assert_eq!(t.validate(), Err(TreeError::RootCount(2)));
+    }
+
+    #[test]
+    fn validate_detects_cycle() {
+        let t = DepTree {
+            parent: vec![None, Some(2), Some(1)],
+            children: vec![vec![], vec![2], vec![1]],
+            root: 0,
+        };
+        assert!(matches!(t.validate(), Err(TreeError::Cycle(_))));
+    }
+
+    #[test]
+    fn validate_detects_inconsistency() {
+        let t = DepTree {
+            parent: vec![None, Some(0)],
+            children: vec![vec![], vec![]], // missing child link
+            root: 0,
+        };
+        assert_eq!(t.validate(), Err(TreeError::Inconsistent(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "no root")]
+    fn from_parents_requires_root() {
+        let _ = DepTree::from_parents(vec![Some(1), Some(0)]);
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(TreeError::RootCount(2).to_string(), "expected exactly 1 root, found 2");
+        assert!(TreeError::Cycle(3).to_string().contains("cycle"));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Generate a random valid parent vector: node i attaches to some
+    /// node < i (node 0 is the root), then a random permutation is NOT
+    /// applied (prefix-closed trees are general enough here).
+    fn arb_tree(max: usize) -> impl Strategy<Value = DepTree> {
+        (1..max).prop_flat_map(|n| {
+            let parents: Vec<BoxedStrategy<Option<usize>>> = (0..n)
+                .map(|i| {
+                    if i == 0 {
+                        Just(None).boxed()
+                    } else {
+                        (0..i).prop_map(Some).boxed()
+                    }
+                })
+                .collect();
+            parents.prop_map(DepTree::from_parents)
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn generated_trees_validate(t in arb_tree(24)) {
+            prop_assert!(t.validate().is_ok());
+        }
+
+        /// Subtree sizes sum to n + total depth identity: every node is
+        /// in exactly depth(i)+1 subtrees.
+        #[test]
+        fn subtree_membership_counts(t in arb_tree(16)) {
+            let n = t.len();
+            let total: usize = (0..n).map(|i| t.subtree(i).len()).sum();
+            let depths: usize = (0..n).map(|i| t.depth(i) + 1).sum();
+            prop_assert_eq!(total, depths);
+        }
+
+        /// path_to_root always ends at the root and has depth+1 entries.
+        #[test]
+        fn paths_reach_root(t in arb_tree(16)) {
+            for i in 0..t.len() {
+                let p = t.path_to_root(i);
+                prop_assert_eq!(*p.last().unwrap(), t.root());
+                prop_assert_eq!(p.len(), t.depth(i) + 1);
+            }
+        }
+
+        /// chain() over a partition of sentence trees is valid and keeps
+        /// the first sentence's root.
+        #[test]
+        fn chain_valid(sizes in prop::collection::vec(1usize..6, 1..5)) {
+            let mut trees = Vec::new();
+            let mut offset = 0;
+            for &s in &sizes {
+                trees.push((offset, DepTree::right_branching(s)));
+                offset += s;
+            }
+            let t = DepTree::chain(trees, offset);
+            prop_assert!(t.validate().is_ok());
+            prop_assert_eq!(t.root(), 0);
+        }
+    }
+}

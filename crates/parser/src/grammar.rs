@@ -1,0 +1,356 @@
+//! The probabilistic grammar: symbols, rules, head directions.
+//!
+//! The grammar is expressed directly in the binary/unary form CKY needs:
+//! * preterminal rules `NT -> Pos` anchor nonterminals to POS tags;
+//! * unary rules `NT -> NT` are closed over during parsing;
+//! * binary rules `NT -> NT NT` carry a [`HeadSide`] marking which child
+//!   contributes the lexical head — the "lexicalized" part of L-PCFG that
+//!   the dependency extraction of Sec. III-D consumes.
+//!
+//! Rule weights are relative; [`GrammarBuilder::build`] normalizes them
+//! into probabilities per left-hand side.
+
+use gced_text::Pos;
+use std::collections::HashMap;
+
+/// Grammar nonterminal symbols (plus the goal symbol `Top`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Symbol {
+    /// Goal symbol.
+    Top,
+    /// Clause.
+    S,
+    /// Noun phrase.
+    Np,
+    /// Nominal core (adjectives + nouns).
+    Nbar,
+    /// Lexical noun head.
+    N,
+    /// Verb phrase.
+    Vp,
+    /// Lexical verb head.
+    V,
+    /// Auxiliary wrapper.
+    Aux,
+    /// Prepositional phrase.
+    Pp,
+    /// Preposition wrapper.
+    In,
+    /// Adjective phrase.
+    Adjp,
+    /// Adverb phrase.
+    Advp,
+    /// Determiner wrapper.
+    Dt,
+    /// Coordination tail for NPs (`CC NP`).
+    CcNp,
+    /// Coordination tail for VPs (`CC VP`).
+    CcVp,
+    /// Coordination tail for clauses (`CC S`).
+    CcS,
+    /// Conjunction wrapper.
+    Cc,
+    /// Number wrapper.
+    Num,
+}
+
+impl Symbol {
+    /// Short label for tree rendering.
+    pub fn label(self) -> &'static str {
+        match self {
+            Symbol::Top => "TOP",
+            Symbol::S => "S",
+            Symbol::Np => "NP",
+            Symbol::Nbar => "NBAR",
+            Symbol::N => "N",
+            Symbol::Vp => "VP",
+            Symbol::V => "V",
+            Symbol::Aux => "AUX",
+            Symbol::Pp => "PP",
+            Symbol::In => "IN",
+            Symbol::Adjp => "ADJP",
+            Symbol::Advp => "ADVP",
+            Symbol::Dt => "DT",
+            Symbol::CcNp => "CCNP",
+            Symbol::CcVp => "CCVP",
+            Symbol::CcS => "CCS",
+            Symbol::Cc => "CC",
+            Symbol::Num => "NUM",
+        }
+    }
+}
+
+/// Which child of a binary rule carries the lexical head.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeadSide {
+    /// Left child is the head.
+    Left,
+    /// Right child is the head.
+    Right,
+}
+
+/// `lhs -> pos` with probability `prob`.
+#[derive(Debug, Clone, Copy)]
+pub struct PretermRule {
+    pub lhs: Symbol,
+    pub pos: Pos,
+    pub prob: f64,
+}
+
+/// `lhs -> child` with probability `prob` (head = child).
+#[derive(Debug, Clone, Copy)]
+pub struct UnaryRule {
+    pub lhs: Symbol,
+    pub child: Symbol,
+    pub prob: f64,
+}
+
+/// `lhs -> left right` with probability `prob` and a head side.
+#[derive(Debug, Clone, Copy)]
+pub struct BinaryRule {
+    pub lhs: Symbol,
+    pub left: Symbol,
+    pub right: Symbol,
+    pub prob: f64,
+    pub head: HeadSide,
+}
+
+/// A normalized, indexed PCFG.
+#[derive(Debug, Clone)]
+pub struct Grammar {
+    preterm: Vec<PretermRule>,
+    unary: Vec<UnaryRule>,
+    binary: Vec<BinaryRule>,
+    /// pos -> rules producing it (for CKY initialization).
+    by_pos: HashMap<Pos, Vec<PretermRule>>,
+    /// (left, right) -> binary rules (for CKY combination).
+    by_children: HashMap<(Symbol, Symbol), Vec<BinaryRule>>,
+}
+
+impl Grammar {
+    /// All preterminal rules.
+    pub fn preterminal_rules(&self) -> &[PretermRule] {
+        &self.preterm
+    }
+
+    /// All unary rules.
+    pub fn unary_rules(&self) -> &[UnaryRule] {
+        &self.unary
+    }
+
+    /// All binary rules.
+    pub fn binary_rules(&self) -> &[BinaryRule] {
+        &self.binary
+    }
+
+    /// Preterminal rules that yield `pos`.
+    pub fn rules_for_pos(&self, pos: Pos) -> &[PretermRule] {
+        self.by_pos.get(&pos).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Binary rules over a `(left, right)` child pair.
+    pub fn rules_for_children(&self, left: Symbol, right: Symbol) -> &[BinaryRule] {
+        self.by_children.get(&(left, right)).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The embedded English grammar used throughout the reproduction.
+    ///
+    /// Weights are hand-set relative frequencies tuned on the synthetic
+    /// corpora; `build` normalizes them per LHS.
+    pub fn english() -> Grammar {
+        let mut g = GrammarBuilder::new();
+        use HeadSide::{Left, Right};
+        use Symbol::*;
+
+        // ---- preterminals ------------------------------------------------
+        g.preterm(N, Pos::Noun, 6.0);
+        g.preterm(N, Pos::ProperNoun, 5.0);
+        g.preterm(N, Pos::Pronoun, 1.5);
+        g.preterm(N, Pos::Num, 0.8);
+        g.preterm(N, Pos::Other, 0.2);
+        g.preterm(N, Pos::Wh, 0.1);
+        g.preterm(V, Pos::Verb, 1.0);
+        g.preterm(Aux, Pos::Aux, 1.0);
+        g.preterm(In, Pos::Prep, 1.0);
+        g.preterm(Dt, Pos::Det, 1.0);
+        g.preterm(Cc, Pos::Conj, 1.0);
+        g.preterm(Adjp, Pos::Adj, 1.0);
+        g.preterm(Advp, Pos::Adv, 1.0);
+        g.preterm(Num, Pos::Num, 1.0);
+
+        // ---- unaries ------------------------------------------------------
+        g.unary(Top, S, 8.0);
+        g.unary(Top, Np, 1.5); // fragments: titles, appositives
+        g.unary(Top, Vp, 0.5);
+        g.unary(Nbar, N, 5.0);
+        g.unary(Np, Nbar, 4.0);
+        g.unary(Vp, V, 1.0);
+
+        // ---- clauses ------------------------------------------------------
+        g.binary(S, Np, Vp, 9.0, Right);
+        g.binary(S, S, CcS, 0.6, Left);
+        g.binary(CcS, Cc, S, 1.0, Right);
+        g.binary(S, Advp, S, 0.4, Right);
+
+        // ---- noun phrases ---------------------------------------------------
+        g.binary(Np, Dt, Nbar, 4.5, Right);
+        g.binary(Np, Np, Pp, 2.0, Left);
+        g.binary(Np, Num, Nbar, 0.6, Right);
+        g.binary(Np, Np, CcNp, 0.8, Left);
+        g.binary(CcNp, Cc, Np, 1.0, Right);
+        g.binary(Nbar, Adjp, Nbar, 2.2, Right);
+        g.binary(Nbar, N, Nbar, 2.8, Right); // noun compounds, right-headed
+        g.binary(Nbar, Num, Nbar, 0.4, Right);
+        g.binary(Np, Np, Np, 0.3, Left); // appositions ("the duke William")
+
+        // ---- verb phrases ---------------------------------------------------
+        g.binary(Vp, V, Np, 4.0, Left);
+        g.binary(Vp, V, Pp, 1.2, Left);
+        g.binary(Vp, Vp, Pp, 2.0, Left);
+        g.binary(Vp, Aux, Vp, 1.4, Right);
+        g.binary(Vp, Aux, Np, 0.7, Right); // copula: "is the capital"
+        g.binary(Vp, Aux, Adjp, 0.5, Right);
+        g.binary(Vp, Aux, Pp, 0.4, Right);
+        g.binary(Vp, Advp, Vp, 0.4, Right);
+        g.binary(Vp, Vp, Advp, 0.4, Left);
+        g.binary(Vp, V, Adjp, 0.3, Left);
+        g.binary(Vp, Vp, CcVp, 0.5, Left);
+        g.binary(CcVp, Cc, Vp, 1.0, Right);
+        g.binary(Vp, Vp, Np, 0.3, Left); // ditransitive tail
+        g.binary(Vp, V, S, 0.2, Left); // clausal complement
+
+        // ---- prepositional / modifier phrases --------------------------------
+        g.binary(Pp, In, Np, 1.0, Left); // preposition heads its phrase
+        g.binary(Adjp, Advp, Adjp, 0.3, Right);
+        g.binary(Adjp, Adjp, Adjp, 0.1, Right);
+
+        g.build()
+    }
+}
+
+/// Incremental grammar construction with per-LHS normalization.
+#[derive(Debug, Default)]
+pub struct GrammarBuilder {
+    preterm: Vec<PretermRule>,
+    unary: Vec<UnaryRule>,
+    binary: Vec<BinaryRule>,
+}
+
+impl GrammarBuilder {
+    /// Empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a preterminal rule with relative weight `w`.
+    pub fn preterm(&mut self, lhs: Symbol, pos: Pos, w: f64) -> &mut Self {
+        self.preterm.push(PretermRule { lhs, pos, prob: w });
+        self
+    }
+
+    /// Add a unary rule with relative weight `w`.
+    pub fn unary(&mut self, lhs: Symbol, child: Symbol, w: f64) -> &mut Self {
+        self.unary.push(UnaryRule { lhs, child, prob: w });
+        self
+    }
+
+    /// Add a binary rule with relative weight `w` and head side.
+    pub fn binary(&mut self, lhs: Symbol, left: Symbol, right: Symbol, w: f64, head: HeadSide) -> &mut Self {
+        self.binary.push(BinaryRule { lhs, left, right, prob: w, head });
+        self
+    }
+
+    /// Normalize weights per LHS (across all three rule kinds) and index.
+    pub fn build(&self) -> Grammar {
+        let mut totals: HashMap<Symbol, f64> = HashMap::new();
+        for r in &self.preterm {
+            *totals.entry(r.lhs).or_insert(0.0) += r.prob;
+        }
+        for r in &self.unary {
+            *totals.entry(r.lhs).or_insert(0.0) += r.prob;
+        }
+        for r in &self.binary {
+            *totals.entry(r.lhs).or_insert(0.0) += r.prob;
+        }
+        let norm = |lhs: Symbol, p: f64| p / totals[&lhs];
+
+        let preterm: Vec<PretermRule> = self
+            .preterm
+            .iter()
+            .map(|r| PretermRule { prob: norm(r.lhs, r.prob), ..*r })
+            .collect();
+        let unary: Vec<UnaryRule> = self
+            .unary
+            .iter()
+            .map(|r| UnaryRule { prob: norm(r.lhs, r.prob), ..*r })
+            .collect();
+        let binary: Vec<BinaryRule> = self
+            .binary
+            .iter()
+            .map(|r| BinaryRule { prob: norm(r.lhs, r.prob), ..*r })
+            .collect();
+
+        let mut by_pos: HashMap<Pos, Vec<PretermRule>> = HashMap::new();
+        for r in &preterm {
+            by_pos.entry(r.pos).or_default().push(*r);
+        }
+        let mut by_children: HashMap<(Symbol, Symbol), Vec<BinaryRule>> = HashMap::new();
+        for r in &binary {
+            by_children.entry((r.left, r.right)).or_default().push(*r);
+        }
+        Grammar { preterm, unary, binary, by_pos, by_children }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn english_grammar_normalizes_per_lhs() {
+        let g = Grammar::english();
+        let mut sums: HashMap<Symbol, f64> = HashMap::new();
+        for r in g.preterminal_rules() {
+            *sums.entry(r.lhs).or_insert(0.0) += r.prob;
+        }
+        for r in g.unary_rules() {
+            *sums.entry(r.lhs).or_insert(0.0) += r.prob;
+        }
+        for r in g.binary_rules() {
+            *sums.entry(r.lhs).or_insert(0.0) += r.prob;
+        }
+        for (lhs, total) in sums {
+            assert!((total - 1.0).abs() < 1e-9, "{lhs:?} sums to {total}");
+        }
+    }
+
+    #[test]
+    fn pos_index_covers_open_classes() {
+        let g = Grammar::english();
+        for pos in [Pos::Noun, Pos::ProperNoun, Pos::Verb, Pos::Adj, Pos::Adv, Pos::Det, Pos::Prep]
+        {
+            assert!(!g.rules_for_pos(pos).is_empty(), "{pos:?} unproducible");
+        }
+    }
+
+    #[test]
+    fn children_index_finds_s_rule() {
+        let g = Grammar::english();
+        let rules = g.rules_for_children(Symbol::Np, Symbol::Vp);
+        assert!(rules.iter().any(|r| r.lhs == Symbol::S && r.head == HeadSide::Right));
+    }
+
+    #[test]
+    fn probabilities_positive() {
+        let g = Grammar::english();
+        assert!(g.preterminal_rules().iter().all(|r| r.prob > 0.0));
+        assert!(g.unary_rules().iter().all(|r| r.prob > 0.0));
+        assert!(g.binary_rules().iter().all(|r| r.prob > 0.0));
+    }
+
+    #[test]
+    fn labels_render() {
+        assert_eq!(Symbol::Np.label(), "NP");
+        assert_eq!(Symbol::Top.label(), "TOP");
+    }
+}

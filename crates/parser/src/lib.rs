@@ -1,0 +1,102 @@
+//! # gced-parser — L-PCFG constituency parsing and dependency trees
+//!
+//! The Weighted Syntactic Parsing Tree Constructor (Sec. III-D of the
+//! GCED paper) uses Lexicalized Probabilistic Context-Free Grammars
+//! (L-PCFGs, Charniak/Collins style) to build a tree over the
+//! answer-oriented sentences, where **each node is a word indexed by its
+//! position** (Fig. 6). This crate provides the whole substrate the paper
+//! got from Stanford CoreNLP:
+//!
+//! * [`grammar`] — a hand-built English PCFG in binary + unary form with
+//!   per-rule head directions (the "L" of L-PCFG), normalized at build
+//!   time;
+//! * [`cky`] — exact probabilistic CKY over POS-tag terminals with unary
+//!   closure and a right-branching fallback for out-of-grammar input
+//!   (failure injection: parsing never panics and never fails);
+//! * [`tree`] — the lexicalized constituency tree;
+//! * [`dep`] — head-percolated dependency trees over token indices: the
+//!   exact structure SGS/SCS search over. Punctuation and clitic tokens
+//!   (skipped by the grammar) are re-attached to their preceding token;
+//!   multi-sentence inputs are chained root-to-root so the final tree is
+//!   always single-rooted and connected.
+//!
+//! ```
+//! use gced_parser::parse_document;
+//! let doc = gced_text::analyze("The Broncos defeated the Panthers.");
+//! let tree = parse_document(&doc);
+//! assert_eq!(tree.len(), doc.len());
+//! tree.validate().unwrap();
+//! ```
+
+pub mod cky;
+pub mod dep;
+pub mod grammar;
+pub mod tree;
+
+pub use cky::CkyParser;
+pub use dep::{DepTree, TreeError};
+pub use grammar::{Grammar, HeadSide, Symbol};
+pub use tree::{ConstNode, ConstTree};
+
+use gced_text::Document;
+
+/// Parse a whole analysed document into one dependency tree over global
+/// token indices. Sentences are parsed independently with the embedded
+/// grammar and chained root-to-root (sentence *k+1*'s root becomes a
+/// child of sentence *k*'s root), so the result is always a single
+/// connected tree covering every token.
+pub fn parse_document(doc: &Document) -> DepTree {
+    let parser = CkyParser::embedded();
+    parse_document_with(doc, &parser)
+}
+
+/// [`parse_document`] with a caller-supplied parser (custom grammar).
+pub fn parse_document_with(doc: &Document, parser: &CkyParser) -> DepTree {
+    let mut trees = Vec::with_capacity(doc.sentences.len());
+    for s in &doc.sentences {
+        let toks = &doc.tokens[s.token_start..s.token_end];
+        let local = parser.parse_tokens(toks);
+        trees.push((s.token_start, local));
+    }
+    DepTree::chain(trees, doc.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gced_text::analyze;
+
+    #[test]
+    fn parse_document_covers_all_tokens() {
+        let doc = analyze("The Broncos defeated the Panthers. They earned the title.");
+        let tree = parse_document(&doc);
+        assert_eq!(tree.len(), doc.len());
+        tree.validate().unwrap();
+    }
+
+    #[test]
+    fn empty_document_gives_empty_tree() {
+        let doc = analyze("");
+        let tree = parse_document(&doc);
+        assert_eq!(tree.len(), 0);
+    }
+
+    #[test]
+    fn single_token_document() {
+        let doc = analyze("Broncos");
+        let tree = parse_document(&doc);
+        assert_eq!(tree.len(), 1);
+        assert_eq!(tree.root(), 0);
+        tree.validate().unwrap();
+    }
+
+    #[test]
+    fn multi_sentence_is_single_rooted() {
+        let doc = analyze("A cat sat. A dog ran. A bird flew.");
+        let tree = parse_document(&doc);
+        tree.validate().unwrap();
+        let roots: Vec<usize> =
+            (0..tree.len()).filter(|&i| tree.parent(i).is_none()).collect();
+        assert_eq!(roots.len(), 1);
+    }
+}

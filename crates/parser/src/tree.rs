@@ -1,0 +1,187 @@
+//! Lexicalized constituency trees (arena representation).
+
+use crate::grammar::Symbol;
+use gced_text::Pos;
+
+/// One node of a constituency tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConstNode {
+    /// A leaf anchored to a token (by local index within the parsed span).
+    Leaf {
+        /// Local token index.
+        token: usize,
+        /// The token's POS tag.
+        pos: Pos,
+    },
+    /// An internal constituent.
+    Internal {
+        /// Nonterminal label.
+        label: Symbol,
+        /// Children node ids, left to right.
+        children: Vec<usize>,
+        /// Local index of the lexical head token (percolated).
+        head: usize,
+    },
+}
+
+/// An arena-allocated constituency tree over a token span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConstTree {
+    nodes: Vec<ConstNode>,
+    root: usize,
+    /// Number of tokens the tree spans.
+    n_tokens: usize,
+}
+
+impl ConstTree {
+    /// Assemble from an arena and root id. The caller guarantees the
+    /// arena is a tree (no sharing); `validate` checks it.
+    pub fn new(nodes: Vec<ConstNode>, root: usize, n_tokens: usize) -> Self {
+        ConstTree { nodes, root, n_tokens }
+    }
+
+    /// The root node id.
+    pub fn root(&self) -> usize {
+        self.root
+    }
+
+    /// Node accessor.
+    pub fn node(&self, id: usize) -> &ConstNode {
+        &self.nodes[id]
+    }
+
+    /// Number of nodes in the arena.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of tokens spanned.
+    pub fn token_count(&self) -> usize {
+        self.n_tokens
+    }
+
+    /// The lexical head token (local index) of a node.
+    pub fn head_of(&self, id: usize) -> usize {
+        match &self.nodes[id] {
+            ConstNode::Leaf { token, .. } => *token,
+            ConstNode::Internal { head, .. } => *head,
+        }
+    }
+
+    /// The tokens (local indices) in the yield of `id`, left to right.
+    pub fn yield_of(&self, id: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.collect_yield(id, &mut out);
+        out
+    }
+
+    fn collect_yield(&self, id: usize, out: &mut Vec<usize>) {
+        match &self.nodes[id] {
+            ConstNode::Leaf { token, .. } => out.push(*token),
+            ConstNode::Internal { children, .. } => {
+                for &c in children {
+                    self.collect_yield(c, out);
+                }
+            }
+        }
+    }
+
+    /// Pretty-print as a bracketed string, e.g. `(S (NP ...) (VP ...))`.
+    /// `words` supplies surface forms by local index.
+    pub fn bracketed(&self, words: &[&str]) -> String {
+        let mut s = String::new();
+        self.render(self.root, words, &mut s);
+        s
+    }
+
+    fn render(&self, id: usize, words: &[&str], out: &mut String) {
+        match &self.nodes[id] {
+            ConstNode::Leaf { token, pos } => {
+                out.push('(');
+                out.push_str(pos.label());
+                out.push(' ');
+                out.push_str(words.get(*token).copied().unwrap_or("?"));
+                out.push(')');
+            }
+            ConstNode::Internal { label, children, .. } => {
+                out.push('(');
+                out.push_str(label.label());
+                for &c in children {
+                    out.push(' ');
+                    self.render(c, words, out);
+                }
+                out.push(')');
+            }
+        }
+    }
+
+    /// Structural checks: yield of the root covers `0..n_tokens` exactly
+    /// once in order; every internal head is in its own yield.
+    pub fn validate(&self) -> Result<(), String> {
+        let y = self.yield_of(self.root);
+        let expect: Vec<usize> = (0..self.n_tokens).collect();
+        if y != expect {
+            return Err(format!("yield {y:?} != 0..{}", self.n_tokens));
+        }
+        for id in 0..self.nodes.len() {
+            if let ConstNode::Internal { head, .. } = &self.nodes[id] {
+                if !self.yield_of(id).contains(head) {
+                    return Err(format!("node {id}: head {head} outside its yield"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// (S (NP (N cats:0)) (VP (V sleep:1)))
+    fn tiny() -> ConstTree {
+        let nodes = vec![
+            ConstNode::Leaf { token: 0, pos: Pos::Noun },                            // 0
+            ConstNode::Leaf { token: 1, pos: Pos::Verb },                            // 1
+            ConstNode::Internal { label: Symbol::Np, children: vec![0], head: 0 },   // 2
+            ConstNode::Internal { label: Symbol::Vp, children: vec![1], head: 1 },   // 3
+            ConstNode::Internal { label: Symbol::S, children: vec![2, 3], head: 1 }, // 4
+        ];
+        ConstTree::new(nodes, 4, 2)
+    }
+
+    #[test]
+    fn yield_is_in_order() {
+        let t = tiny();
+        assert_eq!(t.yield_of(t.root()), vec![0, 1]);
+        assert_eq!(t.yield_of(2), vec![0]);
+    }
+
+    #[test]
+    fn heads_percolate() {
+        let t = tiny();
+        assert_eq!(t.head_of(t.root()), 1);
+        assert_eq!(t.head_of(2), 0);
+    }
+
+    #[test]
+    fn validate_accepts_good_tree() {
+        tiny().validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_bad_head() {
+        let mut nodes = vec![
+            ConstNode::Leaf { token: 0, pos: Pos::Noun },
+            ConstNode::Internal { label: Symbol::Np, children: vec![0], head: 5 },
+        ];
+        let t = ConstTree::new(std::mem::take(&mut nodes), 1, 1);
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn bracketed_rendering() {
+        let t = tiny();
+        assert_eq!(t.bracketed(&["cats", "sleep"]), "(S (NP (NN cats)) (VP (VB sleep)))");
+    }
+}

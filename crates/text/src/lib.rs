@@ -1,0 +1,206 @@
+//! # gced-text — text-processing substrate for Grow-and-Clip
+//!
+//! The GCED paper relies on Stanford CoreNLP / nltk for tokenization,
+//! sentence splitting and part-of-speech information. This crate is the
+//! from-scratch Rust replacement: a deterministic, offset-preserving
+//! tokenizer, a rule-based sentence splitter, a closed-class + morphology
+//! POS tagger, a light lemmatizer, and a vocabulary/interner.
+//!
+//! The central type is [`Document`]: the fully analysed form of a context
+//! string, carrying global token indices that the rest of the system (the
+//! weighted syntactic parse tree, the evidence forest, the distiller) uses
+//! as node identities — exactly the index scheme of Fig. 6 in the paper.
+//!
+//! ```
+//! use gced_text::analyze;
+//!
+//! let doc = analyze("Denver Broncos defeated Carolina Panthers. They earned the title.");
+//! assert_eq!(doc.sentences.len(), 2);
+//! assert_eq!(doc.tokens[0].text, "Denver");
+//! assert_eq!(&doc.text[doc.tokens[2].start..doc.tokens[2].end], "defeated");
+//! ```
+
+pub mod lemma;
+pub mod pos;
+pub mod sentence;
+pub mod stopwords;
+pub mod token;
+pub mod tokenizer;
+pub mod vocab;
+
+pub use lemma::lemmatize;
+pub use pos::{tag_tokens, Pos};
+pub use sentence::split_sentences;
+pub use stopwords::{is_insignificant_question_word, WordClass};
+pub use token::{SentId, Sentence, Token, TokenId};
+pub use tokenizer::tokenize;
+pub use vocab::Vocab;
+
+/// A fully analysed text: raw text, tokens with POS and lemmas, and
+/// sentence boundaries. Token `index` fields are global over the document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Document {
+    /// The original input text (unmodified).
+    pub text: String,
+    /// All tokens, in order; `tokens[i].index == i`.
+    pub tokens: Vec<Token>,
+    /// Sentence spans over `tokens`.
+    pub sentences: Vec<Sentence>,
+}
+
+impl Document {
+    /// Tokens belonging to sentence `sent`.
+    pub fn sentence_tokens(&self, sent: SentId) -> &[Token] {
+        let s = &self.sentences[sent.0];
+        &self.tokens[s.token_start..s.token_end]
+    }
+
+    /// Reconstruct the surface text of a sentence from its tokens
+    /// (whitespace-joined; the original spacing is recoverable through
+    /// the tokens' `start`/`end` offsets instead).
+    pub fn sentence_text(&self, sent: SentId) -> String {
+        join_tokens(self.sentence_tokens(sent))
+    }
+
+    /// Number of tokens in the document.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// True if the document contains no tokens.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// Lowercased token texts — the form used for lexical matching.
+    pub fn lower_texts(&self) -> Vec<String> {
+        self.tokens.iter().map(|t| t.text.to_lowercase()).collect()
+    }
+}
+
+/// Analyse raw text end to end: sentence split, tokenize, POS-tag,
+/// lemmatize. The output token indices are global and dense.
+pub fn analyze(text: &str) -> Document {
+    let sentence_spans = split_sentences(text);
+    let mut tokens = Vec::new();
+    let mut sentences = Vec::with_capacity(sentence_spans.len());
+    for span in sentence_spans.iter() {
+        let token_start = tokens.len();
+        let raw = &text[span.clone()];
+        for mut tok in tokenize(raw) {
+            tok.start += span.start;
+            tok.end += span.start;
+            tok.index = tokens.len();
+            tokens.push(tok);
+        }
+        let token_end = tokens.len();
+        if token_end > token_start {
+            sentences.push(Sentence {
+                index: sentences.len(),
+                token_start,
+                token_end,
+                char_start: span.start,
+                char_end: span.end,
+            });
+        }
+    }
+    // Stamp tokens with their (dense) sentence index.
+    for s in &sentences {
+        for t in &mut tokens[s.token_start..s.token_end] {
+            t.sent = s.index;
+        }
+    }
+    tag_tokens(&mut tokens);
+    for t in &mut tokens {
+        t.lemma = lemmatize(&t.text.to_lowercase(), t.pos);
+    }
+    Document { text: text.to_string(), tokens, sentences }
+}
+
+/// Join tokens into a readable string with simple detokenization rules:
+/// no space before punctuation or after an opening bracket.
+pub fn join_tokens(tokens: &[Token]) -> String {
+    let mut out = String::new();
+    for (i, t) in tokens.iter().enumerate() {
+        let glue_left = matches!(
+            t.text.as_str(),
+            "." | "," | "!" | "?" | ";" | ":" | ")" | "]" | "}" | "'s" | "n't" | "%" | "'"
+        );
+        if i > 0 && !glue_left && !matches!(tokens[i - 1].text.as_str(), "(" | "[" | "{") {
+            out.push(' ');
+        }
+        out.push_str(&t.text);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn analyze_assigns_global_indices() {
+        let doc = analyze("The cat sat. The dog ran.");
+        assert_eq!(doc.sentences.len(), 2);
+        for (i, t) in doc.tokens.iter().enumerate() {
+            assert_eq!(t.index, i);
+        }
+        assert_eq!(doc.sentences[0].token_start, 0);
+        assert_eq!(doc.sentences[1].token_start, doc.sentences[0].token_end);
+    }
+
+    #[test]
+    fn analyze_offsets_point_into_original_text() {
+        let text = "William the Conqueror led troops, in 1066.";
+        let doc = analyze(text);
+        for t in &doc.tokens {
+            assert_eq!(&text[t.start..t.end], t.text, "offset mismatch for {t:?}");
+        }
+    }
+
+    #[test]
+    fn sentence_tokens_partition_document() {
+        let doc = analyze("One two. Three four five. Six.");
+        let total: usize = doc
+            .sentences
+            .iter()
+            .map(|s| s.token_end - s.token_start)
+            .sum();
+        assert_eq!(total, doc.tokens.len());
+    }
+
+    #[test]
+    fn empty_input_yields_empty_document() {
+        let doc = analyze("");
+        assert!(doc.is_empty());
+        assert!(doc.sentences.is_empty());
+    }
+
+    #[test]
+    fn whitespace_only_input_yields_empty_document() {
+        let doc = analyze("   \n\t  ");
+        assert!(doc.is_empty());
+    }
+
+    #[test]
+    fn join_tokens_respects_punctuation() {
+        let doc = analyze("Hello, world!");
+        assert_eq!(join_tokens(&doc.tokens), "Hello, world!");
+    }
+
+    #[test]
+    fn sentence_text_roundtrip() {
+        let doc = analyze("Broncos defeated Panthers. It was close.");
+        assert_eq!(doc.sentence_text(SentId(0)), "Broncos defeated Panthers.");
+        assert_eq!(doc.sentence_text(SentId(1)), "It was close.");
+    }
+
+    #[test]
+    fn tokens_are_tagged_and_lemmatized() {
+        let doc = analyze("The cats were running quickly.");
+        let cats = &doc.tokens[1];
+        assert_eq!(cats.lemma, "cat");
+        let running = doc.tokens.iter().find(|t| t.text == "running").unwrap();
+        assert_eq!(running.lemma, "run");
+    }
+}

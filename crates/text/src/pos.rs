@@ -1,0 +1,318 @@
+//! Coarse part-of-speech tagging.
+//!
+//! A deterministic tagger layering (1) closed-class lexicon lookups,
+//! (2) morphological suffix heuristics, (3) capitalization (proper nouns),
+//! and (4) a small contextual repair pass. It is intentionally coarse —
+//! the L-PCFG grammar and the QWS module only need the distinctions below.
+
+use crate::stopwords::{classify, WordClass};
+use crate::token::Token;
+
+/// Coarse part-of-speech tags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Pos {
+    /// Common noun (default open-class tag).
+    Noun,
+    /// Proper noun (capitalized, not sentence-initial-only).
+    ProperNoun,
+    /// Personal / possessive pronoun.
+    Pronoun,
+    /// Main verb.
+    Verb,
+    /// Auxiliary or modal verb.
+    Aux,
+    /// Adjective.
+    Adj,
+    /// Adverb.
+    Adv,
+    /// Determiner / article.
+    Det,
+    /// Preposition (including infinitival "to").
+    Prep,
+    /// Conjunction.
+    Conj,
+    /// Cardinal number.
+    Num,
+    /// wh-question word.
+    Wh,
+    /// Possessive clitic `'s` or negation `n't` or other particles.
+    Particle,
+    /// Punctuation.
+    Punct,
+    /// Anything else.
+    Other,
+}
+
+impl Pos {
+    /// Open-class tags — candidates for content / clue words.
+    pub fn is_open_class(self) -> bool {
+        matches!(self, Pos::Noun | Pos::ProperNoun | Pos::Verb | Pos::Adj | Pos::Adv | Pos::Num)
+    }
+
+    /// Short human-readable label (used in traces and examples).
+    pub fn label(self) -> &'static str {
+        match self {
+            Pos::Noun => "NN",
+            Pos::ProperNoun => "NNP",
+            Pos::Pronoun => "PRP",
+            Pos::Verb => "VB",
+            Pos::Aux => "AUX",
+            Pos::Adj => "JJ",
+            Pos::Adv => "RB",
+            Pos::Det => "DT",
+            Pos::Prep => "IN",
+            Pos::Conj => "CC",
+            Pos::Num => "CD",
+            Pos::Wh => "WH",
+            Pos::Particle => "RP",
+            Pos::Punct => "PU",
+            Pos::Other => "XX",
+        }
+    }
+}
+
+/// Frequent verbs whose base form carries no reliable suffix signal.
+const COMMON_VERBS: &[&str] = &[
+    "win", "won", "earn", "lead", "led", "perform", "write", "wrote", "written", "sing",
+    "sang", "sung", "play", "played", "become", "became", "make", "made", "take", "took",
+    "give", "gave", "found", "founded", "establish", "direct", "compose", "discover",
+    "invent", "defeat", "defeated", "represent", "represented", "describe", "described",
+    "locate", "located", "publish", "published", "release", "released", "receive",
+    "received", "serve", "served", "hold", "held", "begin", "began", "begun", "know",
+    "known", "call", "called", "name", "named", "bear", "born", "raise", "raised", "move",
+    "moved", "record", "recorded", "study", "studied", "teach", "taught", "build", "built",
+    "design", "designed", "develop", "developed", "star", "starred", "appear", "appeared",
+    "marry", "married", "die", "died", "live", "lived", "work", "worked", "join", "joined",
+    "say", "said", "see", "saw", "seen", "go", "went", "gone", "come", "came", "get", "got",
+    "run", "ran", "sit", "sat", "stand", "stood", "rise", "rose", "risen", "grow", "grew",
+    "grown", "show", "showed", "shown", "open", "opened", "close", "closed", "remain",
+    "remained", "include", "included", "contain", "contained", "feature", "featured",
+    "produce", "produced", "capture", "captured", "occupy", "occupied", "explore",
+    "explored", "conquer", "conquered", "rule", "ruled", "reign", "reigned", "paint",
+    "painted", "sculpt", "sculpted", "score", "scored", "coach", "coached", "host",
+    "hosted", "visit", "visited", "border", "borders", "bordered", "flow", "flows",
+    "flowed", "cover", "covers", "covered", "span", "spans", "spanned",
+];
+
+/// Frequent adjectives with no reliable suffix signal.
+const COMMON_ADJECTIVES: &[&str] = &[
+    "good", "bad", "big", "small", "new", "old", "high", "low", "long", "short", "great",
+    "large", "young", "early", "late", "major", "minor", "famous", "ancient", "modern",
+    "northern", "southern", "eastern", "western", "central", "first", "second", "third",
+    "last", "next", "other", "same", "different", "important", "popular", "main", "key",
+    "red", "blue", "green", "white", "black", "golden", "royal", "national", "local",
+    "annual", "final", "own", "chief", "prominent", "notable", "renowned", "top",
+];
+
+/// Frequent adverbs without the -ly suffix.
+const COMMON_ADVERBS: &[&str] = &[
+    "very", "quite", "too", "also", "often", "never", "always", "again", "still", "soon",
+    "now", "here", "there", "well", "almost", "already", "later", "once", "twice",
+    "perhaps", "rather", "away", "back", "together",
+];
+
+/// Tag a mutable slice of tokens in place. Tokens must already carry their
+/// sentence indices (used for sentence-initial capitalization handling).
+pub fn tag_tokens(tokens: &mut [Token]) {
+    let len = tokens.len();
+    for i in 0..len {
+        let sent_initial = i == 0 || tokens[i - 1].sent != tokens[i].sent;
+        tokens[i].pos = tag_word(&tokens[i].text, sent_initial);
+    }
+    repair_pass(tokens);
+}
+
+/// Tag one word given whether it starts a sentence.
+fn tag_word(text: &str, sent_initial: bool) -> Pos {
+    if text.chars().all(|c| !c.is_alphanumeric()) {
+        return Pos::Punct;
+    }
+    if text.chars().all(|c| c.is_ascii_digit() || c == '.' || c == ',') {
+        return Pos::Num;
+    }
+    let lower = text.to_lowercase();
+    if lower == "'s" || lower == "\u{2019}s" || lower == "n't" || lower == "n\u{2019}t" {
+        return Pos::Particle;
+    }
+    match classify(&lower) {
+        WordClass::Question => return Pos::Wh,
+        WordClass::Auxiliary => return Pos::Aux,
+        WordClass::Determiner => return Pos::Det,
+        WordClass::Preposition => return Pos::Prep,
+        WordClass::Pronoun => return Pos::Pronoun,
+        WordClass::Conjunction => return Pos::Conj,
+        WordClass::Particle => return Pos::Particle,
+        WordClass::Open => {}
+    }
+    if COMMON_VERBS.contains(&lower.as_str()) {
+        return Pos::Verb;
+    }
+    if COMMON_ADJECTIVES.contains(&lower.as_str()) {
+        return Pos::Adj;
+    }
+    if COMMON_ADVERBS.contains(&lower.as_str()) {
+        return Pos::Adv;
+    }
+    // Capitalized mid-sentence => proper noun. Sentence-initial capitalized
+    // words fall through to morphology and default to proper noun only if
+    // they look like names (no common suffix match).
+    let capitalized = text.chars().next().is_some_and(|c| c.is_uppercase());
+    if capitalized && !sent_initial {
+        return Pos::ProperNoun;
+    }
+    if let Some(pos) = suffix_tag(&lower) {
+        return pos;
+    }
+    if capitalized {
+        return Pos::ProperNoun;
+    }
+    Pos::Noun
+}
+
+/// Morphological suffix heuristics for open-class words.
+fn suffix_tag(lower: &str) -> Option<Pos> {
+    let n = lower.len();
+    if n > 4 && lower.ends_with("ly") {
+        return Some(Pos::Adv);
+    }
+    if n > 5 && (lower.ends_with("ing") || lower.ends_with("ized") || lower.ends_with("ised")) {
+        return Some(Pos::Verb);
+    }
+    if n > 4 && lower.ends_with("ed") {
+        return Some(Pos::Verb);
+    }
+    if n > 4
+        && (lower.ends_with("ous")
+            || lower.ends_with("ful")
+            || lower.ends_with("ive")
+            || lower.ends_with("able")
+            || lower.ends_with("ible")
+            || lower.ends_with("ish")
+            || lower.ends_with("less")
+            || lower.ends_with("ical")
+            || lower.ends_with("ial"))
+    {
+        return Some(Pos::Adj);
+    }
+    if n > 5
+        && (lower.ends_with("tion")
+            || lower.ends_with("sion")
+            || lower.ends_with("ment")
+            || lower.ends_with("ness")
+            || lower.ends_with("ity")
+            || lower.ends_with("ship")
+            || lower.ends_with("ism"))
+    {
+        return Some(Pos::Noun);
+    }
+    None
+}
+
+/// Contextual repairs: a word tagged Verb directly after a determiner is
+/// re-tagged Noun ("the painting"), and "to" before a verb stays Prep (we
+/// do not distinguish infinitival to).
+fn repair_pass(tokens: &mut [Token]) {
+    for i in 1..tokens.len() {
+        if tokens[i].sent != tokens[i - 1].sent {
+            continue;
+        }
+        if tokens[i].pos == Pos::Verb
+            && matches!(tokens[i - 1].pos, Pos::Det | Pos::Adj | Pos::Num)
+            && tokens[i].text.to_lowercase().ends_with("ing")
+        {
+            tokens[i].pos = Pos::Noun;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze;
+
+    fn pos_of(text: &str, word: &str) -> Pos {
+        let doc = analyze(text);
+        doc.tokens
+            .iter()
+            .find(|t| t.text == word)
+            .unwrap_or_else(|| panic!("{word} not found in {text}"))
+            .pos
+    }
+
+    #[test]
+    fn closed_classes() {
+        assert_eq!(pos_of("The cat sat.", "The"), Pos::Det);
+        assert_eq!(pos_of("Who won the game?", "Who"), Pos::Wh);
+        assert_eq!(pos_of("It was done by him.", "by"), Pos::Prep);
+        assert_eq!(pos_of("It was done by him.", "was"), Pos::Aux);
+        assert_eq!(pos_of("He and she left.", "and"), Pos::Conj);
+    }
+
+    #[test]
+    fn proper_noun_mid_sentence() {
+        assert_eq!(pos_of("The Denver Broncos won.", "Denver"), Pos::ProperNoun);
+        assert_eq!(pos_of("The Denver Broncos won.", "Broncos"), Pos::ProperNoun);
+    }
+
+    #[test]
+    fn verbs_by_lexicon_and_suffix() {
+        assert_eq!(pos_of("They defeated the team.", "defeated"), Pos::Verb);
+        assert_eq!(pos_of("She was performing daily.", "performing"), Pos::Verb);
+        assert_eq!(pos_of("He analyzed the data.", "analyzed"), Pos::Verb);
+    }
+
+    #[test]
+    fn adjectives_and_adverbs() {
+        assert_eq!(pos_of("A famous painter lived here.", "famous"), Pos::Adj);
+        assert_eq!(pos_of("She sang beautifully there.", "beautifully"), Pos::Adv);
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(pos_of("Founded in 1066 exactly.", "1066"), Pos::Num);
+        assert_eq!(pos_of("It costs 3.5 million.", "3.5"), Pos::Num);
+    }
+
+    #[test]
+    fn punctuation() {
+        assert_eq!(pos_of("Stop, now!", ","), Pos::Punct);
+        assert_eq!(pos_of("Stop, now!", "!"), Pos::Punct);
+    }
+
+    #[test]
+    fn possessive_clitic_is_particle() {
+        assert_eq!(pos_of("The team's coach spoke.", "'s"), Pos::Particle);
+    }
+
+    #[test]
+    fn noun_suffixes() {
+        assert_eq!(pos_of("The celebration was loud.", "celebration"), Pos::Noun);
+        assert_eq!(pos_of("Their friendship lasted.", "friendship"), Pos::Noun);
+    }
+
+    #[test]
+    fn gerund_after_determiner_is_noun() {
+        assert_eq!(pos_of("The painting hung there.", "painting"), Pos::Noun);
+    }
+
+    #[test]
+    fn open_class_predicate() {
+        assert!(Pos::Noun.is_open_class());
+        assert!(Pos::ProperNoun.is_open_class());
+        assert!(Pos::Verb.is_open_class());
+        assert!(!Pos::Det.is_open_class());
+        assert!(!Pos::Punct.is_open_class());
+    }
+
+    #[test]
+    fn labels_are_distinct_for_core_tags() {
+        use std::collections::HashSet;
+        let tags = [
+            Pos::Noun, Pos::ProperNoun, Pos::Pronoun, Pos::Verb, Pos::Aux, Pos::Adj, Pos::Adv,
+            Pos::Det, Pos::Prep, Pos::Conj, Pos::Num, Pos::Wh, Pos::Particle, Pos::Punct,
+            Pos::Other,
+        ];
+        let labels: HashSet<_> = tags.iter().map(|t| t.label()).collect();
+        assert_eq!(labels.len(), tags.len());
+    }
+}

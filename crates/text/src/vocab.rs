@@ -1,0 +1,144 @@
+//! String-interning vocabulary with frequency counts.
+//!
+//! Shared by the n-gram language model, the embedding table, and the QA
+//! feature extractor: everything downstream works over dense `u32` ids.
+
+use std::collections::HashMap;
+
+/// Dense id for an interned word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct WordId(pub u32);
+
+/// Reserved id for out-of-vocabulary words.
+pub const UNK: WordId = WordId(0);
+
+/// An interning vocabulary. Id 0 is always the `<unk>` token.
+#[derive(Debug, Clone)]
+pub struct Vocab {
+    by_word: HashMap<String, WordId>,
+    words: Vec<String>,
+    counts: Vec<u64>,
+}
+
+impl Default for Vocab {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Vocab {
+    /// An empty vocabulary containing only `<unk>`.
+    pub fn new() -> Self {
+        let mut v = Vocab { by_word: HashMap::new(), words: Vec::new(), counts: Vec::new() };
+        v.words.push("<unk>".to_string());
+        v.counts.push(0);
+        v.by_word.insert("<unk>".to_string(), UNK);
+        v
+    }
+
+    /// Intern `word` (counting one occurrence) and return its id.
+    pub fn add(&mut self, word: &str) -> WordId {
+        if let Some(&id) = self.by_word.get(word) {
+            self.counts[id.0 as usize] += 1;
+            return id;
+        }
+        let id = WordId(self.words.len() as u32);
+        self.words.push(word.to_string());
+        self.counts.push(1);
+        self.by_word.insert(word.to_string(), id);
+        id
+    }
+
+    /// Look up a word without interning; OOV maps to [`UNK`].
+    pub fn get(&self, word: &str) -> WordId {
+        self.by_word.get(word).copied().unwrap_or(UNK)
+    }
+
+    /// True if the exact word has been interned.
+    pub fn contains(&self, word: &str) -> bool {
+        self.by_word.contains_key(word)
+    }
+
+    /// The surface string for an id.
+    pub fn word(&self, id: WordId) -> &str {
+        &self.words[id.0 as usize]
+    }
+
+    /// Occurrence count recorded through [`Vocab::add`].
+    pub fn count(&self, id: WordId) -> u64 {
+        self.counts[id.0 as usize]
+    }
+
+    /// Number of distinct interned words (including `<unk>`).
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// True when only `<unk>` is present.
+    pub fn is_empty(&self) -> bool {
+        self.words.len() <= 1
+    }
+
+    /// Total number of word occurrences recorded.
+    pub fn total_count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Build a vocabulary from an iterator of lowercased words.
+    pub fn from_words<'a>(words: impl IntoIterator<Item = &'a str>) -> Self {
+        let mut v = Vocab::new();
+        for w in words {
+            v.add(w);
+        }
+        v
+    }
+
+    /// Iterate `(id, word, count)` over all interned words except `<unk>`.
+    pub fn iter(&self) -> impl Iterator<Item = (WordId, &str, u64)> {
+        self.words
+            .iter()
+            .enumerate()
+            .skip(1)
+            .map(|(i, w)| (WordId(i as u32), w.as_str(), self.counts[i]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_stable() {
+        let mut v = Vocab::new();
+        let a1 = v.add("alpha");
+        let b = v.add("beta");
+        let a2 = v.add("alpha");
+        assert_eq!(a1, a2);
+        assert_ne!(a1, b);
+        assert_eq!(v.count(a1), 2);
+        assert_eq!(v.count(b), 1);
+    }
+
+    #[test]
+    fn oov_maps_to_unk() {
+        let v = Vocab::from_words(["x", "y"]);
+        assert_eq!(v.get("zzz"), UNK);
+        assert_eq!(v.word(UNK), "<unk>");
+    }
+
+    #[test]
+    fn len_and_totals() {
+        let v = Vocab::from_words(["a", "b", "a", "c"]);
+        assert_eq!(v.len(), 4); // unk + 3
+        assert_eq!(v.total_count(), 4);
+        assert!(!v.is_empty());
+        assert!(Vocab::new().is_empty());
+    }
+
+    #[test]
+    fn iter_skips_unk() {
+        let v = Vocab::from_words(["a", "b"]);
+        let words: Vec<&str> = v.iter().map(|(_, w, _)| w).collect();
+        assert_eq!(words, vec!["a", "b"]);
+    }
+}

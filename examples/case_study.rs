@@ -1,0 +1,67 @@
+//! Case study: the paper's Fig. 8 walkthrough.
+//!
+//! The published case study distills, for the question "What did Beyoncé
+//! perform in as a child?", the evidence "Beyoncé Giselle Knowles-Carter
+//! performed in singing and dancing competitions as a child" from a
+//! four-sentence biography. This example reproduces the same walkthrough
+//! on the synthetic music domain (which includes a hyphenated-surname
+//! artist template for exactly this reason) and prints every pipeline
+//! decision: ASE selection, clue words, forest, grow steps, clip steps.
+//!
+//! ```sh
+//! cargo run --release --example case_study
+//! ```
+
+use gced::{Gced, GcedConfig};
+use gced_datasets::{generate, DatasetKind, GeneratorConfig};
+
+fn main() {
+    let dataset =
+        generate(DatasetKind::Squad11, GeneratorConfig { train: 300, dev: 50, seed: 42 });
+    let gced = Gced::fit(&dataset, GcedConfig::default());
+
+    // A Fig. 8-style biography: the artist's early competitions are the
+    // QA-related part; birth, fame, and critical reception are noise.
+    let artist = "Maria Giselle Knowles-Carter";
+    let question = format!("What did {artist} perform in as a child?");
+    let answer = "singing and dancing competitions";
+    let context = format!(
+        "{artist} was born and raised in Savannah. \
+         {artist} performed in various singing and dancing competitions as a child. \
+         {artist} rose to fame in the 1990s as the lead singer of a famous soul band. \
+         Critics praised the album for its bold style and clear voice."
+    );
+
+    println!("=== Fig. 8 case study ===\n");
+    println!("question : {question}");
+    println!("answer   : {answer}");
+    println!("context  :");
+    for sentence in context.split(". ") {
+        println!("   {sentence}");
+    }
+
+    let d = gced.distill(&question, answer, &context).expect("distillation succeeds");
+
+    println!("\n--- pipeline decisions ---");
+    print!("{}", d.trace);
+    println!("\n--- result ---");
+    println!("answer-oriented sentences: {}", d.aos_text);
+    println!("distilled evidence       : {}", d.evidence);
+    println!(
+        "scores                   : I = {:.3}  C = {:.3}  R = {:.3}  H = {:.3}",
+        d.scores.informativeness, d.scores.conciseness, d.scores.readability, d.scores.hybrid
+    );
+    println!("word reduction           : {:.1}%", d.word_reduction * 100.0);
+
+    // The paper's qualitative claims for this case study:
+    assert!(
+        d.evidence.contains("singing and dancing competitions"),
+        "evidence must preserve the answer"
+    );
+    assert!(
+        d.evidence.split_whitespace().count()
+            < context.split_whitespace().count() / 2,
+        "evidence must be much shorter than the context"
+    );
+    println!("\ncase-study checks passed: answer preserved, evidence concise.");
+}

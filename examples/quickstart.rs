@@ -1,0 +1,44 @@
+//! Quickstart: distill one informative-yet-concise evidence.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use gced::{Gced, GcedConfig};
+use gced_datasets::{generate, DatasetKind, GeneratorConfig};
+
+fn main() {
+    // 1. A small synthetic SQuAD-style dataset to fit the substrates on
+    //    (PLM-substitute QA model, trigram LM, embeddings).
+    let dataset =
+        generate(DatasetKind::Squad11, GeneratorConfig { train: 300, dev: 50, seed: 42 });
+    println!("fitting GCED on {} training examples ...", dataset.train.len());
+    let gced = Gced::fit(&dataset, GcedConfig::default());
+
+    // 2. The paper's running example (Sec. III, Fig. 6).
+    let question = "Which NFL team represented the AFC at Super Bowl 50?";
+    let answer = "Denver Broncos";
+    let context = "The American Football Conference (AFC) champion Denver Broncos defeated \
+                   the National Football Conference (NFC) champion Carolina Panthers to earn \
+                   the Super Bowl 50 title. The game was played at Lockwood Stadium in Boston. \
+                   The halftime show featured a famous singer and a large fireworks display. \
+                   Ticket prices rose to record levels in the weeks before the game.";
+
+    // 3. Distill.
+    let d = gced.distill(question, answer, context).expect("distillation succeeds");
+
+    println!("\nquestion : {question}");
+    println!("answer   : {answer}");
+    println!("context  : {} words", context.split_whitespace().count());
+    println!("\nevidence : {}", d.evidence);
+    println!(
+        "           ({} tokens, {:.1}% of the context removed)",
+        d.evidence_tokens.len(),
+        d.word_reduction * 100.0
+    );
+    println!(
+        "\nscores   : I = {:.3}  C = {:.3}  R = {:.3}  H = {:.3}",
+        d.scores.informativeness, d.scores.conciseness, d.scores.readability, d.scores.hybrid
+    );
+    println!("\n--- trace ---\n{}", d.trace);
+}

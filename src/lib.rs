@@ -1,0 +1,11 @@
+//! Facade crate re-exporting the whole Grow-and-Clip workspace.
+pub use gced as core;
+pub use gced_datasets as datasets;
+pub use gced_eval as eval;
+pub use gced_lexicon as lexicon;
+pub use gced_lm as lm;
+pub use gced_metrics as metrics;
+pub use gced_nn as nn;
+pub use gced_parser as parser;
+pub use gced_qa as qa;
+pub use gced_text as text;

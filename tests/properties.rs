@@ -1,0 +1,84 @@
+//! Cross-crate property tests: invariants of the full distillation
+//! pipeline over randomly generated QA examples.
+
+use gced::{Gced, GcedConfig};
+use gced_datasets::{generate, DatasetKind, GeneratorConfig};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+fn pipeline() -> &'static (Gced, gced_datasets::Dataset) {
+    static P: OnceLock<(Gced, gced_datasets::Dataset)> = OnceLock::new();
+    P.get_or_init(|| {
+        let ds = generate(DatasetKind::Squad11, GeneratorConfig { train: 150, dev: 80, seed: 17 });
+        let g = Gced::fit(&ds, GcedConfig::default());
+        (g, ds)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Distillation invariants on arbitrary answerable dev examples:
+    /// evidence non-empty, reduction within [0, 1), scores bounded.
+    #[test]
+    fn distillation_invariants(idx in 0usize..80) {
+        let (g, ds) = pipeline();
+        let ex = &ds.dev.examples[idx % ds.dev.examples.len()];
+        prop_assume!(ex.answerable);
+        let d = g.distill(&ex.question, &ex.answer, &ex.context).unwrap();
+        prop_assert!(!d.evidence_tokens.is_empty());
+        prop_assert!((0.0..1.0).contains(&d.word_reduction));
+        prop_assert!((0.0..=1.0).contains(&d.scores.informativeness));
+        prop_assert!((0.0..=1.0).contains(&d.scores.readability));
+        // Evidence is never longer than the answer-oriented sentences.
+        let aos_len = gced_text::analyze(&d.aos_text).len();
+        prop_assert!(d.evidence_tokens.len() <= aos_len);
+    }
+
+    /// The forest protection invariant: answer words located in the AOS
+    /// always survive clipping.
+    #[test]
+    fn answer_words_survive_clipping(idx in 0usize..80) {
+        let (g, ds) = pipeline();
+        let ex = &ds.dev.examples[idx % ds.dev.examples.len()];
+        prop_assume!(ex.answerable);
+        let d = g.distill(&ex.question, &ex.answer, &ex.context).unwrap();
+        prop_assume!(!d.trace.fallback);
+        for word in &d.trace.answer_words {
+            prop_assert!(
+                d.evidence_tokens.iter().any(|t| t == word),
+                "answer word {word:?} clipped from {:?}", d.evidence_tokens
+            );
+        }
+    }
+
+    /// Arbitrary garbage questions/answers never panic the pipeline.
+    #[test]
+    fn total_on_garbage_inputs(
+        q in "[a-zA-Z ?]{1,40}",
+        a in "[a-zA-Z ]{1,20}",
+        c_idx in 0usize..80,
+    ) {
+        let (g, ds) = pipeline();
+        let ex = &ds.dev.examples[c_idx % ds.dev.examples.len()];
+        prop_assume!(a.trim().len() > 1);
+        // Must return Ok or a well-defined error, never panic.
+        let _ = g.distill(&q, &a, &ex.context);
+    }
+
+    /// Hybrid-score monotonicity used by SCS: clip steps recorded in the
+    /// trace are strictly improving under WhileImproving mode.
+    #[test]
+    fn clip_steps_improve_hybrid(idx in 0usize..80) {
+        let (g, ds) = pipeline();
+        let ex = &ds.dev.examples[idx % ds.dev.examples.len()];
+        prop_assume!(ex.answerable);
+        let d = g.distill(&ex.question, &ex.answer, &ex.context).unwrap();
+        for step in &d.trace.clip_steps {
+            prop_assert!(
+                step.hybrid_after > step.hybrid_before,
+                "clip did not improve: {} -> {}", step.hybrid_before, step.hybrid_after
+            );
+        }
+    }
+}
