@@ -22,10 +22,20 @@ fn main() {
     for kind in DatasetKind::all() {
         println!("\n--- {} ---", kind.name());
         let ctx = ExperimentContext::prepare(kind, scale, seed);
-        let zoo = if kind.is_trivia() { zoo::trivia_models() } else { zoo::squad_models() };
+        let zoo = if kind.is_trivia() {
+            zoo::trivia_models()
+        } else {
+            zoo::squad_models()
+        };
         let series = experiments::degradation(&ctx, &zoo, &deltas);
         let mut table = TextTable::new(&[
-            "Model", "gt", "pred20", "pred50", "pred80", "pred", "drop@pred",
+            "Model",
+            "gt",
+            "pred20",
+            "pred50",
+            "pred80",
+            "pred",
+            "drop@pred",
         ]);
         for s in &series {
             let mut cells = vec![s.model.clone()];

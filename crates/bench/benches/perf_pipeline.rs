@@ -1,7 +1,12 @@
 //! Criterion micro/macro benchmarks for the distillation pipeline —
 //! not a paper table, but the throughput numbers a systems reader
-//! expects: per-substrate cost (tokenize, parse, attend, LM) and
-//! end-to-end distillation latency.
+//! expects: per-substrate cost (tokenize, parse, attend, LM),
+//! end-to-end distillation latency, a clip-heavy long-context scenario,
+//! and batch distillation throughput.
+//!
+//! Median ns/iter per benchmark is written to `target/gced-criterion/`
+//! by the harness; the committed perf trajectory lives in
+//! `BENCH_pipeline.json` at the repository root.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use gced::{Gced, GcedConfig};
@@ -15,6 +20,31 @@ const CONTEXT: &str = "The American Football Conference (AFC) champion Denver Br
                        the Super Bowl 50 title. The game was played at Lockwood Stadium in Boston. \
                        The halftime show featured a famous singer and a large fireworks display.";
 
+/// A long, distractor-heavy context: the clip search must prune many
+/// subtrees, which is exactly the hot path the incremental scoring
+/// engine targets.
+fn long_context() -> String {
+    let mut s = String::from(
+        "The American Football Conference champion Denver Broncos defeated the National \
+         Football Conference champion Carolina Panthers to earn the Super Bowl 50 title in a \
+         long and memorable evening game watched by thousands of fans across the country. ",
+    );
+    let distractors = [
+        "The stadium had opened two years earlier after a lengthy construction project.",
+        "Local restaurants reported record sales of food and drinks during the week.",
+        "The halftime show featured a famous singer and a large fireworks display.",
+        "Television ratings for the broadcast exceeded every previous championship game.",
+        "The weather stayed mild for the entire afternoon and into the late evening.",
+        "Many visiting supporters traveled by train from distant cities to attend.",
+        "The trophy ceremony lasted an hour and included speeches from both coaches.",
+    ];
+    for d in distractors {
+        s.push_str(d);
+        s.push(' ');
+    }
+    s
+}
+
 fn bench_substrates(c: &mut Criterion) {
     c.bench_function("text/analyze_context", |b| {
         b.iter(|| gced_text::analyze(black_box(CONTEXT)))
@@ -26,7 +56,13 @@ fn bench_substrates(c: &mut Criterion) {
         b.iter(|| gced_parser::parse_document_with(black_box(&doc), &parser))
     });
 
-    let cfg = AttentionConfig { d_model: 64, heads: 16, d_k: 64, seed: 42, positional_weight: 0.35 };
+    let cfg = AttentionConfig {
+        d_model: 64,
+        heads: 16,
+        d_k: 64,
+        seed: 42,
+        positional_weight: 0.35,
+    };
     let mha = MultiHeadAttention::new(cfg);
     let table = EmbeddingTable::new(64, 42);
     let words: Vec<String> = doc.tokens.iter().map(|t| t.lower()).collect();
@@ -49,14 +85,65 @@ fn bench_substrates(c: &mut Criterion) {
 }
 
 fn bench_pipeline(c: &mut Criterion) {
-    let ds = generate(DatasetKind::Squad11, GeneratorConfig { train: 200, dev: 40, seed: 42 });
+    let ds = generate(
+        DatasetKind::Squad11,
+        GeneratorConfig {
+            train: 200,
+            dev: 40,
+            seed: 42,
+        },
+    );
     let gced = Gced::fit(&ds, GcedConfig::default());
     let question = "Which NFL team represented the AFC at Super Bowl 50?";
 
     c.bench_function("gced/distill_end_to_end", |b| {
         b.iter_batched(
             || (),
-            |_| gced.distill(black_box(question), "Denver Broncos", CONTEXT).unwrap(),
+            |_| {
+                gced.distill(black_box(question), "Denver Broncos", CONTEXT)
+                    .unwrap()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    // Clip-heavy scenario: a wide AOS window over a long noisy context
+    // forces many SCS iterations over many candidate subtrees.
+    let clip_heavy = Gced::fit(
+        &ds,
+        GcedConfig {
+            max_ase_sentences: 8,
+            ..GcedConfig::default()
+        },
+    );
+    let long_ctx = long_context();
+    c.bench_function("gced/clip_long_context", |b| {
+        b.iter_batched(
+            || (),
+            |_| {
+                clip_heavy
+                    .distill(black_box(question), "Denver Broncos", &long_ctx)
+                    .unwrap()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    // Batch throughput over 20 dev examples (one full table-runner inner
+    // loop). Measured per batch, not per example.
+    let batch: Vec<(String, String, String)> = ds
+        .dev
+        .examples
+        .iter()
+        .filter(|e| e.answerable)
+        .take(20)
+        .map(|e| (e.question.clone(), e.answer.clone(), e.context.clone()))
+        .collect();
+    assert_eq!(batch.len(), 20, "dev split too small for the batch bench");
+    c.bench_function("gced/distill_batch_20", |b| {
+        b.iter_batched(
+            || (),
+            |_| gced.distill_batch(black_box(&batch)),
             BatchSize::SmallInput,
         )
     });

@@ -18,7 +18,12 @@ fn main() {
     let outcome = experiments::agreement_study(&ctx, &zoo::squad_models()[0], scale);
 
     let mut table = TextTable::new(&["Criteria", "Group 1", "Group 2", "Group 3"]);
-    let labels = ["Informativeness", "Conciseness", "Readability", "Hybrid Score"];
+    let labels = [
+        "Informativeness",
+        "Conciseness",
+        "Readability",
+        "Hybrid Score",
+    ];
     let paper = [
         [0.77, 0.81, 0.76],
         [0.83, 0.80, 0.75],
@@ -27,10 +32,10 @@ fn main() {
     ];
     for (c_idx, label) in labels.iter().enumerate() {
         let mut cells = vec![label.to_string()];
-        for g in 0..3 {
+        for (g, paper_cell) in paper[c_idx].iter().enumerate() {
             let a = outcome.alpha.get(g).and_then(|row| row[c_idx]);
             cells.push(match a {
-                Some(a) => format!("{} (paper {})", score(a), score(paper[c_idx][g])),
+                Some(a) => format!("{} (paper {})", score(a), score(*paper_cell)),
                 None => "n/a".to_string(),
             });
         }

@@ -21,7 +21,11 @@ fn main() {
         let (pt, pd) = kind.paper_sizes();
         let ds = generate(
             kind,
-            GeneratorConfig { train: scale.train, dev: scale.dev, seed },
+            GeneratorConfig {
+                train: scale.train,
+                dev: scale.dev,
+                seed,
+            },
         );
         let answerable = ds
             .train

@@ -28,14 +28,20 @@ fn main() {
         "human evaluation of distilled evidences on TriviaQA (Table V)",
     );
     let zoo = zoo::trivia_models();
-    for (v_idx, kind) in [DatasetKind::TriviaWeb, DatasetKind::TriviaWiki].into_iter().enumerate()
+    for (v_idx, kind) in [DatasetKind::TriviaWeb, DatasetKind::TriviaWiki]
+        .into_iter()
+        .enumerate()
     {
         println!("\n--- {} ---", kind.name());
         let ctx = ExperimentContext::prepare(kind, scale, seed);
         let rows = experiments::human_eval(&ctx, &zoo, scale);
         let mut table = TextTable::new(&["Source", "I", "C", "R", "H", "paper H", "reduction"]);
         for (i, r) in rows.iter().enumerate() {
-            let paper = if v_idx == 0 { PAPER_H[i].0 } else { PAPER_H[i].1 };
+            let paper = if v_idx == 0 {
+                PAPER_H[i].0
+            } else {
+                PAPER_H[i].1
+            };
             table.row(vec![
                 r.source.clone(),
                 score(r.outcome.informativeness),

@@ -20,7 +20,14 @@ fn main() {
         let ctx = ExperimentContext::prepare(kind, scale, seed);
         let rows = experiments::qa_augmentation(&ctx, &zoo);
         let mut table = TextTable::new(&[
-            "Model", "EM", "F1", "+GCED EM", "+GCED F1", "paper EM", "paper F1", "paper +EM",
+            "Model",
+            "EM",
+            "F1",
+            "+GCED EM",
+            "+GCED F1",
+            "paper EM",
+            "paper F1",
+            "paper +EM",
             "paper +F1",
         ]);
         let mut em_gains = Vec::new();

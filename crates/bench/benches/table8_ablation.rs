@@ -30,8 +30,10 @@ const PAPER: [(f64, f64, f64, f64, f64, f64); 8] = [
 ];
 
 fn main() {
-    let (scale, seed, t0) =
-        start("table8_ablation", "GCED component ablation (Table VIII, BERT on SQuAD-2.0)");
+    let (scale, seed, t0) = start(
+        "table8_ablation",
+        "GCED component ablation (Table VIII, BERT on SQuAD-2.0)",
+    );
     let ctx = ExperimentContext::prepare(DatasetKind::Squad20, scale, seed);
     let bert = &zoo::squad_models()[0];
 
@@ -58,36 +60,109 @@ fn main() {
     // ---- extended design ablations -------------------------------------
     println!("\n--- design-choice ablations (beyond the paper's table) ---");
     let protocol = RatingProtocol::paper(seed);
-    let sample: Vec<&gced_datasets::QaExample> =
-        ctx.dataset.dev.examples.iter().filter(|e| e.answerable).take(scale.rated).collect();
+    let sample: Vec<&gced_datasets::QaExample> = ctx
+        .dataset
+        .dev
+        .examples
+        .iter()
+        .filter(|e| e.answerable)
+        .take(scale.rated)
+        .collect();
 
     let mut design = TextTable::new(&["Variant", "I", "C", "R", "H", "mean tokens"]);
     let variants: Vec<(&str, GcedConfig)> = vec![
-        ("max-attention grow (default)", GcedConfig { seed, ..GcedConfig::default() }),
+        (
+            "max-attention grow (default)",
+            GcedConfig {
+                seed,
+                ..GcedConfig::default()
+            },
+        ),
         (
             "index-order grow",
-            GcedConfig { grow_max_attention: false, seed, ..GcedConfig::default() },
+            GcedConfig {
+                grow_max_attention: false,
+                seed,
+                ..GcedConfig::default()
+            },
         ),
         (
             "unprotected clip",
-            GcedConfig { clip_protect_forest: false, seed, ..GcedConfig::default() },
+            GcedConfig {
+                clip_protect_forest: false,
+                seed,
+                ..GcedConfig::default()
+            },
         ),
-        ("M=0 (no clip)", GcedConfig { clip: ClipMode::Fixed(0), seed, ..GcedConfig::default() }),
-        ("M=1", GcedConfig { clip: ClipMode::Fixed(1), seed, ..GcedConfig::default() }),
-        ("M=2", GcedConfig { clip: ClipMode::Fixed(2), seed, ..GcedConfig::default() }),
-        ("M=4", GcedConfig { clip: ClipMode::Fixed(4), seed, ..GcedConfig::default() }),
-        ("M=8", GcedConfig { clip: ClipMode::Fixed(8), seed, ..GcedConfig::default() }),
+        (
+            "M=0 (no clip)",
+            GcedConfig {
+                clip: ClipMode::Fixed(0),
+                seed,
+                ..GcedConfig::default()
+            },
+        ),
+        (
+            "M=1",
+            GcedConfig {
+                clip: ClipMode::Fixed(1),
+                seed,
+                ..GcedConfig::default()
+            },
+        ),
+        (
+            "M=2",
+            GcedConfig {
+                clip: ClipMode::Fixed(2),
+                seed,
+                ..GcedConfig::default()
+            },
+        ),
+        (
+            "M=4",
+            GcedConfig {
+                clip: ClipMode::Fixed(4),
+                seed,
+                ..GcedConfig::default()
+            },
+        ),
+        (
+            "M=8",
+            GcedConfig {
+                clip: ClipMode::Fixed(8),
+                seed,
+                ..GcedConfig::default()
+            },
+        ),
         (
             "weights a=.8 b=.1 g=.1",
-            GcedConfig { alpha: 0.8, beta: 0.1, gamma: 0.1, seed, ..GcedConfig::default() },
+            GcedConfig {
+                alpha: 0.8,
+                beta: 0.1,
+                gamma: 0.1,
+                seed,
+                ..GcedConfig::default()
+            },
         ),
         (
             "weights a=.2 b=.2 g=.6",
-            GcedConfig { alpha: 0.2, beta: 0.2, gamma: 0.6, seed, ..GcedConfig::default() },
+            GcedConfig {
+                alpha: 0.2,
+                beta: 0.2,
+                gamma: 0.6,
+                seed,
+                ..GcedConfig::default()
+            },
         ),
         (
             "weights a=.33 b=.33 g=.33",
-            GcedConfig { alpha: 1.0 / 3.0, beta: 1.0 / 3.0, gamma: 1.0 / 3.0, seed, ..GcedConfig::default() },
+            GcedConfig {
+                alpha: 1.0 / 3.0,
+                beta: 1.0 / 3.0,
+                gamma: 1.0 / 3.0,
+                seed,
+                ..GcedConfig::default()
+            },
         ),
     ];
     for (label, cfg) in variants {

@@ -1,0 +1,509 @@
+//! Offline stand-in for the parts of `proptest` this workspace uses.
+//!
+//! The build environment has no crates.io access, so the workspace
+//! vendors a deterministic property-testing harness with the same macro
+//! and strategy surface: `proptest!`, `prop_assert!`, `prop_assert_eq!`,
+//! `prop_assume!`, `Strategy` (with `prop_map` / `prop_flat_map` /
+//! `boxed`), `Just`, `BoxedStrategy`, ranges, `prop::sample::select`,
+//! `prop::collection::vec`, and simple `"[class]{m,n}"` string regexes.
+//!
+//! Differences from real proptest: no shrinking (a failing case reports
+//! its deterministic case seed instead), and rejected cases (via
+//! `prop_assume!`) are retried a bounded number of times.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+/// Outcome of one generated test case.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed: discard this input and try another.
+    Reject,
+    /// `prop_assert!`-style failure with a rendered message.
+    Fail(String),
+}
+
+/// Runner configuration (`ProptestConfig` in real proptest).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases to run per property.
+    pub cases: u32,
+    /// Maximum retries per case when inputs are rejected.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(128);
+        ProptestConfig {
+            cases,
+            max_global_rejects: 64,
+        }
+    }
+}
+
+/// Deterministic per-case RNG (splitmix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// RNG for (test name, case index, reject-retry attempt).
+    pub fn for_case(name: &str, case: u32, attempt: u32) -> Self {
+        let mut h = DefaultHasher::new();
+        name.hash(&mut h);
+        case.hash(&mut h);
+        attempt.hash(&mut h);
+        TestRng {
+            state: h.finish() | 1,
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform integer in `[0, bound)` (`bound` > 0).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+}
+
+/// A generator of test values. Object-safe: combinators carry a
+/// `Self: Sized` bound.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generate a value, then generate from the strategy it induces.
+    fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Type-erase the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// Always generates a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo) as u64 + 1;
+                lo + rng.below(span) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(usize, u64, u32, u16, u8);
+
+/// Every strategy in a `Vec` generates one element of the output `Vec`.
+impl<S: Strategy> Strategy for Vec<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        self.iter().map(|s| s.generate(rng)).collect()
+    }
+}
+
+/// `&'static str` regex strategy for the `[class]{min,max}` subset.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (chars, lo, hi) = parse_class_regex(self)
+            .unwrap_or_else(|| panic!("unsupported regex strategy {self:?}"));
+        let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+        (0..len)
+            .map(|_| chars[rng.below(chars.len() as u64) as usize])
+            .collect()
+    }
+}
+
+/// Parse `[class]{min,max}` into (alphabet, min, max). Supports literal
+/// characters and `a-z` ranges; a trailing `-` is a literal.
+fn parse_class_regex(pat: &str) -> Option<(Vec<char>, usize, usize)> {
+    let body = pat.strip_prefix('[')?;
+    let close = body.find(']')?;
+    let class: Vec<char> = body[..close].chars().collect();
+    let rep = body[close + 1..].strip_prefix('{')?.strip_suffix('}')?;
+    let (lo, hi) = match rep.split_once(',') {
+        Some((a, b)) => (a.trim().parse().ok()?, b.trim().parse().ok()?),
+        None => {
+            let n = rep.trim().parse().ok()?;
+            (n, n)
+        }
+    };
+    let mut chars = Vec::new();
+    let mut i = 0;
+    while i < class.len() {
+        if i + 2 < class.len() && class[i + 1] == '-' {
+            let (a, b) = (class[i], class[i + 2]);
+            if a > b {
+                return None;
+            }
+            let mut c = a;
+            loop {
+                chars.push(c);
+                if c == b {
+                    break;
+                }
+                c = char::from_u32(c as u32 + 1)?;
+            }
+            i += 3;
+        } else {
+            chars.push(class[i]);
+            i += 1;
+        }
+    }
+    if chars.is_empty() || hi < lo {
+        return None;
+    }
+    Some((chars, lo, hi))
+}
+
+/// Namespaced strategy constructors (`prop::…`).
+pub mod prop {
+    /// Sampling from explicit pools.
+    pub mod sample {
+        use crate::{Strategy, TestRng};
+
+        /// Uniformly select one element of a non-empty `Vec`.
+        pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+            assert!(!options.is_empty(), "select requires a non-empty pool");
+            Select { options }
+        }
+
+        /// See [`select`].
+        #[derive(Debug, Clone)]
+        pub struct Select<T: Clone> {
+            options: Vec<T>,
+        }
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+            fn generate(&self, rng: &mut TestRng) -> T {
+                self.options[rng.below(self.options.len() as u64) as usize].clone()
+            }
+        }
+    }
+
+    /// Collection strategies.
+    pub mod collection {
+        use crate::{Strategy, TestRng};
+        use std::ops::Range;
+
+        /// A `Vec` of `lens`-many elements drawn from `elem`.
+        pub fn vec<S: Strategy>(elem: S, lens: Range<usize>) -> VecStrategy<S> {
+            assert!(lens.start < lens.end, "empty length range");
+            VecStrategy { elem, lens }
+        }
+
+        /// See [`vec`].
+        pub struct VecStrategy<S> {
+            elem: S,
+            lens: Range<usize>,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let span = (self.lens.end - self.lens.start) as u64;
+                let len = self.lens.start + rng.below(span) as usize;
+                (0..len).map(|_| self.elem.generate(rng)).collect()
+            }
+        }
+    }
+}
+
+/// The glob-import surface (`use proptest::prelude::*`).
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, BoxedStrategy, Just,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// Drives the generated cases of one property (used by [`proptest!`]).
+pub struct Runner {
+    config: ProptestConfig,
+    name: &'static str,
+}
+
+impl Runner {
+    /// New runner for a named property.
+    pub fn new(config: ProptestConfig, name: &'static str) -> Self {
+        Runner { config, name }
+    }
+
+    /// Run `body` for every case, retrying rejected inputs.
+    pub fn run<F>(&self, mut body: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        for case in 0..self.config.cases {
+            let mut accepted = false;
+            for attempt in 0..=self.config.max_global_rejects {
+                let mut rng = TestRng::for_case(self.name, case, attempt);
+                match body(&mut rng) {
+                    Ok(()) => {
+                        accepted = true;
+                        break;
+                    }
+                    Err(TestCaseError::Reject) => continue,
+                    Err(TestCaseError::Fail(msg)) => panic!(
+                        "proptest property {} failed at case {case} (attempt {attempt}): {msg}",
+                        self.name
+                    ),
+                }
+            }
+            // A fully rejected case is skipped, mirroring proptest's
+            // tolerance for sparse assumptions.
+            let _ = accepted;
+        }
+    }
+}
+
+/// The `proptest!` macro: deterministic case generation, no shrinking.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr); $( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let runner = $crate::Runner::new($cfg, stringify!($name));
+                runner.run(|__rng| {
+                    $(let $arg = $crate::Strategy::generate(&($strat), __rng);)*
+                    $body
+                    Ok(())
+                });
+            }
+        )*
+    };
+}
+
+/// `prop_assume!`: reject the current input unless the condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Reject);
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// `prop_assert!`: fail the property with a message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {}", stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// `prop_assert_eq!`: fail unless both sides are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (left, right) = (&$a, &$b);
+        if left != right {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {} == {} (left: {left:?}, right: {right:?})",
+                stringify!($a),
+                stringify!($b)
+            )));
+        }
+    }};
+}
+
+/// `prop_assert_ne!`: fail if both sides are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (left, right) = (&$a, &$b);
+        if left == right {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {} != {} (both: {left:?})",
+                stringify!($a),
+                stringify!($b)
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn regex_parse_supported_classes() {
+        let (chars, lo, hi) = super::parse_class_regex("[ a-cA-C0-2,.'()-]{1,40}").unwrap();
+        assert_eq!(lo, 1);
+        assert_eq!(hi, 40);
+        for c in [
+            ' ', 'a', 'b', 'c', 'A', 'C', '0', '2', ',', '.', '\'', '(', ')', '-',
+        ] {
+            assert!(chars.contains(&c), "missing {c:?}");
+        }
+        assert!(!chars.contains(&'z'));
+    }
+
+    #[test]
+    fn string_strategy_respects_length_and_alphabet() {
+        let mut rng = super::TestRng::for_case("t", 0, 0);
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[a-z ]{1,5}", &mut rng);
+            assert!((1..=5).contains(&s.chars().count()), "bad len {s:?}");
+            assert!(s.chars().all(|c| c == ' ' || c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = super::TestRng::for_case("x", 3, 0);
+        let mut b = super::TestRng::for_case("x", 3, 0);
+        let strat = prop::collection::vec(0usize..10, 1..6);
+        assert_eq!(
+            Strategy::generate(&strat, &mut a),
+            Strategy::generate(&strat, &mut b)
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+        /// The macro itself works end to end, including assume/assert.
+        #[test]
+        fn macro_end_to_end(x in 1usize..50, v in prop::collection::vec(0u8..4, 0..5)) {
+            prop_assume!(x != 13);
+            prop_assert!((1..50).contains(&x));
+            prop_assert!(v.len() < 5, "len was {}", v.len());
+            prop_assert_eq!(x, x);
+            prop_assert_ne!(x, x + 1);
+        }
+
+        /// Mapped and boxed strategies compose.
+        #[test]
+        fn combinators(y in (1u8..=5).prop_map(|r| r as f64), z in Just(7usize).boxed()) {
+            prop_assert!((1.0..=5.0).contains(&y));
+            prop_assert_eq!(z, 7);
+        }
+    }
+}

@@ -7,8 +7,8 @@
 //! paper's fallback ("the sentence subset with the maximum overlap").
 
 use gced_metrics::overlap::token_f1;
-use gced_qa::{QaModel, QuestionAnalysis};
-use gced_text::{analyze, Document, SentId};
+use gced_qa::{QaModel, QuestionAnalysis, SelectionScratch};
+use gced_text::{Document, SentId};
 
 /// Outcome of the ASE search.
 #[derive(Debug, Clone, PartialEq)]
@@ -36,12 +36,18 @@ pub fn extract(
 ) -> AseResult {
     let n_sents = doc.sentences.len();
     if n_sents == 0 {
-        return AseResult { sentences: vec![], exact: false, best_f1: 0.0, steps: vec![] };
+        return AseResult {
+            sentences: vec![],
+            exact: false,
+            best_f1: 0.0,
+            steps: vec![],
+        };
     }
+    let mut scratch = TrialScratch::default();
     let mut selected: Vec<usize> = Vec::new();
     let mut steps: Vec<(usize, f64)> = Vec::new();
     let mut best_subset: Vec<usize> = vec![0]; // degenerate fallback: first sentence
-    let mut best_f1 = f1_of_subset(qa, q, question, answer, doc, &[0]);
+    let mut best_f1 = f1_of_subset(qa, q, question, answer, doc, &[0], &mut scratch);
     let cap = max_sentences.max(1).min(n_sents);
 
     while selected.len() < cap {
@@ -53,13 +59,15 @@ pub fn extract(
             let mut trial = selected.clone();
             trial.push(s);
             trial.sort_unstable();
-            let f1 = f1_of_subset(qa, q, question, answer, doc, &trial);
+            let f1 = f1_of_subset(qa, q, question, answer, doc, &trial, &mut scratch);
             match round_best {
                 Some((_, bf)) if bf >= f1 => {}
                 _ => round_best = Some((s, f1)),
             }
         }
-        let Some((chosen, f1)) = round_best else { break };
+        let Some((chosen, f1)) = round_best else {
+            break;
+        };
         selected.push(chosen);
         selected.sort_unstable();
         steps.push((chosen, f1));
@@ -68,13 +76,33 @@ pub fn extract(
             best_subset = selected.clone();
         }
         if f1 >= 1.0 - 1e-9 {
-            return AseResult { sentences: selected, exact: true, best_f1: 1.0, steps };
+            return AseResult {
+                sentences: selected,
+                exact: true,
+                best_f1: 1.0,
+                steps,
+            };
         }
     }
-    AseResult { sentences: best_subset, exact: false, best_f1, steps }
+    AseResult {
+        sentences: best_subset,
+        exact: false,
+        best_f1,
+        steps,
+    }
 }
 
-/// Prediction overlap of the QA model on a sentence subset.
+/// Reusable buffers for the greedy trials.
+#[derive(Default)]
+struct TrialScratch {
+    qa: SelectionScratch,
+    indices: Vec<usize>,
+}
+
+/// Prediction overlap of the QA model on a sentence subset, predicted
+/// over the already-analysed document projected onto the subset's
+/// tokens — no re-tokenization per trial (the greedy search runs
+/// O(sentences²) trials per distillation).
 fn f1_of_subset(
     qa: &QaModel,
     q: &QuestionAnalysis,
@@ -82,10 +110,14 @@ fn f1_of_subset(
     answer: &str,
     doc: &Document,
     subset: &[usize],
+    scratch: &mut TrialScratch,
 ) -> f64 {
-    let text = subset_text(doc, subset);
-    let sub_doc = analyze(&text);
-    let pred = qa.predict_analyzed(q, &sub_doc, question);
+    scratch.indices.clear();
+    for &s in subset {
+        let sent = &doc.sentences[s];
+        scratch.indices.extend(sent.token_start..sent.token_end);
+    }
+    let pred = qa.predict_selection(q, doc, &scratch.indices, question, &mut scratch.qa);
     token_f1(&pred.text, answer).f1
 }
 
@@ -102,6 +134,7 @@ pub fn subset_text(doc: &Document, subset: &[usize]) -> String {
 mod tests {
     use super::*;
     use gced_qa::ModelProfile;
+    use gced_text::analyze;
     use std::sync::OnceLock;
 
     /// A PLM trained once on a small synthetic split (ASE always runs
@@ -111,7 +144,11 @@ mod tests {
         MODEL.get_or_init(|| {
             let ds = gced_datasets::generate(
                 gced_datasets::DatasetKind::Squad11,
-                gced_datasets::GeneratorConfig { train: 150, dev: 16, seed: 21 },
+                gced_datasets::GeneratorConfig {
+                    train: 150,
+                    dev: 16,
+                    seed: 21,
+                },
             );
             let mut qa = QaModel::new(ModelProfile::plm());
             qa.train(&ds.train.examples);
@@ -143,7 +180,11 @@ mod tests {
         );
         let r = extract(qa, &q, question, "Denver Broncos", &doc, 4);
         if r.exact {
-            assert_eq!(r.sentences.len(), 1, "exact stop should keep the subset minimal");
+            assert_eq!(
+                r.sentences.len(),
+                1,
+                "exact stop should keep the subset minimal"
+            );
         }
     }
 

@@ -41,7 +41,10 @@ impl EvidenceForest {
 
     /// Union of all member nodes (the set SCS must never clip).
     pub fn all_nodes(&self) -> BTreeSet<usize> {
-        self.trees.iter().flat_map(|t| t.nodes.iter().copied()).collect()
+        self.trees
+            .iter()
+            .flat_map(|t| t.nodes.iter().copied())
+            .collect()
     }
 }
 
@@ -52,7 +55,6 @@ pub fn construct(tree: &DepTree, clue_tokens: &[usize], answer_tokens: &[usize])
         .iter()
         .map(|s| (s, false))
         .chain(answer_tokens.iter().map(|s| (s, true)))
-        .map(|(s, a)| (s, a))
     {
         if seed >= tree.len() {
             continue;
@@ -87,9 +89,13 @@ pub fn construct(tree: &DepTree, clue_tokens: &[usize], answer_tokens: &[usize])
         .map(|(nodes, contains_answer)| {
             let root = *nodes
                 .iter()
-                .find(|&&n| tree.parent(n).map_or(true, |p| !nodes.contains(&p)))
+                .find(|&&n| tree.parent(n).is_none_or(|p| !nodes.contains(&p)))
                 .expect("non-empty connected set has a topmost node");
-            ForestTree { nodes, root, contains_answer }
+            ForestTree {
+                nodes,
+                root,
+                contains_answer,
+            }
         })
         .collect();
     EvidenceForest { trees }

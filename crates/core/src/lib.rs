@@ -48,7 +48,7 @@ pub mod trace;
 pub mod wsptc;
 
 pub use config::{Ablation, ClipMode, GcedConfig};
-pub use scoring::{EvidenceScores, EvidenceScorer};
+pub use scoring::{EvidenceScorer, EvidenceScores};
 pub use trace::DistillTrace;
 
 use gced_datasets::Dataset;
@@ -98,6 +98,25 @@ pub struct Distillation {
     pub word_reduction: f64,
     /// Full decision trace.
     pub trace: DistillTrace,
+}
+
+/// Per-call knobs of the distillation paths (not part of the public
+/// configuration: semantics are identical on every path).
+#[derive(Debug, Clone, Copy)]
+struct DistillOpts {
+    /// Run the clip search through the reference oracle.
+    reference_clip: bool,
+    /// Allow candidate-level parallelism inside the clip search.
+    parallel_clip: bool,
+}
+
+impl Default for DistillOpts {
+    fn default() -> Self {
+        DistillOpts {
+            reference_clip: false,
+            parallel_clip: true,
+        }
+    }
 }
 
 /// The GCED pipeline with all fitted substrates.
@@ -187,6 +206,34 @@ impl Gced {
         answer: &str,
         context: &str,
     ) -> Result<Distillation, DistillError> {
+        self.distill_opts(question, answer, context, DistillOpts::default())
+    }
+
+    /// [`Gced::distill`] running the clip search through the paper-
+    /// literal reference formulation ([`oec::reference::clip`]) instead
+    /// of the incremental engine. Exposed for the oracle-equivalence
+    /// property tests; the two paths must produce identical output.
+    #[doc(hidden)]
+    pub fn distill_with_reference_clip(
+        &self,
+        question: &str,
+        answer: &str,
+        context: &str,
+    ) -> Result<Distillation, DistillError> {
+        let opts = DistillOpts {
+            reference_clip: true,
+            ..DistillOpts::default()
+        };
+        self.distill_opts(question, answer, context, opts)
+    }
+
+    fn distill_opts(
+        &self,
+        question: &str,
+        answer: &str,
+        context: &str,
+        opts: DistillOpts,
+    ) -> Result<Distillation, DistillError> {
         if answer.trim().is_empty() {
             return Err(DistillError::EmptyAnswer);
         }
@@ -222,14 +269,20 @@ impl Gced {
 
         // ---- answer tokens in the AOS -------------------------------------
         let answer_tokens = locate_answer(&aos, answer);
-        trace.answer_words =
-            answer_tokens.iter().map(|&i| aos.tokens[i].text.clone()).collect();
+        trace.answer_words = answer_tokens
+            .iter()
+            .map(|&i| aos.tokens[i].text.clone())
+            .collect();
 
         // ---- QWS -----------------------------------------------------------
         let clue_tokens = if self.config.ablation.use_qws {
             let r = qws::select(&self.lexicon, question, &aos, &answer_tokens);
             trace.significant_words = r.significant_words;
-            trace.clue_words = r.clue_tokens.iter().map(|&i| aos.tokens[i].text.clone()).collect();
+            trace.clue_words = r
+                .clue_tokens
+                .iter()
+                .map(|&i| aos.tokens[i].text.clone())
+                .collect();
             r.clue_tokens
         } else {
             Vec::new()
@@ -250,7 +303,7 @@ impl Gced {
                 .first()
                 .map(|s| (s.token_start..s.token_end).collect())
                 .unwrap_or_default();
-            return Ok(self.finish(&aos, &aos_text, &ctx_doc, first, &scorer, trace));
+            return Ok(self.finish(&aos, &aos_text, &ctx_doc, first, &scorer, None, trace));
         }
 
         // ---- OEC: SGS -------------------------------------------------------
@@ -273,20 +326,73 @@ impl Gced {
         trace.grow_steps = grow_steps;
 
         // ---- OEC: SCS -------------------------------------------------------
+        let mut final_scores = None;
         if self.config.ablation.use_clip {
             let protected = if self.config.clip_protect_forest {
                 forest.all_nodes()
             } else {
                 BTreeSet::new()
             };
-            trace.clip_steps =
-                oec::clip(&wt, &mut te, te_root, &protected, &scorer, &aos, self.config.clip);
+            trace.clip_steps = if opts.reference_clip {
+                oec::reference::clip(
+                    &wt,
+                    &mut te,
+                    te_root,
+                    &protected,
+                    &scorer,
+                    &aos,
+                    self.config.clip,
+                )
+            } else {
+                let (steps, scores) = oec::clip_with_options(
+                    &wt,
+                    &mut te,
+                    te_root,
+                    &protected,
+                    &scorer,
+                    &aos,
+                    self.config.clip,
+                    opts.parallel_clip,
+                );
+                final_scores = Some(scores);
+                steps
+            };
         }
 
-        Ok(self.finish(&aos, &aos_text, &ctx_doc, te, &scorer, trace))
+        Ok(self.finish(&aos, &aos_text, &ctx_doc, te, &scorer, final_scores, trace))
+    }
+
+    /// Distill a batch of (question, answer, context) tuples, fanning
+    /// examples out across worker threads.
+    ///
+    /// Output is element-wise identical to calling [`Gced::distill`] on
+    /// each tuple in order, regardless of thread count or scheduling:
+    /// results are written back by input index and every distillation is
+    /// deterministic. Candidate-level parallelism inside each clip
+    /// search is disabled here — the batch dimension already saturates
+    /// the workers.
+    pub fn distill_batch<Q, A, C>(
+        &self,
+        items: &[(Q, A, C)],
+    ) -> Vec<Result<Distillation, DistillError>>
+    where
+        Q: AsRef<str> + Sync,
+        A: AsRef<str> + Sync,
+        C: AsRef<str> + Sync,
+    {
+        let opts = DistillOpts {
+            parallel_clip: false,
+            ..DistillOpts::default()
+        };
+        gced_par::par_map(items, |_, (q, a, c)| {
+            self.distill_opts(q.as_ref(), a.as_ref(), c.as_ref(), opts)
+        })
     }
 
     /// Assemble the final [`Distillation`] from a node selection.
+    /// `precomputed` carries the selection's scores when the clip search
+    /// already produced them (bitwise-equal to a rescore).
+    #[allow(clippy::too_many_arguments)]
     fn finish(
         &self,
         aos: &Document,
@@ -294,11 +400,12 @@ impl Gced {
         ctx_doc: &Document,
         te: BTreeSet<usize>,
         scorer: &EvidenceScorer<'_>,
+        precomputed: Option<EvidenceScores>,
         trace: DistillTrace,
     ) -> Distillation {
         let tokens: Vec<gced_text::Token> = te.iter().map(|&i| aos.tokens[i].clone()).collect();
         let evidence = join_tokens(&tokens);
-        let scores = scorer.score_selection(aos, &te);
+        let scores = precomputed.unwrap_or_else(|| scorer.score_selection(aos, &te));
         let ctx_words = ctx_doc.len().max(1);
         Distillation {
             evidence_tokens: tokens.iter().map(|t| t.text.clone()).collect(),
@@ -318,8 +425,7 @@ fn locate_answer(aos: &Document, answer: &str) -> Vec<usize> {
     if let Some((s, e)) = gced_qa::model::gold_span(aos, answer) {
         return (s..e).collect();
     }
-    let answer_words: BTreeSet<String> =
-        analyze(answer).tokens.iter().map(|t| t.lower()).collect();
+    let answer_words: BTreeSet<String> = analyze(answer).tokens.iter().map(|t| t.lower()).collect();
     aos.tokens
         .iter()
         .filter(|t| answer_words.contains(&t.lower()))
@@ -333,7 +439,14 @@ mod tests {
     use gced_datasets::{generate, DatasetKind, GeneratorConfig};
 
     fn fitted() -> (Gced, gced_datasets::Dataset) {
-        let ds = generate(DatasetKind::Squad11, GeneratorConfig { train: 80, dev: 20, seed: 9 });
+        let ds = generate(
+            DatasetKind::Squad11,
+            GeneratorConfig {
+                train: 80,
+                dev: 20,
+                seed: 9,
+            },
+        );
         let g = Gced::fit(&ds, GcedConfig::default());
         (g, ds)
     }
@@ -347,10 +460,18 @@ mod tests {
                        the Super Bowl 50 title. The game was played on February 7, 2016. \
                        The halftime show featured a famous singer.";
         let d = g.distill(question, "Denver Broncos", context).unwrap();
-        assert!(d.evidence.contains("Denver Broncos"), "evidence: {}", d.evidence);
+        assert!(
+            d.evidence.contains("Denver Broncos"),
+            "evidence: {}",
+            d.evidence
+        );
         assert!(!d.evidence_tokens.is_empty());
         assert!(d.word_reduction > 0.0, "no reduction: {}", d.word_reduction);
-        assert!(d.scores.informativeness > 0.5, "I = {}", d.scores.informativeness);
+        assert!(
+            d.scores.informativeness > 0.5,
+            "I = {}",
+            d.scores.informativeness
+        );
     }
 
     #[test]
@@ -371,8 +492,7 @@ mod tests {
         for ex in ds.dev.examples.iter().filter(|e| e.answerable).take(8) {
             let d = g.distill(&ex.question, &ex.answer, &ex.context).unwrap();
             let ev_lower = d.evidence.to_lowercase();
-            let first_answer_word =
-                ex.answer.split_whitespace().next().unwrap().to_lowercase();
+            let first_answer_word = ex.answer.split_whitespace().next().unwrap().to_lowercase();
             assert!(
                 ev_lower.contains(&first_answer_word),
                 "{}: answer {:?} absent from evidence {:?}",
@@ -386,8 +506,14 @@ mod tests {
     #[test]
     fn empty_inputs_error() {
         let (g, _) = fitted();
-        assert!(matches!(g.distill("q?", "", "some context."), Err(DistillError::EmptyAnswer)));
-        assert!(matches!(g.distill("q?", "x", "   "), Err(DistillError::EmptyContext)));
+        assert!(matches!(
+            g.distill("q?", "", "some context."),
+            Err(DistillError::EmptyAnswer)
+        ));
+        assert!(matches!(
+            g.distill("q?", "x", "   "),
+            Err(DistillError::EmptyContext)
+        ));
     }
 
     #[test]
@@ -417,7 +543,11 @@ mod tests {
     fn no_clue_no_answer_falls_back_to_first_sentence() {
         let (g, _) = fitted();
         let d = g
-            .distill("zzz?", "qqq", "The weather was mild. Nothing else happened.")
+            .distill(
+                "zzz?",
+                "qqq",
+                "The weather was mild. Nothing else happened.",
+            )
             .unwrap();
         assert!(d.trace.fallback);
         assert!(!d.evidence_tokens.is_empty());
@@ -425,7 +555,14 @@ mod tests {
 
     #[test]
     fn ablations_change_output_shape() {
-        let ds = generate(DatasetKind::Squad11, GeneratorConfig { train: 60, dev: 10, seed: 5 });
+        let ds = generate(
+            DatasetKind::Squad11,
+            GeneratorConfig {
+                train: 60,
+                dev: 10,
+                seed: 5,
+            },
+        );
         let question = "Which team defeated the Panthers in the final?";
         let answer = "Denver Broncos";
         let context = "The rain had stopped by noon. The Denver Broncos defeated the Carolina \
@@ -476,8 +613,18 @@ mod tests {
 
     #[test]
     fn fixed_clip_mode_clips_at_most_m_times() {
-        let ds = generate(DatasetKind::Squad11, GeneratorConfig { train: 60, dev: 10, seed: 5 });
-        let cfg = GcedConfig { clip: ClipMode::Fixed(1), ..GcedConfig::default() };
+        let ds = generate(
+            DatasetKind::Squad11,
+            GeneratorConfig {
+                train: 60,
+                dev: 10,
+                seed: 5,
+            },
+        );
+        let cfg = GcedConfig {
+            clip: ClipMode::Fixed(1),
+            ..GcedConfig::default()
+        };
         let g = Gced::fit(&ds, cfg);
         let d = g
             .distill(

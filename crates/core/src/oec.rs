@@ -16,7 +16,7 @@
 
 use crate::config::ClipMode;
 use crate::efc::EvidenceForest;
-use crate::scoring::EvidenceScorer;
+use crate::scoring::{EvidenceScorer, EvidenceScores, ScoreScratch};
 use crate::wsptc::WeightedTree;
 use gced_text::Document;
 use std::collections::BTreeSet;
@@ -66,8 +66,11 @@ pub fn grow_with_order(
     assert!(!forest.is_empty(), "SGS requires a non-empty forest");
     let tree = &wt.tree;
     // Working set: (nodes, root) per live tree.
-    let mut live: Vec<(BTreeSet<usize>, usize)> =
-        forest.trees.iter().map(|t| (t.nodes.clone(), t.root)).collect();
+    let mut live: Vec<(BTreeSet<usize>, usize)> = forest
+        .trees
+        .iter()
+        .map(|t| (t.nodes.clone(), t.root))
+        .collect();
     let mut steps = Vec::new();
     while live.len() > 1 {
         // Select among trees whose root still has a parent.
@@ -95,17 +98,14 @@ pub fn grow_with_order(
         let grown: BTreeSet<usize> = tree.subtree(parent).into_iter().collect();
         // Merge every live tree now contained in the grown subtree.
         let mut merged_roots = Vec::new();
-        live = live
-            .into_iter()
-            .filter(|(_, root)| {
-                if grown.contains(root) {
-                    merged_roots.push(*root);
-                    false
-                } else {
-                    true
-                }
-            })
-            .collect();
+        live.retain(|(_, root)| {
+            if grown.contains(root) {
+                merged_roots.push(*root);
+                false
+            } else {
+                true
+            }
+        });
         steps.push(GrowStep {
             chosen_root: old_root,
             parent,
@@ -139,6 +139,19 @@ pub fn subtree_within(wt: &WeightedTree, node: usize, te: &BTreeSet<usize>) -> B
 
 /// Run SCS in place over `te`. `protected` is the union of forest nodes
 /// (never clipped). Returns the step log.
+///
+/// This is the incremental engine: one DFS pass per iteration decomposes
+/// the current evidence into every candidate subtree removal (with
+/// protected-containment computed by aggregation), membership lives in a
+/// `u64` bitset instead of per-candidate `BTreeSet` clones, duplicate
+/// removals are deduplicated, and candidates are scored through
+/// [`DocScorer`] — masked QA prediction plus an incremental LM walk.
+/// Candidate evaluation parallelizes across worker threads when the
+/// evidence is large enough to pay for it.
+///
+/// The result is **bit-identical** to [`reference::clip`] (the paper-
+/// literal formulation kept as a test oracle): same evidence, same step
+/// log, same tie-breaking by minimal root-to-parent attention.
 pub fn clip(
     wt: &WeightedTree,
     te: &mut BTreeSet<usize>,
@@ -148,68 +161,403 @@ pub fn clip(
     aos: &Document,
     mode: ClipMode,
 ) -> Vec<ClipStep> {
+    clip_with_options(wt, te, te_root, protected, scorer, aos, mode, true).0
+}
+
+/// Minimum candidate count before the clip search fans evaluation out to
+/// worker threads; below it, thread startup dominates the ~100 µs-scale
+/// scoring work.
+const PAR_MIN_CANDIDATES: usize = 12;
+
+/// [`clip`] with explicit control over candidate-level parallelism
+/// (batch distillation parallelizes across examples instead and turns
+/// the inner fan-out off to avoid oversubscription).
+///
+/// Also returns the full [`EvidenceScores`] of the resulting evidence —
+/// bitwise-equal to `scorer.score_selection(aos, te)` on the clipped
+/// selection — so the caller does not pay a final rescore.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn clip_with_options(
+    wt: &WeightedTree,
+    te: &mut BTreeSet<usize>,
+    te_root: usize,
+    protected: &BTreeSet<usize>,
+    scorer: &EvidenceScorer<'_>,
+    aos: &Document,
+    mode: ClipMode,
+    allow_parallel: bool,
+) -> (Vec<ClipStep>, EvidenceScores) {
     let max_iters = match mode {
         ClipMode::Fixed(m) => m,
         ClipMode::WhileImproving { max } => max,
     };
+    let n = wt.tree.len();
+    let mut members = Bitset::from_iter(n, te.iter().copied());
+    let mut te_size = te.len();
+    let mut doc_scorer = scorer.doc_scorer(aos);
+    doc_scorer.set_base(te.iter().copied());
+    let mut scratch = ScoreScratch::default();
+    let mut decomp = Decomposition::new(n);
     let mut steps = Vec::new();
-    let mut current_h = scorer.score_selection(aos, te).hybrid;
+    let mut current = doc_scorer.score_base(&mut scratch);
     for _ in 0..max_iters {
-        // Enumerate candidates: members (≠ root) whose in-TE subtree is
-        // disjoint from the protected set.
-        let mut best: Option<(usize, BTreeSet<usize>, f64)> = None;
-        for &v in te.iter() {
-            if v == te_root {
-                continue;
-            }
-            // Only consider subtree roots: clipping an inner node removes
-            // its whole subtree anyway, so evaluating each member once as
-            // a root covers all distinct removals.
-            let sub = subtree_within(wt, v, te);
-            if sub.iter().any(|n| protected.contains(n)) {
-                continue;
-            }
-            if sub.len() >= te.len() {
-                continue; // would delete everything
-            }
-            let mut after: BTreeSet<usize> = te.clone();
-            for n in &sub {
-                after.remove(n);
-            }
-            let h = scorer.score_selection(aos, &after).hybrid;
-            let better = match &best {
-                None => true,
-                Some((bv, _, bh)) => {
-                    h > *bh + 1e-12
-                        || ((h - *bh).abs() <= 1e-12
-                            && wt.edge_weight(v) < wt.edge_weight(*bv))
+        // One pass: every in-TE subtree decomposition, protected flags
+        // aggregated bottom-up, deduplicated by DFS segment.
+        decomp.run(wt, &members, te_root, protected);
+        let candidates = decomp.candidates(te_size, te_root);
+        // Score candidates and reduce in ascending-node order: identical
+        // argmax and tie-breaking to the reference formulation. The
+        // parallel path evaluates every candidate; the sequential path
+        // additionally prunes candidates whose informativeness-bounded
+        // hybrid provably cannot beat the running best (exact — see
+        // `DocScorer::score_if_competitive`). Both select identically.
+        let mut best: Option<(usize, EvidenceScores)> = None;
+        if allow_parallel && candidates.len() >= PAR_MIN_CANDIDATES && gced_par::max_threads() > 1 {
+            let scored: Vec<EvidenceScores> =
+                gced_par::par_map_with(&candidates, ScoreScratch::default, |scratch, _, cand| {
+                    doc_scorer.score_removal(decomp.segment(cand), scratch)
+                });
+            for (k, cand) in candidates.iter().enumerate() {
+                let h = scored[k].hybrid;
+                let better = match &best {
+                    None => true,
+                    Some((bk, bs)) => {
+                        h > bs.hybrid + 1e-12
+                            || ((h - bs.hybrid).abs() <= 1e-12
+                                && wt.edge_weight(cand.node) < wt.edge_weight(candidates[*bk].node))
+                    }
+                };
+                if better {
+                    best = Some((k, scored[k]));
                 }
-            };
-            if better {
-                best = Some((v, sub, h));
+            }
+        } else {
+            for (k, cand) in candidates.iter().enumerate() {
+                // A candidate below `floor` can neither beat the best
+                // outright nor reach the 1e-12 tie window.
+                let floor = match &best {
+                    None => f64::NEG_INFINITY,
+                    Some((_, bs)) => bs.hybrid - 1e-12,
+                };
+                let Some(scores) =
+                    doc_scorer.score_if_competitive(decomp.segment(cand), floor, &mut scratch)
+                else {
+                    continue;
+                };
+                let h = scores.hybrid;
+                let better = match &best {
+                    None => true,
+                    Some((bk, bs)) => {
+                        h > bs.hybrid + 1e-12
+                            || ((h - bs.hybrid).abs() <= 1e-12
+                                && wt.edge_weight(cand.node) < wt.edge_weight(candidates[*bk].node))
+                    }
+                };
+                if better {
+                    best = Some((k, scores));
+                }
             }
         }
-        let Some((v, sub, h)) = best else { break };
-        if !h.is_finite() {
+        let Some((k, winner)) = best else { break };
+        if !winner.hybrid.is_finite() {
             break; // every removal lands in the C = −∞ discard region
         }
         if let ClipMode::WhileImproving { .. } = mode {
-            if h <= current_h {
+            if winner.hybrid <= current.hybrid {
                 break;
             }
         }
-        for n in &sub {
-            te.remove(n);
+        let chosen = candidates[k];
+        let mut removed: Vec<usize> = decomp.segment(&chosen).to_vec();
+        removed.sort_unstable();
+        for &x in &removed {
+            te.remove(&x);
+            members.remove(x);
         }
+        te_size -= removed.len();
+        doc_scorer.set_base(te.iter().copied());
         steps.push(ClipStep {
-            clipped_node: v,
-            removed: sub.into_iter().collect(),
-            hybrid_before: current_h,
-            hybrid_after: h,
+            clipped_node: chosen.node,
+            removed,
+            hybrid_before: current.hybrid,
+            hybrid_after: winner.hybrid,
         });
-        current_h = h;
+        current = winner;
     }
-    steps
+    (steps, current)
+}
+
+/// One candidate subtree removal: the subtree of `node` within the
+/// current evidence, stored as a segment of the decomposition's DFS
+/// preorder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Candidate {
+    node: usize,
+    seg_start: u32,
+    seg_len: u32,
+}
+
+/// Per-iteration decomposition of the evidence into candidate subtrees:
+/// a DFS preorder over every in-TE component plus per-node subtree size
+/// and protected-containment flags, computed in one pass and reused for
+/// every candidate (the naïve search re-walked the tree per candidate).
+struct Decomposition {
+    /// DFS preorder of all members (token indices).
+    order: Vec<usize>,
+    /// token -> position in `order` (u32::MAX when absent).
+    pre: Vec<u32>,
+    /// token -> in-TE subtree size.
+    size: Vec<u32>,
+    /// token -> any protected node in the in-TE subtree.
+    prot: Vec<bool>,
+    /// DFS stack scratch: (node, child cursor).
+    stack: Vec<(usize, usize)>,
+}
+
+impl Decomposition {
+    fn new(n: usize) -> Self {
+        Decomposition {
+            order: Vec::with_capacity(n),
+            pre: vec![u32::MAX; n],
+            size: vec![0; n],
+            prot: vec![false; n],
+            stack: Vec::new(),
+        }
+    }
+
+    /// Recompute for the current membership. Components beyond the one
+    /// holding `te_root` (the grow-ablated, disconnected case) are
+    /// discovered from their topmost members, so every member is covered
+    /// exactly once.
+    fn run(
+        &mut self,
+        wt: &WeightedTree,
+        members: &Bitset,
+        te_root: usize,
+        protected: &BTreeSet<usize>,
+    ) {
+        self.order.clear();
+        for t in members.iter() {
+            self.pre[t] = u32::MAX;
+            self.size[t] = 0;
+            self.prot[t] = false;
+        }
+        if members.contains(te_root) {
+            self.dfs(wt, members, te_root, protected);
+        }
+        // Remaining components, ascending: walk each unvisited member up
+        // to its component top, then DFS from there.
+        for v in members.iter() {
+            if self.pre[v] != u32::MAX {
+                continue;
+            }
+            let mut top = v;
+            while let Some(p) = wt.tree.parent(top) {
+                if members.contains(p) && self.pre[p] == u32::MAX {
+                    top = p;
+                } else {
+                    break;
+                }
+            }
+            self.dfs(wt, members, top, protected);
+        }
+    }
+
+    /// Iterative DFS computing preorder, subtree sizes, and protected
+    /// flags (aggregated from member children on post-order exit) for
+    /// one component.
+    fn dfs(
+        &mut self,
+        wt: &WeightedTree,
+        members: &Bitset,
+        root: usize,
+        protected: &BTreeSet<usize>,
+    ) {
+        self.stack.clear();
+        self.pre[root] = self.order.len() as u32;
+        self.order.push(root);
+        self.stack.push((root, 0));
+        while let Some(&(node, cursor)) = self.stack.last() {
+            let children = wt.tree.children(node);
+            let mut next_child = None;
+            let mut cur = cursor;
+            while cur < children.len() {
+                let c = children[cur];
+                cur += 1;
+                if members.contains(c) && self.pre[c] == u32::MAX {
+                    next_child = Some(c);
+                    break;
+                }
+            }
+            self.stack.last_mut().expect("stack non-empty").1 = cur;
+            if let Some(c) = next_child {
+                self.pre[c] = self.order.len() as u32;
+                self.order.push(c);
+                self.stack.push((c, 0));
+            } else {
+                // Post-order exit: every member child has finished, so
+                // size and protection aggregate in O(children).
+                self.size[node] = (self.order.len() - self.pre[node] as usize) as u32;
+                let mut prot = protected.contains(&node);
+                if !prot {
+                    prot = children
+                        .iter()
+                        .any(|&c| members.contains(c) && self.prot[c]);
+                }
+                self.prot[node] = prot;
+                self.stack.pop();
+            }
+        }
+    }
+
+    /// Candidate removals for the current pass: every member except the
+    /// evidence root whose subtree is protected-free and smaller than
+    /// the whole evidence, ascending by node index. Candidate removals
+    /// are structurally deduplicated: distinct roots always yield
+    /// distinct DFS segments, because every segment contains its own
+    /// root (the debug assertion pins the invariant).
+    fn candidates(&self, te_size: usize, te_root: usize) -> Vec<Candidate> {
+        let mut out: Vec<Candidate> = Vec::new();
+        for &v in &self.order {
+            if v == te_root || self.prot[v] {
+                continue;
+            }
+            let size = self.size[v] as usize;
+            if size >= te_size {
+                continue;
+            }
+            out.push(Candidate {
+                node: v,
+                seg_start: self.pre[v],
+                seg_len: self.size[v],
+            });
+        }
+        out.sort_unstable_by_key(|c| c.node);
+        debug_assert!(
+            out.windows(2)
+                .all(|w| (w[0].seg_start, w[0].seg_len) != (w[1].seg_start, w[1].seg_len)),
+            "candidate segments must be unique"
+        );
+        out
+    }
+
+    /// The removal segment of a candidate: its subtree in DFS preorder.
+    fn segment(&self, cand: &Candidate) -> &[usize] {
+        let s = cand.seg_start as usize;
+        &self.order[s..s + cand.seg_len as usize]
+    }
+}
+
+/// Word-packed membership bitset (the naïve search cloned a `BTreeSet`
+/// per candidate; membership tests here are one shift and mask).
+struct Bitset {
+    words: Vec<u64>,
+    n: usize,
+}
+
+impl Bitset {
+    fn from_iter<I: IntoIterator<Item = usize>>(n: usize, iter: I) -> Self {
+        let mut b = Bitset {
+            words: vec![0; n.div_ceil(64)],
+            n,
+        };
+        for i in iter {
+            b.words[i / 64] |= 1 << (i % 64);
+        }
+        b
+    }
+
+    fn contains(&self, i: usize) -> bool {
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    fn remove(&mut self, i: usize) {
+        self.words[i / 64] &= !(1 << (i % 64));
+    }
+
+    fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.n).filter(|&i| self.contains(i))
+    }
+}
+
+/// The paper-literal Sequential Clip Searching kept as a verification
+/// oracle: per-candidate `subtree_within` walks, full `BTreeSet` clones,
+/// and from-scratch rescoring. The optimized [`clip`] must match it
+/// bit for bit (same evidence, scores, and step log); the cross-crate
+/// property suite asserts exactly that on randomized pipelines.
+#[doc(hidden)]
+pub mod reference {
+    use super::*;
+
+    /// Reference SCS. See [`super::clip`].
+    pub fn clip(
+        wt: &WeightedTree,
+        te: &mut BTreeSet<usize>,
+        te_root: usize,
+        protected: &BTreeSet<usize>,
+        scorer: &EvidenceScorer<'_>,
+        aos: &Document,
+        mode: ClipMode,
+    ) -> Vec<ClipStep> {
+        let max_iters = match mode {
+            ClipMode::Fixed(m) => m,
+            ClipMode::WhileImproving { max } => max,
+        };
+        let mut steps = Vec::new();
+        let mut current_h = scorer.score_selection(aos, te).hybrid;
+        for _ in 0..max_iters {
+            // Enumerate candidates: members (≠ root) whose in-TE subtree
+            // is disjoint from the protected set.
+            let mut best: Option<(usize, BTreeSet<usize>, f64)> = None;
+            for &v in te.iter() {
+                if v == te_root {
+                    continue;
+                }
+                let sub = subtree_within(wt, v, te);
+                if sub.iter().any(|n| protected.contains(n)) {
+                    continue;
+                }
+                if sub.len() >= te.len() {
+                    continue; // would delete everything
+                }
+                let mut after: BTreeSet<usize> = te.clone();
+                for n in &sub {
+                    after.remove(n);
+                }
+                let h = scorer.score_selection(aos, &after).hybrid;
+                let better = match &best {
+                    None => true,
+                    Some((bv, _, bh)) => {
+                        h > *bh + 1e-12
+                            || ((h - *bh).abs() <= 1e-12 && wt.edge_weight(v) < wt.edge_weight(*bv))
+                    }
+                };
+                if better {
+                    best = Some((v, sub, h));
+                }
+            }
+            let Some((v, sub, h)) = best else { break };
+            if !h.is_finite() {
+                break;
+            }
+            if let ClipMode::WhileImproving { .. } = mode {
+                if h <= current_h {
+                    break;
+                }
+            }
+            for n in &sub {
+                te.remove(n);
+            }
+            steps.push(ClipStep {
+                clipped_node: v,
+                removed: sub.into_iter().collect(),
+                hybrid_before: current_h,
+                hybrid_after: h,
+            });
+            current_h = h;
+        }
+        steps
+    }
 }
 
 #[cfg(test)]
@@ -263,7 +611,7 @@ mod tests {
         assert_eq!(nodes, BTreeSet::from([0, 1, 2, 3, 4, 5, 6, 7]));
         assert!(!steps.is_empty());
         // Final step must have merged the remaining tree.
-        assert!(steps.last().unwrap().merged_roots.len() >= 1);
+        assert!(!steps.last().unwrap().merged_roots.is_empty());
     }
 
     #[test]
@@ -309,5 +657,166 @@ mod tests {
         let w = uniform_wt();
         let forest = EvidenceForest::default();
         let _ = grow(&w, &forest);
+    }
+
+    // -- optimized clip vs the paper-literal reference oracle ------------
+
+    /// Tiny deterministic generator for the randomized oracle tests.
+    struct Lcg(u64);
+
+    impl Lcg {
+        fn next(&mut self) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            self.0 >> 11
+        }
+
+        fn below(&mut self, n: usize) -> usize {
+            (self.next() % n as u64) as usize
+        }
+
+        fn unit(&mut self) -> f64 {
+            (self.next() % 100_000) as f64 / 100_000.0
+        }
+    }
+
+    const ORACLE_WORDS: [&str; 12] = [
+        "the", "broncos", "defeated", "panthers", "title", "game", "team", "won", "final",
+        "evening", "denver", "stadium",
+    ];
+
+    fn oracle_scorer_parts() -> (gced_qa::QaModel, gced_lm::TrigramLm, f64) {
+        let corpus: Vec<Vec<String>> = [
+            "the broncos defeated the panthers",
+            "the team won the final game",
+            "the broncos won the title in denver",
+            "the stadium was full that evening",
+        ]
+        .iter()
+        .map(|s| s.split(' ').map(String::from).collect())
+        .collect();
+        let qa = gced_qa::QaModel::new(gced_qa::ModelProfile::plm());
+        let lm = gced_lm::TrigramLm::train(&corpus);
+        let ppl_ref = crate::scoring::reference_perplexity(&lm, &corpus, 100);
+        (qa, lm, ppl_ref)
+    }
+
+    /// The optimized clip must be bit-identical to the reference oracle
+    /// on randomized trees, weights, protections, and selections —
+    /// including disconnected evidence sets (the grow-ablated path) and
+    /// both clip modes.
+    #[test]
+    fn optimized_clip_matches_reference_on_random_trees() {
+        let (qa, lm, ppl_ref) = oracle_scorer_parts();
+        let scorer = EvidenceScorer::new(
+            &qa,
+            &lm,
+            "Which team won the final game?",
+            "broncos",
+            ppl_ref,
+            (0.5, 0.2, 0.3),
+        );
+        let mut rng = Lcg(20260729);
+        for case in 0..60 {
+            let n = 4 + rng.below(12);
+            // Random prefix-closed tree + random weights.
+            let parents: Vec<Option<usize>> = (0..n)
+                .map(|i| if i == 0 { None } else { Some(rng.below(i)) })
+                .collect();
+            let tree = gced_parser::DepTree::from_parents(parents);
+            let weights: Vec<f64> = (0..n)
+                .map(|i| if i == 0 { 0.0 } else { rng.unit().max(1e-6) })
+                .collect();
+            let wt = WeightedTree { tree, weights };
+            // A document with exactly n single-word tokens.
+            let text: Vec<&str> = (0..n)
+                .map(|i| ORACLE_WORDS[i % ORACLE_WORDS.len()])
+                .collect();
+            let aos = gced_text::analyze(&text.join(" "));
+            assert_eq!(aos.len(), n, "token count mismatch in test setup");
+            // Random evidence selection: connected on even cases (full
+            // subtree of the root), random subset (possibly
+            // disconnected) on odd cases.
+            let te: BTreeSet<usize> = if case % 2 == 0 {
+                (0..n).collect()
+            } else {
+                let picked: BTreeSet<usize> = (0..n).filter(|_| rng.below(3) > 0).collect();
+                if picked.is_empty() {
+                    (0..1).collect()
+                } else {
+                    picked
+                }
+            };
+            let te_root = if te.contains(&wt.tree.root()) {
+                wt.tree.root()
+            } else {
+                *te.iter().next().expect("te non-empty")
+            };
+            // Random protected set (occasionally empty).
+            let protected: BTreeSet<usize> =
+                te.iter().copied().filter(|_| rng.below(4) == 0).collect();
+            for mode in [ClipMode::WhileImproving { max: 8 }, ClipMode::Fixed(2)] {
+                let mut te_ref = te.clone();
+                let steps_ref =
+                    reference::clip(&wt, &mut te_ref, te_root, &protected, &scorer, &aos, mode);
+                let mut te_opt = te.clone();
+                let steps_opt = clip(&wt, &mut te_opt, te_root, &protected, &scorer, &aos, mode);
+                assert_eq!(
+                    steps_ref, steps_opt,
+                    "case {case} mode {mode:?}: step log differs"
+                );
+                assert_eq!(
+                    te_ref, te_opt,
+                    "case {case} mode {mode:?}: evidence differs"
+                );
+            }
+        }
+    }
+
+    /// The clip engine's final-scores channel must agree with a from-
+    /// scratch rescore of the clipped selection.
+    #[test]
+    fn clip_final_scores_match_rescore() {
+        let (qa, lm, ppl_ref) = oracle_scorer_parts();
+        let scorer = EvidenceScorer::new(
+            &qa,
+            &lm,
+            "Which team won the final game?",
+            "broncos",
+            ppl_ref,
+            (0.5, 0.2, 0.3),
+        );
+        let mut rng = Lcg(7);
+        for _ in 0..20 {
+            let n = 5 + rng.below(10);
+            let parents: Vec<Option<usize>> = (0..n)
+                .map(|i| if i == 0 { None } else { Some(rng.below(i)) })
+                .collect();
+            let tree = gced_parser::DepTree::from_parents(parents);
+            let weights: Vec<f64> = (0..n)
+                .map(|i| if i == 0 { 0.0 } else { rng.unit().max(1e-6) })
+                .collect();
+            let wt = WeightedTree { tree, weights };
+            let text: Vec<&str> = (0..n)
+                .map(|i| ORACLE_WORDS[i % ORACLE_WORDS.len()])
+                .collect();
+            let aos = gced_text::analyze(&text.join(" "));
+            let te_root = wt.tree.root();
+            let protected: BTreeSet<usize> = [te_root].into_iter().collect();
+            let mut te: BTreeSet<usize> = (0..n).collect();
+            let (_, final_scores) = clip_with_options(
+                &wt,
+                &mut te,
+                te_root,
+                &protected,
+                &scorer,
+                &aos,
+                ClipMode::WhileImproving { max: 8 },
+                false,
+            );
+            assert_eq!(final_scores, scorer.score_selection(&aos, &te));
+        }
     }
 }

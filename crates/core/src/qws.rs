@@ -51,7 +51,10 @@ pub fn select(lexicon: &Lexicon, question: &str, aos: &Document, exclude: &[usiz
         .filter(|t| expansion.contains(&t.lower()) || expansion.contains(&t.lemma))
         .map(|t| t.index)
         .collect();
-    QwsResult { clue_tokens, significant_words }
+    QwsResult {
+        clue_tokens,
+        significant_words,
+    }
 }
 
 #[cfg(test)]
@@ -62,7 +65,10 @@ mod tests {
         let lex = Lexicon::embedded();
         let aos = analyze(aos_text);
         let r = select(&lex, question, &aos, &[]);
-        r.clue_tokens.iter().map(|&i| aos.tokens[i].text.clone()).collect()
+        r.clue_tokens
+            .iter()
+            .map(|&i| aos.tokens[i].text.clone())
+            .collect()
     }
 
     #[test]
@@ -99,7 +105,10 @@ mod tests {
     #[test]
     fn synonym_expansion_matches() {
         // "beat" is a synonym of "defeat" in the embedded lexicon.
-        let clues = clue_words("Who beat the Panthers?", "The Broncos defeated the Panthers.");
+        let clues = clue_words(
+            "Who beat the Panthers?",
+            "The Broncos defeated the Panthers.",
+        );
         assert!(clues.iter().any(|w| w == "defeated"), "clues: {clues:?}");
     }
 
@@ -143,7 +152,11 @@ mod tests {
         let lex = Lexicon::empty();
         let aos = analyze("The Broncos defeated the Panthers.");
         let r = select(&lex, "Which team defeated the Panthers?", &aos, &[]);
-        let words: Vec<&str> = r.clue_tokens.iter().map(|&i| aos.tokens[i].text.as_str()).collect();
+        let words: Vec<&str> = r
+            .clue_tokens
+            .iter()
+            .map(|&i| aos.tokens[i].text.as_str())
+            .collect();
         assert!(words.contains(&"defeated"));
         assert!(words.contains(&"Panthers"));
     }

@@ -20,11 +20,25 @@
 //! Both normalizations preserve the orderings induced by Eqs. 2–4, so
 //! every argmax the Grow-and-Clip search takes is unchanged in spirit;
 //! raw values are also reported.
+//!
+//! ## The selection-scoring hot path
+//!
+//! Sequential Clip Searching evaluates hundreds of candidate node
+//! selections of the *same* analysed AOS document. [`DocScorer`] is the
+//! incremental engine for that loop: the question analysis, the
+//! lowercased word ids, and the per-position LM scores of the current
+//! evidence are computed once, and each candidate removal is scored with
+//! zero re-tokenization ([`gced_qa::QaModel::predict_selection`]) and an
+//! incremental log-prob walk ([`gced_lm::TrigramLm::log_prob_after_removal`])
+//! that is **bitwise-identical** to scoring the remaining selection from
+//! scratch — the invariant the clip-search oracle tests pin down.
 
-use gced_lm::TrigramLm;
+use gced_lm::{SeqScores, TrigramLm};
 use gced_metrics::overlap::token_f1;
-use gced_qa::{QaModel, QuestionAnalysis};
+use gced_qa::{QaModel, QuestionAnalysis, SelectionScratch};
+use gced_text::vocab::WordId;
 use gced_text::Document;
+use std::collections::BTreeSet;
 
 /// All scores for one candidate evidence.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -53,6 +67,15 @@ pub struct EvidenceScorer<'a> {
     answer_len: usize,
     ppl_ref: f64,
     weights: (f64, f64, f64),
+}
+
+/// Reusable buffers for selection scoring; create one per worker thread
+/// and the candidate loop allocates nothing in steady state.
+#[derive(Default)]
+pub struct ScoreScratch {
+    qa: SelectionScratch,
+    indices: Vec<usize>,
+    removed_pos: Vec<usize>,
 }
 
 impl<'a> EvidenceScorer<'a> {
@@ -93,50 +116,85 @@ impl<'a> EvidenceScorer<'a> {
     /// Score an evidence given as an analysed document.
     pub fn score_doc(&self, evidence: &Document) -> EvidenceScores {
         let words: Vec<String> = evidence.tokens.iter().map(|t| t.lower()).collect();
-        let pred = self.qa.predict_analyzed(&self.q_analysis, evidence, self.question);
+        let pred = self
+            .qa
+            .predict_analyzed(&self.q_analysis, evidence, self.question);
         let informativeness = token_f1(&pred.text, self.answer).f1;
-        self.assemble(informativeness, &words)
+        self.assemble(informativeness, words.len(), self.lm.perplexity(&words))
     }
 
-    /// Score an evidence given as lowercased tokens, reusing a
-    /// previously computed informativeness value (the clip search
-    /// evaluates many candidates whose I must be recomputed, but tests
-    /// and diagnostics sometimes have it already).
+    /// Score an evidence given as lowercased tokens (tests and
+    /// diagnostics; the distiller itself scores selections).
     pub fn score_tokens(&self, words: &[String]) -> EvidenceScores {
         let text = words.join(" ");
-        let pred = self.qa.predict(self.question, &text);
+        let doc = gced_text::analyze(&text);
+        let pred = self
+            .qa
+            .predict_analyzed(&self.q_analysis, &doc, self.question);
         let informativeness = token_f1(&pred.text, self.answer).f1;
-        self.assemble(informativeness, words)
+        self.assemble(informativeness, words.len(), self.lm.perplexity(words))
     }
 
-    /// Score a node selection of an analysed AOS document (the form the
-    /// clip search evaluates): evidence = the selected tokens in index
-    /// order, detokenized with original casing for the QA model and
-    /// lowercased for the LM.
-    pub fn score_selection(
+    /// Score a node selection of an analysed AOS document: evidence =
+    /// the selected tokens in index order, with original annotations
+    /// (no re-tokenization).
+    pub fn score_selection(&self, aos: &Document, selected: &BTreeSet<usize>) -> EvidenceScores {
+        let indices: Vec<usize> = selected.iter().copied().collect();
+        self.score_indices(aos, &indices, &mut ScoreScratch::default())
+    }
+
+    /// [`EvidenceScorer::score_selection`] over a sorted index slice with
+    /// caller-provided buffers. One-shot path: [`DocScorer`] amortizes
+    /// the per-document work when many selections of the same document
+    /// are scored.
+    pub fn score_indices(
         &self,
         aos: &Document,
-        selected: &std::collections::BTreeSet<usize>,
+        selected: &[usize],
+        scratch: &mut ScoreScratch,
     ) -> EvidenceScores {
-        let tokens: Vec<gced_text::Token> =
-            selected.iter().map(|&i| aos.tokens[i].clone()).collect();
-        let text = gced_text::join_tokens(&tokens);
-        let words: Vec<String> = tokens.iter().map(|t| t.lower()).collect();
-        let pred = self.qa.predict(self.question, &text);
+        let pred = self.qa.predict_selection(
+            &self.q_analysis,
+            aos,
+            selected,
+            self.question,
+            &mut scratch.qa,
+        );
         let informativeness = token_f1(&pred.text, self.answer).f1;
-        self.assemble(informativeness, &words)
+        let ids: Vec<WordId> = selected
+            .iter()
+            .map(|&i| self.lm.vocab().get(&aos.tokens[i].lower()))
+            .collect();
+        let ppl = self.lm.perplexity_ids(&ids);
+        self.assemble(informativeness, selected.len(), ppl)
     }
 
-    fn assemble(&self, informativeness: f64, words: &[String]) -> EvidenceScores {
-        let len = words.len();
-        let (conciseness_raw, conciseness) = if len > self.answer_len.max(0) {
+    /// Start an incremental scoring session over one analysed document.
+    pub fn doc_scorer<'s>(&'s self, aos: &'s Document) -> DocScorer<'s, 'a> {
+        let tok_ids: Vec<WordId> = aos
+            .tokens
+            .iter()
+            .map(|t| self.lm.vocab().get(&t.lower()))
+            .collect();
+        DocScorer {
+            scorer: self,
+            aos,
+            tok_ids,
+            base: Vec::new(),
+            pos_in_base: vec![usize::MAX; aos.len()],
+            base_seq: None,
+        }
+    }
+
+    /// Combine the three terms (Eq. 5) from the already-computed parts.
+    fn assemble(&self, informativeness: f64, len: usize, ppl: f64) -> EvidenceScores {
+        let (conciseness_raw, conciseness) = if len > self.answer_len {
             let raw = 1.0 / len as f64;
             let norm = ((self.answer_len as f64 + 2.0) / len as f64).min(1.0);
             (raw, norm)
         } else {
             (f64::NEG_INFINITY, f64::NEG_INFINITY)
         };
-        let ppl = self.lm.perplexity(words);
         let readability_raw = if ppl.is_finite() { 1.0 / ppl } else { 0.0 };
         let readability = self.ppl_ref / (ppl + self.ppl_ref);
         let (a, b, g) = self.weights;
@@ -153,6 +211,175 @@ impl<'a> EvidenceScorer<'a> {
             readability,
             hybrid,
         }
+    }
+}
+
+/// Incremental selection scorer for one analysed document (the clip
+/// search's inner loop): per-token word ids are interned once, and the
+/// current evidence ("base") carries cached per-position LM scores so a
+/// candidate removal costs one masked QA prediction plus an incremental
+/// log-prob walk.
+///
+/// Every score produced here is bitwise-identical to
+/// [`EvidenceScorer::score_selection`] on the corresponding selection.
+pub struct DocScorer<'s, 'a> {
+    scorer: &'s EvidenceScorer<'a>,
+    aos: &'s Document,
+    /// LM word id per document token.
+    tok_ids: Vec<WordId>,
+    /// Current evidence selection, ascending token indices.
+    base: Vec<usize>,
+    /// token index -> position in `base` (usize::MAX when absent).
+    pos_in_base: Vec<usize>,
+    /// Cached per-position LM scores of the base sequence.
+    base_seq: Option<SeqScores>,
+}
+
+impl<'s, 'a> DocScorer<'s, 'a> {
+    /// Install the current evidence selection (ascending token indices)
+    /// and precompute its LM cache.
+    pub fn set_base<I: IntoIterator<Item = usize>>(&mut self, selection: I) {
+        for &i in &self.base {
+            self.pos_in_base[i] = usize::MAX;
+        }
+        self.base.clear();
+        self.base.extend(selection);
+        debug_assert!(
+            self.base.windows(2).all(|w| w[0] < w[1]),
+            "base must be ascending"
+        );
+        for (pos, &i) in self.base.iter().enumerate() {
+            self.pos_in_base[i] = pos;
+        }
+        let ids: Vec<WordId> = self.base.iter().map(|&i| self.tok_ids[i]).collect();
+        self.base_seq = Some(self.scorer.lm.seq_scores(ids));
+    }
+
+    /// The current base selection.
+    pub fn base(&self) -> &[usize] {
+        &self.base
+    }
+
+    /// Score the base selection itself.
+    pub fn score_base(&self, scratch: &mut ScoreScratch) -> EvidenceScores {
+        self.score_removal(&[], scratch)
+    }
+
+    /// Score the evidence obtained by removing `removed` (a sorted set
+    /// of token indices, all members of the base) from the base.
+    pub fn score_removal(&self, removed: &[usize], scratch: &mut ScoreScratch) -> EvidenceScores {
+        self.stage_removal(removed, scratch);
+        let informativeness = self.informativeness_of_remaining(scratch);
+        let ppl = self.remaining_perplexity(scratch);
+        self.scorer
+            .assemble(informativeness, scratch.indices.len(), ppl)
+    }
+
+    /// Fill the scratch buffers for a removal: sorted base positions of
+    /// the removed tokens plus the remaining token indices in order.
+    fn stage_removal(&self, removed: &[usize], scratch: &mut ScoreScratch) {
+        scratch.removed_pos.clear();
+        for &t in removed {
+            let pos = self.pos_in_base[t];
+            debug_assert!(pos != usize::MAX, "removed token {t} not in base");
+            scratch.removed_pos.push(pos);
+        }
+        scratch.removed_pos.sort_unstable();
+        scratch.indices.clear();
+        let mut rm = scratch.removed_pos.iter().peekable();
+        for (pos, &tok) in self.base.iter().enumerate() {
+            if rm.peek() == Some(&&pos) {
+                rm.next();
+            } else {
+                scratch.indices.push(tok);
+            }
+        }
+    }
+
+    fn remaining_perplexity(&self, scratch: &ScoreScratch) -> f64 {
+        let base_seq = self
+            .base_seq
+            .as_ref()
+            .expect("set_base before scoring removals");
+        self.scorer
+            .lm
+            .perplexity_after_removal(base_seq, &scratch.removed_pos)
+    }
+
+    fn informativeness_of_remaining(&self, scratch: &mut ScoreScratch) -> f64 {
+        let pred = self.scorer.qa.predict_selection(
+            &self.scorer.q_analysis,
+            self.aos,
+            &scratch.indices,
+            self.scorer.question,
+            &mut scratch.qa,
+        );
+        token_f1(&pred.text, self.scorer.answer).f1
+    }
+
+    /// Hybrid score of the evidence after removing `removed`, with the
+    /// conciseness-discard shortcut: a remainder not longer than the
+    /// answer scores −∞ (Eq. 2) whatever its other terms, so the QA and
+    /// LM work is skipped. Always equal to
+    /// `self.score_removal(removed, scratch).hybrid`.
+    pub fn hybrid_after_removal(&self, removed: &[usize], scratch: &mut ScoreScratch) -> f64 {
+        let remaining = self.base.len() - removed.len();
+        if remaining <= self.scorer.answer_len {
+            return f64::NEG_INFINITY;
+        }
+        self.score_removal(removed, scratch).hybrid
+    }
+
+    /// [`DocScorer::score_removal`] with an exact competitiveness prune:
+    /// the conciseness and readability terms are cheap (O(1) and an
+    /// incremental LM walk), and informativeness is bounded by 1, so when
+    /// `α·1 + β·R + γ·C < floor` the QA prediction — the expensive term —
+    /// is provably pointless and `None` is returned.
+    ///
+    /// When a removal survives the prune, the returned [`EvidenceScores`]
+    /// is bitwise-equal to [`DocScorer::score_removal`] (the upper bound
+    /// shares every intermediate float and the summation order with the
+    /// full score, so fp monotonicity makes the prune sound); `None`
+    /// guarantees the removal's hybrid is below `floor`. The −∞ discard
+    /// shortcut reports the discard scores without the QA/LM work.
+    pub fn score_if_competitive(
+        &self,
+        removed: &[usize],
+        floor: f64,
+        scratch: &mut ScoreScratch,
+    ) -> Option<EvidenceScores> {
+        let remaining = self.base.len() - removed.len();
+        if remaining <= self.scorer.answer_len {
+            // Discard branch of Eq. 2: the hybrid is −∞ regardless of
+            // the other terms, and a discarded candidate is never
+            // applied, so the expensive terms are not computed.
+            return Some(EvidenceScores {
+                informativeness: 0.0,
+                conciseness_raw: f64::NEG_INFINITY,
+                readability_raw: 0.0,
+                conciseness: f64::NEG_INFINITY,
+                readability: 0.0,
+                hybrid: f64::NEG_INFINITY,
+            });
+        }
+        self.stage_removal(removed, scratch);
+        let ppl = self.remaining_perplexity(scratch);
+        let conciseness = ((self.scorer.answer_len as f64 + 2.0) / remaining as f64).min(1.0);
+        let readability = self.scorer.ppl_ref / (ppl + self.scorer.ppl_ref);
+        let (a, b, g) = self.scorer.weights;
+        let upper_bound = a * 1.0 + b * readability + g * conciseness;
+        if upper_bound < floor {
+            return None;
+        }
+        let informativeness = self.informativeness_of_remaining(scratch);
+        Some(EvidenceScores {
+            informativeness,
+            conciseness_raw: 1.0 / remaining as f64,
+            readability_raw: if ppl.is_finite() { 1.0 / ppl } else { 0.0 },
+            conciseness,
+            readability,
+            hybrid: a * informativeness + b * readability + g * conciseness,
+        })
     }
 }
 
@@ -225,11 +452,23 @@ mod tests {
     #[test]
     fn conciseness_discards_evidence_not_longer_than_answer() {
         let (qa, lm, ppl_ref) = scorer_parts();
-        let s = EvidenceScorer::new(&qa, &lm, "Who won?", "Denver Broncos", ppl_ref, (0.5, 0.2, 0.3));
+        let s = EvidenceScorer::new(
+            &qa,
+            &lm,
+            "Who won?",
+            "Denver Broncos",
+            ppl_ref,
+            (0.5, 0.2, 0.3),
+        );
         let too_short = s.score_tokens(&["denver".into(), "broncos".into()]);
         assert_eq!(too_short.conciseness, f64::NEG_INFINITY);
         assert_eq!(too_short.hybrid, f64::NEG_INFINITY);
-        let ok = s.score_tokens(&["the".into(), "denver".into(), "broncos".into(), "won".into()]);
+        let ok = s.score_tokens(&[
+            "the".into(),
+            "denver".into(),
+            "broncos".into(),
+            "won".into(),
+        ]);
         assert!(ok.conciseness.is_finite());
         assert!(ok.hybrid.is_finite());
     }
@@ -239,11 +478,10 @@ mod tests {
         let (qa, lm, ppl_ref) = scorer_parts();
         let s = EvidenceScorer::new(&qa, &lm, "Who won?", "Broncos", ppl_ref, (0.5, 0.2, 0.3));
         let short: Vec<String> = "the broncos won".split(' ').map(String::from).collect();
-        let long: Vec<String> =
-            "the broncos won the final game in the city of denver that year"
-                .split(' ')
-                .map(String::from)
-                .collect();
+        let long: Vec<String> = "the broncos won the final game in the city of denver that year"
+            .split(' ')
+            .map(String::from)
+            .collect();
         let ss = s.score_tokens(&short);
         let sl = s.score_tokens(&long);
         assert!(ss.conciseness > sl.conciseness);
@@ -254,8 +492,14 @@ mod tests {
     fn fluent_evidence_is_more_readable() {
         let (qa, lm, ppl_ref) = scorer_parts();
         let s = EvidenceScorer::new(&qa, &lm, "Who won?", "Broncos", ppl_ref, (0.5, 0.2, 0.3));
-        let fluent: Vec<String> = "the broncos won the final game".split(' ').map(String::from).collect();
-        let garbled: Vec<String> = "game won final broncos the the".split(' ').map(String::from).collect();
+        let fluent: Vec<String> = "the broncos won the final game"
+            .split(' ')
+            .map(String::from)
+            .collect();
+        let garbled: Vec<String> = "game won final broncos the the"
+            .split(' ')
+            .map(String::from)
+            .collect();
         let sf = s.score_tokens(&fluent);
         let sg = s.score_tokens(&garbled);
         assert!(sf.readability > sg.readability);
@@ -266,7 +510,12 @@ mod tests {
     fn normalized_scores_in_unit_interval() {
         let (qa, lm, ppl_ref) = scorer_parts();
         let s = EvidenceScorer::new(&qa, &lm, "Who won?", "Broncos", ppl_ref, (0.5, 0.2, 0.3));
-        let sc = s.score_tokens(&"the broncos won the game".split(' ').map(String::from).collect::<Vec<_>>());
+        let sc = s.score_tokens(
+            &"the broncos won the game"
+                .split(' ')
+                .map(String::from)
+                .collect::<Vec<_>>(),
+        );
         assert!((0.0..=1.0).contains(&sc.informativeness));
         assert!((0.0..=1.0).contains(&sc.conciseness));
         assert!((0.0..=1.0).contains(&sc.readability));
@@ -278,7 +527,10 @@ mod tests {
         let (qa, lm, ppl_ref) = scorer_parts();
         let s = EvidenceScorer::new(&qa, &lm, "Who won?", "Broncos", ppl_ref, (0.5, 0.2, 0.3));
         let e1: Vec<String> = "the broncos won".split(' ').map(String::from).collect();
-        let e2: Vec<String> = "the broncos won the final game in denver".split(' ').map(String::from).collect();
+        let e2: Vec<String> = "the broncos won the final game in denver"
+            .split(' ')
+            .map(String::from)
+            .collect();
         let s1 = s.score_tokens(&e1);
         let s2 = s.score_tokens(&e2);
         assert_eq!(
@@ -297,5 +549,67 @@ mod tests {
         let r = reference_perplexity(&lm, &corpus(), 10);
         assert!(r.is_finite() && r > 0.0);
         assert_eq!(reference_perplexity(&lm, &[], 10), 50.0);
+    }
+
+    #[test]
+    fn doc_scorer_matches_one_shot_scoring_bitwise() {
+        let (qa, lm, ppl_ref) = scorer_parts();
+        let s = EvidenceScorer::new(
+            &qa,
+            &lm,
+            "Which team defeated the Panthers?",
+            "Broncos",
+            ppl_ref,
+            (0.5, 0.2, 0.3),
+        );
+        let aos = gced_text::analyze(
+            "The Denver Broncos defeated the Carolina Panthers to earn the title. \
+             The band played all night in the stadium.",
+        );
+        let base: Vec<usize> = (0..aos.len()).collect();
+        let mut ds = s.doc_scorer(&aos);
+        ds.set_base(base.iter().copied());
+        let mut scratch = ScoreScratch::default();
+        // Try several removal sets, including empty and near-total.
+        let removals: Vec<Vec<usize>> = vec![
+            vec![],
+            vec![0],
+            vec![aos.len() - 1],
+            vec![3, 4, 5],
+            (6..aos.len()).collect(),
+            vec![0, 2, 4, 6, 8, 10],
+        ];
+        for removed in removals {
+            let remaining: BTreeSet<usize> = base
+                .iter()
+                .copied()
+                .filter(|i| !removed.contains(i))
+                .collect();
+            let one_shot = s.score_selection(&aos, &remaining);
+            let incremental = ds.score_removal(&removed, &mut scratch);
+            assert_eq!(one_shot, incremental, "removal {removed:?}");
+            let h = ds.hybrid_after_removal(&removed, &mut scratch);
+            assert!(
+                h == one_shot.hybrid || (h.is_infinite() && one_shot.hybrid.is_infinite()),
+                "hybrid shortcut mismatch for {removed:?}: {h} vs {}",
+                one_shot.hybrid
+            );
+        }
+    }
+
+    #[test]
+    fn doc_scorer_rebase_after_clip() {
+        let (qa, lm, ppl_ref) = scorer_parts();
+        let s = EvidenceScorer::new(&qa, &lm, "Who won?", "Broncos", ppl_ref, (0.5, 0.2, 0.3));
+        let aos = gced_text::analyze("The Broncos won the final game in Denver.");
+        let mut ds = s.doc_scorer(&aos);
+        ds.set_base(0..aos.len());
+        let mut scratch = ScoreScratch::default();
+        let first = ds.score_removal(&[5, 6], &mut scratch);
+        // Re-base onto the clipped evidence and verify parity again.
+        let new_base: Vec<usize> = (0..aos.len()).filter(|i| ![5, 6].contains(i)).collect();
+        ds.set_base(new_base.iter().copied());
+        let rebased = ds.score_base(&mut scratch);
+        assert_eq!(first, rebased);
     }
 }

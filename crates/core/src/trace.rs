@@ -83,7 +83,12 @@ mod tests {
     #[test]
     fn trace_renders_every_section() {
         let trace = DistillTrace {
-            ase: Some(AseResult { sentences: vec![0, 2], exact: true, best_f1: 1.0, steps: vec![] }),
+            ase: Some(AseResult {
+                sentences: vec![0, 2],
+                exact: true,
+                best_f1: 1.0,
+                steps: vec![],
+            }),
             significant_words: vec!["team".into()],
             clue_words: vec!["Broncos".into()],
             answer_words: vec!["Denver".into()],
@@ -113,7 +118,10 @@ mod tests {
 
     #[test]
     fn ablated_and_fallback_render() {
-        let trace = DistillTrace { fallback: true, ..Default::default() };
+        let trace = DistillTrace {
+            fallback: true,
+            ..Default::default()
+        };
         let s = trace.to_string();
         assert!(s.contains("ABLATED") || s.contains("ablated"));
         assert!(s.contains("fallback"));

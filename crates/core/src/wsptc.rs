@@ -41,13 +41,13 @@ pub fn construct(
     if n > 0 {
         let words: Vec<String> = aos.tokens.iter().map(|t| t.lower()).collect();
         let attn = mha.attend_words(&words, emb);
-        for i in 0..n {
+        for (i, weight) in weights.iter_mut().enumerate() {
             if let Some(p) = tree.parent(i) {
                 // Symmetrized attention between the two endpoints: the
                 // paper reads "attention from a node to its child node";
                 // averaging both directions keeps the weight insensitive
                 // to row-normalization artifacts.
-                weights[i] = 0.5 * (attn.get(p, i) + attn.get(i, p)) as f64;
+                *weight = 0.5 * (attn.get(p, i) + attn.get(i, p)) as f64;
             }
         }
     }
@@ -61,8 +61,18 @@ mod tests {
     use gced_text::analyze;
 
     fn substrate() -> (CkyParser, MultiHeadAttention, EmbeddingTable) {
-        let cfg = AttentionConfig { d_model: 32, heads: 4, d_k: 16, seed: 7, positional_weight: 0.35 };
-        (CkyParser::embedded(), MultiHeadAttention::new(cfg), EmbeddingTable::new(32, 7))
+        let cfg = AttentionConfig {
+            d_model: 32,
+            heads: 4,
+            d_k: 16,
+            seed: 7,
+            positional_weight: 0.35,
+        };
+        (
+            CkyParser::embedded(),
+            MultiHeadAttention::new(cfg),
+            EmbeddingTable::new(32, 7),
+        )
     }
 
     #[test]

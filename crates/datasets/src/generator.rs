@@ -40,7 +40,11 @@ impl GeneratorConfig {
 
     /// A small fixed-size config for tests.
     pub fn tiny(seed: u64) -> Self {
-        GeneratorConfig { train: 48, dev: 24, seed }
+        GeneratorConfig {
+            train: 48,
+            dev: 24,
+            seed,
+        }
     }
 }
 
@@ -118,7 +122,10 @@ fn gen_example(kind: DatasetKind, split: &str, index: usize, rng: &mut SmallRng)
 
     let qa = &scenario.qa[qa_idx];
     let context = assemble_context(&scenario, &qa.support, &st, rng);
-    debug_assert!(context.contains(&qa.answer), "answer must be a context span");
+    debug_assert!(
+        context.contains(&qa.answer),
+        "answer must be a context span"
+    );
     let aliases = if st.use_aliases {
         let mut a = qa.aliases.clone();
         let lower = qa.answer.to_lowercase();
@@ -187,7 +194,10 @@ fn assemble_context(
     chosen.extend(others.into_iter().take(noise));
     chosen.sort_unstable();
     chosen.dedup();
-    let mut parts: Vec<String> = chosen.iter().map(|&i| scenario.sentences[i].clone()).collect();
+    let mut parts: Vec<String> = chosen
+        .iter()
+        .map(|&i| scenario.sentences[i].clone())
+        .collect();
 
     let cross = rng.gen_range(st.cross_domain.clone());
     for _ in 0..cross {
@@ -215,7 +225,12 @@ mod tests {
         for kind in DatasetKind::all() {
             let ds = generate(kind, GeneratorConfig::tiny(2));
             for ex in ds.train.examples.iter().chain(&ds.dev.examples) {
-                assert!(ex.answer_in_context(), "{}: answer {:?} missing", ex.id, ex.answer);
+                assert!(
+                    ex.answer_in_context(),
+                    "{}: answer {:?} missing",
+                    ex.id,
+                    ex.answer
+                );
                 if ex.answerable {
                     assert!(!ex.answer.is_empty());
                 }
@@ -239,7 +254,14 @@ mod tests {
 
     #[test]
     fn squad2_contains_unanswerable() {
-        let ds = generate(DatasetKind::Squad20, GeneratorConfig { train: 200, dev: 50, seed: 5 });
+        let ds = generate(
+            DatasetKind::Squad20,
+            GeneratorConfig {
+                train: 200,
+                dev: 50,
+                seed: 5,
+            },
+        );
         let neg = ds.train.examples.iter().filter(|e| !e.answerable).count();
         let rate = neg as f64 / ds.train.len() as f64;
         assert!(rate > 0.2 && rate < 0.5, "unanswerable rate {rate}");
@@ -257,9 +279,22 @@ mod tests {
 
     #[test]
     fn trivia_contexts_are_longer_than_squad() {
-        let squad = generate(DatasetKind::Squad11, GeneratorConfig { train: 150, dev: 16, seed: 9 });
-        let trivia =
-            generate(DatasetKind::TriviaWeb, GeneratorConfig { train: 150, dev: 16, seed: 9 });
+        let squad = generate(
+            DatasetKind::Squad11,
+            GeneratorConfig {
+                train: 150,
+                dev: 16,
+                seed: 9,
+            },
+        );
+        let trivia = generate(
+            DatasetKind::TriviaWeb,
+            GeneratorConfig {
+                train: 150,
+                dev: 16,
+                seed: 9,
+            },
+        );
         assert!(
             trivia.mean_context_words() > squad.mean_context_words() * 1.3,
             "trivia {} vs squad {}",
@@ -277,8 +312,13 @@ mod tests {
     #[test]
     fn ids_are_unique() {
         let ds = generate(DatasetKind::Squad11, GeneratorConfig::tiny(13));
-        let mut ids: Vec<&str> =
-            ds.train.examples.iter().chain(&ds.dev.examples).map(|e| e.id.as_str()).collect();
+        let mut ids: Vec<&str> = ds
+            .train
+            .examples
+            .iter()
+            .chain(&ds.dev.examples)
+            .map(|e| e.id.as_str())
+            .collect();
         let before = ids.len();
         ids.sort_unstable();
         ids.dedup();

@@ -28,10 +28,8 @@ pub mod templates;
 pub use generator::{generate, GeneratorConfig};
 pub use io::{load_json, save_json};
 
-use serde::{Deserialize, Serialize};
-
 /// Which of the paper's four datasets to emulate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DatasetKind {
     /// SQuAD-1.1: Wikipedia paragraphs, all questions answerable.
     Squad11,
@@ -71,12 +69,17 @@ impl DatasetKind {
 
     /// All four datasets, in paper order.
     pub fn all() -> [DatasetKind; 4] {
-        [DatasetKind::Squad11, DatasetKind::Squad20, DatasetKind::TriviaWeb, DatasetKind::TriviaWiki]
+        [
+            DatasetKind::Squad11,
+            DatasetKind::Squad20,
+            DatasetKind::TriviaWeb,
+            DatasetKind::TriviaWiki,
+        ]
     }
 }
 
 /// Content domain of a generated example.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Domain {
     Sports,
     Music,
@@ -88,12 +91,18 @@ pub enum Domain {
 impl Domain {
     /// All domains.
     pub fn all() -> [Domain; 5] {
-        [Domain::Sports, Domain::Music, Domain::History, Domain::Geography, Domain::Science]
+        [
+            Domain::Sports,
+            Domain::Music,
+            Domain::History,
+            Domain::Geography,
+            Domain::Science,
+        ]
     }
 }
 
 /// One (question, answer, context) tuple — the paper's (qᵢ, aᵢ, cᵢ).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct QaExample {
     /// Stable identifier ("squad11-train-000042").
     pub id: String,
@@ -120,7 +129,7 @@ impl QaExample {
 }
 
 /// A dataset split.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Split {
     pub examples: Vec<QaExample>,
 }
@@ -138,7 +147,7 @@ impl Split {
 }
 
 /// A full dataset: name + train/dev splits.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Dataset {
     pub kind: DatasetKind,
     pub train: Split,
@@ -167,12 +176,19 @@ impl Dataset {
     /// Mean context length in whitespace words (reported next to the
     /// paper's word-reduction statistics).
     pub fn mean_context_words(&self) -> f64 {
-        let all: Vec<&QaExample> =
-            self.train.examples.iter().chain(&self.dev.examples).collect();
+        let all: Vec<&QaExample> = self
+            .train
+            .examples
+            .iter()
+            .chain(&self.dev.examples)
+            .collect();
         if all.is_empty() {
             return 0.0;
         }
-        let total: usize = all.iter().map(|e| e.context.split_whitespace().count()).sum();
+        let total: usize = all
+            .iter()
+            .map(|e| e.context.split_whitespace().count())
+            .sum();
         total as f64 / all.len() as f64
     }
 }

@@ -5,36 +5,147 @@
 //! and stable overlap with the embedded lexicon.
 
 pub const CITIES: &[&str] = &[
-    "Denver", "Carolina", "Boston", "Chicago", "Atlanta", "Portland", "Austin", "Phoenix",
-    "Seattle", "Dallas", "Memphis", "Oakland", "Richmond", "Savannah", "Lincoln", "Madison",
-    "Arlington", "Fairview", "Brookhaven", "Westfield", "Clarkson", "Hartley", "Milton",
-    "Norwood", "Ashford", "Marlow", "Kingsley", "Redmond", "Sheffield", "Brighton",
+    "Denver",
+    "Carolina",
+    "Boston",
+    "Chicago",
+    "Atlanta",
+    "Portland",
+    "Austin",
+    "Phoenix",
+    "Seattle",
+    "Dallas",
+    "Memphis",
+    "Oakland",
+    "Richmond",
+    "Savannah",
+    "Lincoln",
+    "Madison",
+    "Arlington",
+    "Fairview",
+    "Brookhaven",
+    "Westfield",
+    "Clarkson",
+    "Hartley",
+    "Milton",
+    "Norwood",
+    "Ashford",
+    "Marlow",
+    "Kingsley",
+    "Redmond",
+    "Sheffield",
+    "Brighton",
 ];
 
 pub const MASCOTS: &[&str] = &[
-    "Broncos", "Panthers", "Eagles", "Falcons", "Sharks", "Wolves", "Tigers", "Hawks",
-    "Bears", "Lions", "Raiders", "Chargers", "Titans", "Knights", "Pioneers", "Comets",
-    "Rangers", "Storm", "Thunder", "Mariners", "Colts", "Stallions", "Cougars", "Vikings",
+    "Broncos",
+    "Panthers",
+    "Eagles",
+    "Falcons",
+    "Sharks",
+    "Wolves",
+    "Tigers",
+    "Hawks",
+    "Bears",
+    "Lions",
+    "Raiders",
+    "Chargers",
+    "Titans",
+    "Knights",
+    "Pioneers",
+    "Comets",
+    "Rangers",
+    "Storm",
+    "Thunder",
+    "Mariners",
+    "Colts",
+    "Stallions",
+    "Cougars",
+    "Vikings",
 ];
 
 pub const FIRST_NAMES: &[&str] = &[
-    "William", "Henry", "Maria", "Clara", "Edward", "Isabel", "Thomas", "Eleanor", "James",
-    "Sofia", "Arthur", "Lucia", "Robert", "Helena", "Charles", "Beatrice", "George", "Amelia",
-    "Frederick", "Rosalind", "Albert", "Vivian", "Walter", "Margaret", "Hugh", "Cecilia",
-    "Oscar", "Matilda", "Leon", "Adele",
+    "William",
+    "Henry",
+    "Maria",
+    "Clara",
+    "Edward",
+    "Isabel",
+    "Thomas",
+    "Eleanor",
+    "James",
+    "Sofia",
+    "Arthur",
+    "Lucia",
+    "Robert",
+    "Helena",
+    "Charles",
+    "Beatrice",
+    "George",
+    "Amelia",
+    "Frederick",
+    "Rosalind",
+    "Albert",
+    "Vivian",
+    "Walter",
+    "Margaret",
+    "Hugh",
+    "Cecilia",
+    "Oscar",
+    "Matilda",
+    "Leon",
+    "Adele",
 ];
 
 pub const LAST_NAMES: &[&str] = &[
-    "Knowles", "Carter", "Hastings", "Norton", "Whitfield", "Mercer", "Calloway", "Draper",
-    "Ellington", "Fairbanks", "Granger", "Holloway", "Irving", "Jardine", "Kingsford",
-    "Lockwood", "Marchetti", "Newcombe", "Oakes", "Pemberton", "Quimby", "Rutherford",
-    "Sinclair", "Thackeray", "Underwood", "Vance", "Wexford", "Yardley", "Abernathy",
+    "Knowles",
+    "Carter",
+    "Hastings",
+    "Norton",
+    "Whitfield",
+    "Mercer",
+    "Calloway",
+    "Draper",
+    "Ellington",
+    "Fairbanks",
+    "Granger",
+    "Holloway",
+    "Irving",
+    "Jardine",
+    "Kingsford",
+    "Lockwood",
+    "Marchetti",
+    "Newcombe",
+    "Oakes",
+    "Pemberton",
+    "Quimby",
+    "Rutherford",
+    "Sinclair",
+    "Thackeray",
+    "Underwood",
+    "Vance",
+    "Wexford",
+    "Yardley",
+    "Abernathy",
     "Blackwood",
 ];
 
 pub const COUNTRIES: &[&str] = &[
-    "France", "Normandy", "England", "Aquitaine", "Castile", "Bavaria", "Tuscany", "Saxony",
-    "Flanders", "Burgundy", "Navarre", "Lombardy", "Bohemia", "Aragon", "Provence",
+    "France",
+    "Normandy",
+    "England",
+    "Aquitaine",
+    "Castile",
+    "Bavaria",
+    "Tuscany",
+    "Saxony",
+    "Flanders",
+    "Burgundy",
+    "Navarre",
+    "Lombardy",
+    "Bohemia",
+    "Aragon",
+    "Provence",
 ];
 
 pub const RIVERS: &[&str] = &[
@@ -42,40 +153,74 @@ pub const RIVERS: &[&str] = &[
 ];
 
 pub const BATTLES: &[&str] = &[
-    "Hastings", "Agincourt", "Crecy", "Bosworth", "Towton", "Naseby", "Falkirk", "Stamford",
-    "Maldon", "Tewkesbury",
+    "Hastings",
+    "Agincourt",
+    "Crecy",
+    "Bosworth",
+    "Towton",
+    "Naseby",
+    "Falkirk",
+    "Stamford",
+    "Maldon",
+    "Tewkesbury",
 ];
 
 pub const ELEMENTS: &[&str] = &[
-    "radium", "polonium", "helium", "argon", "cesium", "thorium", "gallium", "iridium",
-    "selenium", "vanadium",
+    "radium", "polonium", "helium", "argon", "cesium", "thorium", "gallium", "iridium", "selenium",
+    "vanadium",
 ];
 
 pub const THEORIES: &[&str] = &[
-    "relativity", "evolution", "gravitation", "electromagnetism", "thermodynamics",
-    "radioactivity", "heredity", "plate tectonics",
+    "relativity",
+    "evolution",
+    "gravitation",
+    "electromagnetism",
+    "thermodynamics",
+    "radioactivity",
+    "heredity",
+    "plate tectonics",
 ];
 
-pub const GENRES: &[&str] = &["jazz", "blues", "opera", "pop", "rock", "folk", "soul", "gospel"];
+pub const GENRES: &[&str] = &[
+    "jazz", "blues", "opera", "pop", "rock", "folk", "soul", "gospel",
+];
 
-pub const INSTRUMENTS: &[&str] =
-    &["violin", "piano", "guitar", "cello", "flute", "trumpet", "drums"];
+pub const INSTRUMENTS: &[&str] = &[
+    "violin", "piano", "guitar", "cello", "flute", "trumpet", "drums",
+];
 
 pub const AWARDS: &[&str] = &["Grammy", "Platinum", "Golden Note", "Harmony", "Crescendo"];
 
 pub const ALBUMS: &[&str] = &[
-    "Midnight Rivers", "Golden Hour", "Paper Crowns", "Silver Lining", "Distant Shores",
-    "Crimson Sky", "Velvet Road", "Morning Glass", "Hollow Moon", "Summer Static",
+    "Midnight Rivers",
+    "Golden Hour",
+    "Paper Crowns",
+    "Silver Lining",
+    "Distant Shores",
+    "Crimson Sky",
+    "Velvet Road",
+    "Morning Glass",
+    "Hollow Moon",
+    "Summer Static",
 ];
 
 pub const STADIUM_SUFFIX: &[&str] = &["Stadium", "Arena", "Field", "Dome", "Park"];
 
-pub const SPORTS_EVENTS: &[&str] =
-    &["Super Bowl", "Championship Final", "National Cup", "League Final", "Grand Final"];
+pub const SPORTS_EVENTS: &[&str] = &[
+    "Super Bowl",
+    "Championship Final",
+    "National Cup",
+    "League Final",
+    "Grand Final",
+];
 
 pub const UNIVERSITIES: &[&str] = &[
-    "Northfield University", "Ashford College", "Brookhaven Institute", "Clarkson University",
-    "Hartley Academy", "Redmond Institute",
+    "Northfield University",
+    "Ashford College",
+    "Brookhaven Institute",
+    "Clarkson University",
+    "Hartley Academy",
+    "Redmond Institute",
 ];
 
 #[cfg(test)]
@@ -85,8 +230,21 @@ mod tests {
     #[test]
     fn pools_are_nonempty_and_unique() {
         for pool in [
-            CITIES, MASCOTS, FIRST_NAMES, LAST_NAMES, COUNTRIES, RIVERS, BATTLES, ELEMENTS,
-            THEORIES, GENRES, INSTRUMENTS, AWARDS, ALBUMS, SPORTS_EVENTS, UNIVERSITIES,
+            CITIES,
+            MASCOTS,
+            FIRST_NAMES,
+            LAST_NAMES,
+            COUNTRIES,
+            RIVERS,
+            BATTLES,
+            ELEMENTS,
+            THEORIES,
+            GENRES,
+            INSTRUMENTS,
+            AWARDS,
+            ALBUMS,
+            SPORTS_EVENTS,
+            UNIVERSITIES,
         ] {
             assert!(!pool.is_empty());
             let set: std::collections::HashSet<_> = pool.iter().collect();

@@ -109,11 +109,23 @@ fn sports(rng: &mut SmallRng) -> Scenario {
     let qa = vec![
         s1,
         s2,
-        seed(format!("When did the {mascot1} win the final game?"), &year, vec![1]),
+        seed(
+            format!("When did the {mascot1} win the final game?"),
+            &year,
+            vec![1],
+        ),
         seed(format!("Where was the {event} played?"), &stadium, vec![2]),
-        seed(format!("Who coached the {mascot1} before the final?"), &coach, vec![3]),
+        seed(
+            format!("Who coached the {mascot1} before the final?"),
+            &coach,
+            vec![3],
+        ),
     ];
-    Scenario { domain: Domain::Sports, sentences, qa }
+    Scenario {
+        domain: Domain::Sports,
+        sentences,
+        qa,
+    }
 }
 
 fn music(rng: &mut SmallRng) -> Scenario {
@@ -139,7 +151,9 @@ fn music(rng: &mut SmallRng) -> Scenario {
         format!(
             "{artist} rose to fame in the {decade}s as the lead singer of a famous {genre} band."
         ),
-        format!("The singer later released the album {album}, which won a {award} award in {year2}."),
+        format!(
+            "The singer later released the album {album}, which won a {award} award in {year2}."
+        ),
         format!("{artist} also played the {instrument} during early performances."),
         "Critics praised the album for its bold style and clear voice.".to_string(),
         "The tour that followed visited many large arenas.".to_string(),
@@ -151,15 +165,39 @@ fn music(rng: &mut SmallRng) -> Scenario {
             vec![1],
         ),
         seed(format!("Where was {artist} born?"), city, vec![0]),
-        seed(format!("Which album of {artist} won a {award} award?"), album, vec![3]),
-        seed(format!("When did the album {album} win a {award} award?"), &year2, vec![3]),
-        seed(format!("Which instrument did {artist} play?"), instrument, vec![4]),
+        seed(
+            format!("Which album of {artist} won a {award} award?"),
+            album,
+            vec![3],
+        ),
+        seed(
+            format!("When did the album {album} win a {award} award?"),
+            &year2,
+            vec![3],
+        ),
+        seed(
+            format!("Which instrument did {artist} play?"),
+            instrument,
+            vec![4],
+        ),
     ];
-    Scenario { domain: Domain::Music, sentences, qa }
+    Scenario {
+        domain: Domain::Music,
+        sentences,
+        qa,
+    }
 }
 
 fn history(rng: &mut SmallRng) -> Scenario {
-    const EPITHETS: &[&str] = &["Conqueror", "Bold", "Wise", "Fearless", "Great", "Pious", "Young"];
+    const EPITHETS: &[&str] = &[
+        "Conqueror",
+        "Bold",
+        "Wise",
+        "Fearless",
+        "Great",
+        "Pious",
+        "Young",
+    ];
     let figure = format!("{} the {}", pick(FIRST_NAMES, rng), pick(EPITHETS, rng));
     let (country, country2) = pick2(COUNTRIES, rng);
     let battle = pick(BATTLES, rng);
@@ -182,11 +220,23 @@ fn history(rng: &mut SmallRng) -> Scenario {
             &figure,
             vec![0],
         ),
-        seed(format!("When was the Battle of {battle} fought?"), &year, vec![0]),
-        seed(format!("Where was {figure} crowned king?"), country2, vec![1]),
+        seed(
+            format!("When was the Battle of {battle} fought?"),
+            &year,
+            vec![0],
+        ),
+        seed(
+            format!("Where was {figure} crowned king?"),
+            country2,
+            vec![1],
+        ),
         seed(format!("Which duchy did {figure} rule?"), country, vec![0]),
     ];
-    Scenario { domain: Domain::History, sentences, qa }
+    Scenario {
+        domain: Domain::History,
+        sentences,
+        qa,
+    }
 }
 
 fn geography(rng: &mut SmallRng) -> Scenario {
@@ -205,11 +255,27 @@ fn geography(rng: &mut SmallRng) -> Scenario {
     ];
     let qa = vec![
         seed(format!("What is the capital of {country}?"), city, vec![0]),
-        seed(format!("Which river flows through the center of {city}?"), river, vec![1]),
-        seed(format!("When was the old bridge across the {river} built?"), &year, vec![3]),
-        seed(format!("How many million people live in {city}?"), &millions, vec![2]),
+        seed(
+            format!("Which river flows through the center of {city}?"),
+            river,
+            vec![1],
+        ),
+        seed(
+            format!("When was the old bridge across the {river} built?"),
+            &year,
+            vec![3],
+        ),
+        seed(
+            format!("How many million people live in {city}?"),
+            &millions,
+            vec![2],
+        ),
     ];
-    Scenario { domain: Domain::Geography, sentences, qa }
+    Scenario {
+        domain: Domain::Geography,
+        sentences,
+        qa,
+    }
 }
 
 fn science(rng: &mut SmallRng) -> Scenario {
@@ -226,17 +292,37 @@ fn science(rng: &mut SmallRng) -> Scenario {
         format!("{scientist} later developed the theory of {theory}."),
         "Students from many countries traveled to attend the famous lectures.".to_string(),
     ];
-    let last = scientist.split(' ').next_back().expect("person has two names").to_string();
+    let last = scientist
+        .split(' ')
+        .next_back()
+        .expect("person has two names")
+        .to_string();
     let mut who = seed(format!("Who discovered {element}?"), &scientist, vec![0]);
     who.aliases.push(last);
     let qa = vec![
         who,
         seed(format!("When was {element} discovered?"), &year, vec![0]),
-        seed(format!("Which element did {scientist} discover?"), element, vec![0]),
-        seed(format!("What theory did {scientist} develop?"), theory, vec![4]),
-        seed(format!("Where did {scientist} study physics?"), university, vec![1]),
+        seed(
+            format!("Which element did {scientist} discover?"),
+            element,
+            vec![0],
+        ),
+        seed(
+            format!("What theory did {scientist} develop?"),
+            theory,
+            vec![4],
+        ),
+        seed(
+            format!("Where did {scientist} study physics?"),
+            university,
+            vec![1],
+        ),
     ];
-    Scenario { domain: Domain::Science, sentences, qa }
+    Scenario {
+        domain: Domain::Science,
+        sentences,
+        qa,
+    }
 }
 
 #[cfg(test)]

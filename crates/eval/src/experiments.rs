@@ -35,12 +35,30 @@ impl ExperimentContext {
     /// Generate the dataset, fit the pipeline, and distill the
     /// ground-truth evidence caches.
     pub fn prepare(kind: DatasetKind, scale: Scale, seed: u64) -> Self {
-        let dataset =
-            generate(kind, GeneratorConfig { train: scale.train, dev: scale.dev, seed });
-        let gced = Gced::fit(&dataset, GcedConfig { seed, ..GcedConfig::default() });
+        let dataset = generate(
+            kind,
+            GeneratorConfig {
+                train: scale.train,
+                dev: scale.dev,
+                seed,
+            },
+        );
+        let gced = Gced::fit(
+            &dataset,
+            GcedConfig {
+                seed,
+                ..GcedConfig::default()
+            },
+        );
         let gt_train = distill_split(&gced, &dataset.train.examples, None);
         let gt_dev = distill_split(&gced, &dataset.dev.examples, None);
-        ExperimentContext { dataset, gced, gt_train, gt_dev, seed }
+        ExperimentContext {
+            dataset,
+            gced,
+            gt_train,
+            gt_dev,
+            seed,
+        }
     }
 
     /// Dataset kind shortcut.
@@ -61,8 +79,12 @@ impl ExperimentContext {
     /// Mean word reduction of the ground-truth dev evidences (the
     /// 78.5 % / 87.2 % statistic of Sec. IV-D1).
     pub fn mean_word_reduction(&self) -> f64 {
-        let r: Vec<f64> =
-            self.gt_dev.iter().flatten().map(|d| d.word_reduction).collect();
+        let r: Vec<f64> = self
+            .gt_dev
+            .iter()
+            .flatten()
+            .map(|d| d.word_reduction)
+            .collect();
         if r.is_empty() {
             0.0
         } else {
@@ -74,24 +96,37 @@ impl ExperimentContext {
 /// Distill every answerable example; with `answers: Some(_)`, use the
 /// provided per-example answer strings instead of the gold ones (the
 /// predicted-answer experiments).
+///
+/// Runs through [`Gced::distill_batch`], so table runners parallelize
+/// their dominant inner loop across worker threads while producing
+/// exactly the sequential per-example output.
 pub fn distill_split(
     gced: &Gced,
     examples: &[QaExample],
     answers: Option<&[String]>,
 ) -> Vec<Option<Distillation>> {
-    examples
-        .iter()
-        .enumerate()
-        .map(|(i, ex)| {
-            let answer = match answers {
-                Some(a) => a[i].as_str(),
-                None => ex.answer.as_str(),
-            };
-            if !ex.answerable || answer.trim().is_empty() {
-                return None;
-            }
-            gced.distill(&ex.question, answer, &ex.context).ok()
-        })
+    let mut jobs: Vec<(&str, &str, &str)> = Vec::new();
+    let mut job_of: Vec<Option<usize>> = Vec::with_capacity(examples.len());
+    for (i, ex) in examples.iter().enumerate() {
+        let answer = match answers {
+            Some(a) => a[i].as_str(),
+            None => ex.answer.as_str(),
+        };
+        if !ex.answerable || answer.trim().is_empty() {
+            job_of.push(None);
+        } else {
+            job_of.push(Some(jobs.len()));
+            jobs.push((ex.question.as_str(), answer, ex.context.as_str()));
+        }
+    }
+    let mut results: Vec<Option<Distillation>> = gced
+        .distill_batch(&jobs)
+        .into_iter()
+        .map(Result::ok)
+        .collect();
+    job_of
+        .into_iter()
+        .map(|slot| slot.and_then(|j| results[j].take()))
         .collect()
 }
 
@@ -131,8 +166,13 @@ pub struct HumanEvalRow {
 /// rates ground-truth-answer-based evidences.
 pub fn human_eval(ctx: &ExperimentContext, zoo: &[ZooEntry], scale: Scale) -> Vec<HumanEvalRow> {
     let protocol = RatingProtocol::paper(ctx.seed);
-    let answerable: Vec<&QaExample> =
-        ctx.dataset.dev.examples.iter().filter(|e| e.answerable).collect();
+    let answerable: Vec<&QaExample> = ctx
+        .dataset
+        .dev
+        .examples
+        .iter()
+        .filter(|e| e.answerable)
+        .collect();
     let rated_pool: Vec<&QaExample> = answerable.into_iter().take(scale.rated).collect();
     let mut rows = Vec::with_capacity(zoo.len() + 1);
 
@@ -166,9 +206,19 @@ pub fn human_eval(ctx: &ExperimentContext, zoo: &[ZooEntry], scale: Scale) -> Ve
     let mut items = Vec::new();
     let mut reductions = Vec::new();
     for ex in &rated_pool {
-        let idx = ctx.dataset.dev.examples.iter().position(|e| e.id == ex.id).expect("from dev");
+        let idx = ctx
+            .dataset
+            .dev
+            .examples
+            .iter()
+            .position(|e| e.id == ex.id)
+            .expect("from dev");
         if let Some(d) = &ctx.gt_dev[idx] {
-            items.push(RatedItem::from_distillation(format!("gt-{}", ex.id), d, &ex.answer));
+            items.push(RatedItem::from_distillation(
+                format!("gt-{}", ex.id),
+                d,
+                &ex.answer,
+            ));
             reductions.push(d.word_reduction);
         }
     }
@@ -202,9 +252,19 @@ pub fn agreement_study(
     let mut items = Vec::new();
     // Source 1: ground-truth evidences (high quality).
     for ex in &pool {
-        let idx = ctx.dataset.dev.examples.iter().position(|e| e.id == ex.id).expect("dev");
+        let idx = ctx
+            .dataset
+            .dev
+            .examples
+            .iter()
+            .position(|e| e.id == ex.id)
+            .expect("dev");
         if let Some(d) = &ctx.gt_dev[idx] {
-            items.push(RatedItem::from_distillation(format!("agt-{}", ex.id), d, &ex.answer));
+            items.push(RatedItem::from_distillation(
+                format!("agt-{}", ex.id),
+                d,
+                &ex.answer,
+            ));
         }
     }
     // Source 2: predicted-answer evidences from a weak baseline (mixed).
@@ -216,7 +276,11 @@ pub fn agreement_study(
             continue;
         }
         if let Ok(d) = ctx.gced.distill(&ex.question, &pred.text, &ex.context) {
-            items.push(RatedItem::from_distillation(format!("apr-{}", ex.id), &d, &pred.text));
+            items.push(RatedItem::from_distillation(
+                format!("apr-{}", ex.id),
+                &d,
+                &pred.text,
+            ));
         }
     }
     // Source 3: ASE-ablated evidences (longer, noisier).
@@ -227,7 +291,11 @@ pub fn agreement_study(
     });
     for ex in pool.iter().take(scale.rated / 2) {
         if let Ok(d) = no_ase.distill(&ex.question, &ex.answer, &ex.context) {
-            items.push(RatedItem::from_distillation(format!("ana-{}", ex.id), &d, &ex.answer));
+            items.push(RatedItem::from_distillation(
+                format!("ana-{}", ex.id),
+                &d,
+                &ex.answer,
+            ));
         }
     }
     // Source 4: mismatched pairs — evidence of item i judged for the QA
@@ -237,12 +305,21 @@ pub fn agreement_study(
     // over informativeness degenerates (no item variance).
     for w in pool.windows(2).take(scale.rated / 2) {
         let (ex_i, ex_j) = (w[0], w[1]);
-        let idx = ctx.dataset.dev.examples.iter().position(|e| e.id == ex_i.id).expect("dev");
+        let idx = ctx
+            .dataset
+            .dev
+            .examples
+            .iter()
+            .position(|e| e.id == ex_i.id)
+            .expect("dev");
         if let Some(d) = &ctx.gt_dev[idx] {
             let pred = ctx.gced.qa_model().predict(&ex_j.question, &d.evidence);
             let inference_f1 = gced_metrics::overlap::token_f1(&pred.text, &ex_j.answer).f1;
-            let ev_words: std::collections::HashSet<String> =
-                gced_text::analyze(&d.evidence).tokens.iter().map(|t| t.lower()).collect();
+            let ev_words: std::collections::HashSet<String> = gced_text::analyze(&d.evidence)
+                .tokens
+                .iter()
+                .map(|t| t.lower())
+                .collect();
             let q_doc = gced_text::analyze(&ex_j.question);
             let sig: Vec<String> = q_doc
                 .tokens
@@ -254,8 +331,7 @@ pub fn agreement_study(
             let question_overlap = if sig.is_empty() {
                 0.5
             } else {
-                sig.iter().filter(|word| ev_words.contains(*word)).count() as f64
-                    / sig.len() as f64
+                sig.iter().filter(|word| ev_words.contains(*word)).count() as f64 / sig.len() as f64
             };
             items.push(RatedItem {
                 id: format!("mis-{}-{}", ex_i.id, ex_j.id),
@@ -323,7 +399,13 @@ pub fn qa_augmentation(ctx: &ExperimentContext, zoo: &[ZooEntry]) -> Vec<QaRow> 
                 Variant::V1 => (entry.paper_v1, entry.paper_v1_gced),
                 Variant::V2 => (entry.paper_v2, entry.paper_v2_gced),
             };
-            QaRow { model: entry.profile.name.clone(), base, gced, paper_base, paper_gced }
+            QaRow {
+                model: entry.profile.name.clone(),
+                base,
+                gced,
+                paper_base,
+                paper_gced,
+            }
         })
         .collect()
 }
@@ -355,7 +437,11 @@ pub fn ablation(ctx: &ExperimentContext, bert: &ZooEntry, scale: Scale) -> Vec<A
     variants
         .into_iter()
         .map(|(label, ablation)| {
-            let cfg = GcedConfig { ablation, seed: ctx.seed, ..GcedConfig::default() };
+            let cfg = GcedConfig {
+                ablation,
+                seed: ctx.seed,
+                ..GcedConfig::default()
+            };
             let pipeline = ctx.gced.clone().with_config(cfg);
             let train_ev = distill_split(&pipeline, &ctx.dataset.train.examples, None);
             let dev_ev = distill_split(&pipeline, &ctx.dataset.dev.examples, None);
@@ -378,7 +464,12 @@ pub fn ablation(ctx: &ExperimentContext, bert: &ZooEntry, scale: Scale) -> Vec<A
             let mut model = QaModel::new(bert.profile.clone());
             model.train(&replace_contexts(&ctx.dataset.train.examples, &train_ev));
             let eval = model.evaluate(&replace_contexts(&ctx.dataset.dev.examples, &dev_ev));
-            AblationRow { label, outcome, em: eval.em, f1: eval.f1 }
+            AblationRow {
+                label,
+                outcome,
+                em: eval.em,
+                f1: eval.f1,
+            }
         })
         .collect()
 }
@@ -414,29 +505,44 @@ pub fn degradation(
             let pred_dev = predict_answers(&model, &ctx.dataset.dev.examples);
             let pred_train_ev =
                 distill_split(&ctx.gced, &ctx.dataset.train.examples, Some(&pred_train));
-            let pred_dev_ev =
-                distill_split(&ctx.gced, &ctx.dataset.dev.examples, Some(&pred_dev));
+            let pred_dev_ev = distill_split(&ctx.gced, &ctx.dataset.dev.examples, Some(&pred_dev));
 
             let points = deltas
                 .iter()
                 .map(|&delta| {
-                    let train =
-                        mix_splits(&ctx.dataset.train.examples, &ctx.gt_train, &pred_train_ev, delta, ctx.seed);
-                    let dev =
-                        mix_splits(&ctx.dataset.dev.examples, &ctx.gt_dev, &pred_dev_ev, delta, ctx.seed ^ 1);
+                    let train = mix_splits(
+                        &ctx.dataset.train.examples,
+                        &ctx.gt_train,
+                        &pred_train_ev,
+                        delta,
+                        ctx.seed,
+                    );
+                    let dev = mix_splits(
+                        &ctx.dataset.dev.examples,
+                        &ctx.gt_dev,
+                        &pred_dev_ev,
+                        delta,
+                        ctx.seed ^ 1,
+                    );
                     let mut m = QaModel::new(entry.profile.clone());
                     m.train(&train);
                     let e = m.evaluate(&dev);
                     (delta, e.em, e.f1)
                 })
                 .collect();
-            DegradationSeries { model: entry.profile.name.clone(), points }
+            DegradationSeries {
+                model: entry.profile.name.clone(),
+                points,
+            }
         })
         .collect()
 }
 
 fn predict_answers(model: &QaModel, examples: &[QaExample]) -> Vec<String> {
-    examples.iter().map(|ex| model.predict(&ex.question, &ex.context).text).collect()
+    examples
+        .iter()
+        .map(|ex| model.predict(&ex.question, &ex.context).text)
+        .collect()
 }
 
 /// Per-example coin flip with probability δ selects the predicted-answer
@@ -508,8 +614,7 @@ mod tests {
             .count();
         assert!(changed > 0);
         // Evidences must be shorter on average.
-        let before: usize =
-            c.dataset.dev.examples.iter().map(|e| e.context.len()).sum();
+        let before: usize = c.dataset.dev.examples.iter().map(|e| e.context.len()).sum();
         let after: usize = ev.iter().map(|e| e.context.len()).sum();
         assert!(after < before);
     }
@@ -542,7 +647,12 @@ mod tests {
         assert_eq!(rows.last().unwrap().source, "Ground-truth");
         for r in &rows {
             assert!(r.outcome.rated > 0, "{} rated nothing", r.source);
-            assert!(r.outcome.hybrid > 0.4, "{}: H = {}", r.source, r.outcome.hybrid);
+            assert!(
+                r.outcome.hybrid > 0.4,
+                "{}: H = {}",
+                r.source,
+                r.outcome.hybrid
+            );
         }
     }
 
@@ -555,7 +665,10 @@ mod tests {
         assert_eq!(series[0].points.len(), 2);
         let em0 = series[0].points[0].1;
         let em1 = series[0].points[1].1;
-        assert!(em1 <= em0 + 10.0, "full substitution should not beat gt by much: {em0} -> {em1}");
+        assert!(
+            em1 <= em0 + 10.0,
+            "full substitution should not beat gt by much: {em0} -> {em1}"
+        );
     }
 
     #[test]

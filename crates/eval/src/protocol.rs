@@ -44,7 +44,10 @@ pub struct RatingProtocol {
 impl RatingProtocol {
     /// The paper's protocol with a seeded panel.
     pub fn paper(seed: u64) -> Self {
-        RatingProtocol { panel: RaterPanel::paper(seed), agreement_threshold: 0.7 }
+        RatingProtocol {
+            panel: RaterPanel::paper(seed),
+            agreement_threshold: 0.7,
+        }
     }
 
     /// Rate `items` and aggregate.

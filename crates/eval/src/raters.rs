@@ -57,7 +57,11 @@ impl RatedItem {
         } else {
             let ev_words: std::collections::HashSet<String> =
                 ev_doc.tokens.iter().map(|t| t.lower()).collect();
-            d.trace.significant_words.iter().filter(|w| ev_words.contains(*w)).count() as f64
+            d.trace
+                .significant_words
+                .iter()
+                .filter(|w| ev_words.contains(*w))
+                .count() as f64
                 / clue_total as f64
         };
         RatedItem {
@@ -154,7 +158,11 @@ impl Rater {
     pub fn from_id(id: u64) -> Self {
         let h = hash2(id, 0xB1A5);
         let bias = ((h % 1000) as f64 / 1000.0 - 0.5) * 0.7;
-        Rater { id, bias, noise: 0.55 }
+        Rater {
+            id,
+            bias,
+            noise: 0.55,
+        }
     }
 
     /// Rate one item on one criterion: shared proxy + bias + noise,
@@ -191,7 +199,11 @@ impl RaterPanel {
     pub fn paper(seed: u64) -> Self {
         let mut groups = Vec::with_capacity(3);
         for g in 0..3u64 {
-            groups.push((0..3u64).map(|r| Rater::from_id(hash2(seed, g * 31 + r))).collect());
+            groups.push(
+                (0..3u64)
+                    .map(|r| Rater::from_id(hash2(seed, g * 31 + r)))
+                    .collect(),
+            );
         }
         RaterPanel { groups }
     }
@@ -300,7 +312,11 @@ mod tests {
 
     #[test]
     fn conciseness_tracks_length() {
-        let rater = Rater { id: 1, bias: 0.0, noise: 0.0 };
+        let rater = Rater {
+            id: 1,
+            bias: 0.0,
+            noise: 0.0,
+        };
         let mut item = good_item();
         let mut prev = 6.0;
         for len in [8, 14, 20, 30, 50] {
@@ -314,7 +330,11 @@ mod tests {
 
     #[test]
     fn verbless_fragment_caps_readability() {
-        let rater = Rater { id: 1, bias: 0.0, noise: 0.0 };
+        let rater = Rater {
+            id: 1,
+            bias: 0.0,
+            noise: 0.0,
+        };
         let mut item = good_item();
         item.has_verb = false;
         assert!(rater.rate(&item, Criterion::Readability) <= 3.0);

@@ -11,7 +11,11 @@ pub enum Criterion {
 impl Criterion {
     /// All criteria in table order.
     pub fn all() -> [Criterion; 3] {
-        [Criterion::Informativeness, Criterion::Conciseness, Criterion::Readability]
+        [
+            Criterion::Informativeness,
+            Criterion::Conciseness,
+            Criterion::Readability,
+        ]
     }
 
     /// Display name.
@@ -78,7 +82,16 @@ mod tests {
     #[test]
     fn render_includes_all_scores() {
         let t = render_table1();
-        for s in ["(5)", "(4)", "(3)", "(2)", "(1)", "Informativeness", "Conciseness", "Readability"] {
+        for s in [
+            "(5)",
+            "(4)",
+            "(3)",
+            "(2)",
+            "(1)",
+            "Informativeness",
+            "Conciseness",
+            "Readability",
+        ] {
             assert!(t.contains(s), "missing {s}");
         }
     }

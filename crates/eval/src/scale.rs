@@ -20,18 +20,30 @@ pub struct Scale {
 impl Scale {
     /// Benchmark default.
     pub fn default_bench() -> Self {
-        Scale { train: 360, dev: 120, rated: 48 }
+        Scale {
+            train: 360,
+            dev: 120,
+            rated: 48,
+        }
     }
 
     /// CI smoke scale.
     pub fn smoke() -> Self {
-        Scale { train: 80, dev: 32, rated: 12 }
+        Scale {
+            train: 80,
+            dev: 32,
+            rated: 12,
+        }
     }
 
     /// Closest-to-paper scale that still terminates in reasonable time
     /// (the paper rates 3,000 pairs per model per dataset).
     pub fn full() -> Self {
-        Scale { train: 1500, dev: 500, rated: 300 }
+        Scale {
+            train: 1500,
+            dev: 500,
+            rated: 300,
+        }
     }
 
     /// Resolve from the `GCED_SCALE` environment variable:
@@ -46,7 +58,10 @@ impl Scale {
 
     /// The global experiment seed (`GCED_SEED`, default 42).
     pub fn seed_from_env() -> u64 {
-        std::env::var("GCED_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(42)
+        std::env::var("GCED_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(42)
     }
 }
 

@@ -10,7 +10,10 @@ pub struct TextTable {
 impl TextTable {
     /// Start a table with a header row.
     pub fn new(header: &[&str]) -> Self {
-        TextTable { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        TextTable {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Append a row (must match the header arity).
@@ -39,7 +42,7 @@ impl TextTable {
                     out.push_str("  ");
                 }
                 out.push_str(c);
-                out.extend(std::iter::repeat(' ').take(width[i] - c.len()));
+                out.extend(std::iter::repeat_n(' ', width[i] - c.len()));
             }
             // Trim trailing padding.
             while out.ends_with(' ') {

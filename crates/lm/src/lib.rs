@@ -72,8 +72,9 @@ impl TrigramLm {
                 continue;
             }
             let ids: Vec<WordId> = sent.iter().map(|w| vocab.add(w)).collect();
-            let padded: Vec<WordId> =
-                std::iter::repeat(BOS).take(2).chain(ids.iter().copied()).collect();
+            let padded: Vec<WordId> = std::iter::repeat_n(BOS, 2)
+                .chain(ids.iter().copied())
+                .collect();
             for i in 2..padded.len() {
                 let (u, v, w) = (padded[i - 2], padded[i - 1], padded[i]);
                 *c3.entry((u, v, w)).or_insert(0) += 1;
@@ -90,7 +91,17 @@ impl TrigramLm {
             }
         }
         let bigram_types = seen2.len() as u64;
-        TrigramLm { vocab, c3, c2, follow2, cont2, mid1, follow1, cont1, bigram_types }
+        TrigramLm {
+            vocab,
+            c3,
+            c2,
+            follow2,
+            cont2,
+            mid1,
+            follow1,
+            cont1,
+            bigram_types,
+        }
     }
 
     /// The training vocabulary.
@@ -148,7 +159,146 @@ impl TrigramLm {
 
     /// Natural-log probability of the full sequence.
     pub fn log_prob(&self, words: &[String]) -> f64 {
-        (0..words.len()).map(|i| self.word_prob(words, i).max(1e-300).ln()).sum()
+        (0..words.len())
+            .map(|i| self.word_prob(words, i).max(1e-300).ln())
+            .sum()
+    }
+
+    /// Intern a word sequence once; repeated scoring then skips the
+    /// per-word vocabulary hash lookups.
+    pub fn word_ids(&self, words: &[String]) -> Vec<WordId> {
+        words.iter().map(|w| self.vocab.get(w)).collect()
+    }
+
+    /// `log_prob` over pre-interned ids. Bitwise-identical to
+    /// [`TrigramLm::log_prob`] on the source words (same per-position
+    /// terms, same left-to-right accumulation).
+    pub fn log_prob_ids(&self, ids: &[WordId]) -> f64 {
+        let at = |j: isize| if j < 0 { BOS } else { ids[j as usize] };
+        (0..ids.len() as isize)
+            .map(|i| self.p_tri(at(i - 2), at(i - 1), at(i)).max(1e-300).ln())
+            .sum()
+    }
+
+    /// Perplexity over pre-interned ids (Eq. 3), bitwise-identical to
+    /// [`TrigramLm::perplexity`] on the source words.
+    pub fn perplexity_ids(&self, ids: &[WordId]) -> f64 {
+        if ids.is_empty() {
+            return f64::INFINITY;
+        }
+        (-self.log_prob_ids(ids) / ids.len() as f64).exp()
+    }
+
+    /// Precompute per-position scores of a base sequence so that
+    /// rescoring after token removals is incremental
+    /// ([`TrigramLm::log_prob_after_removal`]).
+    pub fn seq_scores(&self, ids: Vec<WordId>) -> SeqScores {
+        let at = |j: isize| if j < 0 { BOS } else { ids[j as usize] };
+        let lp: Vec<f64> = (0..ids.len() as isize)
+            .map(|i| self.p_tri(at(i - 2), at(i - 1), at(i)).max(1e-300).ln())
+            .collect();
+        let total = lp.iter().sum();
+        SeqScores { ids, lp, total }
+    }
+
+    /// Log-probability of the subsequence of `base` obtained by deleting
+    /// the (ascending) positions in `removed`.
+    ///
+    /// **Bitwise-identical** to `log_prob` of the remaining words: terms
+    /// are accumulated left to right, and a position whose two
+    /// predecessors are unchanged reuses its cached term (the cached
+    /// value is itself bitwise-equal to a recomputation). Only positions
+    /// inside a trigram window after a removal — at most two per removed
+    /// run — are recomputed, so the walk does O(1) hash lookups per
+    /// boundary and O(1) adds elsewhere.
+    pub fn log_prob_after_removal(&self, base: &SeqScores, removed: &[usize]) -> f64 {
+        debug_assert!(
+            removed.windows(2).all(|w| w[0] < w[1]),
+            "removed must be ascending"
+        );
+        let mut sum = 0.0f64;
+        let mut rm = removed.iter().peekable();
+        // Original positions of the previous two *kept* tokens; -1 = BOS.
+        let (mut prev1, mut prev2): (isize, isize) = (-1, -1);
+        let (mut id1, mut id2) = (BOS, BOS);
+        for p in 0..base.ids.len() {
+            if rm.peek() == Some(&&p) {
+                rm.next();
+                continue;
+            }
+            let pi = p as isize;
+            let unchanged = prev1 == pi - 1 && (pi < 2 || prev2 == pi - 2);
+            sum += if unchanged {
+                base.lp[p]
+            } else {
+                self.p_tri(id2, id1, base.ids[p]).max(1e-300).ln()
+            };
+            prev2 = prev1;
+            prev1 = pi;
+            id2 = id1;
+            id1 = base.ids[p];
+        }
+        sum
+    }
+
+    /// O(|removed| + boundaries) estimate of
+    /// [`TrigramLm::log_prob_after_removal`] via prefix sums: subtract
+    /// the removed terms, then patch the at most two kept positions per
+    /// removed run whose trigram context changed. Numerically equal up
+    /// to floating-point summation order — use the exact walk wherever
+    /// bit-stable argmax decisions matter.
+    pub fn log_prob_after_removal_fast(&self, base: &SeqScores, removed: &[usize]) -> f64 {
+        debug_assert!(
+            removed.windows(2).all(|w| w[0] < w[1]),
+            "removed must be ascending"
+        );
+        let n = base.ids.len();
+        let mut sum = base.total;
+        for &p in removed {
+            sum -= base.lp[p];
+        }
+        let is_removed = |p: usize| removed.binary_search(&p).is_ok();
+        let mut k = 0usize;
+        while k < removed.len() {
+            // The current contiguous removed run [run_start, run_end].
+            let run_start = removed[k];
+            let mut run_end = run_start;
+            while k + 1 < removed.len() && removed[k + 1] == run_end + 1 {
+                k += 1;
+                run_end = removed[k];
+            }
+            k += 1;
+            // Context for the first kept position after the run: the two
+            // nearest kept tokens before the run (skipping earlier runs).
+            let (mut c1, mut c2) = (BOS, BOS);
+            let mut found = 0;
+            let mut q = run_start;
+            while found < 2 && q > 0 {
+                q -= 1;
+                if !is_removed(q) {
+                    if found == 0 {
+                        c1 = base.ids[q];
+                    } else {
+                        c2 = base.ids[q];
+                    }
+                    found += 1;
+                }
+            }
+            // Patch up to two kept positions after the run; beyond that,
+            // the trigram context consists of adjacent kept tokens and
+            // the cached term is valid. A position interrupted by the
+            // next run is patched by that run instead.
+            let mut patched = 0;
+            let mut pos = run_end + 1;
+            while patched < 2 && pos < n && !is_removed(pos) {
+                sum += self.p_tri(c2, c1, base.ids[pos]).max(1e-300).ln() - base.lp[pos];
+                c2 = c1;
+                c1 = base.ids[pos];
+                patched += 1;
+                pos += 1;
+            }
+        }
+        sum
     }
 
     /// Perplexity per Eq. 3: `exp(-log P / L)`. Empty input gives
@@ -170,6 +320,18 @@ impl TrigramLm {
         }
     }
 
+    /// Perplexity of the subsequence of `base` after deleting the
+    /// (ascending) positions in `removed`, via the bit-exact incremental
+    /// walk. Empty remainders give `f64::INFINITY`, matching
+    /// [`TrigramLm::perplexity`].
+    pub fn perplexity_after_removal(&self, base: &SeqScores, removed: &[usize]) -> f64 {
+        let remaining = base.len() - removed.len();
+        if remaining == 0 {
+            return f64::INFINITY;
+        }
+        (-self.log_prob_after_removal(base, removed) / remaining as f64).exp()
+    }
+
     /// Fraction of words unknown to the model (diagnostic; OOV hurts PPL).
     pub fn oov_rate(&self, words: &[String]) -> f64 {
         if words.is_empty() {
@@ -180,12 +342,48 @@ impl TrigramLm {
     }
 }
 
+/// Per-position scores of a base word sequence, the substrate for
+/// incremental rescoring after token removals (the Sequential Clip
+/// Searching hot path: every candidate clip deletes a subtree from the
+/// same base evidence, so everything shared is computed once here).
+#[derive(Debug, Clone)]
+pub struct SeqScores {
+    /// Interned word ids of the base sequence.
+    ids: Vec<WordId>,
+    /// `lp[i]` = ln P(w_i | w_{i-2}, w_{i-1}), BOS-padded, floored like
+    /// [`TrigramLm::log_prob`].
+    lp: Vec<f64>,
+    /// Σ `lp` (the O(|removed|) fast path starts from the full-sequence
+    /// total and subtracts).
+    total: f64,
+}
+
+impl SeqScores {
+    /// Length of the base sequence.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when the base sequence is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Total log-probability of the full base sequence.
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn sents(lines: &[&str]) -> Vec<Vec<String>> {
-        lines.iter().map(|l| l.split(' ').map(String::from).collect()).collect()
+        lines
+            .iter()
+            .map(|l| l.split(' ').map(String::from).collect())
+            .collect()
     }
 
     fn small_lm() -> TrigramLm {
@@ -225,8 +423,14 @@ mod tests {
     #[test]
     fn fluent_beats_garbled() {
         let lm = small_lm();
-        let fluent: Vec<String> = "the broncos won the title".split(' ').map(String::from).collect();
-        let garbled: Vec<String> = "title the won broncos the".split(' ').map(String::from).collect();
+        let fluent: Vec<String> = "the broncos won the title"
+            .split(' ')
+            .map(String::from)
+            .collect();
+        let garbled: Vec<String> = "title the won broncos the"
+            .split(' ')
+            .map(String::from)
+            .collect();
         assert!(lm.perplexity(&fluent) < lm.perplexity(&garbled));
     }
 
@@ -234,7 +438,10 @@ mod tests {
     fn in_domain_beats_oov() {
         let lm = small_lm();
         let seen: Vec<String> = "the broncos won".split(' ').map(String::from).collect();
-        let unseen: Vec<String> = "zebras quantize kumquats".split(' ').map(String::from).collect();
+        let unseen: Vec<String> = "zebras quantize kumquats"
+            .split(' ')
+            .map(String::from)
+            .collect();
         assert!(lm.perplexity(&seen) < lm.perplexity(&unseen));
         assert_eq!(lm.oov_rate(&unseen), 1.0);
         assert_eq!(lm.oov_rate(&seen), 0.0);
@@ -285,17 +492,109 @@ mod tests {
         // model should prefer the attested continuation over an unattested
         // in-vocabulary one.
         let lm = small_lm();
-        let attested: Vec<String> =
-            "the broncos defeated the panthers".split(' ').map(String::from).collect();
-        let swapped: Vec<String> =
-            "the broncos defeated the game".split(' ').map(String::from).collect();
+        let attested: Vec<String> = "the broncos defeated the panthers"
+            .split(' ')
+            .map(String::from)
+            .collect();
+        let swapped: Vec<String> = "the broncos defeated the game"
+            .split(' ')
+            .map(String::from)
+            .collect();
         assert!(lm.log_prob(&attested) > lm.log_prob(&swapped));
+    }
+
+    #[test]
+    fn id_paths_match_string_paths_bitwise() {
+        let lm = small_lm();
+        let seq: Vec<String> = "the broncos defeated the panthers zebra"
+            .split(' ')
+            .map(String::from)
+            .collect();
+        let ids = lm.word_ids(&seq);
+        assert_eq!(lm.log_prob(&seq), lm.log_prob_ids(&ids));
+        assert_eq!(lm.perplexity(&seq), lm.perplexity_ids(&ids));
+        assert!(lm.perplexity_ids(&[]).is_infinite());
+    }
+
+    #[test]
+    fn removal_walk_is_bitwise_exact() {
+        let lm = small_lm();
+        let seq: Vec<String> = "the broncos won the title in the final game"
+            .split(' ')
+            .map(String::from)
+            .collect();
+        let base = lm.seq_scores(lm.word_ids(&seq));
+        for removed in [
+            vec![],
+            vec![0],
+            vec![0, 1],
+            vec![3],
+            vec![2, 3, 4],
+            vec![0, 4, 8],
+            vec![1, 2, 6, 7],
+            (0..seq.len()).collect::<Vec<_>>(),
+        ] {
+            let remaining: Vec<String> = seq
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !removed.contains(i))
+                .map(|(_, w)| w.clone())
+                .collect();
+            let direct = lm.log_prob(&remaining);
+            let incremental = lm.log_prob_after_removal(&base, &removed);
+            assert_eq!(direct, incremental, "removal {removed:?}");
+            if !remaining.is_empty() {
+                assert_eq!(
+                    lm.perplexity(&remaining),
+                    lm.perplexity_after_removal(&base, &removed)
+                );
+            } else {
+                assert!(lm.perplexity_after_removal(&base, &removed).is_infinite());
+            }
+        }
+    }
+
+    #[test]
+    fn fast_removal_matches_exact_closely() {
+        let lm = small_lm();
+        let seq: Vec<String> = "the broncos won the title in the final game of the year"
+            .split(' ')
+            .map(String::from)
+            .collect();
+        let base = lm.seq_scores(lm.word_ids(&seq));
+        for removed in [
+            vec![0],
+            vec![5],
+            vec![2, 3],
+            vec![1, 6, 7, 10],
+            vec![0, 2, 4, 6, 8],
+        ] {
+            let exact = lm.log_prob_after_removal(&base, &removed);
+            let fast = lm.log_prob_after_removal_fast(&base, &removed);
+            assert!(
+                (exact - fast).abs() < 1e-9,
+                "removal {removed:?}: exact {exact} vs fast {fast}"
+            );
+        }
+    }
+
+    #[test]
+    fn seq_scores_totals() {
+        let lm = small_lm();
+        let seq: Vec<String> = "the broncos won".split(' ').map(String::from).collect();
+        let base = lm.seq_scores(lm.word_ids(&seq));
+        assert_eq!(base.len(), 3);
+        assert!(!base.is_empty());
+        assert!((base.total() - lm.log_prob(&seq)).abs() < 1e-12);
     }
 
     #[test]
     fn perplexity_positive_for_any_input() {
         let lm = small_lm();
-        for seq in [vec!["the".to_string()], vec!["xyzzy".to_string(), "the".to_string()]] {
+        for seq in [
+            vec!["the".to_string()],
+            vec!["xyzzy".to_string(), "the".to_string()],
+        ] {
             let p = lm.perplexity(&seq);
             assert!(p > 0.0 && p.is_finite());
         }
@@ -330,6 +629,34 @@ mod proptests {
             let ppl = lm.perplexity(&seq);
             prop_assert!(ppl.is_finite());
             prop_assert!(ppl > 0.0);
+        }
+
+        /// Incremental removal scoring is bitwise-exact against a full
+        /// recomputation for arbitrary sequences and removal sets.
+        #[test]
+        fn removal_walk_exact_on_random_inputs(
+            seq in prop::collection::vec(word_strategy(), 1..14),
+            mask in prop::collection::vec(0usize..2, 1..14),
+        ) {
+            let lm = TrigramLm::train(&[
+                vec!["the".into(), "broncos".into(), "won".into(), "the".into(), "title".into()],
+                vec!["the".into(), "panthers".into(), "defeated".into(), "the".into(), "game".into()],
+            ]);
+            let removed: Vec<usize> = (0..seq.len())
+                .filter(|&i| mask.get(i).copied().unwrap_or(0) == 1)
+                .collect();
+            let base = lm.seq_scores(lm.word_ids(&seq));
+            let remaining: Vec<String> = seq
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !removed.contains(i))
+                .map(|(_, w)| w.clone())
+                .collect();
+            let direct = lm.log_prob(&remaining);
+            let incremental = lm.log_prob_after_removal(&base, &removed);
+            prop_assert!(direct == incremental, "removal {:?}: {} vs {}", removed, direct, incremental);
+            let fast = lm.log_prob_after_removal_fast(&base, &removed);
+            prop_assert!((direct - fast).abs() < 1e-9);
         }
 
         /// Per-word probabilities stay in (0, 1] for arbitrary sequences.

@@ -96,7 +96,11 @@ mod tests {
 
     #[test]
     fn perfect_agreement_gives_one() {
-        let units = vec![vec![3.0, 3.0, 3.0], vec![5.0, 5.0, 5.0], vec![1.0, 1.0, 1.0]];
+        let units = vec![
+            vec![3.0, 3.0, 3.0],
+            vec![5.0, 5.0, 5.0],
+            vec![1.0, 1.0, 1.0],
+        ];
         let a = alpha_interval(&units).unwrap();
         assert!((a - 1.0).abs() < 1e-9, "alpha = {a}");
     }
@@ -155,7 +159,11 @@ mod tests {
 
     #[test]
     fn alpha_is_at_most_one() {
-        let units = vec![vec![2.0, 2.0, 3.0], vec![4.0, 4.0, 4.0], vec![1.0, 2.0, 1.0]];
+        let units = vec![
+            vec![2.0, 2.0, 3.0],
+            vec![4.0, 4.0, 4.0],
+            vec![1.0, 2.0, 1.0],
+        ];
         let a = alpha_interval(&units).unwrap();
         assert!(a <= 1.0 + 1e-12);
     }

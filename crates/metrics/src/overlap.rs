@@ -17,7 +17,11 @@ pub struct F1Scores {
 
 impl F1Scores {
     /// All-zero scores.
-    pub const ZERO: F1Scores = F1Scores { precision: 0.0, recall: 0.0, f1: 0.0 };
+    pub const ZERO: F1Scores = F1Scores {
+        precision: 0.0,
+        recall: 0.0,
+        f1: 0.0,
+    };
 }
 
 /// SQuAD answer normalization: lowercase, strip punctuation, drop the
@@ -25,7 +29,13 @@ impl F1Scores {
 pub fn normalize_answer(s: &str) -> Vec<String> {
     s.to_lowercase()
         .chars()
-        .map(|c| if c.is_alphanumeric() || c.is_whitespace() { c } else { ' ' })
+        .map(|c| {
+            if c.is_alphanumeric() || c.is_whitespace() {
+                c
+            } else {
+                ' '
+            }
+        })
         .collect::<String>()
         .split_whitespace()
         .filter(|w| !matches!(*w, "a" | "an" | "the"))
@@ -45,7 +55,11 @@ pub fn token_f1(prediction: &str, reference: &str) -> F1Scores {
     let p = normalize_answer(prediction);
     let r = normalize_answer(reference);
     if p.is_empty() && r.is_empty() {
-        return F1Scores { precision: 1.0, recall: 1.0, f1: 1.0 };
+        return F1Scores {
+            precision: 1.0,
+            recall: 1.0,
+            f1: 1.0,
+        };
     }
     if p.is_empty() || r.is_empty() {
         return F1Scores::ZERO;
@@ -69,7 +83,11 @@ pub fn token_f1(prediction: &str, reference: &str) -> F1Scores {
     let precision = common as f64 / p.len() as f64;
     let recall = common as f64 / r.len() as f64;
     let f1 = 2.0 * precision * recall / (precision + recall);
-    F1Scores { precision, recall, f1 }
+    F1Scores {
+        precision,
+        recall,
+        f1,
+    }
 }
 
 /// Best F1 of a prediction against any of several references (TriviaQA
@@ -88,7 +106,10 @@ mod tests {
 
     #[test]
     fn normalization_strips_articles_and_punct() {
-        assert_eq!(normalize_answer("The Denver Broncos!"), vec!["denver", "broncos"]);
+        assert_eq!(
+            normalize_answer("The Denver Broncos!"),
+            vec!["denver", "broncos"]
+        );
         assert_eq!(normalize_answer("a  b the c"), vec!["b", "c"]);
         assert!(normalize_answer("the a an").is_empty());
     }
@@ -163,7 +184,9 @@ mod proptests {
 
     fn phrase() -> impl Strategy<Value = String> {
         prop::collection::vec(
-            prop::sample::select(vec!["denver", "broncos", "won", "title", "the", "in", "1066"]),
+            prop::sample::select(vec![
+                "denver", "broncos", "won", "title", "the", "in", "1066",
+            ]),
             0..6,
         )
         .prop_map(|ws| ws.join(" "))

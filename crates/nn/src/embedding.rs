@@ -31,7 +31,11 @@ impl EmbeddingTable {
     /// A fresh table with hash-only embeddings of dimension `dim`.
     pub fn new(dim: usize, seed: u64) -> Self {
         assert!(dim > 0, "embedding dim must be positive");
-        EmbeddingTable { dim, seed, refined: HashMap::new() }
+        EmbeddingTable {
+            dim,
+            seed,
+            refined: HashMap::new(),
+        }
     }
 
     /// Embedding dimensionality.
@@ -81,11 +85,11 @@ impl EmbeddingTable {
                 for (i, w) in sent.iter().enumerate() {
                     let lo = i.saturating_sub(window);
                     let hi = (i + window + 1).min(sent.len());
-                    for j in lo..hi {
+                    for (j, ctx_word) in sent.iter().enumerate().take(hi).skip(lo) {
                         if j == i {
                             continue;
                         }
-                        let ctx = self.refined.get(&sent[j]).expect("initialized above");
+                        let ctx = self.refined.get(ctx_word).expect("initialized above");
                         let entry = sums
                             .entry(w.as_str())
                             .or_insert_with(|| (vec![0.0; self.dim], 0.0));
@@ -201,7 +205,10 @@ mod tests {
         let t = EmbeddingTable::new(128, 11);
         let related = t.similarity("performing", "performed");
         let unrelated = t.similarity("performing", "xylophone");
-        assert!(related > unrelated, "related {related} <= unrelated {unrelated}");
+        assert!(
+            related > unrelated,
+            "related {related} <= unrelated {unrelated}"
+        );
     }
 
     #[test]
@@ -218,14 +225,19 @@ mod tests {
             .collect();
         t.fit(&corpus, 2, 3, 0.3);
         let after = t.similarity("broncos", "champion");
-        assert!(after > before, "fit did not increase similarity: {before} -> {after}");
+        assert!(
+            after > before,
+            "fit did not increase similarity: {before} -> {after}"
+        );
         assert_eq!(t.fitted_len(), 5);
     }
 
     #[test]
     fn fit_is_deterministic() {
-        let corpus: Vec<Vec<String>> =
-            vec![vec!["a".into(), "b".into(), "c".into()], vec!["b".into(), "c".into(), "d".into()]];
+        let corpus: Vec<Vec<String>> = vec![
+            vec!["a".into(), "b".into(), "c".into()],
+            vec!["b".into(), "c".into(), "d".into()],
+        ];
         let mut t1 = EmbeddingTable::new(32, 9);
         let mut t2 = EmbeddingTable::new(32, 9);
         t1.fit(&corpus, 1, 2, 0.2);

@@ -24,7 +24,11 @@ impl fmt::Debug for Matrix {
 impl Matrix {
     /// A `rows × cols` matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Build from a closure over `(row, col)`.
@@ -47,7 +51,11 @@ impl Matrix {
         for row in rows {
             data.extend_from_slice(row);
         }
-        Matrix { rows: r, cols: c, data }
+        Matrix {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Number of rows.
@@ -79,7 +87,11 @@ impl Matrix {
 
     /// Matrix product `self · rhs`; panics on dimension mismatch.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
-        assert_eq!(self.cols, rhs.rows, "matmul {}x{} · {}x{}", self.rows, self.cols, rhs.rows, rhs.cols);
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul {}x{} · {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
         let mut out = Matrix::zeros(self.rows, rhs.cols);
         for i in 0..self.rows {
             for k in 0..self.cols {

@@ -1,0 +1,195 @@
+//! # gced-par — minimal scoped-thread data parallelism
+//!
+//! The distillation pipeline parallelizes two loops: candidate scoring
+//! inside Sequential Clip Searching and whole-example batches in
+//! `Gced::distill_batch`. The build environment cannot fetch `rayon`,
+//! so this crate provides the one primitive both need: an
+//! order-preserving parallel map over a slice, built on
+//! `std::thread::scope` with work stealing via an atomic cursor.
+//!
+//! Results are written back by input index, so `par_map` output is
+//! **bitwise identical to the sequential map** regardless of thread
+//! count or scheduling — a property the clip-search oracle equivalence
+//! tests rely on.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Worker-thread cap: `GCED_THREADS` if set, else the machine's
+/// available parallelism.
+pub fn max_threads() -> usize {
+    if let Ok(v) = std::env::var("GCED_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Parallel map preserving input order: `out[i] = f(i, &items[i])`.
+///
+/// Falls back to a sequential loop when the input is small or only one
+/// worker is available. Panics in `f` propagate.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    par_map_with(items, || (), move |(), i, item| f(i, item))
+}
+
+/// [`par_map`] with a per-worker scratch state created by `init` — the
+/// hook reusable buffers need to stay allocation-free under parallelism.
+pub fn par_map_with<T, R, S, F, I>(items: &[T], init: I, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&mut S, usize, &T) -> R + Sync,
+    I: Fn() -> S + Sync,
+{
+    par_map_with_threads(items, max_threads(), init, f)
+}
+
+/// [`par_map_with`] with an explicit worker count (tests force >1 worker
+/// on single-core machines to exercise the parallel path).
+pub fn par_map_with_threads<T, R, S, F, I>(items: &[T], threads: usize, init: I, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&mut S, usize, &T) -> R + Sync,
+    I: Fn() -> S + Sync,
+{
+    let n = items.len();
+    let threads = threads.min(n);
+    if threads <= 1 || n < 2 {
+        let mut scratch = init();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| f(&mut scratch, i, t))
+            .collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let mut out: Vec<Option<R>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let cursor = &cursor;
+            let f = &f;
+            let init = &init;
+            handles.push(scope.spawn(move || {
+                let mut scratch = init();
+                let mut local: Vec<(usize, R)> = Vec::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    local.push((i, f(&mut scratch, i, &items[i])));
+                }
+                local
+            }));
+        }
+        for handle in handles {
+            for (i, r) in handle.join().expect("par_map worker panicked") {
+                out[i] = Some(r);
+            }
+        }
+    });
+    out.into_iter()
+        .map(|r| r.expect("every index produced"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_and_values() {
+        let items: Vec<u64> = (0..1000).collect();
+        let seq: Vec<u64> = items.iter().map(|&x| x * x).collect();
+        let par = par_map(&items, |_, &x| x * x);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let empty: Vec<u32> = vec![];
+        assert!(par_map(&empty, |_, &x| x).is_empty());
+        assert_eq!(par_map(&[7u32], |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn index_argument_matches_position() {
+        let items = ["a", "b", "c"];
+        let out = par_map(&items, |i, s| format!("{i}{s}"));
+        assert_eq!(out, vec!["0a", "1b", "2c"]);
+    }
+
+    #[test]
+    fn scratch_state_reused_per_worker() {
+        let items: Vec<usize> = (0..64).collect();
+        let out = par_map_with(
+            &items,
+            || Vec::<usize>::with_capacity(8),
+            |scratch, _, &x| {
+                scratch.clear();
+                scratch.extend(0..x % 4);
+                scratch.len()
+            },
+        );
+        for (i, len) in out.iter().enumerate() {
+            assert_eq!(*len, i % 4);
+        }
+    }
+
+    #[test]
+    fn uneven_work_is_stolen() {
+        // Heavily skewed costs still produce ordered, complete output.
+        let items: Vec<u64> = (0..40).collect();
+        let out = par_map(&items, |_, &x| {
+            let spins = if x == 0 { 200_000 } else { 10 };
+            let mut acc = 0u64;
+            for i in 0..spins {
+                acc = acc.wrapping_add(std::hint::black_box(i));
+            }
+            (x, acc)
+        });
+        for (i, (x, _)) in out.iter().enumerate() {
+            assert_eq!(*x, i as u64);
+        }
+    }
+
+    #[test]
+    fn max_threads_is_positive() {
+        assert!(max_threads() >= 1);
+    }
+
+    #[test]
+    fn forced_multithreading_matches_sequential() {
+        // available_parallelism may report 1 on CI; force real workers.
+        let items: Vec<u64> = (0..257).collect();
+        let seq: Vec<u64> = items.iter().map(|&x| x.wrapping_mul(x) ^ 7).collect();
+        let par = par_map_with_threads(&items, 4, || (), |(), _, &x| x.wrapping_mul(x) ^ 7);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker panicked")]
+    fn worker_panics_propagate() {
+        let items = [1u8, 2, 3, 4];
+        let _ = par_map_with_threads(
+            &items,
+            2,
+            || (),
+            |(), _, &x| {
+                assert!(x != 3, "boom");
+                x
+            },
+        );
+    }
+}

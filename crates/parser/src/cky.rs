@@ -39,12 +39,18 @@ pub struct CkyParser {
 impl CkyParser {
     /// Parser over the embedded English grammar.
     pub fn embedded() -> Self {
-        CkyParser { grammar: Grammar::english(), max_len: 72 }
+        CkyParser {
+            grammar: Grammar::english(),
+            max_len: 72,
+        }
     }
 
     /// Parser over a custom grammar.
     pub fn new(grammar: Grammar) -> Self {
-        CkyParser { grammar, max_len: 72 }
+        CkyParser {
+            grammar,
+            max_len: 72,
+        }
     }
 
     /// Change the CKY length cutoff (mostly for tests/benches).
@@ -164,15 +170,26 @@ impl CkyParser {
         let (_, back) = chart[start][width_m1][&sym];
         match back {
             Back::Term => {
-                nodes.push(ConstNode::Leaf { token: start, pos: tags[start] });
+                nodes.push(ConstNode::Leaf {
+                    token: start,
+                    pos: tags[start],
+                });
                 let leaf = nodes.len() - 1;
-                nodes.push(ConstNode::Internal { label: sym, children: vec![leaf], head: start });
+                nodes.push(ConstNode::Internal {
+                    label: sym,
+                    children: vec![leaf],
+                    head: start,
+                });
                 nodes.len() - 1
             }
             Back::Unary(child) => {
                 let c = self.extract(chart, tags, start, width_m1, child, nodes);
                 let head = head_of_node(nodes, c);
-                nodes.push(ConstNode::Internal { label: sym, children: vec![c], head });
+                nodes.push(ConstNode::Internal {
+                    label: sym,
+                    children: vec![c],
+                    head,
+                });
                 nodes.len() - 1
             }
             Back::Binary(split, ls, rs, head_side) => {
@@ -184,7 +201,11 @@ impl CkyParser {
                     HeadSide::Left => head_of_node(nodes, l),
                     HeadSide::Right => head_of_node(nodes, r),
                 };
-                nodes.push(ConstNode::Internal { label: sym, children: vec![l, r], head });
+                nodes.push(ConstNode::Internal {
+                    label: sym,
+                    children: vec![l, r],
+                    head,
+                });
                 nodes.len() - 1
             }
         }
@@ -212,7 +233,9 @@ impl CkyParser {
         // Edges among kept tokens, in kept-index space.
         let edges: Vec<Option<usize>> = match self.parse_constituency(&tags) {
             Some(tree) => dependency_edges(&tree),
-            None => (0..kept.len()).map(|i| if i == 0 { None } else { Some(i - 1) }).collect(),
+            None => (0..kept.len())
+                .map(|i| if i == 0 { None } else { Some(i - 1) })
+                .collect(),
         };
         let mut parent: Vec<Option<usize>> = vec![None; n];
         for (ki, edge) in edges.iter().enumerate() {
@@ -371,7 +394,11 @@ mod tests {
         // Either "is" (copula as aux-root) or "capital"; both acceptable —
         // what matters is the NP internal structure.
         let capital = tokens.iter().position(|t| t.text == "capital").unwrap();
-        assert!(root == is || root == capital, "root = {}", tokens[root].text);
+        assert!(
+            root == is || root == capital,
+            "root = {}",
+            tokens[root].text
+        );
     }
 
     #[test]
@@ -396,8 +423,8 @@ mod proptests {
 
     fn word() -> impl Strategy<Value = &'static str> {
         prop::sample::select(vec![
-            "the", "a", "famous", "duke", "battle", "troops", "led", "defeated", "in", "of",
-            "and", "quickly", "Broncos", "title", "won", ",", ".", "1066",
+            "the", "a", "famous", "duke", "battle", "troops", "led", "defeated", "in", "of", "and",
+            "quickly", "Broncos", "title", "won", ",", ".", "1066",
         ])
     }
 

@@ -48,7 +48,11 @@ pub struct DepTree {
 impl DepTree {
     /// The empty tree (zero tokens).
     pub fn empty() -> Self {
-        DepTree { parent: Vec::new(), children: Vec::new(), root: 0 }
+        DepTree {
+            parent: Vec::new(),
+            children: Vec::new(),
+            root: 0,
+        }
     }
 
     /// Build from a parent vector (exactly one `None` = root). Children
@@ -63,14 +67,23 @@ impl DepTree {
                 None => root = i,
             }
         }
-        assert!(n == 0 || parents.iter().any(Option::is_none), "no root in parent vector");
-        DepTree { parent: parents, children, root }
+        assert!(
+            n == 0 || parents.iter().any(Option::is_none),
+            "no root in parent vector"
+        );
+        DepTree {
+            parent: parents,
+            children,
+            root,
+        }
     }
 
     /// A right-branching chain: token 0 is the root, token *i* attaches
     /// to token *i−1*. The universal fallback structure.
     pub fn right_branching(n: usize) -> Self {
-        let parents = (0..n).map(|i| if i == 0 { None } else { Some(i - 1) }).collect();
+        let parents = (0..n)
+            .map(|i| if i == 0 { None } else { Some(i - 1) })
+            .collect();
         DepTree::from_parents(parents)
     }
 
@@ -87,7 +100,7 @@ impl DepTree {
             for i in 0..tree.len() {
                 parents[offset + i] = tree.parent(i).map(|p| offset + p);
             }
-            if tree.len() > 0 {
+            if !tree.is_empty() {
                 let global_root = offset + tree.root();
                 if let Some(pr) = prev_root {
                     parents[global_root] = Some(pr);
@@ -100,12 +113,12 @@ impl DepTree {
         // previous token or become the root.
         let first_root = trees
             .iter()
-            .find(|(_, t)| t.len() > 0)
+            .find(|(_, t)| !t.is_empty())
             .map(|(o, t)| o + t.root());
-        for i in 0..total_len {
+        for (i, parent) in parents.iter_mut().enumerate() {
             let covered = trees.iter().any(|(o, t)| i >= *o && i < o + t.len());
             if !covered {
-                parents[i] = match first_root {
+                *parent = match first_root {
                     Some(r) if r != i => Some(r),
                     _ => {
                         if i == 0 {
@@ -226,7 +239,9 @@ impl DepTree {
         // Reachability (also proves acyclicity given the 1-parent rule).
         let reach = self.subtree(self.root);
         if reach.len() != n {
-            let missing = (0..n).find(|i| !reach.contains(i)).expect("some node missing");
+            let missing = (0..n)
+                .find(|i| !reach.contains(i))
+                .expect("some node missing");
             // Distinguish cycles from plain disconnection.
             let mut seen = vec![false; n];
             let mut cur = Some(missing);
@@ -346,7 +361,10 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert_eq!(TreeError::RootCount(2).to_string(), "expected exactly 1 root, found 2");
+        assert_eq!(
+            TreeError::RootCount(2).to_string(),
+            "expected exactly 1 root, found 2"
+        );
         assert!(TreeError::Cycle(3).to_string().contains("cycle"));
     }
 }

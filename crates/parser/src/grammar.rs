@@ -150,7 +150,10 @@ impl Grammar {
 
     /// Binary rules over a `(left, right)` child pair.
     pub fn rules_for_children(&self, left: Symbol, right: Symbol) -> &[BinaryRule] {
-        self.by_children.get(&(left, right)).map(Vec::as_slice).unwrap_or(&[])
+        self.by_children
+            .get(&(left, right))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// The embedded English grammar used throughout the reproduction.
@@ -250,13 +253,30 @@ impl GrammarBuilder {
 
     /// Add a unary rule with relative weight `w`.
     pub fn unary(&mut self, lhs: Symbol, child: Symbol, w: f64) -> &mut Self {
-        self.unary.push(UnaryRule { lhs, child, prob: w });
+        self.unary.push(UnaryRule {
+            lhs,
+            child,
+            prob: w,
+        });
         self
     }
 
     /// Add a binary rule with relative weight `w` and head side.
-    pub fn binary(&mut self, lhs: Symbol, left: Symbol, right: Symbol, w: f64, head: HeadSide) -> &mut Self {
-        self.binary.push(BinaryRule { lhs, left, right, prob: w, head });
+    pub fn binary(
+        &mut self,
+        lhs: Symbol,
+        left: Symbol,
+        right: Symbol,
+        w: f64,
+        head: HeadSide,
+    ) -> &mut Self {
+        self.binary.push(BinaryRule {
+            lhs,
+            left,
+            right,
+            prob: w,
+            head,
+        });
         self
     }
 
@@ -277,17 +297,26 @@ impl GrammarBuilder {
         let preterm: Vec<PretermRule> = self
             .preterm
             .iter()
-            .map(|r| PretermRule { prob: norm(r.lhs, r.prob), ..*r })
+            .map(|r| PretermRule {
+                prob: norm(r.lhs, r.prob),
+                ..*r
+            })
             .collect();
         let unary: Vec<UnaryRule> = self
             .unary
             .iter()
-            .map(|r| UnaryRule { prob: norm(r.lhs, r.prob), ..*r })
+            .map(|r| UnaryRule {
+                prob: norm(r.lhs, r.prob),
+                ..*r
+            })
             .collect();
         let binary: Vec<BinaryRule> = self
             .binary
             .iter()
-            .map(|r| BinaryRule { prob: norm(r.lhs, r.prob), ..*r })
+            .map(|r| BinaryRule {
+                prob: norm(r.lhs, r.prob),
+                ..*r
+            })
             .collect();
 
         let mut by_pos: HashMap<Pos, Vec<PretermRule>> = HashMap::new();
@@ -298,7 +327,13 @@ impl GrammarBuilder {
         for r in &binary {
             by_children.entry((r.left, r.right)).or_default().push(*r);
         }
-        Grammar { preterm, unary, binary, by_pos, by_children }
+        Grammar {
+            preterm,
+            unary,
+            binary,
+            by_pos,
+            by_children,
+        }
     }
 }
 
@@ -327,8 +362,15 @@ mod tests {
     #[test]
     fn pos_index_covers_open_classes() {
         let g = Grammar::english();
-        for pos in [Pos::Noun, Pos::ProperNoun, Pos::Verb, Pos::Adj, Pos::Adv, Pos::Det, Pos::Prep]
-        {
+        for pos in [
+            Pos::Noun,
+            Pos::ProperNoun,
+            Pos::Verb,
+            Pos::Adj,
+            Pos::Adv,
+            Pos::Det,
+            Pos::Prep,
+        ] {
             assert!(!g.rules_for_pos(pos).is_empty(), "{pos:?} unproducible");
         }
     }
@@ -337,7 +379,9 @@ mod tests {
     fn children_index_finds_s_rule() {
         let g = Grammar::english();
         let rules = g.rules_for_children(Symbol::Np, Symbol::Vp);
-        assert!(rules.iter().any(|r| r.lhs == Symbol::S && r.head == HeadSide::Right));
+        assert!(rules
+            .iter()
+            .any(|r| r.lhs == Symbol::S && r.head == HeadSide::Right));
     }
 
     #[test]

@@ -95,8 +95,9 @@ mod tests {
         let doc = analyze("A cat sat. A dog ran. A bird flew.");
         let tree = parse_document(&doc);
         tree.validate().unwrap();
-        let roots: Vec<usize> =
-            (0..tree.len()).filter(|&i| tree.parent(i).is_none()).collect();
+        let roots: Vec<usize> = (0..tree.len())
+            .filter(|&i| tree.parent(i).is_none())
+            .collect();
         assert_eq!(roots.len(), 1);
     }
 }

@@ -37,7 +37,11 @@ impl ConstTree {
     /// Assemble from an arena and root id. The caller guarantees the
     /// arena is a tree (no sharing); `validate` checks it.
     pub fn new(nodes: Vec<ConstNode>, root: usize, n_tokens: usize) -> Self {
-        ConstTree { nodes, root, n_tokens }
+        ConstTree {
+            nodes,
+            root,
+            n_tokens,
+        }
     }
 
     /// The root node id.
@@ -103,7 +107,9 @@ impl ConstTree {
                 out.push_str(words.get(*token).copied().unwrap_or("?"));
                 out.push(')');
             }
-            ConstNode::Internal { label, children, .. } => {
+            ConstNode::Internal {
+                label, children, ..
+            } => {
                 out.push('(');
                 out.push_str(label.label());
                 for &c in children {
@@ -141,11 +147,29 @@ mod tests {
     /// (S (NP (N cats:0)) (VP (V sleep:1)))
     fn tiny() -> ConstTree {
         let nodes = vec![
-            ConstNode::Leaf { token: 0, pos: Pos::Noun },                            // 0
-            ConstNode::Leaf { token: 1, pos: Pos::Verb },                            // 1
-            ConstNode::Internal { label: Symbol::Np, children: vec![0], head: 0 },   // 2
-            ConstNode::Internal { label: Symbol::Vp, children: vec![1], head: 1 },   // 3
-            ConstNode::Internal { label: Symbol::S, children: vec![2, 3], head: 1 }, // 4
+            ConstNode::Leaf {
+                token: 0,
+                pos: Pos::Noun,
+            }, // 0
+            ConstNode::Leaf {
+                token: 1,
+                pos: Pos::Verb,
+            }, // 1
+            ConstNode::Internal {
+                label: Symbol::Np,
+                children: vec![0],
+                head: 0,
+            }, // 2
+            ConstNode::Internal {
+                label: Symbol::Vp,
+                children: vec![1],
+                head: 1,
+            }, // 3
+            ConstNode::Internal {
+                label: Symbol::S,
+                children: vec![2, 3],
+                head: 1,
+            }, // 4
         ];
         ConstTree::new(nodes, 4, 2)
     }
@@ -172,8 +196,15 @@ mod tests {
     #[test]
     fn validate_rejects_bad_head() {
         let mut nodes = vec![
-            ConstNode::Leaf { token: 0, pos: Pos::Noun },
-            ConstNode::Internal { label: Symbol::Np, children: vec![0], head: 5 },
+            ConstNode::Leaf {
+                token: 0,
+                pos: Pos::Noun,
+            },
+            ConstNode::Internal {
+                label: Symbol::Np,
+                children: vec![0],
+                head: 5,
+            },
         ];
         let t = ConstTree::new(std::mem::take(&mut nodes), 1, 1);
         assert!(t.validate().is_err());
@@ -182,6 +213,9 @@ mod tests {
     #[test]
     fn bracketed_rendering() {
         let t = tiny();
-        assert_eq!(t.bracketed(&["cats", "sleep"]), "(S (NP (NN cats)) (VP (VB sleep)))");
+        assert_eq!(
+            t.bracketed(&["cats", "sleep"]),
+            "(S (NP (NN cats)) (VP (VB sleep)))"
+        );
     }
 }

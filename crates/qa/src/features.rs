@@ -51,10 +51,8 @@ impl QuestionAnalysis {
                 "when" => wh = WhType::Number,
                 "how" => how_seen = true,
                 "many" | "much" if how_seen => wh = WhType::Number,
-                "which" | "what" => {
-                    if wh == WhType::Unknown {
-                        wh = WhType::Entity;
-                    }
+                "which" | "what" if wh == WhType::Unknown => {
+                    wh = WhType::Entity;
                 }
                 _ => {}
             }
@@ -78,7 +76,12 @@ impl QuestionAnalysis {
                 }
             }
         }
-        QuestionAnalysis { content_words, content_lemmas, wh, wh_subject }
+        QuestionAnalysis {
+            content_words,
+            content_lemmas,
+            wh,
+            wh_subject,
+        }
     }
 
     /// True if a (lowercased word, lemma) pair matches a question
@@ -98,7 +101,7 @@ pub const N_BASE: usize = 14;
 pub const N_FEATURES: usize = N_BASE * 6;
 
 /// Index of the crossed block for a wh-type (block 0 is shared).
-fn wh_block(wh: WhType) -> usize {
+pub(crate) fn wh_block(wh: WhType) -> usize {
     match wh {
         WhType::Person => 1,
         WhType::Place => 2,
@@ -140,6 +143,40 @@ pub fn base_features(
     clue_pos: &[usize],
     idf: &HashMap<String, f64>,
 ) -> [f64; N_BASE] {
+    let sent = doc.tokens[start].sent;
+    let coverage = sentence_clue_coverage(doc, sent, q);
+    base_features_with_coverage(doc, start, end, q, clue_pos, idf, coverage)
+}
+
+/// The f1 term of [`base_features`]: fraction of the question's content
+/// lemmas present in sentence `sent`. Span-independent, so the span
+/// scorer computes it once per sentence instead of once per candidate
+/// span.
+pub fn sentence_clue_coverage(doc: &Document, sent: usize, q: &QuestionAnalysis) -> f64 {
+    if q.content_lemmas.is_empty() {
+        return 0.0;
+    }
+    let sent_span = &doc.sentences[sent];
+    let present = doc.tokens[sent_span.token_start..sent_span.token_end]
+        .iter()
+        .filter(|t| q.content_lemmas.contains(&t.lemma))
+        .map(|t| t.lemma.as_str())
+        .collect::<HashSet<_>>()
+        .len();
+    present as f64 / q.content_lemmas.len() as f64
+}
+
+/// [`base_features`] with the sentence clue coverage (f1) supplied by
+/// the caller — see [`sentence_clue_coverage`].
+pub fn base_features_with_coverage(
+    doc: &Document,
+    start: usize,
+    end: usize,
+    q: &QuestionAnalysis,
+    clue_pos: &[usize],
+    idf: &HashMap<String, f64>,
+    sentence_coverage: f64,
+) -> [f64; N_BASE] {
     let span = &doc.tokens[start..end];
     let sent = doc.tokens[start].sent;
     let sent_span = &doc.sentences[sent];
@@ -148,15 +185,7 @@ pub fn base_features(
     // f0: bias
     f[0] = 1.0;
     // f1: fraction of question content lemmas present in the sentence.
-    if !q.content_lemmas.is_empty() {
-        let present = doc.tokens[sent_span.token_start..sent_span.token_end]
-            .iter()
-            .filter(|t| q.content_lemmas.contains(&t.lemma))
-            .map(|t| t.lemma.as_str())
-            .collect::<HashSet<_>>()
-            .len();
-        f[1] = present as f64 / q.content_lemmas.len() as f64;
-    }
+    f[1] = sentence_coverage;
     // f2: proximity to the nearest clue token outside the span
     // (clues in another sentence are distance-penalized).
     let nearest = clue_pos
@@ -178,7 +207,9 @@ pub fn base_features(
     // f3: answer-type match.
     let has_num = span.iter().any(|t| t.pos == Pos::Num);
     let has_proper = span.iter().any(|t| t.pos == Pos::ProperNoun);
-    let has_noun = span.iter().any(|t| matches!(t.pos, Pos::Noun | Pos::ProperNoun));
+    let has_noun = span
+        .iter()
+        .any(|t| matches!(t.pos, Pos::Noun | Pos::ProperNoun));
     f[3] = match q.wh {
         WhType::Person | WhType::Place => {
             if has_proper {
@@ -206,7 +237,10 @@ pub fn base_features(
     // f4: length penalty (prefer short spans; gold spans are 1-4 tokens).
     f[4] = (len as f64 - 2.0).abs() / 4.0;
     // f5: overlap with the question (answers rarely repeat the question).
-    let overlap = span.iter().filter(|t| q.matches(&t.lower(), &t.lemma)).count();
+    let overlap = span
+        .iter()
+        .filter(|t| q.matches(&t.lower(), &t.lemma))
+        .count();
     f[5] = overlap as f64 / len as f64;
     // f6: mean IDF (rarity) of span tokens.
     f[6] = span
@@ -243,17 +277,24 @@ pub fn base_features(
 
 /// Token indices of the context matching the question's content words.
 pub fn clue_positions(doc: &Document, q: &QuestionAnalysis) -> Vec<usize> {
-    doc.tokens
-        .iter()
-        .filter(|t| q.matches(&t.lower(), &t.lemma))
-        .map(|t| t.index)
-        .collect()
+    let mut out = Vec::new();
+    clue_positions_into(doc, q, &mut out);
+    out
 }
 
 /// Enumerate candidate spans: within one sentence, 1..=`max_len` tokens,
 /// starting and ending on content-bearing tokens.
 pub fn candidate_spans(doc: &Document, max_len: usize) -> Vec<(usize, usize)> {
     let mut out = Vec::new();
+    for_each_candidate_span(doc, max_len, |s, e| out.push((s, e)));
+    out
+}
+
+/// Streaming form of [`candidate_spans`]: invokes `f(start, end)` per
+/// span in the same order without materializing the span list (the span
+/// scorer's inner loop runs once per clip-search candidate, so the
+/// allocation matters).
+pub fn for_each_candidate_span<F: FnMut(usize, usize)>(doc: &Document, max_len: usize, mut f: F) {
     for s in &doc.sentences {
         for start in s.token_start..s.token_end {
             if !span_boundary(&doc.tokens[start].pos) {
@@ -264,11 +305,22 @@ pub fn candidate_spans(doc: &Document, max_len: usize) -> Vec<(usize, usize)> {
                 if !span_boundary(&doc.tokens[end - 1].pos) {
                     continue;
                 }
-                out.push((start, end));
+                f(start, end);
             }
         }
     }
-    out
+}
+
+/// Token indices of the context matching the question's content words,
+/// appended to `out` (reusable-buffer form of [`clue_positions`]).
+pub fn clue_positions_into(doc: &Document, q: &QuestionAnalysis, out: &mut Vec<usize>) {
+    out.clear();
+    out.extend(
+        doc.tokens
+            .iter()
+            .filter(|t| q.matches(&t.lower(), &t.lemma))
+            .map(|t| t.index),
+    );
 }
 
 /// POS tags allowed at span boundaries.
@@ -286,11 +338,26 @@ mod tests {
 
     #[test]
     fn wh_type_detection() {
-        assert_eq!(QuestionAnalysis::new("Who won the game?").wh, WhType::Person);
-        assert_eq!(QuestionAnalysis::new("Where was she born?").wh, WhType::Place);
-        assert_eq!(QuestionAnalysis::new("When did it happen?").wh, WhType::Number);
-        assert_eq!(QuestionAnalysis::new("How many people live there?").wh, WhType::Number);
-        assert_eq!(QuestionAnalysis::new("Which team represented the AFC?").wh, WhType::Entity);
+        assert_eq!(
+            QuestionAnalysis::new("Who won the game?").wh,
+            WhType::Person
+        );
+        assert_eq!(
+            QuestionAnalysis::new("Where was she born?").wh,
+            WhType::Place
+        );
+        assert_eq!(
+            QuestionAnalysis::new("When did it happen?").wh,
+            WhType::Number
+        );
+        assert_eq!(
+            QuestionAnalysis::new("How many people live there?").wh,
+            WhType::Number
+        );
+        assert_eq!(
+            QuestionAnalysis::new("Which team represented the AFC?").wh,
+            WhType::Entity
+        );
         assert_eq!(QuestionAnalysis::new("Name the duke.").wh, WhType::Unknown);
     }
 

@@ -24,4 +24,4 @@ pub mod model;
 pub mod zoo;
 
 pub use features::{QuestionAnalysis, WhType};
-pub use model::{EvalResult, ModelProfile, Prediction, QaModel};
+pub use model::{EvalResult, ModelProfile, Prediction, QaModel, SelectionScratch};

@@ -2,7 +2,8 @@
 //! conditioned inference, and EM/F1 evaluation.
 
 use crate::features::{
-    candidate_spans, clue_positions, span_features, QuestionAnalysis, N_FEATURES,
+    base_features_with_coverage, clue_positions, clue_positions_into, for_each_candidate_span,
+    span_features, wh_block, QuestionAnalysis, N_BASE, N_FEATURES,
 };
 use gced_datasets::QaExample;
 use gced_metrics::overlap::{best_f1, exact_match, token_f1};
@@ -66,7 +67,29 @@ pub struct Prediction {
 
 impl Prediction {
     fn none() -> Self {
-        Prediction { text: String::new(), score: f64::NEG_INFINITY, span: None }
+        Prediction {
+            text: String::new(),
+            score: f64::NEG_INFINITY,
+            span: None,
+        }
+    }
+}
+
+/// Reusable buffers for [`QaModel::predict_selection`]: the projected
+/// document view and the clue-position list survive across calls, so the
+/// clip search's candidate loop allocates nothing in steady state.
+#[derive(Debug, Clone)]
+pub struct SelectionScratch {
+    view: Document,
+    clues: Vec<usize>,
+}
+
+impl Default for SelectionScratch {
+    fn default() -> Self {
+        SelectionScratch {
+            view: Document::empty(),
+            clues: Vec::new(),
+        }
     }
 }
 
@@ -109,7 +132,13 @@ impl QaModel {
         weights[10] = 0.5; // clue just after the span
         weights[12] = 2.0; // subject question, span before relation verb
         weights[13] = 2.0; // object question, span after relation verb
-        QaModel { profile, weights, idf: HashMap::new(), learned_threshold: None, trained: false }
+        QaModel {
+            profile,
+            weights,
+            idf: HashMap::new(),
+            learned_threshold: None,
+            trained: false,
+        }
     }
 
     /// The profile this model runs under.
@@ -135,7 +164,8 @@ impl QaModel {
         let mut totals = [0.0f64; N_FEATURES];
         let mut steps = 0.0f64;
         // Pre-analyse contexts once.
-        let prepared: Vec<Option<(Document, QuestionAnalysis, (usize, usize))>> = examples
+        type Prepared = (Document, QuestionAnalysis, (usize, usize));
+        let prepared: Vec<Option<Prepared>> = examples
             .iter()
             .map(|ex| {
                 if !ex.answerable {
@@ -157,20 +187,20 @@ impl QaModel {
                     if token_f1(&pred_text, &gold_text).f1 < 1.0 {
                         let fg = span_features(doc, gold.0, gold.1, q, &clues, &self.idf);
                         let fp = span_features(doc, ps, pe, q, &clues, &self.idf);
-                        for k in 0..N_FEATURES {
-                            self.weights[k] += fg[k] - fp[k];
+                        for (w, (g, p)) in self.weights.iter_mut().zip(fg.iter().zip(&fp)) {
+                            *w += g - p;
                         }
                     }
                 }
-                for k in 0..N_FEATURES {
-                    totals[k] += self.weights[k];
+                for (t, w) in totals.iter_mut().zip(&self.weights) {
+                    *t += w;
                 }
                 steps += 1.0;
             }
         }
         if steps > 0.0 {
-            for k in 0..N_FEATURES {
-                self.weights[k] = totals[k] / steps;
+            for (w, t) in self.weights.iter_mut().zip(&totals) {
+                *w = t / steps;
             }
         }
         self.trained = true;
@@ -182,8 +212,11 @@ impl QaModel {
     /// over the observed best-span scores of answerable vs unanswerable
     /// examples and keep the best separator.
     fn calibrate_threshold(&mut self, examples: &[QaExample]) {
-        let unanswerable: Vec<&QaExample> =
-            examples.iter().filter(|e| !e.answerable).take(200).collect();
+        let unanswerable: Vec<&QaExample> = examples
+            .iter()
+            .filter(|e| !e.answerable)
+            .take(200)
+            .collect();
         if unanswerable.is_empty() {
             self.learned_threshold = None;
             return;
@@ -231,7 +264,8 @@ impl QaModel {
 
     /// The active no-answer threshold.
     fn threshold(&self) -> f64 {
-        self.learned_threshold.unwrap_or(self.profile.no_answer_threshold)
+        self.learned_threshold
+            .unwrap_or(self.profile.no_answer_threshold)
     }
 
     fn fit_idf(&mut self, examples: &[QaExample]) {
@@ -259,7 +293,12 @@ impl QaModel {
     }
 
     /// Predict over a pre-analysed context (ASE calls this in a loop).
-    pub fn predict_analyzed(&self, q: &QuestionAnalysis, doc: &Document, question: &str) -> Prediction {
+    pub fn predict_analyzed(
+        &self,
+        q: &QuestionAnalysis,
+        doc: &Document,
+        question: &str,
+    ) -> Prediction {
         // Window truncation: weaker encoders only see a prefix.
         let truncated;
         let doc = if doc.len() > self.profile.window {
@@ -269,14 +308,55 @@ impl QaModel {
             doc
         };
         let clues = clue_positions(doc, q);
+        self.predict_prepared(q, doc, &clues, question)
+    }
+
+    /// Predict over a **selection** of a pre-analysed context: the
+    /// evidence formed by `selected` (ascending token indices of `doc`),
+    /// with zero re-tokenization — the clip search's inner loop.
+    ///
+    /// Equivalent to projecting the document onto the selection
+    /// ([`Document::project_into`]) and running [`QaModel::predict_analyzed`],
+    /// but all buffers live in `scratch`, so a caller evaluating many
+    /// candidate selections performs no steady-state allocation.
+    pub fn predict_selection(
+        &self,
+        q: &QuestionAnalysis,
+        doc: &Document,
+        selected: &[usize],
+        question: &str,
+        scratch: &mut SelectionScratch,
+    ) -> Prediction {
+        doc.project_into(selected, &mut scratch.view);
+        let truncated;
+        let view = if scratch.view.len() > self.profile.window {
+            truncated = truncate_doc(&scratch.view, self.profile.window);
+            &truncated
+        } else {
+            &scratch.view
+        };
+        clue_positions_into(view, q, &mut scratch.clues);
+        self.predict_prepared(q, view, &scratch.clues, question)
+    }
+
+    /// Shared tail of the prediction paths: abstention check + argmax.
+    fn predict_prepared(
+        &self,
+        q: &QuestionAnalysis,
+        doc: &Document,
+        clues: &[usize],
+        question: &str,
+    ) -> Prediction {
         let noise_key = self.noise_key(question);
         if question_coverage(doc, q) < self.threshold() {
             return Prediction::none();
         }
-        match self.best_span_stats(doc, q, &clues, noise_key) {
-            Some(((s, e), score, _z)) => {
-                Prediction { text: span_text(doc, s, e), score, span: Some((s, e)) }
-            }
+        match self.best_span_stats(doc, q, clues, noise_key) {
+            Some(((s, e), score, _z)) => Prediction {
+                text: span_text(doc, s, e),
+                score,
+                span: Some((s, e)),
+            },
             None => Prediction::none(),
         }
     }
@@ -309,7 +389,8 @@ impl QaModel {
         clues: &[usize],
         noise_key: Option<u64>,
     ) -> Option<(usize, usize)> {
-        self.best_span_stats(doc, q, clues, noise_key).map(|(span, _, _)| span)
+        self.best_span_stats(doc, q, clues, noise_key)
+            .map(|(span, _, _)| span)
     }
 
     /// Best span plus its score and its z-score against the context's
@@ -329,8 +410,15 @@ impl QaModel {
         let mut sum = 0.0f64;
         let mut sum2 = 0.0f64;
         let mut n = 0usize;
-        for (s, e) in candidate_spans(doc, MAX_SPAN) {
-            let score = self.score_span(doc, q, clues, s, e, noise_key);
+        // The sentence clue-coverage feature is span-independent;
+        // computing it per sentence instead of per span removes the
+        // dominant per-span cost (a lemma-set scan of the sentence).
+        let coverage: Vec<f64> = (0..doc.sentences.len())
+            .map(|s| crate::features::sentence_clue_coverage(doc, s, q))
+            .collect();
+        for_each_candidate_span(doc, MAX_SPAN, |s, e| {
+            let score =
+                self.score_span(doc, q, clues, s, e, noise_key, coverage[doc.tokens[s].sent]);
             sum += score;
             sum2 += score * score;
             n += 1;
@@ -338,15 +426,20 @@ impl QaModel {
                 Some((_, b)) if b >= score => {}
                 _ => best = Some(((s, e), score)),
             }
-        }
+        });
         let (span, score) = best?;
         let mean = sum / n as f64;
         let var = (sum2 / n as f64 - mean * mean).max(0.0);
         let std = var.sqrt();
-        let z = if std > 1e-9 { (score - mean) / std } else { 0.0 };
+        let z = if std > 1e-9 {
+            (score - mean) / std
+        } else {
+            0.0
+        };
         Some((span, score, z))
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn score_span(
         &self,
         doc: &Document,
@@ -355,9 +448,21 @@ impl QaModel {
         s: usize,
         e: usize,
         noise_key: Option<u64>,
+        sentence_coverage: f64,
     ) -> f64 {
-        let f = span_features(doc, s, e, q, clues, &self.idf);
-        let mut score: f64 = f.iter().zip(&self.weights).map(|(x, w)| x * w).sum();
+        // The crossed feature vector is the 14 base features in block 0
+        // plus a copy in the wh-type block and zeros elsewhere, so the
+        // dot product needs only the two non-zero blocks — no N_FEATURES
+        // allocation per span.
+        let f = base_features_with_coverage(doc, s, e, q, clues, &self.idf, sentence_coverage);
+        let mut score = 0.0f64;
+        for (x, w) in f.iter().zip(&self.weights[..N_BASE]) {
+            score += x * w;
+        }
+        let off = wh_block(q.wh) * N_BASE;
+        for (x, w) in f.iter().zip(&self.weights[off..off + N_BASE]) {
+            score += x * w;
+        }
         if let Some(key) = noise_key {
             // Deterministic per-(profile, question, span) perturbation.
             let mut h = DefaultHasher::new();
@@ -388,7 +493,11 @@ impl QaModel {
             }
         }
         let n = examples.len().max(1) as f64;
-        EvalResult { em: 100.0 * em / n, f1: 100.0 * f1 / n, count: examples.len() }
+        EvalResult {
+            em: 100.0 * em / n,
+            f1: 100.0 * f1 / n,
+            count: examples.len(),
+        }
     }
 }
 
@@ -444,7 +553,11 @@ fn truncate_doc(doc: &Document, window: usize) -> Document {
             s
         })
         .collect();
-    Document { text: doc.text.clone(), tokens, sentences }
+    Document {
+        text: doc.text.clone(),
+        tokens,
+        sentences,
+    }
 }
 
 #[cfg(test)]
@@ -453,7 +566,14 @@ mod tests {
     use gced_datasets::{generate, DatasetKind, GeneratorConfig};
 
     fn tiny_dataset() -> gced_datasets::Dataset {
-        generate(DatasetKind::Squad11, GeneratorConfig { train: 120, dev: 60, seed: 3 })
+        generate(
+            DatasetKind::Squad11,
+            GeneratorConfig {
+                train: 120,
+                dev: 60,
+                seed: 3,
+            },
+        )
     }
 
     #[test]
@@ -534,7 +654,14 @@ mod tests {
 
     #[test]
     fn window_truncation_degrades_on_long_contexts() {
-        let ds = generate(DatasetKind::TriviaWeb, GeneratorConfig { train: 100, dev: 60, seed: 5 });
+        let ds = generate(
+            DatasetKind::TriviaWeb,
+            GeneratorConfig {
+                train: 100,
+                dev: 60,
+                seed: 5,
+            },
+        );
         let mut wide = QaModel::new(ModelProfile::plm());
         wide.train(&ds.train.examples);
         let mut narrow_profile = ModelProfile::plm();
@@ -553,7 +680,11 @@ mod tests {
 
     #[test]
     fn predictions_are_deterministic() {
-        let model = QaModel::new(ModelProfile { noise: 0.5, seed: 7, ..ModelProfile::plm() });
+        let model = QaModel::new(ModelProfile {
+            noise: 0.5,
+            seed: 7,
+            ..ModelProfile::plm()
+        });
         let p1 = model.predict("Who won?", "The Broncos won the title in Denver.");
         let p2 = model.predict("Who won?", "The Broncos won the title in Denver.");
         assert_eq!(p1, p2);

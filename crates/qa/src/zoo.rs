@@ -190,10 +190,16 @@ mod tests {
 
     #[test]
     fn names_match_tables() {
-        let names: Vec<String> = squad_models().iter().map(|e| e.profile.name.clone()).collect();
+        let names: Vec<String> = squad_models()
+            .iter()
+            .map(|e| e.profile.name.clone())
+            .collect();
         assert_eq!(names[0], "BERT-large");
         assert_eq!(names[8], "DeBERTa-large");
-        let names: Vec<String> = trivia_models().iter().map(|e| e.profile.name.clone()).collect();
+        let names: Vec<String> = trivia_models()
+            .iter()
+            .map(|e| e.profile.name.clone())
+            .collect();
         assert_eq!(names[0], "BERT+BM25");
         assert_eq!(names[4], "Bigbird-itc");
     }
@@ -237,7 +243,13 @@ mod tests {
         for e in squad_models().iter().chain(trivia_models().iter()) {
             for (em, f1) in [e.paper_v1, e.paper_v2] {
                 assert!(em > 40.0 && em < 95.0);
-                assert!(f1 >= em && f1 < 100.0, "{}: F1 {} < EM {}", e.profile.name, f1, em);
+                assert!(
+                    f1 >= em && f1 < 100.0,
+                    "{}: F1 {} < EM {}",
+                    e.profile.name,
+                    f1,
+                    em
+                );
             }
         }
     }

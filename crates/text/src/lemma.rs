@@ -97,7 +97,10 @@ fn lemmatize_noun(lower: &str) -> String {
         }
     }
     if let Some(stem) = lower.strip_suffix("es") {
-        if stem.ends_with("sh") || stem.ends_with("ch") || stem.ends_with('x') || stem.ends_with('z')
+        if stem.ends_with("sh")
+            || stem.ends_with("ch")
+            || stem.ends_with('x')
+            || stem.ends_with('z')
             || stem.ends_with('s')
         {
             return stem.to_string();
@@ -162,9 +165,9 @@ fn lemmatize_verb(lower: &str) -> String {
 /// Heuristic: stems like "mak", "liv", "compos" need a restored final "e".
 fn needs_final_e(stem: &str) -> bool {
     const RESTORE: &[&str] = &[
-        "mak", "tak", "giv", "liv", "mov", "nam", "serv", "receiv", "releas", "describ",
-        "locat", "compos", "produc", "captur", "featur", "includ", "stat", "creat", "not",
-        "scor", "rul", "explor", "marri", "retir", "acquir", "believ", "achiev", "challeng",
+        "mak", "tak", "giv", "liv", "mov", "nam", "serv", "receiv", "releas", "describ", "locat",
+        "compos", "produc", "captur", "featur", "includ", "stat", "creat", "not", "scor", "rul",
+        "explor", "marri", "retir", "acquir", "believ", "achiev", "challeng",
     ];
     RESTORE.contains(&stem)
 }

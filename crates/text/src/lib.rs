@@ -49,6 +49,78 @@ pub struct Document {
 }
 
 impl Document {
+    /// An empty document (no text, tokens, or sentences).
+    pub fn empty() -> Self {
+        Document {
+            text: String::new(),
+            tokens: Vec::new(),
+            sentences: Vec::new(),
+        }
+    }
+
+    /// Project the document onto a subset of its token indices without
+    /// re-tokenizing, re-tagging, or re-lemmatizing.
+    ///
+    /// `selected` must be ascending, in-bounds token indices. The
+    /// projection keeps each token's surface form, POS tag, lemma, and
+    /// byte offsets; `index`/`sent` are re-densified. Consecutive
+    /// selected tokens from the same original sentence stay in one
+    /// sentence of the view, so sentence-scoped consumers (span
+    /// enumeration, clue proximity) see the original boundaries.
+    ///
+    /// `view`'s buffers (including per-token `String`s) are reused, so a
+    /// caller looping over many selections performs no steady-state
+    /// allocation. The view's `text` is left empty: every consumer works
+    /// from tokens, and the original text offsets remain available on
+    /// each token.
+    pub fn project_into(&self, selected: &[usize], view: &mut Document) {
+        view.text.clear();
+        let keep = view.tokens.len().min(selected.len());
+        for (j, &i) in selected.iter().enumerate() {
+            let src = &self.tokens[i];
+            if j < keep {
+                let dst = &mut view.tokens[j];
+                dst.text.clone_from(&src.text);
+                dst.lemma.clone_from(&src.lemma);
+                dst.pos = src.pos;
+                dst.start = src.start;
+                dst.end = src.end;
+            } else {
+                view.tokens.push(src.clone());
+            }
+            view.tokens[j].index = j;
+        }
+        view.tokens.truncate(selected.len());
+        view.sentences.clear();
+        let mut run_start = 0usize;
+        for j in 0..selected.len() {
+            let src_sent = self.tokens[selected[j]].sent;
+            let next_breaks =
+                j + 1 == selected.len() || self.tokens[selected[j + 1]].sent != src_sent;
+            if next_breaks {
+                let sent_index = view.sentences.len();
+                view.sentences.push(Sentence {
+                    index: sent_index,
+                    token_start: run_start,
+                    token_end: j + 1,
+                    char_start: self.tokens[selected[run_start]].start,
+                    char_end: self.tokens[selected[j]].end,
+                });
+                for t in &mut view.tokens[run_start..=j] {
+                    t.sent = sent_index;
+                }
+                run_start = j + 1;
+            }
+        }
+    }
+
+    /// Allocating convenience wrapper around [`Document::project_into`].
+    pub fn project(&self, selected: &[usize]) -> Document {
+        let mut view = Document::empty();
+        self.project_into(selected, &mut view);
+        view
+    }
+
     /// Tokens belonging to sentence `sent`.
     pub fn sentence_tokens(&self, sent: SentId) -> &[Token] {
         let s = &self.sentences[sent.0];
@@ -114,7 +186,11 @@ pub fn analyze(text: &str) -> Document {
     for t in &mut tokens {
         t.lemma = lemmatize(&t.text.to_lowercase(), t.pos);
     }
-    Document { text: text.to_string(), tokens, sentences }
+    Document {
+        text: text.to_string(),
+        tokens,
+        sentences,
+    }
 }
 
 /// Join tokens into a readable string with simple detokenization rules:
@@ -193,6 +269,55 @@ mod tests {
         let doc = analyze("Broncos defeated Panthers. It was close.");
         assert_eq!(doc.sentence_text(SentId(0)), "Broncos defeated Panthers.");
         assert_eq!(doc.sentence_text(SentId(1)), "It was close.");
+    }
+
+    #[test]
+    fn project_preserves_annotations_and_groups_sentences() {
+        let doc = analyze("The cats sat here. The dog ran away. Birds sang.");
+        // Select tokens spanning sentences 0 and 2, skipping some.
+        let selected: Vec<usize> = doc
+            .tokens
+            .iter()
+            .filter(|t| t.sent != 1 && !t.is_punct())
+            .map(|t| t.index)
+            .collect();
+        let view = doc.project(&selected);
+        assert_eq!(view.len(), selected.len());
+        assert_eq!(view.sentences.len(), 2);
+        for (j, &i) in selected.iter().enumerate() {
+            assert_eq!(view.tokens[j].text, doc.tokens[i].text);
+            assert_eq!(view.tokens[j].pos, doc.tokens[i].pos);
+            assert_eq!(view.tokens[j].lemma, doc.tokens[i].lemma);
+            assert_eq!(view.tokens[j].index, j);
+        }
+        // Sentence spans partition the view.
+        let covered: usize = view.sentences.iter().map(|s| s.len()).sum();
+        assert_eq!(covered, view.len());
+    }
+
+    #[test]
+    fn project_into_reuses_buffers_and_handles_shrink_growth() {
+        let doc = analyze("Alpha beta gamma delta. Epsilon zeta.");
+        let mut view = Document::empty();
+        doc.project_into(&[0, 1, 2, 3, 4, 5], &mut view);
+        assert_eq!(view.len(), 6);
+        doc.project_into(&[1, 5], &mut view);
+        assert_eq!(view.len(), 2);
+        assert_eq!(view.tokens[0].text, "beta");
+        assert_eq!(view.tokens[1].text, "Epsilon");
+        assert_eq!(view.sentences.len(), 2);
+        doc.project_into(&[], &mut view);
+        assert!(view.is_empty());
+        assert!(view.sentences.is_empty());
+    }
+
+    #[test]
+    fn project_matches_full_selection() {
+        let doc = analyze("Broncos defeated Panthers. It was close.");
+        let all: Vec<usize> = (0..doc.len()).collect();
+        let view = doc.project(&all);
+        assert_eq!(view.tokens, doc.tokens);
+        assert_eq!(view.sentences.len(), doc.sentences.len());
     }
 
     #[test]

@@ -46,7 +46,10 @@ pub enum Pos {
 impl Pos {
     /// Open-class tags — candidates for content / clue words.
     pub fn is_open_class(self) -> bool {
-        matches!(self, Pos::Noun | Pos::ProperNoun | Pos::Verb | Pos::Adj | Pos::Adv | Pos::Num)
+        matches!(
+            self,
+            Pos::Noun | Pos::ProperNoun | Pos::Verb | Pos::Adj | Pos::Adv | Pos::Num
+        )
     }
 
     /// Short human-readable label (used in traces and examples).
@@ -73,42 +76,236 @@ impl Pos {
 
 /// Frequent verbs whose base form carries no reliable suffix signal.
 const COMMON_VERBS: &[&str] = &[
-    "win", "won", "earn", "lead", "led", "perform", "write", "wrote", "written", "sing",
-    "sang", "sung", "play", "played", "become", "became", "make", "made", "take", "took",
-    "give", "gave", "found", "founded", "establish", "direct", "compose", "discover",
-    "invent", "defeat", "defeated", "represent", "represented", "describe", "described",
-    "locate", "located", "publish", "published", "release", "released", "receive",
-    "received", "serve", "served", "hold", "held", "begin", "began", "begun", "know",
-    "known", "call", "called", "name", "named", "bear", "born", "raise", "raised", "move",
-    "moved", "record", "recorded", "study", "studied", "teach", "taught", "build", "built",
-    "design", "designed", "develop", "developed", "star", "starred", "appear", "appeared",
-    "marry", "married", "die", "died", "live", "lived", "work", "worked", "join", "joined",
-    "say", "said", "see", "saw", "seen", "go", "went", "gone", "come", "came", "get", "got",
-    "run", "ran", "sit", "sat", "stand", "stood", "rise", "rose", "risen", "grow", "grew",
-    "grown", "show", "showed", "shown", "open", "opened", "close", "closed", "remain",
-    "remained", "include", "included", "contain", "contained", "feature", "featured",
-    "produce", "produced", "capture", "captured", "occupy", "occupied", "explore",
-    "explored", "conquer", "conquered", "rule", "ruled", "reign", "reigned", "paint",
-    "painted", "sculpt", "sculpted", "score", "scored", "coach", "coached", "host",
-    "hosted", "visit", "visited", "border", "borders", "bordered", "flow", "flows",
-    "flowed", "cover", "covers", "covered", "span", "spans", "spanned",
+    "win",
+    "won",
+    "earn",
+    "lead",
+    "led",
+    "perform",
+    "write",
+    "wrote",
+    "written",
+    "sing",
+    "sang",
+    "sung",
+    "play",
+    "played",
+    "become",
+    "became",
+    "make",
+    "made",
+    "take",
+    "took",
+    "give",
+    "gave",
+    "found",
+    "founded",
+    "establish",
+    "direct",
+    "compose",
+    "discover",
+    "invent",
+    "defeat",
+    "defeated",
+    "represent",
+    "represented",
+    "describe",
+    "described",
+    "locate",
+    "located",
+    "publish",
+    "published",
+    "release",
+    "released",
+    "receive",
+    "received",
+    "serve",
+    "served",
+    "hold",
+    "held",
+    "begin",
+    "began",
+    "begun",
+    "know",
+    "known",
+    "call",
+    "called",
+    "name",
+    "named",
+    "bear",
+    "born",
+    "raise",
+    "raised",
+    "move",
+    "moved",
+    "record",
+    "recorded",
+    "study",
+    "studied",
+    "teach",
+    "taught",
+    "build",
+    "built",
+    "design",
+    "designed",
+    "develop",
+    "developed",
+    "star",
+    "starred",
+    "appear",
+    "appeared",
+    "marry",
+    "married",
+    "die",
+    "died",
+    "live",
+    "lived",
+    "work",
+    "worked",
+    "join",
+    "joined",
+    "say",
+    "said",
+    "see",
+    "saw",
+    "seen",
+    "go",
+    "went",
+    "gone",
+    "come",
+    "came",
+    "get",
+    "got",
+    "run",
+    "ran",
+    "sit",
+    "sat",
+    "stand",
+    "stood",
+    "rise",
+    "rose",
+    "risen",
+    "grow",
+    "grew",
+    "grown",
+    "show",
+    "showed",
+    "shown",
+    "open",
+    "opened",
+    "close",
+    "closed",
+    "remain",
+    "remained",
+    "include",
+    "included",
+    "contain",
+    "contained",
+    "feature",
+    "featured",
+    "produce",
+    "produced",
+    "capture",
+    "captured",
+    "occupy",
+    "occupied",
+    "explore",
+    "explored",
+    "conquer",
+    "conquered",
+    "rule",
+    "ruled",
+    "reign",
+    "reigned",
+    "paint",
+    "painted",
+    "sculpt",
+    "sculpted",
+    "score",
+    "scored",
+    "coach",
+    "coached",
+    "host",
+    "hosted",
+    "visit",
+    "visited",
+    "border",
+    "borders",
+    "bordered",
+    "flow",
+    "flows",
+    "flowed",
+    "cover",
+    "covers",
+    "covered",
+    "span",
+    "spans",
+    "spanned",
 ];
 
 /// Frequent adjectives with no reliable suffix signal.
 const COMMON_ADJECTIVES: &[&str] = &[
-    "good", "bad", "big", "small", "new", "old", "high", "low", "long", "short", "great",
-    "large", "young", "early", "late", "major", "minor", "famous", "ancient", "modern",
-    "northern", "southern", "eastern", "western", "central", "first", "second", "third",
-    "last", "next", "other", "same", "different", "important", "popular", "main", "key",
-    "red", "blue", "green", "white", "black", "golden", "royal", "national", "local",
-    "annual", "final", "own", "chief", "prominent", "notable", "renowned", "top",
+    "good",
+    "bad",
+    "big",
+    "small",
+    "new",
+    "old",
+    "high",
+    "low",
+    "long",
+    "short",
+    "great",
+    "large",
+    "young",
+    "early",
+    "late",
+    "major",
+    "minor",
+    "famous",
+    "ancient",
+    "modern",
+    "northern",
+    "southern",
+    "eastern",
+    "western",
+    "central",
+    "first",
+    "second",
+    "third",
+    "last",
+    "next",
+    "other",
+    "same",
+    "different",
+    "important",
+    "popular",
+    "main",
+    "key",
+    "red",
+    "blue",
+    "green",
+    "white",
+    "black",
+    "golden",
+    "royal",
+    "national",
+    "local",
+    "annual",
+    "final",
+    "own",
+    "chief",
+    "prominent",
+    "notable",
+    "renowned",
+    "top",
 ];
 
 /// Frequent adverbs without the -ly suffix.
 const COMMON_ADVERBS: &[&str] = &[
-    "very", "quite", "too", "also", "often", "never", "always", "again", "still", "soon",
-    "now", "here", "there", "well", "almost", "already", "later", "once", "twice",
-    "perhaps", "rather", "away", "back", "together",
+    "very", "quite", "too", "also", "often", "never", "always", "again", "still", "soon", "now",
+    "here", "there", "well", "almost", "already", "later", "once", "twice", "perhaps", "rather",
+    "away", "back", "together",
 ];
 
 /// Tag a mutable slice of tokens in place. Tokens must already carry their
@@ -127,7 +324,10 @@ fn tag_word(text: &str, sent_initial: bool) -> Pos {
     if text.chars().all(|c| !c.is_alphanumeric()) {
         return Pos::Punct;
     }
-    if text.chars().all(|c| c.is_ascii_digit() || c == '.' || c == ',') {
+    if text
+        .chars()
+        .all(|c| c.is_ascii_digit() || c == '.' || c == ',')
+    {
         return Pos::Num;
     }
     let lower = text.to_lowercase();
@@ -251,7 +451,10 @@ mod tests {
     #[test]
     fn proper_noun_mid_sentence() {
         assert_eq!(pos_of("The Denver Broncos won.", "Denver"), Pos::ProperNoun);
-        assert_eq!(pos_of("The Denver Broncos won.", "Broncos"), Pos::ProperNoun);
+        assert_eq!(
+            pos_of("The Denver Broncos won.", "Broncos"),
+            Pos::ProperNoun
+        );
     }
 
     #[test]
@@ -264,7 +467,10 @@ mod tests {
     #[test]
     fn adjectives_and_adverbs() {
         assert_eq!(pos_of("A famous painter lived here.", "famous"), Pos::Adj);
-        assert_eq!(pos_of("She sang beautifully there.", "beautifully"), Pos::Adv);
+        assert_eq!(
+            pos_of("She sang beautifully there.", "beautifully"),
+            Pos::Adv
+        );
     }
 
     #[test]
@@ -286,7 +492,10 @@ mod tests {
 
     #[test]
     fn noun_suffixes() {
-        assert_eq!(pos_of("The celebration was loud.", "celebration"), Pos::Noun);
+        assert_eq!(
+            pos_of("The celebration was loud.", "celebration"),
+            Pos::Noun
+        );
         assert_eq!(pos_of("Their friendship lasted.", "friendship"), Pos::Noun);
     }
 
@@ -308,8 +517,20 @@ mod tests {
     fn labels_are_distinct_for_core_tags() {
         use std::collections::HashSet;
         let tags = [
-            Pos::Noun, Pos::ProperNoun, Pos::Pronoun, Pos::Verb, Pos::Aux, Pos::Adj, Pos::Adv,
-            Pos::Det, Pos::Prep, Pos::Conj, Pos::Num, Pos::Wh, Pos::Particle, Pos::Punct,
+            Pos::Noun,
+            Pos::ProperNoun,
+            Pos::Pronoun,
+            Pos::Verb,
+            Pos::Aux,
+            Pos::Adj,
+            Pos::Adv,
+            Pos::Det,
+            Pos::Prep,
+            Pos::Conj,
+            Pos::Num,
+            Pos::Wh,
+            Pos::Particle,
+            Pos::Punct,
             Pos::Other,
         ];
         let labels: HashSet<_> = tags.iter().map(|t| t.label()).collect();

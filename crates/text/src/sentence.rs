@@ -79,7 +79,10 @@ fn is_boundary(text: &str, chars: &[(usize, char)], i: usize, j: usize) -> bool 
         return false;
     }
     // A decimal number like "3.14" — period between digits.
-    if i > 0 && i + 1 < chars.len() && chars[i - 1].1.is_ascii_digit() && chars[i + 1].1.is_ascii_digit()
+    if i > 0
+        && i + 1 < chars.len()
+        && chars[i - 1].1.is_ascii_digit()
+        && chars[i + 1].1.is_ascii_digit()
     {
         return false;
     }
@@ -106,7 +109,10 @@ mod tests {
     use super::*;
 
     fn sents(text: &str) -> Vec<&str> {
-        split_sentences(text).into_iter().map(|r| &text[r]).collect()
+        split_sentences(text)
+            .into_iter()
+            .map(|r| &text[r])
+            .collect()
     }
 
     #[test]
@@ -127,23 +133,35 @@ mod tests {
 
     #[test]
     fn abbreviation_does_not_split() {
-        assert_eq!(sents("Dr. Smith arrived. He sat."), vec!["Dr. Smith arrived.", "He sat."]);
+        assert_eq!(
+            sents("Dr. Smith arrived. He sat."),
+            vec!["Dr. Smith arrived.", "He sat."]
+        );
     }
 
     #[test]
     fn initial_does_not_split() {
-        assert_eq!(sents("B. Obama spoke. Crowds cheered."), vec!["B. Obama spoke.", "Crowds cheered."]);
+        assert_eq!(
+            sents("B. Obama spoke. Crowds cheered."),
+            vec!["B. Obama spoke.", "Crowds cheered."]
+        );
     }
 
     #[test]
     fn decimal_number_does_not_split() {
-        assert_eq!(sents("It weighs 3.14 kg. Heavy."), vec!["It weighs 3.14 kg.", "Heavy."]);
+        assert_eq!(
+            sents("It weighs 3.14 kg. Heavy."),
+            vec!["It weighs 3.14 kg.", "Heavy."]
+        );
     }
 
     #[test]
     fn lowercase_continuation_does_not_split() {
         // "et al. reported" — period followed by lowercase is not a boundary.
-        assert_eq!(sents("Smith et al. reported gains."), vec!["Smith et al. reported gains."]);
+        assert_eq!(
+            sents("Smith et al. reported gains."),
+            vec!["Smith et al. reported gains."]
+        );
     }
 
     #[test]

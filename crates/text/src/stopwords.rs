@@ -31,40 +31,73 @@ pub const QUESTION_WORDS: &[&str] = &[
 ];
 
 pub const AUXILIARIES: &[&str] = &[
-    "be", "am", "is", "are", "was", "were", "been", "being", "do", "does", "did", "done",
-    "have", "has", "had", "having", "will", "would", "shall", "should", "can", "could",
-    "may", "might", "must", "ought",
+    "be", "am", "is", "are", "was", "were", "been", "being", "do", "does", "did", "done", "have",
+    "has", "had", "having", "will", "would", "shall", "should", "can", "could", "may", "might",
+    "must", "ought",
 ];
 
 pub const DETERMINERS: &[&str] = &[
-    "the", "a", "an", "this", "that", "these", "those", "each", "every", "some", "any",
-    "no", "another", "such", "both", "either", "neither", "all", "most", "many", "few",
-    "several", "various",
+    "the", "a", "an", "this", "that", "these", "those", "each", "every", "some", "any", "no",
+    "another", "such", "both", "either", "neither", "all", "most", "many", "few", "several",
+    "various",
 ];
 
 pub const PREPOSITIONS: &[&str] = &[
-    "of", "in", "on", "at", "by", "for", "with", "from", "to", "about", "into", "over",
-    "under", "between", "among", "after", "before", "during", "against", "through",
-    "across", "behind", "beyond", "near", "within", "without", "upon", "as", "per",
-    "since", "until", "toward", "towards",
+    "of", "in", "on", "at", "by", "for", "with", "from", "to", "about", "into", "over", "under",
+    "between", "among", "after", "before", "during", "against", "through", "across", "behind",
+    "beyond", "near", "within", "without", "upon", "as", "per", "since", "until", "toward",
+    "towards",
 ];
 
 pub const PRONOUNS: &[&str] = &[
-    "i", "you", "he", "she", "it", "we", "they", "me", "him", "her", "us", "them",
-    "my", "your", "his", "its", "our", "their", "mine", "yours", "hers", "ours",
-    "theirs", "myself", "yourself", "himself", "herself", "itself", "ourselves",
-    "themselves", "one", "someone", "anyone", "everyone", "something", "anything",
-    "everything", "nothing",
+    "i",
+    "you",
+    "he",
+    "she",
+    "it",
+    "we",
+    "they",
+    "me",
+    "him",
+    "her",
+    "us",
+    "them",
+    "my",
+    "your",
+    "his",
+    "its",
+    "our",
+    "their",
+    "mine",
+    "yours",
+    "hers",
+    "ours",
+    "theirs",
+    "myself",
+    "yourself",
+    "himself",
+    "herself",
+    "itself",
+    "ourselves",
+    "themselves",
+    "one",
+    "someone",
+    "anyone",
+    "everyone",
+    "something",
+    "anything",
+    "everything",
+    "nothing",
 ];
 
 pub const CONJUNCTIONS: &[&str] = &[
-    "and", "or", "but", "nor", "yet", "so", "because", "although", "though", "while",
-    "whereas", "if", "unless", "whether", "than", "that",
+    "and", "or", "but", "nor", "yet", "so", "because", "although", "though", "while", "whereas",
+    "if", "unless", "whether", "than", "that",
 ];
 
 pub const PARTICLES: &[&str] = &[
-    "not", "n't", "also", "too", "there", "then", "thus", "just", "only", "even",
-    "up", "out", "off", "down",
+    "not", "n't", "also", "too", "there", "then", "thus", "just", "only", "even", "up", "out",
+    "off", "down",
 ];
 
 /// Classify a lowercased word into its closed-class category.
@@ -119,19 +152,37 @@ mod tests {
     fn insignificant_filter_matches_paper_example() {
         // "Which NFL team represented the AFC at Super Bowl 50?"
         // Significant leftovers: NFL, team, represented, AFC, Super, Bowl, 50.
-        let q = ["which", "nfl", "team", "represented", "the", "afc", "at", "super", "bowl", "50", "?"];
+        let q = [
+            "which",
+            "nfl",
+            "team",
+            "represented",
+            "the",
+            "afc",
+            "at",
+            "super",
+            "bowl",
+            "50",
+            "?",
+        ];
         let kept: Vec<&str> = q
             .iter()
             .copied()
             .filter(|w| !is_insignificant_question_word(w))
             .collect();
-        assert_eq!(kept, vec!["nfl", "team", "represented", "afc", "super", "bowl", "50"]);
+        assert_eq!(
+            kept,
+            vec!["nfl", "team", "represented", "afc", "super", "bowl", "50"]
+        );
     }
 
     #[test]
     fn auxiliaries_and_pronouns_are_insignificant() {
         for w in ["did", "is", "they", "their", "and", "of", "the", "not"] {
-            assert!(is_insignificant_question_word(w), "{w} should be insignificant");
+            assert!(
+                is_insignificant_question_word(w),
+                "{w} should be insignificant"
+            );
         }
     }
 
@@ -151,7 +202,12 @@ mod tests {
     #[test]
     fn word_lists_are_lowercase_and_unique() {
         for list in [
-            QUESTION_WORDS, AUXILIARIES, DETERMINERS, PREPOSITIONS, PRONOUNS, CONJUNCTIONS,
+            QUESTION_WORDS,
+            AUXILIARIES,
+            DETERMINERS,
+            PREPOSITIONS,
+            PRONOUNS,
+            CONJUNCTIONS,
             PARTICLES,
         ] {
             let mut seen = std::collections::HashSet::new();

@@ -131,7 +131,13 @@ mod tests {
 
     #[test]
     fn sentence_token_ids() {
-        let s = Sentence { index: 0, token_start: 3, token_end: 6, char_start: 0, char_end: 0 };
+        let s = Sentence {
+            index: 0,
+            token_start: 3,
+            token_end: 6,
+            char_start: 0,
+            char_end: 0,
+        };
         let ids: Vec<_> = s.token_ids().collect();
         assert_eq!(ids, vec![TokenId(3), TokenId(4), TokenId(5)]);
         assert_eq!(s.len(), 3);

@@ -32,11 +32,10 @@ pub fn tokenize(text: &str) -> Vec<Token> {
             let mut j = i + 1;
             while j < n {
                 let (_, cj) = chars[j];
-                if cj.is_alphanumeric() {
-                    j += 1;
-                } else if (cj == '-' || cj == '\'' || cj == '\u{2019}')
-                    && j + 1 < n
-                    && chars[j + 1].1.is_alphanumeric()
+                if cj.is_alphanumeric()
+                    || ((cj == '-' || cj == '\'' || cj == '\u{2019}')
+                        && j + 1 < n
+                        && chars[j + 1].1.is_alphanumeric())
                 {
                     j += 1;
                 } else if (cj == '.' || cj == ',')
@@ -56,7 +55,11 @@ pub fn tokenize(text: &str) -> Vec<Token> {
             i = j;
         } else {
             // Single-character punctuation/symbol token.
-            let end_byte = if i + 1 < n { chars[i + 1].0 } else { text.len() };
+            let end_byte = if i + 1 < n {
+                chars[i + 1].0
+            } else {
+                text.len()
+            };
             out.push(Token::raw(&text[byte..end_byte], byte, end_byte));
             i += 1;
         }
@@ -70,7 +73,13 @@ fn emit_word(word: &str, base: usize, out: &mut Vec<Token>) {
     // Split possessive 's (but keep contractions like "it's" whole: they are
     // genuinely ambiguous, and the synthetic corpora only use possessives).
     if lower.len() > 2 && (lower.ends_with("'s") || lower.ends_with("\u{2019}s")) {
-        let cut = word.len() - word.chars().rev().take(2).map(char::len_utf8).sum::<usize>();
+        let cut = word.len()
+            - word
+                .chars()
+                .rev()
+                .take(2)
+                .map(char::len_utf8)
+                .sum::<usize>();
         let head = &word[..cut];
         if !head.is_empty() && head.chars().all(|c| c.is_alphanumeric() || c == '-') {
             out.push(Token::raw(head, base, base + cut));
@@ -80,7 +89,12 @@ fn emit_word(word: &str, base: usize, out: &mut Vec<Token>) {
     }
     // Split n't ("didn't" -> "did" + "n't").
     if lower.len() > 3 && (lower.ends_with("n't") || lower.ends_with("n\u{2019}t")) {
-        let tail_len = word.chars().rev().take(3).map(char::len_utf8).sum::<usize>();
+        let tail_len = word
+            .chars()
+            .rev()
+            .take(3)
+            .map(char::len_utf8)
+            .sum::<usize>();
         let cut = word.len() - tail_len;
         if !word[..cut].is_empty() {
             out.push(Token::raw(&word[..cut], base, base + cut));
@@ -131,7 +145,10 @@ mod tests {
 
     #[test]
     fn numbers_are_tokens() {
-        assert_eq!(texts("in 1066 A.D."), vec!["in", "1066", "A", ".", "D", "."]);
+        assert_eq!(
+            texts("in 1066 A.D."),
+            vec!["in", "1066", "A", ".", "D", "."]
+        );
     }
 
     #[test]
@@ -150,7 +167,10 @@ mod tests {
 
     #[test]
     fn unicode_apostrophe_inside_word() {
-        assert_eq!(texts("Beyonc\u{e9}\u{2019}s show"), vec!["Beyonc\u{e9}", "\u{2019}s", "show"]);
+        assert_eq!(
+            texts("Beyonc\u{e9}\u{2019}s show"),
+            vec!["Beyonc\u{e9}", "\u{2019}s", "show"]
+        );
     }
 
     #[test]

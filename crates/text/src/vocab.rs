@@ -29,7 +29,11 @@ impl Default for Vocab {
 impl Vocab {
     /// An empty vocabulary containing only `<unk>`.
     pub fn new() -> Self {
-        let mut v = Vocab { by_word: HashMap::new(), words: Vec::new(), counts: Vec::new() };
+        let mut v = Vocab {
+            by_word: HashMap::new(),
+            words: Vec::new(),
+            counts: Vec::new(),
+        };
         v.words.push("<unk>".to_string());
         v.counts.push(0);
         v.by_word.insert("<unk>".to_string(), UNK);

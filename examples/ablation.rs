@@ -13,8 +13,14 @@ use gced::{Ablation, Gced, GcedConfig};
 use gced_datasets::{generate, DatasetKind, GeneratorConfig};
 
 fn main() {
-    let dataset =
-        generate(DatasetKind::Squad20, GeneratorConfig { train: 300, dev: 50, seed: 42 });
+    let dataset = generate(
+        DatasetKind::Squad20,
+        GeneratorConfig {
+            train: 300,
+            dev: 50,
+            seed: 42,
+        },
+    );
     let base = Gced::fit(&dataset, GcedConfig::default());
 
     let question = "Which team did the Denver Broncos defeat in the Super Bowl 50?";
@@ -34,7 +40,10 @@ fn main() {
     }
 
     for (label, ablation) in variants {
-        let cfg = GcedConfig { ablation, ..GcedConfig::default() };
+        let cfg = GcedConfig {
+            ablation,
+            ..GcedConfig::default()
+        };
         let pipeline = base.clone().with_config(cfg);
         match pipeline.distill(question, answer, context) {
             Ok(d) => {

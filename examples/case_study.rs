@@ -16,8 +16,14 @@ use gced::{Gced, GcedConfig};
 use gced_datasets::{generate, DatasetKind, GeneratorConfig};
 
 fn main() {
-    let dataset =
-        generate(DatasetKind::Squad11, GeneratorConfig { train: 300, dev: 50, seed: 42 });
+    let dataset = generate(
+        DatasetKind::Squad11,
+        GeneratorConfig {
+            train: 300,
+            dev: 50,
+            seed: 42,
+        },
+    );
     let gced = Gced::fit(&dataset, GcedConfig::default());
 
     // A Fig. 8-style biography: the artist's early competitions are the
@@ -40,7 +46,9 @@ fn main() {
         println!("   {sentence}");
     }
 
-    let d = gced.distill(&question, answer, &context).expect("distillation succeeds");
+    let d = gced
+        .distill(&question, answer, &context)
+        .expect("distillation succeeds");
 
     println!("\n--- pipeline decisions ---");
     print!("{}", d.trace);
@@ -51,7 +59,10 @@ fn main() {
         "scores                   : I = {:.3}  C = {:.3}  R = {:.3}  H = {:.3}",
         d.scores.informativeness, d.scores.conciseness, d.scores.readability, d.scores.hybrid
     );
-    println!("word reduction           : {:.1}%", d.word_reduction * 100.0);
+    println!(
+        "word reduction           : {:.1}%",
+        d.word_reduction * 100.0
+    );
 
     // The paper's qualitative claims for this case study:
     assert!(
@@ -59,8 +70,7 @@ fn main() {
         "evidence must preserve the answer"
     );
     assert!(
-        d.evidence.split_whitespace().count()
-            < context.split_whitespace().count() / 2,
+        d.evidence.split_whitespace().count() < context.split_whitespace().count() / 2,
         "evidence must be much shorter than the context"
     );
     println!("\ncase-study checks passed: answer preserved, evidence concise.");

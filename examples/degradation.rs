@@ -15,7 +15,11 @@ use gced_eval::Scale;
 use gced_qa::zoo;
 
 fn main() {
-    let scale = Scale { train: 240, dev: 80, rated: 0 };
+    let scale = Scale {
+        train: 240,
+        dev: 80,
+        rated: 0,
+    };
     println!("preparing context (this distills the ground-truth evidence caches) ...");
     let ctx = ExperimentContext::prepare(DatasetKind::Squad11, scale, 42);
 
@@ -26,10 +30,17 @@ fn main() {
 
     println!("\nrunning δ sweep (0 = ground-truth answers only) ...\n");
     let series = experiments::degradation(&ctx, &models, &deltas);
-    println!("{:<16} {}", "model", deltas.map(|d| format!("δ={d:<4}")).join("   "));
+    println!(
+        "{:<16} {}",
+        "model",
+        deltas.map(|d| format!("δ={d:<4}")).join("   ")
+    );
     for s in &series {
-        let row: Vec<String> =
-            s.points.iter().map(|(_, em, f1)| format!("{em:.0}/{f1:.0}")).collect();
+        let row: Vec<String> = s
+            .points
+            .iter()
+            .map(|(_, em, f1)| format!("{em:.0}/{f1:.0}"))
+            .collect();
         println!("{:<16} {}", s.model, row.join("   "));
     }
     println!("\n(cells are EM/F1; the paper's Fig. 7 shows the same gentle downward trend)");

@@ -1,0 +1,138 @@
+//! Stage-level timing of one distillation (diagnostic).
+use gced::{Gced, GcedConfig};
+use gced_datasets::{generate, DatasetKind, GeneratorConfig};
+use std::time::Instant;
+
+fn main() {
+    let ds = generate(
+        DatasetKind::Squad11,
+        GeneratorConfig {
+            train: 200,
+            dev: 40,
+            seed: 42,
+        },
+    );
+    let gced = Gced::fit(&ds, GcedConfig::default());
+    let question = "Which NFL team represented the AFC at Super Bowl 50?";
+    let context = "The American Football Conference (AFC) champion Denver Broncos defeated \
+                   the National Football Conference (NFC) champion Carolina Panthers to earn \
+                   the Super Bowl 50 title. The game was played at Lockwood Stadium in Boston. \
+                   The halftime show featured a famous singer and a large fireworks display.";
+    // Warm.
+    for _ in 0..20 {
+        let _ = gced.distill(question, "Denver Broncos", context).unwrap();
+    }
+    let n = 200;
+    let t0 = Instant::now();
+    for _ in 0..n {
+        let _ = gced.distill(question, "Denver Broncos", context).unwrap();
+    }
+    println!(
+        "distill total: {:.3} ms",
+        t0.elapsed().as_secs_f64() * 1000.0 / n as f64
+    );
+
+    // Stage timings replicated from distill internals.
+    let ctx_doc = gced_text::analyze(context);
+    let t = Instant::now();
+    for _ in 0..n {
+        let _ = gced_text::analyze(context);
+    }
+    println!(
+        "analyze ctx:   {:.3} ms",
+        t.elapsed().as_secs_f64() * 1000.0 / n as f64
+    );
+
+    let d = gced.distill(question, "Denver Broncos", context).unwrap();
+    println!(
+        "aos sentences: {:?} / {} ctx tokens -> aos len {}",
+        d.trace.ase.as_ref().map(|a| a.sentences.clone()),
+        ctx_doc.len(),
+        gced_text::analyze(&d.aos_text).len()
+    );
+    println!("clip steps: {}", d.trace.clip_steps.len());
+    let aos = gced_text::analyze(&d.aos_text);
+    let words: Vec<String> = aos.tokens.iter().map(|t| t.lower()).collect();
+
+    use gced_nn::{AttentionConfig, EmbeddingTable, MultiHeadAttention};
+    let cfg = AttentionConfig {
+        d_model: 64,
+        heads: 16,
+        d_k: 64,
+        seed: 42,
+        positional_weight: 0.35,
+    };
+    let mha = MultiHeadAttention::new(cfg);
+    let table = EmbeddingTable::new(64, 42);
+    let t = Instant::now();
+    for _ in 0..n {
+        let _ = mha.attend_words(&words, &table);
+    }
+    println!(
+        "attention aos ({} tokens): {:.3} ms",
+        words.len(),
+        t.elapsed().as_secs_f64() * 1000.0 / n as f64
+    );
+
+    let parser = gced_parser::CkyParser::embedded();
+    let t = Instant::now();
+    for _ in 0..n {
+        let _ = gced_parser::parse_document_with(&aos, &parser);
+    }
+    println!(
+        "cky parse aos: {:.3} ms",
+        t.elapsed().as_secs_f64() * 1000.0 / n as f64
+    );
+
+    // ASE alone.
+    use gced::scoring::EvidenceScorer;
+    let weights = gced.config().effective_weights();
+    let ppl_ref = 50.0; // close enough for timing
+    let scorer = EvidenceScorer::new(
+        gced.qa_model(),
+        gced.lm(),
+        question,
+        "Denver Broncos",
+        ppl_ref,
+        weights,
+    );
+    let t = Instant::now();
+    for _ in 0..n {
+        let _ = gced::ase::extract(
+            gced.qa_model(),
+            scorer.question_analysis(),
+            question,
+            "Denver Broncos",
+            &ctx_doc,
+            4,
+        );
+    }
+    println!(
+        "ase extract:   {:.3} ms",
+        t.elapsed().as_secs_f64() * 1000.0 / n as f64
+    );
+
+    // One qa predict on the 29-token AOS (the clip candidate unit cost).
+    let t = Instant::now();
+    for _ in 0..n {
+        let _ = gced
+            .qa_model()
+            .predict_analyzed(scorer.question_analysis(), &aos, question);
+    }
+    println!(
+        "qa predict aos: {:.3} ms",
+        t.elapsed().as_secs_f64() * 1000.0 / n as f64
+    );
+
+    // finish-stage score_selection.
+    let all: std::collections::BTreeSet<usize> = (0..aos.len()).collect();
+    let t = Instant::now();
+    for _ in 0..n {
+        let _ = scorer.score_selection(&aos, &all);
+    }
+    println!(
+        "score_selection: {:.3} ms",
+        t.elapsed().as_secs_f64() * 1000.0 / n as f64
+    );
+}
+// Appended fine-grained stage timings (uses public pipeline pieces).

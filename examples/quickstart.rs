@@ -10,9 +10,18 @@ use gced_datasets::{generate, DatasetKind, GeneratorConfig};
 fn main() {
     // 1. A small synthetic SQuAD-style dataset to fit the substrates on
     //    (PLM-substitute QA model, trigram LM, embeddings).
-    let dataset =
-        generate(DatasetKind::Squad11, GeneratorConfig { train: 300, dev: 50, seed: 42 });
-    println!("fitting GCED on {} training examples ...", dataset.train.len());
+    let dataset = generate(
+        DatasetKind::Squad11,
+        GeneratorConfig {
+            train: 300,
+            dev: 50,
+            seed: 42,
+        },
+    );
+    println!(
+        "fitting GCED on {} training examples ...",
+        dataset.train.len()
+    );
     let gced = Gced::fit(&dataset, GcedConfig::default());
 
     // 2. The paper's running example (Sec. III, Fig. 6).
@@ -25,7 +34,9 @@ fn main() {
                    Ticket prices rose to record levels in the weeks before the game.";
 
     // 3. Distill.
-    let d = gced.distill(question, answer, context).expect("distillation succeeds");
+    let d = gced
+        .distill(question, answer, context)
+        .expect("distillation succeeds");
 
     println!("\nquestion : {question}");
     println!("answer   : {answer}");

@@ -15,7 +15,11 @@ use gced_eval::Scale;
 use gced_qa::zoo;
 
 fn main() {
-    let scale = Scale { train: 300, dev: 100, rated: 32 };
+    let scale = Scale {
+        train: 300,
+        dev: 100,
+        rated: 32,
+    };
     println!(
         "preparing {} at scale train={} dev={} (fit + evidence caches) ...",
         DatasetKind::Squad11.name(),

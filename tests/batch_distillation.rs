@@ -1,0 +1,117 @@
+//! Contract tests for `Gced::distill_batch`: element-wise parity with
+//! sequential distillation, determinism, and order independence.
+
+use gced::{Distillation, Gced, GcedConfig};
+use gced_datasets::{generate, DatasetKind, GeneratorConfig};
+use std::sync::OnceLock;
+
+fn pipeline() -> &'static (Gced, gced_datasets::Dataset) {
+    static P: OnceLock<(Gced, gced_datasets::Dataset)> = OnceLock::new();
+    P.get_or_init(|| {
+        let ds = generate(
+            DatasetKind::Squad11,
+            GeneratorConfig {
+                train: 150,
+                dev: 60,
+                seed: 33,
+            },
+        );
+        let g = Gced::fit(&ds, GcedConfig::default());
+        (g, ds)
+    })
+}
+
+fn batch_items(n: usize) -> Vec<(String, String, String)> {
+    let (_, ds) = pipeline();
+    let items: Vec<(String, String, String)> = ds
+        .dev
+        .examples
+        .iter()
+        .filter(|e| e.answerable)
+        .take(n)
+        .map(|e| (e.question.clone(), e.answer.clone(), e.context.clone()))
+        .collect();
+    assert_eq!(items.len(), n, "dev split too small for the batch tests");
+    items
+}
+
+/// Distillations carry traces and floats; equality here means "the same
+/// answer to the user and the same decision log".
+fn assert_same(a: &Distillation, b: &Distillation, what: &str) {
+    assert_eq!(a.evidence, b.evidence, "{what}: evidence text");
+    assert_eq!(
+        a.evidence_tokens, b.evidence_tokens,
+        "{what}: evidence tokens"
+    );
+    assert_eq!(a.scores, b.scores, "{what}: scores");
+    assert_eq!(a.aos_text, b.aos_text, "{what}: AOS");
+    assert!(
+        (a.word_reduction - b.word_reduction).abs() == 0.0,
+        "{what}: word reduction"
+    );
+    assert_eq!(a.trace.clip_steps, b.trace.clip_steps, "{what}: clip steps");
+    assert_eq!(a.trace.grow_steps, b.trace.grow_steps, "{what}: grow steps");
+}
+
+#[test]
+fn batch_matches_sequential_over_20_examples() {
+    let (g, _) = pipeline();
+    let items = batch_items(20);
+    let batched = g.distill_batch(&items);
+    assert_eq!(batched.len(), items.len());
+    for (i, (item, out)) in items.iter().zip(&batched).enumerate() {
+        let sequential = g
+            .distill(&item.0, &item.1, &item.2)
+            .expect("sequential distill");
+        let out = out.as_ref().expect("batch distill");
+        assert_same(out, &sequential, &format!("example {i}"));
+    }
+}
+
+#[test]
+fn batch_is_deterministic() {
+    let (g, _) = pipeline();
+    let items = batch_items(12);
+    let a = g.distill_batch(&items);
+    let b = g.distill_batch(&items);
+    for (i, (x, y)) in a.iter().zip(&b).enumerate() {
+        match (x, y) {
+            (Ok(x), Ok(y)) => assert_same(x, y, &format!("run-to-run example {i}")),
+            (Err(ex), Err(ey)) => assert_eq!(ex, ey),
+            _ => panic!("example {i}: Ok/Err mismatch between runs"),
+        }
+    }
+}
+
+#[test]
+fn batch_results_are_order_independent() {
+    let (g, _) = pipeline();
+    let items = batch_items(12);
+    let forward = g.distill_batch(&items);
+    let reversed_items: Vec<_> = items.iter().cloned().rev().collect();
+    let reversed = g.distill_batch(&reversed_items);
+    for i in 0..items.len() {
+        let a = forward[i].as_ref().expect("forward ok");
+        let b = reversed[items.len() - 1 - i].as_ref().expect("reversed ok");
+        assert_same(a, b, &format!("permuted example {i}"));
+    }
+}
+
+#[test]
+fn batch_propagates_per_item_errors() {
+    let (g, _) = pipeline();
+    let mut items = batch_items(3);
+    items.push(("who?".into(), "".into(), "Some context.".into()));
+    items.push(("who?".into(), "x".into(), "   ".into()));
+    let out = g.distill_batch(&items);
+    assert!(out[0].is_ok() && out[1].is_ok() && out[2].is_ok());
+    assert!(matches!(out[3], Err(gced::DistillError::EmptyAnswer)));
+    assert!(matches!(out[4], Err(gced::DistillError::EmptyContext)));
+}
+
+#[test]
+fn empty_batch_is_fine() {
+    let (g, _) = pipeline();
+    let out = g.distill_batch::<&str, &str, &str>(&[]);
+    assert!(out.is_empty());
+}

@@ -35,14 +35,27 @@ fn table4_human_eval_rows_are_plausible() {
         assert!(r.outcome.rated > 0, "{}: nothing rated", r.source);
         // Paper: all quality scores consistently > 0.75; at smoke scale
         // we allow a wider band but scores must be clearly high.
-        assert!(r.outcome.hybrid > 0.55, "{}: H = {}", r.source, r.outcome.hybrid);
-        assert!(r.word_reduction > 0.3, "{}: reduction {}", r.source, r.word_reduction);
+        assert!(
+            r.outcome.hybrid > 0.55,
+            "{}: H = {}",
+            r.source,
+            r.outcome.hybrid
+        );
+        assert!(
+            r.word_reduction > 0.3,
+            "{}: reduction {}",
+            r.source,
+            r.word_reduction
+        );
     }
 }
 
 #[test]
 fn table6_gains_emerge_without_injection() {
-    let picked = [zoo::squad_models()[0].clone(), zoo::squad_models()[8].clone()];
+    let picked = [
+        zoo::squad_models()[0].clone(),
+        zoo::squad_models()[8].clone(),
+    ];
     let rows = experiments::qa_augmentation(squad_ctx(), &picked);
     // Mean gain across models must be positive (paper: +3.5% EM avg).
     let mean_gain: f64 =
@@ -52,8 +65,7 @@ fn table6_gains_emerge_without_injection() {
 
 #[test]
 fn table7_gains_are_larger_on_trivia() {
-    let squad_rows =
-        experiments::qa_augmentation(squad_ctx(), &[zoo::squad_models()[0].clone()]);
+    let squad_rows = experiments::qa_augmentation(squad_ctx(), &[zoo::squad_models()[0].clone()]);
     let trivia_rows =
         experiments::qa_augmentation(trivia_ctx(), &[zoo::trivia_models()[0].clone()]);
     let squad_gain = squad_rows[0].gced.f1 - squad_rows[0].base.f1;
@@ -79,11 +91,7 @@ fn table2_alpha_values_exist_and_are_bounded() {
 
 #[test]
 fn fig7_degradation_is_graceful() {
-    let series = experiments::degradation(
-        squad_ctx(),
-        &zoo::squad_models()[..1],
-        &[0.0, 0.5, 1.0],
-    );
+    let series = experiments::degradation(squad_ctx(), &zoo::squad_models()[..1], &[0.0, 0.5, 1.0]);
     let points = &series[0].points;
     assert_eq!(points.len(), 3);
     let em_gt = points[0].1;
@@ -91,8 +99,14 @@ fn fig7_degradation_is_graceful() {
     // Paper Fig. 7: full substitution costs only a few EM points on
     // SQuAD. Allow generous smoke-scale slack but require the drop
     // to be bounded and non-catastrophic.
-    assert!(em_full <= em_gt + 8.0, "substitution should not help: {em_gt} -> {em_full}");
-    assert!(em_full >= em_gt - 35.0, "catastrophic drop: {em_gt} -> {em_full}");
+    assert!(
+        em_full <= em_gt + 8.0,
+        "substitution should not help: {em_gt} -> {em_full}"
+    );
+    assert!(
+        em_full >= em_gt - 35.0,
+        "catastrophic drop: {em_gt} -> {em_full}"
+    );
 }
 
 #[test]

@@ -9,7 +9,14 @@ use std::sync::OnceLock;
 fn pipeline() -> &'static (Gced, gced_datasets::Dataset) {
     static P: OnceLock<(Gced, gced_datasets::Dataset)> = OnceLock::new();
     P.get_or_init(|| {
-        let ds = generate(DatasetKind::Squad11, GeneratorConfig { train: 150, dev: 80, seed: 17 });
+        let ds = generate(
+            DatasetKind::Squad11,
+            GeneratorConfig {
+                train: 150,
+                dev: 80,
+                seed: 17,
+            },
+        );
         let g = Gced::fit(&ds, GcedConfig::default());
         (g, ds)
     })
@@ -80,5 +87,47 @@ proptest! {
                 "clip did not improve: {} -> {}", step.hybrid_before, step.hybrid_after
             );
         }
+    }
+
+    /// The incremental clip engine is bit-identical to the paper-literal
+    /// reference oracle on the full pipeline: same evidence tokens, same
+    /// scores, same step log, over randomized dev examples.
+    #[test]
+    fn optimized_clip_matches_reference_oracle(idx in 0usize..80) {
+        let (g, ds) = pipeline();
+        let ex = &ds.dev.examples[idx % ds.dev.examples.len()];
+        prop_assume!(ex.answerable);
+        let fast = g.distill(&ex.question, &ex.answer, &ex.context).unwrap();
+        let oracle = g
+            .distill_with_reference_clip(&ex.question, &ex.answer, &ex.context)
+            .unwrap();
+        prop_assert_eq!(&fast.evidence_tokens, &oracle.evidence_tokens);
+        prop_assert_eq!(&fast.evidence, &oracle.evidence);
+        prop_assert_eq!(fast.scores, oracle.scores);
+        prop_assert_eq!(&fast.trace.clip_steps, &oracle.trace.clip_steps);
+        prop_assert!((fast.word_reduction - oracle.word_reduction).abs() == 0.0);
+    }
+
+    /// Oracle equivalence also holds with the forest protection turned
+    /// off (unrestricted clipping exercises more candidate shapes) and
+    /// under Fixed clip mode.
+    #[test]
+    fn optimized_clip_matches_reference_in_other_modes(idx in 0usize..40) {
+        let (g, ds) = pipeline();
+        let ex = &ds.dev.examples[idx % ds.dev.examples.len()];
+        prop_assume!(ex.answerable);
+        let cfg = GcedConfig {
+            clip: gced::ClipMode::Fixed(3),
+            clip_protect_forest: false,
+            ..GcedConfig::default()
+        };
+        let g2 = g.clone().with_config(cfg);
+        let fast = g2.distill(&ex.question, &ex.answer, &ex.context).unwrap();
+        let oracle = g2
+            .distill_with_reference_clip(&ex.question, &ex.answer, &ex.context)
+            .unwrap();
+        prop_assert_eq!(&fast.evidence_tokens, &oracle.evidence_tokens);
+        prop_assert_eq!(fast.scores, oracle.scores);
+        prop_assert_eq!(&fast.trace.clip_steps, &oracle.trace.clip_steps);
     }
 }
