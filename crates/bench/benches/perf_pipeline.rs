@@ -10,7 +10,8 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use gced::{Gced, GcedConfig};
-use gced_datasets::{generate, DatasetKind, GeneratorConfig};
+use gced_datasets::{generate, DatasetKind, GeneratorConfig, ShardSpec};
+use gced_eval::shard::{merge, ShardMetric, ShardOutput, ShardRow};
 use gced_nn::{AttentionConfig, EmbeddingTable, MultiHeadAttention};
 use gced_parser::CkyParser;
 use std::hint::black_box;
@@ -155,9 +156,73 @@ fn bench_pipeline(c: &mut Criterion) {
     });
 }
 
+/// Shard-runner infrastructure: persistent-pool dispatch overhead and
+/// the decode→validate→merge path a driver pays per sharded run.
+fn bench_shard_runner(c: &mut Criterion) {
+    // Pool fan-out over cheap items: dominated by job posting and
+    // claim/retire handshakes — the cost `par_map` pays beyond the map
+    // itself, now amortized by the persistent pool instead of a
+    // spawn/join per call.
+    let items: Vec<u64> = (0..256).collect();
+    c.bench_function("par/pool_map_256", |b| {
+        b.iter(|| gced_par::par_map(black_box(&items), |_, &x| x.wrapping_mul(x) ^ (x >> 3)))
+    });
+
+    // Merge throughput: 8 shards × 128 rows of table-sized strings,
+    // pre-encoded to JSON; measures parse + validation + ordered
+    // reassembly (the driver's whole post-processing step).
+    let encoded: Vec<String> = ShardSpec::all(8)
+        .into_iter()
+        .map(|spec| {
+            let range = spec.range(1024);
+            ShardOutput {
+                experiment: "synthetic".to_string(),
+                kind: DatasetKind::Squad11,
+                seed: 42,
+                scale_tag: "train1-dev1-rated1".to_string(),
+                shard: spec,
+                n_items: 1024,
+                header: vec![
+                    "Example".to_string(),
+                    "Tokens".to_string(),
+                    "Reduction".to_string(),
+                ],
+                rows: range
+                    .clone()
+                    .map(|item| ShardRow {
+                        item,
+                        cells: vec![
+                            format!("squad-1.1-dev-{item:06}"),
+                            (item % 23).to_string(),
+                            format!("{:.1}%", (item % 97) as f64),
+                        ],
+                    })
+                    .collect(),
+                metrics: range
+                    .map(|item| ShardMetric {
+                        item,
+                        name: "word_reduction".to_string(),
+                        value: (item % 97) as f64 / 97.0,
+                    })
+                    .collect(),
+            }
+            .to_json()
+        })
+        .collect();
+    c.bench_function("eval/shard_merge_8x1024", |b| {
+        b.iter(|| {
+            let outputs: Vec<ShardOutput> = encoded
+                .iter()
+                .map(|t| ShardOutput::from_json(black_box(t)).unwrap())
+                .collect();
+            merge(&outputs).unwrap()
+        })
+    });
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_substrates, bench_pipeline
+    targets = bench_substrates, bench_pipeline, bench_shard_runner
 }
 criterion_main!(benches);

@@ -1,0 +1,297 @@
+//! Bench-regression gate: compare fresh `perf_pipeline` medians against
+//! the committed baseline in `BENCH_pipeline.json`.
+//!
+//! The compat criterion harness writes one `{name, median_ns, samples}`
+//! JSON per benchmark into `target/gced-criterion/`; the gate loads
+//! those, pairs them with the baseline's committed medians, and fails
+//! when any benchmark regressed beyond a (generous) tolerance — shared
+//! CI runners are noisy, so the default only trips on >35 % slowdowns.
+//! A baseline entry's median is its `current_ns` field when present
+//! (the latest committed re-measurement), else its `after_ns`.
+
+use gced_datasets::json::{self, Json};
+use std::path::Path;
+
+/// One committed baseline median.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineEntry {
+    /// Benchmark id (e.g. `gced/distill_end_to_end`).
+    pub name: String,
+    /// Committed median ns/iter.
+    pub ns: f64,
+}
+
+/// One fresh measurement from `target/gced-criterion/`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FreshResult {
+    /// Benchmark id.
+    pub name: String,
+    /// Measured median ns/iter.
+    pub median_ns: f64,
+}
+
+/// Parse the committed `BENCH_pipeline.json` text into baseline medians.
+/// Entries marked `"gate": false` are excluded — that flag is for
+/// benchmarks whose *code path* depends on the machine shape (e.g.
+/// `par/pool_map_256` runs sequentially on the 1-core baseline machine
+/// but through pool dispatch on multi-core CI runners), where an
+/// absolute cross-machine comparison measures hardware, not changes.
+pub fn parse_baseline(text: &str) -> Result<Vec<BaselineEntry>, String> {
+    let root = json::parse(text).map_err(|e| e.to_string())?;
+    let benches = root
+        .get("benches")
+        .and_then(Json::as_obj)
+        .ok_or_else(|| "baseline has no \"benches\" object".to_string())?;
+    let mut entries = Vec::with_capacity(benches.len());
+    for (name, entry) in benches {
+        if entry.get("gate") == Some(&Json::Bool(false)) {
+            continue;
+        }
+        let ns = entry
+            .get("current_ns")
+            .and_then(Json::as_f64)
+            .or_else(|| entry.get("after_ns").and_then(Json::as_f64))
+            .ok_or_else(|| format!("baseline bench {name:?} has no current_ns/after_ns"))?;
+        entries.push(BaselineEntry {
+            name: name.clone(),
+            ns,
+        });
+    }
+    Ok(entries)
+}
+
+/// Load every fresh result JSON from a `gced-criterion` output dir.
+pub fn load_results(dir: &Path) -> Result<Vec<FreshResult>, String> {
+    let mut results = Vec::new();
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    let mut paths: Vec<_> = entries
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    paths.sort();
+    for path in paths {
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let root = json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        let name = root
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{}: missing name", path.display()))?
+            .to_string();
+        let median_ns = root
+            .get("median_ns")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("{}: missing median_ns", path.display()))?;
+        results.push(FreshResult { name, median_ns });
+    }
+    Ok(results)
+}
+
+/// One baseline benchmark's verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateRow {
+    /// Benchmark id.
+    pub name: String,
+    /// Committed median ns/iter.
+    pub baseline_ns: f64,
+    /// Fresh median ns/iter (`None`: the benchmark did not run).
+    pub current_ns: Option<f64>,
+}
+
+impl GateRow {
+    /// current / baseline (> 1 is slower).
+    pub fn ratio(&self) -> Option<f64> {
+        self.current_ns.map(|c| c / self.baseline_ns)
+    }
+}
+
+/// The full gate verdict.
+#[derive(Debug, Clone)]
+pub struct GateReport {
+    /// One row per baseline benchmark, in baseline order.
+    pub rows: Vec<GateRow>,
+    /// Fresh results the gate does not judge: new benchmarks with no
+    /// baseline entry, and entries marked `"gate": false`. Never fail.
+    pub unbaselined: Vec<FreshResult>,
+    /// Failure threshold: fail when `ratio > 1 + tolerance`.
+    pub tolerance: f64,
+}
+
+/// Pair baseline medians with fresh results.
+pub fn compare(baseline: &[BaselineEntry], fresh: &[FreshResult], tolerance: f64) -> GateReport {
+    let rows = baseline
+        .iter()
+        .map(|b| GateRow {
+            name: b.name.clone(),
+            baseline_ns: b.ns,
+            current_ns: fresh.iter().find(|f| f.name == b.name).map(|f| f.median_ns),
+        })
+        .collect();
+    let unbaselined = fresh
+        .iter()
+        .filter(|f| !baseline.iter().any(|b| b.name == f.name))
+        .cloned()
+        .collect();
+    GateReport {
+        rows,
+        unbaselined,
+        tolerance,
+    }
+}
+
+impl GateReport {
+    /// True when every baseline benchmark ran and none regressed beyond
+    /// the tolerance.
+    pub fn passed(&self) -> bool {
+        self.rows.iter().all(|r| match r.ratio() {
+            Some(ratio) => ratio <= 1.0 + self.tolerance,
+            None => false,
+        })
+    }
+
+    /// Per-row status word: `ok`, `REGRESSED`, or `MISSING`.
+    pub fn status(&self, row: &GateRow) -> &'static str {
+        match row.ratio() {
+            Some(ratio) if ratio <= 1.0 + self.tolerance => "ok",
+            Some(_) => "REGRESSED",
+            None => "MISSING",
+        }
+    }
+
+    /// Render the before/after table as GitHub-flavored markdown (CI
+    /// writes this into the job step summary).
+    pub fn markdown(&self) -> String {
+        let mut out = String::from("### Bench regression gate\n\n");
+        out.push_str(&format!(
+            "Tolerance: fail on > {:.0}% regression vs committed `BENCH_pipeline.json`.\n\n",
+            self.tolerance * 100.0
+        ));
+        out.push_str("| benchmark | baseline (ns) | current (ns) | ratio | status |\n");
+        out.push_str("|---|---:|---:|---:|---|\n");
+        for row in &self.rows {
+            let (current, ratio) = match row.current_ns {
+                Some(c) => (format!("{c:.1}"), format!("{:.2}x", c / row.baseline_ns)),
+                None => ("—".to_string(), "—".to_string()),
+            };
+            out.push_str(&format!(
+                "| {} | {:.1} | {} | {} | {} |\n",
+                row.name,
+                row.baseline_ns,
+                current,
+                ratio,
+                self.status(row)
+            ));
+        }
+        for f in &self.unbaselined {
+            out.push_str(&format!(
+                "| {} | — | {:.1} | — | not gated |\n",
+                f.name, f.median_ns
+            ));
+        }
+        out.push_str(&format!(
+            "\n**{}**\n",
+            if self.passed() { "PASSED" } else { "FAILED" }
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASELINE: &str = r#"{
+      "description": "x",
+      "benches": {
+        "a/fast": { "before_ns": 200.0, "after_ns": 100.0, "speedup": 2.0 },
+        "b/slow": { "before_ns": 900.0, "after_ns": 800.0, "speedup": 1.13, "current_ns": 500.0 },
+        "c/machine-shaped": { "current_ns": 10.0, "gate": false }
+      }
+    }"#;
+
+    fn fresh(a: f64, b: f64) -> Vec<FreshResult> {
+        vec![
+            FreshResult {
+                name: "a/fast".to_string(),
+                median_ns: a,
+            },
+            FreshResult {
+                name: "b/slow".to_string(),
+                median_ns: b,
+            },
+        ]
+    }
+
+    #[test]
+    fn baseline_prefers_current_ns() {
+        let base = parse_baseline(BASELINE).unwrap();
+        assert_eq!(base.len(), 2, "gate:false entries are excluded");
+        assert_eq!(base[0].ns, 100.0);
+        assert_eq!(base[1].ns, 500.0, "current_ns wins over after_ns");
+        assert!(!base.iter().any(|b| b.name == "c/machine-shaped"));
+    }
+
+    #[test]
+    fn within_tolerance_passes() {
+        let base = parse_baseline(BASELINE).unwrap();
+        let report = compare(&base, &fresh(130.0, 500.0), 0.35);
+        assert!(report.passed(), "{}", report.markdown());
+        assert!(report.markdown().contains("PASSED"));
+    }
+
+    #[test]
+    fn regression_beyond_tolerance_fails() {
+        let base = parse_baseline(BASELINE).unwrap();
+        let report = compare(&base, &fresh(136.0, 500.0), 0.35);
+        assert!(!report.passed());
+        let md = report.markdown();
+        assert!(md.contains("REGRESSED"), "{md}");
+        assert!(md.contains("FAILED"), "{md}");
+    }
+
+    #[test]
+    fn missing_benchmark_fails() {
+        let base = parse_baseline(BASELINE).unwrap();
+        let only_a = vec![FreshResult {
+            name: "a/fast".to_string(),
+            median_ns: 90.0,
+        }];
+        let report = compare(&base, &only_a, 0.35);
+        assert!(!report.passed());
+        assert!(report.markdown().contains("MISSING"));
+    }
+
+    #[test]
+    fn unbaselined_results_are_reported_not_failed() {
+        let base = parse_baseline(BASELINE).unwrap();
+        let mut f = fresh(90.0, 450.0);
+        f.push(FreshResult {
+            name: "c/new".to_string(),
+            median_ns: 42.0,
+        });
+        let report = compare(&base, &f, 0.35);
+        assert!(report.passed());
+        assert!(report
+            .markdown()
+            .contains("| c/new | — | 42.0 | — | not gated |"));
+    }
+
+    #[test]
+    fn results_dir_roundtrip() {
+        let dir = std::env::temp_dir().join("gced-gate-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("a_fast.json"),
+            "{\n  \"name\": \"a/fast\",\n  \"median_ns\": 123.5,\n  \"samples\": 20\n}\n",
+        )
+        .unwrap();
+        let results = load_results(&dir).unwrap();
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].name, "a/fast");
+        assert_eq!(results[0].median_ns, 123.5);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -5,6 +5,8 @@
 //! runs the experiment at the `GCED_SCALE` scale, and prints the same
 //! rows/series the paper reports (human-readable table + TSV block).
 
+pub mod gate;
+
 use gced_eval::Scale;
 use std::time::Instant;
 

@@ -1,11 +1,12 @@
 //! JSON (de)serialization for datasets.
 //!
 //! SQuAD and TriviaQA ship as JSON; reproducing their loaders means a
-//! JSON codec. The build environment cannot fetch `serde_json`, so this
-//! module carries a small hand-rolled codec for the one schema it owns
-//! (flat examples inside a versioned envelope). The on-disk format is
-//! plain JSON, readable by any standard tool.
+//! JSON codec. The parser lives in the shared [`crate::json`] module;
+//! this module owns the one schema it reads and writes (flat examples
+//! inside a versioned envelope). The on-disk format is plain JSON,
+//! readable by any standard tool.
 
+use crate::json::{self, Json};
 use crate::{Dataset, DatasetKind, Domain, QaExample, Split};
 use std::fs::File;
 use std::io::{BufWriter, Read, Write};
@@ -65,7 +66,7 @@ fn encode(dataset: &Dataset) -> String {
     out.push_str("{\"version\":");
     out.push_str(&SCHEMA_VERSION.to_string());
     out.push_str(",\"kind\":");
-    push_json_string(&mut out, kind_tag(dataset.kind));
+    json::push_string(&mut out, kind_tag(dataset.kind));
     out.push_str(",\"train\":");
     encode_split(&mut out, &dataset.train);
     out.push_str(",\"dev\":");
@@ -81,43 +82,27 @@ fn encode_split(out: &mut String, split: &Split) {
             out.push(',');
         }
         out.push_str("{\"id\":");
-        push_json_string(out, &ex.id);
+        json::push_string(out, &ex.id);
         out.push_str(",\"question\":");
-        push_json_string(out, &ex.question);
+        json::push_string(out, &ex.question);
         out.push_str(",\"context\":");
-        push_json_string(out, &ex.context);
+        json::push_string(out, &ex.context);
         out.push_str(",\"answer\":");
-        push_json_string(out, &ex.answer);
+        json::push_string(out, &ex.answer);
         out.push_str(",\"aliases\":[");
         for (j, a) in ex.aliases.iter().enumerate() {
             if j > 0 {
                 out.push(',');
             }
-            push_json_string(out, a);
+            json::push_string(out, a);
         }
         out.push_str("],\"answerable\":");
         out.push_str(if ex.answerable { "true" } else { "false" });
         out.push_str(",\"domain\":");
-        push_json_string(out, domain_tag(ex.domain));
+        json::push_string(out, domain_tag(ex.domain));
         out.push('}');
     }
     out.push(']');
-}
-
-fn push_json_string(out: &mut String, s: &str) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
 }
 
 fn kind_tag(kind: DatasetKind) -> &'static str {
@@ -140,247 +125,11 @@ fn domain_tag(d: Domain) -> &'static str {
 }
 
 // ---------------------------------------------------------------------------
-// Decoding: a tiny recursive-descent JSON parser plus schema mapping.
+// Decoding: shared JSON parser (crate::json) plus schema mapping.
 // ---------------------------------------------------------------------------
 
-/// A parsed JSON value (only the shapes the schema needs).
-#[derive(Debug, Clone, PartialEq)]
-enum Json {
-    Null,
-    Bool(bool),
-    Num(f64),
-    Str(String),
-    Arr(Vec<Json>),
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
-        match self {
-            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-            _ => None,
-        }
-    }
-
-    fn as_str(&self) -> Option<&str> {
-        match self {
-            Json::Str(s) => Some(s),
-            _ => None,
-        }
-    }
-}
-
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Parser<'a> {
-    fn new(text: &'a str) -> Self {
-        Parser {
-            bytes: text.as_bytes(),
-            pos: 0,
-        }
-    }
-
-    fn err(&self, msg: &str) -> IoError {
-        IoError::Format(format!("{msg} at byte {}", self.pos))
-    }
-
-    fn skip_ws(&mut self) {
-        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
-            self.pos += 1;
-        }
-    }
-
-    fn peek(&mut self) -> Option<u8> {
-        self.skip_ws();
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn expect(&mut self, b: u8) -> Result<(), IoError> {
-        if self.peek() == Some(b) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(self.err(&format!("expected {:?}", b as char)))
-        }
-    }
-
-    fn value(&mut self) -> Result<Json, IoError> {
-        match self.peek() {
-            Some(b'{') => self.object(),
-            Some(b'[') => self.array(),
-            Some(b'"') => Ok(Json::Str(self.string()?)),
-            Some(b't') => self.literal("true", Json::Bool(true)),
-            Some(b'f') => self.literal("false", Json::Bool(false)),
-            Some(b'n') => self.literal("null", Json::Null),
-            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
-            _ => Err(self.err("expected a JSON value")),
-        }
-    }
-
-    fn literal(&mut self, word: &str, v: Json) -> Result<Json, IoError> {
-        self.skip_ws();
-        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
-            self.pos += word.len();
-            Ok(v)
-        } else {
-            Err(self.err(&format!("expected {word}")))
-        }
-    }
-
-    fn number(&mut self) -> Result<Json, IoError> {
-        self.skip_ws();
-        let start = self.pos;
-        while self.pos < self.bytes.len()
-            && matches!(
-                self.bytes[self.pos],
-                b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9'
-            )
-        {
-            self.pos += 1;
-        }
-        std::str::from_utf8(&self.bytes[start..self.pos])
-            .ok()
-            .and_then(|s| s.parse::<f64>().ok())
-            .map(Json::Num)
-            .ok_or_else(|| self.err("malformed number"))
-    }
-
-    /// Four hex digits of a `\u` escape, advancing past them.
-    fn hex4(&mut self) -> Result<u32, IoError> {
-        let hex = self
-            .bytes
-            .get(self.pos..self.pos + 4)
-            .and_then(|h| std::str::from_utf8(h).ok())
-            .and_then(|h| u32::from_str_radix(h, 16).ok())
-            .ok_or_else(|| self.err("malformed \\u escape"))?;
-        self.pos += 4;
-        Ok(hex)
-    }
-
-    fn string(&mut self) -> Result<String, IoError> {
-        self.expect(b'"')?;
-        let mut out = String::new();
-        loop {
-            let Some(&b) = self.bytes.get(self.pos) else {
-                return Err(self.err("unterminated string"));
-            };
-            self.pos += 1;
-            match b {
-                b'"' => return Ok(out),
-                b'\\' => {
-                    let Some(&esc) = self.bytes.get(self.pos) else {
-                        return Err(self.err("unterminated escape"));
-                    };
-                    self.pos += 1;
-                    match esc {
-                        b'"' => out.push('"'),
-                        b'\\' => out.push('\\'),
-                        b'/' => out.push('/'),
-                        b'n' => out.push('\n'),
-                        b'r' => out.push('\r'),
-                        b't' => out.push('\t'),
-                        b'b' => out.push('\u{8}'),
-                        b'f' => out.push('\u{c}'),
-                        b'u' => {
-                            let unit = self.hex4()?;
-                            // UTF-16 surrogate pairs: a high surrogate
-                            // must be followed by `\uDC00..=\uDFFF`.
-                            let code = if (0xd800..=0xdbff).contains(&unit) {
-                                if self.bytes.get(self.pos..self.pos + 2) != Some(b"\\u") {
-                                    return Err(self.err("unpaired high surrogate"));
-                                }
-                                self.pos += 2;
-                                let low = self.hex4()?;
-                                if !(0xdc00..=0xdfff).contains(&low) {
-                                    return Err(self.err("invalid low surrogate"));
-                                }
-                                0x10000 + ((unit - 0xd800) << 10) + (low - 0xdc00)
-                            } else {
-                                unit
-                            };
-                            out.push(
-                                char::from_u32(code)
-                                    .ok_or_else(|| self.err("invalid \\u code point"))?,
-                            );
-                        }
-                        _ => return Err(self.err("unknown escape")),
-                    }
-                }
-                _ => {
-                    // Re-align to the char boundary for multi-byte UTF-8.
-                    let start = self.pos - 1;
-                    let len = utf8_len(b);
-                    let end = start + len;
-                    let chunk = self
-                        .bytes
-                        .get(start..end)
-                        .and_then(|c| std::str::from_utf8(c).ok())
-                        .ok_or_else(|| self.err("invalid UTF-8"))?;
-                    out.push_str(chunk);
-                    self.pos = end;
-                }
-            }
-        }
-    }
-
-    fn array(&mut self) -> Result<Json, IoError> {
-        self.expect(b'[')?;
-        let mut items = Vec::new();
-        if self.peek() == Some(b']') {
-            self.pos += 1;
-            return Ok(Json::Arr(items));
-        }
-        loop {
-            items.push(self.value()?);
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b']') => {
-                    self.pos += 1;
-                    return Ok(Json::Arr(items));
-                }
-                _ => return Err(self.err("expected ',' or ']'")),
-            }
-        }
-    }
-
-    fn object(&mut self) -> Result<Json, IoError> {
-        self.expect(b'{')?;
-        let mut fields = Vec::new();
-        if self.peek() == Some(b'}') {
-            self.pos += 1;
-            return Ok(Json::Obj(fields));
-        }
-        loop {
-            let key = self.string()?;
-            self.expect(b':')?;
-            fields.push((key, self.value()?));
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b'}') => {
-                    self.pos += 1;
-                    return Ok(Json::Obj(fields));
-                }
-                _ => return Err(self.err("expected ',' or '}'")),
-            }
-        }
-    }
-}
-
-fn utf8_len(first: u8) -> usize {
-    match first {
-        0x00..=0x7f => 1,
-        0xc0..=0xdf => 2,
-        0xe0..=0xef => 3,
-        _ => 4,
-    }
-}
-
 fn decode(text: &str) -> Result<Dataset, IoError> {
-    let mut parser = Parser::new(text);
-    let root = parser.value()?;
+    let root = json::parse(text).map_err(|e| IoError::Format(e.to_string()))?;
     let version = match root.get("version") {
         Some(Json::Num(v)) => *v as u32,
         _ => return Err(IoError::Format("missing version".into())),
@@ -505,28 +254,5 @@ mod tests {
         let err = load_json(&path).unwrap_err();
         assert!(err.to_string().contains("version"));
         let _ = std::fs::remove_file(&path);
-    }
-
-    #[test]
-    fn surrogate_pair_escapes_decode() {
-        // "😀" = 😀 — produced by any ensure_ascii JSON writer.
-        let mut parser = Parser::new("\"a \\ud83d\\ude00 b\"");
-        assert_eq!(parser.string().unwrap(), "a \u{1f600} b");
-        // Unpaired high surrogate is rejected, not mis-decoded.
-        let mut bad = Parser::new("\"\\ud83d x\"");
-        assert!(bad.string().is_err());
-        let mut bad2 = Parser::new("\"\\ud83d\\u0041\"");
-        assert!(bad2.string().is_err());
-    }
-
-    #[test]
-    fn string_escapes_roundtrip() {
-        let mut s = String::new();
-        push_json_string(&mut s, "a \"quote\" \\ and\nnewline\ttab é");
-        let mut parser = Parser::new(&s);
-        assert_eq!(
-            parser.string().unwrap(),
-            "a \"quote\" \\ and\nnewline\ttab é"
-        );
     }
 }

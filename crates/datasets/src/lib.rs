@@ -22,11 +22,14 @@
 
 pub mod generator;
 pub mod io;
+pub mod json;
 pub mod pools;
+pub mod shard;
 pub mod templates;
 
 pub use generator::{generate, GeneratorConfig};
 pub use io::{load_json, save_json};
+pub use shard::ShardSpec;
 
 /// Which of the paper's four datasets to emulate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -50,6 +53,28 @@ impl DatasetKind {
             DatasetKind::TriviaWeb => "TriviaQA-Web",
             DatasetKind::TriviaWiki => "TriviaQA-Wiki",
         }
+    }
+
+    /// Inverse of [`DatasetKind::name`] (shard-output JSON decode).
+    pub fn from_name(name: &str) -> Option<DatasetKind> {
+        DatasetKind::all().into_iter().find(|k| k.name() == name)
+    }
+
+    /// CLI flag spelling (`--kind` of the `gced` binary).
+    pub fn cli_flag(self) -> &'static str {
+        match self {
+            DatasetKind::Squad11 => "squad11",
+            DatasetKind::Squad20 => "squad20",
+            DatasetKind::TriviaWeb => "trivia-web",
+            DatasetKind::TriviaWiki => "trivia-wiki",
+        }
+    }
+
+    /// Inverse of [`DatasetKind::cli_flag`].
+    pub fn from_cli_flag(flag: &str) -> Option<DatasetKind> {
+        DatasetKind::all()
+            .into_iter()
+            .find(|k| k.cli_flag() == flag)
     }
 
     /// Paper split sizes (Table III): (train, dev).

@@ -1,0 +1,171 @@
+//! Deterministic shard planning for dataset-level runs.
+//!
+//! A whole-dataset experiment is split into *items* (dataset kinds,
+//! examples, …). A [`ShardSpec`] names one of `of` shards and owns a
+//! contiguous, balanced range of the item space; the ranges of all
+//! shards partition `0..n_items` exactly, so per-shard outputs can be
+//! reassembled into the single-process result without overlap or gaps.
+//!
+//! Per-shard seeds are pure functions of the base seed and the shard
+//! index ([`shard_seed`]): stable across runs and machines, so shard
+//! workers that need private randomness (scratch RNG streams, jitter)
+//! stay reproducible. Note that *shared* artifacts — dataset
+//! generation, pipeline fitting — must keep using the base seed itself;
+//! that is what makes a merged sharded run bit-identical to the
+//! single-process run.
+
+use std::ops::Range;
+
+/// One shard of a run split `of` ways.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ShardSpec {
+    /// Shard index in `0..of`.
+    pub index: usize,
+    /// Total number of shards (≥ 1).
+    pub of: usize,
+}
+
+impl ShardSpec {
+    /// Validated constructor: `of ≥ 1` and `index < of`.
+    pub fn new(index: usize, of: usize) -> Result<Self, String> {
+        if of == 0 {
+            return Err("shard count must be at least 1".to_string());
+        }
+        if index >= of {
+            return Err(format!(
+                "shard index {index} out of range for {of} shard(s)"
+            ));
+        }
+        Ok(ShardSpec { index, of })
+    }
+
+    /// The whole run as a single shard.
+    pub fn single() -> Self {
+        ShardSpec { index: 0, of: 1 }
+    }
+
+    /// True when this spec covers the whole run.
+    pub fn is_single(&self) -> bool {
+        self.of == 1
+    }
+
+    /// Every shard of an `of`-way split, in index order.
+    pub fn all(of: usize) -> Vec<ShardSpec> {
+        (0..of.max(1))
+            .map(|index| ShardSpec {
+                index,
+                of: of.max(1),
+            })
+            .collect()
+    }
+
+    /// This shard's contiguous item range out of `n_items`. Ranges are
+    /// balanced (sizes differ by at most one) and partition
+    /// `0..n_items` exactly across `ShardSpec::all(of)`.
+    pub fn range(&self, n_items: usize) -> Range<usize> {
+        let lo = (n_items as u128 * self.index as u128 / self.of as u128) as usize;
+        let hi = (n_items as u128 * (self.index as u128 + 1) / self.of as u128) as usize;
+        lo..hi
+    }
+
+    /// True when this shard owns item `i` of `n_items`.
+    pub fn owns(&self, i: usize, n_items: usize) -> bool {
+        self.range(n_items).contains(&i)
+    }
+
+    /// This shard's derived seed (see [`shard_seed`]).
+    pub fn seed(&self, base: u64) -> u64 {
+        shard_seed(base, self.index as u64)
+    }
+}
+
+impl std::fmt::Display for ShardSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "shard {}/{}", self.index, self.of)
+    }
+}
+
+/// The contiguous ranges of every shard of an `of`-way split over
+/// `n_items` items, in shard order.
+pub fn plan(n_items: usize, of: usize) -> Vec<Range<usize>> {
+    ShardSpec::all(of)
+        .into_iter()
+        .map(|s| s.range(n_items))
+        .collect()
+}
+
+/// Deterministic per-shard seed: splitmix64 over the base seed and the
+/// shard index. Stable across runs, platforms, and shard counts for a
+/// given `(base, index)` pair, and well-spread across indices.
+pub fn shard_seed(base: u64, index: u64) -> u64 {
+    let mut z = base
+        .wrapping_add(index.wrapping_add(1).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        .wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_partition_item_space() {
+        for n in [0usize, 1, 2, 3, 4, 7, 16, 100, 101] {
+            for of in 1..=9 {
+                let ranges = plan(n, of);
+                assert_eq!(ranges.len(), of);
+                let mut covered = Vec::new();
+                for r in &ranges {
+                    covered.extend(r.clone());
+                }
+                let expected: Vec<usize> = (0..n).collect();
+                assert_eq!(covered, expected, "n={n} of={of}");
+                // Balanced: sizes differ by at most one.
+                let sizes: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+                let (lo, hi) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+                assert!(hi - lo <= 1, "n={n} of={of} sizes={sizes:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn spec_validation() {
+        assert!(ShardSpec::new(0, 0).is_err());
+        assert!(ShardSpec::new(3, 3).is_err());
+        let s = ShardSpec::new(2, 3).unwrap();
+        assert_eq!(s.index, 2);
+        assert!(!s.is_single());
+        assert!(ShardSpec::single().is_single());
+        assert_eq!(format!("{s}"), "shard 2/3");
+    }
+
+    #[test]
+    fn ownership_matches_range() {
+        let n = 23;
+        for of in 1..=5 {
+            for i in 0..n {
+                let owners: Vec<usize> = ShardSpec::all(of)
+                    .into_iter()
+                    .filter(|s| s.owns(i, n))
+                    .map(|s| s.index)
+                    .collect();
+                assert_eq!(owners.len(), 1, "item {i} owned by {owners:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn shard_seeds_are_stable_and_distinct() {
+        let a: Vec<u64> = (0..64).map(|i| shard_seed(42, i)).collect();
+        let b: Vec<u64> = (0..64).map(|i| shard_seed(42, i)).collect();
+        assert_eq!(a, b);
+        let mut uniq = a.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), a.len(), "seed collision");
+        assert_ne!(shard_seed(42, 0), shard_seed(43, 0));
+        assert_eq!(ShardSpec::single().seed(7), shard_seed(7, 0));
+    }
+}

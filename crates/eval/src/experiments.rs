@@ -9,7 +9,7 @@ use crate::protocol::{HumanEvalOutcome, RatingProtocol};
 use crate::raters::RatedItem;
 use crate::scale::Scale;
 use gced::{Ablation, Distillation, Gced, GcedConfig};
-use gced_datasets::{generate, Dataset, DatasetKind, GeneratorConfig, QaExample};
+use gced_datasets::{generate, Dataset, DatasetKind, GeneratorConfig, QaExample, ShardSpec};
 use gced_qa::model::EvalResult;
 use gced_qa::zoo::ZooEntry;
 use gced_qa::QaModel;
@@ -35,6 +35,36 @@ impl ExperimentContext {
     /// Generate the dataset, fit the pipeline, and distill the
     /// ground-truth evidence caches.
     pub fn prepare(kind: DatasetKind, scale: Scale, seed: u64) -> Self {
+        Self::prepare_shard(kind, scale, seed, ShardSpec::single())
+    }
+
+    /// [`ExperimentContext::prepare`] for one shard of a dataset-level
+    /// run: the dataset is generated in full and the pipeline is fitted
+    /// in full (both seeded by `seed`, so every shard holds identical
+    /// shared artifacts), but the expensive ground-truth evidence caches
+    /// are distilled only for the examples in `shard`'s contiguous range
+    /// of each split — the dominant `prepare` cost scales down by the
+    /// shard count. Entries outside the shard stay `None`.
+    ///
+    /// Because each example's distillation is deterministic and
+    /// independent, the union of all shards' caches is element-wise
+    /// identical to the single-process [`ExperimentContext::prepare`].
+    pub fn prepare_shard(kind: DatasetKind, scale: Scale, seed: u64, shard: ShardSpec) -> Self {
+        Self::prepare_with(kind, scale, seed, Some(shard), Some(shard))
+    }
+
+    /// The general form: shard the train and dev ground-truth caches
+    /// independently, with `None` skipping a split's cache entirely
+    /// (all entries `None`). Experiments that never read one cache —
+    /// the dev-only word-reduction runner, for instance — avoid paying
+    /// for it.
+    pub fn prepare_with(
+        kind: DatasetKind,
+        scale: Scale,
+        seed: u64,
+        train_shard: Option<ShardSpec>,
+        dev_shard: Option<ShardSpec>,
+    ) -> Self {
         let dataset = generate(
             kind,
             GeneratorConfig {
@@ -50,8 +80,14 @@ impl ExperimentContext {
                 ..GcedConfig::default()
             },
         );
-        let gt_train = distill_split(&gced, &dataset.train.examples, None);
-        let gt_dev = distill_split(&gced, &dataset.dev.examples, None);
+        let range_of = |shard: Option<ShardSpec>, n: usize| match shard {
+            Some(s) => s.range(n),
+            None => 0..0,
+        };
+        let train_range = range_of(train_shard, dataset.train.len());
+        let dev_range = range_of(dev_shard, dataset.dev.len());
+        let gt_train = distill_split_range(&gced, &dataset.train.examples, None, train_range);
+        let gt_dev = distill_split_range(&gced, &dataset.dev.examples, None, dev_range);
         ExperimentContext {
             dataset,
             gced,
@@ -105,6 +141,19 @@ pub fn distill_split(
     examples: &[QaExample],
     answers: Option<&[String]>,
 ) -> Vec<Option<Distillation>> {
+    distill_split_range(gced, examples, answers, 0..examples.len())
+}
+
+/// [`distill_split`] restricted to the examples whose index falls in
+/// `range` (a shard of the split); entries outside it are `None`. The
+/// in-range entries are identical to the full run's, which is what the
+/// shard merge relies on.
+pub fn distill_split_range(
+    gced: &Gced,
+    examples: &[QaExample],
+    answers: Option<&[String]>,
+    range: std::ops::Range<usize>,
+) -> Vec<Option<Distillation>> {
     let mut jobs: Vec<(&str, &str, &str)> = Vec::new();
     let mut job_of: Vec<Option<usize>> = Vec::with_capacity(examples.len());
     for (i, ex) in examples.iter().enumerate() {
@@ -112,7 +161,7 @@ pub fn distill_split(
             Some(a) => a[i].as_str(),
             None => ex.answer.as_str(),
         };
-        if !ex.answerable || answer.trim().is_empty() {
+        if !range.contains(&i) || !ex.answerable || answer.trim().is_empty() {
             job_of.push(None);
         } else {
             job_of.push(Some(jobs.len()));

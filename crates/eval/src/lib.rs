@@ -11,6 +11,8 @@
 //!   (Table II), the < 0.7 per-item agreement filter, group averaging;
 //! * [`scale`] — experiment sizing via the `GCED_SCALE` env var;
 //! * [`experiments`] — runners regenerating Tables II–VIII and Fig. 7;
+//! * [`shard`] — dataset-level sharded runs with deterministic merge
+//!   (the `gced` CLI's backend);
 //! * [`tables`] — plain-text + TSV table rendering for the benches.
 
 pub mod experiments;
@@ -18,9 +20,11 @@ pub mod protocol;
 pub mod raters;
 pub mod rubric;
 pub mod scale;
+pub mod shard;
 pub mod tables;
 
 pub use experiments::ExperimentContext;
 pub use protocol::{HumanEvalOutcome, RatingProtocol};
 pub use raters::{Rater, RaterPanel};
 pub use scale::Scale;
+pub use shard::{merge, run_shard, MergedRun, ShardError, ShardOutput};

@@ -1,0 +1,771 @@
+//! Sharded experiment runs with deterministic merge.
+//!
+//! A dataset-level experiment is decomposed into independent *items*
+//! (dataset kinds for the Table III statistics, dev examples for
+//! distillation runs). One shard executes a contiguous item range
+//! ([`ShardSpec::range`]) and serializes its table rows and per-item
+//! metrics as a [`ShardOutput`] (plain JSON); [`merge`] validates that
+//! a set of shard outputs covers the run exactly — same experiment,
+//! seed, scale, header, shard count, every shard present once, item
+//! indices disjoint and in-range — and reassembles them into a
+//! [`MergedRun`] whose rendering is **bit-identical to the
+//! single-process run** for any shard count and any completion order.
+//!
+//! Identity holds because (a) every item's cells/metrics are computed
+//! by a deterministic function of the shared artifacts (seeded dataset
+//! generation, seeded fit) that every shard reconstructs identically,
+//! and (b) the merge orders rows by global item index, erasing
+//! scheduling. The property tests in `tests/shard_properties.rs` pin
+//! both halves down.
+
+use crate::experiments::ExperimentContext;
+use crate::scale::Scale;
+use crate::tables::TextTable;
+use gced_datasets::json::{self, Json};
+use gced_datasets::{generate, DatasetKind, GeneratorConfig, ShardSpec};
+
+/// On-disk format version of [`ShardOutput`].
+const FORMAT_VERSION: u32 = 1;
+
+/// Errors from shard execution, decoding, or merging.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardError {
+    /// Unknown experiment name.
+    UnknownExperiment(String),
+    /// Invalid shard spec or arguments.
+    Spec(String),
+    /// Malformed shard output JSON.
+    Format(String),
+    /// Shard outputs that do not assemble into one run.
+    Merge(String),
+}
+
+impl std::fmt::Display for ShardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardError::UnknownExperiment(n) => {
+                write!(
+                    f,
+                    "unknown experiment {n:?} (expected one of {EXPERIMENTS:?})"
+                )
+            }
+            ShardError::Spec(m) => write!(f, "shard spec error: {m}"),
+            ShardError::Format(m) => write!(f, "shard format error: {m}"),
+            ShardError::Merge(m) => write!(f, "shard merge error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+/// One table row produced by a shard, tagged with its global item index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardRow {
+    /// Global item index in `0..n_items`.
+    pub item: usize,
+    /// Rendered cells (one per header column).
+    pub cells: Vec<String>,
+}
+
+/// One per-item metric sample produced by a shard.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardMetric {
+    /// Global item index in `0..n_items`.
+    pub item: usize,
+    /// Metric name (e.g. `word_reduction`).
+    pub name: String,
+    /// Finite sample value.
+    pub value: f64,
+}
+
+/// The serializable result of one shard of an experiment run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardOutput {
+    /// Experiment name (see [`EXPERIMENTS`]).
+    pub experiment: String,
+    /// Dataset kind the experiment ran on.
+    pub kind: DatasetKind,
+    /// The run's base seed (shared by every shard).
+    pub seed: u64,
+    /// Scale fingerprint (`train…-dev…-rated…`).
+    pub scale_tag: String,
+    /// Which shard this is.
+    pub shard: ShardSpec,
+    /// Total number of items in the full run.
+    pub n_items: usize,
+    /// Table header (identical across shards).
+    pub header: Vec<String>,
+    /// Rows for this shard's items, in item order.
+    pub rows: Vec<ShardRow>,
+    /// Metric samples for this shard's items, in item order.
+    pub metrics: Vec<ShardMetric>,
+}
+
+/// Scale fingerprint recorded in shard outputs and validated at merge.
+pub fn scale_tag(scale: Scale) -> String {
+    format!("train{}-dev{}-rated{}", scale.train, scale.dev, scale.rated)
+}
+
+// ---------------------------------------------------------------------------
+// Experiments
+// ---------------------------------------------------------------------------
+
+/// Shardable experiments, by name:
+///
+/// * `table3` — dataset statistics (Table III); items are the four
+///   dataset kinds, `kind` is ignored.
+/// * `reduction` — ground-truth evidence distillation over the dev
+///   split of `kind` (the Sec. IV-D1 word-reduction statistic); items
+///   are dev examples, and each shard prepares only its slice of the
+///   dev [`ExperimentContext`] cache via
+///   [`ExperimentContext::prepare_with`].
+pub const EXPERIMENTS: &[&str] = &["table3", "reduction"];
+
+/// Run one shard of a named experiment.
+pub fn run_shard(
+    experiment: &str,
+    kind: DatasetKind,
+    scale: Scale,
+    seed: u64,
+    shard: ShardSpec,
+) -> Result<ShardOutput, ShardError> {
+    match experiment {
+        "table3" => Ok(run_table3_shard(scale, seed, shard)),
+        "reduction" => Ok(run_reduction_shard(kind, scale, seed, shard)),
+        other => Err(ShardError::UnknownExperiment(other.to_string())),
+    }
+}
+
+fn run_table3_shard(scale: Scale, seed: u64, shard: ShardSpec) -> ShardOutput {
+    let kinds = DatasetKind::all();
+    let header = vec![
+        "Dataset".to_string(),
+        "Paper Train".to_string(),
+        "Paper Dev".to_string(),
+        "Gen Train".to_string(),
+        "Gen Dev".to_string(),
+        "Ctx words".to_string(),
+        "Answerable".to_string(),
+    ];
+    let mut rows = Vec::new();
+    let mut metrics = Vec::new();
+    for item in shard.range(kinds.len()) {
+        let kind = kinds[item];
+        let (pt, pd) = kind.paper_sizes();
+        let ds = generate(
+            kind,
+            GeneratorConfig {
+                train: scale.train,
+                dev: scale.dev,
+                seed,
+            },
+        );
+        let answerable = ds
+            .train
+            .examples
+            .iter()
+            .chain(&ds.dev.examples)
+            .filter(|e| e.answerable)
+            .count() as f64
+            / (ds.train.len() + ds.dev.len()) as f64;
+        let ctx_words = ds.mean_context_words();
+        rows.push(ShardRow {
+            item,
+            cells: vec![
+                kind.name().to_string(),
+                pt.to_string(),
+                pd.to_string(),
+                ds.train.len().to_string(),
+                ds.dev.len().to_string(),
+                format!("{ctx_words:.0}"),
+                format!("{:.0}%", answerable * 100.0),
+            ],
+        });
+        metrics.push(ShardMetric {
+            item,
+            name: "ctx_words".to_string(),
+            value: ctx_words,
+        });
+        metrics.push(ShardMetric {
+            item,
+            name: "answerable".to_string(),
+            value: answerable,
+        });
+    }
+    ShardOutput {
+        experiment: "table3".to_string(),
+        kind: DatasetKind::Squad11,
+        seed,
+        scale_tag: scale_tag(scale),
+        shard,
+        n_items: kinds.len(),
+        header,
+        rows,
+        metrics,
+    }
+}
+
+fn run_reduction_shard(
+    kind: DatasetKind,
+    scale: Scale,
+    seed: u64,
+    shard: ShardSpec,
+) -> ShardOutput {
+    // Dev-only: the train gt cache is never read here, so skip it.
+    let ctx = ExperimentContext::prepare_with(kind, scale, seed, None, Some(shard));
+    let n_items = ctx.dataset.dev.len();
+    let header = vec![
+        "Example".to_string(),
+        "Evidence tokens".to_string(),
+        "Reduction".to_string(),
+    ];
+    let mut rows = Vec::new();
+    let mut metrics = Vec::new();
+    for item in shard.range(n_items) {
+        let ex = &ctx.dataset.dev.examples[item];
+        // Unanswerable / failed examples produce no row, so shards may
+        // contribute fewer rows than items — the merge allows that.
+        if let Some(d) = &ctx.gt_dev[item] {
+            rows.push(ShardRow {
+                item,
+                cells: vec![
+                    ex.id.clone(),
+                    d.evidence_tokens.len().to_string(),
+                    format!("{:.1}%", d.word_reduction * 100.0),
+                ],
+            });
+            metrics.push(ShardMetric {
+                item,
+                name: "word_reduction".to_string(),
+                value: d.word_reduction,
+            });
+        }
+    }
+    ShardOutput {
+        experiment: "reduction".to_string(),
+        kind,
+        seed,
+        scale_tag: scale_tag(scale),
+        shard,
+        n_items,
+        header,
+        rows,
+        metrics,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JSON codec
+// ---------------------------------------------------------------------------
+
+impl ShardOutput {
+    /// Serialize as plain JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\"format\":");
+        out.push_str(&FORMAT_VERSION.to_string());
+        out.push_str(",\"experiment\":");
+        json::push_string(&mut out, &self.experiment);
+        out.push_str(",\"kind\":");
+        json::push_string(&mut out, self.kind.name());
+        // The seed travels as a string: it is a full-range u64, and the
+        // JSON number path would round it through f64 above 2^53.
+        out.push_str(",\"seed\":");
+        json::push_string(&mut out, &self.seed.to_string());
+        out.push_str(",\"scale\":");
+        json::push_string(&mut out, &self.scale_tag);
+        out.push_str(",\"shard_index\":");
+        out.push_str(&self.shard.index.to_string());
+        out.push_str(",\"shard_of\":");
+        out.push_str(&self.shard.of.to_string());
+        out.push_str(",\"n_items\":");
+        out.push_str(&self.n_items.to_string());
+        out.push_str(",\"header\":[");
+        for (i, h) in self.header.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::push_string(&mut out, h);
+        }
+        out.push_str("],\"rows\":[");
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"item\":");
+            out.push_str(&row.item.to_string());
+            out.push_str(",\"cells\":[");
+            for (j, c) in row.cells.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                json::push_string(&mut out, c);
+            }
+            out.push_str("]}");
+        }
+        out.push_str("],\"metrics\":[");
+        for (i, m) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"item\":");
+            out.push_str(&m.item.to_string());
+            out.push_str(",\"name\":");
+            json::push_string(&mut out, &m.name);
+            out.push_str(",\"value\":");
+            json::push_f64(&mut out, m.value);
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Parse a [`ShardOutput::to_json`] document.
+    pub fn from_json(text: &str) -> Result<Self, ShardError> {
+        let root = json::parse(text).map_err(|e| ShardError::Format(e.to_string()))?;
+        let num = |key: &str| -> Result<f64, ShardError> {
+            root.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| ShardError::Format(format!("missing numeric field {key:?}")))
+        };
+        let string = |key: &str| -> Result<String, ShardError> {
+            root.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| ShardError::Format(format!("missing string field {key:?}")))
+        };
+        let format = num("format")? as u32;
+        if format != FORMAT_VERSION {
+            return Err(ShardError::Format(format!(
+                "unsupported shard format {format} (expected {FORMAT_VERSION})"
+            )));
+        }
+        let kind_name = string("kind")?;
+        let kind = DatasetKind::from_name(&kind_name)
+            .ok_or_else(|| ShardError::Format(format!("unknown dataset kind {kind_name:?}")))?;
+        let shard = ShardSpec::new(num("shard_index")? as usize, num("shard_of")? as usize)
+            .map_err(ShardError::Spec)?;
+        let header = root
+            .get("header")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| ShardError::Format("missing header".to_string()))?
+            .iter()
+            .map(|h| {
+                h.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| ShardError::Format("non-string header cell".to_string()))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let rows = root
+            .get("rows")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| ShardError::Format("missing rows".to_string()))?
+            .iter()
+            .map(|r| {
+                let item = r
+                    .get("item")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| ShardError::Format("row missing item".to_string()))?
+                    as usize;
+                let cells = r
+                    .get("cells")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| ShardError::Format("row missing cells".to_string()))?
+                    .iter()
+                    .map(|c| {
+                        c.as_str()
+                            .map(str::to_string)
+                            .ok_or_else(|| ShardError::Format("non-string cell".to_string()))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(ShardRow { item, cells })
+            })
+            .collect::<Result<Vec<_>, ShardError>>()?;
+        let metrics = root
+            .get("metrics")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| ShardError::Format("missing metrics".to_string()))?
+            .iter()
+            .map(|m| {
+                let item = m
+                    .get("item")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| ShardError::Format("metric missing item".to_string()))?
+                    as usize;
+                let name = m
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| ShardError::Format("metric missing name".to_string()))?
+                    .to_string();
+                let value = m
+                    .get("value")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| ShardError::Format("non-finite metric value".to_string()))?;
+                Ok(ShardMetric { item, name, value })
+            })
+            .collect::<Result<Vec<_>, ShardError>>()?;
+        let seed = string("seed")?
+            .parse::<u64>()
+            .map_err(|_| ShardError::Format("seed is not a u64".to_string()))?;
+        Ok(ShardOutput {
+            experiment: string("experiment")?,
+            kind,
+            seed,
+            scale_tag: string("scale")?,
+            shard,
+            n_items: num("n_items")? as usize,
+            header,
+            rows,
+            metrics,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Merge
+// ---------------------------------------------------------------------------
+
+/// A complete run reassembled from shard outputs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MergedRun {
+    pub experiment: String,
+    pub kind: DatasetKind,
+    pub seed: u64,
+    pub scale_tag: String,
+    pub n_items: usize,
+    pub header: Vec<String>,
+    /// Rows in global item order.
+    pub rows: Vec<ShardRow>,
+    /// Metric samples in global item order.
+    pub metrics: Vec<ShardMetric>,
+}
+
+/// Merge shard outputs into one run. Accepts the shards in **any
+/// order** and validates that they form exactly one run: consistent
+/// identity fields, every shard index present exactly once, and row /
+/// metric items inside their shard's range with no duplicates.
+pub fn merge(outputs: &[ShardOutput]) -> Result<MergedRun, ShardError> {
+    let first = outputs
+        .first()
+        .ok_or_else(|| ShardError::Merge("no shard outputs to merge".to_string()))?;
+    let of = first.shard.of;
+    if outputs.len() != of {
+        return Err(ShardError::Merge(format!(
+            "expected {of} shard output(s), got {}",
+            outputs.len()
+        )));
+    }
+    let mut ordered: Vec<&ShardOutput> = Vec::with_capacity(of);
+    for index in 0..of {
+        let matches: Vec<&ShardOutput> =
+            outputs.iter().filter(|o| o.shard.index == index).collect();
+        match matches.as_slice() {
+            [one] => ordered.push(one),
+            [] => return Err(ShardError::Merge(format!("missing shard {index}/{of}"))),
+            _ => return Err(ShardError::Merge(format!("duplicate shard {index}/{of}"))),
+        }
+    }
+    for o in &ordered {
+        let mismatch = |field: &str| {
+            ShardError::Merge(format!(
+                "{} disagrees on {field} (expected the {} of shard 0)",
+                o.shard, first.experiment
+            ))
+        };
+        if o.shard.of != of {
+            return Err(ShardError::Merge(format!(
+                "{} belongs to a {}-way split, not {of}",
+                o.shard, o.shard.of
+            )));
+        }
+        if o.experiment != first.experiment {
+            return Err(mismatch("experiment"));
+        }
+        if o.kind != first.kind {
+            return Err(mismatch("dataset kind"));
+        }
+        if o.seed != first.seed {
+            return Err(mismatch("seed"));
+        }
+        if o.scale_tag != first.scale_tag {
+            return Err(mismatch("scale"));
+        }
+        if o.n_items != first.n_items {
+            return Err(mismatch("n_items"));
+        }
+        if o.header != first.header {
+            return Err(mismatch("header"));
+        }
+        if o.header.is_empty() {
+            return Err(ShardError::Merge("empty table header".to_string()));
+        }
+        let range = o.shard.range(o.n_items);
+        for row in &o.rows {
+            if !range.contains(&row.item) {
+                return Err(ShardError::Merge(format!(
+                    "{} produced row for item {} outside its range {range:?}",
+                    o.shard, row.item
+                )));
+            }
+            // Arity is validated here so a truncated/hand-edited shard
+            // file errors instead of tripping TextTable's assert later.
+            if row.cells.len() != o.header.len() {
+                return Err(ShardError::Merge(format!(
+                    "{} row for item {} has {} cell(s), header has {}",
+                    o.shard,
+                    row.item,
+                    row.cells.len(),
+                    o.header.len()
+                )));
+            }
+        }
+        for m in &o.metrics {
+            if !range.contains(&m.item) {
+                return Err(ShardError::Merge(format!(
+                    "{} produced metric for item {} outside its range {range:?}",
+                    o.shard, m.item
+                )));
+            }
+        }
+    }
+    // Shard ranges are disjoint and `ordered` is in shard order, so
+    // concatenation sorted by item is globally ordered; a stable sort
+    // keeps multiple metrics of one item in production order.
+    let mut rows: Vec<ShardRow> = ordered.iter().flat_map(|o| o.rows.clone()).collect();
+    rows.sort_by_key(|r| r.item);
+    let mut last = None;
+    for r in &rows {
+        if last == Some(r.item) {
+            return Err(ShardError::Merge(format!(
+                "duplicate row for item {}",
+                r.item
+            )));
+        }
+        last = Some(r.item);
+    }
+    let mut metrics: Vec<ShardMetric> = ordered.iter().flat_map(|o| o.metrics.clone()).collect();
+    metrics.sort_by_key(|m| m.item);
+    // A repeated (item, name) sample would silently skew the rendered
+    // means — reject it like duplicate rows.
+    let mut seen: std::collections::HashSet<(usize, &str)> = std::collections::HashSet::new();
+    for m in &metrics {
+        if !seen.insert((m.item, m.name.as_str())) {
+            return Err(ShardError::Merge(format!(
+                "duplicate metric {:?} for item {}",
+                m.name, m.item
+            )));
+        }
+    }
+    Ok(MergedRun {
+        experiment: first.experiment.clone(),
+        kind: first.kind,
+        seed: first.seed,
+        scale_tag: first.scale_tag.clone(),
+        n_items: first.n_items,
+        header: first.header.clone(),
+        rows,
+        metrics,
+    })
+}
+
+impl MergedRun {
+    /// Render the canonical run report: header line, aligned table, TSV
+    /// block, and per-metric summaries. The text depends only on merged
+    /// content, never on shard count or completion order — the CI
+    /// shard-parity step byte-compares this across shardings.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "experiment={} kind={} seed={} scale={} items={} rows={}\n",
+            self.experiment,
+            self.kind.name(),
+            self.seed,
+            self.scale_tag,
+            self.n_items,
+            self.rows.len()
+        );
+        let header: Vec<&str> = self.header.iter().map(String::as_str).collect();
+        let mut table = TextTable::new(&header);
+        for row in &self.rows {
+            table.row(row.cells.clone());
+        }
+        out.push('\n');
+        out.push_str(&table.render());
+        out.push_str("\nTSV:\n");
+        out.push_str(&table.render_tsv());
+        // Metric summaries: names in order of first appearance; means
+        // accumulate in global item order, so the floating-point sum is
+        // reproduced exactly.
+        let mut names: Vec<&str> = Vec::new();
+        for m in &self.metrics {
+            if !names.contains(&m.name.as_str()) {
+                names.push(&m.name);
+            }
+        }
+        for name in names {
+            let values: Vec<f64> = self
+                .metrics
+                .iter()
+                .filter(|m| m.name == name)
+                .map(|m| m.value)
+                .collect();
+            let mean = values.iter().sum::<f64>() / values.len() as f64;
+            out.push_str(&format!(
+                "metric {name}: mean={mean:.6} n={}\n",
+                values.len()
+            ));
+        }
+        out
+    }
+}
+
+/// Run every shard of an experiment in this process (fanning shards out
+/// over the persistent `gced-par` pool) and merge — the in-process
+/// alternative to spawning `gced shard` worker processes.
+pub fn run_sharded_in_process(
+    experiment: &str,
+    kind: DatasetKind,
+    scale: Scale,
+    seed: u64,
+    shards: usize,
+) -> Result<MergedRun, ShardError> {
+    let specs = ShardSpec::all(shards);
+    let outputs: Vec<Result<ShardOutput, ShardError>> = gced_par::par_map(&specs, |_, spec| {
+        run_shard(experiment, kind, scale, seed, *spec)
+    });
+    let outputs = outputs.into_iter().collect::<Result<Vec<_>, _>>()?;
+    merge(&outputs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_output(shard: ShardSpec) -> ShardOutput {
+        let mut rows = Vec::new();
+        let mut metrics = Vec::new();
+        for item in shard.range(10) {
+            rows.push(ShardRow {
+                item,
+                cells: vec![format!("id-{item}"), (item * 3).to_string()],
+            });
+            metrics.push(ShardMetric {
+                item,
+                name: "m".to_string(),
+                value: item as f64 / 7.0,
+            });
+        }
+        ShardOutput {
+            experiment: "synthetic".to_string(),
+            kind: DatasetKind::Squad11,
+            seed: 42,
+            scale_tag: "train1-dev1-rated1".to_string(),
+            shard,
+            n_items: 10,
+            header: vec!["Id".to_string(), "Value".to_string()],
+            rows,
+            metrics,
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_output() {
+        let out = tiny_output(ShardSpec::new(1, 3).unwrap());
+        let back = ShardOutput::from_json(&out.to_json()).unwrap();
+        assert_eq!(out, back);
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_full_range_seeds() {
+        // Seeds above 2^53 must survive the wire format exactly (they
+        // would round if routed through the JSON number path).
+        let mut out = tiny_output(ShardSpec::single());
+        out.seed = u64::MAX - 1;
+        let back = ShardOutput::from_json(&out.to_json()).unwrap();
+        assert_eq!(back.seed, u64::MAX - 1);
+    }
+
+    #[test]
+    fn merge_is_order_invariant() {
+        let mut outputs: Vec<ShardOutput> =
+            ShardSpec::all(4).into_iter().map(tiny_output).collect();
+        let merged = merge(&outputs).unwrap();
+        outputs.reverse();
+        let reversed = merge(&outputs).unwrap();
+        assert_eq!(merged, reversed);
+        assert_eq!(merged.render(), reversed.render());
+        assert_eq!(merged.rows.len(), 10);
+        // Also identical to the single-shard run.
+        let single = merge(&[tiny_output(ShardSpec::single())]).unwrap();
+        assert_eq!(single.render(), merged.render());
+    }
+
+    #[test]
+    fn merge_rejects_incomplete_and_inconsistent_sets() {
+        let outputs: Vec<ShardOutput> = ShardSpec::all(3).into_iter().map(tiny_output).collect();
+        assert!(matches!(
+            merge(&outputs[..2]).unwrap_err(),
+            ShardError::Merge(_)
+        ));
+        let dup = vec![outputs[0].clone(), outputs[0].clone(), outputs[2].clone()];
+        assert!(merge(&dup).is_err());
+        let mut wrong_seed = outputs.clone();
+        wrong_seed[1].seed = 7;
+        assert!(merge(&wrong_seed).is_err());
+        let mut out_of_range = outputs.clone();
+        out_of_range[0].rows.push(ShardRow {
+            item: 9,
+            cells: vec!["x".to_string(), "y".to_string()],
+        });
+        assert!(merge(&out_of_range).is_err());
+        let mut dup_metric = outputs.clone();
+        let m = dup_metric[0].metrics[0].clone();
+        dup_metric[0].metrics.push(m);
+        let err = merge(&dup_metric).unwrap_err();
+        assert!(err.to_string().contains("duplicate metric"), "{err}");
+        let mut bad_arity = outputs.clone();
+        bad_arity[1].rows[0].cells.pop();
+        let err = merge(&bad_arity).unwrap_err();
+        assert!(err.to_string().contains("cell(s)"), "{err}");
+        let mut empty_header = outputs.clone();
+        for o in &mut empty_header {
+            o.header.clear();
+            o.rows.clear();
+        }
+        assert!(merge(&empty_header).is_err());
+        assert!(merge(&[]).is_err());
+    }
+
+    #[test]
+    fn table3_sharded_matches_single_run() {
+        let scale = Scale::smoke();
+        let outputs: Vec<ShardOutput> = ShardSpec::all(3)
+            .into_iter()
+            .map(|s| run_shard("table3", DatasetKind::Squad11, scale, 42, s).unwrap())
+            .collect();
+        let merged = merge(&outputs).unwrap();
+        let single = merge(&[run_shard(
+            "table3",
+            DatasetKind::Squad11,
+            scale,
+            42,
+            ShardSpec::single(),
+        )
+        .unwrap()])
+        .unwrap();
+        assert_eq!(merged.render(), single.render());
+        assert_eq!(merged.rows.len(), 4);
+    }
+
+    #[test]
+    fn unknown_experiment_errors() {
+        let err = run_shard(
+            "tableX",
+            DatasetKind::Squad11,
+            Scale::smoke(),
+            42,
+            ShardSpec::single(),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("unknown experiment"));
+    }
+}

@@ -1,18 +1,30 @@
-//! # gced-par — minimal scoped-thread data parallelism
+//! # gced-par — minimal persistent-pool data parallelism
 //!
-//! The distillation pipeline parallelizes two loops: candidate scoring
-//! inside Sequential Clip Searching and whole-example batches in
-//! `Gced::distill_batch`. The build environment cannot fetch `rayon`,
-//! so this crate provides the one primitive both need: an
-//! order-preserving parallel map over a slice, built on
-//! `std::thread::scope` with work stealing via an atomic cursor.
+//! The distillation pipeline parallelizes three loops: candidate scoring
+//! inside Sequential Clip Searching, whole-example batches in
+//! `Gced::distill_batch`, and whole-dataset shard fan-out in the
+//! experiment runner. The build environment cannot fetch `rayon`, so
+//! this crate provides the one primitive all three need: an
+//! order-preserving parallel map over a slice, with work stealing via
+//! an atomic cursor.
+//!
+//! Work runs on a process-wide [`WorkerPool`] of persistent threads
+//! (spawned lazily on the first parallel call) instead of the per-call
+//! `std::thread::scope` spawn/join of PR 1 — the parallel clip path
+//! used to pay that spawn cost once per SCS iteration. Nested `par_map`
+//! calls degrade to the calling thread instead of deadlocking, so
+//! callers can compose freely.
 //!
 //! Results are written back by input index, so `par_map` output is
 //! **bitwise identical to the sequential map** regardless of thread
 //! count or scheduling — a property the clip-search oracle equivalence
-//! tests rely on.
+//! tests and the shard-merge parity tests rely on.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+mod pool;
+
+pub use pool::WorkerPool;
+
+use std::sync::OnceLock;
 
 /// Worker-thread cap: `GCED_THREADS` if set, else the machine's
 /// available parallelism.
@@ -25,6 +37,14 @@ pub fn max_threads() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
+}
+
+/// The process-wide worker pool, spawned lazily on the first parallel
+/// call. Sized to `max_threads() - 1` (minimum 1) because the posting
+/// thread always participates in its own job.
+pub fn global_pool() -> &'static WorkerPool {
+    static POOL: OnceLock<WorkerPool> = OnceLock::new();
+    POOL.get_or_init(|| WorkerPool::new(max_threads().saturating_sub(1).max(1)))
 }
 
 /// Parallel map preserving input order: `out[i] = f(i, &items[i])`.
@@ -52,8 +72,10 @@ where
     par_map_with_threads(items, max_threads(), init, f)
 }
 
-/// [`par_map_with`] with an explicit worker count (tests force >1 worker
-/// on single-core machines to exercise the parallel path).
+/// [`par_map_with`] with an explicit participant count (tests force >1
+/// participant on single-core machines to exercise the parallel path).
+/// Runs on the [`global_pool`]; if the pool has fewer workers than
+/// `threads - 1`, the call uses every worker it can get.
 pub fn par_map_with_threads<T, R, S, F, I>(items: &[T], threads: usize, init: I, f: F) -> Vec<R>
 where
     T: Sync,
@@ -61,47 +83,7 @@ where
     F: Fn(&mut S, usize, &T) -> R + Sync,
     I: Fn() -> S + Sync,
 {
-    let n = items.len();
-    let threads = threads.min(n);
-    if threads <= 1 || n < 2 {
-        let mut scratch = init();
-        return items
-            .iter()
-            .enumerate()
-            .map(|(i, t)| f(&mut scratch, i, t))
-            .collect();
-    }
-    let cursor = AtomicUsize::new(0);
-    let mut out: Vec<Option<R>> = Vec::with_capacity(n);
-    out.resize_with(n, || None);
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(threads);
-        for _ in 0..threads {
-            let cursor = &cursor;
-            let f = &f;
-            let init = &init;
-            handles.push(scope.spawn(move || {
-                let mut scratch = init();
-                let mut local: Vec<(usize, R)> = Vec::new();
-                loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    local.push((i, f(&mut scratch, i, &items[i])));
-                }
-                local
-            }));
-        }
-        for handle in handles {
-            for (i, r) in handle.join().expect("par_map worker panicked") {
-                out[i] = Some(r);
-            }
-        }
-    });
-    out.into_iter()
-        .map(|r| r.expect("every index produced"))
-        .collect()
+    global_pool().par_map_with_threads(items, threads, init, f)
 }
 
 #[cfg(test)]

@@ -1,0 +1,352 @@
+//! `gced` — dataset-level experiment runner CLI.
+//!
+//! Subcommands:
+//!
+//! * `run <experiment>` — run an experiment, optionally split into
+//!   `--shards N` worker **processes** (the driver re-invokes this
+//!   binary with `shard` per shard, then merges) or `--in-process`
+//!   shard threads on the persistent `gced-par` pool. Merged output is
+//!   bit-identical for any shard count.
+//! * `shard <experiment> --shard-index I --of N` — run one shard and
+//!   write its JSON output (what the driver spawns).
+//! * `merge <shard.json>…` — merge shard outputs produced by `shard`.
+//! * `bench-check` — the CI bench-regression gate: compare fresh
+//!   criterion medians against the committed `BENCH_pipeline.json`.
+//!
+//! Scale and seed resolve like the bench targets (`GCED_SCALE`,
+//! `GCED_SEED`), overridable with `--scale` / `--seed`.
+
+use gced_bench::gate;
+use gced_datasets::{DatasetKind, ShardSpec};
+use gced_eval::shard::{merge, run_shard, run_sharded_in_process, ShardOutput};
+use gced_eval::Scale;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+gced — sharded experiment runner for the Grow-and-Clip reproduction
+
+USAGE:
+  gced run <experiment> [--kind K] [--shards N] [--in-process]
+           [--scale smoke|default|full] [--seed S] [--out PATH]
+  gced shard <experiment> --shard-index I --of N [--kind K]
+           [--scale smoke|default|full] [--seed S] --out PATH
+  gced merge [--out PATH] <shard.json>...
+  gced bench-check --baseline PATH --results DIR
+           [--tolerance F] [--summary PATH]
+
+EXPERIMENTS:
+  table3      dataset statistics (Table III); items = dataset kinds
+  reduction   ground-truth evidence distillation over the dev split;
+              items = dev examples
+
+KINDS: squad11 (default), squad20, trivia-web, trivia-wiki
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("shard") => cmd_shard(&args[1..]),
+        Some("merge") => cmd_merge(&args[1..]),
+        Some("bench-check") => cmd_bench_check(&args[1..]),
+        Some("--help" | "-h" | "help") | None => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Some(other) => Err(format!("unknown subcommand {other:?}\n\n{USAGE}")),
+    };
+    match result {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("gced: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Argument parsing helpers
+// ---------------------------------------------------------------------------
+
+/// Split `args` into positionals and `--flag value` pairs.
+struct Parsed {
+    positional: Vec<String>,
+    flags: Vec<(String, String)>,
+    switches: Vec<String>,
+}
+
+/// Flags that take no value.
+const SWITCHES: &[&str] = &["--in-process"];
+
+fn parse_args(args: &[String]) -> Result<Parsed, String> {
+    let mut parsed = Parsed {
+        positional: Vec::new(),
+        flags: Vec::new(),
+        switches: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            if SWITCHES.contains(&a.as_str()) {
+                parsed.switches.push(name.to_string());
+            } else {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("flag --{name} needs a value"))?;
+                parsed.flags.push((name.to_string(), value.clone()));
+            }
+        } else {
+            parsed.positional.push(a.clone());
+        }
+    }
+    Ok(parsed)
+}
+
+impl Parsed {
+    fn flag(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .rev()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn switch(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+
+    fn usize_flag(&self, name: &str, default: usize) -> Result<usize, String> {
+        match self.flag(name) {
+            Some(v) => v.parse().map_err(|_| format!("--{name}: bad number {v:?}")),
+            None => Ok(default),
+        }
+    }
+
+    fn scale(&self) -> Result<(Scale, String), String> {
+        if let Some(tag) = self.flag("scale") {
+            let scale = match tag {
+                "smoke" => Scale::smoke(),
+                "full" => Scale::full(),
+                "default" => Scale::default_bench(),
+                other => return Err(format!("--scale: unknown scale {other:?}")),
+            };
+            return Ok((scale, tag.to_string()));
+        }
+        // Like the bench targets, unknown GCED_SCALE values fall back to
+        // the default scale instead of erroring.
+        let (scale, tag) = match std::env::var("GCED_SCALE").as_deref() {
+            Ok("smoke") => (Scale::smoke(), "smoke"),
+            Ok("full") => (Scale::full(), "full"),
+            _ => (Scale::default_bench(), "default"),
+        };
+        Ok((scale, tag.to_string()))
+    }
+
+    fn seed(&self) -> Result<u64, String> {
+        match self.flag("seed") {
+            Some(v) => v.parse().map_err(|_| format!("--seed: bad number {v:?}")),
+            None => Ok(Scale::seed_from_env()),
+        }
+    }
+
+    fn kind(&self) -> Result<DatasetKind, String> {
+        let flag = self.flag("kind").unwrap_or("squad11");
+        DatasetKind::from_cli_flag(flag)
+            .ok_or_else(|| format!("--kind: unknown dataset kind {flag:?}"))
+    }
+}
+
+fn write_or_print(out: Option<&str>, text: &str) -> Result<(), String> {
+    match out {
+        Some(path) => std::fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}")),
+        None => {
+            print!("{text}");
+            Ok(())
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// run
+// ---------------------------------------------------------------------------
+
+fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
+    let p = parse_args(args)?;
+    let experiment = p
+        .positional
+        .first()
+        .ok_or_else(|| format!("run: missing experiment name\n\n{USAGE}"))?
+        .clone();
+    let (scale, scale_flag) = p.scale()?;
+    let seed = p.seed()?;
+    let kind = p.kind()?;
+    let shards = p.usize_flag("shards", 1)?.max(1);
+
+    let merged = if shards == 1 {
+        let output = run_shard(&experiment, kind, scale, seed, ShardSpec::single())
+            .map_err(|e| e.to_string())?;
+        merge(&[output]).map_err(|e| e.to_string())?
+    } else if p.switch("in-process") {
+        run_sharded_in_process(&experiment, kind, scale, seed, shards).map_err(|e| e.to_string())?
+    } else {
+        run_sharded_processes(&experiment, kind, scale_flag.as_str(), seed, shards)?
+    };
+    write_or_print(p.flag("out"), &merged.render())?;
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Spawn one `gced shard` child process per shard (all concurrently),
+/// collect their JSON outputs, and merge. Shard files land in a
+/// per-invocation temp dir that is removed on success.
+fn run_sharded_processes(
+    experiment: &str,
+    kind: DatasetKind,
+    scale_flag: &str,
+    seed: u64,
+    shards: usize,
+) -> Result<gced_eval::MergedRun, String> {
+    let exe = std::env::current_exe().map_err(|e| format!("cannot locate gced binary: {e}"))?;
+    let dir = std::env::temp_dir().join(format!("gced-shards-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    let result = drive_shards(&exe, &dir, experiment, kind, scale_flag, seed, shards);
+    // Shard files are per-invocation scratch: remove them on failure
+    // too, or failed runs would accumulate under the system temp dir.
+    let _ = std::fs::remove_dir_all(&dir);
+    result
+}
+
+fn drive_shards(
+    exe: &Path,
+    dir: &Path,
+    experiment: &str,
+    kind: DatasetKind,
+    scale_flag: &str,
+    seed: u64,
+    shards: usize,
+) -> Result<gced_eval::MergedRun, String> {
+    let shard_path = |i: usize| dir.join(format!("{experiment}-shard-{i}-of-{shards}.json"));
+    let mut children = Vec::with_capacity(shards);
+    for i in 0..shards {
+        let child = std::process::Command::new(exe)
+            .arg("shard")
+            .arg(experiment)
+            .args(["--shard-index", &i.to_string()])
+            .args(["--of", &shards.to_string()])
+            .args(["--kind", kind.cli_flag()])
+            .args(["--scale", scale_flag])
+            .args(["--seed", &seed.to_string()])
+            .arg("--out")
+            .arg(shard_path(i))
+            .spawn()
+            .map_err(|e| format!("cannot spawn shard {i}: {e}"))?;
+        children.push((i, child));
+    }
+    let mut failures = Vec::new();
+    for (i, mut child) in children {
+        let status = child
+            .wait()
+            .map_err(|e| format!("shard {i} did not finish: {e}"))?;
+        if !status.success() {
+            failures.push(format!("shard {i} exited with {status}"));
+        }
+    }
+    if !failures.is_empty() {
+        return Err(failures.join("; "));
+    }
+    let outputs = (0..shards)
+        .map(|i| read_shard_file(&shard_path(i)))
+        .collect::<Result<Vec<_>, _>>()?;
+    merge(&outputs).map_err(|e| e.to_string())
+}
+
+fn read_shard_file(path: &Path) -> Result<ShardOutput, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read shard output {}: {e}", path.display()))?;
+    ShardOutput::from_json(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+// ---------------------------------------------------------------------------
+// shard
+// ---------------------------------------------------------------------------
+
+fn cmd_shard(args: &[String]) -> Result<ExitCode, String> {
+    let p = parse_args(args)?;
+    let experiment = p
+        .positional
+        .first()
+        .ok_or_else(|| format!("shard: missing experiment name\n\n{USAGE}"))?;
+    let index = p
+        .flag("shard-index")
+        .ok_or("shard: --shard-index is required")?
+        .parse::<usize>()
+        .map_err(|_| "shard: --shard-index: bad number".to_string())?;
+    let of = p
+        .flag("of")
+        .ok_or("shard: --of is required")?
+        .parse::<usize>()
+        .map_err(|_| "shard: --of: bad number".to_string())?;
+    let spec = ShardSpec::new(index, of)?;
+    let (scale, _) = p.scale()?;
+    let output =
+        run_shard(experiment, p.kind()?, scale, p.seed()?, spec).map_err(|e| e.to_string())?;
+    write_or_print(p.flag("out"), &output.to_json())?;
+    Ok(ExitCode::SUCCESS)
+}
+
+// ---------------------------------------------------------------------------
+// merge
+// ---------------------------------------------------------------------------
+
+fn cmd_merge(args: &[String]) -> Result<ExitCode, String> {
+    let p = parse_args(args)?;
+    if p.positional.is_empty() {
+        return Err(format!("merge: no shard files given\n\n{USAGE}"));
+    }
+    let outputs = p
+        .positional
+        .iter()
+        .map(|f| read_shard_file(Path::new(f)))
+        .collect::<Result<Vec<_>, _>>()?;
+    let merged = merge(&outputs).map_err(|e| e.to_string())?;
+    write_or_print(p.flag("out"), &merged.render())?;
+    Ok(ExitCode::SUCCESS)
+}
+
+// ---------------------------------------------------------------------------
+// bench-check
+// ---------------------------------------------------------------------------
+
+fn cmd_bench_check(args: &[String]) -> Result<ExitCode, String> {
+    let p = parse_args(args)?;
+    let baseline_path = p.flag("baseline").unwrap_or("BENCH_pipeline.json");
+    let results_dir = PathBuf::from(p.flag("results").unwrap_or("target/gced-criterion"));
+    let tolerance = match p.flag("tolerance") {
+        Some(v) => v
+            .parse::<f64>()
+            .map_err(|_| format!("--tolerance: bad number {v:?}"))?,
+        None => 0.35,
+    };
+    let baseline_text = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("cannot read baseline {baseline_path}: {e}"))?;
+    let baseline = gate::parse_baseline(&baseline_text)?;
+    let fresh = gate::load_results(&results_dir)?;
+    let report = gate::compare(&baseline, &fresh, tolerance);
+    let markdown = report.markdown();
+    print!("{markdown}");
+    if let Some(summary) = p.flag("summary") {
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(summary)
+            .map_err(|e| format!("cannot open summary {summary}: {e}"))?;
+        f.write_all(markdown.as_bytes())
+            .map_err(|e| format!("cannot write summary {summary}: {e}"))?;
+    }
+    Ok(if report.passed() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}

@@ -1,0 +1,133 @@
+//! Shard-parity acceptance tests: a sharded dataset run merged back
+//! together must be **bit-identical** to the single-process run — same
+//! rows, same metrics, same rendered bytes — for any shard count and
+//! any shard completion order.
+
+use gced_datasets::{DatasetKind, ShardSpec};
+use gced_eval::experiments::ExperimentContext;
+use gced_eval::shard::{merge, run_shard, run_sharded_in_process, ShardOutput};
+use gced_eval::Scale;
+
+/// The acceptance criterion: a 3-shard `table3` run at smoke scale
+/// merges into output byte-identical to the single-process run (the CI
+/// shard-parity step checks the same property through the CLI).
+#[test]
+fn table3_three_shards_merge_bit_identical() {
+    let scale = Scale::smoke();
+    let single = merge(&[run_shard(
+        "table3",
+        DatasetKind::Squad11,
+        scale,
+        42,
+        ShardSpec::single(),
+    )
+    .unwrap()])
+    .unwrap();
+    let mut outputs: Vec<ShardOutput> = ShardSpec::all(3)
+        .into_iter()
+        .map(|s| run_shard("table3", DatasetKind::Squad11, scale, 42, s).unwrap())
+        .collect();
+    // Completion order must not matter: merge them backwards…
+    outputs.reverse();
+    let merged = merge(&outputs).unwrap();
+    assert_eq!(single, merged);
+    assert_eq!(single.render(), merged.render());
+    // …and through the JSON wire format shards actually travel as.
+    let rewired: Vec<ShardOutput> = outputs
+        .iter()
+        .map(|o| ShardOutput::from_json(&o.to_json()).unwrap())
+        .collect();
+    assert_eq!(merge(&rewired).unwrap().render(), single.render());
+}
+
+#[test]
+fn reduction_sharding_is_bit_identical_through_real_distillation() {
+    let scale = Scale::smoke();
+    let single = merge(&[run_shard(
+        "reduction",
+        DatasetKind::Squad11,
+        scale,
+        42,
+        ShardSpec::single(),
+    )
+    .unwrap()])
+    .unwrap();
+    let in_process =
+        run_sharded_in_process("reduction", DatasetKind::Squad11, scale, 42, 3).unwrap();
+    assert_eq!(single.render(), in_process.render());
+    assert_eq!(single.rows, in_process.rows);
+    assert!(!single.rows.is_empty(), "reduction produced no rows");
+}
+
+/// `ExperimentContext::prepare_shard` caches must union to the full
+/// `prepare` caches: identical entries inside each shard's range, `None`
+/// outside it.
+#[test]
+fn prepare_shard_caches_union_to_full_prepare() {
+    let scale = Scale::smoke();
+    let full = ExperimentContext::prepare(DatasetKind::Squad11, scale, 42);
+    let shards: Vec<ExperimentContext> = ShardSpec::all(2)
+        .into_iter()
+        .map(|s| ExperimentContext::prepare_shard(DatasetKind::Squad11, scale, 42, s))
+        .collect();
+    for (spec, ctx) in ShardSpec::all(2).into_iter().zip(&shards) {
+        assert_eq!(ctx.dataset, full.dataset, "shared artifacts must match");
+        let dev_range = spec.range(full.dataset.dev.len());
+        for (i, (sharded, reference)) in ctx.gt_dev.iter().zip(&full.gt_dev).enumerate() {
+            if dev_range.contains(&i) {
+                assert_eq!(
+                    sharded.as_ref().map(|d| &d.evidence),
+                    reference.as_ref().map(|d| &d.evidence),
+                    "dev example {i} diverged in {spec}"
+                );
+                assert_eq!(
+                    sharded.as_ref().map(|d| d.word_reduction.to_bits()),
+                    reference.as_ref().map(|d| d.word_reduction.to_bits()),
+                    "dev example {i} reduction diverged in {spec}"
+                );
+            } else {
+                assert!(sharded.is_none(), "dev example {i} outside {spec} not None");
+            }
+        }
+        let train_range = spec.range(full.dataset.train.len());
+        let in_range = ctx
+            .gt_train
+            .iter()
+            .enumerate()
+            .filter(|(i, d)| !train_range.contains(i) && d.is_some())
+            .count();
+        assert_eq!(in_range, 0, "train cache leaked outside {spec}");
+    }
+    // Every full-cache entry is covered by exactly the owning shard.
+    for i in 0..full.dataset.dev.len() {
+        let owner = ShardSpec::all(2)
+            .into_iter()
+            .position(|s| s.owns(i, full.dataset.dev.len()))
+            .unwrap();
+        assert_eq!(
+            shards[owner].gt_dev[i].as_ref().map(|d| &d.evidence),
+            full.gt_dev[i].as_ref().map(|d| &d.evidence)
+        );
+    }
+}
+
+/// Different seeds or scales must be rejected at merge time rather than
+/// silently producing a franken-run.
+#[test]
+fn merge_rejects_shards_from_different_runs() {
+    let scale = Scale::smoke();
+    let mut outputs: Vec<ShardOutput> = ShardSpec::all(2)
+        .into_iter()
+        .map(|s| run_shard("table3", DatasetKind::Squad11, scale, 42, s).unwrap())
+        .collect();
+    outputs[1] = run_shard(
+        "table3",
+        DatasetKind::Squad11,
+        scale,
+        7,
+        ShardSpec::new(1, 2).unwrap(),
+    )
+    .unwrap();
+    let err = merge(&outputs).unwrap_err();
+    assert!(err.to_string().contains("seed"), "{err}");
+}

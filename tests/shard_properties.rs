@@ -1,0 +1,112 @@
+//! Property tests for shard planning and merging: for *any* item count,
+//! shard count, and completion order, the merged run is identical to
+//! the single-shard run, and per-shard seeds are stable.
+
+use gced_datasets::shard::{plan, shard_seed, ShardSpec};
+use gced_datasets::DatasetKind;
+use gced_eval::shard::{merge, ShardMetric, ShardOutput, ShardRow};
+use proptest::prelude::*;
+
+/// A deterministic synthetic experiment: item `i`'s row and metric are
+/// pure functions of `(seed, i)`, mirroring how the real experiments
+/// derive every item from shared seeded artifacts.
+fn synthetic_shard(seed: u64, n_items: usize, spec: ShardSpec) -> ShardOutput {
+    let mut rows = Vec::new();
+    let mut metrics = Vec::new();
+    for item in spec.range(n_items) {
+        // Sparse rows: roughly one in five items yields no row, like
+        // unanswerable examples in the reduction experiment.
+        if (seed ^ item as u64).is_multiple_of(5) {
+            continue;
+        }
+        rows.push(ShardRow {
+            item,
+            cells: vec![
+                format!("item-{item:04}"),
+                (shard_seed(seed, item as u64) % 1000).to_string(),
+            ],
+        });
+        metrics.push(ShardMetric {
+            item,
+            name: "score".to_string(),
+            value: (shard_seed(seed, item as u64) % 10_000) as f64 / 10_000.0,
+        });
+    }
+    ShardOutput {
+        experiment: "synthetic".to_string(),
+        kind: DatasetKind::Squad11,
+        seed,
+        scale_tag: "prop".to_string(),
+        shard: spec,
+        n_items,
+        header: vec!["Item".to_string(), "Value".to_string()],
+        rows,
+        metrics,
+    }
+}
+
+proptest! {
+    /// Any shard count and any completion order merges into exactly the
+    /// single-shard run — rows, metrics, and rendered bytes.
+    #[test]
+    fn any_shard_count_and_order_merges_identically(
+        seed in 0u64..1_000_000,
+        n_items in 0usize..120,
+        of in 1usize..10,
+        rotate in 0usize..10,
+    ) {
+        let single = merge(&[synthetic_shard(seed, n_items, ShardSpec::single())])
+            .expect("single-shard merge");
+        let mut outputs: Vec<ShardOutput> = ShardSpec::all(of)
+            .into_iter()
+            .map(|s| synthetic_shard(seed, n_items, s))
+            .collect();
+        // Simulate arbitrary completion order.
+        let k = rotate % of;
+        outputs.rotate_left(k);
+        if k % 2 == 1 {
+            outputs.reverse();
+        }
+        let merged = merge(&outputs).expect("sharded merge");
+        prop_assert_eq!(&merged.rows, &single.rows);
+        prop_assert_eq!(&merged.metrics, &single.metrics);
+        prop_assert_eq!(merged.render(), single.render());
+    }
+
+    /// The JSON wire format is lossless for any shard shape.
+    #[test]
+    fn shard_output_json_roundtrips(
+        seed in 0u64..1_000_000,
+        n_items in 0usize..80,
+        of in 1usize..6,
+        index in 0usize..6,
+    ) {
+        prop_assume!(index < of);
+        let out = synthetic_shard(seed, n_items, ShardSpec::new(index, of).unwrap());
+        let back = ShardOutput::from_json(&out.to_json()).expect("roundtrip");
+        prop_assert_eq!(out, back);
+    }
+
+    /// Shard ranges always partition the item space exactly.
+    #[test]
+    fn plans_partition_for_any_shape(n_items in 0usize..5_000, of in 1usize..64) {
+        let ranges = plan(n_items, of);
+        prop_assert_eq!(ranges.len(), of);
+        let mut next = 0usize;
+        for r in &ranges {
+            prop_assert_eq!(r.start, next);
+            prop_assert!(r.end >= r.start);
+            next = r.end;
+        }
+        prop_assert_eq!(next, n_items);
+    }
+
+    /// Per-shard seeds are pure: stable across calls, spread across
+    /// indices, and distinct from the base seed stream.
+    #[test]
+    fn shard_seeds_are_stable(base in 0u64..u64::MAX / 2, index in 0u64..4096) {
+        prop_assert_eq!(shard_seed(base, index), shard_seed(base, index));
+        prop_assert_ne!(shard_seed(base, index), shard_seed(base, index + 1));
+        prop_assert_ne!(shard_seed(base, index), shard_seed(base.wrapping_add(1), index));
+    }
+}
