@@ -18,7 +18,8 @@ fn main() {
         "fig7_degradation",
         "EM/F1 degradation vs predicted-answer substitution rate (Fig. 7)",
     );
-    let deltas = [0.0, 0.2, 0.5, 0.8, 1.0];
+    // The same δ grid the sharded `degradation` experiment runs on.
+    let deltas = experiments::DEGRADATION_DELTAS;
     for kind in DatasetKind::all() {
         println!("\n--- {} ---", kind.name());
         let ctx = ExperimentContext::prepare(kind, scale, seed);

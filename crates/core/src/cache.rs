@@ -1,0 +1,428 @@
+//! Bit-exact fit-cache codec: serialize the expensive fitted substrates
+//! of a [`Gced`] — the trained QA model, the trigram LM, and the fitted
+//! embedding table — so co-located shard workers of one experiment run
+//! load the artifact instead of re-fitting identical state.
+//!
+//! The cheap substrates (embedded lexicon, embedded parser, seeded
+//! attention) are *not* serialized: [`Gced::assemble`] rebuilds them
+//! from the config exactly as [`Gced::fit`] does, so a decoded pipeline
+//! distills **bitwise-identically** to a freshly fitted one. That is
+//! what lets the sharded experiment runner mix cached and fresh fits
+//! while keeping merges byte-identical.
+//!
+//! The format is a versioned little-endian binary with all floats
+//! stored as raw IEEE-754 bits (no text round-trip) and every map
+//! emitted in sorted order, so encoding the same fit always produces
+//! the same bytes — concurrent writers racing on one cache path can
+//! only ever replace the file with identical content.
+
+use crate::{Gced, GcedConfig};
+use gced_lm::{LmParts, TrigramLm};
+use gced_nn::EmbeddingTable;
+use gced_qa::features::N_FEATURES;
+use gced_qa::{ModelProfile, QaModel};
+use gced_text::vocab::WordId;
+
+/// Artifact magic + format version (bump on layout changes).
+const MAGIC: &[u8; 8] = b"GCEDFIT\x01";
+
+/// Serialize the fitted substrates of `gced` under a caller-chosen
+/// fingerprint (experiment identity: dataset kind, scale, seed). The
+/// fingerprint is verified by [`decode`] so a stale or foreign artifact
+/// fails loudly instead of silently skewing a run.
+pub fn encode(gced: &Gced, fingerprint: &str) -> Vec<u8> {
+    let mut w = Writer(Vec::with_capacity(1 << 20));
+    w.0.extend_from_slice(MAGIC);
+    w.str(fingerprint);
+    w.u64(gced.config.seed);
+    w.f64(gced.ppl_ref);
+    encode_qa(&mut w, &gced.qa);
+    encode_lm(&mut w, &gced.lm);
+    encode_embeddings(&mut w, &gced.embeddings);
+    w.0
+}
+
+/// Rebuild a pipeline from [`encode`] output. `fingerprint` and
+/// `config` must match the encoding run (`config.seed` is checked
+/// against the stored seed; the rest of the config is per-call state
+/// that never enters the fit).
+pub fn decode(bytes: &[u8], fingerprint: &str, config: GcedConfig) -> Result<Gced, String> {
+    let mut r = Reader { buf: bytes, pos: 0 };
+    let magic = r.take(MAGIC.len())?;
+    if magic != MAGIC {
+        return Err("not a gced fit-cache artifact (bad magic)".to_string());
+    }
+    let stored = r.str()?;
+    if stored != fingerprint {
+        return Err(format!(
+            "fit-cache fingerprint mismatch: artifact is {stored:?}, run needs {fingerprint:?}"
+        ));
+    }
+    let seed = r.u64()?;
+    if seed != config.seed {
+        return Err(format!(
+            "fit-cache seed mismatch: artifact fitted with seed {seed}, config has {}",
+            config.seed
+        ));
+    }
+    let ppl_ref = r.f64()?;
+    let qa = decode_qa(&mut r)?;
+    let lm = decode_lm(&mut r)?;
+    let embeddings = decode_embeddings(&mut r)?;
+    if r.pos != bytes.len() {
+        return Err(format!(
+            "fit-cache artifact has {} trailing byte(s)",
+            bytes.len() - r.pos
+        ));
+    }
+    Ok(Gced::assemble(config, qa, lm, embeddings, ppl_ref))
+}
+
+// ---------------------------------------------------------------------------
+// Substrate sections
+// ---------------------------------------------------------------------------
+
+fn encode_qa(w: &mut Writer, qa: &QaModel) {
+    let p = qa.profile();
+    w.str(&p.name);
+    w.f64(p.noise);
+    w.u64(p.window as u64);
+    w.f64(p.no_answer_threshold);
+    w.u64(p.seed);
+    w.u64(p.epochs as u64);
+    w.u64(N_FEATURES as u64);
+    for &x in qa.weights() {
+        w.f64(x);
+    }
+    let idf = qa.idf_parts();
+    w.u64(idf.len() as u64);
+    for (word, x) in &idf {
+        w.str(word);
+        w.f64(*x);
+    }
+    match qa.learned_threshold() {
+        Some(t) => {
+            w.0.push(1);
+            w.f64(t);
+        }
+        None => w.0.push(0),
+    }
+    w.0.push(qa.is_trained() as u8);
+}
+
+fn decode_qa(r: &mut Reader) -> Result<QaModel, String> {
+    let profile = ModelProfile {
+        name: r.str()?,
+        noise: r.f64()?,
+        window: r.u64()? as usize,
+        no_answer_threshold: r.f64()?,
+        seed: r.u64()?,
+        epochs: r.u64()? as usize,
+    };
+    let n = r.u64()? as usize;
+    if n != N_FEATURES {
+        return Err(format!(
+            "fit-cache QA weight count {n} does not match this build's {N_FEATURES}"
+        ));
+    }
+    let mut weights = [0.0f64; N_FEATURES];
+    for x in &mut weights {
+        *x = r.f64()?;
+    }
+    let n_idf = r.u64()? as usize;
+    let mut idf = Vec::with_capacity(n_idf);
+    for _ in 0..n_idf {
+        let word = r.str()?;
+        let x = r.f64()?;
+        idf.push((word, x));
+    }
+    let learned_threshold = match r.u8()? {
+        0 => None,
+        1 => Some(r.f64()?),
+        t => return Err(format!("bad threshold tag {t}")),
+    };
+    let trained = r.u8()? != 0;
+    Ok(QaModel::from_parts(
+        profile,
+        weights,
+        idf,
+        learned_threshold,
+        trained,
+    ))
+}
+
+fn encode_lm(w: &mut Writer, lm: &TrigramLm) {
+    let parts = lm.to_parts();
+    w.u64(parts.words.len() as u64);
+    for (word, count) in &parts.words {
+        w.str(word);
+        w.u64(*count);
+    }
+    let key3 = |w: &mut Writer, k: &(WordId, WordId, WordId)| {
+        w.u32(k.0 .0);
+        w.u32(k.1 .0);
+        w.u32(k.2 .0);
+    };
+    let key2 = |w: &mut Writer, k: &(WordId, WordId)| {
+        w.u32(k.0 .0);
+        w.u32(k.1 .0);
+    };
+    let key1 = |w: &mut Writer, k: &WordId| w.u32(k.0);
+    fn table<K>(w: &mut Writer, entries: &[(K, u64)], key: impl Fn(&mut Writer, &K)) {
+        w.u64(entries.len() as u64);
+        for (k, c) in entries {
+            key(w, k);
+            w.u64(*c);
+        }
+    }
+    table(w, &parts.c3, key3);
+    table(w, &parts.c2, key2);
+    table(w, &parts.follow2, key2);
+    table(w, &parts.cont2, key2);
+    table(w, &parts.mid1, key1);
+    table(w, &parts.follow1, key1);
+    table(w, &parts.cont1, key1);
+    w.u64(parts.bigram_types);
+}
+
+fn decode_lm(r: &mut Reader) -> Result<TrigramLm, String> {
+    let n_words = r.u64()? as usize;
+    let mut words = Vec::with_capacity(n_words);
+    for _ in 0..n_words {
+        let word = r.str()?;
+        let count = r.u64()?;
+        words.push((word, count));
+    }
+    let key3 = |r: &mut Reader| -> Result<(WordId, WordId, WordId), String> {
+        Ok((WordId(r.u32()?), WordId(r.u32()?), WordId(r.u32()?)))
+    };
+    let key2 = |r: &mut Reader| -> Result<(WordId, WordId), String> {
+        Ok((WordId(r.u32()?), WordId(r.u32()?)))
+    };
+    let key1 = |r: &mut Reader| -> Result<WordId, String> { Ok(WordId(r.u32()?)) };
+    fn table<K>(
+        r: &mut Reader,
+        key: impl Fn(&mut Reader) -> Result<K, String>,
+    ) -> Result<Vec<(K, u64)>, String> {
+        let n = r.u64()? as usize;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let k = key(r)?;
+            let c = r.u64()?;
+            out.push((k, c));
+        }
+        Ok(out)
+    }
+    let c3 = table(r, key3)?;
+    let c2 = table(r, key2)?;
+    let follow2 = table(r, key2)?;
+    let cont2 = table(r, key2)?;
+    let mid1 = table(r, key1)?;
+    let follow1 = table(r, key1)?;
+    let cont1 = table(r, key1)?;
+    let bigram_types = r.u64()?;
+    Ok(TrigramLm::from_parts(LmParts {
+        words,
+        c3,
+        c2,
+        follow2,
+        cont2,
+        mid1,
+        follow1,
+        cont1,
+        bigram_types,
+    }))
+}
+
+fn encode_embeddings(w: &mut Writer, emb: &EmbeddingTable) {
+    w.u64(emb.dim() as u64);
+    w.u64(emb.seed());
+    let parts = emb.to_parts();
+    w.u64(parts.len() as u64);
+    for (word, vec) in &parts {
+        w.str(word);
+        w.u64(vec.len() as u64);
+        for &x in vec {
+            w.u32(x.to_bits());
+        }
+    }
+}
+
+fn decode_embeddings(r: &mut Reader) -> Result<EmbeddingTable, String> {
+    let dim = r.u64()? as usize;
+    let seed = r.u64()?;
+    let n = r.u64()? as usize;
+    let mut refined = Vec::with_capacity(n);
+    for _ in 0..n {
+        let word = r.str()?;
+        let len = r.u64()? as usize;
+        let mut vec = Vec::with_capacity(len);
+        for _ in 0..len {
+            vec.push(f32::from_bits(r.u32()?));
+        }
+        refined.push((word, vec));
+    }
+    if dim == 0 {
+        return Err("fit-cache embedding dim is zero".to_string());
+    }
+    Ok(EmbeddingTable::from_parts(dim, seed, refined))
+}
+
+// ---------------------------------------------------------------------------
+// Little-endian primitives
+// ---------------------------------------------------------------------------
+
+struct Writer(Vec<u8>);
+
+impl Writer {
+    fn u32(&mut self, x: u32) {
+        self.0.extend_from_slice(&x.to_le_bytes());
+    }
+
+    fn u64(&mut self, x: u64) {
+        self.0.extend_from_slice(&x.to_le_bytes());
+    }
+
+    fn f64(&mut self, x: f64) {
+        self.u64(x.to_bits());
+    }
+
+    fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        self.0.extend_from_slice(s.as_bytes());
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        // `n` comes straight from an untrusted length field: compare
+        // against the remainder instead of computing `pos + n`, which
+        // could overflow on garbage input.
+        if n > self.buf.len() - self.pos {
+            return Err(format!(
+                "truncated fit-cache artifact (need {n} byte(s) at offset {}, have {})",
+                self.pos,
+                self.buf.len() - self.pos
+            ));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn f64(&mut self) -> Result<f64, String> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn str(&mut self) -> Result<String, String> {
+        let n = self.u64()? as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| "non-UTF-8 string in artifact".to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gced_datasets::{generate, DatasetKind, GeneratorConfig};
+
+    fn fitted() -> (Gced, gced_datasets::Dataset) {
+        let ds = generate(
+            DatasetKind::Squad11,
+            GeneratorConfig {
+                train: 60,
+                dev: 12,
+                seed: 11,
+            },
+        );
+        let cfg = GcedConfig {
+            seed: 11,
+            ..GcedConfig::default()
+        };
+        let g = Gced::fit(&ds, cfg);
+        (g, ds)
+    }
+
+    #[test]
+    fn roundtrip_distills_bitwise_identically() {
+        let (g, ds) = fitted();
+        let bytes = encode(&g, "test-fp");
+        let back = decode(&bytes, "test-fp", g.config().clone()).unwrap();
+        for ex in ds.dev.examples.iter().filter(|e| e.answerable).take(6) {
+            let a = g.distill(&ex.question, &ex.answer, &ex.context).unwrap();
+            let b = back.distill(&ex.question, &ex.answer, &ex.context).unwrap();
+            assert_eq!(a.evidence, b.evidence, "{}", ex.id);
+            assert_eq!(a.scores, b.scores, "{}", ex.id);
+            assert_eq!(
+                a.word_reduction.to_bits(),
+                b.word_reduction.to_bits(),
+                "{}",
+                ex.id
+            );
+        }
+    }
+
+    #[test]
+    fn encoding_is_byte_deterministic() {
+        let (g, _) = fitted();
+        assert_eq!(encode(&g, "fp"), encode(&g, "fp"));
+        // A re-fit of the same dataset/config encodes identically too —
+        // no HashMap iteration order leaks into the artifact.
+        let (g2, _) = fitted();
+        assert_eq!(encode(&g, "fp"), encode(&g2, "fp"));
+    }
+
+    fn decode_err(bytes: &[u8], fp: &str, config: GcedConfig) -> String {
+        match decode(bytes, fp, config) {
+            Ok(_) => panic!("decode unexpectedly succeeded"),
+            Err(e) => e,
+        }
+    }
+
+    #[test]
+    fn decode_rejects_corrupt_and_mismatched_artifacts() {
+        let (g, _) = fitted();
+        let bytes = encode(&g, "fp");
+        let err = decode_err(&bytes, "other-fp", g.config().clone());
+        assert!(err.contains("fingerprint"), "{err}");
+        let mut wrong_seed = g.config().clone();
+        wrong_seed.seed = 999;
+        let err = decode_err(&bytes, "fp", wrong_seed);
+        assert!(err.contains("seed"), "{err}");
+        let err = decode_err(&bytes[..bytes.len() / 2], "fp", g.config().clone());
+        assert!(err.contains("truncated"), "{err}");
+        let err = decode_err(b"not an artifact", "fp", g.config().clone());
+        assert!(err.contains("magic"), "{err}");
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        let err = decode_err(&trailing, "fp", g.config().clone());
+        assert!(err.contains("trailing"), "{err}");
+        // Valid magic followed by a garbage (near-u64::MAX) length field
+        // must error, not overflow/panic.
+        let mut garbage_len = MAGIC.to_vec();
+        garbage_len.extend_from_slice(&[0xFF; 8]);
+        let err = decode_err(&garbage_len, "fp", g.config().clone());
+        assert!(err.contains("truncated"), "{err}");
+    }
+}

@@ -39,6 +39,7 @@
 //! ```
 
 pub mod ase;
+pub mod cache;
 pub mod config;
 pub mod efc;
 pub mod oec;
@@ -119,6 +120,9 @@ impl Default for DistillOpts {
     }
 }
 
+/// Embedding/attention model width (fixed across the pipeline).
+const D_MODEL: usize = 64;
+
 /// The GCED pipeline with all fitted substrates.
 #[derive(Clone)]
 pub struct Gced {
@@ -152,19 +156,33 @@ impl Gced {
         qa.train(train);
         let lm = TrigramLm::train(corpus);
         let ppl_ref = scoring::reference_perplexity(&lm, corpus, 512);
-        let d_model = 64;
+        let mut embeddings = EmbeddingTable::new(D_MODEL, config.seed);
+        // Fit embeddings on a bounded corpus sample (distributional
+        // signal saturates quickly on the synthetic corpora).
+        let sample: Vec<Vec<String>> = corpus.iter().take(1500).cloned().collect();
+        embeddings.fit(&sample, 2, 2, 0.25);
+        Self::assemble(config, qa, lm, embeddings, ppl_ref)
+    }
+
+    /// Assemble a pipeline from its fitted substrates plus the cheap
+    /// seeded/embedded ones (lexicon, parser, attention). Shared by
+    /// [`Gced::fit_with_corpus`] and the fit-cache decoder
+    /// ([`cache`]), so a cached pipeline is built exactly like a fresh
+    /// one.
+    pub(crate) fn assemble(
+        config: GcedConfig,
+        qa: QaModel,
+        lm: TrigramLm,
+        embeddings: EmbeddingTable,
+        ppl_ref: f64,
+    ) -> Self {
         let attn_cfg = AttentionConfig {
-            d_model,
+            d_model: D_MODEL,
             heads: 16,
             d_k: 64,
             seed: config.seed,
             positional_weight: 0.35,
         };
-        let mut embeddings = EmbeddingTable::new(d_model, config.seed);
-        // Fit embeddings on a bounded corpus sample (distributional
-        // signal saturates quickly on the synthetic corpora).
-        let sample: Vec<Vec<String>> = corpus.iter().take(1500).cloned().collect();
-        embeddings.fit(&sample, 2, 2, 0.25);
         Gced {
             config,
             qa,

@@ -29,7 +29,7 @@ pub mod templates;
 
 pub use generator::{generate, GeneratorConfig};
 pub use io::{load_json, save_json};
-pub use shard::ShardSpec;
+pub use shard::{Grid, ShardSpec};
 
 /// Which of the paper's four datasets to emulate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

@@ -85,6 +85,67 @@ impl std::fmt::Display for ShardSpec {
     }
 }
 
+/// A two-dimensional item space for grid-shaped experiments
+/// (model × example, model × substitution-rate, …).
+///
+/// Items are numbered row-major: item `r * cols + c` is cell `(r, c)`.
+/// A [`ShardSpec::range`] over `Grid::len()` therefore covers a
+/// contiguous run of cells, and [`Grid::rows_of`] names the rows a
+/// shard touches — the per-row artifacts (a trained baseline model,
+/// its predicted-answer evidences) it must build exactly once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Grid {
+    /// Number of rows (the expensive axis, e.g. models).
+    pub rows: usize,
+    /// Number of columns per row (the cheap axis, e.g. examples).
+    pub cols: usize,
+}
+
+impl Grid {
+    /// A `rows × cols` grid. Either axis may be zero (an empty grid).
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Grid { rows, cols }
+    }
+
+    /// Total number of cells.
+    pub fn len(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// True when the grid has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `(row, col)` cell of a global item index.
+    pub fn cell(&self, item: usize) -> (usize, usize) {
+        assert!(
+            self.cols > 0 && item < self.len(),
+            "item {item} outside {self:?}"
+        );
+        (item / self.cols, item % self.cols)
+    }
+
+    /// The global item index of a cell.
+    pub fn item(&self, row: usize, col: usize) -> usize {
+        assert!(
+            row < self.rows && col < self.cols,
+            "cell ({row},{col}) outside {self:?}"
+        );
+        row * self.cols + col
+    }
+
+    /// The rows intersected by a contiguous item range (e.g. a shard's
+    /// [`ShardSpec::range`] over `Grid::len()`). Empty ranges give an
+    /// empty row range.
+    pub fn rows_of(&self, range: &Range<usize>) -> Range<usize> {
+        if range.is_empty() || self.cols == 0 {
+            return 0..0;
+        }
+        (range.start / self.cols)..(range.end - 1) / self.cols + 1
+    }
+}
+
 /// The contiguous ranges of every shard of an `of`-way split over
 /// `n_items` items, in shard order.
 pub fn plan(n_items: usize, of: usize) -> Vec<Range<usize>> {
@@ -154,6 +215,48 @@ mod tests {
                 assert_eq!(owners.len(), 1, "item {i} owned by {owners:?}");
             }
         }
+    }
+
+    #[test]
+    fn grid_items_roundtrip_row_major() {
+        let g = Grid::new(3, 5);
+        assert_eq!(g.len(), 15);
+        assert!(!g.is_empty());
+        for item in 0..g.len() {
+            let (r, c) = g.cell(item);
+            assert_eq!(g.item(r, c), item);
+        }
+        assert_eq!(g.cell(0), (0, 0));
+        assert_eq!(g.cell(14), (2, 4));
+        assert!(Grid::new(0, 5).is_empty());
+        assert!(Grid::new(5, 0).is_empty());
+    }
+
+    #[test]
+    fn grid_rows_of_covers_exactly_the_touched_rows() {
+        let g = Grid::new(4, 3);
+        for of in 1..=8 {
+            for spec in ShardSpec::all(of) {
+                let range = spec.range(g.len());
+                let rows = g.rows_of(&range);
+                // Every item's row is inside `rows`, and every row in
+                // `rows` owns at least one item of the range.
+                for item in range.clone() {
+                    assert!(rows.contains(&g.cell(item).0), "{spec} item {item}");
+                }
+                for r in rows.clone() {
+                    assert!(
+                        range.clone().any(|item| g.cell(item).0 == r),
+                        "{spec} row {r} never touched"
+                    );
+                }
+                if range.is_empty() {
+                    assert!(rows.is_empty());
+                }
+            }
+        }
+        assert_eq!(g.rows_of(&(0..0)), 0..0);
+        assert_eq!(Grid::new(0, 0).rows_of(&(0..0)), 0..0);
     }
 
     #[test]

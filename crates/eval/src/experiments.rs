@@ -65,6 +65,23 @@ impl ExperimentContext {
         train_shard: Option<ShardSpec>,
         dev_shard: Option<ShardSpec>,
     ) -> Self {
+        Self::prepare_fitted(kind, scale, seed, None, train_shard, dev_shard)
+    }
+
+    /// [`ExperimentContext::prepare_with`] around an already-fitted
+    /// pipeline (the shared fit cache: shard workers decode one
+    /// serialized fit instead of re-fitting identical state). The
+    /// caller guarantees `gced` was fitted on exactly the dataset that
+    /// `(kind, scale, seed)` generates — the fit-cache fingerprint
+    /// enforces this on the CLI path. `None` fits fresh.
+    pub fn prepare_fitted(
+        kind: DatasetKind,
+        scale: Scale,
+        seed: u64,
+        gced: Option<Gced>,
+        train_shard: Option<ShardSpec>,
+        dev_shard: Option<ShardSpec>,
+    ) -> Self {
         let dataset = generate(
             kind,
             GeneratorConfig {
@@ -73,21 +90,35 @@ impl ExperimentContext {
                 seed,
             },
         );
-        let gced = Gced::fit(
-            &dataset,
-            GcedConfig {
-                seed,
-                ..GcedConfig::default()
-            },
-        );
+        let gced = gced.unwrap_or_else(|| {
+            Gced::fit(
+                &dataset,
+                GcedConfig {
+                    seed,
+                    ..GcedConfig::default()
+                },
+            )
+        });
         let range_of = |shard: Option<ShardSpec>, n: usize| match shard {
             Some(s) => s.range(n),
             None => 0..0,
         };
         let train_range = range_of(train_shard, dataset.train.len());
         let dev_range = range_of(dev_shard, dataset.dev.len());
-        let gt_train = distill_split_range(&gced, &dataset.train.examples, None, train_range);
-        let gt_dev = distill_split_range(&gced, &dataset.dev.examples, None, dev_range);
+        let gt_train = distill_split_range(
+            &gced,
+            "ExperimentContext train gt cache",
+            &dataset.train.examples,
+            None,
+            train_range,
+        );
+        let gt_dev = distill_split_range(
+            &gced,
+            "ExperimentContext dev gt cache",
+            &dataset.dev.examples,
+            None,
+            dev_range,
+        );
         ExperimentContext {
             dataset,
             gced,
@@ -141,19 +172,34 @@ pub fn distill_split(
     examples: &[QaExample],
     answers: Option<&[String]>,
 ) -> Vec<Option<Distillation>> {
-    distill_split_range(gced, examples, answers, 0..examples.len())
+    distill_split_range(gced, "distill_split", examples, answers, 0..examples.len())
 }
 
 /// [`distill_split`] restricted to the examples whose index falls in
 /// `range` (a shard of the split); entries outside it are `None`. The
 /// in-range entries are identical to the full run's, which is what the
-/// shard merge relies on.
+/// shard merge relies on. `experiment` names the caller in the
+/// length-mismatch panic below.
 pub fn distill_split_range(
     gced: &Gced,
+    experiment: &str,
     examples: &[QaExample],
     answers: Option<&[String]>,
     range: std::ops::Range<usize>,
 ) -> Vec<Option<Distillation>> {
+    // A short predicted-answer vector would panic deep in the indexing
+    // loop below with a bare out-of-bounds; validate up front with a
+    // message that names the experiment and both lengths.
+    if let Some(a) = answers {
+        assert_eq!(
+            a.len(),
+            examples.len(),
+            "{experiment}: predicted-answer slice has {} entr{} but the split has {} example(s)",
+            a.len(),
+            if a.len() == 1 { "y" } else { "ies" },
+            examples.len()
+        );
+    }
     let mut jobs: Vec<(&str, &str, &str)> = Vec::new();
     let mut job_of: Vec<Option<usize>> = Vec::with_capacity(examples.len());
     for (i, ex) in examples.iter().enumerate() {
@@ -210,51 +256,61 @@ pub struct HumanEvalRow {
     pub word_reduction: f64,
 }
 
-/// Run the Table IV/V experiment: for each baseline model, distill
-/// evidences from its predicted answers and rate them; the final row
-/// rates ground-truth-answer-based evidences.
-pub fn human_eval(ctx: &ExperimentContext, zoo: &[ZooEntry], scale: Scale) -> Vec<HumanEvalRow> {
-    let protocol = RatingProtocol::paper(ctx.seed);
-    let answerable: Vec<&QaExample> = ctx
-        .dataset
+/// The first `scale.rated` answerable dev examples — the pool every
+/// rating-based experiment draws from.
+pub fn rated_pool(ctx: &ExperimentContext, scale: Scale) -> Vec<&QaExample> {
+    ctx.dataset
         .dev
         .examples
         .iter()
         .filter(|e| e.answerable)
-        .collect();
-    let rated_pool: Vec<&QaExample> = answerable.into_iter().take(scale.rated).collect();
-    let mut rows = Vec::with_capacity(zoo.len() + 1);
+        .take(scale.rated)
+        .collect()
+}
 
-    for entry in zoo {
-        let mut model = QaModel::new(entry.profile.clone());
-        model.train(&ctx.dataset.train.examples);
-        let mut items = Vec::new();
-        let mut reductions = Vec::new();
-        for ex in &rated_pool {
-            let pred = model.predict(&ex.question, &ex.context);
-            if pred.text.trim().is_empty() {
-                continue;
-            }
-            if let Ok(d) = ctx.gced.distill(&ex.question, &pred.text, &ex.context) {
-                items.push(RatedItem::from_distillation(
-                    format!("{}-{}", entry.profile.name, ex.id),
-                    &d,
-                    &pred.text,
-                ));
-                reductions.push(d.word_reduction);
-            }
-        }
-        rows.push(HumanEvalRow {
-            source: entry.profile.name.clone(),
-            outcome: protocol.run(&items),
-            word_reduction: mean(&reductions),
-        });
-    }
-
-    // Ground-truth row: reuse the context's gt evidence cache.
+/// One Table IV/V row for one baseline model: distill evidences from
+/// its predicted answers and rate them. A pure function of the shared
+/// context artifacts, so shard workers computing disjoint model subsets
+/// reproduce the monolithic run exactly.
+pub fn human_eval_model_row(
+    ctx: &ExperimentContext,
+    entry: &ZooEntry,
+    scale: Scale,
+) -> HumanEvalRow {
+    let protocol = RatingProtocol::paper(ctx.seed);
+    let mut model = QaModel::new(entry.profile.clone());
+    model.train(&ctx.dataset.train.examples);
     let mut items = Vec::new();
     let mut reductions = Vec::new();
-    for ex in &rated_pool {
+    for ex in rated_pool(ctx, scale) {
+        let pred = model.predict(&ex.question, &ex.context);
+        if pred.text.trim().is_empty() {
+            continue;
+        }
+        if let Ok(d) = ctx.gced.distill(&ex.question, &pred.text, &ex.context) {
+            items.push(RatedItem::from_distillation(
+                format!("{}-{}", entry.profile.name, ex.id),
+                &d,
+                &pred.text,
+            ));
+            reductions.push(d.word_reduction);
+        }
+    }
+    HumanEvalRow {
+        source: entry.profile.name.clone(),
+        outcome: protocol.run(&items),
+        word_reduction: mean(&reductions),
+    }
+}
+
+/// The final Table IV/V row: rate the ground-truth-answer-based
+/// evidences from the context's dev cache (which must cover the rated
+/// pool, i.e. be prepared unsharded).
+pub fn human_eval_gt_row(ctx: &ExperimentContext, scale: Scale) -> HumanEvalRow {
+    let protocol = RatingProtocol::paper(ctx.seed);
+    let mut items = Vec::new();
+    let mut reductions = Vec::new();
+    for ex in rated_pool(ctx, scale) {
         let idx = ctx
             .dataset
             .dev
@@ -271,11 +327,22 @@ pub fn human_eval(ctx: &ExperimentContext, zoo: &[ZooEntry], scale: Scale) -> Ve
             reductions.push(d.word_reduction);
         }
     }
-    rows.push(HumanEvalRow {
+    HumanEvalRow {
         source: "Ground-truth".to_string(),
         outcome: protocol.run(&items),
         word_reduction: mean(&reductions),
-    });
+    }
+}
+
+/// Run the Table IV/V experiment: for each baseline model, distill
+/// evidences from its predicted answers and rate them; the final row
+/// rates ground-truth-answer-based evidences.
+pub fn human_eval(ctx: &ExperimentContext, zoo: &[ZooEntry], scale: Scale) -> Vec<HumanEvalRow> {
+    let mut rows: Vec<HumanEvalRow> = zoo
+        .iter()
+        .map(|entry| human_eval_model_row(ctx, entry, scale))
+        .collect();
+    rows.push(human_eval_gt_row(ctx, scale));
     rows
 }
 
@@ -290,14 +357,18 @@ pub fn agreement_study(
     scale: Scale,
 ) -> HumanEvalOutcome {
     let protocol = RatingProtocol::paper(ctx.seed);
-    let pool: Vec<&QaExample> = ctx
-        .dataset
-        .dev
-        .examples
-        .iter()
-        .filter(|e| e.answerable)
-        .take(scale.rated)
-        .collect();
+    protocol.run(&agreement_items(ctx, weak_model, scale))
+}
+
+/// The pooled mixed-quality [`RatedItem`] set of the agreement study —
+/// deterministic shared input for both the monolithic
+/// [`agreement_study`] and the per-group sharded runner.
+pub fn agreement_items(
+    ctx: &ExperimentContext,
+    weak_model: &ZooEntry,
+    scale: Scale,
+) -> Vec<RatedItem> {
+    let pool: Vec<&QaExample> = rated_pool(ctx, scale);
     let mut items = Vec::new();
     // Source 1: ground-truth evidences (high quality).
     for ex in &pool {
@@ -393,7 +464,7 @@ pub fn agreement_study(
             });
         }
     }
-    protocol.run(&items)
+    items
 }
 
 // ---------------------------------------------------------------------------
@@ -431,31 +502,53 @@ pub fn variant_of(kind: DatasetKind) -> Variant {
     }
 }
 
+/// The baseline zoo of a dataset kind (Tables IV/VI use the SQuAD zoo,
+/// Tables V/VII the TriviaQA zoo) — the row axis of the sharded
+/// model-grid experiments.
+pub fn zoo_for(kind: DatasetKind) -> Vec<ZooEntry> {
+    if kind.is_trivia() {
+        gced_qa::zoo::trivia_models()
+    } else {
+        gced_qa::zoo::squad_models()
+    }
+}
+
+/// One Table VI/VII row: train/evaluate one zoo model on raw contexts
+/// and on the evidence-replaced splits. `ev_train`/`ev_dev` are the
+/// context-wide evidence splits ([`ExperimentContext::evidence_train`] /
+/// [`ExperimentContext::evidence_dev`]), computed once per caller.
+pub fn qa_augmentation_row(
+    ctx: &ExperimentContext,
+    entry: &ZooEntry,
+    ev_train: &[QaExample],
+    ev_dev: &[QaExample],
+) -> QaRow {
+    let variant = variant_of(ctx.kind());
+    let mut base_model = QaModel::new(entry.profile.clone());
+    base_model.train(&ctx.dataset.train.examples);
+    let base = base_model.evaluate(&ctx.dataset.dev.examples);
+    let mut gced_model = QaModel::new(entry.profile.clone());
+    gced_model.train(ev_train);
+    let gced = gced_model.evaluate(ev_dev);
+    let (paper_base, paper_gced) = match variant {
+        Variant::V1 => (entry.paper_v1, entry.paper_v1_gced),
+        Variant::V2 => (entry.paper_v2, entry.paper_v2_gced),
+    };
+    QaRow {
+        model: entry.profile.name.clone(),
+        base,
+        gced,
+        paper_base,
+        paper_gced,
+    }
+}
+
 /// Run the Table VI/VII experiment for every zoo model.
 pub fn qa_augmentation(ctx: &ExperimentContext, zoo: &[ZooEntry]) -> Vec<QaRow> {
     let ev_train = ctx.evidence_train();
     let ev_dev = ctx.evidence_dev();
-    let variant = variant_of(ctx.kind());
     zoo.iter()
-        .map(|entry| {
-            let mut base_model = QaModel::new(entry.profile.clone());
-            base_model.train(&ctx.dataset.train.examples);
-            let base = base_model.evaluate(&ctx.dataset.dev.examples);
-            let mut gced_model = QaModel::new(entry.profile.clone());
-            gced_model.train(&ev_train);
-            let gced = gced_model.evaluate(&ev_dev);
-            let (paper_base, paper_gced) = match variant {
-                Variant::V1 => (entry.paper_v1, entry.paper_v1_gced),
-                Variant::V2 => (entry.paper_v2, entry.paper_v2_gced),
-            };
-            QaRow {
-                model: entry.profile.name.clone(),
-                base,
-                gced,
-                paper_base,
-                paper_gced,
-            }
-        })
+        .map(|entry| qa_augmentation_row(ctx, entry, &ev_train, &ev_dev))
         .collect()
 }
 
@@ -473,53 +566,68 @@ pub struct AblationRow {
     pub f1: f64,
 }
 
-/// Run the Table VIII ablation: BERT profile, ground-truth evidences,
-/// one row per knocked-out component plus the full system.
-pub fn ablation(ctx: &ExperimentContext, bert: &ZooEntry, scale: Scale) -> Vec<AblationRow> {
-    let protocol = RatingProtocol::paper(ctx.seed);
+/// The Table VIII variant list: one knockout per component, the full
+/// system last (the item space of the sharded `ablation` runner).
+pub fn ablation_variants() -> Vec<(String, Ablation)> {
     let mut variants: Vec<(String, Ablation)> = Ablation::table8_rows()
         .iter()
         .map(|c| (format!("w/o {c}"), Ablation::without(c)))
         .collect();
     variants.push(("BERT+GCED".to_string(), Ablation::full()));
-
     variants
-        .into_iter()
-        .map(|(label, ablation)| {
-            let cfg = GcedConfig {
-                ablation,
-                seed: ctx.seed,
-                ..GcedConfig::default()
-            };
-            let pipeline = ctx.gced.clone().with_config(cfg);
-            let train_ev = distill_split(&pipeline, &ctx.dataset.train.examples, None);
-            let dev_ev = distill_split(&pipeline, &ctx.dataset.dev.examples, None);
-            // Human evaluation over the first `rated` dev evidences.
-            let items: Vec<RatedItem> = ctx
-                .dataset
-                .dev
-                .examples
-                .iter()
-                .zip(&dev_ev)
-                .filter_map(|(ex, d)| {
-                    d.as_ref().map(|d| {
-                        RatedItem::from_distillation(format!("{label}-{}", ex.id), d, &ex.answer)
-                    })
-                })
-                .take(scale.rated)
-                .collect();
-            let outcome = protocol.run(&items);
-            // QA augmentation with this variant's evidences.
-            let mut model = QaModel::new(bert.profile.clone());
-            model.train(&replace_contexts(&ctx.dataset.train.examples, &train_ev));
-            let eval = model.evaluate(&replace_contexts(&ctx.dataset.dev.examples, &dev_ev));
-            AblationRow {
-                label,
-                outcome,
-                em: eval.em,
-                f1: eval.f1,
-            }
+}
+
+/// One Table VIII row: re-distill both splits under one ablation
+/// config, rate the dev evidences, and retrain/evaluate the BERT-like
+/// profile on the evidence-replaced splits.
+pub fn ablation_row(
+    ctx: &ExperimentContext,
+    bert: &ZooEntry,
+    scale: Scale,
+    label: &str,
+    ablation: Ablation,
+) -> AblationRow {
+    let protocol = RatingProtocol::paper(ctx.seed);
+    let cfg = GcedConfig {
+        ablation,
+        seed: ctx.seed,
+        ..GcedConfig::default()
+    };
+    let pipeline = ctx.gced.clone().with_config(cfg);
+    let train_ev = distill_split(&pipeline, &ctx.dataset.train.examples, None);
+    let dev_ev = distill_split(&pipeline, &ctx.dataset.dev.examples, None);
+    // Human evaluation over the first `rated` dev evidences.
+    let items: Vec<RatedItem> = ctx
+        .dataset
+        .dev
+        .examples
+        .iter()
+        .zip(&dev_ev)
+        .filter_map(|(ex, d)| {
+            d.as_ref()
+                .map(|d| RatedItem::from_distillation(format!("{label}-{}", ex.id), d, &ex.answer))
         })
+        .take(scale.rated)
+        .collect();
+    let outcome = protocol.run(&items);
+    // QA augmentation with this variant's evidences.
+    let mut model = QaModel::new(bert.profile.clone());
+    model.train(&replace_contexts(&ctx.dataset.train.examples, &train_ev));
+    let eval = model.evaluate(&replace_contexts(&ctx.dataset.dev.examples, &dev_ev));
+    AblationRow {
+        label: label.to_string(),
+        outcome,
+        em: eval.em,
+        f1: eval.f1,
+    }
+}
+
+/// Run the Table VIII ablation: BERT profile, ground-truth evidences,
+/// one row per knocked-out component plus the full system.
+pub fn ablation(ctx: &ExperimentContext, bert: &ZooEntry, scale: Scale) -> Vec<AblationRow> {
+    ablation_variants()
+        .into_iter()
+        .map(|(label, ablation)| ablation_row(ctx, bert, scale, &label, ablation))
         .collect()
 }
 
@@ -536,6 +644,73 @@ pub struct DegradationSeries {
     pub points: Vec<(f64, f64, f64)>,
 }
 
+/// The canonical Fig. 7 substitution rates (δ = 0 is the ground-truth
+/// point) — the column axis of the sharded `degradation` grid.
+pub const DEGRADATION_DELTAS: [f64; 5] = [0.0, 0.2, 0.5, 0.8, 1.0];
+
+/// One model's per-row artifacts for the Fig. 7 grid: its
+/// predicted-answer evidences for both splits. Expensive (one
+/// prediction + distillation pass per split), shared by every δ-point
+/// of the model's row.
+pub struct PredictedEvidences {
+    pub train: Vec<Option<Distillation>>,
+    pub dev: Vec<Option<Distillation>>,
+}
+
+/// Build one model's [`PredictedEvidences`]: train the baseline, predict
+/// both splits, distill from the predicted answers.
+pub fn predicted_evidences(ctx: &ExperimentContext, entry: &ZooEntry) -> PredictedEvidences {
+    let mut model = QaModel::new(entry.profile.clone());
+    model.train(&ctx.dataset.train.examples);
+    let pred_train = predict_answers(&model, &ctx.dataset.train.examples);
+    let pred_dev = predict_answers(&model, &ctx.dataset.dev.examples);
+    PredictedEvidences {
+        train: distill_split_range(
+            &ctx.gced,
+            "degradation (predicted-answer train split)",
+            &ctx.dataset.train.examples,
+            Some(&pred_train),
+            0..ctx.dataset.train.len(),
+        ),
+        dev: distill_split_range(
+            &ctx.gced,
+            "degradation (predicted-answer dev split)",
+            &ctx.dataset.dev.examples,
+            Some(&pred_dev),
+            0..ctx.dataset.dev.len(),
+        ),
+    }
+}
+
+/// One Fig. 7 point: mix ground-truth and predicted evidences at rate
+/// `delta`, retrain the model on the mix, evaluate against gold
+/// answers. Returns `(delta, em, f1)`.
+pub fn degradation_point(
+    ctx: &ExperimentContext,
+    entry: &ZooEntry,
+    pred: &PredictedEvidences,
+    delta: f64,
+) -> (f64, f64, f64) {
+    let train = mix_splits(
+        &ctx.dataset.train.examples,
+        &ctx.gt_train,
+        &pred.train,
+        delta,
+        ctx.seed,
+    );
+    let dev = mix_splits(
+        &ctx.dataset.dev.examples,
+        &ctx.gt_dev,
+        &pred.dev,
+        delta,
+        ctx.seed ^ 1,
+    );
+    let mut m = QaModel::new(entry.profile.clone());
+    m.train(&train);
+    let e = m.evaluate(&dev);
+    (delta, e.em, e.f1)
+}
+
 /// Run the Fig. 7 experiment: substitute a δ-fraction of ground-truth
 /// answers with each model's predicted answers before distillation,
 /// retrain on the mixed evidences, and evaluate against the gold
@@ -547,37 +722,10 @@ pub fn degradation(
 ) -> Vec<DegradationSeries> {
     zoo.iter()
         .map(|entry| {
-            let mut model = QaModel::new(entry.profile.clone());
-            model.train(&ctx.dataset.train.examples);
-            // Predicted answers + predicted-answer evidences, one pass.
-            let pred_train = predict_answers(&model, &ctx.dataset.train.examples);
-            let pred_dev = predict_answers(&model, &ctx.dataset.dev.examples);
-            let pred_train_ev =
-                distill_split(&ctx.gced, &ctx.dataset.train.examples, Some(&pred_train));
-            let pred_dev_ev = distill_split(&ctx.gced, &ctx.dataset.dev.examples, Some(&pred_dev));
-
+            let pred = predicted_evidences(ctx, entry);
             let points = deltas
                 .iter()
-                .map(|&delta| {
-                    let train = mix_splits(
-                        &ctx.dataset.train.examples,
-                        &ctx.gt_train,
-                        &pred_train_ev,
-                        delta,
-                        ctx.seed,
-                    );
-                    let dev = mix_splits(
-                        &ctx.dataset.dev.examples,
-                        &ctx.gt_dev,
-                        &pred_dev_ev,
-                        delta,
-                        ctx.seed ^ 1,
-                    );
-                    let mut m = QaModel::new(entry.profile.clone());
-                    m.train(&train);
-                    let e = m.evaluate(&dev);
-                    (delta, e.em, e.f1)
-                })
+                .map(|&delta| degradation_point(ctx, entry, &pred, delta))
                 .collect();
             DegradationSeries {
                 model: entry.profile.name.clone(),
@@ -717,6 +865,20 @@ mod tests {
         assert!(
             em1 <= em0 + 10.0,
             "full substitution should not beat gt by much: {em0} -> {em1}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "predicted-answer slice has 1 entry")]
+    fn distill_split_rejects_mismatched_answer_slice() {
+        let c = ctx();
+        let too_short = vec!["Denver Broncos".to_string()];
+        let _ = distill_split_range(
+            &c.gced,
+            "qa_augmentation",
+            &c.dataset.dev.examples,
+            Some(&too_short),
+            0..c.dataset.dev.len(),
         );
     }
 

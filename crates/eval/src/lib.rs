@@ -11,8 +11,9 @@
 //!   (Table II), the < 0.7 per-item agreement filter, group averaging;
 //! * [`scale`] — experiment sizing via the `GCED_SCALE` env var;
 //! * [`experiments`] — runners regenerating Tables II–VIII and Fig. 7;
-//! * [`shard`] — dataset-level sharded runs with deterministic merge
-//!   (the `gced` CLI's backend);
+//! * [`shard`] — dataset-level sharded runs of every experiment with
+//!   deterministic merge and a shared fit cache (the `gced` CLI's
+//!   backend);
 //! * [`tables`] — plain-text + TSV table rendering for the benches.
 
 pub mod experiments;

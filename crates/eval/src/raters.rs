@@ -195,10 +195,14 @@ pub struct RaterPanel {
 }
 
 impl RaterPanel {
+    /// Group count of the paper's panel (the item space of the sharded
+    /// `agreement` experiment).
+    pub const PAPER_GROUPS: usize = 3;
+
     /// The paper's panel: 3 groups × 3 raters, seeded.
     pub fn paper(seed: u64) -> Self {
-        let mut groups = Vec::with_capacity(3);
-        for g in 0..3u64 {
+        let mut groups = Vec::with_capacity(Self::PAPER_GROUPS);
+        for g in 0..Self::PAPER_GROUPS as u64 {
             groups.push(
                 (0..3u64)
                     .map(|r| Rater::from_id(hash2(seed, g * 31 + r)))

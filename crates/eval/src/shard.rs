@@ -18,11 +18,13 @@
 //! scheduling. The property tests in `tests/shard_properties.rs` pin
 //! both halves down.
 
-use crate::experiments::ExperimentContext;
+use crate::experiments::{self, ExperimentContext};
 use crate::scale::Scale;
-use crate::tables::TextTable;
+use crate::tables::{pct, score, TextTable};
+use gced::{Gced, GcedConfig};
 use gced_datasets::json::{self, Json};
-use gced_datasets::{generate, DatasetKind, GeneratorConfig, ShardSpec};
+use gced_datasets::{generate, DatasetKind, GeneratorConfig, Grid, ShardSpec};
+use std::path::Path;
 
 /// On-disk format version of [`ShardOutput`].
 const FORMAT_VERSION: u32 = 1;
@@ -38,6 +40,8 @@ pub enum ShardError {
     Format(String),
     /// Shard outputs that do not assemble into one run.
     Merge(String),
+    /// Fit-cache artifact I/O or validation failure.
+    Cache(String),
 }
 
 impl std::fmt::Display for ShardError {
@@ -52,6 +56,7 @@ impl std::fmt::Display for ShardError {
             ShardError::Spec(m) => write!(f, "shard spec error: {m}"),
             ShardError::Format(m) => write!(f, "shard format error: {m}"),
             ShardError::Merge(m) => write!(f, "shard merge error: {m}"),
+            ShardError::Cache(m) => write!(f, "fit cache error: {m}"),
         }
     }
 }
@@ -119,9 +124,107 @@ pub fn scale_tag(scale: Scale) -> String {
 ///   are dev examples, and each shard prepares only its slice of the
 ///   dev [`ExperimentContext`] cache via
 ///   [`ExperimentContext::prepare_with`].
-pub const EXPERIMENTS: &[&str] = &["table3", "reduction"];
+/// * `human_eval` — Tables IV/V; items are the baseline models of the
+///   kind's zoo plus a final ground-truth row.
+/// * `agreement` — Table II; items are the three rater groups (each
+///   row carries one group's per-criterion Krippendorff's α over the
+///   pooled mixed-quality item set).
+/// * `qa_augmentation` — Tables VI/VII; items are the zoo models, each
+///   row the model's base vs +GCED EM/F1 with paper references and the
+///   accuracy delta.
+/// * `ablation` — Table VIII; items are the component-knockout
+///   variants plus the full system.
+/// * `degradation` — Fig. 7; items form a (model × δ) [`Grid`], each
+///   cell one substitution-rate point of one model's curve.
+pub const EXPERIMENTS: &[&str] = &[
+    "table3",
+    "reduction",
+    "human_eval",
+    "agreement",
+    "qa_augmentation",
+    "ablation",
+    "degradation",
+];
 
-/// Run one shard of a named experiment.
+/// True when an experiment distills or predicts and therefore needs
+/// the fitted pipeline (everything except the pure dataset statistics).
+pub fn needs_fit(experiment: &str) -> bool {
+    experiment != "table3"
+}
+
+/// Fingerprint of the fitted substrates a run depends on. Stored in
+/// the fit-cache artifact and verified on load, so an artifact from a
+/// different dataset kind, scale, or seed fails loudly.
+pub fn fit_fingerprint(kind: DatasetKind, scale: Scale, seed: u64) -> String {
+    format!(
+        "gced-fit:v1:{}:{}:{}",
+        kind.cli_flag(),
+        scale_tag(scale),
+        seed
+    )
+}
+
+fn fit_fresh(kind: DatasetKind, scale: Scale, seed: u64) -> Gced {
+    let dataset = generate(
+        kind,
+        GeneratorConfig {
+            train: scale.train,
+            dev: scale.dev,
+            seed,
+        },
+    );
+    Gced::fit(
+        &dataset,
+        GcedConfig {
+            seed,
+            ..GcedConfig::default()
+        },
+    )
+}
+
+/// Obtain the fitted pipeline of a run, through the shared fit cache
+/// when a path is given: load the artifact if it exists (validating
+/// its fingerprint), otherwise fit once and publish the artifact
+/// atomically (write-to-temp + rename). Because the encoding is
+/// byte-deterministic, concurrent shard workers racing on one path can
+/// only ever replace the file with identical bytes — whoever wins, the
+/// mapped artifact is the same fit.
+pub fn load_or_fit(
+    kind: DatasetKind,
+    scale: Scale,
+    seed: u64,
+    cache: Option<&Path>,
+) -> Result<Gced, ShardError> {
+    let Some(path) = cache else {
+        return Ok(fit_fresh(kind, scale, seed));
+    };
+    let fingerprint = fit_fingerprint(kind, scale, seed);
+    let config = GcedConfig {
+        seed,
+        ..GcedConfig::default()
+    };
+    match std::fs::read(path) {
+        Ok(bytes) => gced::cache::decode(&bytes, &fingerprint, config)
+            .map_err(|e| ShardError::Cache(format!("{}: {e}", path.display()))),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            let fitted = fit_fresh(kind, scale, seed);
+            let bytes = gced::cache::encode(&fitted, &fingerprint);
+            let tmp = path.with_extension(format!("tmp-{}", std::process::id()));
+            std::fs::write(&tmp, &bytes)
+                .and_then(|()| std::fs::rename(&tmp, path))
+                .map_err(|e| {
+                    ShardError::Cache(format!("cannot publish {}: {e}", path.display()))
+                })?;
+            Ok(fitted)
+        }
+        Err(e) => Err(ShardError::Cache(format!(
+            "cannot read {}: {e}",
+            path.display()
+        ))),
+    }
+}
+
+/// Run one shard of a named experiment, fitting fresh in-process.
 pub fn run_shard(
     experiment: &str,
     kind: DatasetKind,
@@ -129,9 +232,53 @@ pub fn run_shard(
     seed: u64,
     shard: ShardSpec,
 ) -> Result<ShardOutput, ShardError> {
+    run_shard_cached(experiment, kind, scale, seed, shard, None)
+}
+
+/// [`run_shard`] through the shared fit cache: with `Some(path)`,
+/// co-located shard workers fit the pipeline once and map the
+/// serialized artifact instead of re-fitting identical state per
+/// shard. Output is bit-identical either way.
+pub fn run_shard_cached(
+    experiment: &str,
+    kind: DatasetKind,
+    scale: Scale,
+    seed: u64,
+    shard: ShardSpec,
+    fit_cache: Option<&Path>,
+) -> Result<ShardOutput, ShardError> {
+    if !EXPERIMENTS.contains(&experiment) {
+        return Err(ShardError::UnknownExperiment(experiment.to_string()));
+    }
+    // Resolve the cache before running so an unusable artifact fails
+    // loudly up front; without a cache path each runner fits lazily
+    // (and only when its shard range is non-empty).
+    let fit = match fit_cache {
+        Some(path) if needs_fit(experiment) => Some(load_or_fit(kind, scale, seed, Some(path))?),
+        _ => None,
+    };
+    run_shard_with_fit(experiment, kind, scale, seed, shard, fit)
+}
+
+/// The core dispatch: `fit` carries an already-fitted pipeline (from
+/// the cache file or an in-process run's shared fit), or `None` to fit
+/// fresh inside the runner.
+fn run_shard_with_fit(
+    experiment: &str,
+    kind: DatasetKind,
+    scale: Scale,
+    seed: u64,
+    shard: ShardSpec,
+    fit: Option<Gced>,
+) -> Result<ShardOutput, ShardError> {
     match experiment {
         "table3" => Ok(run_table3_shard(scale, seed, shard)),
-        "reduction" => Ok(run_reduction_shard(kind, scale, seed, shard)),
+        "reduction" => Ok(run_reduction_shard(kind, scale, seed, shard, fit)),
+        "human_eval" => Ok(run_human_eval_shard(kind, scale, seed, shard, fit)),
+        "agreement" => Ok(run_agreement_shard(kind, scale, seed, shard, fit)),
+        "qa_augmentation" => Ok(run_qa_augmentation_shard(kind, scale, seed, shard, fit)),
+        "ablation" => Ok(run_ablation_shard(kind, scale, seed, shard, fit)),
+        "degradation" => Ok(run_degradation_shard(kind, scale, seed, shard, fit)),
         other => Err(ShardError::UnknownExperiment(other.to_string())),
     }
 }
@@ -210,9 +357,10 @@ fn run_reduction_shard(
     scale: Scale,
     seed: u64,
     shard: ShardSpec,
+    fit: Option<Gced>,
 ) -> ShardOutput {
     // Dev-only: the train gt cache is never read here, so skip it.
-    let ctx = ExperimentContext::prepare_with(kind, scale, seed, None, Some(shard));
+    let ctx = ExperimentContext::prepare_fitted(kind, scale, seed, fit, None, Some(shard));
     let n_items = ctx.dataset.dev.len();
     let header = vec![
         "Example".to_string(),
@@ -252,6 +400,382 @@ fn run_reduction_shard(
         rows,
         metrics,
     }
+}
+
+/// Assemble a [`ShardOutput`] (shared tail of the model-grid runners).
+#[allow(clippy::too_many_arguments)]
+fn shard_output(
+    experiment: &str,
+    kind: DatasetKind,
+    scale: Scale,
+    seed: u64,
+    shard: ShardSpec,
+    n_items: usize,
+    header: &[&str],
+    rows: Vec<ShardRow>,
+    metrics: Vec<ShardMetric>,
+) -> ShardOutput {
+    ShardOutput {
+        experiment: experiment.to_string(),
+        kind,
+        seed,
+        scale_tag: scale_tag(scale),
+        shard,
+        n_items,
+        header: header.iter().map(|h| h.to_string()).collect(),
+        rows,
+        metrics,
+    }
+}
+
+/// Tables IV/V: items are the kind's zoo models plus a final
+/// ground-truth row. Only the shard owning the ground-truth item pays
+/// for the dev evidence cache.
+fn run_human_eval_shard(
+    kind: DatasetKind,
+    scale: Scale,
+    seed: u64,
+    shard: ShardSpec,
+    fit: Option<Gced>,
+) -> ShardOutput {
+    let zoo = experiments::zoo_for(kind);
+    let n_items = zoo.len() + 1;
+    let header = [
+        "Source",
+        "I",
+        "C",
+        "R",
+        "Hybrid",
+        "Rated",
+        "Discarded",
+        "Reduction",
+    ];
+    let range = shard.range(n_items);
+    let mut rows = Vec::new();
+    let mut metrics = Vec::new();
+    if !range.is_empty() {
+        let owns_gt = range.contains(&zoo.len());
+        let ctx = ExperimentContext::prepare_fitted(
+            kind,
+            scale,
+            seed,
+            fit,
+            None,
+            owns_gt.then(ShardSpec::single),
+        );
+        for item in range {
+            let row = if item < zoo.len() {
+                experiments::human_eval_model_row(&ctx, &zoo[item], scale)
+            } else {
+                experiments::human_eval_gt_row(&ctx, scale)
+            };
+            rows.push(ShardRow {
+                item,
+                cells: vec![
+                    row.source.clone(),
+                    score(row.outcome.informativeness),
+                    score(row.outcome.conciseness),
+                    score(row.outcome.readability),
+                    score(row.outcome.hybrid),
+                    row.outcome.rated.to_string(),
+                    row.outcome.discarded.to_string(),
+                    format!("{:.1}%", row.word_reduction * 100.0),
+                ],
+            });
+            metrics.push(ShardMetric {
+                item,
+                name: "hybrid".to_string(),
+                value: row.outcome.hybrid,
+            });
+            metrics.push(ShardMetric {
+                item,
+                name: "word_reduction".to_string(),
+                value: row.word_reduction,
+            });
+        }
+    }
+    shard_output(
+        "human_eval",
+        kind,
+        scale,
+        seed,
+        shard,
+        n_items,
+        &header,
+        rows,
+        metrics,
+    )
+}
+
+/// Table II: items are the three rater groups; each row is one group's
+/// per-criterion Krippendorff's α over the pooled mixed-quality item
+/// set. Every shard reconstructs the (deterministic) pooled ratings and
+/// emits only the cells of the groups it owns.
+fn run_agreement_shard(
+    kind: DatasetKind,
+    scale: Scale,
+    seed: u64,
+    shard: ShardSpec,
+    fit: Option<Gced>,
+) -> ShardOutput {
+    let n_items = crate::raters::RaterPanel::PAPER_GROUPS;
+    let header = ["Group", "alpha I", "alpha C", "alpha R", "alpha Hybrid"];
+    let range = shard.range(n_items);
+    let mut rows = Vec::new();
+    let mut metrics = Vec::new();
+    if !range.is_empty() {
+        // The pooled sources read the dev gt cache in full.
+        let ctx = ExperimentContext::prepare_fitted(
+            kind,
+            scale,
+            seed,
+            fit,
+            None,
+            Some(ShardSpec::single()),
+        );
+        let weak = &experiments::zoo_for(kind)[0];
+        let outcome = experiments::agreement_study(&ctx, weak, scale);
+        let metric_names = ["alpha_i", "alpha_c", "alpha_r", "alpha_hybrid"];
+        for item in range {
+            // Direct index: a panel whose group count drifts from
+            // PAPER_GROUPS must fail loudly, not emit a short table.
+            let alphas = outcome.alpha[item];
+            let mut cells = vec![format!("Group {}", item + 1)];
+            for (name, a) in metric_names.iter().zip(alphas) {
+                match a {
+                    Some(a) => {
+                        cells.push(score(a));
+                        metrics.push(ShardMetric {
+                            item,
+                            name: name.to_string(),
+                            value: a,
+                        });
+                    }
+                    None => cells.push("n/a".to_string()),
+                }
+            }
+            rows.push(ShardRow { item, cells });
+        }
+    }
+    shard_output(
+        "agreement",
+        kind,
+        scale,
+        seed,
+        shard,
+        n_items,
+        &header,
+        rows,
+        metrics,
+    )
+}
+
+/// Tables VI/VII: items are the kind's zoo models; each row the
+/// model's measured base vs +GCED EM/F1, the published reference
+/// numbers, and the F1 delta.
+fn run_qa_augmentation_shard(
+    kind: DatasetKind,
+    scale: Scale,
+    seed: u64,
+    shard: ShardSpec,
+    fit: Option<Gced>,
+) -> ShardOutput {
+    let zoo = experiments::zoo_for(kind);
+    let n_items = zoo.len();
+    let header = [
+        "Model",
+        "Base EM",
+        "Base F1",
+        "+GCED EM",
+        "+GCED F1",
+        "Paper base",
+        "Paper +GCED",
+        "dF1",
+    ];
+    let range = shard.range(n_items);
+    let mut rows = Vec::new();
+    let mut metrics = Vec::new();
+    if !range.is_empty() {
+        // Evidence splits come from the full gt caches.
+        let ctx = ExperimentContext::prepare_fitted(
+            kind,
+            scale,
+            seed,
+            fit,
+            Some(ShardSpec::single()),
+            Some(ShardSpec::single()),
+        );
+        let ev_train = ctx.evidence_train();
+        let ev_dev = ctx.evidence_dev();
+        for item in range {
+            let row = experiments::qa_augmentation_row(&ctx, &zoo[item], &ev_train, &ev_dev);
+            let f1_gain = row.gced.f1 - row.base.f1;
+            rows.push(ShardRow {
+                item,
+                cells: vec![
+                    row.model.clone(),
+                    pct(row.base.em),
+                    pct(row.base.f1),
+                    pct(row.gced.em),
+                    pct(row.gced.f1),
+                    format!("{}/{}", pct(row.paper_base.0), pct(row.paper_base.1)),
+                    format!("{}/{}", pct(row.paper_gced.0), pct(row.paper_gced.1)),
+                    format!("{f1_gain:+.1}"),
+                ],
+            });
+            metrics.push(ShardMetric {
+                item,
+                name: "base_f1".to_string(),
+                value: row.base.f1,
+            });
+            metrics.push(ShardMetric {
+                item,
+                name: "gced_f1".to_string(),
+                value: row.gced.f1,
+            });
+            metrics.push(ShardMetric {
+                item,
+                name: "f1_gain".to_string(),
+                value: f1_gain,
+            });
+        }
+    }
+    shard_output(
+        "qa_augmentation",
+        kind,
+        scale,
+        seed,
+        shard,
+        n_items,
+        &header,
+        rows,
+        metrics,
+    )
+}
+
+/// Table VIII: items are the ablation variants (component knockouts
+/// plus the full system, in [`experiments::ablation_variants`] order).
+fn run_ablation_shard(
+    kind: DatasetKind,
+    scale: Scale,
+    seed: u64,
+    shard: ShardSpec,
+    fit: Option<Gced>,
+) -> ShardOutput {
+    let variants = experiments::ablation_variants();
+    let n_items = variants.len();
+    let header = ["Sources", "I", "C", "R", "H", "EM", "F1"];
+    let range = shard.range(n_items);
+    let mut rows = Vec::new();
+    let mut metrics = Vec::new();
+    if !range.is_empty() {
+        // Each variant re-distills both splits itself; the gt caches
+        // are never read.
+        let ctx = ExperimentContext::prepare_fitted(kind, scale, seed, fit, None, None);
+        let bert = &experiments::zoo_for(kind)[0];
+        for item in range {
+            let (label, ablation) = variants[item].clone();
+            let row = experiments::ablation_row(&ctx, bert, scale, &label, ablation);
+            rows.push(ShardRow {
+                item,
+                cells: vec![
+                    row.label.clone(),
+                    score(row.outcome.informativeness),
+                    score(row.outcome.conciseness),
+                    score(row.outcome.readability),
+                    score(row.outcome.hybrid),
+                    pct(row.em),
+                    pct(row.f1),
+                ],
+            });
+            metrics.push(ShardMetric {
+                item,
+                name: "hybrid".to_string(),
+                value: row.outcome.hybrid,
+            });
+            metrics.push(ShardMetric {
+                item,
+                name: "f1".to_string(),
+                value: row.f1,
+            });
+        }
+    }
+    shard_output(
+        "ablation", kind, scale, seed, shard, n_items, &header, rows, metrics,
+    )
+}
+
+/// Fig. 7: items form a (model × δ) [`Grid`]. A shard builds the
+/// expensive per-model artifacts (trained baseline, predicted-answer
+/// evidences) once per grid row it touches, then evaluates only its
+/// own cells.
+fn run_degradation_shard(
+    kind: DatasetKind,
+    scale: Scale,
+    seed: u64,
+    shard: ShardSpec,
+    fit: Option<Gced>,
+) -> ShardOutput {
+    let zoo = experiments::zoo_for(kind);
+    let deltas = experiments::DEGRADATION_DELTAS;
+    let grid = Grid::new(zoo.len(), deltas.len());
+    let n_items = grid.len();
+    let header = ["Model", "delta", "EM", "F1"];
+    let range = shard.range(n_items);
+    let mut rows = Vec::new();
+    let mut metrics = Vec::new();
+    if !range.is_empty() {
+        // Mixing substitutes into the full gt evidence caches.
+        let ctx = ExperimentContext::prepare_fitted(
+            kind,
+            scale,
+            seed,
+            fit,
+            Some(ShardSpec::single()),
+            Some(ShardSpec::single()),
+        );
+        for model_idx in grid.rows_of(&range) {
+            let entry = &zoo[model_idx];
+            let pred = experiments::predicted_evidences(&ctx, entry);
+            for (col, &delta) in deltas.iter().enumerate() {
+                let item = grid.item(model_idx, col);
+                if !range.contains(&item) {
+                    continue;
+                }
+                let (delta, em, f1) = experiments::degradation_point(&ctx, entry, &pred, delta);
+                rows.push(ShardRow {
+                    item,
+                    cells: vec![
+                        entry.profile.name.clone(),
+                        format!("{delta:.1}"),
+                        pct(em),
+                        pct(f1),
+                    ],
+                });
+                metrics.push(ShardMetric {
+                    item,
+                    name: "em".to_string(),
+                    value: em,
+                });
+                metrics.push(ShardMetric {
+                    item,
+                    name: "f1".to_string(),
+                    value: f1,
+                });
+            }
+        }
+    }
+    shard_output(
+        "degradation",
+        kind,
+        scale,
+        seed,
+        shard,
+        n_items,
+        &header,
+        rows,
+        metrics,
+    )
 }
 
 // ---------------------------------------------------------------------------
@@ -620,7 +1144,9 @@ impl MergedRun {
 
 /// Run every shard of an experiment in this process (fanning shards out
 /// over the persistent `gced-par` pool) and merge — the in-process
-/// alternative to spawning `gced shard` worker processes.
+/// alternative to spawning `gced shard` worker processes. The pipeline
+/// is fitted **once** and shared by every shard (through the cache
+/// artifact at `fit_cache` when given, purely in memory otherwise).
 pub fn run_sharded_in_process(
     experiment: &str,
     kind: DatasetKind,
@@ -628,9 +1154,29 @@ pub fn run_sharded_in_process(
     seed: u64,
     shards: usize,
 ) -> Result<MergedRun, ShardError> {
+    run_sharded_in_process_cached(experiment, kind, scale, seed, shards, None)
+}
+
+/// [`run_sharded_in_process`] with an optional fit-cache path.
+pub fn run_sharded_in_process_cached(
+    experiment: &str,
+    kind: DatasetKind,
+    scale: Scale,
+    seed: u64,
+    shards: usize,
+    fit_cache: Option<&Path>,
+) -> Result<MergedRun, ShardError> {
+    if !EXPERIMENTS.contains(&experiment) {
+        return Err(ShardError::UnknownExperiment(experiment.to_string()));
+    }
+    let fit = if needs_fit(experiment) {
+        Some(load_or_fit(kind, scale, seed, fit_cache)?)
+    } else {
+        None
+    };
     let specs = ShardSpec::all(shards);
     let outputs: Vec<Result<ShardOutput, ShardError>> = gced_par::par_map(&specs, |_, spec| {
-        run_shard(experiment, kind, scale, seed, *spec)
+        run_shard_with_fit(experiment, kind, scale, seed, *spec, fit.clone())
     });
     let outputs = outputs.into_iter().collect::<Result<Vec<_>, _>>()?;
     merge(&outputs)

@@ -332,6 +332,51 @@ impl TrigramLm {
         (-self.log_prob_after_removal(base, removed) / remaining as f64).exp()
     }
 
+    /// Decompose the fitted model into plain sorted tables
+    /// ([`LmParts`]) for serialization. Sorted orders make the encoded
+    /// artifact byte-deterministic across runs despite the internal
+    /// `HashMap`s.
+    pub fn to_parts(&self) -> LmParts {
+        fn sorted<K: Ord + Copy>(map: &HashMap<K, u64>) -> Vec<(K, u64)> {
+            let mut v: Vec<(K, u64)> = map.iter().map(|(&k, &c)| (k, c)).collect();
+            v.sort_unstable_by_key(|&(k, _)| k);
+            v
+        }
+        LmParts {
+            words: self
+                .vocab
+                .iter()
+                .map(|(_, w, c)| (w.to_string(), c))
+                .collect(),
+            c3: sorted(&self.c3),
+            c2: sorted(&self.c2),
+            follow2: sorted(&self.follow2),
+            cont2: sorted(&self.cont2),
+            mid1: sorted(&self.mid1),
+            follow1: sorted(&self.follow1),
+            cont1: sorted(&self.cont1),
+            bigram_types: self.bigram_types,
+        }
+    }
+
+    /// Rebuild a model from [`TrigramLm::to_parts`] output. The result
+    /// scores every sequence bitwise-identically to the original: ids,
+    /// counts, and continuation tables are restored verbatim and every
+    /// probability is a pure function of them.
+    pub fn from_parts(parts: LmParts) -> Self {
+        TrigramLm {
+            vocab: Vocab::from_entries(parts.words.iter().map(|(w, c)| (w.as_str(), *c))),
+            c3: parts.c3.into_iter().collect(),
+            c2: parts.c2.into_iter().collect(),
+            follow2: parts.follow2.into_iter().collect(),
+            cont2: parts.cont2.into_iter().collect(),
+            mid1: parts.mid1.into_iter().collect(),
+            follow1: parts.follow1.into_iter().collect(),
+            cont1: parts.cont1.into_iter().collect(),
+            bigram_types: parts.bigram_types,
+        }
+    }
+
     /// Fraction of words unknown to the model (diagnostic; OOV hurts PPL).
     pub fn oov_rate(&self, words: &[String]) -> f64 {
         if words.is_empty() {
@@ -340,6 +385,33 @@ impl TrigramLm {
         let oov = words.iter().filter(|w| self.vocab.get(w) == UNK).count();
         oov as f64 / words.len() as f64
     }
+}
+
+/// A fitted [`TrigramLm`] flattened into plain sorted tables — the
+/// serialization interchange form (the fit-cache codec in `gced` turns
+/// this into bytes). Word ids are implicit: `words[i]` has id `i + 1`
+/// (id 0 is `<unk>`), exactly as [`gced_text::vocab::Vocab`] assigns
+/// them during training.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LmParts {
+    /// `(word, count)` in id order (id 1 first).
+    pub words: Vec<(String, u64)>,
+    /// Trigram counts, sorted by key.
+    pub c3: Vec<((WordId, WordId, WordId), u64)>,
+    /// History bigram counts, sorted by key.
+    pub c2: Vec<((WordId, WordId), u64)>,
+    /// Distinct-continuation counts N1+(uv·), sorted by key.
+    pub follow2: Vec<((WordId, WordId), u64)>,
+    /// Continuation counts N1+(·vw), sorted by key.
+    pub cont2: Vec<((WordId, WordId), u64)>,
+    /// N1+(·v·), sorted by key.
+    pub mid1: Vec<(WordId, u64)>,
+    /// N1+(v·), sorted by key.
+    pub follow1: Vec<(WordId, u64)>,
+    /// N1+(·w), sorted by key.
+    pub cont1: Vec<(WordId, u64)>,
+    /// Total distinct bigram types.
+    pub bigram_types: u64,
 }
 
 /// Per-position scores of a base word sequence, the substrate for
@@ -586,6 +658,30 @@ mod tests {
         assert_eq!(base.len(), 3);
         assert!(!base.is_empty());
         assert!((base.total() - lm.log_prob(&seq)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parts_roundtrip_is_bitwise_identical() {
+        let lm = small_lm();
+        let parts = lm.to_parts();
+        // Sorted tables make the interchange form deterministic.
+        assert_eq!(parts, lm.to_parts());
+        let back = TrigramLm::from_parts(parts);
+        for line in [
+            "the broncos won the title",
+            "title the won broncos the",
+            "zebras quantize kumquats",
+            "the",
+        ] {
+            let seq: Vec<String> = line.split(' ').map(String::from).collect();
+            assert_eq!(lm.log_prob(&seq).to_bits(), back.log_prob(&seq).to_bits());
+            assert_eq!(
+                lm.perplexity(&seq).to_bits(),
+                back.perplexity(&seq).to_bits()
+            );
+        }
+        assert_eq!(back.vocab().len(), lm.vocab().len());
+        assert_eq!(back.oov_rate(&["zzz".to_string()]), 1.0);
     }
 
     #[test]

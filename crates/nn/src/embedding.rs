@@ -126,6 +126,37 @@ impl EmbeddingTable {
         self.refined.len()
     }
 
+    /// The construction seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The refined vectors as `(word, vector)` pairs sorted by word —
+    /// the serialization interchange form (byte-deterministic despite
+    /// the internal `HashMap`).
+    pub fn to_parts(&self) -> Vec<(String, Vec<f32>)> {
+        let mut v: Vec<(String, Vec<f32>)> = self
+            .refined
+            .iter()
+            .map(|(w, vec)| (w.clone(), vec.clone()))
+            .collect();
+        v.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        v
+    }
+
+    /// Rebuild a table from its `(dim, seed)` and [`EmbeddingTable::to_parts`]
+    /// output. Hash embeddings are pure functions of `(seed, word)` and
+    /// refined vectors are restored verbatim, so every lookup is
+    /// bitwise-identical to the original table's.
+    pub fn from_parts(dim: usize, seed: u64, refined: Vec<(String, Vec<f32>)>) -> Self {
+        assert!(dim > 0, "embedding dim must be positive");
+        EmbeddingTable {
+            dim,
+            seed,
+            refined: refined.into_iter().collect(),
+        }
+    }
+
     /// Base hash embedding of a lowercased word.
     fn hash_embed(&self, lower: &str) -> Vec<f32> {
         let mut v = vec![0.0f32; self.dim];
@@ -245,6 +276,23 @@ mod tests {
         for w in ["a", "b", "c", "d"] {
             assert_eq!(t1.embed(w), t2.embed(w));
         }
+    }
+
+    #[test]
+    fn parts_roundtrip_is_bitwise_identical() {
+        let mut t = EmbeddingTable::new(48, 21);
+        let corpus: Vec<Vec<String>> = vec![
+            vec!["broncos".into(), "champion".into(), "team".into()],
+            vec!["panthers".into(), "lost".into(), "team".into()],
+        ];
+        t.fit(&corpus, 2, 2, 0.25);
+        let parts = t.to_parts();
+        assert_eq!(parts, t.to_parts(), "interchange form must be stable");
+        let back = EmbeddingTable::from_parts(t.dim(), t.seed(), parts);
+        for w in ["broncos", "champion", "team", "neverseen"] {
+            assert_eq!(t.embed(w), back.embed(w), "{w}");
+        }
+        assert_eq!(back.fitted_len(), t.fitted_len());
     }
 
     #[test]

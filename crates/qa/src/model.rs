@@ -156,6 +156,39 @@ impl QaModel {
         &self.weights
     }
 
+    /// The learned IDF table, as `(word, idf)` pairs sorted by word —
+    /// the serialization interchange form.
+    pub fn idf_parts(&self) -> Vec<(String, f64)> {
+        let mut v: Vec<(String, f64)> = self.idf.iter().map(|(w, &x)| (w.clone(), x)).collect();
+        v.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        v
+    }
+
+    /// The calibrated no-answer threshold, if training learned one.
+    pub fn learned_threshold(&self) -> Option<f64> {
+        self.learned_threshold
+    }
+
+    /// Rebuild a trained model from its profile and learned state
+    /// (weights, [`QaModel::idf_parts`], [`QaModel::learned_threshold`]).
+    /// Predictions are bitwise-identical to the original model's: every
+    /// score is a pure function of the restored state.
+    pub fn from_parts(
+        profile: ModelProfile,
+        weights: [f64; N_FEATURES],
+        idf: Vec<(String, f64)>,
+        learned_threshold: Option<f64>,
+        trained: bool,
+    ) -> Self {
+        QaModel {
+            profile,
+            weights,
+            idf: idf.into_iter().collect(),
+            learned_threshold,
+            trained,
+        }
+    }
+
     /// Train with the averaged perceptron on (question, context, answer)
     /// triples. Unanswerable examples contribute to the IDF table only.
     /// Deterministic: fixed iteration order.
@@ -676,6 +709,29 @@ mod tests {
             e_narrow.f1,
             e_wide.f1
         );
+    }
+
+    #[test]
+    fn parts_roundtrip_predicts_bitwise_identically() {
+        let ds = tiny_dataset();
+        let mut model = QaModel::new(ModelProfile::plm());
+        model.train(&ds.train.examples);
+        let parts = model.idf_parts();
+        assert_eq!(parts, model.idf_parts(), "interchange form must be stable");
+        let back = QaModel::from_parts(
+            model.profile().clone(),
+            *model.weights(),
+            parts,
+            model.learned_threshold(),
+            model.is_trained(),
+        );
+        assert!(back.is_trained());
+        for ex in ds.dev.examples.iter().take(12) {
+            let a = model.predict(&ex.question, &ex.context);
+            let b = back.predict(&ex.question, &ex.context);
+            assert_eq!(a.text, b.text, "{}", ex.id);
+            assert_eq!(a.score.to_bits(), b.score.to_bits(), "{}", ex.id);
+        }
     }
 
     #[test]

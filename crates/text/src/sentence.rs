@@ -45,7 +45,9 @@ pub fn split_sentences(text: &str) -> Vec<Range<usize>> {
         i += 1;
     }
     if let Some(start) = sent_start {
-        let trimmed_end = text.len() - (text.len() - start - text[start..].trim_end().len());
+        // Trailing fragment without terminal punctuation: end at the
+        // last non-whitespace byte.
+        let trimmed_end = start + text[start..].trim_end().len();
         if trimmed_end > start {
             ranges.push(start..trimmed_end);
         }
@@ -173,6 +175,29 @@ mod tests {
     fn empty_input() {
         assert!(split_sentences("").is_empty());
         assert!(split_sentences("   ").is_empty());
+    }
+
+    #[test]
+    fn trailing_fragment_excludes_trailing_whitespace() {
+        assert_eq!(sents("no punctuation here   "), vec!["no punctuation here"]);
+        assert_eq!(sents("  padded both sides \t\n"), vec!["padded both sides"]);
+        let text = "First one. Then a fragment  ";
+        let rs = split_sentences(text);
+        assert_eq!(rs.len(), 2);
+        assert_eq!(&text[rs.last().unwrap().clone()], "Then a fragment");
+    }
+
+    #[test]
+    fn trailing_fragment_handles_multibyte_text() {
+        // Non-ASCII final sentences: byte arithmetic on the trimmed end
+        // must land on a char boundary.
+        assert_eq!(sents("café résumé"), vec!["café résumé"]);
+        assert_eq!(sents("naïve Zoë outré\u{a0}"), vec!["naïve Zoë outré"]);
+        assert_eq!(
+            sents("Er sagte alles. Schön wär's"),
+            vec!["Er sagte alles.", "Schön wär's"]
+        );
+        assert_eq!(sents("日本語のテキスト  "), vec!["日本語のテキスト"]);
     }
 
     #[test]

@@ -97,6 +97,22 @@ impl Vocab {
         v
     }
 
+    /// Rebuild a vocabulary from `(word, count)` entries in id order
+    /// (the exact inverse of [`Vocab::iter`]): words receive ids
+    /// `1, 2, …` in entry order and their counts verbatim, so a
+    /// serialized vocabulary round-trips to identical id assignments
+    /// and counts.
+    pub fn from_entries<'a>(entries: impl IntoIterator<Item = (&'a str, u64)>) -> Self {
+        let mut v = Vocab::new();
+        for (word, count) in entries {
+            let id = WordId(v.words.len() as u32);
+            v.words.push(word.to_string());
+            v.counts.push(count);
+            v.by_word.insert(word.to_string(), id);
+        }
+        v
+    }
+
     /// Iterate `(id, word, count)` over all interned words except `<unk>`.
     pub fn iter(&self) -> impl Iterator<Item = (WordId, &str, u64)> {
         self.words
@@ -137,6 +153,20 @@ mod tests {
         assert_eq!(v.total_count(), 4);
         assert!(!v.is_empty());
         assert!(Vocab::new().is_empty());
+    }
+
+    #[test]
+    fn from_entries_inverts_iter() {
+        let v = Vocab::from_words(["b", "a", "b", "c"]);
+        let entries: Vec<(String, u64)> = v.iter().map(|(_, w, c)| (w.to_string(), c)).collect();
+        let back = Vocab::from_entries(entries.iter().map(|(w, c)| (w.as_str(), *c)));
+        assert_eq!(back.len(), v.len());
+        for (id, w, c) in v.iter() {
+            assert_eq!(back.get(w), id);
+            assert_eq!(back.count(id), c);
+            assert_eq!(back.word(id), w);
+        }
+        assert_eq!(back.get("zzz"), UNK);
     }
 
     #[test]

@@ -18,7 +18,10 @@
 
 use gced_bench::gate;
 use gced_datasets::{DatasetKind, ShardSpec};
-use gced_eval::shard::{merge, run_shard, run_sharded_in_process, ShardOutput};
+use gced_eval::shard::{
+    fit_fingerprint, load_or_fit, merge, needs_fit, run_shard_cached,
+    run_sharded_in_process_cached, ShardOutput,
+};
 use gced_eval::Scale;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -29,18 +32,37 @@ gced — sharded experiment runner for the Grow-and-Clip reproduction
 USAGE:
   gced run <experiment> [--kind K] [--shards N] [--in-process]
            [--scale smoke|default|full] [--seed S] [--out PATH]
+           [--fit-cache PATH]
   gced shard <experiment> --shard-index I --of N [--kind K]
            [--scale smoke|default|full] [--seed S] --out PATH
+           [--fit-cache PATH]
   gced merge [--out PATH] <shard.json>...
   gced bench-check --baseline PATH --results DIR
            [--tolerance F] [--summary PATH]
 
 EXPERIMENTS:
-  table3      dataset statistics (Table III); items = dataset kinds
-  reduction   ground-truth evidence distillation over the dev split;
-              items = dev examples
+  table3           dataset statistics (Table III); items = dataset kinds
+  reduction        ground-truth evidence distillation over the dev
+                   split; items = dev examples
+  human_eval       human evaluation of distilled evidences (Tables
+                   IV/V); items = zoo models + a ground-truth row
+  agreement        inter-rater agreement (Table II); items = the three
+                   rater groups
+  qa_augmentation  QA models retrained on evidences (Tables VI/VII);
+                   items = zoo models
+  ablation         component knockouts (Table VIII); items = variants
+  degradation      predicted-answer substitution curves (Fig. 7);
+                   items = the (model x delta) grid
 
 KINDS: squad11 (default), squad20, trivia-web, trivia-wiki
+
+FIT CACHE:
+  --fit-cache serializes the expensive fitted substrates (QA model,
+  trigram LM, embeddings) to one artifact per run, so co-located
+  shards map it instead of re-fitting identical state. `run` with
+  worker processes fits once up front and hands every shard the
+  artifact; without the flag a scratch artifact is used and removed
+  with the shard files.
 ";
 
 fn main() -> ExitCode {
@@ -178,44 +200,146 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
         .first()
         .ok_or_else(|| format!("run: missing experiment name\n\n{USAGE}"))?
         .clone();
+    // Validate the name before the worker-process path pays for a fit
+    // and spawns children that would all fail on it.
+    if !gced_eval::shard::EXPERIMENTS.contains(&experiment.as_str()) {
+        return Err(format!(
+            "unknown experiment {experiment:?} (expected one of {:?})",
+            gced_eval::shard::EXPERIMENTS
+        ));
+    }
     let (scale, scale_flag) = p.scale()?;
     let seed = p.seed()?;
     let kind = p.kind()?;
-    let shards = p.usize_flag("shards", 1)?.max(1);
+    let shards = p.usize_flag("shards", 1)?;
+    if shards == 0 {
+        // The same error ShardSpec::new raises — the CLI must not
+        // silently clamp what the spec layer rejects.
+        return Err("--shards: shard count must be at least 1".to_string());
+    }
+    let fit_cache = p.flag("fit-cache").map(PathBuf::from);
 
     let merged = if shards == 1 {
-        let output = run_shard(&experiment, kind, scale, seed, ShardSpec::single())
-            .map_err(|e| e.to_string())?;
+        let output = run_shard_cached(
+            &experiment,
+            kind,
+            scale,
+            seed,
+            ShardSpec::single(),
+            fit_cache.as_deref(),
+        )
+        .map_err(|e| e.to_string())?;
+        report_fit_cache(&experiment, fit_cache.as_deref());
         merge(&[output]).map_err(|e| e.to_string())?
     } else if p.switch("in-process") {
-        run_sharded_in_process(&experiment, kind, scale, seed, shards).map_err(|e| e.to_string())?
+        let merged = run_sharded_in_process_cached(
+            &experiment,
+            kind,
+            scale,
+            seed,
+            shards,
+            fit_cache.as_deref(),
+        )
+        .map_err(|e| e.to_string())?;
+        report_fit_cache(&experiment, fit_cache.as_deref());
+        merged
     } else {
-        run_sharded_processes(&experiment, kind, scale_flag.as_str(), seed, shards)?
+        run_sharded_processes(
+            &experiment,
+            kind,
+            scale,
+            scale_flag.as_str(),
+            seed,
+            shards,
+            fit_cache,
+        )?
     };
     write_or_print(p.flag("out"), &merged.render())?;
     Ok(ExitCode::SUCCESS)
 }
 
+/// Print the fit-cache artifact size (CI records it next to the bench
+/// artifacts).
+fn report_fit_cache(experiment: &str, path: Option<&Path>) {
+    if let Some(path) = path {
+        if let Ok(meta) = std::fs::metadata(path) {
+            eprintln!(
+                "gced: fit cache for {experiment}: {} ({} bytes)",
+                path.display(),
+                meta.len()
+            );
+        }
+    }
+}
+
 /// Spawn one `gced shard` child process per shard (all concurrently),
 /// collect their JSON outputs, and merge. Shard files land in a
-/// per-invocation temp dir that is removed on success.
+/// per-invocation scratch dir keyed on the run identity plus a
+/// process-unique nonce; a leftover dir from a crashed or concurrent
+/// run with the same key fails loudly instead of risking a stale shard
+/// JSON being merged.
+#[allow(clippy::too_many_arguments)]
 fn run_sharded_processes(
     experiment: &str,
     kind: DatasetKind,
+    scale: Scale,
     scale_flag: &str,
     seed: u64,
     shards: usize,
+    fit_cache: Option<PathBuf>,
 ) -> Result<gced_eval::MergedRun, String> {
     let exe = std::env::current_exe().map_err(|e| format!("cannot locate gced binary: {e}"))?;
-    let dir = std::env::temp_dir().join(format!("gced-shards-{}", std::process::id()));
-    std::fs::create_dir_all(&dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
-    let result = drive_shards(&exe, &dir, experiment, kind, scale_flag, seed, shards);
+    let dir = std::env::temp_dir().join(format!(
+        "gced-shards-{experiment}-{}-{seed}-{}",
+        kind.cli_flag(),
+        std::process::id()
+    ));
+    // create_dir (not create_dir_all) is the collision check: it fails
+    // on an existing dir, so stale files can never be merged silently.
+    std::fs::create_dir(&dir).map_err(|e| {
+        format!(
+            "cannot create shard scratch dir {}: {e}\n\
+             (a concurrent run with the same experiment/seed, or leftovers \
+             from a crashed run — remove the directory if it is stale)",
+            dir.display()
+        )
+    })?;
+    // Fit once in the driver and hand every shard the artifact; without
+    // an explicit --fit-cache the artifact is scratch, removed with the
+    // shard files below.
+    let cache_path = if needs_fit(experiment) {
+        let path = fit_cache.unwrap_or_else(|| dir.join("fit-cache.bin"));
+        if let Err(e) = load_or_fit(kind, scale, seed, Some(&path)) {
+            let _ = std::fs::remove_dir_all(&dir);
+            return Err(e.to_string());
+        }
+        eprintln!(
+            "gced: fit cache {} ({}, {} bytes)",
+            path.display(),
+            fit_fingerprint(kind, scale, seed),
+            std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0)
+        );
+        Some(path)
+    } else {
+        None
+    };
+    let result = drive_shards(
+        &exe,
+        &dir,
+        experiment,
+        kind,
+        scale_flag,
+        seed,
+        shards,
+        cache_path.as_deref(),
+    );
     // Shard files are per-invocation scratch: remove them on failure
     // too, or failed runs would accumulate under the system temp dir.
     let _ = std::fs::remove_dir_all(&dir);
     result
 }
 
+#[allow(clippy::too_many_arguments)]
 fn drive_shards(
     exe: &Path,
     dir: &Path,
@@ -224,12 +348,13 @@ fn drive_shards(
     scale_flag: &str,
     seed: u64,
     shards: usize,
+    fit_cache: Option<&Path>,
 ) -> Result<gced_eval::MergedRun, String> {
     let shard_path = |i: usize| dir.join(format!("{experiment}-shard-{i}-of-{shards}.json"));
     let mut children = Vec::with_capacity(shards);
     for i in 0..shards {
-        let child = std::process::Command::new(exe)
-            .arg("shard")
+        let mut cmd = std::process::Command::new(exe);
+        cmd.arg("shard")
             .arg(experiment)
             .args(["--shard-index", &i.to_string()])
             .args(["--of", &shards.to_string()])
@@ -237,7 +362,11 @@ fn drive_shards(
             .args(["--scale", scale_flag])
             .args(["--seed", &seed.to_string()])
             .arg("--out")
-            .arg(shard_path(i))
+            .arg(shard_path(i));
+        if let Some(cache) = fit_cache {
+            cmd.arg("--fit-cache").arg(cache);
+        }
+        let child = cmd
             .spawn()
             .map_err(|e| format!("cannot spawn shard {i}: {e}"))?;
         children.push((i, child));
@@ -288,8 +417,16 @@ fn cmd_shard(args: &[String]) -> Result<ExitCode, String> {
         .map_err(|_| "shard: --of: bad number".to_string())?;
     let spec = ShardSpec::new(index, of)?;
     let (scale, _) = p.scale()?;
-    let output =
-        run_shard(experiment, p.kind()?, scale, p.seed()?, spec).map_err(|e| e.to_string())?;
+    let fit_cache = p.flag("fit-cache").map(PathBuf::from);
+    let output = run_shard_cached(
+        experiment,
+        p.kind()?,
+        scale,
+        p.seed()?,
+        spec,
+        fit_cache.as_deref(),
+    )
+    .map_err(|e| e.to_string())?;
     write_or_print(p.flag("out"), &output.to_json())?;
     Ok(ExitCode::SUCCESS)
 }

@@ -8,6 +8,25 @@ use gced_eval::experiments::ExperimentContext;
 use gced_eval::shard::{merge, run_shard, run_sharded_in_process, ShardOutput};
 use gced_eval::Scale;
 
+/// 1-vs-N-shard parity harness for the experiment runners: the merged
+/// N-shard in-process run (shared fit) must render byte-identically to
+/// the single-shard run, including through the JSON wire format.
+fn assert_shard_parity(experiment: &str, kind: DatasetKind, shards: usize) {
+    let scale = Scale::smoke();
+    let single_output = run_shard(experiment, kind, scale, 42, ShardSpec::single()).unwrap();
+    // Through the wire format the shards actually travel as.
+    let rewired = ShardOutput::from_json(&single_output.to_json()).unwrap();
+    assert_eq!(single_output, rewired, "{experiment} JSON roundtrip");
+    let single = merge(&[single_output]).unwrap();
+    let sharded = run_sharded_in_process(experiment, kind, scale, 42, shards).unwrap();
+    assert_eq!(
+        single.render(),
+        sharded.render(),
+        "{experiment} {shards}-shard run diverged from the single-shard run"
+    );
+    assert!(!single.rows.is_empty(), "{experiment} produced no rows");
+}
+
 /// The acceptance criterion: a 3-shard `table3` run at smoke scale
 /// merges into output byte-identical to the single-process run (the CI
 /// shard-parity step checks the same property through the CLI).
@@ -109,6 +128,78 @@ fn prepare_shard_caches_union_to_full_prepare() {
             full.gt_dev[i].as_ref().map(|d| &d.evidence)
         );
     }
+}
+
+#[test]
+fn human_eval_three_shards_merge_bit_identical() {
+    assert_shard_parity("human_eval", DatasetKind::Squad11, 3);
+}
+
+#[test]
+fn agreement_three_shards_merge_bit_identical() {
+    assert_shard_parity("agreement", DatasetKind::Squad11, 3);
+}
+
+#[test]
+fn qa_augmentation_three_shards_merge_bit_identical() {
+    assert_shard_parity("qa_augmentation", DatasetKind::Squad11, 3);
+}
+
+#[test]
+fn ablation_three_shards_merge_bit_identical() {
+    assert_shard_parity("ablation", DatasetKind::Squad11, 3);
+}
+
+#[test]
+fn degradation_three_shards_merge_bit_identical() {
+    assert_shard_parity("degradation", DatasetKind::Squad11, 3);
+}
+
+/// More shards than items leaves some shards with empty ranges; they
+/// must contribute empty outputs that merge cleanly, and aggregate
+/// statistics over empty caches must be 0.0 rather than NaN.
+#[test]
+fn empty_shards_merge_cleanly_and_empty_means_are_zero() {
+    let scale = Scale::smoke();
+    // `agreement` has exactly 3 items; a 5-way split has 2 empty shards.
+    let single = merge(&[run_shard(
+        "agreement",
+        DatasetKind::Squad11,
+        scale,
+        42,
+        ShardSpec::single(),
+    )
+    .unwrap()])
+    .unwrap();
+    let five = run_sharded_in_process("agreement", DatasetKind::Squad11, scale, 42, 5).unwrap();
+    assert_eq!(single.render(), five.render());
+    // `table3` has 4 items; 7 shards exercise the empty edge cheaply,
+    // including the wire format of an empty shard output.
+    let outputs: Vec<ShardOutput> = ShardSpec::all(7)
+        .into_iter()
+        .map(|s| run_shard("table3", DatasetKind::Squad11, scale, 42, s).unwrap())
+        .collect();
+    assert!(outputs.iter().any(|o| o.rows.is_empty()));
+    let rewired: Vec<ShardOutput> = outputs
+        .iter()
+        .map(|o| ShardOutput::from_json(&o.to_json()).unwrap())
+        .collect();
+    let single3 = merge(&[run_shard(
+        "table3",
+        DatasetKind::Squad11,
+        scale,
+        42,
+        ShardSpec::single(),
+    )
+    .unwrap()])
+    .unwrap();
+    assert_eq!(merge(&rewired).unwrap().render(), single3.render());
+    // A context whose caches were skipped entirely reports 0.0 mean
+    // word reduction (not NaN) — the empty-shard aggregate edge.
+    let ctx = ExperimentContext::prepare_with(DatasetKind::Squad11, scale, 42, None, None);
+    let mean = ctx.mean_word_reduction();
+    assert!(!mean.is_nan(), "mean_word_reduction must not be NaN");
+    assert_eq!(mean, 0.0);
 }
 
 /// Different seeds or scales must be rejected at merge time rather than
