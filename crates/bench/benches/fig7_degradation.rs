@@ -7,9 +7,9 @@
 //! only ~2-3 % at δ = 1, TriviaQA models lose more because their
 //! baseline predictions are worse.
 
-use gced_bench::{finish, start};
+use gced_bench::{finish, prepare_context, start};
 use gced_datasets::DatasetKind;
-use gced_eval::experiments::{self, ExperimentContext};
+use gced_eval::experiments;
 use gced_eval::tables::TextTable;
 use gced_qa::zoo;
 
@@ -22,7 +22,7 @@ fn main() {
     let deltas = experiments::DEGRADATION_DELTAS;
     for kind in DatasetKind::all() {
         println!("\n--- {} ---", kind.name());
-        let ctx = ExperimentContext::prepare(kind, scale, seed);
+        let ctx = prepare_context(kind, scale, seed);
         let zoo = if kind.is_trivia() {
             zoo::trivia_models()
         } else {

@@ -2,9 +2,9 @@
 //! criterion, over evidences distilled from ground-truth answers on the
 //! SQuAD-style dataset. Also prints the Table I rubric the raters apply.
 
-use gced_bench::{finish, start};
+use gced_bench::{finish, prepare_context, start};
 use gced_datasets::DatasetKind;
-use gced_eval::experiments::{self, ExperimentContext};
+use gced_eval::experiments;
 use gced_eval::tables::{score, TextTable};
 use gced_qa::zoo;
 
@@ -12,7 +12,7 @@ fn main() {
     let (scale, seed, t0) = start("table2_agreement", "Krippendorff's alpha per rater group");
     println!("\n{}", gced_eval::rubric::render_table1());
 
-    let ctx = ExperimentContext::prepare(DatasetKind::Squad11, scale, seed);
+    let ctx = prepare_context(DatasetKind::Squad11, scale, seed);
     // Rate a pooled, mixed-quality set (gt + weak-model predicted +
     // ASE-ablated evidences), matching the paper's pooled protocol.
     let outcome = experiments::agreement_study(&ctx, &zoo::squad_models()[0], scale);

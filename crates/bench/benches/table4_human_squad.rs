@@ -3,9 +3,9 @@
 //! (I/C/R/H per baseline model + the ground-truth row), plus the
 //! Sec. IV-D1 word-reduction statistic (paper: 78.5 % on SQuAD).
 
-use gced_bench::{finish, start};
+use gced_bench::{finish, prepare_context, start};
 use gced_datasets::DatasetKind;
-use gced_eval::experiments::{self, ExperimentContext};
+use gced_eval::experiments;
 use gced_eval::tables::{score, TextTable};
 use gced_qa::zoo;
 
@@ -34,7 +34,7 @@ fn main() {
         .enumerate()
     {
         println!("\n--- {} ---", kind.name());
-        let ctx = ExperimentContext::prepare(kind, scale, seed);
+        let ctx = prepare_context(kind, scale, seed);
         let rows = experiments::human_eval(&ctx, &zoo, scale);
         let mut table = TextTable::new(&["Source", "I", "C", "R", "H", "paper H", "reduction"]);
         for (i, r) in rows.iter().enumerate() {

@@ -3,9 +3,9 @@
 //! ground-truth answers; the +GCED models are retrained on evidence
 //! contexts and evaluated on evidence contexts, per Sec. IV-D2.
 
-use gced_bench::{finish, start};
+use gced_bench::{finish, prepare_context, start};
 use gced_datasets::DatasetKind;
-use gced_eval::experiments::{self, ExperimentContext};
+use gced_eval::experiments;
 use gced_eval::tables::{pct, TextTable};
 use gced_qa::zoo;
 
@@ -17,7 +17,7 @@ fn main() {
     let zoo = zoo::squad_models();
     for kind in [DatasetKind::Squad11, DatasetKind::Squad20] {
         println!("\n--- {} ---", kind.name());
-        let ctx = ExperimentContext::prepare(kind, scale, seed);
+        let ctx = prepare_context(kind, scale, seed);
         let rows = experiments::qa_augmentation(&ctx, &zoo);
         let mut table = TextTable::new(&[
             "Model",

@@ -3,9 +3,9 @@
 //! several times larger than on SQuAD (avg +18.2/+14.6 on Web,
 //! +19.3/+15.0 on Wiki) because TriviaQA contexts are long and noisy.
 
-use gced_bench::{finish, start};
+use gced_bench::{finish, prepare_context, start};
 use gced_datasets::DatasetKind;
-use gced_eval::experiments::{self, ExperimentContext};
+use gced_eval::experiments;
 use gced_eval::tables::{pct, TextTable};
 use gced_qa::zoo;
 
@@ -17,7 +17,7 @@ fn main() {
     let zoo = zoo::trivia_models();
     for kind in [DatasetKind::TriviaWeb, DatasetKind::TriviaWiki] {
         println!("\n--- {} ---", kind.name());
-        let ctx = ExperimentContext::prepare(kind, scale, seed);
+        let ctx = prepare_context(kind, scale, seed);
         let rows = experiments::qa_augmentation(&ctx, &zoo);
         let mut table = TextTable::new(&[
             "Model",

@@ -8,9 +8,9 @@
 //! Eq. 5 weight sweep that justifies the default (α, β, γ).
 
 use gced::{ClipMode, GcedConfig};
-use gced_bench::{finish, start};
+use gced_bench::{finish, prepare_context, start};
 use gced_datasets::DatasetKind;
-use gced_eval::experiments::{self, ExperimentContext};
+use gced_eval::experiments;
 use gced_eval::raters::RatedItem;
 use gced_eval::tables::{pct, score, TextTable};
 use gced_eval::RatingProtocol;
@@ -34,7 +34,7 @@ fn main() {
         "table8_ablation",
         "GCED component ablation (Table VIII, BERT on SQuAD-2.0)",
     );
-    let ctx = ExperimentContext::prepare(DatasetKind::Squad20, scale, seed);
+    let ctx = prepare_context(DatasetKind::Squad20, scale, seed);
     let bert = &zoo::squad_models()[0];
 
     let rows = experiments::ablation(&ctx, bert, scale);

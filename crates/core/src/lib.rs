@@ -206,6 +206,22 @@ impl Gced {
         self
     }
 
+    /// Memoize per-sentence CKY parses in a bounded LRU of `capacity`
+    /// POS-tag signatures (`0` disables). Long-lived servers enable
+    /// this so repeated sentences across requests parse once; output is
+    /// bit-identical with the cache cold, warm, or absent
+    /// ([`gced_parser::ParseCache`]).
+    pub fn with_parse_cache(mut self, capacity: usize) -> Self {
+        self.parser = self.parser.with_parse_cache(capacity);
+        self
+    }
+
+    /// Hit/miss/occupancy counters of the parse cache, if one is
+    /// installed via [`Gced::with_parse_cache`].
+    pub fn parse_cache_stats(&self) -> Option<gced_parser::ParseCacheStats> {
+        self.parser.parse_cache_stats()
+    }
+
     /// The internal PLM-substitute QA model.
     pub fn qa_model(&self) -> &QaModel {
         &self.qa
@@ -653,6 +669,31 @@ mod tests {
             )
             .unwrap();
         assert!(d.trace.clip_steps.len() <= 1);
+    }
+
+    #[test]
+    fn parse_cache_does_not_change_distillation() {
+        let (g, ds) = fitted();
+        let cached = g.clone().with_parse_cache(256);
+        for ex in ds.dev.examples.iter().filter(|e| e.answerable).take(6) {
+            let plain = g.distill(&ex.question, &ex.answer, &ex.context).unwrap();
+            // Cold pass fills the cache; the warm pass must replay it.
+            let cold = cached
+                .distill(&ex.question, &ex.answer, &ex.context)
+                .unwrap();
+            let warm = cached
+                .distill(&ex.question, &ex.answer, &ex.context)
+                .unwrap();
+            for other in [&cold, &warm] {
+                assert_eq!(plain.evidence, other.evidence, "{}", ex.id);
+                assert_eq!(plain.evidence_tokens, other.evidence_tokens);
+                assert_eq!(plain.scores, other.scores);
+                assert_eq!(plain.trace.clip_steps, other.trace.clip_steps);
+            }
+        }
+        let stats = cached.parse_cache_stats().expect("cache installed");
+        assert!(stats.hits > 0, "warm pass never hit: {stats:?}");
+        assert!(g.parse_cache_stats().is_none());
     }
 
     #[test]

@@ -377,4 +377,106 @@ mod tests {
         let err = parse("{\"a\": }").unwrap_err();
         assert!(err.to_string().contains("at byte"));
     }
+
+    #[test]
+    fn every_control_character_roundtrips() {
+        // The wire path (serve requests/responses, shard outputs) must
+        // survive the full C0 range, not just the named escapes.
+        for c in (0u32..0x20).chain([0x7f]) {
+            let c = char::from_u32(c).unwrap();
+            let original = format!("a{c}b");
+            let mut s = String::new();
+            push_string(&mut s, &original);
+            let mut parser = Parser::new(&s);
+            assert_eq!(parser.string().unwrap(), original, "U+{:04X}", c as u32);
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Characters that stress every encoder/decoder branch: named
+    /// escapes, unnamed control characters, ASCII, 2–4-byte UTF-8
+    /// (including astral plane, which `ensure_ascii` writers emit as
+    /// surrogate pairs), and RTL/combining marks.
+    fn wire_char() -> impl Strategy<Value = char> {
+        prop::sample::select(vec![
+            '"',
+            '\\',
+            '/',
+            '\n',
+            '\r',
+            '\t',
+            '\u{8}',
+            '\u{c}',
+            '\u{0}',
+            '\u{1}',
+            '\u{1f}',
+            '\u{7f}',
+            'a',
+            'Z',
+            '0',
+            ' ',
+            'é',
+            'ß',
+            'ñ',
+            '中',
+            '日',
+            'क',
+            'م',
+            '\u{0301}',
+            '\u{2014}',
+            '€',
+            '😀',
+            '🦀',
+            '𝔊',
+            '\u{10FFFF}',
+        ])
+    }
+
+    fn wire_string() -> impl Strategy<Value = String> {
+        prop::collection::vec(wire_char(), 0..48).prop_map(|cs| cs.into_iter().collect())
+    }
+
+    proptest! {
+        /// encode → decode is the identity on arbitrary strings mixing
+        /// escapes, control characters, and multi-byte UTF-8.
+        #[test]
+        fn string_literals_roundtrip(original in wire_string()) {
+            let mut encoded = String::new();
+            push_string(&mut encoded, &original);
+            let mut parser = Parser::new(&encoded);
+            prop_assert_eq!(parser.string().unwrap(), original);
+        }
+
+        /// The same strings survive as object keys and array payloads
+        /// inside a full document parse (the wire path never calls the
+        /// string scanner directly).
+        #[test]
+        fn documents_roundtrip_wire_strings(key in wire_string(), value in wire_string()) {
+            let mut doc = String::from("{");
+            push_string(&mut doc, &key);
+            doc.push(':');
+            doc.push('[');
+            push_string(&mut doc, &value);
+            doc.push_str("]}");
+            let root = parse(&doc).unwrap();
+            let arr = root.get(&key).and_then(Json::as_arr).unwrap();
+            prop_assert_eq!(arr[0].as_str(), Some(value.as_str()));
+        }
+
+        /// Finite f64s round-trip bit-exactly through the number path.
+        #[test]
+        fn f64_roundtrips(bits in 0u64..u64::MAX) {
+            let v = f64::from_bits(bits);
+            prop_assume!(v.is_finite());
+            let mut s = String::new();
+            push_f64(&mut s, v);
+            let back = parse(&s).unwrap().as_f64().unwrap();
+            prop_assert_eq!(v.to_bits(), back.to_bits());
+        }
+    }
 }

@@ -47,6 +47,14 @@ pub fn global_pool() -> &'static WorkerPool {
     POOL.get_or_init(|| WorkerPool::new(max_threads().saturating_sub(1).max(1)))
 }
 
+/// Effective parallelism of the global pool: its workers plus the
+/// posting thread (which always participates in its own job). What a
+/// server's `/healthz` and `/metrics` report as distillation capacity.
+/// Note this spawns the pool if it is not running yet.
+pub fn effective_parallelism() -> usize {
+    global_pool().size() + 1
+}
+
 /// Parallel map preserving input order: `out[i] = f(i, &items[i])`.
 ///
 /// Falls back to a sequential loop when the input is small or only one
@@ -149,6 +157,12 @@ mod tests {
     #[test]
     fn max_threads_is_positive() {
         assert!(max_threads() >= 1);
+    }
+
+    #[test]
+    fn effective_parallelism_counts_the_poster() {
+        assert_eq!(effective_parallelism(), global_pool().size() + 1);
+        assert!(effective_parallelism() >= 2);
     }
 
     #[test]

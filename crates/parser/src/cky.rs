@@ -7,11 +7,13 @@
 //! over-long inputs fall back to a right-branching tree rather than
 //! failing (GCED must distill *something* for every context).
 
+use crate::cache::{ParseCache, ParseCacheStats};
 use crate::dep::DepTree;
 use crate::grammar::{Grammar, HeadSide, Symbol};
 use crate::tree::{ConstNode, ConstTree};
 use gced_text::{Pos, Token};
 use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 /// Back-pointer for chart entries.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -34,6 +36,10 @@ pub struct CkyParser {
     /// Sentences longer than this (in parseable tokens) skip CKY and use
     /// the right-branching fallback (CKY is O(n³)).
     max_len: usize,
+    /// Optional memoization of [`CkyParser::parse_tokens`] keyed by the
+    /// POS-tag signature (see [`crate::cache`]). Shared by clones, so a
+    /// cloned pipeline keeps feeding the same warm cache.
+    cache: Option<Arc<Mutex<ParseCache>>>,
 }
 
 impl CkyParser {
@@ -42,6 +48,7 @@ impl CkyParser {
         CkyParser {
             grammar: Grammar::english(),
             max_len: 72,
+            cache: None,
         }
     }
 
@@ -50,6 +57,7 @@ impl CkyParser {
         CkyParser {
             grammar,
             max_len: 72,
+            cache: None,
         }
     }
 
@@ -57,6 +65,23 @@ impl CkyParser {
     pub fn with_max_len(mut self, max_len: usize) -> Self {
         self.max_len = max_len;
         self
+    }
+
+    /// Memoize [`CkyParser::parse_tokens`] results in a bounded LRU of
+    /// `capacity` POS-tag signatures (`0` disables caching). The parse
+    /// is a pure function of the tag sequence, so cached output is
+    /// bit-identical to an uncached parse.
+    pub fn with_parse_cache(mut self, capacity: usize) -> Self {
+        self.cache = (capacity > 0).then(|| Arc::new(Mutex::new(ParseCache::new(capacity))));
+        self
+    }
+
+    /// Hit/miss/occupancy counters of the parse cache, if one is
+    /// installed.
+    pub fn parse_cache_stats(&self) -> Option<ParseCacheStats> {
+        self.cache
+            .as_ref()
+            .map(|c| c.lock().expect("parse cache lock").stats())
     }
 
     /// The grammar in use.
@@ -217,7 +242,30 @@ impl CkyParser {
     /// 2. CKY parses the remaining POS sequence;
     /// 3. on failure, a right-branching backbone is used instead;
     /// 4. excluded tokens re-attach to the nearest preceding kept token.
+    ///
+    /// Every step consults only the POS tags, so with a cache installed
+    /// ([`CkyParser::with_parse_cache`]) the result is memoized by the
+    /// tag signature. The lock is **not** held across the parse itself:
+    /// concurrent misses on one signature parse redundantly and insert
+    /// identical trees, trading a little duplicate work for zero
+    /// serialization of the O(n³) path.
     pub fn parse_tokens(&self, tokens: &[Token]) -> DepTree {
+        let Some(cache) = &self.cache else {
+            return self.parse_tokens_uncached(tokens);
+        };
+        let signature: Vec<Pos> = tokens.iter().map(|t| t.pos).collect();
+        if let Some(tree) = cache.lock().expect("parse cache lock").get(&signature) {
+            return tree;
+        }
+        let tree = self.parse_tokens_uncached(tokens);
+        cache
+            .lock()
+            .expect("parse cache lock")
+            .insert(signature, tree.clone());
+        tree
+    }
+
+    fn parse_tokens_uncached(&self, tokens: &[Token]) -> DepTree {
         let n = tokens.len();
         if n == 0 {
             return DepTree::empty();
@@ -414,6 +462,49 @@ mod tests {
         tree.validate().unwrap();
         assert_eq!(tree.len(), tokens.len());
     }
+
+    #[test]
+    fn cached_parse_is_identical_and_counts_hits() {
+        let plain = CkyParser::embedded();
+        let cached = CkyParser::embedded().with_parse_cache(64);
+        let texts = [
+            "The Broncos defeated the Panthers.",
+            "The duke led troops in the battle.",
+            "The Broncos defeated the Panthers.", // repeat → hit
+            "The Eagles defeated the Falcons.",   // same POS shape → hit
+        ];
+        for text in texts {
+            let doc = analyze(text);
+            assert_eq!(
+                cached.parse_tokens(&doc.tokens),
+                plain.parse_tokens(&doc.tokens),
+                "{text}"
+            );
+        }
+        let stats = cached.parse_cache_stats().expect("cache installed");
+        assert!(stats.hits >= 2, "stats: {stats:?}");
+        assert!(stats.misses >= 2, "stats: {stats:?}");
+        assert!(stats.len <= 64);
+        assert!(plain.parse_cache_stats().is_none());
+    }
+
+    #[test]
+    fn cache_is_shared_across_clones() {
+        let cached = CkyParser::embedded().with_parse_cache(16);
+        let clone = cached.clone();
+        let doc = analyze("The Broncos won the title.");
+        let a = cached.parse_tokens(&doc.tokens);
+        let b = clone.parse_tokens(&doc.tokens);
+        assert_eq!(a, b);
+        let stats = clone.parse_cache_stats().unwrap();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn zero_capacity_disables_cache() {
+        let parser = CkyParser::embedded().with_parse_cache(0);
+        assert!(parser.parse_cache_stats().is_none());
+    }
 }
 
 #[cfg(test)]
@@ -439,6 +530,27 @@ mod proptests {
             let tree = parser.parse_tokens(&doc.tokens);
             prop_assert_eq!(tree.len(), doc.tokens.len());
             prop_assert!(tree.validate().is_ok());
+        }
+
+        /// A cached parser is observationally identical to an uncached
+        /// one over arbitrary word soups, even with a tiny capacity that
+        /// forces constant eviction.
+        #[test]
+        fn cached_parser_matches_uncached(
+            soups in prop::collection::vec(prop::collection::vec(word(), 1..14), 1..24)
+        ) {
+            let plain = CkyParser::embedded();
+            let cached = CkyParser::embedded().with_parse_cache(4);
+            for ws in &soups {
+                let doc = gced_text::analyze(&ws.join(" "));
+                prop_assert_eq!(
+                    cached.parse_tokens(&doc.tokens),
+                    plain.parse_tokens(&doc.tokens)
+                );
+            }
+            let stats = cached.parse_cache_stats().expect("cache installed");
+            prop_assert!(stats.len <= 4);
+            prop_assert_eq!(stats.hits + stats.misses, soups.len() as u64);
         }
     }
 }

@@ -28,11 +28,13 @@
 //! tree.validate().unwrap();
 //! ```
 
+pub mod cache;
 pub mod cky;
 pub mod dep;
 pub mod grammar;
 pub mod tree;
 
+pub use cache::{ParseCache, ParseCacheStats};
 pub use cky::CkyParser;
 pub use dep::{DepTree, TreeError};
 pub use grammar::{Grammar, HeadSide, Symbol};

@@ -1,0 +1,334 @@
+//! The micro-batching request queue.
+//!
+//! Concurrent `/v1/distill` requests land in one bounded queue. A
+//! single batcher thread coalesces them — up to `batch_max` items, or
+//! whatever arrived within `flush` of the first queued item — and runs
+//! each coalesced batch through [`Gced::distill_batch`] on the
+//! persistent `gced-par` worker pool, so server throughput rides the
+//! exact parallel path the offline runner uses. Because
+//! `distill_batch` is element-wise identical to sequential
+//! [`Gced::distill`] and every distillation is deterministic, **how
+//! requests happen to batch can never change a response**.
+//!
+//! Backpressure is load-shedding, not buffering: when the queue holds
+//! `capacity` waiting requests, `enqueue` refuses immediately (the
+//! connection answers 503) instead of growing an unbounded backlog
+//! whose tail latency would be unbounded too. Shutdown is graceful:
+//! after [`Batcher::shutdown`] no new work is accepted, every queued
+//! request is still batched and answered, and the thread is joined.
+
+use crate::metrics::Metrics;
+use gced::{DistillError, Distillation, Gced};
+use std::collections::VecDeque;
+use std::sync::atomic::Ordering;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Why a request was not queued.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnqueueError {
+    /// The queue already holds `capacity` waiting requests.
+    Full,
+    /// The server is draining; no new work is accepted.
+    ShuttingDown,
+}
+
+/// The answer a waiting connection receives.
+pub type DistillOutcome = Result<Distillation, DistillError>;
+
+struct Pending {
+    question: String,
+    answer: String,
+    context: String,
+    enqueued_at: Instant,
+    tx: mpsc::Sender<DistillOutcome>,
+}
+
+struct State {
+    queue: VecDeque<Pending>,
+    shutdown: bool,
+}
+
+struct Inner {
+    state: Mutex<State>,
+    /// Wakes the batcher when work arrives or shutdown begins.
+    cv: Condvar,
+    batch_max: usize,
+    flush: Duration,
+    capacity: usize,
+    metrics: Arc<Metrics>,
+}
+
+/// Handle to the batcher thread.
+pub struct Batcher {
+    inner: Arc<Inner>,
+    /// Taken exactly once, by whichever caller performs the shutdown.
+    handle: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl Batcher {
+    /// Spawn the batcher thread over a warm pipeline. `batch_max` and
+    /// `capacity` are clamped to at least 1.
+    pub fn start(
+        gced: Arc<Gced>,
+        batch_max: usize,
+        flush: Duration,
+        capacity: usize,
+        metrics: Arc<Metrics>,
+    ) -> Self {
+        let inner = Arc::new(Inner {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+            batch_max: batch_max.max(1),
+            flush,
+            capacity: capacity.max(1),
+            metrics,
+        });
+        let thread_inner = Arc::clone(&inner);
+        let handle = std::thread::Builder::new()
+            .name("gced-serve-batcher".to_string())
+            .spawn(move || batcher_loop(&thread_inner, &gced))
+            .expect("spawn batcher thread");
+        Batcher {
+            inner,
+            handle: Mutex::new(Some(handle)),
+        }
+    }
+
+    /// Queue one request. Returns the receiver the caller blocks on; the
+    /// batcher always sends exactly one outcome per queued request (also
+    /// during shutdown drain).
+    pub fn enqueue(
+        &self,
+        question: String,
+        answer: String,
+        context: String,
+    ) -> Result<mpsc::Receiver<DistillOutcome>, EnqueueError> {
+        let (tx, rx) = mpsc::channel();
+        let mut st = self.inner.state.lock().expect("batch queue lock");
+        if st.shutdown {
+            return Err(EnqueueError::ShuttingDown);
+        }
+        if st.queue.len() >= self.inner.capacity {
+            return Err(EnqueueError::Full);
+        }
+        st.queue.push_back(Pending {
+            question,
+            answer,
+            context,
+            enqueued_at: Instant::now(),
+            tx,
+        });
+        drop(st);
+        self.inner.cv.notify_one();
+        Ok(rx)
+    }
+
+    /// Waiting requests right now (tests and `/metrics`).
+    pub fn queued(&self) -> usize {
+        self.inner
+            .state
+            .lock()
+            .expect("batch queue lock")
+            .queue
+            .len()
+    }
+
+    /// Stop accepting work, drain every queued request, join the thread.
+    /// Idempotent; concurrent callers race on the handle and exactly one
+    /// performs the join.
+    pub fn shutdown(&self) {
+        {
+            let mut st = self.inner.state.lock().expect("batch queue lock");
+            st.shutdown = true;
+        }
+        self.inner.cv.notify_all();
+        let handle = self.handle.lock().expect("batcher handle lock").take();
+        if let Some(handle) = handle {
+            handle.join().expect("batcher thread exited cleanly");
+        }
+    }
+}
+
+impl Drop for Batcher {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn batcher_loop(inner: &Inner, gced: &Gced) {
+    loop {
+        let batch = {
+            let mut st = inner.state.lock().expect("batch queue lock");
+            // Sleep until work or shutdown.
+            while st.queue.is_empty() {
+                if st.shutdown {
+                    return;
+                }
+                st = inner.cv.wait(st).expect("batch queue lock");
+            }
+            // Coalesce: give the batch `flush` from now to fill up to
+            // batch_max. During shutdown, flush immediately — latency
+            // no longer buys coalescing, draining fast does.
+            let deadline = Instant::now() + inner.flush;
+            while st.queue.len() < inner.batch_max && !st.shutdown {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let (guard, timeout) = inner
+                    .cv
+                    .wait_timeout(st, deadline - now)
+                    .expect("batch queue lock");
+                st = guard;
+                if timeout.timed_out() {
+                    break;
+                }
+            }
+            let take = st.queue.len().min(inner.batch_max);
+            st.queue.drain(..take).collect::<Vec<Pending>>()
+        };
+        let items: Vec<(&str, &str, &str)> = batch
+            .iter()
+            .map(|p| (p.question.as_str(), p.answer.as_str(), p.context.as_str()))
+            .collect();
+        let results = gced.distill_batch(&items);
+        inner.metrics.batches_total.fetch_add(1, Ordering::Relaxed);
+        inner.metrics.batch_size.record(batch.len() as u64);
+        for (pending, result) in batch.into_iter().zip(results) {
+            let elapsed_us = pending
+                .enqueued_at
+                .elapsed()
+                .as_micros()
+                .min(u128::from(u64::MAX));
+            inner.metrics.latency_us.record(elapsed_us as u64);
+            match &result {
+                Ok(_) => inner.metrics.distill_ok.fetch_add(1, Ordering::Relaxed),
+                Err(_) => inner.metrics.distill_error.fetch_add(1, Ordering::Relaxed),
+            };
+            // A client that hung up just discards its result.
+            let _ = pending.tx.send(result);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gced::GcedConfig;
+    use gced_datasets::{generate, DatasetKind, GeneratorConfig};
+    use std::sync::OnceLock;
+
+    fn pipeline() -> Arc<Gced> {
+        static P: OnceLock<Arc<Gced>> = OnceLock::new();
+        Arc::clone(P.get_or_init(|| {
+            let ds = generate(
+                DatasetKind::Squad11,
+                GeneratorConfig {
+                    train: 60,
+                    dev: 8,
+                    seed: 11,
+                },
+            );
+            Arc::new(Gced::fit(&ds, GcedConfig::default()))
+        }))
+    }
+
+    const Q: &str = "Which team defeated the Panthers?";
+    const A: &str = "Denver Broncos";
+    const C: &str = "The Denver Broncos defeated the Carolina Panthers to earn the title. \
+                     The band played all night.";
+
+    #[test]
+    fn answers_match_direct_distillation() {
+        let gced = pipeline();
+        let metrics = Arc::new(Metrics::new());
+        let b = Batcher::start(
+            Arc::clone(&gced),
+            4,
+            Duration::from_millis(1),
+            16,
+            Arc::clone(&metrics),
+        );
+        let expected = gced.distill(Q, A, C).unwrap();
+        let receivers: Vec<_> = (0..6)
+            .map(|_| b.enqueue(Q.into(), A.into(), C.into()).unwrap())
+            .collect();
+        for rx in receivers {
+            let got = rx.recv().unwrap().unwrap();
+            assert_eq!(got.evidence, expected.evidence);
+            assert_eq!(got.scores, expected.scores);
+        }
+        b.shutdown();
+        assert_eq!(metrics.distill_ok.load(Ordering::Relaxed), 6);
+        assert!(metrics.batches_total.load(Ordering::Relaxed) >= 1);
+        assert_eq!(
+            metrics.batch_size.count(),
+            metrics.batches_total.load(Ordering::Relaxed)
+        );
+        assert_eq!(metrics.latency_us.count(), 6);
+    }
+
+    #[test]
+    fn pipeline_errors_travel_to_the_caller() {
+        let gced = pipeline();
+        let metrics = Arc::new(Metrics::new());
+        let b = Batcher::start(gced, 4, Duration::from_millis(1), 16, metrics.clone());
+        let rx = b.enqueue(Q.into(), String::new(), C.into()).unwrap();
+        assert!(matches!(rx.recv().unwrap(), Err(DistillError::EmptyAnswer)));
+        b.shutdown();
+        assert_eq!(metrics.distill_error.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn full_queue_sheds_instead_of_buffering() {
+        let gced = pipeline();
+        let metrics = Arc::new(Metrics::new());
+        // A batcher that cannot keep up: long flush window, capacity 2.
+        let b = Batcher::start(gced, 64, Duration::from_secs(5), 2, Arc::clone(&metrics));
+        // Fill the queue faster than the 5s flush window drains it.
+        let _rx1 = b.enqueue(Q.into(), A.into(), C.into()).unwrap();
+        let _rx2 = b.enqueue(Q.into(), A.into(), C.into()).unwrap();
+        let mut shed = 0;
+        for _ in 0..4 {
+            if matches!(
+                b.enqueue(Q.into(), A.into(), C.into()),
+                Err(EnqueueError::Full)
+            ) {
+                shed += 1;
+            }
+        }
+        assert!(shed > 0, "an over-capacity enqueue must shed");
+        b.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_queued_requests() {
+        let gced = pipeline();
+        let metrics = Arc::new(Metrics::new());
+        // Huge flush window: requests sit queued until shutdown drains.
+        let b = Batcher::start(
+            Arc::clone(&gced),
+            64,
+            Duration::from_secs(30),
+            16,
+            metrics.clone(),
+        );
+        let receivers: Vec<_> = (0..3)
+            .map(|_| b.enqueue(Q.into(), A.into(), C.into()).unwrap())
+            .collect();
+        b.shutdown();
+        for rx in receivers {
+            assert!(rx.recv().unwrap().is_ok(), "drained request answered");
+        }
+        assert!(matches!(
+            b.enqueue(Q.into(), A.into(), C.into()),
+            Err(EnqueueError::ShuttingDown)
+        ));
+        assert_eq!(metrics.distill_ok.load(Ordering::Relaxed), 3);
+    }
+}

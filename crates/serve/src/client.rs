@@ -1,0 +1,87 @@
+//! A minimal blocking HTTP/1.1 client for exercising the server.
+//!
+//! Used by the integration tests, the load-generator bench, and anyone
+//! poking a local `gced serve` from Rust without external crates. One
+//! request per connection, mirroring the server's `Connection: close`
+//! framing.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A response: status code plus raw body bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Body bytes, exactly as served.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// Body as UTF-8 (servers here only speak JSON).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// `GET path`.
+pub fn get(addr: SocketAddr, path: &str) -> std::io::Result<Response> {
+    exchange(addr, &format!("GET {path} HTTP/1.1\r\nHost: gced\r\n\r\n"))
+}
+
+/// `POST path` with a JSON body.
+pub fn post(addr: SocketAddr, path: &str, body: &str) -> std::io::Result<Response> {
+    exchange(
+        addr,
+        &format!(
+            "POST {path} HTTP/1.1\r\nHost: gced\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        ),
+    )
+}
+
+fn exchange(addr: SocketAddr, raw: &str) -> std::io::Result<Response> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+    stream.write_all(raw.as_bytes())?;
+    let mut buf = Vec::new();
+    stream.read_to_end(&mut buf)?;
+    parse_response(&buf)
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed response"))
+}
+
+/// Split a `Connection: close` response into status and body.
+fn parse_response(raw: &[u8]) -> Option<Response> {
+    let head_end = raw.windows(4).position(|w| w == b"\r\n\r\n")?;
+    let head = std::str::from_utf8(&raw[..head_end]).ok()?;
+    let status_line = head.lines().next()?;
+    let status = status_line.split(' ').nth(1)?.parse().ok()?;
+    // The server always sends Content-Length; read-to-EOF already
+    // collected exactly that many bytes (plus nothing — one exchange
+    // per connection), so the slice after the blank line is the body.
+    Some(Response {
+        status,
+        body: raw[head_end + 4..].to_vec(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_minimal_response() {
+        let raw = b"HTTP/1.1 503 Service Unavailable\r\nContent-Length: 2\r\n\r\nhi";
+        let r = parse_response(raw).unwrap();
+        assert_eq!(r.status, 503);
+        assert_eq!(r.body, b"hi");
+        assert_eq!(r.text(), "hi");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_response(b"not http").is_none());
+        assert!(parse_response(b"HTTP/1.1 abc\r\n\r\n").is_none());
+    }
+}

@@ -1,0 +1,295 @@
+//! Minimal HTTP/1.1 framing over `std::io` streams.
+//!
+//! The build environment has no async runtime or HTTP crates, so the
+//! server hand-rolls the one slice of HTTP it needs: parse a request
+//! head plus a `Content-Length` body, write a fixed-header response,
+//! close the connection. Every connection carries exactly one exchange
+//! (`Connection: close`), which keeps the framing trivial and pushes
+//! all concurrency into the connection threads and the batch queue.
+
+use std::io::{BufRead, Write};
+
+/// Parsing limits: a request head (request line + headers) beyond 16 KiB
+/// or a body beyond 1 MiB is rejected before buffering it.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// See [`MAX_HEAD_BYTES`].
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// One parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method, uppercased by the client per RFC (not by us).
+    pub method: String,
+    /// Request target as sent (path + optional query, query unused).
+    pub path: String,
+    /// Raw body bytes (`Content-Length` of them).
+    pub body: Vec<u8>,
+}
+
+/// Why a request could not be parsed, mapped onto the status code the
+/// connection handler answers with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// Malformed request line, header, or length field → 400.
+    BadRequest(String),
+    /// Head or body beyond the fixed limits → 413.
+    TooLarge(String),
+    /// Socket error / premature EOF; no response is possible.
+    Io(String),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::BadRequest(m) => write!(f, "bad request: {m}"),
+            HttpError::TooLarge(m) => write!(f, "request too large: {m}"),
+            HttpError::Io(m) => write!(f, "i/o error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// Read one `\r\n`-terminated line (the `\r\n` is stripped; a bare
+/// `\n` is tolerated), bounding the total head size via `budget`.
+fn read_line(reader: &mut impl BufRead, budget: &mut usize) -> Result<String, HttpError> {
+    let mut line = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match reader.read(&mut byte) {
+            Ok(0) => {
+                return Err(HttpError::Io(format!(
+                    "connection closed mid-line after {:?}",
+                    String::from_utf8_lossy(&line)
+                )))
+            }
+            Ok(_) => {}
+            Err(e) => return Err(HttpError::Io(e.to_string())),
+        }
+        if *budget == 0 {
+            return Err(HttpError::TooLarge(format!(
+                "request head exceeds {MAX_HEAD_BYTES} bytes"
+            )));
+        }
+        *budget -= 1;
+        match byte[0] {
+            b'\n' => break,
+            b'\r' => {}
+            b => line.push(b),
+        }
+    }
+    String::from_utf8(line).map_err(|_| HttpError::BadRequest("non-UTF-8 request head".into()))
+}
+
+/// Parse one request from a buffered stream. `writer` receives the
+/// interim `100 Continue` response when the client sent
+/// `Expect: 100-continue` — without it, curl (which adds the header
+/// for bodies over 1 KiB) stalls for its expect-timeout before
+/// transmitting the body.
+pub fn read_request(
+    reader: &mut impl BufRead,
+    writer: &mut impl Write,
+) -> Result<Request, HttpError> {
+    let mut budget = MAX_HEAD_BYTES;
+    let request_line = read_line(reader, &mut budget)?;
+    let mut parts = request_line.split(' ');
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v), None) if !m.is_empty() && !p.is_empty() => (m, p, v),
+        _ => {
+            return Err(HttpError::BadRequest(format!(
+                "malformed request line {request_line:?}"
+            )))
+        }
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::BadRequest(format!(
+            "unsupported protocol {version:?}"
+        )));
+    }
+    let mut content_length = 0usize;
+    let mut expect_continue = false;
+    loop {
+        let line = read_line(reader, &mut budget)?;
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::BadRequest(format!("malformed header {line:?}")));
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        if name == "content-length" {
+            content_length = value
+                .parse()
+                .map_err(|_| HttpError::BadRequest(format!("bad content-length {value:?}")))?;
+        } else if name == "transfer-encoding" && !value.eq_ignore_ascii_case("identity") {
+            return Err(HttpError::BadRequest(format!(
+                "unsupported transfer-encoding {value:?}"
+            )));
+        } else if name == "expect" && value.eq_ignore_ascii_case("100-continue") {
+            expect_continue = true;
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(HttpError::TooLarge(format!(
+            "body of {content_length} bytes exceeds {MAX_BODY_BYTES}"
+        )));
+    }
+    if expect_continue && content_length > 0 {
+        writer
+            .write_all(b"HTTP/1.1 100 Continue\r\n\r\n")
+            .and_then(|()| writer.flush())
+            .map_err(|e| HttpError::Io(format!("writing 100 Continue: {e}")))?;
+    }
+    let mut body = vec![0u8; content_length];
+    reader
+        .read_exact(&mut body)
+        .map_err(|e| HttpError::Io(format!("reading {content_length}-byte body: {e}")))?;
+    Ok(Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        body,
+    })
+}
+
+/// Reason phrase for the status codes the server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Write a complete `Connection: close` JSON response.
+pub fn write_response(stream: &mut impl Write, status: u16, body: &str) -> std::io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        reason(status),
+        body.len()
+    )?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<Request, HttpError> {
+        read_request(&mut BufReader::new(raw.as_bytes()), &mut std::io::sink())
+    }
+
+    #[test]
+    fn expect_100_continue_gets_an_interim_response() {
+        let raw = "POST /x HTTP/1.1\r\nExpect: 100-continue\r\nContent-Length: 2\r\n\r\nhi";
+        let mut interim = Vec::new();
+        let req = read_request(&mut BufReader::new(raw.as_bytes()), &mut interim).unwrap();
+        assert_eq!(req.body, b"hi");
+        assert_eq!(interim, b"HTTP/1.1 100 Continue\r\n\r\n");
+        // No body, no interim response.
+        let raw = "GET /x HTTP/1.1\r\nExpect: 100-continue\r\n\r\n";
+        let mut interim = Vec::new();
+        read_request(&mut BufReader::new(raw.as_bytes()), &mut interim).unwrap();
+        assert!(interim.is_empty());
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req =
+            parse("POST /v1/distill HTTP/1.1\r\nHost: x\r\nContent-Length: 7\r\n\r\n{\"a\":1}")
+                .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/distill");
+        assert_eq!(req.body, b"{\"a\":1}");
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let req = parse("GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn header_names_are_case_insensitive() {
+        let req = parse("POST /x HTTP/1.1\r\ncOnTeNt-LeNgTh: 2\r\n\r\nhi").unwrap();
+        assert_eq!(req.body, b"hi");
+    }
+
+    #[test]
+    fn tolerates_bare_lf_lines() {
+        let req = parse("GET /healthz HTTP/1.0\nHost: x\n\n").unwrap();
+        assert_eq!(req.path, "/healthz");
+    }
+
+    #[test]
+    fn rejects_malformed_request_lines() {
+        assert!(matches!(
+            parse("GARBAGE\r\n\r\n"),
+            Err(HttpError::BadRequest(_))
+        ));
+        assert!(matches!(
+            parse("GET /x SPDY/3\r\n\r\n"),
+            Err(HttpError::BadRequest(_))
+        ));
+        assert!(matches!(
+            parse("GET /x HTTP/1.1 extra\r\n\r\n"),
+            Err(HttpError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_content_length_and_chunked() {
+        assert!(matches!(
+            parse("POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n"),
+            Err(HttpError::BadRequest(_))
+        ));
+        assert!(matches!(
+            parse("POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+            Err(HttpError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_oversized_body_without_buffering_it() {
+        let raw = format!(
+            "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(matches!(parse(&raw), Err(HttpError::TooLarge(_))));
+    }
+
+    #[test]
+    fn rejects_oversized_head() {
+        let raw = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(MAX_HEAD_BYTES));
+        assert!(matches!(parse(&raw), Err(HttpError::TooLarge(_))));
+    }
+
+    #[test]
+    fn truncated_body_is_an_io_error() {
+        assert!(matches!(
+            parse("POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort"),
+            Err(HttpError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn response_is_well_formed() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "{\"ok\":true}").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
+    }
+}

@@ -1,0 +1,309 @@
+//! # gced-serve — a warm, micro-batching online distillation server
+//!
+//! PRs 1–3 made the pipeline fast *offline*: `gced run` fits, shards,
+//! distills, and exits. This crate opens the online workload the paper
+//! frames — evidence distilled per (question, answer, context) request
+//! next to a QA model — as a persistent HTTP/1.1 server over
+//! `std::net` with zero external dependencies:
+//!
+//! * the fitted substrates load **once** at startup (from a fit-cache
+//!   artifact or a fresh fit) and stay warm across requests;
+//! * concurrent `POST /v1/distill` requests are **micro-batched**
+//!   ([`batch`]): coalesced up to a batch size bound or a flush
+//!   deadline, then run through `Gced::distill_batch` on the persistent
+//!   `gced-par` worker pool — server throughput rides the same parallel
+//!   path as the offline batch runner;
+//! * per-sentence CKY parses are memoized across requests
+//!   (`Gced::with_parse_cache`), so repeated or same-shaped sentences
+//!   parse once;
+//! * backpressure **sheds load**: a bounded queue answers 503 when
+//!   full instead of buffering unboundedly;
+//! * `GET /healthz` and `GET /metrics` expose liveness, counters, and
+//!   batch-size / latency histograms ([`metrics`]);
+//! * shutdown (`POST /shutdown` or [`ServerHandle::shutdown`]) is
+//!   graceful: accepting stops, in-flight connections finish, queued
+//!   requests drain through the batcher, every thread is joined.
+//!
+//! The determinism pin: a served response body is **byte-identical** to
+//! the offline rendering of the same input ([`wire::render_distillation`]
+//! over [`gced::Gced::distill`]) — cold or warm parse cache, any
+//! concurrency, any batching. `tests/serve_parity.rs` hammers this with
+//! multi-threaded clients; CI `cmp`s a served body against the offline
+//! `gced distill` of the same request.
+
+pub mod batch;
+pub mod client;
+pub mod http;
+pub mod metrics;
+pub mod wire;
+
+use batch::{Batcher, EnqueueError};
+use metrics::Metrics;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Server knobs. `Default` is tuned for a laptop-scale deployment.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port (tests, benches).
+    pub addr: String,
+    /// Maximum requests coalesced into one `distill_batch` call.
+    pub batch_max: usize,
+    /// How long the batcher waits for co-arriving requests after the
+    /// first queued item before flushing a partial batch.
+    pub flush: Duration,
+    /// Bounded queue depth; requests beyond it are shed with 503.
+    pub queue_capacity: usize,
+    /// Parse-cache capacity in POS signatures (0 disables).
+    pub parse_cache: usize,
+    /// Per-connection socket read timeout.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            batch_max: 16,
+            flush: Duration::from_millis(2),
+            queue_capacity: 256,
+            parse_cache: 4096,
+            read_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+struct Shared {
+    gced: Arc<gced::Gced>,
+    batcher: Batcher,
+    metrics: Arc<Metrics>,
+    shutdown: AtomicBool,
+    config: ServeConfig,
+    addr: SocketAddr,
+}
+
+/// A running server. Dropping the handle does **not** stop the server;
+/// call [`ServerHandle::shutdown`] (or `POST /shutdown`) and then
+/// [`ServerHandle::join`].
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+/// Bind, spawn the batcher and the accept loop, and return immediately.
+/// The pipeline is wrapped with the configured parse cache; pass a
+/// pre-warmed `Gced` (fit or fit-cache decode) — `start` never fits.
+pub fn start(gced: gced::Gced, config: ServeConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let gced = if config.parse_cache > 0 {
+        gced.with_parse_cache(config.parse_cache)
+    } else {
+        gced
+    };
+    let gced = Arc::new(gced);
+    let metrics = Arc::new(Metrics::new());
+    let batcher = Batcher::start(
+        Arc::clone(&gced),
+        config.batch_max,
+        config.flush,
+        config.queue_capacity,
+        Arc::clone(&metrics),
+    );
+    let shared = Arc::new(Shared {
+        gced,
+        batcher,
+        metrics,
+        shutdown: AtomicBool::new(false),
+        config,
+        addr,
+    });
+    let accept_shared = Arc::clone(&shared);
+    let accept_thread = std::thread::Builder::new()
+        .name("gced-serve-accept".to_string())
+        .spawn(move || accept_loop(&listener, &accept_shared))
+        .expect("spawn accept thread");
+    Ok(ServerHandle {
+        shared,
+        accept_thread: Some(accept_thread),
+    })
+}
+
+impl ServerHandle {
+    /// The bound address (resolved port when `addr` asked for port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Begin graceful shutdown: stop accepting, let in-flight
+    /// connections finish, drain the queue. Returns immediately;
+    /// [`ServerHandle::join`] waits for completion. Idempotent.
+    pub fn shutdown(&self) {
+        trigger_shutdown(&self.shared);
+    }
+
+    /// Block until the server has fully shut down (accept loop exited,
+    /// connections joined, batcher drained and joined).
+    pub fn join(mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            t.join().expect("accept thread exited cleanly");
+        }
+    }
+}
+
+fn trigger_shutdown(shared: &Shared) {
+    if shared.shutdown.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    // Unblock the blocking accept() with a throwaway connection; the
+    // accept loop re-checks the flag before handling anything.
+    let _ = TcpStream::connect(shared.addr);
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    let mut connections: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let conn_shared = Arc::clone(shared);
+        match std::thread::Builder::new()
+            .name("gced-serve-conn".to_string())
+            .spawn(move || handle_connection(stream, &conn_shared))
+        {
+            Ok(handle) => connections.push(handle),
+            Err(_) => continue, // spawn refused; connection drops (client sees EOF)
+        }
+        // Reap finished connection threads so the vec stays bounded by
+        // the number of *live* connections, not total served.
+        connections.retain(|h| !h.is_finished());
+    }
+    // Drain: connections still running may enqueue; the batcher is only
+    // shut down (and its queue drained) after every handler returned.
+    for handle in connections {
+        let _ = handle.join();
+    }
+    shared.batcher.shutdown();
+}
+
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut writer = stream;
+    let request = match http::read_request(&mut reader, &mut writer) {
+        Ok(r) => r,
+        Err(http::HttpError::Io(_)) => return, // nothing to answer
+        Err(e) => {
+            shared.metrics.http_errors.fetch_add(1, Ordering::Relaxed);
+            let status = match e {
+                http::HttpError::TooLarge(_) => 413,
+                _ => 400,
+            };
+            let _ = http::write_response(&mut writer, status, &wire::render_error(&e.to_string()));
+            return;
+        }
+    };
+    let (status, body) = route(&request, shared);
+    // HTTP-layer rejections only: 422/500 are already counted as
+    // distill errors, 503 as shed — the counters must decompose.
+    if matches!(status, 400 | 404 | 405 | 413) {
+        shared.metrics.http_errors.fetch_add(1, Ordering::Relaxed);
+    }
+    let _ = http::write_response(&mut writer, status, &body);
+}
+
+/// Dispatch one parsed request to its endpoint.
+fn route(request: &http::Request, shared: &Shared) -> (u16, String) {
+    shared
+        .metrics
+        .requests_total
+        .fetch_add(1, Ordering::Relaxed);
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => (200, healthz_body(shared)),
+        ("GET", "/metrics") => (200, metrics_body(shared)),
+        ("POST", "/v1/distill") => distill(request, shared),
+        ("POST", "/shutdown") => {
+            trigger_shutdown(shared);
+            (200, "{\"status\":\"shutting down\"}".to_string())
+        }
+        ("GET" | "POST", "/healthz" | "/metrics" | "/v1/distill" | "/shutdown") => (
+            405,
+            wire::render_error(&format!(
+                "method {} not allowed on {}",
+                request.method, request.path
+            )),
+        ),
+        _ => (
+            404,
+            wire::render_error(&format!("no route for {}", request.path)),
+        ),
+    }
+}
+
+fn distill(request: &http::Request, shared: &Shared) -> (u16, String) {
+    let parsed = match wire::parse_request(&request.body) {
+        Ok(p) => p,
+        Err(e) => return (400, wire::render_error(&e)),
+    };
+    let rx = match shared
+        .batcher
+        .enqueue(parsed.question, parsed.answer, parsed.context)
+    {
+        Ok(rx) => rx,
+        Err(e) => {
+            shared.metrics.shed_total.fetch_add(1, Ordering::Relaxed);
+            let msg = match e {
+                EnqueueError::Full => "queue full, retry later",
+                EnqueueError::ShuttingDown => "server is shutting down",
+            };
+            return (503, wire::render_error(msg));
+        }
+    };
+    match rx.recv() {
+        Ok(Ok(d)) => (200, wire::render_distillation(&d)),
+        Ok(Err(e)) => (422, wire::render_error(&wire::distill_error_message(&e))),
+        // The batcher answers every queued request, so a closed channel
+        // means it died — surface that instead of hanging the client.
+        Err(_) => (500, wire::render_error("batcher unavailable")),
+    }
+}
+
+fn healthz_body(shared: &Shared) -> String {
+    format!(
+        "{{\"status\":\"ok\",\"pool_threads\":{},\"queued\":{},\"batch_max\":{},\"queue_capacity\":{}}}",
+        gced_par::effective_parallelism(),
+        shared.batcher.queued(),
+        shared.config.batch_max,
+        shared.config.queue_capacity
+    )
+}
+
+fn metrics_body(shared: &Shared) -> String {
+    let mut extra = vec![
+        (
+            "pool_threads",
+            gced_par::effective_parallelism().to_string(),
+        ),
+        ("queued", shared.batcher.queued().to_string()),
+        ("batch_max", shared.config.batch_max.to_string()),
+        ("queue_capacity", shared.config.queue_capacity.to_string()),
+        ("flush_us", shared.config.flush.as_micros().to_string()),
+    ];
+    if let Some(stats) = shared.gced.parse_cache_stats() {
+        extra.push((
+            "parse_cache",
+            format!(
+                "{{\"hits\":{},\"misses\":{},\"len\":{},\"capacity\":{}}}",
+                stats.hits, stats.misses, stats.len, stats.capacity
+            ),
+        ));
+    }
+    shared.metrics.render(&extra)
+}

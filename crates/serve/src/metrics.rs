@@ -1,0 +1,261 @@
+//! Lock-free request counters and fixed-bucket histograms for
+//! `GET /metrics`.
+//!
+//! Everything is `AtomicU64` with relaxed ordering: the hot path pays
+//! two atomic increments per observation, and the scrape path renders a
+//! consistent-enough snapshot (exact per-counter, not cross-counter
+//! atomic — standard for process metrics). Quantiles are estimated from
+//! the bucket counts by linear interpolation inside the winning bucket,
+//! which is as good as a histogram can answer and plenty for the p50 /
+//! p99 the load bench and CI record.
+
+use gced_datasets::json;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Upper bounds (inclusive) of the request-latency buckets, in
+/// microseconds; an implicit overflow bucket catches the rest.
+pub const LATENCY_BOUNDS_US: &[u64] = &[
+    100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000,
+    1_000_000, 5_000_000,
+];
+
+/// Upper bounds (inclusive) of the coalesced-batch-size buckets.
+pub const BATCH_BOUNDS: &[u64] = &[1, 2, 4, 8, 16, 32, 64, 128];
+
+/// A fixed-bucket histogram with total count and sum.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: &'static [u64],
+    /// One counter per bound plus the overflow bucket.
+    counts: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    /// Histogram over `bounds` (ascending upper bounds).
+    pub fn new(bounds: &'static [u64]) -> Self {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]));
+        Histogram {
+            bounds,
+            counts: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&self, value: u64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Mean observation (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// Estimate the `q`-quantile (`0.0..=1.0`) by linear interpolation
+    /// inside the bucket holding the target rank. The overflow bucket
+    /// reports its lower bound (the histogram cannot see further).
+    pub fn quantile(&self, q: f64) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let target = (q.clamp(0.0, 1.0) * total as f64).max(1.0);
+        let mut below = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            let c = c.load(Ordering::Relaxed);
+            if c == 0 {
+                below += c;
+                continue;
+            }
+            if (below + c) as f64 >= target {
+                let lower = if i == 0 { 0 } else { self.bounds[i - 1] };
+                if i == self.bounds.len() {
+                    return lower as f64;
+                }
+                let upper = self.bounds[i];
+                let into = (target - below as f64) / c as f64;
+                return lower as f64 + into * (upper - lower) as f64;
+            }
+            below += c;
+        }
+        *self.bounds.last().unwrap_or(&0) as f64
+    }
+
+    /// Append the histogram as a JSON object.
+    fn push_json(&self, out: &mut String) {
+        out.push_str("{\"count\":");
+        out.push_str(&self.count().to_string());
+        out.push_str(",\"sum\":");
+        out.push_str(&self.sum().to_string());
+        out.push_str(",\"mean\":");
+        json::push_f64(out, self.mean());
+        out.push_str(",\"p50\":");
+        json::push_f64(out, self.quantile(0.50));
+        out.push_str(",\"p99\":");
+        json::push_f64(out, self.quantile(0.99));
+        out.push_str(",\"buckets\":[");
+        for (i, c) in self.counts.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"le\":");
+            match self.bounds.get(i) {
+                Some(b) => out.push_str(&b.to_string()),
+                None => out.push_str("\"inf\""),
+            }
+            out.push_str(",\"count\":");
+            out.push_str(&c.load(Ordering::Relaxed).to_string());
+            out.push('}');
+        }
+        out.push_str("]}");
+    }
+}
+
+/// All server counters, shared by connection handlers and the batcher.
+#[derive(Debug)]
+pub struct Metrics {
+    /// Requests that parsed into a known route.
+    pub requests_total: AtomicU64,
+    /// Distillations answered 200.
+    pub distill_ok: AtomicU64,
+    /// Distillations answered 422 (per-item pipeline errors).
+    pub distill_error: AtomicU64,
+    /// Requests shed with 503 (queue full or shutting down).
+    pub shed_total: AtomicU64,
+    /// Requests rejected at the HTTP layer (400/404/405/413).
+    pub http_errors: AtomicU64,
+    /// Coalesced `distill_batch` calls executed.
+    pub batches_total: AtomicU64,
+    /// Coalesced batch sizes.
+    pub batch_size: Histogram,
+    /// End-to-end request latency (enqueue → response ready), µs.
+    pub latency_us: Histogram,
+}
+
+impl Metrics {
+    /// Fresh, zeroed metrics.
+    pub fn new() -> Self {
+        Metrics {
+            requests_total: AtomicU64::new(0),
+            distill_ok: AtomicU64::new(0),
+            distill_error: AtomicU64::new(0),
+            shed_total: AtomicU64::new(0),
+            http_errors: AtomicU64::new(0),
+            batches_total: AtomicU64::new(0),
+            batch_size: Histogram::new(BATCH_BOUNDS),
+            latency_us: Histogram::new(LATENCY_BOUNDS_US),
+        }
+    }
+
+    /// Render the `/metrics` document. `extra` carries server-shape
+    /// fields (pool threads, queue knobs, parse-cache stats) appended as
+    /// pre-rendered `"key":value` JSON members.
+    pub fn render(&self, extra: &[(&str, String)]) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\"requests_total\":");
+        out.push_str(&self.requests_total.load(Ordering::Relaxed).to_string());
+        out.push_str(",\"distill_ok\":");
+        out.push_str(&self.distill_ok.load(Ordering::Relaxed).to_string());
+        out.push_str(",\"distill_error\":");
+        out.push_str(&self.distill_error.load(Ordering::Relaxed).to_string());
+        out.push_str(",\"shed_total\":");
+        out.push_str(&self.shed_total.load(Ordering::Relaxed).to_string());
+        out.push_str(",\"http_errors\":");
+        out.push_str(&self.http_errors.load(Ordering::Relaxed).to_string());
+        out.push_str(",\"batches_total\":");
+        out.push_str(&self.batches_total.load(Ordering::Relaxed).to_string());
+        out.push_str(",\"batch_size\":");
+        self.batch_size.push_json(&mut out);
+        out.push_str(",\"latency_us\":");
+        self.latency_us.push_json(&mut out);
+        for (key, value) in extra {
+            out.push(',');
+            json::push_string(&mut out, key);
+            out.push(':');
+            out.push_str(value);
+        }
+        out.push('}');
+        out
+    }
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gced_datasets::json::Json;
+
+    #[test]
+    fn histogram_counts_and_mean() {
+        let h = Histogram::new(BATCH_BOUNDS);
+        for v in [1, 1, 2, 4, 200] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 208);
+        assert!((h.mean() - 41.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_interpolate_and_clamp() {
+        let h = Histogram::new(LATENCY_BOUNDS_US);
+        for _ in 0..100 {
+            h.record(300); // bucket (250, 500]
+        }
+        let p50 = h.quantile(0.5);
+        assert!((250.0..=500.0).contains(&p50), "p50 = {p50}");
+        // Everything in one bucket: p99 stays inside it too.
+        let p99 = h.quantile(0.99);
+        assert!((250.0..=500.0).contains(&p99), "p99 = {p99}");
+        // Overflow observations report the last bound.
+        let o = Histogram::new(BATCH_BOUNDS);
+        o.record(10_000);
+        assert_eq!(o.quantile(0.5), *BATCH_BOUNDS.last().unwrap() as f64);
+        // Empty histogram answers 0.
+        assert_eq!(Histogram::new(BATCH_BOUNDS).quantile(0.9), 0.0);
+    }
+
+    #[test]
+    fn render_is_valid_json_with_extras() {
+        let m = Metrics::new();
+        m.requests_total.fetch_add(3, Ordering::Relaxed);
+        m.batch_size.record(4);
+        let text = m.render(&[("pool_threads", "8".to_string())]);
+        let root = json::parse(&text).expect("valid JSON");
+        assert_eq!(root.get("requests_total").and_then(Json::as_f64), Some(3.0));
+        assert_eq!(root.get("pool_threads").and_then(Json::as_f64), Some(8.0));
+        let batch = root.get("batch_size").expect("batch_size");
+        assert_eq!(batch.get("count").and_then(Json::as_f64), Some(1.0));
+        assert!(batch.get("buckets").and_then(Json::as_arr).is_some());
+    }
+}

@@ -1,0 +1,135 @@
+//! The `/v1/distill` JSON wire format.
+//!
+//! Requests and responses ride the workspace's serde-free JSON codec
+//! (`gced_datasets::json`). [`render_distillation`] is the **canonical
+//! byte rendering** of a [`Distillation`]: the server body and the
+//! offline `gced distill` subcommand both call it, which is what makes
+//! the served-vs-offline byte-parity guarantee (and the CI `cmp` smoke
+//! check) possible. Keep it free of anything request- or time-dependent.
+
+use gced::{DistillError, Distillation};
+use gced_datasets::json::{self, Json};
+
+/// One distillation request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DistillRequest {
+    /// The question being explained.
+    pub question: String,
+    /// The (gold or predicted) answer.
+    pub answer: String,
+    /// The context to distill the evidence from.
+    pub context: String,
+}
+
+/// Parse a `POST /v1/distill` body: an object with string fields
+/// `question`, `answer`, and `context`.
+pub fn parse_request(body: &[u8]) -> Result<DistillRequest, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+    let root = json::parse(text).map_err(|e| format!("malformed JSON: {e}"))?;
+    let field = |key: &str| -> Result<String, String> {
+        root.get(key)
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("missing string field {key:?}"))
+    };
+    Ok(DistillRequest {
+        question: field("question")?,
+        answer: field("answer")?,
+        context: field("context")?,
+    })
+}
+
+/// Serialize a [`DistillRequest`] (the tiny client and the load bench
+/// post exactly what [`parse_request`] reads).
+pub fn render_request(req: &DistillRequest) -> String {
+    let mut out =
+        String::with_capacity(req.question.len() + req.answer.len() + req.context.len() + 64);
+    out.push_str("{\"question\":");
+    json::push_string(&mut out, &req.question);
+    out.push_str(",\"answer\":");
+    json::push_string(&mut out, &req.answer);
+    out.push_str(",\"context\":");
+    json::push_string(&mut out, &req.context);
+    out.push('}');
+    out
+}
+
+/// Canonical response body for one successful distillation.
+pub fn render_distillation(d: &Distillation) -> String {
+    let mut out = String::with_capacity(512);
+    out.push_str("{\"evidence\":");
+    json::push_string(&mut out, &d.evidence);
+    out.push_str(",\"evidence_tokens\":[");
+    for (i, t) in d.evidence_tokens.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json::push_string(&mut out, t);
+    }
+    out.push_str("],\"scores\":{\"informativeness\":");
+    json::push_f64(&mut out, d.scores.informativeness);
+    out.push_str(",\"conciseness\":");
+    json::push_f64(&mut out, d.scores.conciseness);
+    out.push_str(",\"readability\":");
+    json::push_f64(&mut out, d.scores.readability);
+    out.push_str(",\"hybrid\":");
+    json::push_f64(&mut out, d.scores.hybrid);
+    out.push_str("},\"word_reduction\":");
+    json::push_f64(&mut out, d.word_reduction);
+    out.push_str(",\"aos\":");
+    json::push_string(&mut out, &d.aos_text);
+    out.push('}');
+    out
+}
+
+/// Error body: `{"error": "..."}`.
+pub fn render_error(message: &str) -> String {
+    let mut out = String::with_capacity(message.len() + 12);
+    out.push_str("{\"error\":");
+    json::push_string(&mut out, message);
+    out.push('}');
+    out
+}
+
+/// Map a per-item pipeline error onto its wire message (stable: part of
+/// the response contract).
+pub fn distill_error_message(e: &DistillError) -> String {
+    e.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrips_through_the_codec() {
+        let req = DistillRequest {
+            question: "Which team \"won\"?".to_string(),
+            answer: "Denver Broncos".to_string(),
+            context: "Multi-byte: é 😀 — and\nnewlines\ttoo.".to_string(),
+        };
+        let body = render_request(&req);
+        assert_eq!(parse_request(body.as_bytes()).unwrap(), req);
+    }
+
+    #[test]
+    fn missing_fields_are_rejected_by_name() {
+        let err = parse_request(b"{\"question\":\"q\",\"answer\":\"a\"}").unwrap_err();
+        assert!(err.contains("context"), "{err}");
+        let err =
+            parse_request(b"{\"question\":1,\"answer\":\"a\",\"context\":\"c\"}").unwrap_err();
+        assert!(err.contains("question"), "{err}");
+        assert!(parse_request(b"not json").is_err());
+        assert!(parse_request(&[0xff, 0xfe]).is_err());
+    }
+
+    #[test]
+    fn error_body_escapes_payload() {
+        let body = render_error("bad \"input\"\n");
+        let root = gced_datasets::json::parse(&body).unwrap();
+        assert_eq!(
+            root.get("error").and_then(Json::as_str),
+            Some("bad \"input\"\n")
+        );
+    }
+}

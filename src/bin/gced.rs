@@ -12,6 +12,12 @@
 //! * `merge <shard.json>…` — merge shard outputs produced by `shard`.
 //! * `bench-check` — the CI bench-regression gate: compare fresh
 //!   criterion medians against the committed `BENCH_pipeline.json`.
+//! * `serve` — the warm, micro-batching online distillation server
+//!   (`gced-serve`): fit once (or map a `--fit-cache` artifact), then
+//!   answer `POST /v1/distill` until `POST /shutdown`.
+//! * `distill` — one offline distillation printed in the exact wire
+//!   format the server uses; CI byte-compares the two.
+//! * `fit` — prebuild a fit-cache artifact and exit.
 //!
 //! Scale and seed resolve like the bench targets (`GCED_SCALE`,
 //! `GCED_SEED`), overridable with `--scale` / `--seed`.
@@ -39,6 +45,12 @@ USAGE:
   gced merge [--out PATH] <shard.json>...
   gced bench-check --baseline PATH --results DIR
            [--tolerance F] [--summary PATH]
+  gced serve [--addr HOST:PORT] [--kind K] [--scale S] [--seed S]
+           [--fit-cache PATH] [--batch-max N] [--flush-us N]
+           [--queue-cap N] [--parse-cache N]
+  gced distill --question Q --answer A --context C [--kind K]
+           [--scale S] [--seed S] [--fit-cache PATH] [--out PATH]
+  gced fit --fit-cache PATH [--kind K] [--scale S] [--seed S]
 
 EXPERIMENTS:
   table3           dataset statistics (Table III); items = dataset kinds
@@ -62,7 +74,19 @@ FIT CACHE:
   shards map it instead of re-fitting identical state. `run` with
   worker processes fits once up front and hands every shard the
   artifact; without the flag a scratch artifact is used and removed
-  with the shard files.
+  with the shard files. `serve` and `distill` warm-start from the
+  same artifact; `fit` prebuilds one and exits. The bench table
+  runners read the GCED_FIT_CACHE env var (a directory of per-
+  fingerprint artifacts) for the same reuse.
+
+SERVE:
+  `gced serve` answers POST /v1/distill with the micro-batching
+  gced-serve server: requests coalesce (up to --batch-max, within
+  --flush-us of the first arrival) into Gced::distill_batch calls on
+  the persistent worker pool; a full queue (--queue-cap) sheds with
+  503; GET /healthz and GET /metrics expose liveness and histograms;
+  POST /shutdown drains in-flight batches and exits. A served body is
+  byte-identical to `gced distill` of the same input.
 ";
 
 fn main() -> ExitCode {
@@ -72,6 +96,9 @@ fn main() -> ExitCode {
         Some("shard") => cmd_shard(&args[1..]),
         Some("merge") => cmd_merge(&args[1..]),
         Some("bench-check") => cmd_bench_check(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("distill") => cmd_distill(&args[1..]),
+        Some("fit") => cmd_fit(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             print!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -181,11 +208,33 @@ impl Parsed {
 
 fn write_or_print(out: Option<&str>, text: &str) -> Result<(), String> {
     match out {
-        Some(path) => std::fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}")),
+        Some(path) => {
+            // `--out results/run3/table.txt` should not require the
+            // caller to pre-create results/run3.
+            ensure_parent_dir(Path::new(path))?;
+            std::fs::write(path, text).map_err(|e| format!("cannot write output {path}: {e}"))
+        }
         None => {
             print!("{text}");
             Ok(())
         }
+    }
+}
+
+/// Create the missing parent directories of an output path, naming both
+/// the directory and the target in the error.
+fn ensure_parent_dir(path: &Path) -> Result<(), String> {
+    match path.parent() {
+        Some(parent) if !parent.as_os_str().is_empty() => {
+            std::fs::create_dir_all(parent).map_err(|e| {
+                format!(
+                    "cannot create parent directory {} for {}: {e}",
+                    parent.display(),
+                    path.display()
+                )
+            })
+        }
+        _ => Ok(()),
     }
 }
 
@@ -486,4 +535,91 @@ fn cmd_bench_check(args: &[String]) -> Result<ExitCode, String> {
     } else {
         ExitCode::FAILURE
     })
+}
+
+// ---------------------------------------------------------------------------
+// serve / distill / fit
+// ---------------------------------------------------------------------------
+
+/// Resolve the warm pipeline for `serve`/`distill`: dataset kind, scale
+/// and seed pick the fit; `--fit-cache` loads (or creates) the shared
+/// artifact so start-up maps instead of re-fitting.
+fn warm_pipeline(p: &Parsed) -> Result<(gced::Gced, String), String> {
+    let (scale, _) = p.scale()?;
+    let seed = p.seed()?;
+    let kind = p.kind()?;
+    let fit_cache = p.flag("fit-cache").map(PathBuf::from);
+    if let Some(path) = &fit_cache {
+        ensure_parent_dir(path)?;
+    }
+    let fitted = load_or_fit(kind, scale, seed, fit_cache.as_deref()).map_err(|e| e.to_string())?;
+    Ok((fitted, fit_fingerprint(kind, scale, seed)))
+}
+
+fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
+    let p = parse_args(args)?;
+    let mut config = gced_serve::ServeConfig {
+        addr: p.flag("addr").unwrap_or("127.0.0.1:7314").to_string(),
+        ..gced_serve::ServeConfig::default()
+    };
+    config.batch_max = p.usize_flag("batch-max", config.batch_max)?;
+    config.queue_capacity = p.usize_flag("queue-cap", config.queue_capacity)?;
+    config.parse_cache = p.usize_flag("parse-cache", config.parse_cache)?;
+    let flush_us = p.usize_flag("flush-us", config.flush.as_micros() as usize)?;
+    config.flush = std::time::Duration::from_micros(flush_us as u64);
+    let (fitted, fingerprint) = warm_pipeline(&p)?;
+    let handle = gced_serve::start(fitted, config.clone())
+        .map_err(|e| format!("cannot bind {}: {e}", config.addr))?;
+    eprintln!(
+        "gced: serving {fingerprint} on http://{} \
+         (batch_max={}, flush={}us, queue_cap={}, parse_cache={}, pool_threads={})",
+        handle.addr(),
+        config.batch_max,
+        config.flush.as_micros(),
+        config.queue_capacity,
+        config.parse_cache,
+        gced_par::effective_parallelism(),
+    );
+    handle.join();
+    eprintln!("gced: server drained and stopped");
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_distill(args: &[String]) -> Result<ExitCode, String> {
+    let p = parse_args(args)?;
+    let required = |name: &str| -> Result<String, String> {
+        p.flag(name)
+            .map(str::to_string)
+            .ok_or_else(|| format!("distill: --{name} is required"))
+    };
+    let question = required("question")?;
+    let answer = required("answer")?;
+    let context = required("context")?;
+    let (fitted, _) = warm_pipeline(&p)?;
+    // The exact response-body bytes the server produces for this input
+    // (tests/serve_parity.rs and the CI smoke job byte-compare them).
+    let body = match fitted.distill(&question, &answer, &context) {
+        Ok(d) => gced_serve::wire::render_distillation(&d),
+        Err(e) => {
+            write_or_print(
+                p.flag("out"),
+                &gced_serve::wire::render_error(&e.to_string()),
+            )?;
+            return Ok(ExitCode::FAILURE);
+        }
+    };
+    write_or_print(p.flag("out"), &body)?;
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_fit(args: &[String]) -> Result<ExitCode, String> {
+    let p = parse_args(args)?;
+    if p.flag("fit-cache").is_none() {
+        return Err("fit: --fit-cache is required (the artifact to build)".to_string());
+    }
+    let (_, fingerprint) = warm_pipeline(&p)?;
+    let path = p.flag("fit-cache").expect("checked above");
+    let bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+    eprintln!("gced: fit cache {path} ready ({fingerprint}, {bytes} bytes)");
+    Ok(ExitCode::SUCCESS)
 }

@@ -8,4 +8,5 @@ pub use gced_metrics as metrics;
 pub use gced_nn as nn;
 pub use gced_parser as parser;
 pub use gced_qa as qa;
+pub use gced_serve as serve;
 pub use gced_text as text;

@@ -1,0 +1,208 @@
+//! The serve-subsystem determinism pin: a served `/v1/distill` response
+//! body is **byte-identical** to the offline rendering of the same
+//! input — cold or warm parse cache, any client concurrency, any batch
+//! coalescing — plus endpoint contract tests (healthz, metrics, error
+//! statuses, shedding, graceful shutdown).
+
+use gced::{Gced, GcedConfig};
+use gced_datasets::{generate, DatasetKind, GeneratorConfig};
+use gced_serve::wire::{render_distillation, render_request, DistillRequest};
+use gced_serve::{client, ServeConfig, ServerHandle};
+use std::sync::OnceLock;
+use std::time::Duration;
+
+fn pipeline() -> &'static (Gced, gced_datasets::Dataset) {
+    static P: OnceLock<(Gced, gced_datasets::Dataset)> = OnceLock::new();
+    P.get_or_init(|| {
+        let ds = generate(
+            DatasetKind::Squad11,
+            GeneratorConfig {
+                train: 120,
+                dev: 24,
+                seed: 33,
+            },
+        );
+        let g = Gced::fit(&ds, GcedConfig::default());
+        (g, ds)
+    })
+}
+
+/// (request body, expected response body) for `n` dev examples,
+/// computed offline through the exact code path `gced distill` uses.
+fn offline_corpus(n: usize) -> Vec<(String, String)> {
+    let (g, ds) = pipeline();
+    ds.dev
+        .examples
+        .iter()
+        .filter(|e| e.answerable)
+        .take(n)
+        .map(|e| {
+            let body = render_request(&DistillRequest {
+                question: e.question.clone(),
+                answer: e.answer.clone(),
+                context: e.context.clone(),
+            });
+            let d = g
+                .distill(&e.question, &e.answer, &e.context)
+                .expect("offline distill");
+            (body, render_distillation(&d))
+        })
+        .collect()
+}
+
+fn server(config: ServeConfig) -> ServerHandle {
+    let (g, _) = pipeline();
+    gced_serve::start(g.clone(), config).expect("bind ephemeral port")
+}
+
+#[test]
+fn concurrent_clients_get_bytes_identical_to_offline() {
+    let corpus = offline_corpus(10);
+    assert!(corpus.len() >= 6, "dev split too small");
+    let handle = server(ServeConfig {
+        batch_max: 4,
+        flush: Duration::from_millis(2),
+        parse_cache: 512,
+        ..ServeConfig::default()
+    });
+    let addr = handle.addr();
+    // 8 threads × 3 passes each over the corpus: the same input is
+    // served cold, warm, and inside differently-coalesced batches.
+    std::thread::scope(|scope| {
+        for t in 0..8 {
+            let corpus = &corpus;
+            scope.spawn(move || {
+                for pass in 0..3 {
+                    for i in 0..corpus.len() {
+                        // Stagger start points so batches mix inputs.
+                        let (request, expected) = &corpus[(i + t + pass) % corpus.len()];
+                        let r = client::post(addr, "/v1/distill", request).expect("post");
+                        assert_eq!(r.status, 200, "thread {t}: {}", r.text());
+                        assert_eq!(
+                            r.body,
+                            expected.as_bytes(),
+                            "thread {t} pass {pass}: served body diverged from offline"
+                        );
+                    }
+                }
+            });
+        }
+    });
+    // The parse cache must actually have been exercised.
+    let metrics = client::get(addr, "/metrics").expect("metrics").text();
+    let root = gced_datasets::json::parse(&metrics).expect("metrics JSON");
+    let pc = root.get("parse_cache").expect("parse_cache in metrics");
+    let hits = pc
+        .get("hits")
+        .and_then(gced_datasets::json::Json::as_f64)
+        .unwrap_or(0.0);
+    assert!(hits > 0.0, "no parse-cache hits under repeated load");
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn healthz_metrics_and_error_statuses() {
+    let handle = server(ServeConfig::default());
+    let addr = handle.addr();
+
+    let health = client::get(addr, "/healthz").expect("healthz");
+    assert_eq!(health.status, 200);
+    let root = gced_datasets::json::parse(&health.text()).expect("health JSON");
+    assert_eq!(
+        root.get("status")
+            .and_then(gced_datasets::json::Json::as_str),
+        Some("ok")
+    );
+
+    // Unknown route, wrong method, malformed body, empty answer.
+    assert_eq!(client::get(addr, "/nope").expect("404").status, 404);
+    assert_eq!(client::get(addr, "/v1/distill").expect("405").status, 405);
+    assert_eq!(
+        client::post(addr, "/healthz", "{}").expect("405").status,
+        405
+    );
+    assert_eq!(
+        client::post(addr, "/v1/distill", "not json")
+            .expect("400")
+            .status,
+        400
+    );
+    assert_eq!(
+        client::post(addr, "/v1/distill", "{\"question\":\"q\"}")
+            .expect("400")
+            .status,
+        400
+    );
+    let unprocessable = client::post(
+        addr,
+        "/v1/distill",
+        &render_request(&DistillRequest {
+            question: "q?".to_string(),
+            answer: "   ".to_string(),
+            context: "Some context.".to_string(),
+        }),
+    )
+    .expect("422");
+    assert_eq!(unprocessable.status, 422);
+    assert!(
+        unprocessable.text().contains("answer"),
+        "{}",
+        unprocessable.text()
+    );
+
+    let metrics = client::get(addr, "/metrics").expect("metrics");
+    assert_eq!(metrics.status, 200);
+    let root = gced_datasets::json::parse(&metrics.text()).expect("metrics JSON");
+    let num = |k: &str| {
+        root.get(k)
+            .and_then(gced_datasets::json::Json::as_f64)
+            .unwrap_or(-1.0)
+    };
+    assert!(num("requests_total") >= 6.0);
+    assert!(num("http_errors") >= 4.0);
+    assert!(num("distill_error") >= 1.0);
+    assert!(num("pool_threads") >= 2.0);
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn graceful_shutdown_via_endpoint_drains_and_stops() {
+    let corpus = offline_corpus(2);
+    let handle = server(ServeConfig::default());
+    let addr = handle.addr();
+    let ok = client::post(addr, "/v1/distill", &corpus[0].0).expect("pre-shutdown");
+    assert_eq!(ok.status, 200);
+
+    let bye = client::post(addr, "/shutdown", "").expect("shutdown");
+    assert_eq!(bye.status, 200);
+    handle.join(); // blocks until drained — the real assertion
+
+    // The port no longer answers.
+    assert!(
+        client::get(addr, "/healthz").is_err(),
+        "server still accepting after shutdown"
+    );
+}
+
+#[test]
+fn served_response_parses_as_the_wire_document() {
+    let corpus = offline_corpus(1);
+    let handle = server(ServeConfig::default());
+    let r = client::post(handle.addr(), "/v1/distill", &corpus[0].0).expect("post");
+    assert_eq!(r.status, 200);
+    let root = gced_datasets::json::parse(&r.text()).expect("response JSON");
+    for key in [
+        "evidence",
+        "evidence_tokens",
+        "scores",
+        "word_reduction",
+        "aos",
+    ] {
+        assert!(root.get(key).is_some(), "response missing {key:?}");
+    }
+    handle.shutdown();
+    handle.join();
+}
