@@ -85,6 +85,37 @@ fn bench_substrates(c: &mut Criterion) {
     });
 }
 
+/// A grow-heavy scenario: many context sentences, the answer buried in
+/// the middle, so ASE's greedy search faces a wide candidate pool each
+/// round — the trial loop the shared search engine prunes with the
+/// admissible per-sentence F1 bound.
+fn grow_context() -> String {
+    let fillers = [
+        "The city council debated the new transit budget for several hours that morning.",
+        "A light rain moved across the valley before the crowds arrived at the gates.",
+        "Vendors sold programs and souvenirs along the avenue outside the stadium.",
+        "The marching band rehearsed its halftime routine twice during the afternoon.",
+        "Several broadcasters set up their equipment near the southern entrance.",
+        "Security crews checked the perimeter fencing one final time before kickoff.",
+    ];
+    let mut s = String::new();
+    for f in fillers.iter().take(3) {
+        s.push_str(f);
+        s.push(' ');
+    }
+    s.push_str(
+        "The American Football Conference champion Denver Broncos defeated the National \
+         Football Conference champion Carolina Panthers to earn the Super Bowl 50 title. ",
+    );
+    for f in fillers.iter().skip(3) {
+        s.push_str(f);
+        s.push(' ');
+    }
+    s.push_str("Fans lingered in the concourse long after the final whistle had sounded. ");
+    s.push_str("The cleanup crews worked through the night to restore the field surface.");
+    s
+}
+
 fn bench_pipeline(c: &mut Criterion) {
     let ds = generate(
         DatasetKind::Squad11,
@@ -124,6 +155,21 @@ fn bench_pipeline(c: &mut Criterion) {
             |_| {
                 clip_heavy
                     .distill(black_box(question), "Denver Broncos", &long_ctx)
+                    .unwrap()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    // Grow-heavy scenario: a sentence-rich context makes the ASE greedy
+    // search the dominant cost (every round trials every unselected
+    // sentence) — the phase the unified search engine makes incremental.
+    let grow_ctx = grow_context();
+    c.bench_function("gced/grow_long_context", |b| {
+        b.iter_batched(
+            || (),
+            |_| {
+                gced.distill(black_box(question), "Denver Broncos", &grow_ctx)
                     .unwrap()
             },
             BatchSize::SmallInput,

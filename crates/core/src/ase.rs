@@ -5,10 +5,34 @@
 //! answer; stop at the first exact prediction. If no subset ever predicts
 //! the answer exactly, the best-overlap subset seen is returned — the
 //! paper's fallback ("the sentence subset with the maximum overlap").
+//!
+//! ## The incremental grow search
+//!
+//! [`extract`] runs the greedy loop on the shared evidence-search engine
+//! ([`SearchContext`]), which makes three things incremental:
+//!
+//! * **trials are mask deltas** — adding sentence *s* to the selection
+//!   splices one token run into a maintained index buffer (no
+//!   `contains` scans, no clone-and-sort per trial), and the QA span
+//!   scores of the already-selected sentences replay from the span-score
+//!   cache instead of being recomputed;
+//! * **membership is a bitset** — the per-round candidate filter is a
+//!   word test, not an `O(selected)` scan;
+//! * **an admissible F1 bound prunes trials** — a candidate sentence can
+//!   never lift the trial's F1 above the best token-F1 any single
+//!   candidate span of a member sentence achieves against the answer
+//!   ([`sentence_f1_bounds`]), so once a round has a winner at F1 ≥ that
+//!   bound the QA prediction is provably pointless and skipped — the
+//!   grow-side mirror of the clip search's informativeness prune.
+//!
+//! The search is **bit-identical** to the paper-literal formulation kept
+//! in [`reference`] (same sentences, exact flag, best F1, and step log);
+//! the cross-crate property suite pins that on randomized pipelines.
 
-use gced_metrics::overlap::token_f1;
-use gced_qa::{QaModel, QuestionAnalysis, SelectionScratch};
-use gced_text::{Document, SentId};
+use crate::scoring::{Bitset, SearchContext};
+use gced_metrics::overlap::{normalize_answer, token_f1};
+use gced_qa::model::MAX_SPAN;
+use gced_text::{join_tokens, Document, SentId};
 
 /// Outcome of the ASE search.
 #[derive(Debug, Clone, PartialEq)]
@@ -24,42 +48,114 @@ pub struct AseResult {
     pub steps: Vec<(usize, f64)>,
 }
 
-/// Run the greedy search. `max_sentences` bounds the subset size (the
-/// minimum sentence subsets of the paper's datasets are 1–3 sentences).
-pub fn extract(
-    qa: &QaModel,
-    q: &QuestionAnalysis,
-    question: &str,
-    answer: &str,
-    doc: &Document,
-    max_sentences: usize,
-) -> AseResult {
-    let n_sents = doc.sentences.len();
-    if n_sents == 0 {
-        return AseResult {
+impl AseResult {
+    fn empty() -> Self {
+        AseResult {
             sentences: vec![],
             exact: false,
             best_f1: 0.0,
             steps: vec![],
-        };
+        }
     }
-    let mut scratch = TrialScratch::default();
-    let mut selected: Vec<usize> = Vec::new();
-    let mut steps: Vec<(usize, f64)> = Vec::new();
-    let mut best_subset: Vec<usize> = vec![0]; // degenerate fallback: first sentence
-    let mut best_f1 = f1_of_subset(qa, q, question, answer, doc, &[0], &mut scratch);
+}
+
+/// Admissible upper bound on the answer F1 achievable by any trial
+/// containing sentence `i`: the QA model predicts a candidate span of at
+/// most [`MAX_SPAN`] tokens inside one sentence (or abstains, F1 = 0),
+/// and a span's F1 against the answer depends only on its own tokens —
+/// so `max` over a sentence's spans bounds what that sentence can
+/// contribute, and `max` over a trial's member sentences bounds the
+/// trial. Answers that normalize to nothing disable the bound (an
+/// abstention then scores F1 = 1).
+pub fn sentence_f1_bounds(doc: &Document, answer: &str) -> Vec<f64> {
+    let n_sents = doc.sentences.len();
+    let ans_norm = normalize_answer(answer);
+    if ans_norm.is_empty() {
+        return vec![1.0; n_sents];
+    }
+    let ans_set: std::collections::HashSet<&str> = ans_norm.iter().map(String::as_str).collect();
+    // A span's normalized tokens are the union of its members' — except
+    // across an "n't" glue join, which can merge two surface tokens into
+    // one normalized token, so "n't" forces evaluation.
+    let overlap: Vec<bool> = doc
+        .tokens
+        .iter()
+        .map(|t| {
+            normalize_answer(&t.text)
+                .iter()
+                .any(|w| ans_set.contains(w.as_str()))
+                || t.lower() == "n't"
+        })
+        .collect();
+    let mut bounds = vec![0.0f64; n_sents];
+    for (si, s) in doc.sentences.iter().enumerate() {
+        if !(s.token_start..s.token_end).any(|i| overlap[i]) {
+            continue; // no shared token ⇒ every span scores F1 = 0
+        }
+        let mut best = 0.0f64;
+        for start in s.token_start..s.token_end {
+            let hi = (start + MAX_SPAN).min(s.token_end);
+            for end in (start + 1)..=hi {
+                if !(start..end).any(|i| overlap[i]) {
+                    continue;
+                }
+                let f1 = token_f1(&join_tokens(&doc.tokens[start..end]), answer).f1;
+                if f1 > best {
+                    best = f1;
+                }
+            }
+        }
+        bounds[si] = best;
+    }
+    bounds
+}
+
+/// Run the greedy search over the engine's document. `max_sentences`
+/// bounds the subset size (the minimum sentence subsets of the paper's
+/// datasets are 1–3 sentences). Bit-identical to [`reference::extract`].
+pub fn extract(ctx: &mut SearchContext<'_, '_>, max_sentences: usize) -> AseResult {
+    let doc = ctx.doc();
+    let n_sents = doc.sentences.len();
+    if n_sents == 0 {
+        return AseResult::empty();
+    }
+    let bounds = sentence_f1_bounds(doc, ctx.answer());
     let cap = max_sentences.max(1).min(n_sents);
 
-    while selected.len() < cap {
+    let mut member = Bitset::new(n_sents);
+    // Selected sentences (ascending) with their concatenated token runs
+    // and per-run prefix offsets — a trial splices one sentence run in.
+    let mut sel_sents: Vec<usize> = Vec::new();
+    let mut sel_tokens: Vec<usize> = Vec::new();
+    let mut run_offsets: Vec<usize> = vec![0];
+    let mut trial: Vec<usize> = Vec::new();
+
+    let mut steps: Vec<(usize, f64)> = Vec::new();
+    let mut best_subset: Vec<usize> = Vec::new();
+    let mut best_f1 = f64::NEG_INFINITY;
+    // Max admissible bound over the selected sentences.
+    let mut sel_bound = f64::NEG_INFINITY;
+
+    while sel_sents.len() < cap {
         let mut round_best: Option<(usize, f64)> = None;
         for s in 0..n_sents {
-            if selected.contains(&s) {
+            if member.contains(s) {
                 continue;
             }
-            let mut trial = selected.clone();
-            trial.push(s);
-            trial.sort_unstable();
-            let f1 = f1_of_subset(qa, q, question, answer, doc, &trial, &mut scratch);
+            if let Some((_, bf)) = round_best {
+                // Admissible prune: the trial's F1 cannot exceed the max
+                // member bound, and ties never replace the round winner.
+                if sel_bound.max(bounds[s]) <= bf {
+                    continue;
+                }
+            }
+            let sent = &doc.sentences[s];
+            let split = run_offsets[sel_sents.partition_point(|&x| x < s)];
+            trial.clear();
+            trial.extend_from_slice(&sel_tokens[..split]);
+            trial.extend(sent.token_start..sent.token_end);
+            trial.extend_from_slice(&sel_tokens[split..]);
+            let f1 = ctx.informativeness_of(&trial);
             match round_best {
                 Some((_, bf)) if bf >= f1 => {}
                 _ => round_best = Some((s, f1)),
@@ -68,16 +164,28 @@ pub fn extract(
         let Some((chosen, f1)) = round_best else {
             break;
         };
-        selected.push(chosen);
-        selected.sort_unstable();
+        let sent = &doc.sentences[chosen];
+        let k = sel_sents.partition_point(|&x| x < chosen);
+        let split = run_offsets[k];
+        sel_tokens.splice(split..split, sent.token_start..sent.token_end);
+        sel_sents.insert(k, chosen);
+        run_offsets.clear();
+        run_offsets.push(0);
+        let mut acc = 0;
+        for &x in &sel_sents {
+            acc += doc.sentences[x].len();
+            run_offsets.push(acc);
+        }
+        member.insert(chosen);
+        sel_bound = sel_bound.max(bounds[chosen]);
         steps.push((chosen, f1));
         if f1 > best_f1 {
             best_f1 = f1;
-            best_subset = selected.clone();
+            best_subset = sel_sents.clone();
         }
         if f1 >= 1.0 - 1e-9 {
             return AseResult {
-                sentences: selected,
+                sentences: sel_sents,
                 exact: true,
                 best_f1: 1.0,
                 steps,
@@ -92,35 +200,6 @@ pub fn extract(
     }
 }
 
-/// Reusable buffers for the greedy trials.
-#[derive(Default)]
-struct TrialScratch {
-    qa: SelectionScratch,
-    indices: Vec<usize>,
-}
-
-/// Prediction overlap of the QA model on a sentence subset, predicted
-/// over the already-analysed document projected onto the subset's
-/// tokens — no re-tokenization per trial (the greedy search runs
-/// O(sentences²) trials per distillation).
-fn f1_of_subset(
-    qa: &QaModel,
-    q: &QuestionAnalysis,
-    question: &str,
-    answer: &str,
-    doc: &Document,
-    subset: &[usize],
-    scratch: &mut TrialScratch,
-) -> f64 {
-    scratch.indices.clear();
-    for &s in subset {
-        let sent = &doc.sentences[s];
-        scratch.indices.extend(sent.token_start..sent.token_end);
-    }
-    let pred = qa.predict_selection(q, doc, &scratch.indices, question, &mut scratch.qa);
-    token_f1(&pred.text, answer).f1
-}
-
 /// Surface text of a sentence subset, in document order.
 pub fn subset_text(doc: &Document, subset: &[usize]) -> String {
     let mut parts = Vec::with_capacity(subset.len());
@@ -130,10 +209,96 @@ pub fn subset_text(doc: &Document, subset: &[usize]) -> String {
     parts.join(" ")
 }
 
+/// The paper-literal greedy sentence search kept as a verification
+/// oracle: per-trial `contains` scans, clone-and-sort subset building,
+/// and a full from-scratch QA prediction per trial. The optimized
+/// [`extract`] must match it bit for bit (sentences, exact flag,
+/// `best_f1`, step log); the cross-crate property suite asserts exactly
+/// that on randomized pipelines.
+#[doc(hidden)]
+pub mod reference {
+    use super::AseResult;
+    use gced_metrics::overlap::token_f1;
+    use gced_qa::{QaModel, QuestionAnalysis, SelectionScratch};
+    use gced_text::Document;
+
+    /// Reference ASE. See [`super::extract`].
+    pub fn extract(
+        qa: &QaModel,
+        q: &QuestionAnalysis,
+        question: &str,
+        answer: &str,
+        doc: &Document,
+        max_sentences: usize,
+    ) -> AseResult {
+        let n_sents = doc.sentences.len();
+        if n_sents == 0 {
+            return AseResult::empty();
+        }
+        let mut scratch = SelectionScratch::default();
+        let mut indices: Vec<usize> = Vec::new();
+        let mut selected: Vec<usize> = Vec::new();
+        let mut steps: Vec<(usize, f64)> = Vec::new();
+        // The paper's fallback: the best-overlap subset actually seen by
+        // the search (each round's winner is the max of its round).
+        let mut best_subset: Vec<usize> = Vec::new();
+        let mut best_f1 = f64::NEG_INFINITY;
+        let cap = max_sentences.max(1).min(n_sents);
+        while selected.len() < cap {
+            let mut round_best: Option<(usize, f64)> = None;
+            for s in 0..n_sents {
+                if selected.contains(&s) {
+                    continue;
+                }
+                let mut trial = selected.clone();
+                trial.push(s);
+                trial.sort_unstable();
+                indices.clear();
+                for &t in &trial {
+                    let sent = &doc.sentences[t];
+                    indices.extend(sent.token_start..sent.token_end);
+                }
+                let pred = qa.predict_selection(q, doc, &indices, question, &mut scratch);
+                let f1 = token_f1(&pred.text, answer).f1;
+                match round_best {
+                    Some((_, bf)) if bf >= f1 => {}
+                    _ => round_best = Some((s, f1)),
+                }
+            }
+            let Some((chosen, f1)) = round_best else {
+                break;
+            };
+            selected.push(chosen);
+            selected.sort_unstable();
+            steps.push((chosen, f1));
+            if f1 > best_f1 {
+                best_f1 = f1;
+                best_subset = selected.clone();
+            }
+            if f1 >= 1.0 - 1e-9 {
+                return AseResult {
+                    sentences: selected,
+                    exact: true,
+                    best_f1: 1.0,
+                    steps,
+                };
+            }
+        }
+        AseResult {
+            sentences: best_subset,
+            exact: false,
+            best_f1,
+            steps,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gced_qa::ModelProfile;
+    use crate::scoring::{reference_perplexity, EvidenceScorer};
+    use gced_lm::TrigramLm;
+    use gced_qa::{ModelProfile, QaModel, QuestionAnalysis};
     use gced_text::analyze;
     use std::sync::OnceLock;
 
@@ -156,16 +321,59 @@ mod tests {
         })
     }
 
+    fn lm() -> &'static TrigramLm {
+        static LM: OnceLock<TrigramLm> = OnceLock::new();
+        LM.get_or_init(|| {
+            let corpus: Vec<Vec<String>> = ["the broncos defeated the panthers"]
+                .iter()
+                .map(|s| s.split(' ').map(String::from).collect())
+                .collect();
+            TrigramLm::train(&corpus)
+        })
+    }
+
+    /// Run the optimized search through a throwaway engine, asserting
+    /// bit-identity with the reference oracle on the way out.
+    fn extract_checked(
+        qa: &QaModel,
+        question: &str,
+        answer: &str,
+        doc: &Document,
+        cap: usize,
+    ) -> AseResult {
+        let lm = lm();
+        let ppl_ref = reference_perplexity(lm, &[], 1);
+        let scorer = EvidenceScorer::new(qa, lm, question, answer, ppl_ref, (0.5, 0.2, 0.3));
+        let mut ctx = scorer.search_context(doc);
+        let fast = extract(&mut ctx, cap);
+        let q = QuestionAnalysis::new(question);
+        let oracle = reference::extract(qa, &q, question, answer, doc, cap);
+        assert_eq!(fast.sentences, oracle.sentences, "sentences diverge");
+        assert_eq!(fast.exact, oracle.exact, "exact flag diverges");
+        assert_eq!(
+            fast.best_f1.to_bits(),
+            oracle.best_f1.to_bits(),
+            "best_f1 diverges: {} vs {}",
+            fast.best_f1,
+            oracle.best_f1
+        );
+        assert_eq!(fast.steps.len(), oracle.steps.len(), "step count diverges");
+        for (a, b) in fast.steps.iter().zip(&oracle.steps) {
+            assert_eq!(a.0, b.0, "step sentence diverges");
+            assert_eq!(a.1.to_bits(), b.1.to_bits(), "step F1 diverges");
+        }
+        fast
+    }
+
     #[test]
     fn finds_the_answer_sentence() {
         let qa = plm();
         let question = "Which team defeated the Panthers?";
-        let q = QuestionAnalysis::new(question);
         let doc = analyze(
             "The weather was mild that week. The Denver Broncos defeated the Carolina Panthers. \
              Tickets sold out early.",
         );
-        let r = extract(qa, &q, question, "Denver Broncos", &doc, 3);
+        let r = extract_checked(qa, question, "Denver Broncos", &doc, 3);
         assert!(r.sentences.contains(&1), "selected {:?}", r.sentences);
         assert!(r.best_f1 > 0.9);
     }
@@ -174,11 +382,10 @@ mod tests {
     fn stops_at_first_exact_prediction() {
         let qa = plm();
         let question = "Which team defeated the Panthers?";
-        let q = QuestionAnalysis::new(question);
         let doc = analyze(
             "The Denver Broncos defeated the Carolina Panthers. The parade lasted two days.",
         );
-        let r = extract(qa, &q, question, "Denver Broncos", &doc, 4);
+        let r = extract_checked(qa, question, "Denver Broncos", &doc, 4);
         if r.exact {
             assert_eq!(
                 r.sentences.len(),
@@ -192,32 +399,48 @@ mod tests {
     fn falls_back_to_best_overlap_when_unpredictable() {
         let qa = plm();
         let question = "Who composed the anthem?";
-        let q = QuestionAnalysis::new(question);
         let doc = analyze("The bridge was built in 1876. The river floods in spring.");
-        let r = extract(qa, &q, question, "Johann Strauss", &doc, 2);
+        let r = extract_checked(qa, question, "Johann Strauss", &doc, 2);
         assert!(!r.exact);
         assert!(!r.sentences.is_empty());
         assert_eq!(r.best_f1, 0.0);
     }
 
     #[test]
+    fn all_zero_f1_fallback_is_the_first_round_winner() {
+        // Regression for the degenerate `vec![0]` seed: with every
+        // subset at F1 = 0 the returned fallback must be a subset the
+        // search actually evaluated (the first round winner), not a
+        // hardcoded sentence.
+        let qa = plm();
+        let question = "Who composed the anthem?";
+        let doc =
+            analyze("The bridge was built in 1876. The river floods in spring. Nothing else.");
+        let r = extract_checked(qa, question, "Johann Strauss", &doc, 3);
+        assert_eq!(r.best_f1, 0.0);
+        assert_eq!(r.sentences.len(), 1, "fallback is one round-1 winner");
+        assert_eq!(r.sentences, vec![r.steps[0].0]);
+    }
+
+    #[test]
     fn empty_document() {
         let qa = plm();
-        let q = QuestionAnalysis::new("Who?");
         let doc = analyze("");
-        let r = extract(qa, &q, "Who?", "X", &doc, 3);
+        let r = extract_checked(qa, "Who?", "X", &doc, 3);
         assert!(r.sentences.is_empty());
+        assert!(!r.exact);
+        assert_eq!(r.best_f1, 0.0);
+        assert!(r.steps.is_empty());
     }
 
     #[test]
     fn respects_sentence_cap() {
         let qa = plm();
         let question = "Which team defeated the Panthers?";
-        let q = QuestionAnalysis::new(question);
         let doc = analyze(
             "Rain fell. Wind blew. Clouds came. The Broncos defeated the Panthers. Snow fell.",
         );
-        let r = extract(qa, &q, question, "Broncos", &doc, 2);
+        let r = extract_checked(qa, question, "Broncos", &doc, 2);
         assert!(r.sentences.len() <= 2);
     }
 
@@ -231,10 +454,90 @@ mod tests {
     fn deterministic() {
         let qa = plm();
         let question = "Which river flows through the city?";
-        let q = QuestionAnalysis::new(question);
         let doc = analyze("The Seine River flows through the center of Paris. Paris is large.");
-        let a = extract(qa, &q, question, "Seine", &doc, 3);
-        let b = extract(qa, &q, question, "Seine", &doc, 3);
+        let a = extract_checked(qa, question, "Seine", &doc, 3);
+        let b = extract_checked(qa, question, "Seine", &doc, 3);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn matches_reference_on_randomized_documents() {
+        // Many shapes: answer present/absent/split across sentences,
+        // repeated sentences, single-sentence docs.
+        let qa = plm();
+        let sentences = [
+            "The weather was mild that week.",
+            "The Denver Broncos defeated the Carolina Panthers.",
+            "Tickets sold out early.",
+            "Denver is a large city.",
+            "The Broncos celebrated the title.",
+            "The parade lasted two days.",
+            "Nothing happened on Tuesday.",
+        ];
+        let questions = [
+            ("Which team defeated the Panthers?", "Denver Broncos"),
+            ("Who won the title?", "the Broncos"),
+            ("What lasted two days?", "parade"),
+            ("Who composed the anthem?", "Johann Strauss"),
+        ];
+        let mut seed = 0x9e3779b97f4a7c15u64;
+        for case in 0..24 {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let k = 1 + (seed >> 7) as usize % sentences.len();
+            let mut text = String::new();
+            for j in 0..k {
+                let idx = ((seed >> (j * 5)) as usize).wrapping_add(case) % sentences.len();
+                text.push_str(sentences[idx]);
+                text.push(' ');
+            }
+            let doc = analyze(&text);
+            let (question, answer) = questions[case % questions.len()];
+            let cap = 1 + case % 4;
+            extract_checked(qa, question, answer, &doc, cap);
+        }
+    }
+
+    #[test]
+    fn f1_bounds_are_admissible() {
+        // Pruning soundness: no trial's F1 may exceed the max bound of
+        // its member sentences — a pruned candidate can never beat the
+        // round winner.
+        let qa = plm();
+        let question = "Which team defeated the Panthers?";
+        let answer = "Denver Broncos";
+        let q = QuestionAnalysis::new(question);
+        let doc = analyze(
+            "The weather was mild that week. The Denver Broncos defeated the Carolina \
+             Panthers. Tickets sold out early. Denver is a large city.",
+        );
+        let bounds = sentence_f1_bounds(&doc, answer);
+        let n = doc.sentences.len();
+        let mut scratch = gced_qa::SelectionScratch::default();
+        for mask in 1..(1usize << n) {
+            let subset: Vec<usize> = (0..n).filter(|i| mask & (1 << i) != 0).collect();
+            let indices: Vec<usize> = subset
+                .iter()
+                .flat_map(|&s| doc.sentences[s].token_start..doc.sentences[s].token_end)
+                .collect();
+            let pred = qa.predict_selection(&q, &doc, &indices, question, &mut scratch);
+            let f1 = token_f1(&pred.text, answer).f1;
+            let bound = subset
+                .iter()
+                .map(|&s| bounds[s])
+                .fold(f64::NEG_INFINITY, f64::max);
+            assert!(
+                f1 <= bound + 1e-15,
+                "subset {subset:?}: F1 {f1} exceeds bound {bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_normalized_answer_disables_the_bound() {
+        let doc = analyze("The bridge was built. The river floods.");
+        let bounds = sentence_f1_bounds(&doc, "the");
+        assert_eq!(bounds, vec![1.0, 1.0]);
     }
 }

@@ -107,6 +107,8 @@ pub struct Distillation {
 struct DistillOpts {
     /// Run the clip search through the reference oracle.
     reference_clip: bool,
+    /// Run the grow search (ASE) through the reference oracle.
+    reference_ase: bool,
     /// Allow candidate-level parallelism inside the clip search.
     parallel_clip: bool,
 }
@@ -115,6 +117,7 @@ impl Default for DistillOpts {
     fn default() -> Self {
         DistillOpts {
             reference_clip: false,
+            reference_ase: false,
             parallel_clip: true,
         }
     }
@@ -222,6 +225,22 @@ impl Gced {
         self.parser.parse_cache_stats()
     }
 
+    /// Pre-fill the parse cache by analysing and parsing `context`
+    /// through the exact per-sentence path a distillation uses, so a
+    /// long-lived server's first requests hit a warm cache. Returns the
+    /// number of sentences parsed; a no-op (0) without a parse cache.
+    pub fn warm_parse_cache(&self, context: &str) -> usize {
+        if self.parse_cache_stats().is_none() {
+            return 0;
+        }
+        let doc = analyze(context);
+        if doc.is_empty() {
+            return 0;
+        }
+        let _ = gced_parser::parse_document_with(&doc, &self.parser);
+        doc.sentences.len()
+    }
+
     /// The internal PLM-substitute QA model.
     pub fn qa_model(&self) -> &QaModel {
         &self.qa
@@ -261,6 +280,26 @@ impl Gced {
         self.distill_opts(question, answer, context, opts)
     }
 
+    /// [`Gced::distill`] running **both** search phases through their
+    /// paper-literal reference formulations ([`ase::reference::extract`]
+    /// and [`oec::reference::clip`]) instead of the shared incremental
+    /// engine. Exposed for the oracle-equivalence property tests; the
+    /// two paths must produce identical output.
+    #[doc(hidden)]
+    pub fn distill_with_reference_search(
+        &self,
+        question: &str,
+        answer: &str,
+        context: &str,
+    ) -> Result<Distillation, DistillError> {
+        let opts = DistillOpts {
+            reference_clip: true,
+            reference_ase: true,
+            ..DistillOpts::default()
+        };
+        self.distill_opts(question, answer, context, opts)
+    }
+
     fn distill_opts(
         &self,
         question: &str,
@@ -280,16 +319,21 @@ impl Gced {
         let scorer =
             EvidenceScorer::new(&self.qa, &self.lm, question, answer, self.ppl_ref, weights);
 
-        // ---- ASE ---------------------------------------------------------
+        // ---- ASE (grow phase of the shared search engine) ---------------
         let aos_text = if self.config.ablation.use_ase {
-            let r = ase::extract(
-                &self.qa,
-                scorer.question_analysis(),
-                question,
-                answer,
-                &ctx_doc,
-                self.config.max_ase_sentences,
-            );
+            let r = if opts.reference_ase {
+                ase::reference::extract(
+                    &self.qa,
+                    scorer.question_analysis(),
+                    question,
+                    answer,
+                    &ctx_doc,
+                    self.config.max_ase_sentences,
+                )
+            } else {
+                let mut grow = scorer.search_context(&ctx_doc);
+                ase::extract(&mut grow, self.config.max_ase_sentences)
+            };
             let text = ase::subset_text(&ctx_doc, &r.sentences);
             trace.ase = Some(r);
             text

@@ -16,7 +16,7 @@
 
 use crate::config::ClipMode;
 use crate::efc::EvidenceForest;
-use crate::scoring::{EvidenceScorer, EvidenceScores, ScoreScratch};
+use crate::scoring::{Bitset, EvidenceScorer, EvidenceScores, ScoreScratch};
 use crate::wsptc::WeightedTree;
 use gced_text::Document;
 use std::collections::BTreeSet;
@@ -144,10 +144,11 @@ pub fn subtree_within(wt: &WeightedTree, node: usize, te: &BTreeSet<usize>) -> B
 /// the current evidence into every candidate subtree removal (with
 /// protected-containment computed by aggregation), membership lives in a
 /// `u64` bitset instead of per-candidate `BTreeSet` clones, duplicate
-/// removals are deduplicated, and candidates are scored through
-/// [`DocScorer`] — masked QA prediction plus an incremental LM walk.
-/// Candidate evaluation parallelizes across worker threads when the
-/// evidence is large enough to pay for it.
+/// removals are deduplicated, and candidates are scored through the
+/// shared [`crate::scoring::SearchContext`] — masked QA prediction with
+/// span-score partials replayed across iterations, plus an incremental
+/// LM walk. Candidate evaluation parallelizes across worker threads when
+/// the evidence is large enough to pay for it.
 ///
 /// The result is **bit-identical** to [`reference::clip`] (the paper-
 /// literal formulation kept as a test oracle): same evidence, same step
@@ -194,12 +195,12 @@ pub(crate) fn clip_with_options(
     let n = wt.tree.len();
     let mut members = Bitset::from_iter(n, te.iter().copied());
     let mut te_size = te.len();
-    let mut doc_scorer = scorer.doc_scorer(aos);
-    doc_scorer.set_base(te.iter().copied());
+    let mut search = scorer.search_context(aos);
+    search.set_base(te.iter().copied());
     let mut scratch = ScoreScratch::default();
     let mut decomp = Decomposition::new(n);
     let mut steps = Vec::new();
-    let mut current = doc_scorer.score_base(&mut scratch);
+    let mut current = search.score_base(&mut scratch);
     for _ in 0..max_iters {
         // One pass: every in-TE subtree decomposition, protected flags
         // aggregated bottom-up, deduplicated by DFS segment.
@@ -207,15 +208,18 @@ pub(crate) fn clip_with_options(
         let candidates = decomp.candidates(te_size, te_root);
         // Score candidates and reduce in ascending-node order: identical
         // argmax and tie-breaking to the reference formulation. The
-        // parallel path evaluates every candidate; the sequential path
-        // additionally prunes candidates whose informativeness-bounded
-        // hybrid provably cannot beat the running best (exact — see
-        // `DocScorer::score_if_competitive`). Both select identically.
+        // parallel path evaluates every candidate (the context is shared
+        // immutably, so span partials are not recorded there); the
+        // sequential path scores through the span cache and additionally
+        // prunes candidates whose informativeness-bounded hybrid
+        // provably cannot beat the running best (exact — see
+        // `SearchContext::score_if_competitive`). All paths select
+        // identically.
         let mut best: Option<(usize, EvidenceScores)> = None;
         if allow_parallel && candidates.len() >= PAR_MIN_CANDIDATES && gced_par::max_threads() > 1 {
             let scored: Vec<EvidenceScores> =
                 gced_par::par_map_with(&candidates, ScoreScratch::default, |scratch, _, cand| {
-                    doc_scorer.score_removal(decomp.segment(cand), scratch)
+                    search.score_removal(decomp.segment(cand), scratch)
                 });
             for (k, cand) in candidates.iter().enumerate() {
                 let h = scored[k].hybrid;
@@ -240,7 +244,7 @@ pub(crate) fn clip_with_options(
                     Some((_, bs)) => bs.hybrid - 1e-12,
                 };
                 let Some(scores) =
-                    doc_scorer.score_if_competitive(decomp.segment(cand), floor, &mut scratch)
+                    search.score_if_competitive(decomp.segment(cand), floor, &mut scratch)
                 else {
                     continue;
                 };
@@ -275,7 +279,7 @@ pub(crate) fn clip_with_options(
             members.remove(x);
         }
         te_size -= removed.len();
-        doc_scorer.set_base(te.iter().copied());
+        search.set_base(te.iter().copied());
         steps.push(ClipStep {
             clipped_node: chosen.node,
             removed,
@@ -445,38 +449,6 @@ impl Decomposition {
     fn segment(&self, cand: &Candidate) -> &[usize] {
         let s = cand.seg_start as usize;
         &self.order[s..s + cand.seg_len as usize]
-    }
-}
-
-/// Word-packed membership bitset (the naïve search cloned a `BTreeSet`
-/// per candidate; membership tests here are one shift and mask).
-struct Bitset {
-    words: Vec<u64>,
-    n: usize,
-}
-
-impl Bitset {
-    fn from_iter<I: IntoIterator<Item = usize>>(n: usize, iter: I) -> Self {
-        let mut b = Bitset {
-            words: vec![0; n.div_ceil(64)],
-            n,
-        };
-        for i in iter {
-            b.words[i / 64] |= 1 << (i % 64);
-        }
-        b
-    }
-
-    fn contains(&self, i: usize) -> bool {
-        self.words[i / 64] >> (i % 64) & 1 == 1
-    }
-
-    fn remove(&mut self, i: usize) {
-        self.words[i / 64] &= !(1 << (i % 64));
-    }
-
-    fn iter(&self) -> impl Iterator<Item = usize> + '_ {
-        (0..self.n).filter(|&i| self.contains(i))
     }
 }
 

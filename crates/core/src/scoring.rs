@@ -23,19 +23,24 @@
 //!
 //! ## The selection-scoring hot path
 //!
-//! Sequential Clip Searching evaluates hundreds of candidate node
-//! selections of the *same* analysed AOS document. [`DocScorer`] is the
-//! incremental engine for that loop: the question analysis, the
-//! lowercased word ids, and the per-position LM scores of the current
-//! evidence are computed once, and each candidate removal is scored with
-//! zero re-tokenization ([`gced_qa::QaModel::predict_selection`]) and an
-//! incremental log-prob walk ([`gced_lm::TrigramLm::log_prob_after_removal`])
-//! that is **bitwise-identical** to scoring the remaining selection from
-//! scratch — the invariant the clip-search oracle tests pin down.
+//! Both phases of the Grow-and-Clip search evaluate hundreds of
+//! candidate selections of the *same* analysed document: the grow search
+//! (ASE) trials sentence subsets of the context, the clip search (SCS)
+//! trials token removals of the evidence. [`SearchContext`] is the one
+//! incremental engine both run on: per document it owns the lowercased
+//! LM word ids, the per-position LM scores of the current evidence, and
+//! the QA span-score partials keyed by (sentence run, clue layout)
+//! ([`gced_qa::SelectionScoreCache`]). Each candidate selection is then
+//! scored with zero re-tokenization, replayed span partials for the
+//! unchanged runs ([`gced_qa::QaModel::predict_selection_cached`]), and
+//! an incremental log-prob walk
+//! ([`gced_lm::TrigramLm::log_prob_after_removal`]) — all
+//! **bitwise-identical** to scoring the selection from scratch, the
+//! invariant the grow- and clip-search oracle tests pin down.
 
 use gced_lm::{SeqScores, TrigramLm};
 use gced_metrics::overlap::token_f1;
-use gced_qa::{QaModel, QuestionAnalysis, SelectionScratch};
+use gced_qa::{QaModel, QuestionAnalysis, SelectionScoreCache, SelectionScratch};
 use gced_text::vocab::WordId;
 use gced_text::Document;
 use std::collections::BTreeSet;
@@ -144,7 +149,7 @@ impl<'a> EvidenceScorer<'a> {
     }
 
     /// [`EvidenceScorer::score_selection`] over a sorted index slice with
-    /// caller-provided buffers. One-shot path: [`DocScorer`] amortizes
+    /// caller-provided buffers. One-shot path: [`SearchContext`] amortizes
     /// the per-document work when many selections of the same document
     /// are scored.
     pub fn score_indices(
@@ -169,20 +174,17 @@ impl<'a> EvidenceScorer<'a> {
         self.assemble(informativeness, selected.len(), ppl)
     }
 
-    /// Start an incremental scoring session over one analysed document.
-    pub fn doc_scorer<'s>(&'s self, aos: &'s Document) -> DocScorer<'s, 'a> {
-        let tok_ids: Vec<WordId> = aos
-            .tokens
-            .iter()
-            .map(|t| self.lm.vocab().get(&t.lower()))
-            .collect();
-        DocScorer {
+    /// Start an incremental search session over one analysed document —
+    /// the shared engine of the grow and clip phases.
+    pub fn search_context<'s>(&'s self, doc: &'s Document) -> SearchContext<'s, 'a> {
+        SearchContext {
             scorer: self,
-            aos,
-            tok_ids,
+            aos: doc,
+            tok_ids: None,
             base: Vec::new(),
-            pos_in_base: vec![usize::MAX; aos.len()],
+            pos_in_base: vec![usize::MAX; doc.len()],
             base_seq: None,
+            qa_cache: SelectionScoreCache::new(),
         }
     }
 
@@ -214,28 +216,73 @@ impl<'a> EvidenceScorer<'a> {
     }
 }
 
-/// Incremental selection scorer for one analysed document (the clip
-/// search's inner loop): per-token word ids are interned once, and the
-/// current evidence ("base") carries cached per-position LM scores so a
-/// candidate removal costs one masked QA prediction plus an incremental
-/// log-prob walk.
+/// The incremental evidence-search engine for one analysed document —
+/// the state both Grow-and-Clip phases share:
+///
+/// * **masked document projections** — QA predictions run over token
+///   selections of the original analysis, never a re-tokenization;
+/// * **QA span-score partials** keyed by (sentence run, clue layout)
+///   ([`gced_qa::SelectionScoreCache`]) — near-identical selections
+///   (adjacent grow trials, consecutive clip iterations) re-score only
+///   the runs that changed;
+/// * **LM caches** — per-token word ids interned once, and the current
+///   evidence ("base") carries per-position trigram scores so a removal
+///   costs an incremental log-prob walk.
 ///
 /// Every score produced here is bitwise-identical to
 /// [`EvidenceScorer::score_selection`] on the corresponding selection.
-pub struct DocScorer<'s, 'a> {
+pub struct SearchContext<'s, 'a> {
     scorer: &'s EvidenceScorer<'a>,
     aos: &'s Document,
-    /// LM word id per document token.
-    tok_ids: Vec<WordId>,
+    /// LM word id per document token (interned on first `set_base` —
+    /// grow-only contexts never touch the LM).
+    tok_ids: Option<Vec<WordId>>,
     /// Current evidence selection, ascending token indices.
     base: Vec<usize>,
     /// token index -> position in `base` (usize::MAX when absent).
     pos_in_base: Vec<usize>,
     /// Cached per-position LM scores of the base sequence.
     base_seq: Option<SeqScores>,
+    /// Span-score partials shared by every selection scored here.
+    qa_cache: SelectionScoreCache,
 }
 
-impl<'s, 'a> DocScorer<'s, 'a> {
+impl<'s, 'a> SearchContext<'s, 'a> {
+    /// The document this context searches over.
+    pub fn doc(&self) -> &'s Document {
+        self.aos
+    }
+
+    /// The input answer selections are scored against.
+    pub fn answer(&self) -> &'a str {
+        self.scorer.answer
+    }
+
+    /// Informativeness (Eq. 1 F1) of an arbitrary selection — the grow
+    /// search's trial metric, served through the span-score cache.
+    pub fn informativeness_of(&mut self, selected: &[usize]) -> f64 {
+        let Self {
+            scorer,
+            aos,
+            qa_cache,
+            ..
+        } = self;
+        let pred = scorer.qa.predict_selection_cached(
+            &scorer.q_analysis,
+            aos,
+            selected,
+            scorer.question,
+            qa_cache,
+        );
+        token_f1(&pred.text, scorer.answer).f1
+    }
+
+    /// Cache-effectiveness counters of the span-score cache:
+    /// (runs replayed, runs scored fresh).
+    pub fn span_cache_stats(&self) -> (u64, u64) {
+        (self.qa_cache.run_hits, self.qa_cache.run_misses)
+    }
+
     /// Install the current evidence selection (ascending token indices)
     /// and precompute its LM cache.
     pub fn set_base<I: IntoIterator<Item = usize>>(&mut self, selection: I) {
@@ -251,7 +298,14 @@ impl<'s, 'a> DocScorer<'s, 'a> {
         for (pos, &i) in self.base.iter().enumerate() {
             self.pos_in_base[i] = pos;
         }
-        let ids: Vec<WordId> = self.base.iter().map(|&i| self.tok_ids[i]).collect();
+        let tok_ids = self.tok_ids.get_or_insert_with(|| {
+            self.aos
+                .tokens
+                .iter()
+                .map(|t| self.scorer.lm.vocab().get(&t.lower()))
+                .collect()
+        });
+        let ids: Vec<WordId> = self.base.iter().map(|&i| tok_ids[i]).collect();
         self.base_seq = Some(self.scorer.lm.seq_scores(ids));
     }
 
@@ -260,16 +314,36 @@ impl<'s, 'a> DocScorer<'s, 'a> {
         &self.base
     }
 
-    /// Score the base selection itself.
-    pub fn score_base(&self, scratch: &mut ScoreScratch) -> EvidenceScores {
-        self.score_removal(&[], scratch)
+    /// Score the base selection itself (through the span-score cache).
+    pub fn score_base(&mut self, scratch: &mut ScoreScratch) -> EvidenceScores {
+        self.score_removal_cached(&[], scratch)
     }
 
     /// Score the evidence obtained by removing `removed` (a sorted set
     /// of token indices, all members of the base) from the base.
+    ///
+    /// This is the *uncached* form (`&self`), used where the context is
+    /// shared across worker threads (the parallel clip fan-out);
+    /// sequential callers use [`SearchContext::score_removal_cached`],
+    /// which produces bitwise-identical scores through the span cache.
     pub fn score_removal(&self, removed: &[usize], scratch: &mut ScoreScratch) -> EvidenceScores {
         self.stage_removal(removed, scratch);
         let informativeness = self.informativeness_of_remaining(scratch);
+        let ppl = self.remaining_perplexity(scratch);
+        self.scorer
+            .assemble(informativeness, scratch.indices.len(), ppl)
+    }
+
+    /// [`SearchContext::score_removal`] through the span-score cache:
+    /// runs unchanged since earlier selections replay their memoized
+    /// best span instead of re-scoring.
+    pub fn score_removal_cached(
+        &mut self,
+        removed: &[usize],
+        scratch: &mut ScoreScratch,
+    ) -> EvidenceScores {
+        self.stage_removal(removed, scratch);
+        let informativeness = self.informativeness_of_remaining_cached(scratch);
         let ppl = self.remaining_perplexity(scratch);
         self.scorer
             .assemble(informativeness, scratch.indices.len(), ppl)
@@ -317,6 +391,21 @@ impl<'s, 'a> DocScorer<'s, 'a> {
         token_f1(&pred.text, self.scorer.answer).f1
     }
 
+    /// Cached twin of [`SearchContext::informativeness_of_remaining`].
+    fn informativeness_of_remaining_cached(&mut self, scratch: &ScoreScratch) -> f64 {
+        let SearchContext {
+            scorer, qa_cache, ..
+        } = self;
+        let pred = scorer.qa.predict_selection_cached(
+            &scorer.q_analysis,
+            self.aos,
+            &scratch.indices,
+            scorer.question,
+            qa_cache,
+        );
+        token_f1(&pred.text, scorer.answer).f1
+    }
+
     /// Hybrid score of the evidence after removing `removed`, with the
     /// conciseness-discard shortcut: a remainder not longer than the
     /// answer scores −∞ (Eq. 2) whatever its other terms, so the QA and
@@ -330,20 +419,22 @@ impl<'s, 'a> DocScorer<'s, 'a> {
         self.score_removal(removed, scratch).hybrid
     }
 
-    /// [`DocScorer::score_removal`] with an exact competitiveness prune:
-    /// the conciseness and readability terms are cheap (O(1) and an
-    /// incremental LM walk), and informativeness is bounded by 1, so when
-    /// `α·1 + β·R + γ·C < floor` the QA prediction — the expensive term —
-    /// is provably pointless and `None` is returned.
+    /// [`SearchContext::score_removal_cached`] with an exact
+    /// competitiveness prune: the conciseness and readability terms are
+    /// cheap (O(1) and an incremental LM walk), and informativeness is
+    /// bounded by 1, so when `α·1 + β·R + γ·C < floor` the QA
+    /// prediction — the expensive term — is provably pointless and
+    /// `None` is returned.
     ///
     /// When a removal survives the prune, the returned [`EvidenceScores`]
-    /// is bitwise-equal to [`DocScorer::score_removal`] (the upper bound
-    /// shares every intermediate float and the summation order with the
-    /// full score, so fp monotonicity makes the prune sound); `None`
-    /// guarantees the removal's hybrid is below `floor`. The −∞ discard
-    /// shortcut reports the discard scores without the QA/LM work.
+    /// is bitwise-equal to [`SearchContext::score_removal`] (the upper
+    /// bound shares every intermediate float and the summation order
+    /// with the full score, so fp monotonicity makes the prune sound);
+    /// `None` guarantees the removal's hybrid is below `floor`. The −∞
+    /// discard shortcut reports the discard scores without the QA/LM
+    /// work.
     pub fn score_if_competitive(
-        &self,
+        &mut self,
         removed: &[usize],
         floor: f64,
         scratch: &mut ScoreScratch,
@@ -371,7 +462,7 @@ impl<'s, 'a> DocScorer<'s, 'a> {
         if upper_bound < floor {
             return None;
         }
-        let informativeness = self.informativeness_of_remaining(scratch);
+        let informativeness = self.informativeness_of_remaining_cached(scratch);
         Some(EvidenceScores {
             informativeness,
             conciseness_raw: 1.0 / remaining as f64,
@@ -380,6 +471,50 @@ impl<'s, 'a> DocScorer<'s, 'a> {
             readability,
             hybrid: a * informativeness + b * readability + g * conciseness,
         })
+    }
+}
+
+/// Word-packed membership bitset over `0..n` — shared by the grow
+/// search (sentence membership) and the clip search (evidence-token
+/// membership): a membership test is one shift and mask instead of a
+/// set scan or clone.
+pub(crate) struct Bitset {
+    words: Vec<u64>,
+    n: usize,
+}
+
+impl Bitset {
+    /// An empty bitset over `0..n`.
+    pub(crate) fn new(n: usize) -> Self {
+        Bitset {
+            words: vec![0; n.div_ceil(64)],
+            n,
+        }
+    }
+
+    /// A bitset over `0..n` with the given members set.
+    pub(crate) fn from_iter<I: IntoIterator<Item = usize>>(n: usize, iter: I) -> Self {
+        let mut b = Bitset::new(n);
+        for i in iter {
+            b.insert(i);
+        }
+        b
+    }
+
+    pub(crate) fn contains(&self, i: usize) -> bool {
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    pub(crate) fn insert(&mut self, i: usize) {
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    pub(crate) fn remove(&mut self, i: usize) {
+        self.words[i / 64] &= !(1 << (i % 64));
+    }
+
+    pub(crate) fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.n).filter(|&i| self.contains(i))
     }
 }
 
@@ -552,7 +687,7 @@ mod tests {
     }
 
     #[test]
-    fn doc_scorer_matches_one_shot_scoring_bitwise() {
+    fn search_context_matches_one_shot_scoring_bitwise() {
         let (qa, lm, ppl_ref) = scorer_parts();
         let s = EvidenceScorer::new(
             &qa,
@@ -567,7 +702,7 @@ mod tests {
              The band played all night in the stadium.",
         );
         let base: Vec<usize> = (0..aos.len()).collect();
-        let mut ds = s.doc_scorer(&aos);
+        let mut ds = s.search_context(&aos);
         ds.set_base(base.iter().copied());
         let mut scratch = ScoreScratch::default();
         // Try several removal sets, including empty and near-total.
@@ -588,6 +723,8 @@ mod tests {
             let one_shot = s.score_selection(&aos, &remaining);
             let incremental = ds.score_removal(&removed, &mut scratch);
             assert_eq!(one_shot, incremental, "removal {removed:?}");
+            let through_cache = ds.score_removal_cached(&removed, &mut scratch);
+            assert_eq!(one_shot, through_cache, "cached removal {removed:?}");
             let h = ds.hybrid_after_removal(&removed, &mut scratch);
             assert!(
                 h == one_shot.hybrid || (h.is_infinite() && one_shot.hybrid.is_infinite()),
@@ -595,14 +732,16 @@ mod tests {
                 one_shot.hybrid
             );
         }
+        let (hits, misses) = ds.span_cache_stats();
+        assert!(hits > 0, "repeated runs never replayed ({hits}/{misses})");
     }
 
     #[test]
-    fn doc_scorer_rebase_after_clip() {
+    fn search_context_rebase_after_clip() {
         let (qa, lm, ppl_ref) = scorer_parts();
         let s = EvidenceScorer::new(&qa, &lm, "Who won?", "Broncos", ppl_ref, (0.5, 0.2, 0.3));
         let aos = gced_text::analyze("The Broncos won the final game in Denver.");
-        let mut ds = s.doc_scorer(&aos);
+        let mut ds = s.search_context(&aos);
         ds.set_base(0..aos.len());
         let mut scratch = ScoreScratch::default();
         let first = ds.score_removal(&[5, 6], &mut scratch);
@@ -611,5 +750,36 @@ mod tests {
         ds.set_base(new_base.iter().copied());
         let rebased = ds.score_base(&mut scratch);
         assert_eq!(first, rebased);
+    }
+
+    #[test]
+    fn informativeness_of_matches_one_shot_scoring() {
+        let (qa, lm, ppl_ref) = scorer_parts();
+        let s = EvidenceScorer::new(
+            &qa,
+            &lm,
+            "Which team defeated the Panthers?",
+            "Broncos",
+            ppl_ref,
+            (0.5, 0.2, 0.3),
+        );
+        let doc = gced_text::analyze(
+            "The weather was mild. The Denver Broncos defeated the Carolina Panthers. \
+             Tickets sold out early.",
+        );
+        let mut ctx = s.search_context(&doc);
+        for sel in [
+            (0..doc.len()).collect::<Vec<_>>(),
+            doc.sentences
+                .iter()
+                .skip(1)
+                .flat_map(|x| x.token_start..x.token_end)
+                .collect(),
+        ] {
+            let set: BTreeSet<usize> = sel.iter().copied().collect();
+            let one_shot = s.score_selection(&doc, &set);
+            let inc = ctx.informativeness_of(&sel);
+            assert_eq!(one_shot.informativeness.to_bits(), inc.to_bits());
+        }
     }
 }

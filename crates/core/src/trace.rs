@@ -39,6 +39,15 @@ impl fmt::Display for DistillTrace {
                 "ASE: sentences {:?} (exact = {}, best F1 = {:.3})",
                 ase.sentences, ase.exact, ase.best_f1
             )?;
+            for (i, (sent, f1)) in ase.steps.iter().enumerate() {
+                writeln!(
+                    f,
+                    "ASE step {}: add sentence {} (F1 = {:.3})",
+                    i + 1,
+                    sent,
+                    f1
+                )?;
+            }
         } else {
             writeln!(f, "ASE: ablated (all sentences kept)")?;
         }
@@ -87,7 +96,7 @@ mod tests {
                 sentences: vec![0, 2],
                 exact: true,
                 best_f1: 1.0,
-                steps: vec![],
+                steps: vec![(0, 0.6), (2, 1.0)],
             }),
             significant_words: vec!["team".into()],
             clue_words: vec!["Broncos".into()],
@@ -110,6 +119,7 @@ mod tests {
         };
         let s = trace.to_string();
         assert!(s.contains("ASE: sentences [0, 2]"));
+        assert!(s.contains("ASE step 2: add sentence 2"));
         assert!(s.contains("clue words"));
         assert!(s.contains("SGS step 1"));
         assert!(s.contains("SCS step 1"));

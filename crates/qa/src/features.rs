@@ -324,7 +324,7 @@ pub fn clue_positions_into(doc: &Document, q: &QuestionAnalysis, out: &mut Vec<u
 }
 
 /// POS tags allowed at span boundaries.
-fn span_boundary(pos: &Pos) -> bool {
+pub(crate) fn span_boundary(pos: &Pos) -> bool {
     matches!(
         pos,
         Pos::Noun | Pos::ProperNoun | Pos::Num | Pos::Adj | Pos::Verb | Pos::Other | Pos::Pronoun

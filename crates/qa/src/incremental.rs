@@ -1,0 +1,773 @@
+//! Incremental selection prediction — the QA half of the shared
+//! evidence-search engine.
+//!
+//! Both halves of Grow-and-Clip evaluate the QA model on many
+//! *selections of one analysed document*: the grow search (ASE) trials
+//! sentence subsets, the clip search (SCS) trials token removals. A
+//! selection splits into **runs** — the maximal groups of selected
+//! tokens sharing one original sentence, which are exactly the sentences
+//! of the projected view ([`gced_text::Document::project_into`]) — and
+//! the span scorer's features factor almost entirely per run: every
+//! feature of a candidate span depends only on the run's own tokens plus
+//! four small integers describing the *clue layout* around it (distance
+//! to the nearest clue / verb-clue before and after the run, in view
+//! coordinates).
+//!
+//! [`SelectionScoreCache`] exploits that factorization: per-run best
+//! spans are memoized keyed by `(run, clue layout)`, so consecutive
+//! near-identical selections (adjacent greedy trials, consecutive clip
+//! iterations) re-score only the runs that actually changed. Every
+//! prediction is **bitwise identical** to
+//! [`QaModel::predict_selection`] on the same selection — the features
+//! are computed by mirrored arithmetic on the same inputs, the argmax
+//! uses the same first-strict-max rule, and the property suite pins the
+//! equivalence on randomized documents and selections.
+//!
+//! The cache transparently falls back to the uncached path when the
+//! factorization does not hold: score-noise profiles perturb spans by
+//! their *view-global* coordinates, and window truncation cuts runs
+//! mid-sentence, so both gate to [`QaModel::predict_selection`].
+
+use crate::features::{span_boundary, wh_block, QuestionAnalysis, N_BASE};
+use crate::model::{Prediction, QaModel, SelectionScratch, MAX_SPAN};
+use gced_text::{join_tokens, Document, Token};
+use std::collections::HashMap;
+
+/// Absent cross-run clue distance.
+const NONE: u32 = u32::MAX;
+
+/// The clue layout around one run, in view coordinates: distance from
+/// the run start to the nearest clue / verb-clue before it, and from the
+/// run end to the nearest clue / verb-clue after it (`NONE` = absent).
+/// Together with the run's own tokens this determines every span
+/// feature, so it is the memoization key's context half.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct CrossCtx {
+    gb: u32,
+    ga: u32,
+    vb: u32,
+    va: u32,
+}
+
+/// Best span of one run under one clue layout: run-relative token range
+/// plus its score (`None` when the run admits no candidate span).
+#[derive(Debug, Clone, Copy)]
+struct RunBest {
+    rel: Option<(u32, u32)>,
+    score: f64,
+}
+
+/// Context-independent data of one run, computed once per distinct run.
+#[derive(Debug)]
+struct RunEntry {
+    /// Sentence clue coverage (feature f1) of the run.
+    coverage: f64,
+    /// In-run clue positions, run-relative, ascending.
+    clues_rel: Vec<u32>,
+    /// In-run verb-clue positions, run-relative, ascending.
+    verb_clues_rel: Vec<u32>,
+    /// Memoized best spans per clue layout.
+    by_ctx: Vec<(CrossCtx, RunBest)>,
+}
+
+/// Scratch describing one run of the current selection.
+#[derive(Debug, Clone, Copy)]
+struct RunRef {
+    /// Start within `selected` (also the run's view start).
+    start: usize,
+    /// One past the end within `selected`.
+    end: usize,
+}
+
+/// Per-(question, document) cache of span-score partials.
+///
+/// Create one per analysed document and reuse it for every selection of
+/// that document scored against one question — the contract the search
+/// engine's `SearchContext` upholds. Feeding selections of a different
+/// document or question produces unspecified predictions (debug builds
+/// assert the document size).
+#[derive(Debug, Default)]
+pub struct SelectionScoreCache {
+    init: bool,
+    doc_len: usize,
+    /// token -> matches a question content word (clue / f5 predicate).
+    clue: Vec<bool>,
+    /// token -> clue with `Pos::Verb`.
+    verb_clue: Vec<bool>,
+    /// token -> id of its lemma among content lemmas (f1), or `NONE`.
+    cov_lemma: Vec<u32>,
+    /// token -> id of its lemma among matched lemmas (coverage), or `NONE`.
+    matched_lemma: Vec<u32>,
+    /// Number of distinct matched-lemma ids.
+    n_matched: usize,
+    /// `q.content_lemmas.len()`.
+    total_content: usize,
+    /// token -> IDF value (feature f6 term).
+    idf_val: Vec<f64>,
+    runs: HashMap<Box<[u32]>, RunEntry>,
+    /// Cache effectiveness counters (runs scored fresh vs replayed).
+    pub run_misses: u64,
+    /// See [`SelectionScoreCache::run_misses`].
+    pub run_hits: u64,
+    // -- per-call scratch ------------------------------------------------
+    run_refs: Vec<RunRef>,
+    ctxs: Vec<CrossCtx>,
+    bests: Vec<RunBest>,
+    seen_stamp: Vec<u32>,
+    stamp: u32,
+    key_buf: Vec<u32>,
+    winner_tokens: Vec<Token>,
+    fallback: SelectionScratch,
+}
+
+impl SelectionScoreCache {
+    /// A fresh, empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// (Re)build the per-token tables for one (question, document) pair.
+    fn init(&mut self, qa: &QaModel, q: &QuestionAnalysis, doc: &Document) {
+        let n = doc.len();
+        self.doc_len = n;
+        self.clue.clear();
+        self.verb_clue.clear();
+        self.cov_lemma.clear();
+        self.matched_lemma.clear();
+        self.idf_val.clear();
+        self.runs.clear();
+        self.total_content = q.content_lemmas.len();
+        let mut cov_ids: HashMap<&str, u32> = HashMap::new();
+        let mut matched_ids: HashMap<&str, u32> = HashMap::new();
+        for t in &doc.tokens {
+            let lower = t.lower();
+            let matched = q.matches(&lower, &t.lemma);
+            self.clue.push(matched);
+            self.verb_clue
+                .push(matched && t.pos == gced_text::Pos::Verb);
+            self.cov_lemma.push(if q.content_lemmas.contains(&t.lemma) {
+                let next = cov_ids.len() as u32;
+                *cov_ids.entry(t.lemma.as_str()).or_insert(next)
+            } else {
+                NONE
+            });
+            self.matched_lemma.push(if matched {
+                let next = matched_ids.len() as u32;
+                *matched_ids.entry(t.lemma.as_str()).or_insert(next)
+            } else {
+                NONE
+            });
+            self.idf_val
+                .push(qa.idf.get(&lower).copied().unwrap_or(2.0));
+        }
+        self.n_matched = matched_ids.len();
+        self.seen_stamp = vec![0; cov_ids.len().max(self.n_matched)];
+        self.stamp = 0;
+        self.init = true;
+    }
+
+    /// Next dedup stamp (lazy-cleared `seen` bitmap).
+    fn bump_stamp(&mut self) -> u32 {
+        self.stamp = self.stamp.wrapping_add(1);
+        if self.stamp == 0 {
+            self.seen_stamp.iter_mut().for_each(|s| *s = 0);
+            self.stamp = 1;
+        }
+        self.stamp
+    }
+}
+
+impl QaModel {
+    /// [`QaModel::predict_selection`] through a span-score cache: runs
+    /// unchanged since an earlier selection (same tokens, same clue
+    /// layout) replay their memoized best span instead of re-scoring.
+    /// Bitwise-identical output; falls back to the uncached path for
+    /// noisy profiles and window-truncated views.
+    pub fn predict_selection_cached(
+        &self,
+        q: &QuestionAnalysis,
+        doc: &Document,
+        selected: &[usize],
+        question: &str,
+        cache: &mut SelectionScoreCache,
+    ) -> Prediction {
+        if self.profile().noise != 0.0 || selected.len() > self.profile().window {
+            return self.predict_selection(q, doc, selected, question, &mut cache.fallback);
+        }
+        if !cache.init {
+            cache.init(self, q, doc);
+        }
+        debug_assert_eq!(
+            cache.doc_len,
+            doc.len(),
+            "SelectionScoreCache is bound to one document"
+        );
+
+        // ---- segment the selection into sentence runs -------------------
+        cache.run_refs.clear();
+        let mut i = 0;
+        while i < selected.len() {
+            let sent = doc.tokens[selected[i]].sent;
+            let start = i;
+            while i < selected.len() && doc.tokens[selected[i]].sent == sent {
+                i += 1;
+            }
+            cache.run_refs.push(RunRef { start, end: i });
+        }
+
+        // ---- question coverage (abstention check) -----------------------
+        // Mirrors `question_coverage` on the projected view: distinct
+        // matched lemmas across all runs, capped at the content total.
+        let coverage = if cache.total_content == 0 {
+            1.0
+        } else {
+            let stamp = cache.bump_stamp();
+            let mut present = 0usize;
+            for &t in selected {
+                let id = cache.matched_lemma[t];
+                if id != NONE && cache.seen_stamp[id as usize] != stamp {
+                    cache.seen_stamp[id as usize] = stamp;
+                    present += 1;
+                }
+            }
+            present.min(cache.total_content) as f64 / cache.total_content as f64
+        };
+        if coverage < self.threshold() {
+            return Prediction::none();
+        }
+
+        // ---- clue layout per run (view coordinates) ---------------------
+        // Forward pass tracks the nearest clue / verb-clue before each
+        // run; backward pass the nearest after. Distances are run-edge
+        // relative, so runs keep their layout when far-away parts of the
+        // selection change.
+        let n_runs = cache.run_refs.len();
+        cache.ctxs.clear();
+        cache.ctxs.resize(
+            n_runs,
+            CrossCtx {
+                gb: NONE,
+                ga: NONE,
+                vb: NONE,
+                va: NONE,
+            },
+        );
+        let mut last_clue: Option<usize> = None;
+        let mut last_verb: Option<usize> = None;
+        for r in 0..n_runs {
+            let RunRef { start, end } = cache.run_refs[r];
+            cache.ctxs[r].gb = last_clue.map_or(NONE, |p| (start - p) as u32);
+            cache.ctxs[r].vb = last_verb.map_or(NONE, |p| (start - p) as u32);
+            for (v, &t) in selected.iter().enumerate().take(end).skip(start) {
+                if cache.clue[t] {
+                    last_clue = Some(v);
+                    if cache.verb_clue[t] {
+                        last_verb = Some(v);
+                    }
+                }
+            }
+        }
+        let mut next_clue: Option<usize> = None;
+        let mut next_verb: Option<usize> = None;
+        for r in (0..n_runs).rev() {
+            let RunRef { start, end } = cache.run_refs[r];
+            cache.ctxs[r].ga = next_clue.map_or(NONE, |p| (p + 1 - end) as u32);
+            cache.ctxs[r].va = next_verb.map_or(NONE, |p| (p + 1 - end) as u32);
+            for v in (start..end).rev() {
+                let t = selected[v];
+                if cache.clue[t] {
+                    if next_clue.is_none_or(|p| v < p) {
+                        next_clue = Some(v);
+                    }
+                    if cache.verb_clue[t] && next_verb.is_none_or(|p| v < p) {
+                        next_verb = Some(v);
+                    }
+                }
+            }
+        }
+
+        // ---- per-run best spans (memoized) ------------------------------
+        cache.bests.clear();
+        for r in 0..n_runs {
+            let RunRef { start, end } = cache.run_refs[r];
+            let run = &selected[start..end];
+            let ctx = cache.ctxs[r];
+            cache.key_buf.clear();
+            cache.key_buf.extend(run.iter().map(|&t| t as u32));
+            if !cache.runs.contains_key(cache.key_buf.as_slice()) {
+                let entry = build_run_entry(
+                    run,
+                    &cache.clue,
+                    &cache.verb_clue,
+                    &cache.cov_lemma,
+                    cache.total_content,
+                    &mut cache.seen_stamp,
+                    &mut cache.stamp,
+                );
+                cache.runs.insert(cache.key_buf.as_slice().into(), entry);
+            }
+            let entry = cache
+                .runs
+                .get_mut(cache.key_buf.as_slice())
+                .expect("run entry just ensured");
+            let best = if let Some(&(_, b)) = entry.by_ctx.iter().find(|(c, _)| *c == ctx) {
+                cache.run_hits += 1;
+                b
+            } else {
+                cache.run_misses += 1;
+                let b = score_run(
+                    self,
+                    q,
+                    doc,
+                    run,
+                    entry.coverage,
+                    &entry.clues_rel,
+                    &entry.verb_clues_rel,
+                    &cache.idf_val,
+                    ctx,
+                );
+                entry.by_ctx.push((ctx, b));
+                b
+            };
+            cache.bests.push(best);
+        }
+
+        // ---- global argmax (first strict max, in view order) ------------
+        let mut best: Option<(usize, (u32, u32), f64)> = None;
+        for (r, rb) in cache.bests.iter().enumerate() {
+            let Some(rel) = rb.rel else { continue };
+            match best {
+                Some((_, _, b)) if b >= rb.score => {}
+                _ => best = Some((r, rel, rb.score)),
+            }
+        }
+        let Some((r, (rs, re), score)) = best else {
+            return Prediction::none();
+        };
+        let run_start = cache.run_refs[r].start;
+        cache.winner_tokens.clear();
+        cache.winner_tokens.extend(
+            selected[run_start + rs as usize..run_start + re as usize]
+                .iter()
+                .map(|&t| doc.tokens[t].clone()),
+        );
+        Prediction {
+            text: join_tokens(&cache.winner_tokens),
+            score,
+            span: Some((run_start + rs as usize, run_start + re as usize)),
+        }
+    }
+}
+
+/// Build the context-independent run data.
+fn build_run_entry(
+    run: &[usize],
+    clue: &[bool],
+    verb_clue: &[bool],
+    cov_lemma: &[u32],
+    total_content: usize,
+    seen_stamp: &mut [u32],
+    stamp: &mut u32,
+) -> RunEntry {
+    let mut clues_rel = Vec::new();
+    let mut verb_clues_rel = Vec::new();
+    // Distinct content lemmas present (feature f1's numerator).
+    *stamp = stamp.wrapping_add(1);
+    if *stamp == 0 {
+        seen_stamp.iter_mut().for_each(|s| *s = 0);
+        *stamp = 1;
+    }
+    let cov_stamp = *stamp;
+    let mut cov_present = 0usize;
+    for (rel, &t) in run.iter().enumerate() {
+        if clue[t] {
+            clues_rel.push(rel as u32);
+            if verb_clue[t] {
+                verb_clues_rel.push(rel as u32);
+            }
+        }
+        let cid = cov_lemma[t];
+        if cid != NONE && seen_stamp[cid as usize] != cov_stamp {
+            seen_stamp[cid as usize] = cov_stamp;
+            cov_present += 1;
+        }
+    }
+    // Mirrors `sentence_clue_coverage` on the view sentence.
+    let coverage = if total_content == 0 {
+        0.0
+    } else {
+        cov_present as f64 / total_content as f64
+    };
+    RunEntry {
+        coverage,
+        clues_rel,
+        verb_clues_rel,
+        by_ctx: Vec::new(),
+    }
+}
+
+/// Score every candidate span of one run under one clue layout,
+/// returning the first strict maximum — mirrored arithmetic of
+/// `base_features_with_coverage` + `score_span` on the projected view.
+#[allow(clippy::too_many_arguments)]
+fn score_run(
+    qa: &QaModel,
+    q: &QuestionAnalysis,
+    doc: &Document,
+    run: &[usize],
+    coverage: f64,
+    clues_rel: &[u32],
+    verb_clues_rel: &[u32],
+    idf_val: &[f64],
+    ctx: CrossCtx,
+) -> RunBest {
+    let n = run.len();
+    let weights = qa.weights();
+    let off = wh_block(q.wh) * N_BASE;
+    let mut best: Option<((u32, u32), f64)> = None;
+    for rs in 0..n {
+        if !span_boundary(&doc.tokens[run[rs]].pos) {
+            continue;
+        }
+        let hi = (rs + MAX_SPAN).min(n);
+        for re in (rs + 1)..=hi {
+            if !span_boundary(&doc.tokens[run[re - 1]].pos) {
+                continue;
+            }
+            let score = span_score(
+                q,
+                doc,
+                run,
+                coverage,
+                clues_rel,
+                verb_clues_rel,
+                idf_val,
+                ctx,
+                rs,
+                re,
+                weights,
+                off,
+            );
+            match best {
+                Some((_, b)) if b >= score => {}
+                _ => best = Some(((rs as u32, re as u32), score)),
+            }
+        }
+    }
+    match best {
+        Some((rel, score)) => RunBest {
+            rel: Some(rel),
+            score,
+        },
+        None => RunBest {
+            rel: None,
+            score: f64::NEG_INFINITY,
+        },
+    }
+}
+
+/// One span's score. Every feature value is produced by the same
+/// floating-point expression as the view-global path, so the resulting
+/// f64 is bit-equal; the dot product mirrors `score_span`'s two loops.
+#[allow(clippy::too_many_arguments)]
+fn span_score(
+    q: &QuestionAnalysis,
+    doc: &Document,
+    run: &[usize],
+    coverage: f64,
+    clues_rel: &[u32],
+    verb_clues_rel: &[u32],
+    idf_val: &[f64],
+    ctx: CrossCtx,
+    rs: usize,
+    re: usize,
+    weights: &[f64; crate::features::N_FEATURES],
+    off: usize,
+) -> f64 {
+    use gced_text::Pos;
+    let len = re - rs;
+    let mut f = [0.0f64; N_BASE];
+    f[0] = 1.0;
+    f[1] = coverage;
+    // f2: nearest clue outside the span. In-run clues share the view
+    // sentence (no penalty); cross-run clues carry the +6 penalty and
+    // their distance decomposes into span-to-edge + edge-to-clue.
+    let mut nearest: Option<usize> = None;
+    let mut consider = |d: usize| match nearest {
+        Some(b) if b <= d => {}
+        _ => nearest = Some(d),
+    };
+    for &p in clues_rel {
+        let p = p as usize;
+        if p >= rs && p < re {
+            continue;
+        }
+        let d = if p < rs { rs - p } else { p + 1 - re };
+        consider(d);
+    }
+    if ctx.gb != NONE {
+        consider(rs + ctx.gb as usize + 6);
+    }
+    if ctx.ga != NONE {
+        consider((run.len() - re) + ctx.ga as usize + 6);
+    }
+    f[2] = match nearest {
+        Some(d) => 1.0 / (1.0 + d as f64),
+        None => 0.0,
+    };
+    // f3: answer-type match.
+    let span_tok = |j: usize| &doc.tokens[run[j]];
+    let mut has_num = false;
+    let mut has_proper = false;
+    let mut has_noun = false;
+    for j in rs..re {
+        match span_tok(j).pos {
+            Pos::Num => has_num = true,
+            Pos::ProperNoun => {
+                has_proper = true;
+                has_noun = true;
+            }
+            Pos::Noun => has_noun = true,
+            _ => {}
+        }
+    }
+    f[3] = match q.wh {
+        crate::WhType::Person | crate::WhType::Place => {
+            if has_proper {
+                1.0
+            } else {
+                0.0
+            }
+        }
+        crate::WhType::Number => {
+            if has_num {
+                1.0
+            } else {
+                0.0
+            }
+        }
+        crate::WhType::Entity => {
+            if has_noun {
+                1.0
+            } else {
+                0.0
+            }
+        }
+        crate::WhType::Unknown => 0.5,
+    };
+    f[4] = (len as f64 - 2.0).abs() / 4.0;
+    // f5: question overlap — the clue predicate restricted to the span.
+    let overlap = clues_rel
+        .iter()
+        .filter(|&&p| (p as usize) >= rs && (p as usize) < re)
+        .count();
+    f[5] = overlap as f64 / len as f64;
+    // f6: mean IDF.
+    f[6] = (rs..re).map(|j| idf_val[run[j]]).sum::<f64>() / len as f64 / 10.0;
+    f[7] = (rs..re)
+        .filter(|&j| span_tok(j).pos == Pos::ProperNoun)
+        .count() as f64
+        / len as f64;
+    f[8] = (rs..re).filter(|&j| span_tok(j).pos == Pos::Num).count() as f64 / len as f64;
+    // f9/f10: any clue within 3 tokens before/after the span (raw view
+    // distance, no sentence penalty) — the nearest clue decides
+    // existence-within-threshold.
+    let in_run_before = clues_rel
+        .iter()
+        .any(|&p| (p as usize) < rs && rs - (p as usize) <= 3);
+    let in_run_after = clues_rel
+        .iter()
+        .any(|&p| (p as usize) >= re && (p as usize) + 1 - re <= 3);
+    let cross_before = ctx.gb != NONE && rs + ctx.gb as usize <= 3;
+    let cross_after = ctx.ga != NONE && (run.len() - re) + ctx.ga as usize <= 3;
+    f[9] = (in_run_before || cross_before) as u8 as f64;
+    f[10] = (in_run_after || cross_after) as u8 as f64;
+    f[11] = (rs == 0) as u8 as f64;
+    // f12/f13: direction-aware verb-clue adjacency.
+    let verb_in_after = verb_clues_rel
+        .iter()
+        .any(|&p| (p as usize) >= re && (p as usize) + 1 - re <= 3);
+    let verb_in_before = verb_clues_rel
+        .iter()
+        .any(|&p| (p as usize) < rs && rs - (p as usize) <= 3);
+    let verb_cross_after = ctx.va != NONE && (run.len() - re) + ctx.va as usize <= 3;
+    let verb_cross_before = ctx.vb != NONE && rs + ctx.vb as usize <= 3;
+    let verb_clue_after = verb_in_after || verb_cross_after;
+    let verb_clue_before = verb_in_before || verb_cross_before;
+    f[12] = (q.wh_subject && verb_clue_after) as u8 as f64;
+    f[13] = (!q.wh_subject && verb_clue_before) as u8 as f64;
+    let mut score = 0.0f64;
+    for (x, w) in f.iter().zip(&weights[..N_BASE]) {
+        score += x * w;
+    }
+    for (x, w) in f.iter().zip(&weights[off..off + N_BASE]) {
+        score += x * w;
+    }
+    score
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ModelProfile, QaModel};
+    use gced_text::analyze;
+
+    fn trained(kind: gced_datasets::DatasetKind, seed: u64) -> QaModel {
+        let ds = gced_datasets::generate(
+            kind,
+            gced_datasets::GeneratorConfig {
+                train: 120,
+                dev: 20,
+                seed,
+            },
+        );
+        let mut qa = QaModel::new(ModelProfile::plm());
+        qa.train(&ds.train.examples);
+        qa
+    }
+
+    /// Deterministic selection sampler.
+    struct Lcg(u64);
+    impl Lcg {
+        fn next(&mut self) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            self.0 >> 11
+        }
+    }
+
+    fn assert_bitwise_equal(
+        qa: &QaModel,
+        q: &QuestionAnalysis,
+        doc: &Document,
+        question: &str,
+        selections: &[Vec<usize>],
+    ) {
+        let mut cache = SelectionScoreCache::new();
+        let mut scratch = SelectionScratch::default();
+        for sel in selections {
+            let plain = qa.predict_selection(q, doc, sel, question, &mut scratch);
+            let cached = qa.predict_selection_cached(q, doc, sel, question, &mut cache);
+            assert_eq!(plain.text, cached.text, "selection {sel:?}");
+            assert_eq!(
+                plain.score.to_bits(),
+                cached.score.to_bits(),
+                "selection {sel:?}: {} vs {}",
+                plain.score,
+                cached.score
+            );
+            assert_eq!(plain.span, cached.span, "selection {sel:?}");
+        }
+    }
+
+    #[test]
+    fn cached_matches_plain_on_random_selections() {
+        let qa = trained(gced_datasets::DatasetKind::Squad11, 11);
+        let question = "Which team defeated the Panthers?";
+        let q = QuestionAnalysis::new(question);
+        let doc = analyze(
+            "The weather was mild that week in the city. The Denver Broncos defeated the \
+             Carolina Panthers to earn the title. Tickets sold out early in the morning. \
+             The parade lasted two days and the fans celebrated.",
+        );
+        let n = doc.len();
+        let mut rng = Lcg(42);
+        let mut selections: Vec<Vec<usize>> = vec![(0..n).collect(), vec![0], vec![n - 1]];
+        for _ in 0..40 {
+            let sel: Vec<usize> = (0..n).filter(|_| !rng.next().is_multiple_of(3)).collect();
+            if !sel.is_empty() {
+                selections.push(sel);
+            }
+        }
+        // Whole-sentence subsets (the grow search's trial shapes).
+        for mask in 1..16usize {
+            let sel: Vec<usize> = doc
+                .sentences
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask & (1 << i) != 0)
+                .flat_map(|(_, s)| s.token_start..s.token_end)
+                .collect();
+            selections.push(sel);
+        }
+        assert_bitwise_equal(&qa, &q, &doc, question, &selections);
+    }
+
+    #[test]
+    fn cached_matches_plain_with_learned_threshold() {
+        // SQuAD-2.0 training calibrates a finite no-answer threshold, so
+        // the abstention branch is exercised through the cached coverage.
+        let qa = trained(gced_datasets::DatasetKind::Squad20, 7);
+        assert!(qa.learned_threshold().is_some());
+        let question = "Who discovered the comet?";
+        let q = QuestionAnalysis::new(question);
+        let doc = analyze(
+            "The committee approved the budget. The bridge opened in spring. \
+             A famous astronomer discovered the comet in 1786.",
+        );
+        let n = doc.len();
+        let mut rng = Lcg(9);
+        let mut selections: Vec<Vec<usize>> = vec![(0..n).collect()];
+        for _ in 0..30 {
+            let sel: Vec<usize> = (0..n).filter(|_| rng.next().is_multiple_of(2)).collect();
+            if !sel.is_empty() {
+                selections.push(sel);
+            }
+        }
+        assert_bitwise_equal(&qa, &q, &doc, question, &selections);
+    }
+
+    #[test]
+    fn repeated_selections_hit_the_cache() {
+        let qa = trained(gced_datasets::DatasetKind::Squad11, 3);
+        let question = "Which team won the title?";
+        let q = QuestionAnalysis::new(question);
+        let doc = analyze("The Broncos won the title. The band played all night.");
+        let sel: Vec<usize> = (0..doc.len()).collect();
+        let mut cache = SelectionScoreCache::new();
+        let a = qa.predict_selection_cached(&q, &doc, &sel, question, &mut cache);
+        let misses = cache.run_misses;
+        assert!(misses > 0);
+        let b = qa.predict_selection_cached(&q, &doc, &sel, question, &mut cache);
+        assert_eq!(cache.run_misses, misses, "second pass re-scored runs");
+        assert!(cache.run_hits > 0);
+        assert_eq!(a.text, b.text);
+        assert_eq!(a.score.to_bits(), b.score.to_bits());
+    }
+
+    #[test]
+    fn noisy_profiles_fall_back_to_the_plain_path() {
+        let mut profile = ModelProfile::plm();
+        profile.noise = 1.5;
+        profile.seed = 4;
+        let qa = QaModel::new(profile);
+        let question = "Who won?";
+        let q = QuestionAnalysis::new(question);
+        let doc = analyze("The Broncos won the final game in Denver.");
+        let sel: Vec<usize> = (0..doc.len()).collect();
+        let mut cache = SelectionScoreCache::new();
+        let mut scratch = SelectionScratch::default();
+        let plain = qa.predict_selection(&q, &doc, &sel, question, &mut scratch);
+        let cached = qa.predict_selection_cached(&q, &doc, &sel, question, &mut cache);
+        assert_eq!(plain, cached);
+        assert_eq!(
+            cache.run_misses + cache.run_hits,
+            0,
+            "cache must be bypassed"
+        );
+    }
+
+    #[test]
+    fn empty_selection_abstains() {
+        let qa = trained(gced_datasets::DatasetKind::Squad11, 3);
+        let question = "Who won?";
+        let q = QuestionAnalysis::new(question);
+        let doc = analyze("The Broncos won.");
+        let mut cache = SelectionScoreCache::new();
+        let p = qa.predict_selection_cached(&q, &doc, &[], question, &mut cache);
+        assert!(p.text.is_empty());
+        assert!(p.span.is_none());
+    }
+}

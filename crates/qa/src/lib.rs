@@ -20,8 +20,10 @@
 //! the +GCED gains are *not* injected anywhere.
 
 pub mod features;
+pub mod incremental;
 pub mod model;
 pub mod zoo;
 
 pub use features::{QuestionAnalysis, WhType};
+pub use incremental::SelectionScoreCache;
 pub use model::{EvalResult, ModelProfile, Prediction, QaModel, SelectionScratch};

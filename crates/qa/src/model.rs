@@ -12,8 +12,10 @@ use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 
-/// Maximum candidate span length in tokens.
-const MAX_SPAN: usize = 6;
+/// Maximum candidate span length in tokens (shared with the incremental
+/// selection predictor and the grow search's admissible F1 bound, which
+/// must enumerate the same span set).
+pub const MAX_SPAN: usize = 6;
 
 /// Inference-time behaviour of one baseline QA system (DESIGN.md S7).
 ///
@@ -66,7 +68,7 @@ pub struct Prediction {
 }
 
 impl Prediction {
-    fn none() -> Self {
+    pub(crate) fn none() -> Self {
         Prediction {
             text: String::new(),
             score: f64::NEG_INFINITY,
@@ -108,7 +110,7 @@ pub struct QaModel {
     profile: ModelProfile,
     weights: [f64; N_FEATURES],
     /// IDF table learned from the training contexts.
-    idf: HashMap<String, f64>,
+    pub(crate) idf: HashMap<String, f64>,
     /// No-answer threshold calibrated on unanswerable training examples
     /// (SQuAD-2.0); overrides the profile's when present.
     learned_threshold: Option<f64>,
@@ -296,7 +298,7 @@ impl QaModel {
     }
 
     /// The active no-answer threshold.
-    fn threshold(&self) -> f64 {
+    pub(crate) fn threshold(&self) -> f64 {
         self.learned_threshold
             .unwrap_or(self.profile.no_answer_threshold)
     }

@@ -1,11 +1,14 @@
 //! A minimal blocking HTTP/1.1 client for exercising the server.
 //!
 //! Used by the integration tests, the load-generator bench, and anyone
-//! poking a local `gced serve` from Rust without external crates. One
-//! request per connection, mirroring the server's `Connection: close`
-//! framing.
+//! poking a local `gced serve` from Rust without external crates. Two
+//! flavors: the one-shot [`get`]/[`post`] helpers send
+//! `Connection: close` and read to EOF, and [`Session`] holds one
+//! persistent connection open across many exchanges (with
+//! `Content-Length`-framed reads), including true pipelining — writing
+//! several requests before reading the first response.
 
-use std::io::{Read, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
@@ -16,6 +19,9 @@ pub struct Response {
     pub status: u16,
     /// Body bytes, exactly as served.
     pub body: Vec<u8>,
+    /// True when the server will keep the connection open
+    /// (`Connection: keep-alive`).
+    pub keep_alive: bool,
 }
 
 impl Response {
@@ -25,17 +31,21 @@ impl Response {
     }
 }
 
-/// `GET path`.
+/// `GET path` on a fresh connection (`Connection: close`).
 pub fn get(addr: SocketAddr, path: &str) -> std::io::Result<Response> {
-    exchange(addr, &format!("GET {path} HTTP/1.1\r\nHost: gced\r\n\r\n"))
+    exchange(
+        addr,
+        &format!("GET {path} HTTP/1.1\r\nHost: gced\r\nConnection: close\r\n\r\n"),
+    )
 }
 
-/// `POST path` with a JSON body.
+/// `POST path` with a JSON body on a fresh connection
+/// (`Connection: close`).
 pub fn post(addr: SocketAddr, path: &str, body: &str) -> std::io::Result<Response> {
     exchange(
         addr,
         &format!(
-            "POST {path} HTTP/1.1\r\nHost: gced\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+            "POST {path} HTTP/1.1\r\nHost: gced\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
             body.len()
         ),
     )
@@ -63,7 +73,127 @@ fn parse_response(raw: &[u8]) -> Option<Response> {
     Some(Response {
         status,
         body: raw[head_end + 4..].to_vec(),
+        keep_alive: header_keep_alive(head),
     })
+}
+
+fn header_keep_alive(head: &str) -> bool {
+    head.lines().any(|l| {
+        l.split_once(':').is_some_and(|(name, value)| {
+            name.trim().eq_ignore_ascii_case("connection")
+                && value.trim().eq_ignore_ascii_case("keep-alive")
+        })
+    })
+}
+
+/// One persistent connection to the server. Each call frames its read
+/// by the response's `Content-Length`, so the socket stays usable for
+/// the next exchange until the server answers `Connection: close`.
+pub struct Session {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Session {
+    /// Connect with a 60 s read timeout.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<Self> {
+        Self::connect_with_timeout(addr, Duration::from_secs(60))
+    }
+
+    /// Connect with an explicit read timeout.
+    pub fn connect_with_timeout(addr: SocketAddr, timeout: Duration) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(timeout))?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Session {
+            reader,
+            writer: stream,
+        })
+    }
+
+    /// `GET path`, keeping the connection open.
+    pub fn get(&mut self, path: &str) -> std::io::Result<Response> {
+        self.send_get(path)?;
+        self.read_response()
+    }
+
+    /// `POST path` with a JSON body, keeping the connection open.
+    pub fn post(&mut self, path: &str, body: &str) -> std::io::Result<Response> {
+        self.send_post(path, body)?;
+        self.read_response()
+    }
+
+    /// Write a GET without reading the response (pipelining half).
+    pub fn send_get(&mut self, path: &str) -> std::io::Result<()> {
+        let raw = format!("GET {path} HTTP/1.1\r\nHost: gced\r\n\r\n");
+        self.writer.write_all(raw.as_bytes())?;
+        self.writer.flush()
+    }
+
+    /// Write a POST without reading the response (pipelining half).
+    pub fn send_post(&mut self, path: &str, body: &str) -> std::io::Result<()> {
+        let raw = format!(
+            "POST {path} HTTP/1.1\r\nHost: gced\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        self.writer.write_all(raw.as_bytes())?;
+        self.writer.flush()
+    }
+
+    /// Read one `Content-Length`-framed response (pipelining half).
+    pub fn read_response(&mut self) -> std::io::Result<Response> {
+        let bad = |m: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, m.to_string());
+        let mut head = String::new();
+        let mut status: Option<u16> = None;
+        let mut content_length: Option<usize> = None;
+        loop {
+            let mut line = String::new();
+            let n = self.reader.read_line(&mut line)?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed before a response head",
+                ));
+            }
+            let trimmed = line.trim_end_matches(['\r', '\n']);
+            if status.is_none() {
+                // Interim 1xx responses (100 Continue) are skipped.
+                let code: u16 = trimmed
+                    .split(' ')
+                    .nth(1)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| bad("malformed status line"))?;
+                if (100..200).contains(&code) {
+                    // Consume the interim head's terminating blank line.
+                    let mut blank = String::new();
+                    self.reader.read_line(&mut blank)?;
+                    continue;
+                }
+                status = Some(code);
+            } else if trimmed.is_empty() {
+                break;
+            } else if let Some((name, value)) = trimmed.split_once(':') {
+                if name.trim().eq_ignore_ascii_case("content-length") {
+                    content_length = Some(
+                        value
+                            .trim()
+                            .parse()
+                            .map_err(|_| bad("bad content-length"))?,
+                    );
+                }
+            }
+            head.push_str(trimmed);
+            head.push('\n');
+        }
+        let len = content_length.ok_or_else(|| bad("response without content-length"))?;
+        let mut body = vec![0u8; len];
+        self.reader.read_exact(&mut body)?;
+        Ok(Response {
+            status: status.expect("status parsed"),
+            body,
+            keep_alive: header_keep_alive(&head),
+        })
+    }
 }
 
 #[cfg(test)]
@@ -77,6 +207,9 @@ mod tests {
         assert_eq!(r.status, 503);
         assert_eq!(r.body, b"hi");
         assert_eq!(r.text(), "hi");
+        assert!(!r.keep_alive);
+        let ka = b"HTTP/1.1 200 OK\r\nConnection: keep-alive\r\nContent-Length: 0\r\n\r\n";
+        assert!(parse_response(ka).unwrap().keep_alive);
     }
 
     #[test]

@@ -2,10 +2,12 @@
 //!
 //! The build environment has no async runtime or HTTP crates, so the
 //! server hand-rolls the one slice of HTTP it needs: parse a request
-//! head plus a `Content-Length` body, write a fixed-header response,
-//! close the connection. Every connection carries exactly one exchange
-//! (`Connection: close`), which keeps the framing trivial and pushes
-//! all concurrency into the connection threads and the batch queue.
+//! head plus a `Content-Length` body, write a fixed-header response.
+//! Connections are **persistent** per RFC 9112 defaults: HTTP/1.1
+//! requests keep the connection open unless the client sends
+//! `Connection: close`, HTTP/1.0 closes unless the client asks for
+//! `keep-alive`, and the server caps requests per connection and bounds
+//! idle time with the socket read timeout.
 
 use std::io::{BufRead, Write};
 
@@ -24,6 +26,10 @@ pub struct Request {
     pub path: String,
     /// Raw body bytes (`Content-Length` of them).
     pub body: Vec<u8>,
+    /// True when the protocol defaults plus any `Connection` header ask
+    /// for a persistent connection (HTTP/1.1 without `close`; HTTP/1.0
+    /// with `keep-alive`).
+    pub keep_alive: bool,
 }
 
 /// Why a request could not be parsed, mapped onto the status code the
@@ -108,6 +114,8 @@ pub fn read_request(
     }
     let mut content_length = 0usize;
     let mut expect_continue = false;
+    // Persistence default per protocol version (RFC 9112 §9.3).
+    let mut keep_alive = version != "HTTP/1.0";
     loop {
         let line = read_line(reader, &mut budget)?;
         if line.is_empty() {
@@ -128,6 +136,16 @@ pub fn read_request(
             )));
         } else if name == "expect" && value.eq_ignore_ascii_case("100-continue") {
             expect_continue = true;
+        } else if name == "connection" {
+            // Comma-separated options; `close` wins over everything.
+            for opt in value.split(',') {
+                let opt = opt.trim();
+                if opt.eq_ignore_ascii_case("close") {
+                    keep_alive = false;
+                } else if opt.eq_ignore_ascii_case("keep-alive") && version == "HTTP/1.0" {
+                    keep_alive = true;
+                }
+            }
         }
     }
     if content_length > MAX_BODY_BYTES {
@@ -149,6 +167,7 @@ pub fn read_request(
         method: method.to_string(),
         path: path.to_string(),
         body,
+        keep_alive,
     })
 }
 
@@ -167,13 +186,21 @@ pub fn reason(status: u16) -> &'static str {
     }
 }
 
-/// Write a complete `Connection: close` JSON response.
-pub fn write_response(stream: &mut impl Write, status: u16, body: &str) -> std::io::Result<()> {
+/// Write a complete JSON response. `keep_alive` selects the
+/// `Connection` header; the body bytes are identical either way (the
+/// offline/online byte-parity pin compares bodies).
+pub fn write_response(
+    stream: &mut impl Write,
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+) -> std::io::Result<()> {
     write!(
         stream,
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
         reason(status),
-        body.len()
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" }
     )?;
     stream.write_all(body.as_bytes())?;
     stream.flush()
@@ -218,6 +245,30 @@ mod tests {
         assert_eq!(req.method, "GET");
         assert_eq!(req.path, "/healthz");
         assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn connection_persistence_follows_rfc_defaults() {
+        // HTTP/1.1 defaults to keep-alive …
+        assert!(parse("GET /x HTTP/1.1\r\n\r\n").unwrap().keep_alive);
+        // … unless the client says close (any casing, in a list).
+        assert!(
+            !parse("GET /x HTTP/1.1\r\nConnection: close\r\n\r\n")
+                .unwrap()
+                .keep_alive
+        );
+        assert!(
+            !parse("GET /x HTTP/1.1\r\nConnection: Keep-Alive, CLOSE\r\n\r\n")
+                .unwrap()
+                .keep_alive
+        );
+        // HTTP/1.0 defaults to close unless keep-alive is requested.
+        assert!(!parse("GET /x HTTP/1.0\r\n\r\n").unwrap().keep_alive);
+        assert!(
+            parse("GET /x HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
+                .unwrap()
+                .keep_alive
+        );
     }
 
     #[test]
@@ -286,10 +337,16 @@ mod tests {
     #[test]
     fn response_is_well_formed() {
         let mut out = Vec::new();
-        write_response(&mut out, 200, "{\"ok\":true}").unwrap();
+        write_response(&mut out, 200, "{\"ok\":true}", false).unwrap();
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
         assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
         assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
+
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "{\"ok\":true}", true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Connection: keep-alive\r\n"), "{text}");
     }
 }

@@ -39,10 +39,11 @@ pub mod wire;
 
 use batch::{Batcher, EnqueueError};
 use metrics::Metrics;
+use std::collections::HashMap;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// Server knobs. `Default` is tuned for a laptop-scale deployment.
@@ -59,8 +60,16 @@ pub struct ServeConfig {
     pub queue_capacity: usize,
     /// Parse-cache capacity in POS signatures (0 disables).
     pub parse_cache: usize,
-    /// Per-connection socket read timeout.
+    /// Per-connection socket read timeout — also the keep-alive idle
+    /// timeout between requests on a persistent connection.
     pub read_timeout: Duration,
+    /// Maximum requests served on one persistent connection before the
+    /// server answers `Connection: close` (bounds per-client hogging).
+    pub max_requests_per_conn: usize,
+    /// Contexts pre-parsed into the parse cache at startup (typically
+    /// the dev corpus of the served fingerprint), so first requests hit
+    /// a warm cache. Ignored when `parse_cache` is 0.
+    pub warmup_docs: Vec<String>,
 }
 
 impl Default for ServeConfig {
@@ -72,8 +81,17 @@ impl Default for ServeConfig {
             queue_capacity: 256,
             parse_cache: 4096,
             read_timeout: Duration::from_secs(10),
+            max_requests_per_conn: 128,
+            warmup_docs: Vec::new(),
         }
     }
+}
+
+/// What the startup warmup did, reported under `warmup` in `/metrics`.
+#[derive(Debug, Clone, Copy, Default)]
+struct WarmupStats {
+    docs: usize,
+    sentences: usize,
 }
 
 struct Shared {
@@ -83,6 +101,29 @@ struct Shared {
     shutdown: AtomicBool,
     config: ServeConfig,
     addr: SocketAddr,
+    warmup: WarmupStats,
+    /// Live connection sockets, keyed by a per-connection id. Shutdown
+    /// shrinks every socket's read timeout so idle keep-alive
+    /// connections stop blocking in `read_request` promptly instead of
+    /// stalling the drain for the full idle timeout; in-flight
+    /// exchanges still finish and close via the shutdown flag.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    next_conn_id: AtomicU64,
+}
+
+/// Removes a connection's registry entry when its handler exits (also
+/// on unwind).
+struct ConnGuard<'a> {
+    shared: &'a Shared,
+    id: u64,
+}
+
+impl Drop for ConnGuard<'_> {
+    fn drop(&mut self) {
+        if let Ok(mut conns) = self.shared.conns.lock() {
+            conns.remove(&self.id);
+        }
+    }
 }
 
 /// A running server. Dropping the handle does **not** stop the server;
@@ -96,7 +137,7 @@ pub struct ServerHandle {
 /// Bind, spawn the batcher and the accept loop, and return immediately.
 /// The pipeline is wrapped with the configured parse cache; pass a
 /// pre-warmed `Gced` (fit or fit-cache decode) — `start` never fits.
-pub fn start(gced: gced::Gced, config: ServeConfig) -> std::io::Result<ServerHandle> {
+pub fn start(gced: gced::Gced, mut config: ServeConfig) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
     let gced = if config.parse_cache > 0 {
@@ -104,6 +145,23 @@ pub fn start(gced: gced::Gced, config: ServeConfig) -> std::io::Result<ServerHan
     } else {
         gced
     };
+    // Batch-aware warmup: pre-parse the configured corpus through the
+    // exact per-sentence path requests use, so the first real batch hits
+    // a warm parse cache instead of paying every CKY parse cold. The
+    // corpus is taken out of the config — it is startup-only data and
+    // would otherwise sit in memory for the server's lifetime.
+    let warmup_docs = std::mem::take(&mut config.warmup_docs);
+    let mut warmup = WarmupStats::default();
+    if config.parse_cache > 0 {
+        for doc in &warmup_docs {
+            let sentences = gced.warm_parse_cache(doc);
+            if sentences > 0 {
+                warmup.docs += 1;
+                warmup.sentences += sentences;
+            }
+        }
+    }
+    drop(warmup_docs);
     let gced = Arc::new(gced);
     let metrics = Arc::new(Metrics::new());
     let batcher = Batcher::start(
@@ -120,6 +178,9 @@ pub fn start(gced: gced::Gced, config: ServeConfig) -> std::io::Result<ServerHan
         shutdown: AtomicBool::new(false),
         config,
         addr,
+        warmup,
+        conns: Mutex::new(HashMap::new()),
+        next_conn_id: AtomicU64::new(0),
     });
     let accept_shared = Arc::clone(&shared);
     let accept_thread = std::thread::Builder::new()
@@ -161,6 +222,16 @@ fn trigger_shutdown(shared: &Shared) {
     // Unblock the blocking accept() with a throwaway connection; the
     // accept loop re-checks the flag before handling anything.
     let _ = TcpStream::connect(shared.addr);
+    // Idle keep-alive connections are blocked in `read_request` for up
+    // to the full idle timeout; shutting down the socket's read half
+    // wakes a blocked recv immediately (EOF) while leaving the write
+    // half open, so handlers mid-exchange still flush their in-flight
+    // response — their loop then closes via the shutdown flag.
+    if let Ok(conns) = shared.conns.lock() {
+        for stream in conns.values() {
+            let _ = stream.shutdown(std::net::Shutdown::Read);
+        }
+    }
 }
 
 fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
@@ -171,12 +242,27 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
         }
         let Ok(stream) = stream else { continue };
         let conn_shared = Arc::clone(shared);
+        let conn_id = shared.next_conn_id.fetch_add(1, Ordering::Relaxed);
+        if let (Ok(clone), Ok(mut conns)) = (stream.try_clone(), shared.conns.lock()) {
+            conns.insert(conn_id, clone);
+        }
         match std::thread::Builder::new()
             .name("gced-serve-conn".to_string())
-            .spawn(move || handle_connection(stream, &conn_shared))
-        {
+            .spawn(move || {
+                let _guard = ConnGuard {
+                    shared: &conn_shared,
+                    id: conn_id,
+                };
+                handle_connection(stream, &conn_shared);
+            }) {
             Ok(handle) => connections.push(handle),
-            Err(_) => continue, // spawn refused; connection drops (client sees EOF)
+            Err(_) => {
+                // Spawn refused; connection drops (client sees EOF).
+                if let Ok(mut conns) = shared.conns.lock() {
+                    conns.remove(&conn_id);
+                }
+                continue;
+            }
         }
         // Reap finished connection threads so the vec stays bounded by
         // the number of *live* connections, not total served.
@@ -190,6 +276,11 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
     shared.batcher.shutdown();
 }
 
+/// Serve one connection: a keep-alive loop of read → route → respond,
+/// bounded by `max_requests_per_conn`, the client's `Connection`
+/// preference, the socket read timeout (idle cap), and shutdown.
+/// Framing errors answer with `Connection: close` and end the loop (a
+/// desynchronized byte stream cannot be trusted for another request).
 fn handle_connection(stream: TcpStream, shared: &Shared) {
     let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
     let mut reader = BufReader::new(match stream.try_clone() {
@@ -197,26 +288,50 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
         Err(_) => return,
     });
     let mut writer = stream;
-    let request = match http::read_request(&mut reader, &mut writer) {
-        Ok(r) => r,
-        Err(http::HttpError::Io(_)) => return, // nothing to answer
-        Err(e) => {
+    shared
+        .metrics
+        .connections_total
+        .fetch_add(1, Ordering::Relaxed);
+    let max_requests = shared.config.max_requests_per_conn.max(1);
+    for served in 0..max_requests {
+        let request = match http::read_request(&mut reader, &mut writer) {
+            Ok(r) => r,
+            // Idle close / timeout between requests: nothing to answer.
+            Err(http::HttpError::Io(_)) => return,
+            Err(e) => {
+                shared.metrics.http_errors.fetch_add(1, Ordering::Relaxed);
+                let status = match e {
+                    http::HttpError::TooLarge(_) => 413,
+                    _ => 400,
+                };
+                let _ = http::write_response(
+                    &mut writer,
+                    status,
+                    &wire::render_error(&e.to_string()),
+                    false,
+                );
+                return;
+            }
+        };
+        if served > 0 {
+            shared
+                .metrics
+                .keepalive_reuses
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        let (status, body) = route(&request, shared);
+        // HTTP-layer rejections only: 422/500 are already counted as
+        // distill errors, 503 as shed — the counters must decompose.
+        if matches!(status, 400 | 404 | 405 | 413) {
             shared.metrics.http_errors.fetch_add(1, Ordering::Relaxed);
-            let status = match e {
-                http::HttpError::TooLarge(_) => 413,
-                _ => 400,
-            };
-            let _ = http::write_response(&mut writer, status, &wire::render_error(&e.to_string()));
+        }
+        let keep = request.keep_alive
+            && served + 1 < max_requests
+            && !shared.shutdown.load(Ordering::SeqCst);
+        if http::write_response(&mut writer, status, &body, keep).is_err() || !keep {
             return;
         }
-    };
-    let (status, body) = route(&request, shared);
-    // HTTP-layer rejections only: 422/500 are already counted as
-    // distill errors, 503 as shed — the counters must decompose.
-    if matches!(status, 400 | 404 | 405 | 413) {
-        shared.metrics.http_errors.fetch_add(1, Ordering::Relaxed);
     }
-    let _ = http::write_response(&mut writer, status, &body);
 }
 
 /// Dispatch one parsed request to its endpoint.
@@ -277,11 +392,12 @@ fn distill(request: &http::Request, shared: &Shared) -> (u16, String) {
 
 fn healthz_body(shared: &Shared) -> String {
     format!(
-        "{{\"status\":\"ok\",\"pool_threads\":{},\"queued\":{},\"batch_max\":{},\"queue_capacity\":{}}}",
+        "{{\"status\":\"ok\",\"pool_threads\":{},\"queued\":{},\"batch_max\":{},\"queue_capacity\":{},\"max_requests_per_conn\":{}}}",
         gced_par::effective_parallelism(),
         shared.batcher.queued(),
         shared.config.batch_max,
-        shared.config.queue_capacity
+        shared.config.queue_capacity,
+        shared.config.max_requests_per_conn
     )
 }
 
@@ -295,6 +411,17 @@ fn metrics_body(shared: &Shared) -> String {
         ("batch_max", shared.config.batch_max.to_string()),
         ("queue_capacity", shared.config.queue_capacity.to_string()),
         ("flush_us", shared.config.flush.as_micros().to_string()),
+        (
+            "max_requests_per_conn",
+            shared.config.max_requests_per_conn.to_string(),
+        ),
+        (
+            "warmup",
+            format!(
+                "{{\"docs\":{},\"sentences\":{}}}",
+                shared.warmup.docs, shared.warmup.sentences
+            ),
+        ),
     ];
     if let Some(stats) = shared.gced.parse_cache_stats() {
         extra.push((

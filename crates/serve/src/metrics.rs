@@ -149,6 +149,11 @@ pub struct Metrics {
     pub shed_total: AtomicU64,
     /// Requests rejected at the HTTP layer (400/404/405/413).
     pub http_errors: AtomicU64,
+    /// TCP connections accepted.
+    pub connections_total: AtomicU64,
+    /// Requests served on an already-open persistent connection (i.e.
+    /// exchanges that skipped a TCP handshake thanks to keep-alive).
+    pub keepalive_reuses: AtomicU64,
     /// Coalesced `distill_batch` calls executed.
     pub batches_total: AtomicU64,
     /// Coalesced batch sizes.
@@ -166,6 +171,8 @@ impl Metrics {
             distill_error: AtomicU64::new(0),
             shed_total: AtomicU64::new(0),
             http_errors: AtomicU64::new(0),
+            connections_total: AtomicU64::new(0),
+            keepalive_reuses: AtomicU64::new(0),
             batches_total: AtomicU64::new(0),
             batch_size: Histogram::new(BATCH_BOUNDS),
             latency_us: Histogram::new(LATENCY_BOUNDS_US),
@@ -187,6 +194,10 @@ impl Metrics {
         out.push_str(&self.shed_total.load(Ordering::Relaxed).to_string());
         out.push_str(",\"http_errors\":");
         out.push_str(&self.http_errors.load(Ordering::Relaxed).to_string());
+        out.push_str(",\"connections_total\":");
+        out.push_str(&self.connections_total.load(Ordering::Relaxed).to_string());
+        out.push_str(",\"keepalive_reuses\":");
+        out.push_str(&self.keepalive_reuses.load(Ordering::Relaxed).to_string());
         out.push_str(",\"batches_total\":");
         out.push_str(&self.batches_total.load(Ordering::Relaxed).to_string());
         out.push_str(",\"batch_size\":");

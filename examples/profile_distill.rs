@@ -98,14 +98,8 @@ fn main() {
     );
     let t = Instant::now();
     for _ in 0..n {
-        let _ = gced::ase::extract(
-            gced.qa_model(),
-            scorer.question_analysis(),
-            question,
-            "Denver Broncos",
-            &ctx_doc,
-            4,
-        );
+        let mut grow = scorer.search_context(&ctx_doc);
+        let _ = gced::ase::extract(&mut grow, 4);
     }
     println!(
         "ase extract:   {:.3} ms",

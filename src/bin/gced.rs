@@ -47,7 +47,8 @@ USAGE:
            [--tolerance F] [--summary PATH]
   gced serve [--addr HOST:PORT] [--kind K] [--scale S] [--seed S]
            [--fit-cache PATH] [--batch-max N] [--flush-us N]
-           [--queue-cap N] [--parse-cache N]
+           [--queue-cap N] [--parse-cache N] [--warmup N]
+           [--conn-max N]
   gced distill --question Q --answer A --context C [--kind K]
            [--scale S] [--seed S] [--fit-cache PATH] [--out PATH]
   gced fit --fit-cache PATH [--kind K] [--scale S] [--seed S]
@@ -85,7 +86,11 @@ SERVE:
   --flush-us of the first arrival) into Gced::distill_batch calls on
   the persistent worker pool; a full queue (--queue-cap) sheds with
   503; GET /healthz and GET /metrics expose liveness and histograms;
-  POST /shutdown drains in-flight batches and exits. A served body is
+  POST /shutdown drains in-flight batches and exits. Connections are
+  persistent (HTTP/1.1 keep-alive, up to --conn-max requests each,
+  idle-bounded by the read timeout). At startup the server pre-parses
+  up to --warmup dev-corpus contexts of its fingerprint into the parse
+  cache (0 disables; warmup counts land in /metrics). A served body is
   byte-identical to `gced distill` of the same input.
 ";
 
@@ -556,6 +561,35 @@ fn warm_pipeline(p: &Parsed) -> Result<(gced::Gced, String), String> {
     Ok((fitted, fit_fingerprint(kind, scale, seed)))
 }
 
+/// The parse-cache warmup corpus of a fingerprint: the distinct dev
+/// contexts of the dataset the pipeline was fitted for, capped at
+/// `max_docs`. Deterministic and identical to the corpus first requests
+/// are most likely to carry.
+fn warmup_corpus(kind: DatasetKind, scale: Scale, seed: u64, max_docs: usize) -> Vec<String> {
+    if max_docs == 0 {
+        return Vec::new();
+    }
+    let ds = gced_datasets::generate(
+        kind,
+        gced_datasets::GeneratorConfig {
+            train: scale.train,
+            dev: scale.dev,
+            seed,
+        },
+    );
+    let mut seen = std::collections::HashSet::new();
+    let mut docs = Vec::new();
+    for ex in &ds.dev.examples {
+        if seen.insert(ex.context.as_str()) {
+            docs.push(ex.context.clone());
+            if docs.len() >= max_docs {
+                break;
+            }
+        }
+    }
+    docs
+}
+
 fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
     let p = parse_args(args)?;
     let mut config = gced_serve::ServeConfig {
@@ -565,20 +599,37 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
     config.batch_max = p.usize_flag("batch-max", config.batch_max)?;
     config.queue_capacity = p.usize_flag("queue-cap", config.queue_capacity)?;
     config.parse_cache = p.usize_flag("parse-cache", config.parse_cache)?;
+    config.max_requests_per_conn = p.usize_flag("conn-max", config.max_requests_per_conn)?;
+    if config.max_requests_per_conn == 0 {
+        return Err("serve: --conn-max must be at least 1".to_string());
+    }
     let flush_us = p.usize_flag("flush-us", config.flush.as_micros() as usize)?;
     config.flush = std::time::Duration::from_micros(flush_us as u64);
+    let warmup_docs = p.usize_flag("warmup", usize::MAX)?;
     let (fitted, fingerprint) = warm_pipeline(&p)?;
-    let handle = gced_serve::start(fitted, config.clone())
-        .map_err(|e| format!("cannot bind {}: {e}", config.addr))?;
-    eprintln!(
-        "gced: serving {fingerprint} on http://{} \
-         (batch_max={}, flush={}us, queue_cap={}, parse_cache={}, pool_threads={})",
-        handle.addr(),
+    if config.parse_cache > 0 && warmup_docs > 0 {
+        let (scale, _) = p.scale()?;
+        config.warmup_docs = warmup_corpus(p.kind()?, scale, p.seed()?, warmup_docs);
+    }
+    // `start` consumes the warmup corpus; capture the banner fields
+    // first so no second copy of the dev contexts outlives startup.
+    let n_warmup = config.warmup_docs.len();
+    let banner = format!(
+        "batch_max={}, flush={}us, queue_cap={}, parse_cache={}, warmup_docs={n_warmup}, \
+         conn_max={}, pool_threads={}",
         config.batch_max,
         config.flush.as_micros(),
         config.queue_capacity,
         config.parse_cache,
+        config.max_requests_per_conn,
         gced_par::effective_parallelism(),
+    );
+    let bind_addr = config.addr.clone();
+    let handle =
+        gced_serve::start(fitted, config).map_err(|e| format!("cannot bind {bind_addr}: {e}"))?;
+    eprintln!(
+        "gced: serving {fingerprint} on http://{} ({banner})",
+        handle.addr()
     );
     handle.join();
     eprintln!("gced: server drained and stopped");

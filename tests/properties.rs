@@ -108,6 +108,72 @@ proptest! {
         prop_assert!((fast.word_reduction - oracle.word_reduction).abs() == 0.0);
     }
 
+    /// The refactored grow search (ASE on the shared incremental
+    /// engine, with span-score reuse and admissible F1-bound pruning)
+    /// is bit-identical to the paper-literal `ase::reference` oracle on
+    /// the full pipeline: same sentences, exact flag, best F1, and step
+    /// log — and the end-to-end distillation (both phases through the
+    /// reference formulations) matches byte for byte.
+    #[test]
+    fn optimized_grow_matches_reference_oracle(idx in 0usize..80) {
+        let (g, ds) = pipeline();
+        let ex = &ds.dev.examples[idx % ds.dev.examples.len()];
+        prop_assume!(ex.answerable);
+        let fast = g.distill(&ex.question, &ex.answer, &ex.context).unwrap();
+        let oracle = g
+            .distill_with_reference_search(&ex.question, &ex.answer, &ex.context)
+            .unwrap();
+        let (fa, oa) = (fast.trace.ase.as_ref(), oracle.trace.ase.as_ref());
+        let fa = fa.expect("ASE ran");
+        let oa = oa.expect("ASE ran");
+        prop_assert_eq!(&fa.sentences, &oa.sentences);
+        prop_assert_eq!(fa.exact, oa.exact);
+        prop_assert_eq!(fa.best_f1.to_bits(), oa.best_f1.to_bits());
+        prop_assert_eq!(fa.steps.len(), oa.steps.len());
+        for (a, b) in fa.steps.iter().zip(&oa.steps) {
+            prop_assert_eq!(a.0, b.0);
+            prop_assert_eq!(a.1.to_bits(), b.1.to_bits());
+        }
+        prop_assert_eq!(&fast.evidence_tokens, &oracle.evidence_tokens);
+        prop_assert_eq!(&fast.evidence, &oracle.evidence);
+        prop_assert_eq!(fast.scores, oracle.scores);
+        prop_assert_eq!(&fast.trace.clip_steps, &oracle.trace.clip_steps);
+    }
+
+    /// Pruning soundness of the grow search: a trial's F1 never exceeds
+    /// the max admissible per-sentence bound of its members, so a pruned
+    /// candidate can never beat the round winner.
+    #[test]
+    fn ase_f1_bounds_are_admissible(idx in 0usize..40, mask in 1usize..64) {
+        let (g, ds) = pipeline();
+        let ex = &ds.dev.examples[idx % ds.dev.examples.len()];
+        prop_assume!(ex.answerable);
+        let doc = gced_text::analyze(&ex.context);
+        let n = doc.sentences.len();
+        prop_assume!(n > 0);
+        let bounds = gced::ase::sentence_f1_bounds(&doc, &ex.answer);
+        let subset: Vec<usize> = (0..n).filter(|i| mask & (1 << (i % 6)) != 0).collect();
+        prop_assume!(!subset.is_empty());
+        let indices: Vec<usize> = subset
+            .iter()
+            .flat_map(|&s| doc.sentences[s].token_start..doc.sentences[s].token_end)
+            .collect();
+        let q = gced_qa::QuestionAnalysis::new(&ex.question);
+        let mut scratch = gced_qa::SelectionScratch::default();
+        let pred = g
+            .qa_model()
+            .predict_selection(&q, &doc, &indices, &ex.question, &mut scratch);
+        let f1 = gced_metrics::overlap::token_f1(&pred.text, &ex.answer).f1;
+        let bound = subset
+            .iter()
+            .map(|&s| bounds[s])
+            .fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(
+            f1 <= bound + 1e-15,
+            "subset {:?}: F1 {} exceeds bound {}", subset, f1, bound
+        );
+    }
+
     /// Oracle equivalence also holds with the forest protection turned
     /// off (unrestricted clipping exercises more candidate shapes) and
     /// under Fixed clip mode.

@@ -102,6 +102,162 @@ fn concurrent_clients_get_bytes_identical_to_offline() {
 }
 
 #[test]
+fn keep_alive_session_is_byte_identical_and_reuses_the_connection() {
+    let corpus = offline_corpus(6);
+    let handle = server(ServeConfig {
+        batch_max: 4,
+        flush: Duration::from_millis(1),
+        parse_cache: 512,
+        ..ServeConfig::default()
+    });
+    let addr = handle.addr();
+
+    // Several sequential exchanges on ONE socket.
+    let mut session = client::Session::connect(addr).expect("connect");
+    for pass in 0..3 {
+        for (request, expected) in &corpus {
+            let r = session.post("/v1/distill", request).expect("post");
+            assert_eq!(r.status, 200, "pass {pass}: {}", r.text());
+            assert!(r.keep_alive, "server closed a persistent connection");
+            assert_eq!(
+                r.body,
+                expected.as_bytes(),
+                "pass {pass}: keep-alive body diverged from offline"
+            );
+        }
+    }
+    // Mixed methods on the same socket still work.
+    let health = session.get("/healthz").expect("healthz on same socket");
+    assert_eq!(health.status, 200);
+
+    // True pipelining: write every request before reading any response.
+    let mut pipelined = client::Session::connect(addr).expect("connect");
+    for (request, _) in &corpus {
+        pipelined.send_post("/v1/distill", request).expect("send");
+    }
+    for (_, expected) in &corpus {
+        let r = pipelined.read_response().expect("pipelined response");
+        assert_eq!(r.status, 200);
+        assert_eq!(r.body, expected.as_bytes(), "pipelined body diverged");
+    }
+
+    // The server must have observed reuse: far fewer connections than
+    // requests, and keep-alive reuses recorded.
+    let metrics = client::get(addr, "/metrics").expect("metrics").text();
+    let root = gced_datasets::json::parse(&metrics).expect("metrics JSON");
+    let num = |k: &str| {
+        root.get(k)
+            .and_then(gced_datasets::json::Json::as_f64)
+            .unwrap_or(-1.0)
+    };
+    let reuses = num("keepalive_reuses");
+    let conns = num("connections_total");
+    let requests = num("requests_total");
+    assert!(
+        reuses >= (corpus.len() * 3) as f64,
+        "expected keep-alive reuse, got {reuses} reuses over {conns} connections"
+    );
+    assert!(
+        conns < requests,
+        "every request opened a connection: {conns} conns / {requests} requests"
+    );
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn connection_cap_closes_after_max_requests() {
+    let corpus = offline_corpus(1);
+    let handle = server(ServeConfig {
+        max_requests_per_conn: 2,
+        read_timeout: Duration::from_secs(2),
+        ..ServeConfig::default()
+    });
+    let addr = handle.addr();
+    let mut session = client::Session::connect(addr).expect("connect");
+    let first = session.post("/v1/distill", &corpus[0].0).expect("first");
+    assert_eq!(first.status, 200);
+    assert!(first.keep_alive, "first response should keep the conn open");
+    let second = session.post("/v1/distill", &corpus[0].0).expect("second");
+    assert_eq!(second.status, 200);
+    assert!(
+        !second.keep_alive,
+        "cap reached: second response must announce Connection: close"
+    );
+    // The server hung up; a third exchange on this socket cannot
+    // produce a response.
+    assert!(
+        session.post("/v1/distill", &corpus[0].0).is_err(),
+        "third request on a capped connection should fail"
+    );
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn warmup_prefills_the_parse_cache() {
+    let (_, ds) = pipeline();
+    let warmup_docs: Vec<String> = ds.dev.examples.iter().map(|e| e.context.clone()).collect();
+    let n_docs = warmup_docs.len();
+    let handle = server(ServeConfig {
+        parse_cache: 2048,
+        warmup_docs,
+        ..ServeConfig::default()
+    });
+    let addr = handle.addr();
+    // Before any distill request: warmup counts are reported and the
+    // cache is populated.
+    let metrics = client::get(addr, "/metrics").expect("metrics").text();
+    let root = gced_datasets::json::parse(&metrics).expect("metrics JSON");
+    let warm = root.get("warmup").expect("warmup in metrics");
+    let wnum = |k: &str| {
+        warm.get(k)
+            .and_then(gced_datasets::json::Json::as_f64)
+            .unwrap_or(-1.0)
+    };
+    assert!(wnum("docs") >= 1.0, "no warmup docs reported: {metrics}");
+    assert!(wnum("docs") <= n_docs as f64);
+    assert!(wnum("sentences") >= wnum("docs"), "sentences < docs");
+    let pc = root.get("parse_cache").expect("parse_cache in metrics");
+    let len = pc
+        .get("len")
+        .and_then(gced_datasets::json::Json::as_f64)
+        .unwrap_or(0.0);
+    assert!(len > 0.0, "warmup left the parse cache empty: {metrics}");
+
+    // A first (cold-connection) request over a warmed corpus document
+    // must hit the cache — and stay byte-identical to offline.
+    let corpus = offline_corpus(2);
+    let hits_before = {
+        let text = client::get(addr, "/metrics").expect("metrics").text();
+        let root = gced_datasets::json::parse(&text).expect("metrics JSON");
+        root.get("parse_cache")
+            .and_then(|p| p.get("hits"))
+            .and_then(gced_datasets::json::Json::as_f64)
+            .unwrap_or(0.0)
+    };
+    for (request, expected) in &corpus {
+        let r = client::post(addr, "/v1/distill", request).expect("post");
+        assert_eq!(r.status, 200);
+        assert_eq!(r.body, expected.as_bytes(), "warmed body diverged");
+    }
+    let hits_after = {
+        let text = client::get(addr, "/metrics").expect("metrics").text();
+        let root = gced_datasets::json::parse(&text).expect("metrics JSON");
+        root.get("parse_cache")
+            .and_then(|p| p.get("hits"))
+            .and_then(gced_datasets::json::Json::as_f64)
+            .unwrap_or(0.0)
+    };
+    assert!(
+        hits_after > hits_before,
+        "first requests missed the warmed cache: {hits_before} -> {hits_after}"
+    );
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
 fn healthz_metrics_and_error_statuses() {
     let handle = server(ServeConfig::default());
     let addr = handle.addr();
