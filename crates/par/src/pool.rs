@@ -26,11 +26,19 @@
 //! after every sibling finished. Workers survive task panics, the pool
 //! stays usable, and `Drop` joins every worker unconditionally — no
 //! leaked threads even when jobs panicked (see the regression tests).
+//!
+//! Lock poisoning is **recovered, never propagated**: if any thread
+//! panicked while holding a pool mutex, the next locker clears the
+//! poison with [`PoisonError::into_inner`] and proceeds. This is sound
+//! because every critical section leaves the data consistent at each
+//! await/panic point (counters are updated atomically under the lock,
+//! the poster mutex guards `()`), and it guarantees one panicked task
+//! can never wedge every subsequent `par_map` call.
 
 use std::cell::UnsafeCell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, TryLockError};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError, TryLockError};
 
 /// Wide pointer to the current job's closure. `Send` is sound because
 /// the pointer is only handed out under the pool mutex while the poster
@@ -63,6 +71,13 @@ struct Shared {
     done_cv: Condvar,
     /// Workers that have fully exited (asserted by the drop tests).
     exited: AtomicUsize,
+}
+
+impl Shared {
+    /// Lock the pool state, clearing any poison (module docs, Panics).
+    fn lock_state(&self) -> MutexGuard<'_, PoolState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
 }
 
 /// A fixed-size pool of persistent worker threads.
@@ -130,7 +145,11 @@ impl WorkerPool {
                 task();
                 return;
             }
-            Err(TryLockError::Poisoned(e)) => panic!("pool poster lock poisoned: {e}"),
+            // A previous poster panicked with the guard held. The data
+            // under this mutex is `()` — nothing to repair — so clear
+            // the poison and keep serializing posters instead of
+            // wedging every later `par_map` call.
+            Err(TryLockError::Poisoned(e)) => e.into_inner(),
         };
         let extra = extra.min(self.handles.len());
         if extra == 0 {
@@ -141,7 +160,7 @@ impl WorkerPool {
         let task_static: &'static (dyn Fn() + Sync) =
             unsafe { std::mem::transmute::<&(dyn Fn() + Sync), &(dyn Fn() + Sync)>(task) };
         {
-            let mut st = self.shared.state.lock().expect("pool state lock");
+            let mut st = self.shared.lock_state();
             st.job = Some(TaskPtr(task_static as *const _));
             st.claims_left = extra;
             st.running = 0;
@@ -150,10 +169,14 @@ impl WorkerPool {
         }
         self.shared.work_cv.notify_all();
         let own = catch_unwind(AssertUnwindSafe(task));
-        let mut st = self.shared.state.lock().expect("pool state lock");
+        let mut st = self.shared.lock_state();
         st.claims_left = 0; // no new claims once the poster is draining
         while st.running > 0 {
-            st = self.shared.done_cv.wait(st).expect("pool state lock");
+            st = self
+                .shared
+                .done_cv
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
         }
         st.job = None;
         let worker_panic = st.panic_msg.take();
@@ -223,7 +246,7 @@ impl WorkerPool {
 impl Drop for WorkerPool {
     fn drop(&mut self) {
         {
-            let mut st = self.shared.state.lock().expect("pool state lock");
+            let mut st = self.shared.lock_state();
             st.shutdown = true;
         }
         self.shared.work_cv.notify_all();
@@ -242,7 +265,7 @@ unsafe impl<R: Send> Sync for Slot<R> {}
 
 fn worker_loop(shared: &Shared) {
     let mut seen_epoch = 0u64;
-    let mut st = shared.state.lock().expect("pool state lock");
+    let mut st = shared.lock_state();
     loop {
         if st.shutdown {
             break;
@@ -256,7 +279,7 @@ fn worker_loop(shared: &Shared) {
             drop(st);
             // The poster keeps the closure alive until running == 0.
             let result = catch_unwind(AssertUnwindSafe(|| unsafe { (*task)() }));
-            st = shared.state.lock().expect("pool state lock");
+            st = shared.lock_state();
             st.running -= 1;
             if let Err(payload) = result {
                 st.panic_msg.get_or_insert_with(|| panic_text(&payload));
@@ -265,7 +288,10 @@ fn worker_loop(shared: &Shared) {
                 shared.done_cv.notify_all();
             }
         } else {
-            st = shared.work_cv.wait(st).expect("pool state lock");
+            st = shared
+                .work_cv
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
     drop(st);
@@ -363,5 +389,34 @@ mod tests {
         let pool = WorkerPool::new(1);
         // threads=1 → sequential fast path, no job posted.
         assert_eq!(squares(&pool, 5, 1), vec![0, 1, 4, 9, 16]);
+    }
+
+    #[test]
+    fn poisoned_locks_recover_instead_of_wedging() {
+        let pool = WorkerPool::new(2);
+        let expected: Vec<u64> = (0..64).map(|x: u64| x.wrapping_mul(x)).collect();
+        // Poison the poster mutex: a thread panics with the guard held.
+        let poisoner = std::thread::scope(|s| {
+            s.spawn(|| {
+                let _g = pool.poster.lock().unwrap();
+                panic!("poison the poster lock");
+            })
+            .join()
+        });
+        assert!(poisoner.is_err());
+        assert!(pool.poster.is_poisoned());
+        // A subsequent map clears the poison and runs parallel again
+        // (before the fix this panicked "pool poster lock poisoned").
+        assert_eq!(squares(&pool, 64, 3), expected);
+        // Same recovery for the state mutex shared with the workers.
+        let poisoner = std::thread::scope(|s| {
+            s.spawn(|| {
+                let _g = pool.shared.state.lock().unwrap();
+                panic!("poison the state lock");
+            })
+            .join()
+        });
+        assert!(poisoner.is_err());
+        assert_eq!(squares(&pool, 64, 3), expected);
     }
 }

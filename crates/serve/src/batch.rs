@@ -1,4 +1,4 @@
-//! The micro-batching request queue.
+//! The micro-batching request queue, with fault containment.
 //!
 //! Concurrent `/v1/distill` requests land in one bounded queue. A
 //! single batcher thread coalesces them — up to `batch_max` items, or
@@ -13,13 +13,33 @@
 //! Backpressure is load-shedding, not buffering: when the queue holds
 //! `capacity` waiting requests, `enqueue` refuses immediately (the
 //! connection answers 503) instead of growing an unbounded backlog
-//! whose tail latency would be unbounded too. Shutdown is graceful:
-//! after [`Batcher::shutdown`] no new work is accepted, every queued
-//! request is still batched and answered, and the thread is joined.
+//! whose tail latency would be unbounded too. Requests also carry the
+//! server's queue `deadline`: one that expires before the batcher
+//! dequeues it is shed at dequeue time ([`Reply::Expired`], answered
+//! 503 + `Retry-After`) rather than burning distillation work on an
+//! answer the client has given up on.
+//!
+//! Failure is contained at two rings:
+//!
+//! 1. each coalesced `distill_batch` call runs under
+//!    [`std::panic::catch_unwind`] — a panic answers that batch's
+//!    requests with [`Reply::Panicked`] (500) and the thread lives on;
+//! 2. if the thread itself dies (a panic outside the catch, e.g. the
+//!    `batcher_kill` chaos site), waiting handlers observe their
+//!    channel disconnect, answer 500, and call [`Batcher::revive`] to
+//!    respawn the thread over the same queue.
+//!
+//! Shutdown is graceful even under faults: after [`Batcher::shutdown`]
+//! no new work is accepted, the live thread drains every queued
+//! request, and any leftovers stranded by a dead thread are answered
+//! [`Reply::Shutdown`] — **every queued request always receives exactly
+//! one reply**.
 
+use crate::fault::{FaultPlan, Site};
 use crate::metrics::Metrics;
 use gced::{DistillError, Distillation, Gced};
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::Ordering;
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
@@ -34,15 +54,51 @@ pub enum EnqueueError {
     ShuttingDown,
 }
 
-/// The answer a waiting connection receives.
+/// The per-item result of a batch that actually ran.
 pub type DistillOutcome = Result<Distillation, DistillError>;
+
+/// What a waiting connection hears back. Exactly one `Reply` is sent
+/// per successfully enqueued request, whatever happens to the batcher.
+#[derive(Debug)]
+pub enum Reply {
+    /// The batch ran; this is the request's own element-wise result
+    /// (boxed: a `Distillation` dwarfs the data-free variants).
+    Done(Box<DistillOutcome>),
+    /// A panic inside the coalesced `distill_batch` call took out the
+    /// batch this request rode in (the request itself may have been
+    /// innocent — batching must not change semantics, so the whole
+    /// batch answers 500 and the client may retry).
+    Panicked,
+    /// The request's queue deadline expired before the batcher got to
+    /// it; shed without running (503 + `Retry-After`).
+    Expired,
+    /// The server drained this request during shutdown without running
+    /// it (503 + `Retry-After`; only happens when the batcher thread
+    /// died with work still queued).
+    Shutdown,
+}
+
+/// Queue/coalescing knobs, lifted out of `ServeConfig`.
+#[derive(Debug, Clone, Copy)]
+pub struct BatcherConfig {
+    /// Largest coalesced batch.
+    pub batch_max: usize,
+    /// How long the batcher waits for the queue to fill after the first
+    /// item arrives.
+    pub flush: Duration,
+    /// Queue slots; an enqueue beyond this sheds with `Full`.
+    pub capacity: usize,
+    /// Maximum time a request may wait in the queue before it is shed
+    /// as `Expired` at dequeue. `Duration::ZERO` disables expiry.
+    pub deadline: Duration,
+}
 
 struct Pending {
     question: String,
     answer: String,
     context: String,
     enqueued_at: Instant,
-    tx: mpsc::Sender<DistillOutcome>,
+    tx: mpsc::Sender<Reply>,
 }
 
 struct State {
@@ -54,16 +110,17 @@ struct Inner {
     state: Mutex<State>,
     /// Wakes the batcher when work arrives or shutdown begins.
     cv: Condvar,
-    batch_max: usize,
-    flush: Duration,
-    capacity: usize,
+    config: BatcherConfig,
+    gced: Arc<Gced>,
+    faults: Arc<FaultPlan>,
     metrics: Arc<Metrics>,
 }
 
 /// Handle to the batcher thread.
 pub struct Batcher {
     inner: Arc<Inner>,
-    /// Taken exactly once, by whichever caller performs the shutdown.
+    /// The live thread. `revive` swaps in a fresh one; `shutdown` takes
+    /// it for the final join.
     handle: Mutex<Option<std::thread::JoinHandle<()>>>,
 }
 
@@ -72,9 +129,8 @@ impl Batcher {
     /// `capacity` are clamped to at least 1.
     pub fn start(
         gced: Arc<Gced>,
-        batch_max: usize,
-        flush: Duration,
-        capacity: usize,
+        config: BatcherConfig,
+        faults: Arc<FaultPlan>,
         metrics: Arc<Metrics>,
     ) -> Self {
         let inner = Arc::new(Inner {
@@ -83,37 +139,38 @@ impl Batcher {
                 shutdown: false,
             }),
             cv: Condvar::new(),
-            batch_max: batch_max.max(1),
-            flush,
-            capacity: capacity.max(1),
+            config: BatcherConfig {
+                batch_max: config.batch_max.max(1),
+                capacity: config.capacity.max(1),
+                ..config
+            },
+            gced,
+            faults,
             metrics,
         });
-        let thread_inner = Arc::clone(&inner);
-        let handle = std::thread::Builder::new()
-            .name("gced-serve-batcher".to_string())
-            .spawn(move || batcher_loop(&thread_inner, &gced))
-            .expect("spawn batcher thread");
         Batcher {
+            handle: Mutex::new(Some(spawn_batcher(&inner))),
             inner,
-            handle: Mutex::new(Some(handle)),
         }
     }
 
-    /// Queue one request. Returns the receiver the caller blocks on; the
-    /// batcher always sends exactly one outcome per queued request (also
-    /// during shutdown drain).
+    /// Queue one request. Returns the receiver the caller blocks on;
+    /// exactly one [`Reply`] arrives per queued request — unless the
+    /// batcher thread dies with the request in flight, which the caller
+    /// observes as a channel disconnect and treats as [`Reply::Panicked`]
+    /// (after calling [`Batcher::revive`]).
     pub fn enqueue(
         &self,
         question: String,
         answer: String,
         context: String,
-    ) -> Result<mpsc::Receiver<DistillOutcome>, EnqueueError> {
+    ) -> Result<mpsc::Receiver<Reply>, EnqueueError> {
         let (tx, rx) = mpsc::channel();
         let mut st = self.inner.state.lock().expect("batch queue lock");
         if st.shutdown {
             return Err(EnqueueError::ShuttingDown);
         }
-        if st.queue.len() >= self.inner.capacity {
+        if st.queue.len() >= self.inner.config.capacity {
             return Err(EnqueueError::Full);
         }
         st.queue.push_back(Pending {
@@ -138,9 +195,57 @@ impl Batcher {
             .len()
     }
 
-    /// Stop accepting work, drain every queued request, join the thread.
-    /// Idempotent; concurrent callers race on the handle and exactly one
-    /// performs the join.
+    /// True while the batcher thread is running.
+    pub fn is_alive(&self) -> bool {
+        self.handle
+            .lock()
+            .expect("batcher handle lock")
+            .as_ref()
+            .is_some_and(|h| !h.is_finished())
+    }
+
+    /// Respawn the batcher thread over the same queue after it died (a
+    /// panic outside the `catch_unwind` ring). Returns `true` when a
+    /// new thread was actually spawned; `false` when the old one is
+    /// still alive (another caller already revived it) or the server is
+    /// shutting down. Counted in `batcher_restarts_total`.
+    pub fn revive(&self) -> bool {
+        let mut slot = self.handle.lock().expect("batcher handle lock");
+        if self.inner.state.lock().expect("batch queue lock").shutdown {
+            return false;
+        }
+        if let Some(h) = slot.as_ref() {
+            // A dying thread disconnects its waiters while it is still
+            // unwinding: the caller can observe the death a moment
+            // before `is_finished()` flips. Give the corpse a bounded
+            // grace to finish; a healthy thread never finishes, so this
+            // still refuses (after the grace) instead of killing it.
+            let deadline = Instant::now() + Duration::from_millis(100);
+            while !h.is_finished() {
+                if Instant::now() >= deadline {
+                    return false;
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        if let Some(h) = slot.take() {
+            // Collect the corpse; a panic here is exactly why we exist.
+            let _ = h.join();
+        }
+        *slot = Some(spawn_batcher(&self.inner));
+        self.inner
+            .metrics
+            .batcher_restarts
+            .fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Stop accepting work, drain every queued request, join the
+    /// thread. A live thread answers the backlog normally; if the
+    /// thread died mid-fault with work still queued, the leftovers are
+    /// answered [`Reply::Shutdown`] here so no waiting connection ever
+    /// hangs. Idempotent; concurrent callers race on the handle and
+    /// exactly one performs the join.
     pub fn shutdown(&self) {
         {
             let mut st = self.inner.state.lock().expect("batch queue lock");
@@ -149,7 +254,12 @@ impl Batcher {
         self.inner.cv.notify_all();
         let handle = self.handle.lock().expect("batcher handle lock").take();
         if let Some(handle) = handle {
-            handle.join().expect("batcher thread exited cleanly");
+            // Tolerate a chaos-killed thread: drain still completes.
+            let _ = handle.join();
+        }
+        let mut st = self.inner.state.lock().expect("batch queue lock");
+        for pending in st.queue.drain(..) {
+            let _ = pending.tx.send(Reply::Shutdown);
         }
     }
 }
@@ -160,7 +270,15 @@ impl Drop for Batcher {
     }
 }
 
-fn batcher_loop(inner: &Inner, gced: &Gced) {
+fn spawn_batcher(inner: &Arc<Inner>) -> std::thread::JoinHandle<()> {
+    let inner = Arc::clone(inner);
+    std::thread::Builder::new()
+        .name("gced-serve-batcher".to_string())
+        .spawn(move || batcher_loop(&inner))
+        .expect("spawn batcher thread")
+}
+
+fn batcher_loop(inner: &Inner) {
     loop {
         let batch = {
             let mut st = inner.state.lock().expect("batch queue lock");
@@ -174,8 +292,8 @@ fn batcher_loop(inner: &Inner, gced: &Gced) {
             // Coalesce: give the batch `flush` from now to fill up to
             // batch_max. During shutdown, flush immediately — latency
             // no longer buys coalescing, draining fast does.
-            let deadline = Instant::now() + inner.flush;
-            while st.queue.len() < inner.batch_max && !st.shutdown {
+            let deadline = Instant::now() + inner.config.flush;
+            while st.queue.len() < inner.config.batch_max && !st.shutdown {
                 let now = Instant::now();
                 if now >= deadline {
                     break;
@@ -189,29 +307,70 @@ fn batcher_loop(inner: &Inner, gced: &Gced) {
                     break;
                 }
             }
-            let take = st.queue.len().min(inner.batch_max);
+            let take = st.queue.len().min(inner.config.batch_max);
             st.queue.drain(..take).collect::<Vec<Pending>>()
         };
-        let items: Vec<(&str, &str, &str)> = batch
+        // Shed requests whose queue deadline already passed — no
+        // distillation work for an answer the client gave up on.
+        let mut live = Vec::with_capacity(batch.len());
+        for pending in batch {
+            if !inner.config.deadline.is_zero()
+                && pending.enqueued_at.elapsed() > inner.config.deadline
+            {
+                let _ = pending.tx.send(Reply::Expired);
+            } else {
+                live.push(pending);
+            }
+        }
+        if live.is_empty() {
+            continue;
+        }
+        if let Some(ms) = inner.faults.fire(Site::PreBatchDelay) {
+            std::thread::sleep(Duration::from_millis(ms));
+        }
+        if inner.faults.fire(Site::BatcherKill).is_some() {
+            // Outside the catch ring on purpose: the thread dies, the
+            // in-flight senders drop, waiting handlers observe their
+            // channel disconnect and revive us.
+            panic!("chaos: batcher_kill fired");
+        }
+        let items: Vec<(&str, &str, &str)> = live
             .iter()
             .map(|p| (p.question.as_str(), p.answer.as_str(), p.context.as_str()))
             .collect();
-        let results = gced.distill_batch(&items);
+        // Ring 1: a panic anywhere in the coalesced call — including
+        // the injected `batch_panic` chaos site — fails this batch, not
+        // the thread. `AssertUnwindSafe` is sound because nothing the
+        // closure touches is observed again on the panic path: `items`
+        // is dropped, the pipeline is internally panic-consistent (its
+        // worker pool contains panics per task), and the queue mutex is
+        // not held here.
+        let results = catch_unwind(AssertUnwindSafe(|| {
+            if inner.faults.fire(Site::BatchPanic).is_some() {
+                panic!("chaos: batch_panic fired");
+            }
+            inner.gced.distill_batch(&items)
+        }));
         inner.metrics.batches_total.fetch_add(1, Ordering::Relaxed);
-        inner.metrics.batch_size.record(batch.len() as u64);
-        for (pending, result) in batch.into_iter().zip(results) {
-            let elapsed_us = pending
-                .enqueued_at
-                .elapsed()
-                .as_micros()
-                .min(u128::from(u64::MAX));
-            inner.metrics.latency_us.record(elapsed_us as u64);
-            match &result {
-                Ok(_) => inner.metrics.distill_ok.fetch_add(1, Ordering::Relaxed),
-                Err(_) => inner.metrics.distill_error.fetch_add(1, Ordering::Relaxed),
-            };
-            // A client that hung up just discards its result.
-            let _ = pending.tx.send(result);
+        inner.metrics.batch_size.record(live.len() as u64);
+        match results {
+            Ok(results) => {
+                for (pending, result) in live.into_iter().zip(results) {
+                    let elapsed_us = pending
+                        .enqueued_at
+                        .elapsed()
+                        .as_micros()
+                        .min(u128::from(u64::MAX));
+                    inner.metrics.latency_us.record(elapsed_us as u64);
+                    // A client that hung up just discards its reply.
+                    let _ = pending.tx.send(Reply::Done(Box::new(result)));
+                }
+            }
+            Err(_) => {
+                for pending in live {
+                    let _ = pending.tx.send(Reply::Panicked);
+                }
+            }
         }
     }
 }
@@ -238,33 +397,61 @@ mod tests {
         }))
     }
 
+    fn start(
+        batch_max: usize,
+        flush: Duration,
+        capacity: usize,
+        deadline: Duration,
+        faults: FaultPlan,
+        metrics: &Arc<Metrics>,
+    ) -> Batcher {
+        Batcher::start(
+            pipeline(),
+            BatcherConfig {
+                batch_max,
+                flush,
+                capacity,
+                deadline,
+            },
+            Arc::new(faults),
+            Arc::clone(metrics),
+        )
+    }
+
     const Q: &str = "Which team defeated the Panthers?";
     const A: &str = "Denver Broncos";
     const C: &str = "The Denver Broncos defeated the Carolina Panthers to earn the title. \
                      The band played all night.";
 
+    fn done(reply: Reply) -> DistillOutcome {
+        match reply {
+            Reply::Done(outcome) => *outcome,
+            other => panic!("expected Done, got {other:?}"),
+        }
+    }
+
     #[test]
     fn answers_match_direct_distillation() {
         let gced = pipeline();
         let metrics = Arc::new(Metrics::new());
-        let b = Batcher::start(
-            Arc::clone(&gced),
+        let b = start(
             4,
             Duration::from_millis(1),
             16,
-            Arc::clone(&metrics),
+            Duration::ZERO,
+            FaultPlan::none(),
+            &metrics,
         );
         let expected = gced.distill(Q, A, C).unwrap();
         let receivers: Vec<_> = (0..6)
             .map(|_| b.enqueue(Q.into(), A.into(), C.into()).unwrap())
             .collect();
         for rx in receivers {
-            let got = rx.recv().unwrap().unwrap();
+            let got = done(rx.recv().unwrap()).unwrap();
             assert_eq!(got.evidence, expected.evidence);
             assert_eq!(got.scores, expected.scores);
         }
         b.shutdown();
-        assert_eq!(metrics.distill_ok.load(Ordering::Relaxed), 6);
         assert!(metrics.batches_total.load(Ordering::Relaxed) >= 1);
         assert_eq!(
             metrics.batch_size.count(),
@@ -275,21 +462,35 @@ mod tests {
 
     #[test]
     fn pipeline_errors_travel_to_the_caller() {
-        let gced = pipeline();
         let metrics = Arc::new(Metrics::new());
-        let b = Batcher::start(gced, 4, Duration::from_millis(1), 16, metrics.clone());
+        let b = start(
+            4,
+            Duration::from_millis(1),
+            16,
+            Duration::ZERO,
+            FaultPlan::none(),
+            &metrics,
+        );
         let rx = b.enqueue(Q.into(), String::new(), C.into()).unwrap();
-        assert!(matches!(rx.recv().unwrap(), Err(DistillError::EmptyAnswer)));
+        assert!(matches!(
+            done(rx.recv().unwrap()),
+            Err(DistillError::EmptyAnswer)
+        ));
         b.shutdown();
-        assert_eq!(metrics.distill_error.load(Ordering::Relaxed), 1);
     }
 
     #[test]
     fn full_queue_sheds_instead_of_buffering() {
-        let gced = pipeline();
         let metrics = Arc::new(Metrics::new());
         // A batcher that cannot keep up: long flush window, capacity 2.
-        let b = Batcher::start(gced, 64, Duration::from_secs(5), 2, Arc::clone(&metrics));
+        let b = start(
+            64,
+            Duration::from_secs(5),
+            2,
+            Duration::ZERO,
+            FaultPlan::none(),
+            &metrics,
+        );
         // Fill the queue faster than the 5s flush window drains it.
         let _rx1 = b.enqueue(Q.into(), A.into(), C.into()).unwrap();
         let _rx2 = b.enqueue(Q.into(), A.into(), C.into()).unwrap();
@@ -308,27 +509,130 @@ mod tests {
 
     #[test]
     fn shutdown_drains_queued_requests() {
-        let gced = pipeline();
         let metrics = Arc::new(Metrics::new());
         // Huge flush window: requests sit queued until shutdown drains.
-        let b = Batcher::start(
-            Arc::clone(&gced),
+        let b = start(
             64,
             Duration::from_secs(30),
             16,
-            metrics.clone(),
+            Duration::ZERO,
+            FaultPlan::none(),
+            &metrics,
         );
         let receivers: Vec<_> = (0..3)
             .map(|_| b.enqueue(Q.into(), A.into(), C.into()).unwrap())
             .collect();
         b.shutdown();
         for rx in receivers {
-            assert!(rx.recv().unwrap().is_ok(), "drained request answered");
+            assert!(done(rx.recv().unwrap()).is_ok(), "drained request answered");
         }
         assert!(matches!(
             b.enqueue(Q.into(), A.into(), C.into()),
             Err(EnqueueError::ShuttingDown)
         ));
-        assert_eq!(metrics.distill_ok.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn expired_requests_are_shed_at_dequeue() {
+        let metrics = Arc::new(Metrics::new());
+        // The 40ms flush window holds the request in the queue well past
+        // its 1ms deadline, so the batcher sheds it instead of running.
+        let b = start(
+            64,
+            Duration::from_millis(40),
+            16,
+            Duration::from_millis(1),
+            FaultPlan::none(),
+            &metrics,
+        );
+        let rx = b.enqueue(Q.into(), A.into(), C.into()).unwrap();
+        assert!(matches!(rx.recv().unwrap(), Reply::Expired));
+        // No distillation ran for the shed request.
+        assert_eq!(metrics.latency_us.count(), 0);
+        b.shutdown();
+    }
+
+    #[cfg(feature = "chaos")]
+    #[test]
+    fn batch_panic_is_contained_to_its_batch() {
+        let metrics = Arc::new(Metrics::new());
+        let faults = FaultPlan::parse("seed=1,batch_panic=1x1").unwrap();
+        let b = start(
+            4,
+            Duration::from_millis(1),
+            16,
+            Duration::ZERO,
+            faults,
+            &metrics,
+        );
+        // First batch rides into the injected panic …
+        let rx = b.enqueue(Q.into(), A.into(), C.into()).unwrap();
+        assert!(matches!(rx.recv().unwrap(), Reply::Panicked));
+        // … and the thread survives to answer the next one correctly.
+        assert!(b.is_alive(), "batcher thread must outlive a batch panic");
+        let rx = b.enqueue(Q.into(), A.into(), C.into()).unwrap();
+        let got = done(rx.recv().unwrap()).unwrap();
+        let expected = pipeline().distill(Q, A, C).unwrap();
+        assert_eq!(got.evidence, expected.evidence);
+        b.shutdown();
+    }
+
+    #[cfg(feature = "chaos")]
+    #[test]
+    fn a_killed_batcher_disconnects_waiters_and_revives() {
+        let metrics = Arc::new(Metrics::new());
+        let faults = FaultPlan::parse("seed=1,batcher_kill=1x1").unwrap();
+        let b = start(
+            4,
+            Duration::from_millis(1),
+            16,
+            Duration::ZERO,
+            faults,
+            &metrics,
+        );
+        let rx = b.enqueue(Q.into(), A.into(), C.into()).unwrap();
+        // The kill site panics outside the catch: the thread dies and
+        // the waiting channel disconnects instead of replying.
+        assert!(rx.recv().is_err(), "expected a disconnect, not a reply");
+        assert!(b.revive(), "dead batcher must revive");
+        assert!(b.is_alive());
+        assert_eq!(metrics.batcher_restarts.load(Ordering::Relaxed), 1);
+        // Reviving an already-live batcher is a no-op.
+        assert!(!b.revive());
+        // The revived thread serves correctly (the kill was capped x1).
+        let rx = b.enqueue(Q.into(), A.into(), C.into()).unwrap();
+        assert!(done(rx.recv().unwrap()).is_ok());
+        b.shutdown();
+        // Shutdown forbids revival.
+        assert!(!b.revive());
+    }
+
+    #[cfg(feature = "chaos")]
+    #[test]
+    fn shutdown_answers_leftovers_of_a_dead_batcher() {
+        let metrics = Arc::new(Metrics::new());
+        let faults = FaultPlan::parse("seed=1,batcher_kill=1").unwrap();
+        // batch_max 1: the kill takes out only the first request; the
+        // rest stay queued behind a dead thread.
+        let b = start(
+            1,
+            Duration::from_millis(1),
+            16,
+            Duration::ZERO,
+            faults,
+            &metrics,
+        );
+        let doomed = b.enqueue(Q.into(), A.into(), C.into()).unwrap();
+        assert!(doomed.recv().is_err(), "first request rides the kill");
+        let stranded: Vec<_> = (0..3)
+            .map(|_| b.enqueue(Q.into(), A.into(), C.into()).unwrap())
+            .collect();
+        b.shutdown();
+        for rx in stranded {
+            assert!(
+                matches!(rx.recv().unwrap(), Reply::Shutdown),
+                "stranded request answered at drain"
+            );
+        }
     }
 }

@@ -1,12 +1,20 @@
 //! A minimal blocking HTTP/1.1 client for exercising the server.
 //!
-//! Used by the integration tests, the load-generator bench, and anyone
-//! poking a local `gced serve` from Rust without external crates. Two
-//! flavors: the one-shot [`get`]/[`post`] helpers send
-//! `Connection: close` and read to EOF, and [`Session`] holds one
+//! Used by the integration tests, the load-generator bench, the chaos
+//! suite, and anyone poking a local `gced serve` from Rust without
+//! external crates. Two flavors: the one-shot [`get`]/[`post`] helpers
+//! send `Connection: close` and read to EOF, and [`Session`] holds one
 //! persistent connection open across many exchanges (with
 //! `Content-Length`-framed reads), including true pipelining — writing
 //! several requests before reading the first response.
+//!
+//! [`Session::post_with_retry`] rides out server faults: 500s (a
+//! panicked batch), 503 sheds, and torn connections are retried under a
+//! seeded, jittered exponential backoff ([`RetryPolicy`]) that honors
+//! the server's `Retry-After` hint. Retrying blindly is **safe by
+//! construction** here: every distillation is deterministic and
+//! idempotent, so a retried request can only ever produce the same
+//! bytes.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -22,6 +30,9 @@ pub struct Response {
     /// True when the server will keep the connection open
     /// (`Connection: keep-alive`).
     pub keep_alive: bool,
+    /// Parsed `Retry-After` header (seconds), present on shed (503)
+    /// responses.
+    pub retry_after: Option<u64>,
 }
 
 impl Response {
@@ -74,6 +85,7 @@ fn parse_response(raw: &[u8]) -> Option<Response> {
         status,
         body: raw[head_end + 4..].to_vec(),
         keep_alive: header_keep_alive(head),
+        retry_after: header_retry_after(head),
     })
 }
 
@@ -86,10 +98,81 @@ fn header_keep_alive(head: &str) -> bool {
     })
 }
 
+fn header_retry_after(head: &str) -> Option<u64> {
+    head.lines().find_map(|l| {
+        let (name, value) = l.split_once(':')?;
+        if name.trim().eq_ignore_ascii_case("retry-after") {
+            value.trim().parse().ok()
+        } else {
+            None
+        }
+    })
+}
+
+/// Retry shape for [`Session::post_with_retry`]: seeded, jittered
+/// exponential backoff with a budget. The attempt-`n` delay is
+/// `min(cap, base·2ⁿ) · jitter` where jitter is drawn deterministically
+/// from `seed` in `[0.5, 1.0)`, raised to the server's `Retry-After`
+/// hint when one arrived (but never above `cap` — the cap is the
+/// client's own bound on how long it is willing to stall).
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (budget 0 = try once).
+    pub budget: u32,
+    /// First backoff delay.
+    pub base: Duration,
+    /// Largest backoff delay.
+    pub cap: Duration,
+    /// Jitter stream seed; equal seeds replay equal delays.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            budget: 5,
+            base: Duration::from_millis(50),
+            cap: Duration::from_secs(2),
+            seed: 0x6ced,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The deterministic delay before retry number `attempt` (0-based),
+    /// honoring an optional `Retry-After` hint in seconds.
+    pub fn delay(&self, attempt: u32, retry_after: Option<u64>) -> Duration {
+        let exp = self
+            .base
+            .saturating_mul(1u32.checked_shl(attempt.min(16)).unwrap_or(u32::MAX))
+            .min(self.cap);
+        let jitter = 0.5 + 0.5 * unit(splitmix64(self.seed ^ u64::from(attempt)));
+        let jittered = exp.mul_f64(jitter);
+        match retry_after {
+            Some(secs) => jittered.max(Duration::from_secs(secs).min(self.cap)),
+            None => jittered,
+        }
+    }
+}
+
+/// Map a u64 onto `[0, 1)`.
+fn unit(x: u64) -> f64 {
+    (x >> 11) as f64 / (1u64 << 53) as f64
+}
+
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
 /// One persistent connection to the server. Each call frames its read
 /// by the response's `Content-Length`, so the socket stays usable for
 /// the next exchange until the server answers `Connection: close`.
 pub struct Session {
+    addr: SocketAddr,
+    timeout: Duration,
     reader: BufReader<TcpStream>,
     writer: TcpStream,
 }
@@ -102,13 +185,23 @@ impl Session {
 
     /// Connect with an explicit read timeout.
     pub fn connect_with_timeout(addr: SocketAddr, timeout: Duration) -> std::io::Result<Self> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_read_timeout(Some(timeout))?;
-        let reader = BufReader::new(stream.try_clone()?);
+        let (reader, writer) = open(addr, timeout)?;
         Ok(Session {
+            addr,
+            timeout,
             reader,
-            writer: stream,
+            writer,
         })
+    }
+
+    /// Drop the current socket and dial a fresh one (same address and
+    /// timeout). Used after a torn exchange: a desynchronized byte
+    /// stream cannot be trusted for another framed read.
+    pub fn reconnect(&mut self) -> std::io::Result<()> {
+        let (reader, writer) = open(self.addr, self.timeout)?;
+        self.reader = reader;
+        self.writer = writer;
+        Ok(())
     }
 
     /// `GET path`, keeping the connection open.
@@ -121,6 +214,52 @@ impl Session {
     pub fn post(&mut self, path: &str, body: &str) -> std::io::Result<Response> {
         self.send_post(path, body)?;
         self.read_response()
+    }
+
+    /// `POST path`, retrying through server faults under `policy`:
+    /// 500s (panicked batch / dead batcher — idempotence makes the
+    /// retry safe), 503 sheds (waiting out `Retry-After`), and torn
+    /// connections (reconnecting first). Returns the last outcome when
+    /// the budget runs out.
+    pub fn post_with_retry(
+        &mut self,
+        path: &str,
+        body: &str,
+        policy: &RetryPolicy,
+    ) -> std::io::Result<Response> {
+        let mut attempt = 0u32;
+        loop {
+            let outcome = self.post(path, body);
+            let retriable = match &outcome {
+                Ok(r) => r.status == 500 || r.status == 503,
+                Err(_) => true,
+            };
+            if !retriable || attempt >= policy.budget {
+                return outcome;
+            }
+            let hint = outcome.as_ref().ok().and_then(|r| r.retry_after);
+            let reconnect = match &outcome {
+                // A clean but final response (`Connection: close`) and
+                // any I/O failure both need a fresh socket.
+                Ok(r) => !r.keep_alive,
+                Err(_) => true,
+            };
+            std::thread::sleep(policy.delay(attempt, hint));
+            attempt += 1;
+            if reconnect {
+                loop {
+                    match self.reconnect() {
+                        Ok(()) => break,
+                        // A refused dial burns budget like any other retry.
+                        Err(e) if attempt >= policy.budget => return Err(e),
+                        Err(_) => {
+                            std::thread::sleep(policy.delay(attempt, None));
+                            attempt += 1;
+                        }
+                    }
+                }
+            }
+        }
     }
 
     /// Write a GET without reading the response (pipelining half).
@@ -192,8 +331,16 @@ impl Session {
             status: status.expect("status parsed"),
             body,
             keep_alive: header_keep_alive(&head),
+            retry_after: header_retry_after(&head),
         })
     }
+}
+
+fn open(addr: SocketAddr, timeout: Duration) -> std::io::Result<(BufReader<TcpStream>, TcpStream)> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(timeout))?;
+    let reader = BufReader::new(stream.try_clone()?);
+    Ok((reader, stream))
 }
 
 #[cfg(test)]
@@ -208,13 +355,40 @@ mod tests {
         assert_eq!(r.body, b"hi");
         assert_eq!(r.text(), "hi");
         assert!(!r.keep_alive);
+        assert_eq!(r.retry_after, None);
         let ka = b"HTTP/1.1 200 OK\r\nConnection: keep-alive\r\nContent-Length: 0\r\n\r\n";
         assert!(parse_response(ka).unwrap().keep_alive);
+        let shed =
+            b"HTTP/1.1 503 Service Unavailable\r\nRetry-After: 3\r\nContent-Length: 0\r\n\r\n";
+        assert_eq!(parse_response(shed).unwrap().retry_after, Some(3));
     }
 
     #[test]
     fn rejects_garbage() {
         assert!(parse_response(b"not http").is_none());
         assert!(parse_response(b"HTTP/1.1 abc\r\n\r\n").is_none());
+    }
+
+    #[test]
+    fn backoff_delays_are_deterministic_jittered_and_capped() {
+        let policy = RetryPolicy {
+            budget: 8,
+            base: Duration::from_millis(100),
+            cap: Duration::from_millis(800),
+            seed: 7,
+        };
+        for attempt in 0..8 {
+            let d = policy.delay(attempt, None);
+            assert_eq!(d, policy.delay(attempt, None), "same seed, same delay");
+            let exp = Duration::from_millis(100 * (1 << attempt)).min(policy.cap);
+            assert!(d >= exp.mul_f64(0.5), "attempt {attempt}: {d:?} < half-exp");
+            assert!(d <= exp, "attempt {attempt}: {d:?} > exp");
+        }
+        // A different seed draws different jitter somewhere.
+        let other = RetryPolicy { seed: 8, ..policy };
+        assert!((0..8).any(|a| other.delay(a, None) != policy.delay(a, None)));
+        // A Retry-After hint raises the delay, but never beyond cap.
+        assert!(policy.delay(0, Some(1)) >= Duration::from_millis(800));
+        assert!(policy.delay(0, Some(3600)) <= Duration::from_millis(800));
     }
 }

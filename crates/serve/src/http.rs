@@ -10,6 +10,7 @@
 //! idle time with the socket read timeout.
 
 use std::io::{BufRead, Write};
+use std::time::{Duration, Instant};
 
 /// Parsing limits: a request head (request line + headers) beyond 16 KiB
 /// or a body beyond 1 MiB is rejected before buffering it.
@@ -40,6 +41,9 @@ pub enum HttpError {
     BadRequest(String),
     /// Head or body beyond the fixed limits → 413.
     TooLarge(String),
+    /// Head plus body not complete within the total request deadline
+    /// (a slow-loris peer dribbling bytes) → 408.
+    TooSlow(String),
     /// Socket error / premature EOF; no response is possible.
     Io(String),
 }
@@ -49,16 +53,61 @@ impl std::fmt::Display for HttpError {
         match self {
             HttpError::BadRequest(m) => write!(f, "bad request: {m}"),
             HttpError::TooLarge(m) => write!(f, "request too large: {m}"),
+            HttpError::TooSlow(m) => write!(f, "request too slow: {m}"),
             HttpError::Io(m) => write!(f, "i/o error: {m}"),
         }
+    }
+}
+
+/// The total header+body deadline clock. It starts at the **first byte
+/// of the request line** — not at construction — so keep-alive idle
+/// time between requests (bounded separately by the socket read
+/// timeout) never counts against the request. A zero limit disables the
+/// deadline.
+///
+/// The clock is checked after every read, so a dribbling peer is cut
+/// off at most one socket-read-timeout past the deadline: the per-read
+/// timeout bounds each wait, the clock bounds their sum.
+#[derive(Debug)]
+struct DeadlineClock {
+    limit: Duration,
+    started: Option<Instant>,
+}
+
+impl DeadlineClock {
+    fn new(limit: Duration) -> Self {
+        DeadlineClock {
+            limit,
+            started: None,
+        }
+    }
+
+    /// Start the clock if this is the first byte, then enforce it.
+    fn tick(&mut self) -> Result<(), HttpError> {
+        if self.limit.is_zero() {
+            return Ok(());
+        }
+        let started = *self.started.get_or_insert_with(Instant::now);
+        if started.elapsed() > self.limit {
+            return Err(HttpError::TooSlow(format!(
+                "request head+body not complete within {} ms",
+                self.limit.as_millis()
+            )));
+        }
+        Ok(())
     }
 }
 
 impl std::error::Error for HttpError {}
 
 /// Read one `\r\n`-terminated line (the `\r\n` is stripped; a bare
-/// `\n` is tolerated), bounding the total head size via `budget`.
-fn read_line(reader: &mut impl BufRead, budget: &mut usize) -> Result<String, HttpError> {
+/// `\n` is tolerated), bounding the total head size via `budget` and
+/// the total request time via `clock`.
+fn read_line(
+    reader: &mut impl BufRead,
+    budget: &mut usize,
+    clock: &mut DeadlineClock,
+) -> Result<String, HttpError> {
     let mut line = Vec::new();
     loop {
         let mut byte = [0u8; 1];
@@ -72,6 +121,7 @@ fn read_line(reader: &mut impl BufRead, budget: &mut usize) -> Result<String, Ht
             Ok(_) => {}
             Err(e) => return Err(HttpError::Io(e.to_string())),
         }
+        clock.tick()?;
         if *budget == 0 {
             return Err(HttpError::TooLarge(format!(
                 "request head exceeds {MAX_HEAD_BYTES} bytes"
@@ -92,12 +142,19 @@ fn read_line(reader: &mut impl BufRead, budget: &mut usize) -> Result<String, Ht
 /// `Expect: 100-continue` — without it, curl (which adds the header
 /// for bodies over 1 KiB) stalls for its expect-timeout before
 /// transmitting the body.
+///
+/// `deadline` bounds the **total** time from the first request byte to
+/// the last body byte (slow-loris protection on top of the per-read
+/// socket timeout); `Duration::ZERO` disables it. Keep-alive idle time
+/// before the first byte never counts.
 pub fn read_request(
     reader: &mut impl BufRead,
     writer: &mut impl Write,
+    deadline: Duration,
 ) -> Result<Request, HttpError> {
     let mut budget = MAX_HEAD_BYTES;
-    let request_line = read_line(reader, &mut budget)?;
+    let mut clock = DeadlineClock::new(deadline);
+    let request_line = read_line(reader, &mut budget, &mut clock)?;
     let mut parts = request_line.split(' ');
     let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
         (Some(m), Some(p), Some(v), None) if !m.is_empty() && !p.is_empty() => (m, p, v),
@@ -117,7 +174,7 @@ pub fn read_request(
     // Persistence default per protocol version (RFC 9112 §9.3).
     let mut keep_alive = version != "HTTP/1.0";
     loop {
-        let line = read_line(reader, &mut budget)?;
+        let line = read_line(reader, &mut budget, &mut clock)?;
         if line.is_empty() {
             break;
         }
@@ -160,9 +217,26 @@ pub fn read_request(
             .map_err(|e| HttpError::Io(format!("writing 100 Continue: {e}")))?;
     }
     let mut body = vec![0u8; content_length];
-    reader
-        .read_exact(&mut body)
-        .map_err(|e| HttpError::Io(format!("reading {content_length}-byte body: {e}")))?;
+    let mut filled = 0;
+    while filled < content_length {
+        // Chunked (not read_exact) so the deadline clock runs between
+        // reads: a peer dribbling body bytes is cut off at the deadline
+        // instead of resetting the per-read timeout with each byte.
+        match reader.read(&mut body[filled..]) {
+            Ok(0) => {
+                return Err(HttpError::Io(format!(
+                    "connection closed after {filled} of {content_length} body bytes"
+                )))
+            }
+            Ok(n) => filled += n,
+            Err(e) => {
+                return Err(HttpError::Io(format!(
+                    "reading {content_length}-byte body: {e}"
+                )))
+            }
+        }
+        clock.tick()?;
+    }
     Ok(Request {
         method: method.to_string(),
         path: path.to_string(),
@@ -178,6 +252,7 @@ pub fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         413 => "Payload Too Large",
         422 => "Unprocessable Entity",
         500 => "Internal Server Error",
@@ -186,23 +261,55 @@ pub fn reason(status: u16) -> &'static str {
     }
 }
 
-/// Write a complete JSON response. `keep_alive` selects the
-/// `Connection` header; the body bytes are identical either way (the
-/// offline/online byte-parity pin compares bodies).
+/// Render a complete response frame (head + body) into bytes.
+/// `retry_after` adds a `Retry-After: <secs>` header (shed responses
+/// carry it so retrying clients know when to come back); the body bytes
+/// are identical regardless of the header set (the offline/online
+/// byte-parity pin compares bodies). Rendering separately from writing
+/// lets the chaos layer tear a frame at an exact byte offset.
+pub fn render_response(
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+    retry_after: Option<u64>,
+) -> Vec<u8> {
+    let mut out = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n",
+        reason(status),
+        body.len(),
+    );
+    if let Some(secs) = retry_after {
+        out.push_str(&format!("Retry-After: {secs}\r\n"));
+    }
+    out.push_str(if keep_alive {
+        "Connection: keep-alive\r\n\r\n"
+    } else {
+        "Connection: close\r\n\r\n"
+    });
+    let mut bytes = out.into_bytes();
+    bytes.extend_from_slice(body.as_bytes());
+    bytes
+}
+
+/// Write a complete JSON response (no `Retry-After`).
 pub fn write_response(
     stream: &mut impl Write,
     status: u16,
     body: &str,
     keep_alive: bool,
 ) -> std::io::Result<()> {
-    write!(
-        stream,
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
-        reason(status),
-        body.len(),
-        if keep_alive { "keep-alive" } else { "close" }
-    )?;
-    stream.write_all(body.as_bytes())?;
+    write_response_retry(stream, status, body, keep_alive, None)
+}
+
+/// Write a complete JSON response with an optional `Retry-After`.
+pub fn write_response_retry(
+    stream: &mut impl Write,
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+    retry_after: Option<u64>,
+) -> std::io::Result<()> {
+    stream.write_all(&render_response(status, body, keep_alive, retry_after))?;
     stream.flush()
 }
 
@@ -212,20 +319,34 @@ mod tests {
     use std::io::BufReader;
 
     fn parse(raw: &str) -> Result<Request, HttpError> {
-        read_request(&mut BufReader::new(raw.as_bytes()), &mut std::io::sink())
+        read_request(
+            &mut BufReader::new(raw.as_bytes()),
+            &mut std::io::sink(),
+            Duration::ZERO,
+        )
     }
 
     #[test]
     fn expect_100_continue_gets_an_interim_response() {
         let raw = "POST /x HTTP/1.1\r\nExpect: 100-continue\r\nContent-Length: 2\r\n\r\nhi";
         let mut interim = Vec::new();
-        let req = read_request(&mut BufReader::new(raw.as_bytes()), &mut interim).unwrap();
+        let req = read_request(
+            &mut BufReader::new(raw.as_bytes()),
+            &mut interim,
+            Duration::ZERO,
+        )
+        .unwrap();
         assert_eq!(req.body, b"hi");
         assert_eq!(interim, b"HTTP/1.1 100 Continue\r\n\r\n");
         // No body, no interim response.
         let raw = "GET /x HTTP/1.1\r\nExpect: 100-continue\r\n\r\n";
         let mut interim = Vec::new();
-        read_request(&mut BufReader::new(raw.as_bytes()), &mut interim).unwrap();
+        read_request(
+            &mut BufReader::new(raw.as_bytes()),
+            &mut interim,
+            Duration::ZERO,
+        )
+        .unwrap();
         assert!(interim.is_empty());
     }
 
@@ -348,5 +469,55 @@ mod tests {
         write_response(&mut out, 200, "{\"ok\":true}", true).unwrap();
         let text = String::from_utf8(out).unwrap();
         assert!(text.contains("Connection: keep-alive\r\n"), "{text}");
+    }
+
+    #[test]
+    fn retry_after_header_is_emitted_only_when_asked() {
+        let text = String::from_utf8(render_response(503, "{}", true, Some(1))).unwrap();
+        assert!(
+            text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"),
+            "{text}"
+        );
+        assert!(text.contains("Retry-After: 1\r\n"), "{text}");
+        assert!(text.ends_with("\r\n\r\n{}"));
+
+        let text = String::from_utf8(render_response(503, "{}", true, None)).unwrap();
+        assert!(!text.contains("Retry-After"), "{text}");
+    }
+
+    #[test]
+    fn deadline_cuts_off_a_dribbling_request() {
+        // A reader that yields one byte per read, sleeping in between:
+        // the per-read progress keeps resetting any per-read timeout,
+        // but the total-deadline clock still fires.
+        struct Dribbler {
+            bytes: Vec<u8>,
+            at: usize,
+        }
+        impl std::io::Read for Dribbler {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                if self.at >= self.bytes.len() {
+                    return Ok(0);
+                }
+                std::thread::sleep(Duration::from_millis(5));
+                buf[0] = self.bytes[self.at];
+                self.at += 1;
+                Ok(1)
+            }
+        }
+        let raw = b"POST /x HTTP/1.1\r\nContent-Length: 400\r\n\r\n".to_vec();
+        let mut reader = BufReader::new(Dribbler { bytes: raw, at: 0 });
+        let err =
+            read_request(&mut reader, &mut std::io::sink(), Duration::from_millis(30)).unwrap_err();
+        assert!(matches!(err, HttpError::TooSlow(_)), "{err}");
+    }
+
+    #[test]
+    fn zero_deadline_disables_the_clock() {
+        // Same request parsed with no deadline succeeds however long the
+        // reads take (the in-memory reader is instant; this pins the
+        // ZERO-means-disabled contract rather than timing).
+        let req = parse("POST /x HTTP/1.1\r\nContent-Length: 2\r\n\r\nhi").unwrap();
+        assert_eq!(req.body, b"hi");
     }
 }

@@ -22,7 +22,15 @@
 //!   batch-size / latency histograms ([`metrics`]);
 //! * shutdown (`POST /shutdown` or [`ServerHandle::shutdown`]) is
 //!   graceful: accepting stops, in-flight connections finish, queued
-//!   requests drain through the batcher, every thread is joined.
+//!   requests drain through the batcher, every thread is joined;
+//! * failure is **contained** ([`batch`], [`fault`]): a panic inside a
+//!   coalesced `distill_batch` answers only that batch with 500 and the
+//!   batcher lives on; a dead batcher thread is detected and restarted;
+//!   queued requests carry a deadline and are shed (503 +
+//!   `Retry-After`) instead of waiting forever; slow-loris peers are
+//!   cut off by a total per-request read deadline (408); and a seeded
+//!   [`fault::FaultPlan`] can deterministically inject faults at named
+//!   sites to prove all of the above (`tests/serve_chaos.rs`).
 //!
 //! The determinism pin: a served response body is **byte-identical** to
 //! the offline rendering of the same input ([`wire::render_distillation`]
@@ -33,18 +41,26 @@
 
 pub mod batch;
 pub mod client;
+pub mod fault;
 pub mod http;
 pub mod metrics;
 pub mod wire;
 
-use batch::{Batcher, EnqueueError};
+use batch::{Batcher, BatcherConfig, EnqueueError, Reply};
+use fault::{FaultPlan, Site};
 use metrics::Metrics;
 use std::collections::HashMap;
-use std::io::BufReader;
+use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::RecvTimeoutError;
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
+
+/// Seconds a shed (503) response tells the client to back off before
+/// retrying, via the `Retry-After` header. [`client::Session`] honors
+/// it.
+pub const RETRY_AFTER_SECS: u64 = 1;
 
 /// Server knobs. `Default` is tuned for a laptop-scale deployment.
 #[derive(Debug, Clone)]
@@ -66,6 +82,19 @@ pub struct ServeConfig {
     /// Maximum requests served on one persistent connection before the
     /// server answers `Connection: close` (bounds per-client hogging).
     pub max_requests_per_conn: usize,
+    /// Maximum time a queued request may wait before it is shed with
+    /// 503 + `Retry-After` (expiry is checked at dequeue; the waiting
+    /// handler also uses this to size its hang backstop).
+    /// `Duration::ZERO` disables expiry.
+    pub request_deadline: Duration,
+    /// Total time the request head + body may take to arrive
+    /// (slow-loris protection on top of `read_timeout`, which bounds
+    /// each individual read and keep-alive idle). Exceeding it answers
+    /// 408. `Duration::ZERO` disables it.
+    pub read_deadline: Duration,
+    /// Deterministic fault-injection plan (chaos testing). `None` or an
+    /// empty plan means no faults; see [`fault::FaultPlan::parse`].
+    pub fault_plan: Option<Arc<FaultPlan>>,
     /// Contexts pre-parsed into the parse cache at startup (typically
     /// the dev corpus of the served fingerprint), so first requests hit
     /// a warm cache. Ignored when `parse_cache` is 0.
@@ -82,6 +111,9 @@ impl Default for ServeConfig {
             parse_cache: 4096,
             read_timeout: Duration::from_secs(10),
             max_requests_per_conn: 128,
+            request_deadline: Duration::from_secs(10),
+            read_deadline: Duration::from_secs(30),
+            fault_plan: None,
             warmup_docs: Vec::new(),
         }
     }
@@ -97,6 +129,7 @@ struct WarmupStats {
 struct Shared {
     gced: Arc<gced::Gced>,
     batcher: Batcher,
+    faults: Arc<FaultPlan>,
     metrics: Arc<Metrics>,
     shutdown: AtomicBool,
     config: ServeConfig,
@@ -164,16 +197,25 @@ pub fn start(gced: gced::Gced, mut config: ServeConfig) -> std::io::Result<Serve
     drop(warmup_docs);
     let gced = Arc::new(gced);
     let metrics = Arc::new(Metrics::new());
+    let faults = config
+        .fault_plan
+        .clone()
+        .unwrap_or_else(|| Arc::new(FaultPlan::none()));
     let batcher = Batcher::start(
         Arc::clone(&gced),
-        config.batch_max,
-        config.flush,
-        config.queue_capacity,
+        BatcherConfig {
+            batch_max: config.batch_max,
+            flush: config.flush,
+            capacity: config.queue_capacity,
+            deadline: config.request_deadline,
+        },
+        Arc::clone(&faults),
         Arc::clone(&metrics),
     );
     let shared = Arc::new(Shared {
         gced,
         batcher,
+        faults,
         metrics,
         shutdown: AtomicBool::new(false),
         config,
@@ -265,15 +307,38 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
             }
         }
         // Reap finished connection threads so the vec stays bounded by
-        // the number of *live* connections, not total served.
-        connections.retain(|h| !h.is_finished());
+        // the number of *live* connections, not total served. Finished
+        // handles are **joined**, not dropped, so a handler that exited
+        // by panic is observed (`conn_thread_panics`) instead of
+        // silently swallowed.
+        connections = connections
+            .drain(..)
+            .filter_map(|h| {
+                if h.is_finished() {
+                    reap(h, shared);
+                    None
+                } else {
+                    Some(h)
+                }
+            })
+            .collect();
     }
     // Drain: connections still running may enqueue; the batcher is only
     // shut down (and its queue drained) after every handler returned.
     for handle in connections {
-        let _ = handle.join();
+        reap(handle, shared);
     }
     shared.batcher.shutdown();
+}
+
+/// Join a connection-thread handle, counting a panicked exit.
+fn reap(handle: std::thread::JoinHandle<()>, shared: &Shared) {
+    if handle.join().is_err() {
+        shared
+            .metrics
+            .conn_thread_panics
+            .fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 /// Serve one connection: a keep-alive loop of read → route → respond,
@@ -294,32 +359,37 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
         .fetch_add(1, Ordering::Relaxed);
     let max_requests = shared.config.max_requests_per_conn.max(1);
     for served in 0..max_requests {
-        let request = match http::read_request(&mut reader, &mut writer) {
-            Ok(r) => r,
-            // Idle close / timeout between requests: nothing to answer.
-            Err(http::HttpError::Io(_)) => return,
-            Err(e) => {
-                shared.metrics.http_errors.fetch_add(1, Ordering::Relaxed);
-                let status = match e {
-                    http::HttpError::TooLarge(_) => 413,
-                    _ => 400,
-                };
-                let _ = http::write_response(
-                    &mut writer,
-                    status,
-                    &wire::render_error(&e.to_string()),
-                    false,
-                );
-                return;
-            }
-        };
+        if let Some(ms) = shared.faults.fire(Site::ReadStall) {
+            std::thread::sleep(Duration::from_millis(ms));
+        }
+        let request =
+            match http::read_request(&mut reader, &mut writer, shared.config.read_deadline) {
+                Ok(r) => r,
+                // Idle close / timeout between requests: nothing to answer.
+                Err(http::HttpError::Io(_)) => return,
+                Err(e) => {
+                    shared.metrics.http_errors.fetch_add(1, Ordering::Relaxed);
+                    let status = match e {
+                        http::HttpError::TooLarge(_) => 413,
+                        http::HttpError::TooSlow(_) => 408,
+                        _ => 400,
+                    };
+                    let _ = http::write_response(
+                        &mut writer,
+                        status,
+                        &wire::render_error(&e.to_string()),
+                        false,
+                    );
+                    return;
+                }
+            };
         if served > 0 {
             shared
                 .metrics
                 .keepalive_reuses
                 .fetch_add(1, Ordering::Relaxed);
         }
-        let (status, body) = route(&request, shared);
+        let (status, body, retry_after) = route(&request, shared);
         // HTTP-layer rejections only: 422/500 are already counted as
         // distill errors, 503 as shed — the counters must decompose.
         if matches!(status, 400 | 404 | 405 | 413) {
@@ -328,25 +398,52 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
         let keep = request.keep_alive
             && served + 1 < max_requests
             && !shared.shutdown.load(Ordering::SeqCst);
-        if http::write_response(&mut writer, status, &body, keep).is_err() || !keep {
+        if write_reply(&mut writer, status, &body, keep, retry_after, shared).is_err() || !keep {
             return;
         }
     }
 }
 
-/// Dispatch one parsed request to its endpoint.
-fn route(request: &http::Request, shared: &Shared) -> (u16, String) {
+/// Write one response frame, routing through the `torn_write` chaos
+/// site: when it fires, only a prefix of the frame reaches the socket
+/// and the connection is torn down — the retrying client must survive
+/// a response cut mid-frame.
+fn write_reply(
+    writer: &mut TcpStream,
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+    retry_after: Option<u64>,
+    shared: &Shared,
+) -> std::io::Result<()> {
+    let frame = http::render_response(status, body, keep_alive, retry_after);
+    if shared.faults.fire(Site::TornWrite).is_some() {
+        let cut = (frame.len() / 2).max(1);
+        let _ = writer.write_all(&frame[..cut]);
+        let _ = writer.flush();
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::BrokenPipe,
+            "chaos: torn_write fired",
+        ));
+    }
+    writer.write_all(&frame)?;
+    writer.flush()
+}
+
+/// Dispatch one parsed request to its endpoint. Returns
+/// `(status, body, retry_after)`.
+fn route(request: &http::Request, shared: &Shared) -> (u16, String, Option<u64>) {
     shared
         .metrics
         .requests_total
         .fetch_add(1, Ordering::Relaxed);
     match (request.method.as_str(), request.path.as_str()) {
-        ("GET", "/healthz") => (200, healthz_body(shared)),
-        ("GET", "/metrics") => (200, metrics_body(shared)),
+        ("GET", "/healthz") => (200, healthz_body(shared), None),
+        ("GET", "/metrics") => (200, metrics_body(shared), None),
         ("POST", "/v1/distill") => distill(request, shared),
         ("POST", "/shutdown") => {
             trigger_shutdown(shared);
-            (200, "{\"status\":\"shutting down\"}".to_string())
+            (200, "{\"status\":\"shutting down\"}".to_string(), None)
         }
         ("GET" | "POST", "/healthz" | "/metrics" | "/v1/distill" | "/shutdown") => (
             405,
@@ -354,45 +451,137 @@ fn route(request: &http::Request, shared: &Shared) -> (u16, String) {
                 "method {} not allowed on {}",
                 request.method, request.path
             )),
+            None,
         ),
         _ => (
             404,
             wire::render_error(&format!("no route for {}", request.path)),
+            None,
         ),
     }
 }
 
-fn distill(request: &http::Request, shared: &Shared) -> (u16, String) {
+/// How long a handler waits for its batcher reply before presuming the
+/// batcher stuck. Generous on purpose — the batcher itself sheds
+/// expired requests at dequeue, so this backstop only matters when the
+/// batcher stops making progress entirely.
+fn recv_backstop(config: &ServeConfig) -> Duration {
+    if config.request_deadline.is_zero() {
+        Duration::from_secs(300)
+    } else {
+        config.request_deadline * 2 + config.flush * 2 + Duration::from_secs(1)
+    }
+}
+
+/// Run one `/v1/distill` request through the batcher. Every request
+/// whose body parses increments `distill_requests_total` and exactly
+/// one outcome counter — all from this function, so the `/metrics`
+/// decomposition holds exactly (see [`metrics::Metrics`]).
+fn distill(request: &http::Request, shared: &Shared) -> (u16, String, Option<u64>) {
     let parsed = match wire::parse_request(&request.body) {
         Ok(p) => p,
-        Err(e) => return (400, wire::render_error(&e)),
+        Err(e) => return (400, wire::render_error(&e), None),
     };
+    let m = &shared.metrics;
+    m.distill_requests_total.fetch_add(1, Ordering::Relaxed);
     let rx = match shared
         .batcher
         .enqueue(parsed.question, parsed.answer, parsed.context)
     {
         Ok(rx) => rx,
-        Err(e) => {
-            shared.metrics.shed_total.fetch_add(1, Ordering::Relaxed);
-            let msg = match e {
-                EnqueueError::Full => "queue full, retry later",
-                EnqueueError::ShuttingDown => "server is shutting down",
-            };
-            return (503, wire::render_error(msg));
+        Err(EnqueueError::Full) => {
+            m.shed_full.fetch_add(1, Ordering::Relaxed);
+            return (
+                503,
+                wire::render_error("queue full, retry later"),
+                Some(RETRY_AFTER_SECS),
+            );
+        }
+        Err(EnqueueError::ShuttingDown) => {
+            m.shed_shutdown.fetch_add(1, Ordering::Relaxed);
+            return (
+                503,
+                wire::render_error("server is shutting down"),
+                Some(RETRY_AFTER_SECS),
+            );
         }
     };
-    match rx.recv() {
-        Ok(Ok(d)) => (200, wire::render_distillation(&d)),
-        Ok(Err(e)) => (422, wire::render_error(&wire::distill_error_message(&e))),
-        // The batcher answers every queued request, so a closed channel
-        // means it died — surface that instead of hanging the client.
-        Err(_) => (500, wire::render_error("batcher unavailable")),
+    match rx.recv_timeout(recv_backstop(&shared.config)) {
+        Ok(Reply::Done(outcome)) => match *outcome {
+            Ok(d) => {
+                m.distill_ok.fetch_add(1, Ordering::Relaxed);
+                (200, wire::render_distillation(&d), None)
+            }
+            Err(e) => {
+                m.distill_error.fetch_add(1, Ordering::Relaxed);
+                (
+                    422,
+                    wire::render_error(&wire::distill_error_message(&e)),
+                    None,
+                )
+            }
+        },
+        Ok(Reply::Panicked) => {
+            m.distill_panics.fetch_add(1, Ordering::Relaxed);
+            (
+                500,
+                wire::render_error("distillation batch panicked, safe to retry"),
+                None,
+            )
+        }
+        Ok(Reply::Expired) => {
+            m.shed_expired.fetch_add(1, Ordering::Relaxed);
+            (
+                503,
+                wire::render_error("request deadline expired in queue, retry later"),
+                Some(RETRY_AFTER_SECS),
+            )
+        }
+        Ok(Reply::Shutdown) => {
+            m.shed_shutdown.fetch_add(1, Ordering::Relaxed);
+            (
+                503,
+                wire::render_error("server is shutting down"),
+                Some(RETRY_AFTER_SECS),
+            )
+        }
+        // The batcher answers every queued request, so a disconnect
+        // means the thread died with this request in flight. Answer
+        // 500 (the client may retry — distillation is idempotent) and
+        // restart the batcher as a last resort.
+        Err(RecvTimeoutError::Disconnected) => {
+            m.distill_panics.fetch_add(1, Ordering::Relaxed);
+            shared.batcher.revive();
+            (
+                500,
+                wire::render_error("batcher died mid-batch, safe to retry"),
+                None,
+            )
+        }
+        // No reply within the backstop: presume the batcher stuck.
+        // Never leave the client hanging.
+        Err(RecvTimeoutError::Timeout) => {
+            m.distill_timeouts.fetch_add(1, Ordering::Relaxed);
+            (
+                500,
+                wire::render_error("no batcher reply within backstop, safe to retry"),
+                None,
+            )
+        }
     }
 }
 
 fn healthz_body(shared: &Shared) -> String {
+    // The health check doubles as the batcher watchdog: a dead batcher
+    // thread (a panic that escaped the per-batch catch) is restarted
+    // here as a last resort, so probes heal the server even when no
+    // distill traffic is around to notice the corpse.
+    if !shared.batcher.is_alive() {
+        shared.batcher.revive();
+    }
     format!(
-        "{{\"status\":\"ok\",\"pool_threads\":{},\"queued\":{},\"batch_max\":{},\"queue_capacity\":{},\"max_requests_per_conn\":{}}}",
+        "{{\"status\":\"ok\",\"batcher_alive\":{},\"pool_threads\":{},\"queued\":{},\"batch_max\":{},\"queue_capacity\":{},\"max_requests_per_conn\":{}}}",
+        shared.batcher.is_alive(),
         gced_par::effective_parallelism(),
         shared.batcher.queued(),
         shared.config.batch_max,
@@ -416,6 +605,14 @@ fn metrics_body(shared: &Shared) -> String {
             shared.config.max_requests_per_conn.to_string(),
         ),
         (
+            "request_deadline_ms",
+            shared.config.request_deadline.as_millis().to_string(),
+        ),
+        (
+            "read_deadline_ms",
+            shared.config.read_deadline.as_millis().to_string(),
+        ),
+        (
             "warmup",
             format!(
                 "{{\"docs\":{},\"sentences\":{}}}",
@@ -431,6 +628,9 @@ fn metrics_body(shared: &Shared) -> String {
                 stats.hits, stats.misses, stats.len, stats.capacity
             ),
         ));
+    }
+    if !shared.faults.is_empty() {
+        extra.push(("faults", shared.faults.render_json()));
     }
     shared.metrics.render(&extra)
 }

@@ -137,17 +137,48 @@ impl Histogram {
 }
 
 /// All server counters, shared by connection handlers and the batcher.
+///
+/// The distill-path counters **decompose exactly**: every request that
+/// reaches `/v1/distill` with a parseable body increments
+/// `distill_requests_total` and then exactly one of `distill_ok`,
+/// `distill_error`, `distill_panics`, `distill_timeouts`, `shed_full`,
+/// `shed_expired`, or `shed_shutdown` — all incremented by the
+/// connection handler that answers the request, so the equation holds
+/// whenever no request is in flight (`tests/serve_chaos.rs` asserts it
+/// under randomized concurrent chaos load). `shed_total` is rendered as
+/// the sum of the three shed classes.
 #[derive(Debug)]
 pub struct Metrics {
     /// Requests that parsed into a known route.
     pub requests_total: AtomicU64,
+    /// `/v1/distill` requests whose body parsed (the decomposition
+    /// base: every one of these gets exactly one outcome counter).
+    pub distill_requests_total: AtomicU64,
     /// Distillations answered 200.
     pub distill_ok: AtomicU64,
     /// Distillations answered 422 (per-item pipeline errors).
     pub distill_error: AtomicU64,
-    /// Requests shed with 503 (queue full or shutting down).
-    pub shed_total: AtomicU64,
-    /// Requests rejected at the HTTP layer (400/404/405/413).
+    /// Distillations answered 500 because a panic inside the coalesced
+    /// `distill_batch` call (or a dying batcher thread) took out the
+    /// batch this request rode in.
+    pub distill_panics: AtomicU64,
+    /// Distillations answered 500 because no batcher reply arrived
+    /// within the hang backstop (the batcher is presumed stuck).
+    pub distill_timeouts: AtomicU64,
+    /// Requests shed with 503 because the queue was full at enqueue.
+    pub shed_full: AtomicU64,
+    /// Requests shed with 503 because their deadline expired in queue
+    /// (shed at dequeue time, before any distillation work).
+    pub shed_expired: AtomicU64,
+    /// Requests shed with 503 because the server was shutting down
+    /// (refused at enqueue, or flushed from a dead batcher's queue).
+    pub shed_shutdown: AtomicU64,
+    /// Times a dead batcher thread was detected and restarted.
+    pub batcher_restarts: AtomicU64,
+    /// Connection-handler threads that exited by panic (observed when
+    /// the accept loop joins finished handles).
+    pub conn_thread_panics: AtomicU64,
+    /// Requests rejected at the HTTP layer (400/404/405/408/413).
     pub http_errors: AtomicU64,
     /// TCP connections accepted.
     pub connections_total: AtomicU64,
@@ -167,9 +198,16 @@ impl Metrics {
     pub fn new() -> Self {
         Metrics {
             requests_total: AtomicU64::new(0),
+            distill_requests_total: AtomicU64::new(0),
             distill_ok: AtomicU64::new(0),
             distill_error: AtomicU64::new(0),
-            shed_total: AtomicU64::new(0),
+            distill_panics: AtomicU64::new(0),
+            distill_timeouts: AtomicU64::new(0),
+            shed_full: AtomicU64::new(0),
+            shed_expired: AtomicU64::new(0),
+            shed_shutdown: AtomicU64::new(0),
+            batcher_restarts: AtomicU64::new(0),
+            conn_thread_panics: AtomicU64::new(0),
             http_errors: AtomicU64::new(0),
             connections_total: AtomicU64::new(0),
             keepalive_reuses: AtomicU64::new(0),
@@ -183,15 +221,39 @@ impl Metrics {
     /// fields (pool threads, queue knobs, parse-cache stats) appended as
     /// pre-rendered `"key":value` JSON members.
     pub fn render(&self, extra: &[(&str, String)]) -> String {
+        let shed_full = self.shed_full.load(Ordering::Relaxed);
+        let shed_expired = self.shed_expired.load(Ordering::Relaxed);
+        let shed_shutdown = self.shed_shutdown.load(Ordering::Relaxed);
         let mut out = String::with_capacity(1024);
         out.push_str("{\"requests_total\":");
         out.push_str(&self.requests_total.load(Ordering::Relaxed).to_string());
+        out.push_str(",\"distill_requests_total\":");
+        out.push_str(
+            &self
+                .distill_requests_total
+                .load(Ordering::Relaxed)
+                .to_string(),
+        );
         out.push_str(",\"distill_ok\":");
         out.push_str(&self.distill_ok.load(Ordering::Relaxed).to_string());
         out.push_str(",\"distill_error\":");
         out.push_str(&self.distill_error.load(Ordering::Relaxed).to_string());
+        out.push_str(",\"distill_panics_total\":");
+        out.push_str(&self.distill_panics.load(Ordering::Relaxed).to_string());
+        out.push_str(",\"distill_timeouts\":");
+        out.push_str(&self.distill_timeouts.load(Ordering::Relaxed).to_string());
         out.push_str(",\"shed_total\":");
-        out.push_str(&self.shed_total.load(Ordering::Relaxed).to_string());
+        out.push_str(&(shed_full + shed_expired + shed_shutdown).to_string());
+        out.push_str(",\"shed_full\":");
+        out.push_str(&shed_full.to_string());
+        out.push_str(",\"shed_expired\":");
+        out.push_str(&shed_expired.to_string());
+        out.push_str(",\"shed_shutdown\":");
+        out.push_str(&shed_shutdown.to_string());
+        out.push_str(",\"batcher_restarts_total\":");
+        out.push_str(&self.batcher_restarts.load(Ordering::Relaxed).to_string());
+        out.push_str(",\"conn_thread_panics\":");
+        out.push_str(&self.conn_thread_panics.load(Ordering::Relaxed).to_string());
         out.push_str(",\"http_errors\":");
         out.push_str(&self.http_errors.load(Ordering::Relaxed).to_string());
         out.push_str(",\"connections_total\":");
@@ -268,5 +330,21 @@ mod tests {
         let batch = root.get("batch_size").expect("batch_size");
         assert_eq!(batch.get("count").and_then(Json::as_f64), Some(1.0));
         assert!(batch.get("buckets").and_then(Json::as_arr).is_some());
+    }
+
+    #[test]
+    fn shed_total_is_the_sum_of_the_shed_classes() {
+        let m = Metrics::new();
+        m.shed_full.fetch_add(2, Ordering::Relaxed);
+        m.shed_expired.fetch_add(3, Ordering::Relaxed);
+        m.shed_shutdown.fetch_add(5, Ordering::Relaxed);
+        let root = json::parse(&m.render(&[])).expect("valid JSON");
+        let num = |k: &str| root.get(k).and_then(Json::as_f64).unwrap_or(-1.0);
+        assert_eq!(num("shed_total"), 10.0);
+        assert_eq!(num("shed_full"), 2.0);
+        assert_eq!(num("shed_expired"), 3.0);
+        assert_eq!(num("shed_shutdown"), 5.0);
+        assert_eq!(num("distill_panics_total"), 0.0);
+        assert_eq!(num("batcher_restarts_total"), 0.0);
     }
 }

@@ -48,7 +48,11 @@ USAGE:
   gced serve [--addr HOST:PORT] [--kind K] [--scale S] [--seed S]
            [--fit-cache PATH] [--batch-max N] [--flush-us N]
            [--queue-cap N] [--parse-cache N] [--warmup N]
-           [--conn-max N]
+           [--conn-max N] [--request-deadline-ms N]
+           [--read-deadline-ms N] [--fault-plan SPEC]
+  gced probe --addr HOST:PORT --question Q --answer A --context C
+           [--requests N] [--clients N] [--expect PATH] [--retries N]
+           [--retry-base-ms N] [--retry-cap-ms N] [--seed S]
   gced distill --question Q --answer A --context C [--kind K]
            [--scale S] [--seed S] [--fit-cache PATH] [--out PATH]
   gced fit --fit-cache PATH [--kind K] [--scale S] [--seed S]
@@ -92,6 +96,30 @@ SERVE:
   up to --warmup dev-corpus contexts of its fingerprint into the parse
   cache (0 disables; warmup counts land in /metrics). A served body is
   byte-identical to `gced distill` of the same input.
+
+FAILURE MODEL:
+  Queued requests carry a deadline (--request-deadline-ms, default
+  10000, 0 disables): one that expires before its batch runs is shed
+  with 503 + Retry-After. The request head+body must arrive within
+  --read-deadline-ms total (default 30000, 0 disables; slow-loris
+  protection) or the server answers 408. A panic inside a distill
+  batch answers that batch 500 and the batcher survives; a dead
+  batcher thread is restarted. --fault-plan (or the GCED_CHAOS env
+  var) arms deterministic fault injection for chaos testing, e.g.
+  'seed=42,batch_panic=0.1x3,torn_write=0.25' — sites: pre_batch_delay,
+  batch_panic, batcher_kill, torn_write, read_stall; each
+  <site>=<rate>[x<max-fires>][:<millis>]. Requires a binary built with
+  the gced-serve `chaos` feature (on by default).
+
+PROBE:
+  `gced probe` is the retrying chaos client: it posts --requests
+  copies of one distill request over --clients concurrent keep-alive
+  sessions, riding out 500s, 503 sheds (honoring Retry-After), and
+  torn connections with seeded, jittered exponential backoff
+  (--retries budget per request). Every request must end in a 200 —
+  and match the --expect file byte-for-byte when given — or the
+  command exits nonzero. CI drives it against a fault-plan server to
+  prove surviving responses stay byte-identical to offline output.
 ";
 
 fn main() -> ExitCode {
@@ -102,6 +130,7 @@ fn main() -> ExitCode {
         Some("merge") => cmd_merge(&args[1..]),
         Some("bench-check") => cmd_bench_check(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("probe") => cmd_probe(&args[1..]),
         Some("distill") => cmd_distill(&args[1..]),
         Some("fit") => cmd_fit(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
@@ -605,6 +634,35 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
     }
     let flush_us = p.usize_flag("flush-us", config.flush.as_micros() as usize)?;
     config.flush = std::time::Duration::from_micros(flush_us as u64);
+    let deadline_ms = p.usize_flag(
+        "request-deadline-ms",
+        config.request_deadline.as_millis() as usize,
+    )?;
+    config.request_deadline = std::time::Duration::from_millis(deadline_ms as u64);
+    let read_deadline_ms = p.usize_flag(
+        "read-deadline-ms",
+        config.read_deadline.as_millis() as usize,
+    )?;
+    config.read_deadline = std::time::Duration::from_millis(read_deadline_ms as u64);
+    // --fault-plan wins over the GCED_CHAOS env var (same grammar).
+    let fault_spec = p
+        .flag("fault-plan")
+        .map(str::to_string)
+        .or_else(|| std::env::var("GCED_CHAOS").ok().filter(|s| !s.is_empty()));
+    if let Some(spec) = fault_spec {
+        if !gced_serve::fault::ENABLED {
+            return Err(
+                "serve: this binary was built without the gced-serve `chaos` feature; \
+                 --fault-plan / GCED_CHAOS cannot inject anything"
+                    .to_string(),
+            );
+        }
+        let plan = gced_serve::fault::FaultPlan::parse(&spec).map_err(|e| format!("serve: {e}"))?;
+        if !plan.is_empty() {
+            eprintln!("gced: CHAOS faults armed: {spec}");
+        }
+        config.fault_plan = Some(std::sync::Arc::new(plan));
+    }
     let warmup_docs = p.usize_flag("warmup", usize::MAX)?;
     let (fitted, fingerprint) = warm_pipeline(&p)?;
     if config.parse_cache > 0 && warmup_docs > 0 {
@@ -616,12 +674,14 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
     let n_warmup = config.warmup_docs.len();
     let banner = format!(
         "batch_max={}, flush={}us, queue_cap={}, parse_cache={}, warmup_docs={n_warmup}, \
-         conn_max={}, pool_threads={}",
+         conn_max={}, request_deadline={}ms, read_deadline={}ms, pool_threads={}",
         config.batch_max,
         config.flush.as_micros(),
         config.queue_capacity,
         config.parse_cache,
         config.max_requests_per_conn,
+        config.request_deadline.as_millis(),
+        config.read_deadline.as_millis(),
         gced_par::effective_parallelism(),
     );
     let bind_addr = config.addr.clone();
@@ -634,6 +694,126 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
     handle.join();
     eprintln!("gced: server drained and stopped");
     Ok(ExitCode::SUCCESS)
+}
+
+/// The retrying chaos client (see PROBE in the usage text): posts one
+/// distill request `--requests` times over `--clients` concurrent
+/// sessions with `Session::post_with_retry`, requiring every request to
+/// end 200 (and, with `--expect`, byte-identical to the given file).
+fn cmd_probe(args: &[String]) -> Result<ExitCode, String> {
+    let p = parse_args(args)?;
+    let required = |name: &str| -> Result<String, String> {
+        p.flag(name)
+            .map(str::to_string)
+            .ok_or_else(|| format!("probe: --{name} is required"))
+    };
+    let addr: std::net::SocketAddr = required("addr")?
+        .parse()
+        .map_err(|e| format!("probe: bad --addr: {e}"))?;
+    let body = gced_serve::wire::render_request(&gced_serve::wire::DistillRequest {
+        question: required("question")?,
+        answer: required("answer")?,
+        context: required("context")?,
+    });
+    let requests = p.usize_flag("requests", 16)?;
+    let clients = p.usize_flag("clients", 4)?.max(1);
+    let retries = p.usize_flag("retries", 8)? as u32;
+    let base = std::time::Duration::from_millis(p.usize_flag("retry-base-ms", 50)? as u64);
+    let cap = std::time::Duration::from_millis(p.usize_flag("retry-cap-ms", 2000)? as u64);
+    let seed = p.seed()?;
+    let expect: Option<Vec<u8>> = match p.flag("expect") {
+        Some(path) => Some(
+            std::fs::read(path).map_err(|e| format!("probe: cannot read --expect {path}: {e}"))?,
+        ),
+        None => None,
+    };
+    let expect = expect.as_deref();
+    let body = body.as_str();
+    let outcomes: Vec<Result<usize, String>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                s.spawn(move || -> Result<usize, String> {
+                    let policy = gced_serve::client::RetryPolicy {
+                        budget: retries,
+                        base,
+                        cap,
+                        seed: seed ^ (c as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                    };
+                    let mut session = connect_with_patience(addr)?;
+                    let mut served = 0usize;
+                    for i in (c..requests).step_by(clients) {
+                        let r = session
+                            .post_with_retry("/v1/distill", body, &policy)
+                            .map_err(|e| format!("client {c} request {i}: {e}"))?;
+                        if r.status != 200 {
+                            return Err(format!(
+                                "client {c} request {i}: terminal status {}: {}",
+                                r.status,
+                                r.text()
+                            ));
+                        }
+                        if let Some(exp) = expect {
+                            if r.body != exp {
+                                return Err(format!(
+                                    "client {c} request {i}: 200 body differs from --expect \
+                                     ({} vs {} bytes)",
+                                    r.body.len(),
+                                    exp.len()
+                                ));
+                            }
+                        }
+                        served += 1;
+                    }
+                    Ok(served)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|_| Err("client panicked".into())))
+            .collect()
+    });
+    let mut served = 0usize;
+    let mut failures = Vec::new();
+    for outcome in outcomes {
+        match outcome {
+            Ok(n) => served += n,
+            Err(e) => failures.push(e),
+        }
+    }
+    if !failures.is_empty() {
+        return Err(format!(
+            "probe: {} of {requests} requests failed:\n  {}",
+            requests - served,
+            failures.join("\n  ")
+        ));
+    }
+    eprintln!(
+        "gced: probe ok — {served} requests over {clients} clients all answered 200{}",
+        if expect.is_some() {
+            ", bodies byte-identical to --expect"
+        } else {
+            ""
+        }
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Dial the probe target, tolerating a server that is still starting
+/// up (CI launches `gced serve` in the background).
+fn connect_with_patience(
+    addr: std::net::SocketAddr,
+) -> Result<gced_serve::client::Session, String> {
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    loop {
+        match gced_serve::client::Session::connect(addr) {
+            Ok(s) => return Ok(s),
+            Err(e) if std::time::Instant::now() >= deadline => {
+                return Err(format!("probe: cannot connect to {addr}: {e}"))
+            }
+            Err(_) => std::thread::sleep(std::time::Duration::from_millis(250)),
+        }
+    }
 }
 
 fn cmd_distill(args: &[String]) -> Result<ExitCode, String> {

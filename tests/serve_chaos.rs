@@ -1,0 +1,489 @@
+//! The fault-containment ("chaos") suite for gced-serve.
+//!
+//! Deterministic fault plans (`gced_serve::fault::FaultPlan`) inject
+//! panics, thread kills, torn writes, queue expiry, and slow-loris
+//! clients into a live server, and these tests assert the containment
+//! invariants the failure model promises:
+//!
+//! * a panic inside a coalesced `distill_batch` answers only its own
+//!   batch with 500 — concurrently queued requests still get responses
+//!   **byte-identical to offline** `gced distill`, and the server stays
+//!   healthy;
+//! * a dead batcher thread is detected and restarted; serving resumes;
+//! * queued requests past their deadline shed 503 + `Retry-After`;
+//! * the retrying client rides out panics, sheds, and torn connections
+//!   and still ends with offline-identical bytes;
+//! * the outcome counters in `/metrics` decompose exactly, under
+//!   randomized concurrent load with faults armed;
+//! * graceful drain completes with faults still firing, and no waiting
+//!   client ever hangs.
+
+use gced::{Gced, GcedConfig};
+use gced_datasets::json::{self, Json};
+use gced_datasets::{generate, DatasetKind, GeneratorConfig};
+use gced_serve::client::{self, RetryPolicy, Session};
+use gced_serve::fault::FaultPlan;
+use gced_serve::wire::{render_distillation, render_request, DistillRequest};
+use gced_serve::{ServeConfig, ServerHandle};
+use proptest::prelude::*;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+fn pipeline() -> &'static (Gced, gced_datasets::Dataset) {
+    static P: OnceLock<(Gced, gced_datasets::Dataset)> = OnceLock::new();
+    P.get_or_init(|| {
+        let ds = generate(
+            DatasetKind::Squad11,
+            GeneratorConfig {
+                train: 80,
+                dev: 16,
+                seed: 91,
+            },
+        );
+        let g = Gced::fit(&ds, GcedConfig::default());
+        (g, ds)
+    })
+}
+
+/// (request body, expected offline response body) pairs.
+fn offline_corpus(n: usize) -> Vec<(String, String)> {
+    let (g, ds) = pipeline();
+    ds.dev
+        .examples
+        .iter()
+        .filter(|e| e.answerable)
+        .take(n)
+        .map(|e| {
+            let body = render_request(&DistillRequest {
+                question: e.question.clone(),
+                answer: e.answer.clone(),
+                context: e.context.clone(),
+            });
+            let d = g
+                .distill(&e.question, &e.answer, &e.context)
+                .expect("offline distill");
+            (body, render_distillation(&d))
+        })
+        .collect()
+}
+
+fn server(config: ServeConfig) -> ServerHandle {
+    let (g, _) = pipeline();
+    gced_serve::start(g.clone(), config).expect("bind ephemeral port")
+}
+
+fn chaos_server(spec: &str, config: ServeConfig) -> ServerHandle {
+    server(ServeConfig {
+        fault_plan: Some(Arc::new(FaultPlan::parse(spec).expect("fault spec"))),
+        ..config
+    })
+}
+
+fn metrics(addr: std::net::SocketAddr) -> Json {
+    let text = client::get(addr, "/metrics").expect("metrics").text();
+    json::parse(&text).expect("metrics JSON")
+}
+
+/// Fetch `/metrics` tolerating a torn-write fault plan that has not
+/// dried up yet: a torn frame fails the exchange, so retry on a fresh
+/// connection (each attempt burns another fault-site occurrence).
+fn metrics_with_patience(addr: std::net::SocketAddr) -> Json {
+    for _ in 0..32 {
+        if let Ok(r) = client::get(addr, "/metrics") {
+            if r.status == 200 {
+                if let Ok(root) = json::parse(&r.text()) {
+                    return root;
+                }
+            }
+        }
+    }
+    panic!("/metrics unreadable after 32 attempts");
+}
+
+fn num(root: &Json, key: &str) -> f64 {
+    root.get(key).and_then(Json::as_f64).unwrap_or(-1.0)
+}
+
+/// `distill_requests_total` must equal the sum of its outcome classes.
+fn assert_decomposition(root: &Json) {
+    let total = num(root, "distill_requests_total");
+    let sum = num(root, "distill_ok")
+        + num(root, "distill_error")
+        + num(root, "distill_panics_total")
+        + num(root, "distill_timeouts")
+        + num(root, "shed_full")
+        + num(root, "shed_expired")
+        + num(root, "shed_shutdown");
+    assert_eq!(
+        total, sum,
+        "outcome counters do not decompose: total {total} != sum {sum}"
+    );
+}
+
+/// The acceptance criterion: a panic injected into `distill_batch`
+/// mid-batch answers the affected request 500 while concurrently queued
+/// requests still get offline-byte-identical 200s, the server stays
+/// healthy, and no client blocks past its deadline.
+#[test]
+fn batch_panic_spares_concurrently_queued_requests() {
+    let corpus = offline_corpus(6);
+    assert!(corpus.len() >= 4, "dev split too small");
+    // batch_max 1: the injected panic (rate 1, capped at one fire)
+    // takes out exactly the first dequeued batch; everything queued
+    // behind it is processed by the surviving batcher thread.
+    let handle = chaos_server(
+        "seed=5,batch_panic=1x1",
+        ServeConfig {
+            batch_max: 1,
+            flush: Duration::from_millis(5),
+            ..ServeConfig::default()
+        },
+    );
+    let addr = handle.addr();
+    let started = Instant::now();
+    let outcomes: Vec<(u16, Vec<u8>, &str)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = corpus
+            .iter()
+            .map(|(request, expected)| {
+                scope.spawn(move || {
+                    let r = client::post(addr, "/v1/distill", request).expect("post");
+                    (r.status, r.body, expected.as_str())
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    // No client blocked past its deadline: containment answers every
+    // request in ordinary time, nowhere near the recv backstop.
+    assert!(
+        started.elapsed() < Duration::from_secs(30),
+        "clients took {:?} — something hung",
+        started.elapsed()
+    );
+    let panicked = outcomes.iter().filter(|(s, _, _)| *s == 500).count();
+    assert_eq!(panicked, 1, "exactly one request rides the injected panic");
+    for (status, body, expected) in &outcomes {
+        if *status == 200 {
+            assert_eq!(
+                body.as_slice(),
+                expected.as_bytes(),
+                "surviving response diverged from offline"
+            );
+        }
+    }
+    // The server is still healthy and the batcher thread survived.
+    let health = client::get(addr, "/healthz").expect("healthz");
+    assert_eq!(health.status, 200);
+    let root = json::parse(&health.text()).expect("health JSON");
+    assert_eq!(root.get("status").and_then(Json::as_str), Some("ok"));
+    assert!(
+        health.text().contains("\"batcher_alive\":true"),
+        "batcher died: {}",
+        health.text()
+    );
+    let m = metrics(addr);
+    assert_eq!(num(&m, "distill_panics_total"), 1.0);
+    assert_eq!(num(&m, "batcher_restarts_total"), 0.0, "no restart needed");
+    assert_decomposition(&m);
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn dead_batcher_is_restarted_and_serving_resumes() {
+    let corpus = offline_corpus(2);
+    // batcher_kill panics OUTSIDE the per-batch catch: the thread dies,
+    // the waiting handler observes the disconnect, answers 500, and
+    // restarts the batcher.
+    let handle = chaos_server(
+        "seed=2,batcher_kill=1x1",
+        ServeConfig {
+            batch_max: 1,
+            flush: Duration::from_millis(1),
+            ..ServeConfig::default()
+        },
+    );
+    let addr = handle.addr();
+    let doomed = client::post(addr, "/v1/distill", &corpus[0].0).expect("post");
+    assert_eq!(doomed.status, 500, "{}", doomed.text());
+    // The handler revived the batcher; the next request is served
+    // correctly by the fresh thread.
+    let healed = client::post(addr, "/v1/distill", &corpus[1].0).expect("post");
+    assert_eq!(healed.status, 200, "{}", healed.text());
+    assert_eq!(healed.body, corpus[1].1.as_bytes(), "revived body diverged");
+    let m = metrics(addr);
+    assert!(num(&m, "batcher_restarts_total") >= 1.0);
+    assert_eq!(num(&m, "distill_panics_total"), 1.0);
+    assert_decomposition(&m);
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn expired_requests_shed_503_with_retry_after() {
+    let corpus = offline_corpus(1);
+    // A 300ms flush window holds the lone request in the queue far past
+    // its 1ms deadline: it must be shed at dequeue, not distilled.
+    let handle = server(ServeConfig {
+        batch_max: 64,
+        flush: Duration::from_millis(300),
+        request_deadline: Duration::from_millis(1),
+        ..ServeConfig::default()
+    });
+    let addr = handle.addr();
+    let r = client::post(addr, "/v1/distill", &corpus[0].0).expect("post");
+    assert_eq!(r.status, 503, "{}", r.text());
+    assert_eq!(r.retry_after, Some(1), "shed response missing Retry-After");
+    assert!(r.text().contains("deadline"), "{}", r.text());
+    let m = metrics(addr);
+    assert_eq!(num(&m, "shed_expired"), 1.0);
+    assert_eq!(num(&m, "shed_total"), 1.0);
+    assert_decomposition(&m);
+    handle.shutdown();
+    handle.join();
+}
+
+/// The retrying client rides out injected batch panics AND torn socket
+/// writes, and every surviving response is byte-identical to offline.
+#[test]
+fn retrying_client_survives_panics_and_torn_writes() {
+    let corpus = offline_corpus(6);
+    let handle = chaos_server(
+        "seed=9,batch_panic=0.4x2,torn_write=0.4x4",
+        ServeConfig {
+            batch_max: 2,
+            flush: Duration::from_millis(1),
+            ..ServeConfig::default()
+        },
+    );
+    let addr = handle.addr();
+    let policy = RetryPolicy {
+        budget: 10,
+        base: Duration::from_millis(10),
+        cap: Duration::from_millis(100),
+        seed: 77,
+    };
+    let mut session = Session::connect(addr).expect("connect");
+    for pass in 0..3 {
+        for (request, expected) in &corpus {
+            let r = session
+                .post_with_retry("/v1/distill", request, &policy)
+                .expect("retries exhausted");
+            assert_eq!(r.status, 200, "pass {pass}: {}", r.text());
+            assert_eq!(
+                r.body,
+                expected.as_bytes(),
+                "pass {pass}: retried body diverged from offline"
+            );
+        }
+    }
+    let m = metrics_with_patience(addr);
+    let faults = m.get("faults").expect("faults rendered in /metrics");
+    let fired = |site: &str| {
+        faults
+            .get("sites")
+            .and_then(|s| s.get(site))
+            .map(|s| num(s, "fired"))
+            .unwrap_or(-1.0)
+    };
+    // Fire caps are hard bounds even under concurrency.
+    let panics = fired("batch_panic");
+    let tears = fired("torn_write");
+    assert!(
+        (0.0..=2.0).contains(&panics),
+        "panic cap violated: {panics}"
+    );
+    assert!((0.0..=4.0).contains(&tears), "tear cap violated: {tears}");
+    // Every logical request ended 200; retries of torn-after-distill
+    // responses may add extra OK outcomes, never fewer.
+    assert!(num(&m, "distill_ok") >= 18.0, "{}", num(&m, "distill_ok"));
+    assert_eq!(num(&m, "distill_panics_total"), panics);
+    assert_decomposition(&m);
+    handle.shutdown();
+    handle.join();
+}
+
+/// Satellite regression: a slow-loris client dribbling header bytes is
+/// cut off by the total request deadline with 408, instead of pinning a
+/// connection slot for as long as it keeps resetting the per-read
+/// timeout.
+#[test]
+fn slow_loris_dribbler_is_cut_off_with_408() {
+    let handle = server(ServeConfig {
+        read_timeout: Duration::from_secs(1),
+        read_deadline: Duration::from_millis(150),
+        ..ServeConfig::default()
+    });
+    let addr = handle.addr();
+    let started = Instant::now();
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    let mut write_half = stream.try_clone().expect("clone");
+    // Dribble one header byte every 20ms — a full request would take
+    // >1.2s, far past the 150ms deadline. A concurrent reader consumes
+    // the 408 the moment it is written, before a post-close dribble
+    // byte can turn into a connection reset that discards it.
+    let dribbler = std::thread::spawn(move || {
+        let raw = b"GET /healthz HTTP/1.1\r\nX-Slow: aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa\r\n\r\n";
+        for byte in raw {
+            if write_half.write_all(&[*byte]).is_err() {
+                break; // server already hung up — that's the point
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    });
+    let mut raw = Vec::new();
+    let mut reader = stream;
+    let _ = reader.read_to_end(&mut raw);
+    let cut_after = started.elapsed();
+    dribbler.join().unwrap();
+    let text = String::from_utf8_lossy(&raw);
+    assert!(
+        text.starts_with("HTTP/1.1 408 "),
+        "expected a 408 cut-off, got {text:?}"
+    );
+    // Cut off near deadline + one in-flight read, not after the whole
+    // dribble could have played out.
+    assert!(
+        cut_after < Duration::from_secs(3),
+        "dribbler survived {cut_after:?}"
+    );
+    // A well-behaved client is still served afterwards.
+    assert_eq!(client::get(addr, "/healthz").expect("healthz").status, 200);
+    let m = metrics(addr);
+    assert!(num(&m, "http_errors") >= 1.0);
+    handle.shutdown();
+    handle.join();
+}
+
+/// Graceful drain completes with faults still firing, and every client
+/// in flight gets an answer or a clean connection error — never a hang.
+#[test]
+fn graceful_drain_completes_under_active_faults() {
+    let corpus = offline_corpus(4);
+    let handle = chaos_server(
+        "seed=13,pre_batch_delay=1:20,batch_panic=0.3,torn_write=0.2",
+        ServeConfig {
+            batch_max: 2,
+            flush: Duration::from_millis(10),
+            ..ServeConfig::default()
+        },
+    );
+    let addr = handle.addr();
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..8usize {
+            let corpus = &corpus;
+            let handle = &handle;
+            scope.spawn(move || {
+                for i in 0..3 {
+                    let (request, _) = &corpus[(t + i) % corpus.len()];
+                    // Every outcome is acceptable — 200, 500, 503, or a
+                    // torn/drained connection — as long as the call
+                    // RETURNS. The scope join is the no-hang assertion.
+                    let _ = client::post(addr, "/v1/distill", request);
+                    if t == 0 && i == 1 {
+                        handle.shutdown();
+                    }
+                }
+            });
+        }
+    });
+    handle.join(); // must drain and stop with faults armed
+    assert!(
+        started.elapsed() < Duration::from_secs(60),
+        "drain under faults took {:?}",
+        started.elapsed()
+    );
+    assert!(
+        client::get(addr, "/healthz").is_err(),
+        "server still accepting after drained shutdown"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    /// Satellite: under randomized concurrent load — mixed valid,
+    /// erroring, and panic-prone requests against randomized queue
+    /// shapes — the outcome counters decompose exactly:
+    /// `distill_requests_total == ok + error + panics + timeouts +
+    /// shed_full + shed_expired + shed_shutdown`.
+    #[test]
+    fn outcome_counters_decompose_under_random_concurrent_load(
+        seed in 0u64..1_000_000,
+        clients in 1usize..5,
+        per_client in 1usize..5,
+        queue_cap in 1usize..4,
+        panic_permille in 0u64..400,
+        deadline_die in 0u64..2,
+    ) {
+        let tiny_deadline = deadline_die == 1;
+        let corpus = offline_corpus(4);
+        let bad = render_request(&DistillRequest {
+            question: "q?".to_string(),
+            answer: "   ".to_string(),
+            context: "Some context sentence.".to_string(),
+        });
+        let rate = panic_permille as f64 / 1000.0;
+        let handle = chaos_server(
+            &format!("seed={seed},batch_panic={rate}"),
+            ServeConfig {
+                batch_max: 2,
+                flush: Duration::from_millis(if tiny_deadline { 50 } else { 2 }),
+                queue_capacity: queue_cap,
+                request_deadline: if tiny_deadline {
+                    Duration::from_millis(1)
+                } else {
+                    Duration::from_secs(10)
+                },
+                ..ServeConfig::default()
+            },
+        );
+        let addr = handle.addr();
+        std::thread::scope(|scope| {
+            for c in 0..clients {
+                let corpus = &corpus;
+                let bad = &bad;
+                scope.spawn(move || {
+                    for i in 0..per_client {
+                        let request = if (c + i) % 4 == 3 {
+                            bad.as_str()
+                        } else {
+                            corpus[(c + i) % corpus.len()].0.as_str()
+                        };
+                        // Outcomes vary (200/422/500/503); the equation
+                        // below is the assertion.
+                        let _ = client::post(addr, "/v1/distill", request);
+                    }
+                });
+            }
+        });
+        // All clients joined → no distill request is in flight.
+        let m = metrics(addr);
+        prop_assert_eq!(
+            num(&m, "distill_requests_total"),
+            (clients * per_client) as f64
+        );
+        let total = num(&m, "distill_requests_total");
+        let sum = num(&m, "distill_ok")
+            + num(&m, "distill_error")
+            + num(&m, "distill_panics_total")
+            + num(&m, "distill_timeouts")
+            + num(&m, "shed_full")
+            + num(&m, "shed_expired")
+            + num(&m, "shed_shutdown");
+        prop_assert_eq!(total, sum);
+        // shed_total renders as exactly the sum of the shed classes.
+        prop_assert_eq!(
+            num(&m, "shed_total"),
+            num(&m, "shed_full") + num(&m, "shed_expired") + num(&m, "shed_shutdown")
+        );
+        handle.shutdown();
+        handle.join();
+    }
+}
