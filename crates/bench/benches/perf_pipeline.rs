@@ -71,6 +71,34 @@ fn bench_substrates(c: &mut Criterion) {
         b.iter(|| mha.attend_words(black_box(&words), &table))
     });
 
+    // Kernel micro-benches: the two matmul shapes the attention hot path
+    // is built from (projection-shaped A·B and score-shaped A·Bᵀ), plus
+    // the full Eq. 8 encode. These isolate the numeric substrate from
+    // embedding/softmax so kernel-level changes are visible on their own.
+    let x60 = mha.embed_sequence(&words, &table);
+    let seed_mat = |rows: usize, cols: usize, salt: u64| {
+        gced_nn::Matrix::from_fn(rows, cols, |r, c| {
+            let h = (r as u64)
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(c as u64)
+                .wrapping_mul(1_442_695_040_888_963_407)
+                .wrapping_add(salt);
+            ((h >> 40) as f32 / (1u64 << 24) as f32) - 0.5
+        })
+    };
+    let a128 = seed_mat(128, 128, 1);
+    let b128 = seed_mat(128, 128, 2);
+    c.bench_function("nn/matmul_128x128x128", |b| {
+        b.iter(|| black_box(&a128).matmul(&b128))
+    });
+    let b60 = seed_mat(60, 64, 3);
+    c.bench_function("nn/matmul_nt_60x64", |b| {
+        b.iter(|| black_box(&x60).matmul_nt(&b60))
+    });
+    c.bench_function("nn/encode_16head_d64", |b| {
+        b.iter(|| mha.encode(black_box(&x60)))
+    });
+
     let corpus: Vec<Vec<String>> = (0..200)
         .map(|i| {
             format!("the team {i} won the title in the final game")

@@ -30,21 +30,35 @@ pub struct FreshResult {
     pub median_ns: f64,
 }
 
-/// Parse the committed `BENCH_pipeline.json` text into baseline medians.
-/// Entries marked `"gate": false` are excluded — that flag is for
-/// benchmarks whose *code path* depends on the machine shape (e.g.
-/// `par/pool_map_256` runs sequentially on the 1-core baseline machine
-/// but through pool dispatch on multi-core CI runners), where an
-/// absolute cross-machine comparison measures hardware, not changes.
-pub fn parse_baseline(text: &str) -> Result<Vec<BaselineEntry>, String> {
+/// The committed baseline, split by gating.
+#[derive(Debug, Clone, Default)]
+pub struct Baseline {
+    /// Entries whose medians are compared against fresh results.
+    pub gated: Vec<BaselineEntry>,
+    /// Names of entries marked `"gate": false`. Their timings are not
+    /// judged, but the benchmarks must still *exist* in a fresh run —
+    /// a committed name the harness no longer produces means the bench
+    /// was renamed or deleted without updating `BENCH_pipeline.json`.
+    pub ungated: Vec<String>,
+}
+
+/// Parse the committed `BENCH_pipeline.json` text into a [`Baseline`].
+/// Entries marked `"gate": false` are excluded from timing comparison —
+/// that flag is for benchmarks whose *code path* depends on the machine
+/// shape (e.g. `par/pool_map_256` runs sequentially on the 1-core
+/// baseline machine but through pool dispatch on multi-core CI
+/// runners), where an absolute cross-machine comparison measures
+/// hardware, not changes. Their names are still tracked for drift.
+pub fn parse_baseline(text: &str) -> Result<Baseline, String> {
     let root = json::parse(text).map_err(|e| e.to_string())?;
     let benches = root
         .get("benches")
         .and_then(Json::as_obj)
         .ok_or_else(|| "baseline has no \"benches\" object".to_string())?;
-    let mut entries = Vec::with_capacity(benches.len());
+    let mut baseline = Baseline::default();
     for (name, entry) in benches {
         if entry.get("gate") == Some(&Json::Bool(false)) {
+            baseline.ungated.push(name.clone());
             continue;
         }
         let ns = entry
@@ -52,12 +66,12 @@ pub fn parse_baseline(text: &str) -> Result<Vec<BaselineEntry>, String> {
             .and_then(Json::as_f64)
             .or_else(|| entry.get("after_ns").and_then(Json::as_f64))
             .ok_or_else(|| format!("baseline bench {name:?} has no current_ns/after_ns"))?;
-        entries.push(BaselineEntry {
+        baseline.gated.push(BaselineEntry {
             name: name.clone(),
             ns,
         });
     }
-    Ok(entries)
+    Ok(baseline)
 }
 
 /// Load every fresh result JSON from a `gced-criterion` output dir.
@@ -115,13 +129,18 @@ pub struct GateReport {
     /// Fresh results the gate does not judge: new benchmarks with no
     /// baseline entry, and entries marked `"gate": false`. Never fail.
     pub unbaselined: Vec<FreshResult>,
+    /// Committed `"gate": false` names the fresh run did not produce —
+    /// rename/delete drift between the baseline and the harness. Fails
+    /// the gate (gated names drifting show up as MISSING rows instead).
+    pub drifted: Vec<String>,
     /// Failure threshold: fail when `ratio > 1 + tolerance`.
     pub tolerance: f64,
 }
 
 /// Pair baseline medians with fresh results.
-pub fn compare(baseline: &[BaselineEntry], fresh: &[FreshResult], tolerance: f64) -> GateReport {
+pub fn compare(baseline: &Baseline, fresh: &[FreshResult], tolerance: f64) -> GateReport {
     let rows = baseline
+        .gated
         .iter()
         .map(|b| GateRow {
             name: b.name.clone(),
@@ -131,24 +150,32 @@ pub fn compare(baseline: &[BaselineEntry], fresh: &[FreshResult], tolerance: f64
         .collect();
     let unbaselined = fresh
         .iter()
-        .filter(|f| !baseline.iter().any(|b| b.name == f.name))
+        .filter(|f| !baseline.gated.iter().any(|b| b.name == f.name))
+        .cloned()
+        .collect();
+    let drifted = baseline
+        .ungated
+        .iter()
+        .filter(|name| !fresh.iter().any(|f| &f.name == *name))
         .cloned()
         .collect();
     GateReport {
         rows,
         unbaselined,
+        drifted,
         tolerance,
     }
 }
 
 impl GateReport {
-    /// True when every baseline benchmark ran and none regressed beyond
-    /// the tolerance.
+    /// True when every baseline benchmark ran (gated *and* ungated) and
+    /// no gated one regressed beyond the tolerance.
     pub fn passed(&self) -> bool {
-        self.rows.iter().all(|r| match r.ratio() {
-            Some(ratio) => ratio <= 1.0 + self.tolerance,
-            None => false,
-        })
+        self.drifted.is_empty()
+            && self.rows.iter().all(|r| match r.ratio() {
+                Some(ratio) => ratio <= 1.0 + self.tolerance,
+                None => false,
+            })
     }
 
     /// Per-row status word: `ok`, `REGRESSED`, or `MISSING`.
@@ -190,6 +217,15 @@ impl GateReport {
                 f.name, f.median_ns
             ));
         }
+        for name in &self.drifted {
+            out.push_str(&format!("| {name} | — | — | — | DRIFTED |\n"));
+        }
+        if !self.drifted.is_empty() {
+            out.push_str(
+                "\nDRIFTED: the committed baseline names a benchmark the fresh run \
+                 no longer produces — rename or delete it in `BENCH_pipeline.json`.\n",
+            );
+        }
         out.push_str(&format!(
             "\n**{}**\n",
             if self.passed() { "PASSED" } else { "FAILED" }
@@ -221,16 +257,24 @@ mod tests {
                 name: "b/slow".to_string(),
                 median_ns: b,
             },
+            FreshResult {
+                name: "c/machine-shaped".to_string(),
+                median_ns: 11.0,
+            },
         ]
     }
 
     #[test]
     fn baseline_prefers_current_ns() {
         let base = parse_baseline(BASELINE).unwrap();
-        assert_eq!(base.len(), 2, "gate:false entries are excluded");
-        assert_eq!(base[0].ns, 100.0);
-        assert_eq!(base[1].ns, 500.0, "current_ns wins over after_ns");
-        assert!(!base.iter().any(|b| b.name == "c/machine-shaped"));
+        assert_eq!(base.gated.len(), 2, "gate:false entries are not timed");
+        assert_eq!(base.gated[0].ns, 100.0);
+        assert_eq!(base.gated[1].ns, 500.0, "current_ns wins over after_ns");
+        assert_eq!(
+            base.ungated,
+            vec!["c/machine-shaped".to_string()],
+            "gate:false names are still tracked for drift"
+        );
     }
 
     #[test]
@@ -261,6 +305,37 @@ mod tests {
         let report = compare(&base, &only_a, 0.35);
         assert!(!report.passed());
         assert!(report.markdown().contains("MISSING"));
+    }
+
+    #[test]
+    fn ungated_rename_drift_fails() {
+        // Delete/rename drift: the harness stopped producing the
+        // committed gate:false bench. The timings are all fine, but the
+        // stale baseline name must fail the gate.
+        let base = parse_baseline(BASELINE).unwrap();
+        let mut f = fresh(90.0, 450.0);
+        f.retain(|r| r.name != "c/machine-shaped");
+        let report = compare(&base, &f, 0.35);
+        assert!(!report.passed());
+        assert_eq!(report.drifted, vec!["c/machine-shaped".to_string()]);
+        let md = report.markdown();
+        assert!(
+            md.contains("| c/machine-shaped | — | — | — | DRIFTED |"),
+            "{md}"
+        );
+        assert!(md.contains("FAILED"), "{md}");
+    }
+
+    #[test]
+    fn ungated_bench_present_passes() {
+        let base = parse_baseline(BASELINE).unwrap();
+        let report = compare(&base, &fresh(90.0, 450.0), 0.35);
+        assert!(report.passed(), "{}", report.markdown());
+        assert!(report.drifted.is_empty());
+        // The ungated bench is visible but never timed against baseline.
+        assert!(report
+            .markdown()
+            .contains("| c/machine-shaped | — | 11.0 | — | not gated |"));
     }
 
     #[test]

@@ -13,11 +13,23 @@
 //! softmax scores averaged over heads via
 //! [`MultiHeadAttention::attention_matrix`], and the full Eq. 8 output
 //! (concat + `Wo`) via [`MultiHeadAttention::encode`].
+//!
+//! Both run **fused**: the score → scale → softmax → value-weighting
+//! chain streams one query row at a time through the blocked kernels of
+//! [`crate::kernels`], so the full `n×n` per-head score matrix is never
+//! materialized — per row, a length-`n` score buffer is filled by the
+//! register-tiled dot kernel, softmaxed in place, and immediately
+//! consumed. Every reduction uses the fixed 8-lane tree, so the fused
+//! passes are bitwise-identical to the materialized scalar oracle in
+//! [`crate::reference`] (property-tested), and identical on any machine
+//! at any thread count.
 
 use crate::embedding::EmbeddingTable;
+use crate::kernels;
 use crate::matrix::Matrix;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
 
 /// Hyperparameters (paper defaults: 16 heads, d_k = 64).
 #[derive(Debug, Clone, Copy)]
@@ -66,6 +78,11 @@ pub struct MultiHeadAttention {
     /// per-head Q/K projections of the hot path (≈ 1.7× fewer MACs on
     /// every WSPTC construction).
     score_kernels: Vec<Matrix>,
+    /// The same kernels, transposed and stacked into one packed
+    /// `(heads·d_model) × d_model` matrix (row `h·d_model + j` is column
+    /// `j` of `C_h`): the fused path computes every head's projection
+    /// `X·C_h` in a single `matmul_nt` sweep with no per-call packing.
+    score_kernels_t: Matrix,
     /// Positional encodings for the first rows, precomputed (the `powf`
     /// per element is measurable on the distill hot path).
     positional_cache: Matrix,
@@ -96,12 +113,16 @@ impl MultiHeadAttention {
             head_v.push(init(config.d_model, config.d_k, &mut rng));
         }
         let wo = init(config.heads * config.d_k, config.d_model, &mut rng);
-        let score_kernels = (0..config.heads)
+        let score_kernels: Vec<Matrix> = (0..config.heads)
             .map(|h| {
                 wq.matmul(&head_q[h])
                     .matmul(&wk.matmul(&head_k[h]).transpose())
             })
             .collect();
+        let d = config.d_model;
+        let score_kernels_t = Matrix::from_fn(config.heads * d, d, |r, c| {
+            score_kernels[r / d].get(c, r % d)
+        });
         let positional_cache = Matrix::from_fn(POSITIONAL_CACHE_ROWS, config.d_model, |p, j| {
             positional(p, j, config.d_model)
         });
@@ -115,6 +136,7 @@ impl MultiHeadAttention {
             head_v,
             wo,
             score_kernels,
+            score_kernels_t,
             positional_cache,
         }
     }
@@ -124,21 +146,58 @@ impl MultiHeadAttention {
         &self.config
     }
 
+    /// The precomputed head-`h` score kernel `C_h` (oracle access).
+    pub fn score_kernel(&self, h: usize) -> &Matrix {
+        &self.score_kernels[h]
+    }
+
+    /// The shared first-stage projections `(Wq, Wk, Wv, Wo)` (oracle
+    /// access).
+    pub fn stage_projections(&self) -> (&Matrix, &Matrix, &Matrix, &Matrix) {
+        (&self.wq, &self.wk, &self.wv, &self.wo)
+    }
+
+    /// Head-`h` projections `(WQ_h, WK_h, WV_h)` (oracle access).
+    pub fn head_projections(&self, h: usize) -> (&Matrix, &Matrix, &Matrix) {
+        (&self.head_q[h], &self.head_k[h], &self.head_v[h])
+    }
+
     /// Embed a token sequence (adding position encodings) into an
     /// `n × d_model` matrix.
+    ///
+    /// Base embeddings are memoized per distinct surface form within the
+    /// call — repeated words copy the first occurrence's row instead of
+    /// re-hashing character n-grams — then one pass adds the positional
+    /// term. Same bits as embedding each position independently.
     pub fn embed_sequence(&self, words: &[String], table: &EmbeddingTable) -> Matrix {
         assert_eq!(table.dim(), self.config.d_model, "embedding dim mismatch");
         let n = words.len();
-        let mut x = Matrix::zeros(n, self.config.d_model);
-        for (i, w) in words.iter().enumerate() {
-            let e = table.embed(w);
-            for (j, &v) in e.iter().enumerate() {
-                let pe = if i < POSITIONAL_CACHE_ROWS {
-                    self.positional_cache.get(i, j)
-                } else {
-                    positional(i, j, self.config.d_model)
-                };
-                x.set(i, j, v + self.config.positional_weight * pe);
+        let d = self.config.d_model;
+        let mut x = Matrix::zeros(n, d);
+        let mut first: HashMap<&str, usize> = HashMap::new();
+        for (i, word) in words.iter().enumerate() {
+            match first.get(word.as_str()) {
+                Some(&src) => {
+                    let row: Vec<f32> = x.row(src).to_vec();
+                    x.row_mut(i).copy_from_slice(&row);
+                }
+                None => {
+                    table.embed_into(word, x.row_mut(i));
+                    first.insert(word.as_str(), i);
+                }
+            }
+        }
+        let w = self.config.positional_weight;
+        for i in 0..n {
+            if i < POSITIONAL_CACHE_ROWS {
+                let pe: Vec<f32> = self.positional_cache.row(i).to_vec();
+                for (v, p) in x.row_mut(i).iter_mut().zip(&pe) {
+                    *v += w * p;
+                }
+            } else {
+                for (j, v) in x.row_mut(i).iter_mut().enumerate() {
+                    *v += w * positional(i, j, d);
+                }
             }
         }
         x
@@ -147,51 +206,84 @@ impl MultiHeadAttention {
     /// Eq. 7 attention probabilities, averaged over all heads:
     /// `A[i][j]` = mean_h softmax_j(Q_h(i)·K_h(j)/√d_k). Rows sum to 1.
     ///
-    /// Computed through the precomputed score kernels:
-    /// `Q_h·K_hᵀ = (X·Wq·WQ_h)·(X·Wk·WK_h)ᵀ = (X·C_h)·Xᵀ`, so the hot
-    /// path runs two matmuls per head instead of three plus a transpose.
+    /// Fused row-streaming pass over the precomputed score kernels
+    /// (`Q_h·K_hᵀ = (X·C_h)·Xᵀ`): one packed `matmul_nt` computes every
+    /// head's `X·C_h` projection, then per query row the length-`n`
+    /// score row is built by the register-tiled dot kernel (`X` itself
+    /// is the packed transpose of `Xᵀ`, so no transpose is ever
+    /// materialized), scaled, softmaxed in place, and accumulated — the
+    /// `n×n` per-head score matrix never exists. Bitwise-equal to
+    /// [`crate::reference::attention_matrix`].
     pub fn attention_matrix(&self, x: &Matrix) -> Matrix {
         let n = x.rows();
-        let xt = x.transpose();
-        let mut avg = Matrix::zeros(n, n);
+        let d = self.config.d_model;
+        let heads = self.config.heads;
         let scale = 1.0 / (self.config.d_k as f32).sqrt();
-        for kernel in &self.score_kernels {
-            let mut scores = x.matmul(kernel).matmul(&xt);
-            scores.scale(scale);
-            scores.softmax_rows();
-            avg.add_assign(&scores);
+        // P[i][h·d + j] = (X·C_h)[i][j], all heads in one blocked sweep.
+        let p = x.matmul_nt(&self.score_kernels_t);
+        let mut avg = Matrix::zeros(n, n);
+        let mut s = vec![0.0f32; n];
+        for i in 0..n {
+            for h in 0..heads {
+                let pi = &p.row(i)[h * d..(h + 1) * d];
+                score_row(pi, x, scale, &mut s);
+                kernels::softmax(&mut s);
+                for (a, &v) in avg.row_mut(i).iter_mut().zip(&s) {
+                    *a += v;
+                }
+            }
         }
-        avg.scale(1.0 / self.config.heads as f32);
+        avg.scale(1.0 / heads as f32);
         avg
     }
 
     /// Full Eq. 8: per-head attention-weighted values, concatenated and
     /// projected by `Wo`. Returns an `n × d_model` contextual encoding.
+    ///
+    /// Fused like [`MultiHeadAttention::attention_matrix`]: per query
+    /// row, the score row is streamed against the row-major `K_h` (the
+    /// packed-transpose operand), softmaxed, and immediately contracted
+    /// with `V_hᵀ` into the head's slice of the concatenation buffer.
+    /// Bitwise-equal to [`crate::reference::encode`].
     pub fn encode(&self, x: &Matrix) -> Matrix {
         let q = x.matmul(&self.wq);
         let k = x.matmul(&self.wk);
         let v = x.matmul(&self.wv);
-        let scale = 1.0 / (self.config.d_k as f32).sqrt();
-        let mut concat: Option<Matrix> = None;
+        let n = x.rows();
+        let dk = self.config.d_k;
+        let scale = 1.0 / (dk as f32).sqrt();
+        let mut concat = Matrix::zeros(n, self.config.heads * dk);
+        let mut s = vec![0.0f32; n];
         for h in 0..self.config.heads {
             let qh = q.matmul(&self.head_q[h]);
             let kh = k.matmul(&self.head_k[h]);
-            let vh = v.matmul(&self.head_v[h]);
-            let mut scores = qh.matmul(&kh.transpose());
-            scores.scale(scale);
-            scores.softmax_rows();
-            let head = scores.matmul(&vh);
-            concat = Some(match concat {
-                None => head,
-                Some(c) => c.hconcat(&head),
-            });
+            let vht = v.matmul(&self.head_v[h]).transpose();
+            for i in 0..n {
+                score_row(qh.row(i), &kh, scale, &mut s);
+                kernels::softmax(&mut s);
+                let out = &mut concat.row_mut(i)[h * dk..(h + 1) * dk];
+                kernels::dot_rows(&s, vht.as_slice(), out);
+            }
         }
-        concat.expect("heads > 0").matmul(&self.wo)
+        concat.matmul(&self.wo)
     }
 
     /// Convenience: attention matrix straight from words.
     pub fn attend_words(&self, words: &[String], table: &EmbeddingTable) -> Matrix {
         self.attention_matrix(&self.embed_sequence(words, table))
+    }
+}
+
+/// One streamed score row: `s[j] = dot(query, keys.row(j)) · scale`,
+/// contracted against all key rows in a single [`kernels::dot_rows`]
+/// batch (the keys are row-major, so the whole matrix is the packed
+/// operand). The scale multiply is a separate pass over the finished
+/// dots — the same op order as `dot(...) * scale` one `j` at a time.
+fn score_row(query: &[f32], keys: &Matrix, scale: f32, s: &mut [f32]) {
+    debug_assert_eq!(s.len(), keys.rows());
+    kernels::dot_rows(query, keys.as_slice(), s);
+    for v in s.iter_mut() {
+        *v *= scale;
     }
 }
 

@@ -47,13 +47,27 @@ impl EmbeddingTable {
     /// Fitted words return their refined vector; everything else falls
     /// back to the hash embedding, so OOV words are always usable.
     pub fn embed(&self, word: &str) -> Vec<f32> {
-        let lower = word.to_lowercase();
-        let mut v = match self.refined.get(&lower) {
-            Some(r) => r.clone(),
-            None => self.hash_embed(&lower),
-        };
-        normalize(&mut v);
+        let mut v = vec![0.0f32; self.dim];
+        self.embed_into(word, &mut v);
         v
+    }
+
+    /// Write the embedding of `word` into `out` without allocating —
+    /// the hot-path form [`MultiHeadAttention::embed_sequence`] fills
+    /// matrix rows with. Bitwise-identical to [`EmbeddingTable::embed`].
+    ///
+    /// [`MultiHeadAttention::embed_sequence`]: crate::attention::MultiHeadAttention::embed_sequence
+    pub fn embed_into(&self, word: &str, out: &mut [f32]) {
+        assert_eq!(out.len(), self.dim, "embed_into buffer of wrong dim");
+        let lower = word.to_lowercase();
+        match self.refined.get(&lower) {
+            Some(r) => out.copy_from_slice(r),
+            None => {
+                out.fill(0.0);
+                self.hash_embed_into(&lower, out);
+            }
+        }
+        normalize(out);
     }
 
     /// Cosine similarity between two word embeddings.
@@ -160,8 +174,15 @@ impl EmbeddingTable {
     /// Base hash embedding of a lowercased word.
     fn hash_embed(&self, lower: &str) -> Vec<f32> {
         let mut v = vec![0.0f32; self.dim];
+        self.hash_embed_into(lower, &mut v);
+        v
+    }
+
+    /// Accumulate the hash embedding of a lowercased word into a zeroed
+    /// buffer.
+    fn hash_embed_into(&self, lower: &str, v: &mut [f32]) {
         let chars: Vec<char> = lower.chars().collect();
-        let push = |s: &str, weight: f32, v: &mut Vec<f32>| {
+        let push = |s: &str, weight: f32, v: &mut [f32]| {
             let mut h = DefaultHasher::new();
             self.seed.hash(&mut h);
             s.hash(&mut h);
@@ -174,17 +195,16 @@ impl EmbeddingTable {
             let sign2 = if (x >> 33) & 1 == 0 { 1.0 } else { -1.0 };
             v[idx2] += sign2 * weight * 0.5;
         };
-        push(lower, 2.0, &mut v);
+        push(lower, 2.0, v);
         for n in 3..=5usize {
             if chars.len() < n {
                 break;
             }
             for start in 0..=(chars.len() - n) {
                 let gram: String = chars[start..start + n].iter().collect();
-                push(&gram, 1.0, &mut v);
+                push(&gram, 1.0, v);
             }
         }
-        v
     }
 }
 

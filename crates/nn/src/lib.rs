@@ -7,8 +7,15 @@
 //! available offline, so this crate implements the same computation over
 //! deterministic embeddings:
 //!
+//! * [`kernels`] — the numeric substrate: 8-lane fixed-reduction-tree
+//!   dot products (scalar and 4-wide register-tiled), a deterministic
+//!   polynomial `exp`, and the canonical row softmax. Every reduction
+//!   order is pinned so results are bit-identical on any machine, core
+//!   count, or blocking;
 //! * [`matrix::Matrix`] — a minimal row-major f32 matrix with the handful
-//!   of operations attention needs (matmul, transpose, row softmax);
+//!   of operations attention needs (cache-blocked matmul over the kernel
+//!   dots, a packed-transpose `matmul_nt` fast path, transpose, row
+//!   softmax);
 //! * [`embedding::EmbeddingTable`] — hash-based character-n-gram word
 //!   vectors, optionally refined on corpus co-occurrence so that
 //!   distributionally related words end up closer (the property the
@@ -16,13 +23,19 @@
 //! * [`attention::MultiHeadAttention`] — Eqs. 6–8 verbatim: Q/K/V linear
 //!   maps, 16 scaled-dot-product heads, softmax, concatenation, and an
 //!   output projection; plus sinusoidal position encodings so locality
-//!   shows up in the weights just as it does in layer-1 BERT heads.
+//!   shows up in the weights just as it does in layer-1 BERT heads. The
+//!   hot paths are fused row-streaming passes that never materialize the
+//!   per-head score matrices;
+//! * [`reference`] — the paper-literal scalar oracle those fused passes
+//!   are property-tested against, **bitwise**, on every shape.
 //!
 //! Everything is seeded; identical inputs give identical weights.
 
 pub mod attention;
 pub mod embedding;
+pub mod kernels;
 pub mod matrix;
+pub mod reference;
 
 pub use attention::{AttentionConfig, MultiHeadAttention};
 pub use embedding::EmbeddingTable;

@@ -1,11 +1,23 @@
-//! Minimal row-major f32 matrix.
+//! Minimal row-major f32 matrix over the blocked kernels.
 //!
 //! Only the operations the attention computation needs; no BLAS, no
-//! unsafe. Sizes here are tiny (sentence length × model dim), so clarity
-//! wins over micro-optimization; the matmul loop is still written in the
-//! cache-friendly i-k-j order.
+//! unsafe. The products run on the register-tiled 8-lane micro-kernel of
+//! [`crate::kernels`]: the right-hand operand is packed transposed so
+//! every inner loop is a contiguous dot of two rows, cache-blocked over
+//! output rows and columns. Blocking and tiling never change the
+//! reduction order — each output element is reduced by the fixed 8-lane
+//! tree, bitwise-identical to the scalar oracle in [`crate::reference`].
 
+use crate::kernels;
 use std::fmt;
+
+/// Output-row tile: `ROW_BLOCK` rows of the left operand are swept per
+/// column block, keeping their slices hot across the block.
+const ROW_BLOCK: usize = 32;
+/// Packed-operand tile: `COL_BLOCK` rows of the packed (transposed)
+/// right operand per sweep — small enough to sit in L1 for the typical
+/// `K ≤ 128` of the attention shapes.
+const COL_BLOCK: usize = 64;
 
 /// Dense row-major matrix of `f32`.
 #[derive(Clone, PartialEq)]
@@ -85,33 +97,75 @@ impl Matrix {
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
+    /// Mutably borrow row `r` as a slice.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
     /// Matrix product `self · rhs`; panics on dimension mismatch.
+    ///
+    /// Packs `rhs` transposed (one `K×N` copy) so the micro-kernel reads
+    /// both operands contiguously, then runs the blocked row/column
+    /// sweep of [`Matrix::matmul_nt`]. Every output element is a fixed
+    /// 8-lane-tree reduction over `k` — bitwise-equal to
+    /// [`crate::reference::matmul`] on any machine.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(
             self.cols, rhs.rows,
             "matmul {}x{} · {}x{}",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
-        let mut out = Matrix::zeros(self.rows, rhs.cols);
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.data[i * self.cols + k];
-                if a == 0.0 {
-                    continue;
-                }
-                let rhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
-                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-                for (o, &b) in out_row.iter_mut().zip(rhs_row) {
-                    *o += a * b;
+        self.matmul_nt(&rhs.transpose())
+    }
+
+    /// Matrix product `self · rhsᵀ` with `rhs` given row-major — the
+    /// packed-transpose fast path: when the right operand is naturally
+    /// available transposed (the `K`/`V` operands of attention, or a
+    /// pre-packed kernel), its rows *are* the columns the product needs,
+    /// so no packing copy is paid at all.
+    pub fn matmul_nt(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.cols,
+            "matmul_nt {}x{} · ({}x{})ᵀ",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let (m, n, k) = (self.rows, rhs.rows, self.cols);
+        let mut out = Matrix::zeros(m, n);
+        for jb in (0..n).step_by(COL_BLOCK) {
+            let jend = (jb + COL_BLOCK).min(n);
+            // The packed rows of this column block, contiguous in rhs.
+            let block = &rhs.data[jb * k..jend * k];
+            for ib in (0..m).step_by(ROW_BLOCK) {
+                let iend = (ib + ROW_BLOCK).min(m);
+                for i in ib..iend {
+                    let orow = &mut out.data[i * n..(i + 1) * n];
+                    kernels::dot_rows(self.row(i), block, &mut orow[jb..jend]);
                 }
             }
         }
         out
     }
 
-    /// Transpose.
+    /// The backing row-major storage as one contiguous slice
+    /// (`rows × cols` elements, row `r` at `r·cols..(r+1)·cols`).
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Transpose (blocked copy; same values as the naive element swap).
     pub fn transpose(&self) -> Matrix {
-        Matrix::from_fn(self.cols, self.rows, |r, c| self.get(c, r))
+        const TILE: usize = 16;
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for rb in (0..self.rows).step_by(TILE) {
+            for cb in (0..self.cols).step_by(TILE) {
+                for r in rb..(rb + TILE).min(self.rows) {
+                    for c in cb..(cb + TILE).min(self.cols) {
+                        out.data[c * self.rows + r] = self.data[r * self.cols + c];
+                    }
+                }
+            }
+        }
+        out
     }
 
     /// Multiply every element by `s` in place.
@@ -121,21 +175,11 @@ impl Matrix {
         }
     }
 
-    /// Numerically-stable softmax applied to each row in place.
+    /// Numerically-stable softmax applied to each row in place
+    /// (canonical order, deterministic `exp`; see [`kernels::softmax`]).
     pub fn softmax_rows(&mut self) {
         for r in 0..self.rows {
-            let row = &mut self.data[r * self.cols..(r + 1) * self.cols];
-            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-            let mut sum = 0.0;
-            for v in row.iter_mut() {
-                *v = (*v - max).exp();
-                sum += *v;
-            }
-            if sum > 0.0 {
-                for v in row.iter_mut() {
-                    *v /= sum;
-                }
-            }
+            kernels::softmax(&mut self.data[r * self.cols..(r + 1) * self.cols]);
         }
     }
 

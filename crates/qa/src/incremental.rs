@@ -30,6 +30,7 @@
 
 use crate::features::{span_boundary, wh_block, QuestionAnalysis, N_BASE};
 use crate::model::{Prediction, QaModel, SelectionScratch, MAX_SPAN};
+use gced_nn::kernels::fold_dot_f64;
 use gced_text::{join_tokens, Document, Token};
 use std::collections::HashMap;
 
@@ -468,7 +469,8 @@ fn score_run(
 
 /// One span's score. Every feature value is produced by the same
 /// floating-point expression as the view-global path, so the resulting
-/// f64 is bit-equal; the dot product mirrors `score_span`'s two loops.
+/// f64 is bit-equal; both paths contract through the shared
+/// [`fold_dot_f64`] kernel, so the dot cannot drift.
 #[allow(clippy::too_many_arguments)]
 fn span_score(
     q: &QuestionAnalysis,
@@ -596,14 +598,8 @@ fn span_score(
     let verb_clue_before = verb_in_before || verb_cross_before;
     f[12] = (q.wh_subject && verb_clue_after) as u8 as f64;
     f[13] = (!q.wh_subject && verb_clue_before) as u8 as f64;
-    let mut score = 0.0f64;
-    for (x, w) in f.iter().zip(&weights[..N_BASE]) {
-        score += x * w;
-    }
-    for (x, w) in f.iter().zip(&weights[off..off + N_BASE]) {
-        score += x * w;
-    }
-    score
+    let score = fold_dot_f64(0.0, &f, &weights[..N_BASE]);
+    fold_dot_f64(score, &f, &weights[off..off + N_BASE])
 }
 
 #[cfg(test)]

@@ -7,6 +7,7 @@ use crate::features::{
 };
 use gced_datasets::QaExample;
 use gced_metrics::overlap::{best_f1, exact_match, token_f1};
+use gced_nn::kernels::fold_dot_f64;
 use gced_text::{analyze, Document};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
@@ -490,14 +491,9 @@ impl QaModel {
         // dot product needs only the two non-zero blocks — no N_FEATURES
         // allocation per span.
         let f = base_features_with_coverage(doc, s, e, q, clues, &self.idf, sentence_coverage);
-        let mut score = 0.0f64;
-        for (x, w) in f.iter().zip(&self.weights[..N_BASE]) {
-            score += x * w;
-        }
         let off = wh_block(q.wh) * N_BASE;
-        for (x, w) in f.iter().zip(&self.weights[off..off + N_BASE]) {
-            score += x * w;
-        }
+        let score = fold_dot_f64(0.0, &f, &self.weights[..N_BASE]);
+        let mut score = fold_dot_f64(score, &f, &self.weights[off..off + N_BASE]);
         if let Some(key) = noise_key {
             // Deterministic per-(profile, question, span) perturbation.
             let mut h = DefaultHasher::new();
