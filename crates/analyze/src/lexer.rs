@@ -1,0 +1,429 @@
+//! Hand-rolled token-level Rust lexer.
+//!
+//! The lint pass needs exactly one guarantee from this module: a
+//! keyword, method name, or operator that appears **inside a string
+//! literal or a comment must never be mistaken for code** (and vice
+//! versa — a `// SAFETY:` comment must be seen *as* a comment). That
+//! means faithfully handling the constructs that break naive scanners:
+//!
+//! * raw strings `r"…"` / `r#"…"#` (any number of hashes, no escapes),
+//!   byte strings `b"…"` / `br#"…"#`, and C strings `c"…"`;
+//! * nested block comments `/* outer /* inner */ still out */`;
+//! * lifetimes (`'a`, `'static`) vs char literals (`'x'`, `'\n'`,
+//!   `'\u{1F600}'`) vs loop labels;
+//! * raw identifiers (`r#match`).
+//!
+//! Everything else is deliberately coarse: keywords are just idents,
+//! multi-char operators are emitted as single-char puncts (the lint
+//! pass matches adjacent tokens), and numeric literals only need to not
+//! swallow their neighbours. Line numbers are 1-based and attached to
+//! every token so findings carry `file:line` spans.
+
+/// Token classes the lint pass distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including raw identifiers).
+    Ident,
+    /// Lifetime or loop label (`'a`, `'static`, `'outer`).
+    Lifetime,
+    /// Char or byte-char literal (`'x'`, `b'\n'`).
+    Char,
+    /// String literal of any flavour (plain, raw, byte, C).
+    Str,
+    /// Numeric literal.
+    Num,
+    /// Single punctuation character.
+    Punct,
+    /// `// …` comment (including `///` and `//!`).
+    LineComment,
+    /// `/* … */` comment (nesting handled), including doc forms.
+    BlockComment,
+}
+
+/// One lexed token: kind, verbatim text, and 1-based starting line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+impl Tok {
+    /// True for the comment kinds.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+}
+
+/// Lex `src` into a token stream. Never fails: malformed input degrades
+/// to best-effort tokens (an unterminated string runs to end of file),
+/// which is the right behaviour for a linter that must not crash on the
+/// code it is criticising.
+pub fn lex(src: &str) -> Vec<Tok> {
+    Lexer {
+        cs: src.chars().collect(),
+        i: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    cs: Vec<char>,
+    i: usize,
+    line: u32,
+    out: Vec<Tok>,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.cs.get(self.i + ahead).copied()
+    }
+
+    /// Advance one char, tracking newlines.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.cs.get(self.i).copied();
+        if let Some(c) = c {
+            if c == '\n' {
+                self.line += 1;
+            }
+            self.i += 1;
+        }
+        c
+    }
+
+    fn push(&mut self, kind: TokKind, start: usize, line: u32) {
+        let text: String = self.cs[start..self.i].iter().collect();
+        self.out.push(Tok { kind, text, line });
+    }
+
+    fn run(mut self) -> Vec<Tok> {
+        while let Some(c) = self.peek(0) {
+            if c.is_whitespace() {
+                self.bump();
+            } else if c == '/' && self.peek(1) == Some('/') {
+                self.line_comment();
+            } else if c == '/' && self.peek(1) == Some('*') {
+                self.block_comment();
+            } else if c == '"' {
+                self.string(0);
+            } else if c == '\'' {
+                self.lifetime_or_char();
+            } else if c.is_ascii_digit() {
+                self.number();
+            } else if c == '_' || c.is_alphabetic() {
+                self.ident_or_prefixed_literal();
+            } else {
+                let (start, line) = (self.i, self.line);
+                self.bump();
+                self.push(TokKind::Punct, start, line);
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        let (start, line) = (self.i, self.line);
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            self.bump();
+        }
+        self.push(TokKind::LineComment, start, line);
+    }
+
+    /// Block comments nest in Rust: track depth until it returns to 0.
+    fn block_comment(&mut self) {
+        let (start, line) = (self.i, self.line);
+        self.bump(); // '/'
+        self.bump(); // '*'
+        let mut depth = 1usize;
+        while depth > 0 && self.peek(0).is_some() {
+            if self.peek(0) == Some('/') && self.peek(1) == Some('*') {
+                depth += 1;
+                self.bump();
+                self.bump();
+            } else if self.peek(0) == Some('*') && self.peek(1) == Some('/') {
+                depth -= 1;
+                self.bump();
+                self.bump();
+            } else {
+                self.bump();
+            }
+        }
+        self.push(TokKind::BlockComment, start, line);
+    }
+
+    /// A plain (escaped) string body; the opening quote is at `self.i`.
+    /// `start_back` is how many prefix chars (`b`, `c`) precede it.
+    fn string(&mut self, start_back: usize) {
+        let (start, line) = (self.i - start_back, self.line);
+        self.bump(); // opening '"'
+        while let Some(c) = self.peek(0) {
+            if c == '\\' {
+                self.bump();
+                self.bump(); // the escaped char (any, incl. '"')
+            } else if c == '"' {
+                self.bump();
+                break;
+            } else {
+                self.bump();
+            }
+        }
+        self.push(TokKind::Str, start, line);
+    }
+
+    /// A raw string body `r##"…"##`; `self.i` sits on the opening `"`,
+    /// `hashes` hashes follow the closing quote, `start_back` covers the
+    /// `r`/`br`/`cr` prefix plus the opening hashes.
+    fn raw_string(&mut self, hashes: usize, start_back: usize) {
+        let (start, line) = (self.i - start_back, self.line);
+        self.bump(); // opening '"'
+        'scan: while let Some(c) = self.peek(0) {
+            if c == '"' {
+                // A closing quote counts only when followed by `hashes`
+                // hashes — otherwise it is literal text.
+                for h in 0..hashes {
+                    if self.peek(1 + h) != Some('#') {
+                        self.bump();
+                        continue 'scan;
+                    }
+                }
+                self.bump();
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+            self.bump();
+        }
+        self.push(TokKind::Str, start, line);
+    }
+
+    /// `'` starts either a lifetime/label or a char literal. The rule:
+    /// `'\…` is always a char; `'X'` (quote two ahead) is a char;
+    /// anything else (`'a`, `'static`, `'outer:`) is a lifetime.
+    fn lifetime_or_char(&mut self) {
+        let (start, line) = (self.i, self.line);
+        if self.peek(1) == Some('\\') {
+            self.bump(); // '
+            self.bump(); // backslash
+            self.bump(); // escaped char (or 'u' of \u{…})
+            while let Some(c) = self.peek(0) {
+                self.bump();
+                if c == '\'' {
+                    break;
+                }
+            }
+            self.push(TokKind::Char, start, line);
+        } else if self.peek(1).is_some() && self.peek(2) == Some('\'') && self.peek(1) != Some('\'')
+        {
+            self.bump();
+            self.bump();
+            self.bump();
+            self.push(TokKind::Char, start, line);
+        } else {
+            self.bump(); // '
+            while let Some(c) = self.peek(0) {
+                if c == '_' || c.is_alphanumeric() {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push(TokKind::Lifetime, start, line);
+        }
+    }
+
+    /// Good enough for a linter: consume digits, underscores, ident
+    /// chars (type suffixes, hex), a decimal point (but not `..`), and
+    /// exponent signs directly after `e`/`E`.
+    fn number(&mut self) {
+        let (start, line) = (self.i, self.line);
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                let was_exp = c == 'e' || c == 'E';
+                self.bump();
+                if was_exp && matches!(self.peek(0), Some('+') | Some('-')) {
+                    self.bump();
+                }
+            } else if c == '.' && self.peek(1) != Some('.') {
+                // `0.5` continues the number; `0..n` stops before `..`.
+                if matches!(self.peek(1), Some(d) if d.is_ascii_digit()) {
+                    self.bump();
+                } else {
+                    break;
+                }
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Num, start, line);
+    }
+
+    /// Idents, keywords, raw identifiers — and the literal prefixes that
+    /// start with ident chars: `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`,
+    /// `b'x'`, `c"…"`, `cr#"…"#`.
+    fn ident_or_prefixed_literal(&mut self) {
+        let c = self.peek(0).expect("caller checked");
+        // Literal prefixes.
+        if c == 'r' || c == 'b' || c == 'c' {
+            let mut j = 1;
+            if (c == 'b' || c == 'c') && self.peek(1) == Some('r') {
+                j = 2;
+            }
+            let raw = c == 'r' || j == 2;
+            let mut hashes = 0;
+            while raw && self.peek(j + hashes) == Some('#') {
+                hashes += 1;
+            }
+            if self.peek(j + hashes) == Some('"') && (raw || hashes == 0) {
+                for _ in 0..j + hashes {
+                    self.bump();
+                }
+                if raw {
+                    self.raw_string(hashes, j + hashes);
+                } else {
+                    self.string(j);
+                }
+                return;
+            }
+            if c == 'b' && self.peek(1) == Some('\'') {
+                // Byte char literal b'x' / b'\n': lex the quoted part,
+                // then widen the token to include the prefix.
+                self.bump();
+                let before = self.out.len();
+                self.lifetime_or_char();
+                if self.out.len() > before {
+                    let t = self.out.last_mut().expect("just pushed");
+                    t.text.insert(0, 'b');
+                    t.kind = TokKind::Char;
+                }
+                return;
+            }
+            // Raw identifier r#match: consume the hash and fall through.
+            if c == 'r'
+                && hashes == 1
+                && matches!(self.peek(2), Some(x) if x == '_' || x.is_alphabetic())
+            {
+                self.bump(); // r
+                self.bump(); // #
+            }
+        }
+        let (start, line) = (self.i.min(self.cs.len()), self.line);
+        // For raw idents the prefix was already consumed; rebuild text
+        // from the remaining ident chars (prefix omitted on purpose: the
+        // lint pass should see `r#match` as `match`-the-ident, never as
+        // the keyword — close enough either way).
+        while let Some(ch) = self.peek(0) {
+            if ch == '_' || ch.is_alphanumeric() {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Ident, start, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn plain_tokens_and_lines() {
+        let toks = lex("fn main() {\n    let x = 1;\n}\n");
+        let idents: Vec<(&str, u32)> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| (t.text.as_str(), t.line))
+            .collect();
+        assert_eq!(idents, vec![("fn", 1), ("main", 1), ("let", 2), ("x", 2)]);
+    }
+
+    #[test]
+    fn raw_string_swallows_quotes_and_comment_markers() {
+        let toks = kinds(r####"let s = r#"quote " and // and /*"# ; next"####);
+        let strs: Vec<&String> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Str)
+            .map(|(_, t)| t)
+            .collect();
+        assert_eq!(strs.len(), 1);
+        assert!(strs[0].starts_with("r#\"") && strs[0].ends_with("\"#"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "next"));
+        assert!(!toks.iter().any(|(k, _)| *k == TokKind::LineComment));
+    }
+
+    #[test]
+    fn nested_block_comment_is_one_token() {
+        let toks = kinds("/* a /* b */ c */ fn");
+        assert_eq!(toks[0].0, TokKind::BlockComment);
+        assert_eq!(toks[0].1, "/* a /* b */ c */");
+        assert_eq!(toks[1], (TokKind::Ident, "fn".to_string()));
+    }
+
+    #[test]
+    fn lifetime_vs_char_literal() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; loop {} }");
+        let lifetimes: Vec<&String> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Lifetime)
+            .map(|(_, t)| t)
+            .collect();
+        assert_eq!(lifetimes, vec!["'a", "'a"]);
+        let chars: Vec<&String> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Char)
+            .map(|(_, t)| t)
+            .collect();
+        assert_eq!(chars, vec!["'x'", "'\\n'"]);
+    }
+
+    #[test]
+    fn byte_and_c_strings() {
+        let toks = kinds(r##"let a = b"bytes"; let b2 = br#"raw"#; let c = c"cstr"; b'\n'"##);
+        let strs: Vec<&String> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Str)
+            .map(|(_, t)| t)
+            .collect();
+        assert_eq!(strs.len(), 3, "strings found: {strs:?}");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Char && t == "b'\\n'"));
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges() {
+        let toks = kinds("for i in 0..10 { let x = 1.5e-3; }");
+        let nums: Vec<&String> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Num)
+            .map(|(_, t)| t)
+            .collect();
+        assert_eq!(nums, vec!["0", "10", "1.5e-3"]);
+    }
+
+    #[test]
+    fn unterminated_string_does_not_hang() {
+        let toks = kinds("let s = \"runs to eof");
+        assert_eq!(toks.last().unwrap().0, TokKind::Str);
+    }
+
+    #[test]
+    fn raw_identifier() {
+        let toks = kinds("let r#match = 1;");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "match"));
+    }
+}

@@ -1,0 +1,50 @@
+//! gced-analyze: determinism & unsafe-hygiene static analysis for the
+//! gced workspace.
+//!
+//! The repo's value proposition is bit-exactness — served == offline
+//! bytes, N-shard == 1-shard merges, blocked kernels == scalar oracle
+//! bitwise. The hazards that silently break those pins (hash iteration
+//! order reaching rendered output, float accumulation outside the
+//! fixed-tree kernels, wall-clock reads in result paths, uncommented
+//! `unsafe`) are what this crate scans for, as a token-level pass over
+//! the source tree. See [`policy::LINTS`] for the catalog and the
+//! README "Static analysis & sanitizers" section for the user guide.
+//!
+//! Zero dependencies by construction: the analyzer must never be broken
+//! by — or bias — the code it audits, and it holds itself to its own
+//! rules (BTreeMap/Vec only, no clocks, sorted walks).
+
+pub mod lexer;
+pub mod lints;
+pub mod policy;
+pub mod report;
+pub mod walk;
+
+use std::path::Path;
+
+pub use report::{Finding, Report};
+
+/// Scan every `.rs` file under `root` and return the combined report.
+/// Findings are sorted by (file, line, lint); the walk itself is
+/// sorted, so the report is deterministic.
+pub fn analyze(root: &Path) -> Result<Report, String> {
+    let files = walk::rust_files(root)?;
+    let mut findings = Vec::new();
+    let mut suppressions_used = 0usize;
+    let files_scanned = files.len();
+    for (rel, abs) in files {
+        let src = std::fs::read_to_string(&abs)
+            .map_err(|e| format!("analyze: cannot read {}: {e}", abs.display()))?;
+        let outcome = lints::check_file(&rel, &src);
+        findings.extend(outcome.findings);
+        suppressions_used += outcome.suppressions_used;
+    }
+    // Per-file results are already (line, lint)-sorted; the walk is
+    // path-sorted, so a stable sort by file yields (file, line, lint).
+    findings.sort_by(|a, b| (&a.file, a.line, a.lint).cmp(&(&b.file, b.line, b.lint)));
+    Ok(Report {
+        findings,
+        files_scanned,
+        suppressions_used,
+    })
+}

@@ -1,0 +1,828 @@
+//! The lint pass: token-level checks encoding the workspace invariants.
+//!
+//! Every check works on the token stream from [`crate::lexer`] — no
+//! type information, by design. Where a check cannot be precise at the
+//! token level (is this `+=` a float?), it is *scoped* by
+//! [`crate::policy`] to the modules where the hazard is real, and the
+//! escape hatch is an inline suppression:
+//!
+//! ```text
+//! // gced-allow(DET002): elementwise add, one rounding per element
+//! ```
+//!
+//! A suppression must name a catalog lint, give a reason, and sit on
+//! the finding's line or the line above. Suppressions that suppress
+//! nothing are findings themselves (SUPP001), so stale allows cannot
+//! accumulate; malformed ones are SUPP002. The DET lints skip test
+//! code (test-path files and `#[cfg(test)]` modules); the SAFE lints
+//! apply everywhere.
+
+use crate::lexer::{lex, Tok, TokKind};
+use crate::policy;
+use crate::report::Finding;
+
+/// Result of checking one file.
+pub struct FileOutcome {
+    pub findings: Vec<Finding>,
+    pub suppressions_used: usize,
+}
+
+/// Run every lint over one file. `path` must be workspace-relative with
+/// `/` separators — the path policies key on it.
+pub fn check_file(path: &str, src: &str) -> FileOutcome {
+    let toks = lex(src);
+    let code: Vec<usize> = (0..toks.len()).filter(|&i| !toks[i].is_comment()).collect();
+    let ctx = Ctx {
+        path,
+        toks: &toks,
+        code: &code,
+        test_file: policy::is_test_path(path),
+        test_ranges: cfg_test_line_ranges(&toks, &code),
+    };
+
+    let mut raw: Vec<Finding> = Vec::new();
+    det001(&ctx, &mut raw);
+    det002(&ctx, &mut raw);
+    det003(&ctx, &mut raw);
+    det004(&ctx, &mut raw);
+    safe001(&ctx, &mut raw);
+    safe002(&ctx, &mut raw);
+
+    // Apply inline suppressions, then report the stale/malformed ones.
+    let (mut suppressions, mut findings) = parse_suppressions(path, &toks);
+    let mut used = 0usize;
+    'f: for f in raw {
+        for s in suppressions.iter_mut() {
+            if s.id == f.lint && (s.line == f.line || s.line + 1 == f.line) {
+                s.used = true;
+                used += 1;
+                continue 'f;
+            }
+        }
+        findings.push(f);
+    }
+    for s in &suppressions {
+        if !s.used {
+            findings.push(Finding::new(
+                "SUPP001",
+                path,
+                s.line,
+                format!(
+                    "unused suppression: no {} finding on this or the next line — \
+                     remove the stale `gced-allow`",
+                    s.id
+                ),
+            ));
+        }
+    }
+    findings.sort_by(|a, b| (a.line, a.lint).cmp(&(b.line, b.lint)));
+    FileOutcome {
+        findings,
+        suppressions_used: used,
+    }
+}
+
+struct Ctx<'a> {
+    path: &'a str,
+    toks: &'a [Tok],
+    /// Indices into `toks` of the non-comment tokens.
+    code: &'a [usize],
+    test_file: bool,
+    /// Line ranges of `#[cfg(test)] mod … { … }` bodies.
+    test_ranges: Vec<(u32, u32)>,
+}
+
+impl Ctx<'_> {
+    fn tok(&self, ci: usize) -> &Tok {
+        &self.toks[self.code[ci]]
+    }
+
+    fn text(&self, ci: usize) -> &str {
+        &self.tok(ci).text
+    }
+
+    fn is(&self, ci: usize, text: &str) -> bool {
+        ci < self.code.len() && self.text(ci) == text
+    }
+
+    fn is_ident(&self, ci: usize) -> bool {
+        ci < self.code.len() && self.tok(ci).kind == TokKind::Ident
+    }
+
+    /// DET lints don't apply to test code.
+    fn in_test_code(&self, line: u32) -> bool {
+        self.test_file
+            || self
+                .test_ranges
+                .iter()
+                .any(|&(s, e)| s <= line && line <= e)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions
+// ---------------------------------------------------------------------------
+
+struct Suppression {
+    line: u32,
+    id: String,
+    used: bool,
+}
+
+/// Doc comments are documentation, not instructions: a lint example in
+/// a `///` block must not register as a live suppression.
+fn is_doc_comment(text: &str) -> bool {
+    text.starts_with("///")
+        || text.starts_with("//!")
+        || text.starts_with("/**")
+        || text.starts_with("/*!")
+}
+
+/// Extract `gced-allow(ID): reason` markers from plain comments.
+/// Malformed markers (unknown lint, missing reason) become SUPP002
+/// findings.
+fn parse_suppressions(path: &str, toks: &[Tok]) -> (Vec<Suppression>, Vec<Finding>) {
+    let mut sups = Vec::new();
+    let mut findings = Vec::new();
+    for t in toks
+        .iter()
+        .filter(|t| t.is_comment() && !is_doc_comment(&t.text))
+    {
+        let mut rest = t.text.as_str();
+        while let Some(at) = rest.find("gced-allow(") {
+            rest = &rest[at + "gced-allow(".len()..];
+            let Some(close) = rest.find(')') else {
+                findings.push(Finding::new(
+                    "SUPP002",
+                    path,
+                    t.line,
+                    "malformed suppression: missing `)` after gced-allow(".to_string(),
+                ));
+                break;
+            };
+            let id = rest[..close].trim().to_string();
+            let after = &rest[close + 1..];
+            let reason_ok = after
+                .trim_start()
+                .strip_prefix(':')
+                .is_some_and(|r| !r.trim().is_empty());
+            if !policy::known_lint(&id) {
+                findings.push(Finding::new(
+                    "SUPP002",
+                    path,
+                    t.line,
+                    format!("suppression names unknown lint {id:?}"),
+                ));
+            } else if !reason_ok {
+                findings.push(Finding::new(
+                    "SUPP002",
+                    path,
+                    t.line,
+                    format!("suppression of {id} has no reason — write `// gced-allow({id}): why this is sound`"),
+                ));
+            } else {
+                sups.push(Suppression {
+                    line: t.line,
+                    id,
+                    used: false,
+                });
+            }
+            rest = after;
+        }
+    }
+    (sups, findings)
+}
+
+// ---------------------------------------------------------------------------
+// #[cfg(test)] region detection
+// ---------------------------------------------------------------------------
+
+/// Line ranges covered by `#[cfg(test)] mod … { … }` bodies.
+fn cfg_test_line_ranges(toks: &[Tok], code: &[usize]) -> Vec<(u32, u32)> {
+    let text = |ci: usize| toks[code[ci]].text.as_str();
+    let mut out = Vec::new();
+    let mut ci = 0;
+    while ci + 4 < code.len() {
+        // `#` `[` `cfg` `(` … `test` … `)` `]`
+        if text(ci) == "#" && text(ci + 1) == "[" && text(ci + 2) == "cfg" {
+            let Some(attr_end) = matching(toks, code, ci + 1, "[", "]") else {
+                break;
+            };
+            let has_test = (ci + 3..attr_end).any(|k| text(k) == "test");
+            let mut j = attr_end + 1;
+            // Skip any further attributes between the cfg and the item.
+            while j + 1 < code.len() && text(j) == "#" && text(j + 1) == "[" {
+                match matching(toks, code, j + 1, "[", "]") {
+                    Some(e) => j = e + 1,
+                    None => break,
+                }
+            }
+            let is_mod = (j..code.len().min(j + 3)).any(|k| text(k) == "mod");
+            if has_test && is_mod {
+                // Find the body brace (a `mod name;` has none).
+                let mut b = j;
+                while b < code.len() && text(b) != "{" && text(b) != ";" {
+                    b += 1;
+                }
+                if b < code.len() && text(b) == "{" {
+                    if let Some(close) = matching(toks, code, b, "{", "}") {
+                        out.push((toks[code[ci]].line, toks[code[close]].line));
+                        ci = close + 1;
+                        continue;
+                    }
+                }
+            }
+            ci = attr_end + 1;
+            continue;
+        }
+        ci += 1;
+    }
+    out
+}
+
+/// Index of the token matching the opener at `open_ci` (depth-counted).
+fn matching(
+    toks: &[Tok],
+    code: &[usize],
+    open_ci: usize,
+    open: &str,
+    close: &str,
+) -> Option<usize> {
+    let text = |ci: usize| toks[code[ci]].text.as_str();
+    let mut depth = 0usize;
+    for ci in open_ci..code.len() {
+        if text(ci) == open {
+            depth += 1;
+        } else if text(ci) == close {
+            depth -= 1;
+            if depth == 0 {
+                return Some(ci);
+            }
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// DET001 — map iteration on output paths
+// ---------------------------------------------------------------------------
+
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "drain",
+];
+
+fn det001(ctx: &Ctx, out: &mut Vec<Finding>) {
+    if !policy::det001_in_scope(ctx.path) {
+        return;
+    }
+    let names = map_binding_names(ctx);
+    if names.is_empty() {
+        return;
+    }
+    let mut candidates: Vec<(usize, String)> = Vec::new();
+    for ci in 0..ctx.code.len() {
+        // `NAME.iter()` / `self.NAME.keys()` …
+        if ctx.is_ident(ci)
+            && ITER_METHODS.contains(&ctx.text(ci))
+            && ci >= 2
+            && ctx.is(ci.wrapping_sub(1), ".")
+            && ctx.is(ci + 1, "(")
+        {
+            let recv = ci - 2;
+            if ctx.is_ident(recv) && names.contains(&ctx.text(recv).to_string()) {
+                // Only bare `NAME` and `self.NAME` are the file's map
+                // binding; `other.NAME` is some other struct's field
+                // (e.g. the sorted Vec twin in a parts struct).
+                let field_of_other =
+                    recv >= 2 && ctx.is(recv - 1, ".") && !ctx.is(recv - 2, "self");
+                if !field_of_other {
+                    candidates.push((ci, format!("{}.{}()", ctx.text(recv), ctx.text(ci))));
+                }
+            }
+        }
+        // `for x in &NAME {` / `for (k, v) in NAME {`
+        if ctx.is(ci, "in") {
+            let mut j = ci + 1;
+            while ctx.is(j, "&") || ctx.is(j, "mut") {
+                j += 1;
+            }
+            if ctx.is(j, "self") && ctx.is(j + 1, ".") {
+                j += 2;
+            }
+            if ctx.is_ident(j) && names.contains(&ctx.text(j).to_string()) && ctx.is(j + 1, "{") {
+                candidates.push((j, format!("for … in {}", ctx.text(j))));
+            }
+        }
+    }
+    for (ci, what) in candidates {
+        let line = ctx.tok(ci).line;
+        if ctx.in_test_code(line) || sorted_nearby(ctx, ci) {
+            continue;
+        }
+        out.push(Finding::new(
+            "DET001",
+            ctx.path,
+            line,
+            format!(
+                "`{what}` iterates a HashMap/HashSet on an output/serialization path; \
+                 hash order would reach rendered bytes — sort first (collect + sort, \
+                 or collect into a BTreeMap/BTreeSet)"
+            ),
+        ));
+    }
+}
+
+/// Idents bound to a `HashMap`/`HashSet` anywhere in the file: `let m =
+/// HashMap::new()`, annotations `m: HashMap<…>`, fn params, struct
+/// fields. Flow-insensitive and file-local, which is exactly as sharp
+/// as a token-level pass can be — and sharp enough for these modules.
+fn map_binding_names(ctx: &Ctx) -> Vec<String> {
+    let mut names: Vec<String> = Vec::new();
+    for ci in 0..ctx.code.len() {
+        if !(ctx.is(ci, "HashMap") || ctx.is(ci, "HashSet")) {
+            continue;
+        }
+        // Walk back over `std :: collections ::`, `&`, `mut`, and the
+        // annotation colon to the bound name.
+        let mut k = ci;
+        while k > 0 {
+            k -= 1;
+            let t = ctx.text(k);
+            if t == ":" || t == "&" || t == "mut" || t == "std" || t == "collections" {
+                continue;
+            }
+            if ctx.is_ident(k) && t != "let" && t != "in" {
+                names.push(t.to_string());
+            } else if t == "=" && k > 0 && ctx.is_ident(k - 1) {
+                // `NAME = HashMap::new()`
+                names.push(ctx.text(k - 1).to_string());
+            }
+            break;
+        }
+    }
+    names.sort();
+    names.dedup();
+    names
+}
+
+/// True if the iteration feeds an ordering within the same or the next
+/// statement: a `sort*` call or a collect into a `BTreeMap`/`BTreeSet`.
+fn sorted_nearby(ctx: &Ctx, ci: usize) -> bool {
+    let mut semis = 0;
+    for j in ci..ctx.code.len().min(ci + 120) {
+        let t = ctx.text(j);
+        if t == ";" {
+            semis += 1;
+            if semis == 2 {
+                return false;
+            }
+        } else if ctx.is_ident(j) && (t.starts_with("sort") || t == "BTreeMap" || t == "BTreeSet") {
+            return true;
+        }
+    }
+    false
+}
+
+// ---------------------------------------------------------------------------
+// DET002 — float accumulation outside the kernels
+// ---------------------------------------------------------------------------
+
+fn det002(ctx: &Ctx, out: &mut Vec<Finding>) {
+    if !policy::det002_in_scope(ctx.path) {
+        return;
+    }
+    for ci in 0..ctx.code.len() {
+        let line = ctx.tok(ci).line;
+        if ctx.in_test_code(line) {
+            continue;
+        }
+        if ctx.is(ci, "+") && ctx.is(ci + 1, "=") {
+            out.push(Finding::new(
+                "DET002",
+                ctx.path,
+                line,
+                "raw `+=` accumulation in gced-nn outside kernels.rs/reference.rs: \
+                 float reductions must route through the fixed 8-lane tree \
+                 (gced_nn::kernels) or the scalar oracle, or justify why the order \
+                 is pinned"
+                    .to_string(),
+            ));
+        }
+        if ctx.is_ident(ci)
+            && ctx.text(ci) == "sum"
+            && ci >= 1
+            && ctx.is(ci - 1, ".")
+            && ctx.is(ci + 1, "(")
+        {
+            out.push(Finding::new(
+                "DET002",
+                ctx.path,
+                line,
+                "iterator `.sum()` in gced-nn outside kernels.rs/reference.rs: \
+                 route the reduction through gced_nn::kernels (e.g. kernels::dot) \
+                 so the association order is the canonical 8-lane tree"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// DET003 — wall-clock reads outside timing modules
+// ---------------------------------------------------------------------------
+
+fn det003(ctx: &Ctx, out: &mut Vec<Finding>) {
+    if policy::det003_allowed(ctx.path) {
+        return;
+    }
+    for ci in 0..ctx.code.len() {
+        let line = ctx.tok(ci).line;
+        if ctx.in_test_code(line) {
+            continue;
+        }
+        if ctx.is(ci, "SystemTime") {
+            out.push(Finding::new(
+                "DET003",
+                ctx.path,
+                line,
+                "`SystemTime` outside the allowlisted timing modules: result paths \
+                 must be replayable — derive timestamps from inputs, or move the \
+                 read into a timing module"
+                    .to_string(),
+            ));
+        }
+        if ctx.is(ci, "Instant")
+            && ctx.is(ci + 1, ":")
+            && ctx.is(ci + 2, ":")
+            && ctx.is(ci + 3, "now")
+        {
+            out.push(Finding::new(
+                "DET003",
+                ctx.path,
+                line,
+                "`Instant::now()` outside the allowlisted timing modules \
+                 (serve::batch, serve::http, compat/criterion, gced-bench): a \
+                 wall-clock read in a result path breaks replay"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// DET004 — ambient nondeterminism off the seeded-rng path
+// ---------------------------------------------------------------------------
+
+fn det004(ctx: &Ctx, out: &mut Vec<Finding>) {
+    if policy::det004_allowed(ctx.path) {
+        return;
+    }
+    for ci in 0..ctx.code.len() {
+        let line = ctx.tok(ci).line;
+        if ctx.in_test_code(line) {
+            continue;
+        }
+        let t = if ctx.is_ident(ci) { ctx.text(ci) } else { "" };
+        if t == "thread_rng" || t == "from_entropy" || t == "RandomState" {
+            out.push(Finding::new(
+                "DET004",
+                ctx.path,
+                line,
+                format!(
+                    "`{t}` is ambient nondeterminism: every rng in non-test code must \
+                     be seeded from the experiment config (splitmix of the run seed)"
+                ),
+            ));
+        }
+        if t == "thread" && ctx.is(ci + 1, ":") && ctx.is(ci + 2, ":") && ctx.is(ci + 3, "current")
+        {
+            out.push(Finding::new(
+                "DET004",
+                ctx.path,
+                line,
+                "`thread::current()` identity in non-test code: scheduling-dependent \
+                 values must never influence results"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SAFE001 — SAFETY comments on unsafe
+// ---------------------------------------------------------------------------
+
+fn safe001(ctx: &Ctx, out: &mut Vec<Finding>) {
+    for (pos, ci) in ctx.code.iter().enumerate() {
+        let t = &ctx.toks[*ci];
+        if !(t.kind == TokKind::Ident && t.text == "unsafe") {
+            continue;
+        }
+        // Walk the FULL stream backward from this token to the previous
+        // statement/block boundary, collecting comments on the way.
+        // Attributes, visibility, `let x =`, `return` etc. are skipped;
+        // `;`, `{`, `}` end the search.
+        let mut documented = false;
+        let start = ctx.code[pos];
+        let lower = start.saturating_sub(300);
+        for k in (lower..start).rev() {
+            let p = &ctx.toks[k];
+            if p.is_comment() {
+                if p.text.contains("SAFETY") || p.text.contains("# Safety") {
+                    documented = true;
+                    break;
+                }
+            } else if matches!(p.text.as_str(), ";" | "{" | "}") {
+                break;
+            }
+        }
+        if !documented {
+            out.push(Finding::new(
+                "SAFE001",
+                ctx.path,
+                t.line,
+                "`unsafe` without a preceding SAFETY comment: state the invariant \
+                 that makes this sound (`// SAFETY: …` or a `# Safety` doc section)"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SAFE002 — intrinsics only under #[target_feature]
+// ---------------------------------------------------------------------------
+
+fn safe002(ctx: &Ctx, out: &mut Vec<Finding>) {
+    // Allowed regions: from each #[target_feature(…)] attribute through
+    // the end of the following function body (signature included).
+    let mut regions: Vec<(usize, usize)> = Vec::new();
+    let mut ci = 0;
+    while ci + 2 < ctx.code.len() {
+        if ctx.is(ci, "#") && ctx.is(ci + 1, "[") && ctx.is(ci + 2, "target_feature") {
+            if let Some(attr_end) = matching(ctx.toks, ctx.code, ci + 1, "[", "]") {
+                let mut b = attr_end + 1;
+                // Walk to the fn body `{`. A `;` ends the scan (bodyless
+                // declaration) only at bracket depth 0 — signatures like
+                // `-> [f32; 4]` contain semicolons inside brackets.
+                let mut depth = 0i32;
+                while b < ctx.code.len() && !ctx.is(b, "{") {
+                    if ctx.is(b, "[") {
+                        depth += 1;
+                    } else if ctx.is(b, "]") {
+                        depth -= 1;
+                    } else if ctx.is(b, ";") && depth == 0 {
+                        break;
+                    }
+                    b += 1;
+                }
+                if b < ctx.code.len() && ctx.is(b, "{") {
+                    if let Some(close) = matching(ctx.toks, ctx.code, b, "{", "}") {
+                        regions.push((ci, close));
+                        ci = close + 1;
+                        continue;
+                    }
+                }
+                ci = attr_end + 1;
+                continue;
+            }
+        }
+        ci += 1;
+    }
+    for pos in 0..ctx.code.len() {
+        if !ctx.is_ident(pos) {
+            continue;
+        }
+        let t = ctx.text(pos);
+        if !(t.starts_with("_mm") || t.starts_with("__m")) {
+            continue;
+        }
+        if regions.iter().any(|&(s, e)| s <= pos && pos <= e) {
+            continue;
+        }
+        out.push(Finding::new(
+            "SAFE002",
+            ctx.path,
+            ctx.tok(pos).line,
+            format!(
+                "SIMD intrinsic/type `{t}` outside a #[target_feature] function: \
+                 dispatch must go through a feature-checked wrapper so the portable \
+                 path stays bit-identical"
+            ),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(path: &str, src: &str) -> Vec<Finding> {
+        check_file(path, src).findings
+    }
+
+    fn lints(path: &str, src: &str) -> Vec<&'static str> {
+        check(path, src).into_iter().map(|f| f.lint).collect()
+    }
+
+    #[test]
+    fn cfg_test_regions_cover_mod_bodies() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() {}\n}\nfn c() {}\n";
+        let toks = lex(src);
+        let code: Vec<usize> = (0..toks.len()).filter(|&i| !toks[i].is_comment()).collect();
+        let r = cfg_test_line_ranges(&toks, &code);
+        assert_eq!(r, vec![(2, 5)]);
+    }
+
+    #[test]
+    fn suppression_must_have_reason_and_known_id() {
+        let src = "// gced-allow(DET003): waiting on startup is not a result path\n\
+                   // gced-allow(NOPE): x\n\
+                   // gced-allow(DET001)\n\
+                   fn f() { let _ = 1; }\n";
+        let found = lints("crates/core/src/lib.rs", src);
+        // The well-formed DET003 allow (line 1) suppresses nothing ->
+        // SUPP001; the other two are malformed -> SUPP002.
+        assert_eq!(found, vec!["SUPP001", "SUPP002", "SUPP002"]);
+    }
+
+    #[test]
+    fn doc_comment_examples_are_not_suppressions() {
+        let src = "/// Suppress with `// gced-allow(DET003): reason`.\nfn f() {}\n";
+        assert!(lints("crates/core/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn det001_fires_and_clears() {
+        let fire = "use std::collections::HashMap;\n\
+                    fn render(m: &HashMap<String, u64>) -> String {\n\
+                        let mut out = String::new();\n\
+                        for (k, v) in m.iter() {\n\
+                            out.push_str(k);\n\
+                        }\n\
+                        out\n\
+                    }\n";
+        assert_eq!(lints("crates/serve/src/wire.rs", fire), vec!["DET001"]);
+        // Same content outside the output-path scope: silent.
+        assert!(lints("crates/serve/src/batch.rs", fire).is_empty());
+        let sorted = "use std::collections::HashMap;\n\
+                      fn render(m: &HashMap<String, u64>) -> String {\n\
+                          let mut kv: Vec<_> = m.iter().collect();\n\
+                          kv.sort();\n\
+                          String::new()\n\
+                      }\n";
+        assert!(lints("crates/serve/src/wire.rs", sorted).is_empty());
+    }
+
+    #[test]
+    fn det001_same_named_field_of_another_struct_is_not_the_map() {
+        // `parts.c3` is the sorted-Vec twin of the HashMap field `c3`;
+        // only bare `c3` / `self.c3` refer to the map.
+        let src = "use std::collections::HashMap;\n\
+                   struct Lm { c3: HashMap<u64, u64> }\n\
+                   fn rebuild(parts: Parts) -> Lm {\n\
+                       Lm { c3: parts.c3.into_iter().collect() }\n\
+                   }\n";
+        assert!(lints("crates/lm/src/lib.rs", src).is_empty());
+        let fires = "use std::collections::HashMap;\n\
+                     struct Lm { c3: HashMap<u64, u64> }\n\
+                     impl Lm {\n\
+                         fn dump(&self) -> Vec<u64> {\n\
+                             self.c3.keys().copied().collect()\n\
+                         }\n\
+                     }\n";
+        assert_eq!(lints("crates/lm/src/lib.rs", fires), vec!["DET001"]);
+    }
+
+    #[test]
+    fn det002_scoped_to_nn_outside_kernels() {
+        let src = "fn acc(xs: &[f32]) -> f32 {\n    let mut s = 0.0;\n    for x in xs { s += x; }\n    s\n}\n";
+        assert_eq!(lints("crates/nn/src/attention.rs", src), vec!["DET002"]);
+        assert!(lints("crates/nn/src/kernels.rs", src).is_empty());
+        assert!(lints("crates/nn/src/reference.rs", src).is_empty());
+        assert!(lints("crates/core/src/ase.rs", src).is_empty());
+        let sum = "fn s(xs: &[f32]) -> f32 { xs.iter().sum() }\n";
+        assert_eq!(lints("crates/nn/src/embedding.rs", sum), vec!["DET002"]);
+    }
+
+    #[test]
+    fn det003_wall_clock() {
+        let src = "fn t() { let _ = std::time::Instant::now(); }\n";
+        assert_eq!(lints("crates/core/src/lib.rs", src), vec!["DET003"]);
+        assert!(lints("crates/serve/src/batch.rs", src).is_empty());
+        // Importing Instant for types is fine; only ::now() fires.
+        assert!(lints("crates/core/src/lib.rs", "use std::time::Instant;\n").is_empty());
+        assert_eq!(
+            lints(
+                "crates/core/src/lib.rs",
+                "fn t() -> std::time::SystemTime { std::time::SystemTime::now() }\n"
+            ),
+            vec!["DET003", "DET003"]
+        );
+    }
+
+    #[test]
+    fn det004_ambient_nondeterminism() {
+        assert_eq!(
+            lints(
+                "crates/qa/src/model.rs",
+                "fn r() { let _ = rand::thread_rng(); }\n"
+            ),
+            vec!["DET004"]
+        );
+        assert_eq!(
+            lints(
+                "crates/par/src/pool.rs",
+                "fn t() { let _ = std::thread::current().id(); }\n"
+            ),
+            vec!["DET004"]
+        );
+        assert!(lints(
+            "crates/compat/rand/src/lib.rs",
+            "fn r() { thread_rng(); }\n"
+        )
+        .is_empty());
+        // thread::sleep and friends stay fine.
+        assert!(lints(
+            "crates/par/src/pool.rs",
+            "fn t() { std::thread::sleep(d); }\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn det_lints_skip_test_code() {
+        let src =
+            "#[cfg(test)]\nmod tests {\n    fn t() { let _ = std::time::Instant::now(); }\n}\n";
+        assert!(lints("crates/core/src/lib.rs", src).is_empty());
+        assert!(lints(
+            "crates/nn/tests/parity.rs",
+            "fn s(xs: &[f32]) -> f32 { let mut a = 0.0; a += xs[0]; a }\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn safe001_requires_safety_comment() {
+        let bare = "fn f() { let _ = unsafe { g() }; }\n";
+        assert_eq!(lints("crates/par/src/pool.rs", bare), vec!["SAFE001"]);
+        let ok = "fn f() {\n    // SAFETY: g has no preconditions here.\n    let _ = unsafe { g() };\n}\n";
+        assert!(lints("crates/par/src/pool.rs", ok).is_empty());
+        let doc = "/// # Safety\n///\n/// Caller must check the feature.\nunsafe fn g() {}\n";
+        assert!(lints("crates/par/src/pool.rs", doc).is_empty());
+        // `unsafe` inside strings and comments never fires.
+        let quoted = "fn f() { let s = \"unsafe\"; /* unsafe */ }\n";
+        assert!(lints("crates/par/src/pool.rs", quoted).is_empty());
+        // unsafe impls need the comment too.
+        assert_eq!(
+            lints("crates/par/src/pool.rs", "unsafe impl Send for T {}\n"),
+            vec!["SAFE001"]
+        );
+    }
+
+    #[test]
+    fn safe002_requires_target_feature() {
+        let bare = "fn f() { let z = _mm256_setzero_ps(); }\n";
+        assert_eq!(lints("crates/nn/src/kernels.rs", bare), vec!["SAFE002"]);
+        let ok = "/// # Safety\n/// Caller checked avx2.\n\
+                  #[target_feature(enable = \"avx2\")]\n\
+                  unsafe fn f(x: __m256) -> __m256 { _mm256_add_ps(x, x) }\n";
+        assert!(lints("crates/nn/src/kernels.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn safe002_region_survives_array_types_in_signature() {
+        // `-> [f32; 4]` has a `;` inside the signature: the region scan
+        // must not mistake it for a bodyless declaration.
+        let src = "/// # Safety\n/// Caller checked avx2.\n\
+                   #[target_feature(enable = \"avx2,fma\")]\n\
+                   unsafe fn d(rows: [&[f32]; 4]) -> [f32; 4] {\n\
+                       let z = _mm256_setzero_ps();\n\
+                       [0.0; 4]\n\
+                   }\n";
+        assert!(lints("crates/nn/src/kernels.rs", src).is_empty());
+    }
+
+    #[test]
+    fn suppressions_apply_same_line_or_line_above() {
+        let above = "fn t() {\n    // gced-allow(DET003): startup wait, not a result path\n    let _ = std::time::Instant::now();\n}\n";
+        let outcome = check_file("crates/core/src/lib.rs", above);
+        assert!(outcome.findings.is_empty());
+        assert_eq!(outcome.suppressions_used, 1);
+        let same =
+            "fn t() { let _ = std::time::Instant::now(); } // gced-allow(DET003): startup wait\n";
+        assert!(lints("crates/core/src/lib.rs", same).is_empty());
+        // A suppression for the wrong lint does not apply — the finding
+        // stays AND the allow is reported unused.
+        let wrong = "fn t() {\n    // gced-allow(DET004): wrong id\n    let _ = std::time::Instant::now();\n}\n";
+        let mut ids = lints("crates/core/src/lib.rs", wrong);
+        ids.sort();
+        assert_eq!(ids, vec!["DET003", "SUPP001"]);
+    }
+}

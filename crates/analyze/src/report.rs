@@ -1,0 +1,171 @@
+//! Findings and report rendering (human text + machine JSON).
+//!
+//! The JSON encoder is hand-rolled (the analyzer is zero-dependency)
+//! and emits keys in a fixed order with sorted findings, so a report is
+//! itself a deterministic artifact — two runs over the same tree are
+//! byte-identical.
+
+/// One lint hit, pinned to a file:line span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    pub lint: &'static str,
+    pub file: String,
+    pub line: u32,
+    pub message: String,
+}
+
+impl Finding {
+    pub fn new(lint: &'static str, file: &str, line: u32, message: String) -> Self {
+        Finding {
+            lint,
+            file: file.to_string(),
+            line,
+            message,
+        }
+    }
+}
+
+/// The whole-tree result of an analyze run.
+pub struct Report {
+    /// Sorted by (file, line, lint).
+    pub findings: Vec<Finding>,
+    pub files_scanned: usize,
+    pub suppressions_used: usize,
+}
+
+impl Report {
+    /// True when the tree is clean: no findings at all. Unused
+    /// suppressions are themselves findings (SUPP001), so "clean"
+    /// already implies zero stale allows.
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Human-readable report, one finding per line plus a summary.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&format!(
+                "{}:{}: [{}] {}\n",
+                f.file, f.line, f.lint, f.message
+            ));
+        }
+        out.push_str(&format!(
+            "{}: {} finding{} across {} file{} ({} suppression{} honored)\n",
+            if self.clean() { "clean" } else { "FAIL" },
+            self.findings.len(),
+            plural(self.findings.len()),
+            self.files_scanned,
+            plural(self.files_scanned),
+            self.suppressions_used,
+            plural(self.suppressions_used),
+        ));
+        out
+    }
+
+    /// Machine-readable report. Schema:
+    /// `{"clean":bool,"files_scanned":n,"suppressions_used":n,
+    ///   "findings":[{"lint":"…","file":"…","line":n,"message":"…"}]}`
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!(
+            "\"clean\":{},\"files_scanned\":{},\"suppressions_used\":{},\"findings\":[",
+            self.clean(),
+            self.files_scanned,
+            self.suppressions_used
+        ));
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"lint\":{},\"file\":{},\"line\":{},\"message\":{}}}",
+                json_str(f.lint),
+                json_str(&f.file),
+                f.line,
+                json_str(&f.message)
+            ));
+        }
+        out.push_str("]}\n");
+        out
+    }
+}
+
+fn plural(n: usize) -> &'static str {
+    if n == 1 {
+        ""
+    } else {
+        "s"
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslash, control chars).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        Report {
+            findings: vec![Finding::new(
+                "DET001",
+                "crates/serve/src/wire.rs",
+                7,
+                "say \"why\"\nnewline".to_string(),
+            )],
+            files_scanned: 3,
+            suppressions_used: 2,
+        }
+    }
+
+    #[test]
+    fn text_report_lists_findings_and_summary() {
+        let r = sample();
+        let text = r.render_text();
+        assert!(text.contains("crates/serve/src/wire.rs:7: [DET001]"));
+        assert!(text.contains("FAIL: 1 finding across 3 files (2 suppressions honored)"));
+        let clean = Report {
+            findings: vec![],
+            files_scanned: 1,
+            suppressions_used: 0,
+        };
+        assert!(clean.clean());
+        assert!(clean.render_text().starts_with("clean: 0 findings"));
+    }
+
+    #[test]
+    fn json_report_escapes_and_is_stable() {
+        let j = sample().render_json();
+        assert_eq!(
+            j,
+            "{\"clean\":false,\"files_scanned\":3,\"suppressions_used\":2,\
+             \"findings\":[{\"lint\":\"DET001\",\"file\":\"crates/serve/src/wire.rs\",\
+             \"line\":7,\"message\":\"say \\\"why\\\"\\nnewline\"}]}\n"
+        );
+        // Determinism: rendering twice is byte-identical.
+        assert_eq!(j, sample().render_json());
+    }
+
+    #[test]
+    fn json_escapes_control_chars() {
+        assert_eq!(json_str("a\u{1}b"), "\"a\\u0001b\"");
+        assert_eq!(json_str("tab\there"), "\"tab\\there\"");
+    }
+}

@@ -1,0 +1,72 @@
+//! Deterministic workspace walk: collect every `.rs` file under a root,
+//! sorted by workspace-relative path, skipping build output and VCS
+//! metadata. Sorted order means the report (and its JSON artifact) is
+//! byte-stable across filesystems and readdir orders.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Directories never scanned, at any depth.
+const SKIP_DIRS: &[&str] = &["target", ".git", ".github", "node_modules"];
+
+/// All `.rs` files under `root`, as (relative-path-with-`/`, absolute)
+/// pairs, sorted by relative path.
+pub fn rust_files(root: &Path) -> Result<Vec<(String, PathBuf)>, String> {
+    let mut out = Vec::new();
+    collect(root, root, &mut out)?;
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok(out)
+}
+
+fn collect(root: &Path, dir: &Path, out: &mut Vec<(String, PathBuf)>) -> Result<(), String> {
+    let entries =
+        fs::read_dir(dir).map_err(|e| format!("analyze: cannot read {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("analyze: readdir {}: {e}", dir.display()))?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        let ty = entry
+            .file_type()
+            .map_err(|e| format!("analyze: stat {}: {e}", path.display()))?;
+        if ty.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            collect(root, &path, out)?;
+        } else if ty.is_file() && name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .map_err(|_| format!("analyze: {} escapes root", path.display()))?
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                .collect::<Vec<_>>()
+                .join("/");
+            out.push((rel, path));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+
+    #[test]
+    fn walk_is_sorted_and_skips_target() {
+        let dir = std::env::temp_dir().join(format!("gced-analyze-walk-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(dir.join("src")).unwrap();
+        fs::create_dir_all(dir.join("target/debug")).unwrap();
+        fs::create_dir_all(dir.join("crates/a/src")).unwrap();
+        fs::write(dir.join("src/main.rs"), "fn main() {}\n").unwrap();
+        fs::write(dir.join("crates/a/src/lib.rs"), "\n").unwrap();
+        fs::write(dir.join("target/debug/gen.rs"), "junk\n").unwrap();
+        fs::write(dir.join("README.md"), "not rust\n").unwrap();
+        let files = rust_files(&dir).unwrap();
+        let rels: Vec<&str> = files.iter().map(|(r, _)| r.as_str()).collect();
+        assert_eq!(rels, vec!["crates/a/src/lib.rs", "src/main.rs"]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

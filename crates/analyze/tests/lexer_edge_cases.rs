@@ -1,0 +1,127 @@
+//! Lexer edge cases that break naive scanners — and the lint-level
+//! consequences: code-looking text inside strings/comments must never
+//! fire a lint, and comment-looking text inside strings must never
+//! register a suppression.
+
+use gced_analyze::lexer::{lex, TokKind};
+use gced_analyze::lints::check_file;
+
+fn lint_ids(path: &str, src: &str) -> Vec<&'static str> {
+    check_file(path, src)
+        .findings
+        .into_iter()
+        .map(|f| f.lint)
+        .collect()
+}
+
+#[test]
+fn raw_strings_with_hashes_swallow_everything() {
+    let src = r####"
+let a = r"no escapes \ here";
+let b = r#"one " hash"#;
+let c = r##"two "# hashes"##;
+let tail = 1;
+"####;
+    let toks = lex(src);
+    assert_eq!(
+        toks.iter().filter(|t| t.kind == TokKind::Str).count(),
+        3,
+        "three raw strings: {toks:?}"
+    );
+    // The `"# hashes"` inside the two-hash string must not close it
+    // early — `tail` is still lexed as a plain ident.
+    assert!(toks
+        .iter()
+        .any(|t| t.kind == TokKind::Ident && t.text == "tail"));
+}
+
+#[test]
+fn nested_block_comments_close_at_depth_zero() {
+    let src = "/* outer /* inner /* deepest */ */ still comment */ fn f() {}";
+    let toks = lex(src);
+    assert_eq!(toks[0].kind, TokKind::BlockComment);
+    assert!(toks[0].text.ends_with("still comment */"));
+    assert!(toks
+        .iter()
+        .any(|t| t.kind == TokKind::Ident && t.text == "fn"));
+}
+
+#[test]
+fn lifetimes_labels_and_chars_disambiguate() {
+    let src =
+        "fn f<'g>(x: &'g str) { 'outer: loop { break 'outer; } let q = '\"'; let e = '\\''; }";
+    let toks = lex(src);
+    let lifetimes: Vec<&str> = toks
+        .iter()
+        .filter(|t| t.kind == TokKind::Lifetime)
+        .map(|t| t.text.as_str())
+        .collect();
+    assert_eq!(lifetimes, vec!["'g", "'g", "'outer", "'outer"]);
+    let chars: Vec<&str> = toks
+        .iter()
+        .filter(|t| t.kind == TokKind::Char)
+        .map(|t| t.text.as_str())
+        .collect();
+    assert_eq!(chars, vec!["'\"'", "'\\''"]);
+}
+
+#[test]
+fn unsafe_inside_strings_and_comments_never_fires() {
+    let src = r##"
+// this comment mentions unsafe code but contains none
+/* block comment: unsafe { transmute } */
+fn f() {
+    let a = "unsafe { no_op() }";
+    let b = r#"unsafe fn g()"#;
+    let c = 1;
+}
+"##;
+    assert!(lint_ids("crates/par/src/pool.rs", src).is_empty());
+}
+
+#[test]
+fn lint_triggers_inside_strings_never_fire() {
+    // Every DET trigger spelled inside string literals, in the paths
+    // where the real code would fire.
+    let wire = "fn f() { let s = \"m.iter() for k in map HashMap\"; }\n";
+    assert!(lint_ids("crates/serve/src/wire.rs", wire).is_empty());
+    let nn = "fn f() -> String { \"a += b; xs.iter().sum()\".to_string() }\n";
+    assert!(lint_ids("crates/nn/src/attention.rs", nn).is_empty());
+    let clock = "const DOC: &str = \"Instant::now() and SystemTime\";\n";
+    assert!(lint_ids("crates/core/src/lib.rs", clock).is_empty());
+}
+
+#[test]
+fn suppression_text_inside_a_string_is_not_a_suppression() {
+    // The marker only counts in comments — a string carrying the same
+    // text must not suppress and must not count as unused either.
+    let src = "fn f() { let doc = \"// gced-allow(DET003): fake\"; }\n";
+    assert!(lint_ids("crates/core/src/lib.rs", src).is_empty());
+}
+
+#[test]
+fn unused_suppression_is_reported_with_its_line() {
+    let src =
+        "fn f() {\n    // gced-allow(DET002): stale — the += was removed\n    let x = 1;\n}\n";
+    let out = check_file("crates/nn/src/matrix.rs", src);
+    assert_eq!(out.findings.len(), 1);
+    assert_eq!(out.findings[0].lint, "SUPP001");
+    assert_eq!(out.findings[0].line, 2);
+    assert_eq!(out.suppressions_used, 0);
+}
+
+#[test]
+fn shebang_like_and_weird_starts_do_not_crash() {
+    for src in [
+        "",
+        "\n\n\n",
+        "\"unterminated",
+        "r#\"unterminated raw",
+        "/* unterminated comment",
+        "'a",
+        "#",
+    ] {
+        let _ = lex(src);
+        let _ = check_file("crates/core/src/lib.rs", src);
+    }
+}

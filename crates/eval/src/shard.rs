@@ -1214,6 +1214,44 @@ mod tests {
     }
 
     #[test]
+    fn to_json_byte_order_is_pinned() {
+        // DET001 audit regression: shard documents are hand-emitted in a
+        // fixed key order, so the exact bytes — not just the parsed
+        // content — are stable. Merge tooling and artifact diffs rely on
+        // this.
+        let out = ShardOutput {
+            experiment: "synthetic".to_string(),
+            kind: DatasetKind::Squad11,
+            seed: 42,
+            scale_tag: "train1-dev1-rated1".to_string(),
+            shard: ShardSpec::new(0, 2).unwrap(),
+            n_items: 4,
+            header: vec!["Id".to_string(), "Value".to_string()],
+            rows: vec![ShardRow {
+                item: 0,
+                cells: vec!["id-0".to_string(), "0".to_string()],
+            }],
+            metrics: vec![ShardMetric {
+                item: 0,
+                name: "m".to_string(),
+                value: 0.5,
+            }],
+        };
+        let text = out.to_json();
+        assert_eq!(text, out.to_json(), "to_json must be byte-stable");
+        assert_eq!(
+            text,
+            concat!(
+                "{\"format\":1,\"experiment\":\"synthetic\",\"kind\":\"SQuAD-1.1\",",
+                "\"seed\":\"42\",\"scale\":\"train1-dev1-rated1\",\"shard_index\":0,",
+                "\"shard_of\":2,\"n_items\":4,\"header\":[\"Id\",\"Value\"],",
+                "\"rows\":[{\"item\":0,\"cells\":[\"id-0\",\"0\"]}],",
+                "\"metrics\":[{\"item\":0,\"name\":\"m\",\"value\":0.5}]}",
+            )
+        );
+    }
+
+    #[test]
     fn json_roundtrip_preserves_output() {
         let out = tiny_output(ShardSpec::new(1, 3).unwrap());
         let back = ShardOutput::from_json(&out.to_json()).unwrap();

@@ -192,10 +192,12 @@ impl MultiHeadAttention {
             if i < POSITIONAL_CACHE_ROWS {
                 let pe: Vec<f32> = self.positional_cache.row(i).to_vec();
                 for (v, p) in x.row_mut(i).iter_mut().zip(&pe) {
+                    // gced-allow(DET002): elementwise positional bias, one add per element — no reduction order exists
                     *v += w * p;
                 }
             } else {
                 for (j, v) in x.row_mut(i).iter_mut().enumerate() {
+                    // gced-allow(DET002): elementwise positional bias (uncached rows), same single add per element
                     *v += w * positional(i, j, d);
                 }
             }
@@ -229,6 +231,7 @@ impl MultiHeadAttention {
                 score_row(pi, x, scale, &mut s);
                 kernels::softmax(&mut s);
                 for (a, &v) in avg.row_mut(i).iter_mut().zip(&s) {
+                    // gced-allow(DET002): sequential accumulation in fixed head order h = 0..heads, bitwise-mirrored by reference::attention_matrix
                     *a += v;
                 }
             }

@@ -14,6 +14,7 @@
 //!
 //! All vectors are L2-normalized on read.
 
+use crate::kernels;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
@@ -70,11 +71,13 @@ impl EmbeddingTable {
         normalize(out);
     }
 
-    /// Cosine similarity between two word embeddings.
+    /// Cosine similarity between two word embeddings, reduced under the
+    /// canonical 8-lane tree so the result is the same bits as every
+    /// other dot product in the crate.
     pub fn similarity(&self, a: &str, b: &str) -> f32 {
         let va = self.embed(a);
         let vb = self.embed(b);
-        va.iter().zip(&vb).map(|(x, y)| x * y).sum()
+        kernels::dot(&va, &vb)
     }
 
     /// Refine embeddings on a corpus of tokenized sentences (lowercased
@@ -108,8 +111,10 @@ impl EmbeddingTable {
                             .entry(w.as_str())
                             .or_insert_with(|| (vec![0.0; self.dim], 0.0));
                         for (s, c) in entry.0.iter_mut().zip(ctx) {
+                            // gced-allow(DET002): fit-time window sums accumulate in sentence order, which is pinned by the input corpus (documented above) — identical on every run and machine
                             *s += c;
                         }
+                        // gced-allow(DET002): same pinned corpus-order accumulation as the vector sums
                         entry.1 += 1.0;
                     }
                 }
@@ -189,10 +194,12 @@ impl EmbeddingTable {
             let x = h.finish();
             let idx = (x % self.dim as u64) as usize;
             let sign = if (x >> 32) & 1 == 0 { 1.0 } else { -1.0 };
+            // gced-allow(DET002): hash-bucket scatter in the fixed n-gram traversal order of hash_embed_into — one rounding per n-gram, same order everywhere
             v[idx] += sign * weight;
             // second bucket for better spread
             let idx2 = ((x >> 17) % self.dim as u64) as usize;
             let sign2 = if (x >> 33) & 1 == 0 { 1.0 } else { -1.0 };
+            // gced-allow(DET002): second bucket of the same fixed-order scatter
             v[idx2] += sign2 * weight * 0.5;
         };
         push(lower, 2.0, v);

@@ -72,6 +72,11 @@ pub fn dot(a: &[f32], b: &[f32]) -> f32 {
 /// lane exactly like scalar `f32::mul_add` (both are the exactly-rounded
 /// IEEE fma), so the bits match the portable loop — the parity suite
 /// asserts it against [`crate::reference::dot`].
+///
+/// # Safety
+///
+/// The caller must have verified avx2+fma support (see `have_simd`) and
+/// that `a.len() == b.len()`.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2,fma")]
 unsafe fn dot_fma(a: &[f32], b: &[f32]) -> f32 {
@@ -79,16 +84,20 @@ unsafe fn dot_fma(a: &[f32], b: &[f32]) -> f32 {
     let k = a.len();
     let whole = k - k % LANES;
     let mut lanes = [0.0f32; LANES];
-    // SAFETY (loads): every load reads 8 floats at `i..i+8 <= whole <= len`.
     let mut acc = _mm256_setzero_ps();
     let mut i = 0;
-    while i < whole {
-        let x = _mm256_loadu_ps(a.as_ptr().add(i));
-        let y = _mm256_loadu_ps(b.as_ptr().add(i));
-        acc = _mm256_fmadd_ps(x, y, acc);
-        i += LANES;
+    // SAFETY: every load reads 8 floats at `i..i+8 <= whole <= len` of
+    // both slices (lengths equal per the contract); the store writes the
+    // 8-float `lanes` array.
+    unsafe {
+        while i < whole {
+            let x = _mm256_loadu_ps(a.as_ptr().add(i));
+            let y = _mm256_loadu_ps(b.as_ptr().add(i));
+            acc = _mm256_fmadd_ps(x, y, acc);
+            i += LANES;
+        }
+        _mm256_storeu_ps(lanes.as_mut_ptr(), acc);
     }
-    _mm256_storeu_ps(lanes.as_mut_ptr(), acc);
     for (l, kk) in (whole..k).enumerate() {
         lanes[l] = a[kk].mul_add(b[kk], lanes[l]);
     }
@@ -142,6 +151,11 @@ pub fn dot4(a: &[f32], b: [&[f32]; 4]) -> [f32; 4] {
 
 /// AVX2+FMA register tile: four independent `vfmadd` chains give the
 /// out-of-order core enough parallelism to stream at the fma issue rate.
+///
+/// # Safety
+///
+/// The caller must have verified avx2+fma support (see `have_simd`) and
+/// that every row of `b` has length `a.len()`.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2,fma")]
 unsafe fn dot4_fma(a: &[f32], b: [&[f32]; 4]) -> [f32; 4] {
@@ -149,24 +163,28 @@ unsafe fn dot4_fma(a: &[f32], b: [&[f32]; 4]) -> [f32; 4] {
     let k = a.len();
     let whole = k - k % LANES;
     let mut acc = [[0.0f32; LANES]; 4];
-    // SAFETY (loads): lengths checked by the caller; `i + 8 <= whole <= len`.
     let mut v0 = _mm256_setzero_ps();
     let mut v1 = _mm256_setzero_ps();
     let mut v2 = _mm256_setzero_ps();
     let mut v3 = _mm256_setzero_ps();
     let mut i = 0;
-    while i < whole {
-        let x = _mm256_loadu_ps(a.as_ptr().add(i));
-        v0 = _mm256_fmadd_ps(x, _mm256_loadu_ps(b[0].as_ptr().add(i)), v0);
-        v1 = _mm256_fmadd_ps(x, _mm256_loadu_ps(b[1].as_ptr().add(i)), v1);
-        v2 = _mm256_fmadd_ps(x, _mm256_loadu_ps(b[2].as_ptr().add(i)), v2);
-        v3 = _mm256_fmadd_ps(x, _mm256_loadu_ps(b[3].as_ptr().add(i)), v3);
-        i += LANES;
+    // SAFETY: row lengths equal `len` per the contract, so every load
+    // reads 8 floats at `i..i+8 <= whole <= len`; the stores write the
+    // 8-float rows of `acc`.
+    unsafe {
+        while i < whole {
+            let x = _mm256_loadu_ps(a.as_ptr().add(i));
+            v0 = _mm256_fmadd_ps(x, _mm256_loadu_ps(b[0].as_ptr().add(i)), v0);
+            v1 = _mm256_fmadd_ps(x, _mm256_loadu_ps(b[1].as_ptr().add(i)), v1);
+            v2 = _mm256_fmadd_ps(x, _mm256_loadu_ps(b[2].as_ptr().add(i)), v2);
+            v3 = _mm256_fmadd_ps(x, _mm256_loadu_ps(b[3].as_ptr().add(i)), v3);
+            i += LANES;
+        }
+        _mm256_storeu_ps(acc[0].as_mut_ptr(), v0);
+        _mm256_storeu_ps(acc[1].as_mut_ptr(), v1);
+        _mm256_storeu_ps(acc[2].as_mut_ptr(), v2);
+        _mm256_storeu_ps(acc[3].as_mut_ptr(), v3);
     }
-    _mm256_storeu_ps(acc[0].as_mut_ptr(), v0);
-    _mm256_storeu_ps(acc[1].as_mut_ptr(), v1);
-    _mm256_storeu_ps(acc[2].as_mut_ptr(), v2);
-    _mm256_storeu_ps(acc[3].as_mut_ptr(), v3);
     for kk in whole..k {
         let l = kk - whole;
         for (t, acc_t) in acc.iter_mut().enumerate() {
@@ -211,6 +229,11 @@ pub fn dot_rows(a: &[f32], rows: &[f32], out: &mut [f32]) {
 /// fma unit needs ~8 chains in flight to cover its latency×throughput
 /// window), named accumulators and hoisted row pointers so everything
 /// stays in registers, tails through [`dot4_fma`] / [`dot_fma`].
+///
+/// # Safety
+///
+/// The caller must have verified avx2+fma support (see `have_simd`) and
+/// that `rows.len() == a.len() * out.len()`.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2,fma")]
 unsafe fn dot_rows_fma(a: &[f32], rows: &[f32], out: &mut [f32]) {
@@ -221,73 +244,81 @@ unsafe fn dot_rows_fma(a: &[f32], rows: &[f32], out: &mut [f32]) {
     let ap = a.as_ptr();
     let mut j = 0;
     while j + 8 <= n {
-        // SAFETY (loads): the caller checked `rows.len() == k·n`, so rows
-        // `j..j+8` span `rows[j·k..(j+8)·k]`; chunk loads stop at `whole`.
-        let p0 = rows.as_ptr().add(j * k);
-        let p1 = p0.add(k);
-        let p2 = p1.add(k);
-        let p3 = p2.add(k);
-        let p4 = p3.add(k);
-        let p5 = p4.add(k);
-        let p6 = p5.add(k);
-        let p7 = p6.add(k);
-        let mut v0 = _mm256_setzero_ps();
-        let mut v1 = _mm256_setzero_ps();
-        let mut v2 = _mm256_setzero_ps();
-        let mut v3 = _mm256_setzero_ps();
-        let mut v4 = _mm256_setzero_ps();
-        let mut v5 = _mm256_setzero_ps();
-        let mut v6 = _mm256_setzero_ps();
-        let mut v7 = _mm256_setzero_ps();
-        let mut i = 0;
-        while i < whole {
-            let x = _mm256_loadu_ps(ap.add(i));
-            v0 = _mm256_fmadd_ps(x, _mm256_loadu_ps(p0.add(i)), v0);
-            v1 = _mm256_fmadd_ps(x, _mm256_loadu_ps(p1.add(i)), v1);
-            v2 = _mm256_fmadd_ps(x, _mm256_loadu_ps(p2.add(i)), v2);
-            v3 = _mm256_fmadd_ps(x, _mm256_loadu_ps(p3.add(i)), v3);
-            v4 = _mm256_fmadd_ps(x, _mm256_loadu_ps(p4.add(i)), v4);
-            v5 = _mm256_fmadd_ps(x, _mm256_loadu_ps(p5.add(i)), v5);
-            v6 = _mm256_fmadd_ps(x, _mm256_loadu_ps(p6.add(i)), v6);
-            v7 = _mm256_fmadd_ps(x, _mm256_loadu_ps(p7.add(i)), v7);
-            i += LANES;
-        }
-        let mut acc = [[0.0f32; LANES]; 8];
-        _mm256_storeu_ps(acc[0].as_mut_ptr(), v0);
-        _mm256_storeu_ps(acc[1].as_mut_ptr(), v1);
-        _mm256_storeu_ps(acc[2].as_mut_ptr(), v2);
-        _mm256_storeu_ps(acc[3].as_mut_ptr(), v3);
-        _mm256_storeu_ps(acc[4].as_mut_ptr(), v4);
-        _mm256_storeu_ps(acc[5].as_mut_ptr(), v5);
-        _mm256_storeu_ps(acc[6].as_mut_ptr(), v6);
-        _mm256_storeu_ps(acc[7].as_mut_ptr(), v7);
-        let ps = [p0, p1, p2, p3, p4, p5, p6, p7];
-        for kk in whole..k {
-            let l = kk - whole;
-            for (t, acc_t) in acc.iter_mut().enumerate() {
-                acc_t[l] = (*ap.add(kk)).mul_add(*ps[t].add(kk), acc_t[l]);
+        // SAFETY: `rows.len() == k·n` per the contract, so rows `j..j+8`
+        // span `rows[j·k..(j+8)·k]`; chunk loads stop at `whole` and the
+        // scalar tail dereferences stay below `k`.
+        unsafe {
+            let p0 = rows.as_ptr().add(j * k);
+            let p1 = p0.add(k);
+            let p2 = p1.add(k);
+            let p3 = p2.add(k);
+            let p4 = p3.add(k);
+            let p5 = p4.add(k);
+            let p6 = p5.add(k);
+            let p7 = p6.add(k);
+            let mut v0 = _mm256_setzero_ps();
+            let mut v1 = _mm256_setzero_ps();
+            let mut v2 = _mm256_setzero_ps();
+            let mut v3 = _mm256_setzero_ps();
+            let mut v4 = _mm256_setzero_ps();
+            let mut v5 = _mm256_setzero_ps();
+            let mut v6 = _mm256_setzero_ps();
+            let mut v7 = _mm256_setzero_ps();
+            let mut i = 0;
+            while i < whole {
+                let x = _mm256_loadu_ps(ap.add(i));
+                v0 = _mm256_fmadd_ps(x, _mm256_loadu_ps(p0.add(i)), v0);
+                v1 = _mm256_fmadd_ps(x, _mm256_loadu_ps(p1.add(i)), v1);
+                v2 = _mm256_fmadd_ps(x, _mm256_loadu_ps(p2.add(i)), v2);
+                v3 = _mm256_fmadd_ps(x, _mm256_loadu_ps(p3.add(i)), v3);
+                v4 = _mm256_fmadd_ps(x, _mm256_loadu_ps(p4.add(i)), v4);
+                v5 = _mm256_fmadd_ps(x, _mm256_loadu_ps(p5.add(i)), v5);
+                v6 = _mm256_fmadd_ps(x, _mm256_loadu_ps(p6.add(i)), v6);
+                v7 = _mm256_fmadd_ps(x, _mm256_loadu_ps(p7.add(i)), v7);
+                i += LANES;
             }
-        }
-        for (t, acc_t) in acc.iter().enumerate() {
-            out[j + t] = reduce_lanes(acc_t);
+            let mut acc = [[0.0f32; LANES]; 8];
+            _mm256_storeu_ps(acc[0].as_mut_ptr(), v0);
+            _mm256_storeu_ps(acc[1].as_mut_ptr(), v1);
+            _mm256_storeu_ps(acc[2].as_mut_ptr(), v2);
+            _mm256_storeu_ps(acc[3].as_mut_ptr(), v3);
+            _mm256_storeu_ps(acc[4].as_mut_ptr(), v4);
+            _mm256_storeu_ps(acc[5].as_mut_ptr(), v5);
+            _mm256_storeu_ps(acc[6].as_mut_ptr(), v6);
+            _mm256_storeu_ps(acc[7].as_mut_ptr(), v7);
+            let ps = [p0, p1, p2, p3, p4, p5, p6, p7];
+            for kk in whole..k {
+                let l = kk - whole;
+                for (t, acc_t) in acc.iter_mut().enumerate() {
+                    acc_t[l] = (*ap.add(kk)).mul_add(*ps[t].add(kk), acc_t[l]);
+                }
+            }
+            for (t, acc_t) in acc.iter().enumerate() {
+                out[j + t] = reduce_lanes(acc_t);
+            }
         }
         j += 8;
     }
     while j + 4 <= n {
-        let r = dot4_fma(
-            a,
-            [
-                &rows[j * k..(j + 1) * k],
-                &rows[(j + 1) * k..(j + 2) * k],
-                &rows[(j + 2) * k..(j + 3) * k],
-                &rows[(j + 3) * k..(j + 4) * k],
-            ],
-        );
+        // SAFETY: features hold in this fn; the four slices have length
+        // `k` by the shape contract.
+        let r = unsafe {
+            dot4_fma(
+                a,
+                [
+                    &rows[j * k..(j + 1) * k],
+                    &rows[(j + 1) * k..(j + 2) * k],
+                    &rows[(j + 2) * k..(j + 3) * k],
+                    &rows[(j + 3) * k..(j + 4) * k],
+                ],
+            )
+        };
         out[j..j + 4].copy_from_slice(&r);
         j += 4;
     }
     while j < n {
-        out[j] = dot_fma(a, &rows[j * k..(j + 1) * k]);
+        // SAFETY: features hold in this fn; the slice has length `k`.
+        out[j] = unsafe { dot_fma(a, &rows[j * k..(j + 1) * k]) };
         j += 1;
     }
 }
@@ -356,6 +387,11 @@ pub fn exp_det(x: f32) -> f32 {
 /// operation is the packed form of the scalar one, so each lane's bits
 /// equal `exp_det` of that lane. Out-of-range and NaN lanes are computed
 /// anyway (harmlessly — no unmasked FP exceptions) and blended away.
+///
+/// # Safety
+///
+/// The caller must have verified avx2+fma support (see `have_simd`).
+/// Pure value computation otherwise — no memory is touched.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2,fma")]
 #[inline]
@@ -421,20 +457,27 @@ pub fn softmax(row: &mut [f32]) {
 /// [`exp8`], and divide are packed forms of the scalar ops (per-lane
 /// identical bits); the sum stays a sequential scalar loop because that
 /// *is* the canonical order the oracle defines.
+///
+/// # Safety
+///
+/// The caller must have verified avx2+fma support (see `have_simd`).
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2,fma")]
 unsafe fn softmax_tail_avx2(row: &mut [f32], max: f32) {
     use std::arch::x86_64::*;
     let n = row.len();
     let whole = n - n % LANES;
-    // SAFETY (loads/stores): each touches 8 floats at `i..i+8 <= whole <= n`.
     let m = _mm256_set1_ps(max);
     let mut i = 0;
-    while i < whole {
-        let v = _mm256_loadu_ps(row.as_ptr().add(i));
-        let e = exp8(_mm256_sub_ps(v, m));
-        _mm256_storeu_ps(row.as_mut_ptr().add(i), e);
-        i += LANES;
+    // SAFETY: each load/store touches 8 floats at `i..i+8 <= whole <= n`;
+    // exp8's features hold in this fn.
+    unsafe {
+        while i < whole {
+            let v = _mm256_loadu_ps(row.as_ptr().add(i));
+            let e = exp8(_mm256_sub_ps(v, m));
+            _mm256_storeu_ps(row.as_mut_ptr().add(i), e);
+            i += LANES;
+        }
     }
     for v in &mut row[whole..] {
         *v = exp_det(*v - max);
@@ -446,10 +489,13 @@ unsafe fn softmax_tail_avx2(row: &mut [f32], max: f32) {
     if sum > 0.0 {
         let s = _mm256_set1_ps(sum);
         let mut i = 0;
-        while i < whole {
-            let v = _mm256_loadu_ps(row.as_ptr().add(i));
-            _mm256_storeu_ps(row.as_mut_ptr().add(i), _mm256_div_ps(v, s));
-            i += LANES;
+        // SAFETY: same bounds as the exp pass above.
+        unsafe {
+            while i < whole {
+                let v = _mm256_loadu_ps(row.as_ptr().add(i));
+                _mm256_storeu_ps(row.as_mut_ptr().add(i), _mm256_div_ps(v, s));
+                i += LANES;
+            }
         }
         for v in &mut row[whole..] {
             *v /= sum;

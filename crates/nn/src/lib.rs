@@ -31,6 +31,11 @@
 //!
 //! Everything is seeded; identical inputs give identical weights.
 
+// Every unsafe operation inside the AVX2 kernels' unsafe fns must sit
+// in an explicit `unsafe {}` block with its own SAFETY comment (the
+// `gced analyze` SAFE001 lint checks the comments).
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod attention;
 pub mod embedding;
 pub mod kernels;

@@ -187,6 +187,7 @@ impl Matrix {
     pub fn add_assign(&mut self, rhs: &Matrix) {
         assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
         for (a, b) in self.data.iter_mut().zip(&rhs.data) {
+            // gced-allow(DET002): elementwise add, one rounding per element — no reduction order exists
             *a += b;
         }
     }

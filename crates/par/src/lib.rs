@@ -20,6 +20,11 @@
 //! count or scheduling — a property the clip-search oracle equivalence
 //! tests and the shard-merge parity tests rely on.
 
+// Unsafe operations must sit in explicit `unsafe {}` blocks with their
+// own SAFETY comments even inside unsafe fns (the `gced analyze`
+// SAFE001 lint checks the comments).
+#![deny(unsafe_op_in_unsafe_fn)]
+
 mod pool;
 
 pub use pool::WorkerPool;

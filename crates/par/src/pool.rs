@@ -45,6 +45,9 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError, TryLockError};
 /// is blocked inside [`WorkerPool::execute`], which outlives every use.
 struct TaskPtr(*const (dyn Fn() + Sync));
 
+// SAFETY: the pointer is only handed out under the pool mutex while the
+// poster blocks inside `execute`, so the pointee (a `Sync` closure)
+// outlives and tolerates every cross-thread use.
 unsafe impl Send for TaskPtr {}
 
 struct PoolState {
@@ -156,7 +159,9 @@ impl WorkerPool {
             task();
             return;
         }
-        // Erase the borrow; soundness argument in the module docs.
+        // SAFETY: lifetime erasure only — the poster blocks in this call
+        // until `running == 0`, so the borrow outlives every worker's
+        // use of the erased reference (module docs, Soundness).
         let task_static: &'static (dyn Fn() + Sync) =
             unsafe { std::mem::transmute::<&(dyn Fn() + Sync), &(dyn Fn() + Sync)>(task) };
         {
@@ -230,8 +235,9 @@ impl WorkerPool {
                     break;
                 }
                 let r = f(&mut scratch, i, &items[i]);
-                // Each index is claimed exactly once, so this is the
-                // only writer of slot i; reads happen after execute().
+                // SAFETY: the atomic cursor claims each index exactly
+                // once, so this is the only writer of slot i; reads
+                // happen only after execute() returns (all writers done).
                 unsafe { *slots[i].0.get() = Some(r) };
             }
         };
@@ -261,6 +267,10 @@ impl Drop for WorkerPool {
 /// One result slot, written exactly once by the claiming participant.
 struct Slot<R>(UnsafeCell<Option<R>>);
 
+// SAFETY: slot i is written by exactly one participant (the atomic
+// cursor hands out each index once) and read only after the parallel
+// region joins, so shared `&Slot` access never races; `R: Send` lets
+// the value cross from the writing worker to the collecting poster.
 unsafe impl<R: Send> Sync for Slot<R> {}
 
 fn worker_loop(shared: &Shared) {
@@ -277,7 +287,9 @@ fn worker_loop(shared: &Shared) {
             seen_epoch = st.epoch;
             let task = st.job.as_ref().expect("claimable job").0;
             drop(st);
-            // The poster keeps the closure alive until running == 0.
+            // SAFETY: the poster keeps the closure alive until
+            // `running == 0`, and this worker was counted into `running`
+            // under the lock before taking the pointer.
             let result = catch_unwind(AssertUnwindSafe(|| unsafe { (*task)() }));
             st = shared.lock_state();
             st.running -= 1;

@@ -186,6 +186,7 @@ impl QaModel {
         QaModel {
             profile,
             weights,
+            // gced-allow(DET001): consumes the Vec parameter into the idf HashMap — no map is iterated and no order leaves this constructor
             idf: idf.into_iter().collect(),
             learned_threshold,
             trained,
@@ -311,11 +312,13 @@ impl QaModel {
             let doc = analyze(&ex.context);
             let uniq: std::collections::HashSet<String> =
                 doc.tokens.iter().map(|t| t.lower()).collect();
+            // gced-allow(DET001): commutative document-frequency counting — hash order feeds only `+1`s into a map, so no order can reach output
             for w in uniq {
                 *df.entry(w).or_insert(0) += 1;
             }
         }
         self.idf = df
+            // gced-allow(DET001): HashMap-to-HashMap rebuild — serialization order is imposed later by to_parts(), which sorts
             .into_iter()
             .map(|(w, c)| (w, ((n as f64 + 1.0) / (c as f64 + 1.0)).ln() + 1.0))
             .collect();

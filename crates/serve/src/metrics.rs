@@ -333,6 +333,54 @@ mod tests {
     }
 
     #[test]
+    fn render_byte_order_is_pinned() {
+        // DET001 audit regression: the /metrics document is hand-emitted
+        // in a fixed key order (no map iteration anywhere on the path),
+        // so two renders of the same state are byte-identical and the
+        // top-level keys always appear in this exact sequence.
+        let m = Metrics::new();
+        m.requests_total.fetch_add(7, Ordering::Relaxed);
+        m.shed_full.fetch_add(1, Ordering::Relaxed);
+        m.batch_size.record(4);
+        m.latency_us.record(300);
+        let extra = [
+            ("pool_threads", "8".to_string()),
+            ("queue_cap", "64".to_string()),
+        ];
+        let text = m.render(&extra);
+        assert_eq!(text, m.render(&extra), "render must be byte-stable");
+        let keys = [
+            "\"requests_total\":",
+            "\"distill_requests_total\":",
+            "\"distill_ok\":",
+            "\"distill_error\":",
+            "\"distill_panics_total\":",
+            "\"distill_timeouts\":",
+            "\"shed_total\":",
+            "\"shed_full\":",
+            "\"shed_expired\":",
+            "\"shed_shutdown\":",
+            "\"batcher_restarts_total\":",
+            "\"conn_thread_panics\":",
+            "\"http_errors\":",
+            "\"connections_total\":",
+            "\"keepalive_reuses\":",
+            "\"batches_total\":",
+            "\"batch_size\":",
+            "\"latency_us\":",
+            "\"pool_threads\":",
+            "\"queue_cap\":",
+        ];
+        let mut cursor = 0;
+        for key in keys {
+            let at = text[cursor..]
+                .find(key)
+                .unwrap_or_else(|| panic!("{key} missing or out of order in {text}"));
+            cursor += at + key.len();
+        }
+    }
+
+    #[test]
     fn shed_total_is_the_sum_of_the_shed_classes() {
         let m = Metrics::new();
         m.shed_full.fetch_add(2, Ordering::Relaxed);

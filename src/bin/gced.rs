@@ -56,6 +56,7 @@ USAGE:
   gced distill --question Q --answer A --context C [--kind K]
            [--scale S] [--seed S] [--fit-cache PATH] [--out PATH]
   gced fit --fit-cache PATH [--kind K] [--scale S] [--seed S]
+  gced analyze [--root DIR] [--json] [--out PATH]
 
 EXPERIMENTS:
   table3           dataset statistics (Table III); items = dataset kinds
@@ -120,6 +121,19 @@ PROBE:
   and match the --expect file byte-for-byte when given — or the
   command exits nonzero. CI drives it against a fault-plan server to
   prove surviving responses stay byte-identical to offline output.
+
+ANALYZE:
+  `gced analyze` runs the gced-analyze static pass over every .rs
+  file under --root (default: the current directory): determinism
+  lints DET001-DET004 (hash-order output, float accumulation outside
+  the fixed-tree kernels, wall-clock reads, ambient randomness) and
+  unsafe-hygiene lints SAFE001-SAFE002 (SAFETY comments, intrinsics
+  under #[target_feature]). Exit 0 when clean, 1 on findings, 2 on
+  usage errors. --json emits the machine-readable report. Suppress a
+  single finding inline with `// gced-allow(LINT_ID): reason` on the
+  finding's line or the line above; a suppression that suppresses
+  nothing is itself a finding. See README \"Static analysis &
+  sanitizers\" for the lint catalog.
 ";
 
 fn main() -> ExitCode {
@@ -133,6 +147,7 @@ fn main() -> ExitCode {
         Some("probe") => cmd_probe(&args[1..]),
         Some("distill") => cmd_distill(&args[1..]),
         Some("fit") => cmd_fit(&args[1..]),
+        Some("analyze") => cmd_analyze(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             print!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -160,7 +175,7 @@ struct Parsed {
 }
 
 /// Flags that take no value.
-const SWITCHES: &[&str] = &["--in-process"];
+const SWITCHES: &[&str] = &["--in-process", "--json", "--fix"];
 
 fn parse_args(args: &[String]) -> Result<Parsed, String> {
     let mut parsed = Parsed {
@@ -804,10 +819,12 @@ fn cmd_probe(args: &[String]) -> Result<ExitCode, String> {
 fn connect_with_patience(
     addr: std::net::SocketAddr,
 ) -> Result<gced_serve::client::Session, String> {
+    // gced-allow(DET003): startup-patience deadline for the probe's first connect — bounds the wait, never reaches a result
     let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
     loop {
         match gced_serve::client::Session::connect(addr) {
             Ok(s) => return Ok(s),
+            // gced-allow(DET003): same startup-patience clock as the deadline above
             Err(e) if std::time::Instant::now() >= deadline => {
                 return Err(format!("probe: cannot connect to {addr}: {e}"))
             }
@@ -853,4 +870,36 @@ fn cmd_fit(args: &[String]) -> Result<ExitCode, String> {
     let bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
     eprintln!("gced: fit cache {path} ready ({fingerprint}, {bytes} bytes)");
     Ok(ExitCode::SUCCESS)
+}
+
+// ---------------------------------------------------------------------------
+// analyze
+// ---------------------------------------------------------------------------
+
+fn cmd_analyze(args: &[String]) -> Result<ExitCode, String> {
+    let p = parse_args(args)?;
+    if p.switch("fix") {
+        return Err(
+            "analyze: there is no --fix, deliberately. Every finding is an \
+                    invariant decision: sort the iteration (DET001), route the \
+                    reduction through gced_nn::kernels (DET002), move the clock read \
+                    into a timing module (DET003/DET004), or write down the SAFETY \
+                    argument (SAFE001/SAFE002). If the code is right as written, say \
+                    why inline: // gced-allow(LINT_ID): reason"
+                .to_string(),
+        );
+    }
+    let root = PathBuf::from(p.flag("root").unwrap_or("."));
+    let report = gced_analyze::analyze(&root)?;
+    let text = if p.switch("json") {
+        report.render_json()
+    } else {
+        report.render_text()
+    };
+    write_or_print(p.flag("out"), &text)?;
+    Ok(if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
 }
