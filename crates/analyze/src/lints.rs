@@ -467,8 +467,8 @@ fn det003(ctx: &Ctx, out: &mut Vec<Finding>) {
                 ctx.path,
                 line,
                 "`Instant::now()` outside the allowlisted timing modules \
-                 (serve::batch, serve::http, compat/criterion, gced-bench): a \
-                 wall-clock read in a result path breaks replay"
+                 (serve::batch, serve::http, obs::clock, compat/criterion, \
+                 gced-bench): a wall-clock read in a result path breaks replay"
                     .to_string(),
             ));
         }
@@ -716,6 +716,10 @@ mod tests {
         let src = "fn t() { let _ = std::time::Instant::now(); }\n";
         assert_eq!(lints("crates/core/src/lib.rs", src), vec!["DET003"]);
         assert!(lints("crates/serve/src/batch.rs", src).is_empty());
+        // The gced-obs tick source is THE timing module — allowed; the
+        // tracer proper must go through it, so a raw read there fires.
+        assert!(lints("crates/obs/src/clock.rs", src).is_empty());
+        assert_eq!(lints("crates/obs/src/lib.rs", src), vec!["DET003"]);
         // Importing Instant for types is fine; only ::now() fires.
         assert!(lints("crates/core/src/lib.rs", "use std::time::Instant;\n").is_empty());
         assert_eq!(

@@ -101,11 +101,17 @@ pub fn det002_in_scope(path: &str) -> bool {
 }
 
 /// DET003 allowlist: modules whose entire job is timing — the batcher's
-/// flush deadlines, the HTTP read-deadline clock, the criterion compat
-/// shim, and the bench harness. Everywhere else a wall-clock read in a
-/// result path would break replayability.
+/// flush deadlines, the HTTP read-deadline clock, the gced-obs clock
+/// (the single monotonic-tick source every span/stopwatch reads
+/// through), the criterion compat shim, and the bench harness.
+/// Everywhere else a wall-clock read in a result path would break
+/// replayability.
 pub fn det003_allowed(path: &str) -> bool {
-    const ALLOW: &[&str] = &["crates/serve/src/batch.rs", "crates/serve/src/http.rs"];
+    const ALLOW: &[&str] = &[
+        "crates/serve/src/batch.rs",
+        "crates/serve/src/http.rs",
+        "crates/obs/src/clock.rs",
+    ];
     ALLOW.contains(&path)
         || path.starts_with("crates/compat/criterion/")
         || path.starts_with("crates/bench/")
@@ -146,6 +152,8 @@ mod tests {
 
         assert!(det003_allowed("crates/serve/src/batch.rs"));
         assert!(det003_allowed("crates/compat/criterion/src/lib.rs"));
+        assert!(det003_allowed("crates/obs/src/clock.rs"));
+        assert!(!det003_allowed("crates/obs/src/lib.rs"));
         assert!(!det003_allowed("crates/core/src/lib.rs"));
 
         assert!(det004_allowed("crates/compat/rand/src/lib.rs"));

@@ -1,0 +1,49 @@
+//! The observability cost gate: `obs/span_disabled_overhead` runs the
+//! exact `gced/distill_end_to_end` recipe through the now-instrumented
+//! pipeline with tracing OFF (the default). The committed baseline in
+//! `BENCH_pipeline.json` sits on the same medians as the end-to-end
+//! bench, so a span fast path that stops being free shows up here as a
+//! regression against the uninstrumented pipeline's own trajectory.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use gced::{Gced, GcedConfig};
+use gced_datasets::{generate, DatasetKind, GeneratorConfig};
+use std::hint::black_box;
+
+const CONTEXT: &str = "The American Football Conference (AFC) champion Denver Broncos defeated \
+                       the National Football Conference (NFC) champion Carolina Panthers to earn \
+                       the Super Bowl 50 title. The game was played at Lockwood Stadium in Boston. \
+                       The halftime show featured a famous singer and a large fireworks display.";
+
+fn bench_disabled_overhead(c: &mut Criterion) {
+    // Tracing defaults off, but this bench exists to prove the
+    // *disabled* fast path costs nothing — pin the state explicitly.
+    gced_obs::set_enabled(false);
+    let ds = generate(
+        DatasetKind::Squad11,
+        GeneratorConfig {
+            train: 200,
+            dev: 40,
+            seed: 42,
+        },
+    );
+    let gced = Gced::fit(&ds, GcedConfig::default());
+    let question = "Which NFL team represented the AFC at Super Bowl 50?";
+    c.bench_function("obs/span_disabled_overhead", |b| {
+        b.iter_batched(
+            || (),
+            |_| {
+                gced.distill(black_box(question), "Denver Broncos", CONTEXT)
+                    .unwrap()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_disabled_overhead
+}
+criterion_main!(benches);

@@ -137,7 +137,9 @@ pub fn extract(ctx: &mut SearchContext<'_, '_>, max_sentences: usize) -> AseResu
     let mut sel_bound = f64::NEG_INFINITY;
 
     while sel_sents.len() < cap {
+        let _round_span = gced_obs::span("grow.round");
         let mut round_best: Option<(usize, f64)> = None;
+        let (mut trials, mut pruned) = (0u64, 0u64);
         for s in 0..n_sents {
             if member.contains(s) {
                 continue;
@@ -146,6 +148,7 @@ pub fn extract(ctx: &mut SearchContext<'_, '_>, max_sentences: usize) -> AseResu
                 // Admissible prune: the trial's F1 cannot exceed the max
                 // member bound, and ties never replace the round winner.
                 if sel_bound.max(bounds[s]) <= bf {
+                    pruned += 1;
                     continue;
                 }
             }
@@ -155,12 +158,18 @@ pub fn extract(ctx: &mut SearchContext<'_, '_>, max_sentences: usize) -> AseResu
             trial.extend_from_slice(&sel_tokens[..split]);
             trial.extend(sent.token_start..sent.token_end);
             trial.extend_from_slice(&sel_tokens[split..]);
-            let f1 = ctx.informativeness_of(&trial);
+            let f1 = {
+                let _trial_span = gced_obs::span("grow.trial");
+                ctx.informativeness_of(&trial)
+            };
+            trials += 1;
             match round_best {
                 Some((_, bf)) if bf >= f1 => {}
                 _ => round_best = Some((s, f1)),
             }
         }
+        gced_obs::counter("trials", trials);
+        gced_obs::counter("trials_pruned", pruned);
         let Some((chosen, f1)) = round_best else {
             break;
         };

@@ -310,7 +310,10 @@ impl Gced {
         if answer.trim().is_empty() {
             return Err(DistillError::EmptyAnswer);
         }
-        let ctx_doc = analyze(context);
+        let ctx_doc = {
+            let _s = gced_obs::span("analyze");
+            analyze(context)
+        };
         if ctx_doc.is_empty() {
             return Err(DistillError::EmptyContext);
         }
@@ -321,6 +324,7 @@ impl Gced {
 
         // ---- ASE (grow phase of the shared search engine) ---------------
         let aos_text = if self.config.ablation.use_ase {
+            let _grow_span = gced_obs::span("grow");
             let r = if opts.reference_ase {
                 ase::reference::extract(
                     &self.qa,
@@ -332,7 +336,11 @@ impl Gced {
                 )
             } else {
                 let mut grow = scorer.search_context(&ctx_doc);
-                ase::extract(&mut grow, self.config.max_ase_sentences)
+                let r = ase::extract(&mut grow, self.config.max_ase_sentences);
+                let (hits, misses) = grow.span_cache_stats();
+                gced_obs::counter("span_cache_hits", hits);
+                gced_obs::counter("span_cache_misses", misses);
+                r
             };
             let text = ase::subset_text(&ctx_doc, &r.sentences);
             trace.ase = Some(r);
@@ -340,7 +348,10 @@ impl Gced {
         } else {
             context.to_string()
         };
-        let aos = analyze(&aos_text);
+        let aos = {
+            let _s = gced_obs::span("analyze");
+            analyze(&aos_text)
+        };
         if aos.is_empty() {
             return Err(DistillError::EmptyContext);
         }
@@ -367,7 +378,10 @@ impl Gced {
         };
 
         // ---- WSPTC ----------------------------------------------------------
-        let wt = wsptc::construct(&self.parser, &self.attention, &self.embeddings, &aos);
+        let wt = {
+            let _s = gced_obs::span("wsptc");
+            wsptc::construct(&self.parser, &self.attention, &self.embeddings, &aos)
+        };
 
         // ---- EFC ------------------------------------------------------------
         let forest = efc::construct(&wt.tree, &clue_tokens, &answer_tokens);
@@ -386,6 +400,7 @@ impl Gced {
 
         // ---- OEC: SGS -------------------------------------------------------
         let (mut te, te_root, grow_steps) = if self.config.ablation.use_grow {
+            let _s = gced_obs::span("oec.grow");
             let (te, root, steps) =
                 oec::grow_with_order(&wt, &forest, self.config.grow_max_attention);
             (te, root, steps)
@@ -406,6 +421,7 @@ impl Gced {
         // ---- OEC: SCS -------------------------------------------------------
         let mut final_scores = None;
         if self.config.ablation.use_clip {
+            let _clip_span = gced_obs::span("clip");
             let protected = if self.config.clip_protect_forest {
                 forest.all_nodes()
             } else {
@@ -464,6 +480,53 @@ impl Gced {
         };
         gced_par::par_map(items, |_, (q, a, c)| {
             self.distill_opts(q.as_ref(), a.as_ref(), c.as_ref(), opts)
+        })
+    }
+
+    /// [`Gced::distill`] recording a span tree of the pipeline stages
+    /// (see `gced-obs`). The tree is `None` when tracing is disabled;
+    /// the distillation itself is bit-identical either way — tracing is
+    /// a sidecar channel and never touches the result.
+    pub fn distill_traced(
+        &self,
+        question: &str,
+        answer: &str,
+        context: &str,
+    ) -> (
+        Result<Distillation, DistillError>,
+        Option<gced_obs::SpanNode>,
+    ) {
+        gced_obs::capture("distill", || {
+            self.distill_opts(question, answer, context, DistillOpts::default())
+        })
+    }
+
+    /// [`Gced::distill_batch`] with a span tree captured per item on
+    /// the worker thread that distilled it (the serve batcher records
+    /// these in its flight recorder). Results are element-wise identical
+    /// to [`Gced::distill_batch`]; trees are `None` when tracing is
+    /// disabled.
+    #[allow(clippy::type_complexity)]
+    pub fn distill_batch_traced<Q, A, C>(
+        &self,
+        items: &[(Q, A, C)],
+    ) -> Vec<(
+        Result<Distillation, DistillError>,
+        Option<gced_obs::SpanNode>,
+    )>
+    where
+        Q: AsRef<str> + Sync,
+        A: AsRef<str> + Sync,
+        C: AsRef<str> + Sync,
+    {
+        let opts = DistillOpts {
+            parallel_clip: false,
+            ..DistillOpts::default()
+        };
+        gced_par::par_map(items, |_, (q, a, c)| {
+            gced_obs::capture("distill", || {
+                self.distill_opts(q.as_ref(), a.as_ref(), c.as_ref(), opts)
+            })
         })
     }
 

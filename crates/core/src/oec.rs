@@ -202,10 +202,13 @@ pub(crate) fn clip_with_options(
     let mut steps = Vec::new();
     let mut current = search.score_base(&mut scratch);
     for _ in 0..max_iters {
+        let _iter_span = gced_obs::span("clip.iter");
         // One pass: every in-TE subtree decomposition, protected flags
         // aggregated bottom-up, deduplicated by DFS segment.
         decomp.run(wt, &members, te_root, protected);
         let candidates = decomp.candidates(te_size, te_root);
+        gced_obs::counter("candidates", candidates.len() as u64);
+        let mut pruned = 0u64;
         // Score candidates and reduce in ascending-node order: identical
         // argmax and tie-breaking to the reference formulation. The
         // parallel path evaluates every candidate (the context is shared
@@ -246,6 +249,7 @@ pub(crate) fn clip_with_options(
                 let Some(scores) =
                     search.score_if_competitive(decomp.segment(cand), floor, &mut scratch)
                 else {
+                    pruned += 1;
                     continue;
                 };
                 let h = scores.hybrid;
@@ -262,6 +266,7 @@ pub(crate) fn clip_with_options(
                 }
             }
         }
+        gced_obs::counter("candidates_pruned", pruned);
         let Some((k, winner)) = best else { break };
         if !winner.hybrid.is_finite() {
             break; // every removal lands in the C = −∞ discard region
@@ -288,6 +293,9 @@ pub(crate) fn clip_with_options(
         });
         current = winner;
     }
+    let (hits, misses) = search.span_cache_stats();
+    gced_obs::counter("span_cache_hits", hits);
+    gced_obs::counter("span_cache_misses", misses);
     (steps, current)
 }
 

@@ -1,0 +1,75 @@
+//! The observability clock — the **only** module in the workspace (with
+//! the serve batcher/http deadline modules and the bench harness) that
+//! is allowed to read the monotonic clock (`gced-analyze` DET003
+//! allowlist).
+//!
+//! Everything here is a *sidecar* measurement: ticks feed span timings,
+//! stage histograms, and profiler exports, never rendered result bytes.
+//! The rest of `gced-obs` (and every instrumented crate) works in plain
+//! `u64` nanosecond offsets handed out by this module, so a wall-clock
+//! read can never leak into an output path without tripping the lint.
+
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+/// The process trace epoch: the first clock read. All tick values are
+/// offsets from it, so timestamps from different threads share one
+/// monotonic timeline (what the Chrome trace export needs).
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Monotonic nanoseconds since the process trace epoch. The first call
+/// in the process returns 0.
+pub fn ticks_ns() -> u64 {
+    Instant::now().duration_since(epoch()).as_nanos() as u64
+}
+
+/// A started monotonic stopwatch: the type non-allowlisted modules use
+/// when they need an elapsed duration (probe latency, server uptime)
+/// without reading the clock themselves.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch(Instant);
+
+impl Stopwatch {
+    /// Start a stopwatch now.
+    pub fn start() -> Self {
+        Stopwatch(Instant::now())
+    }
+
+    /// Time elapsed since `start`.
+    pub fn elapsed(&self) -> Duration {
+        self.0.elapsed()
+    }
+
+    /// Elapsed nanoseconds since `start`, saturating at `u64::MAX`.
+    pub fn elapsed_ns(&self) -> u64 {
+        let n = self.0.elapsed().as_nanos();
+        if n > u64::MAX as u128 {
+            u64::MAX
+        } else {
+            n as u64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ticks_are_monotonic() {
+        let a = ticks_ns();
+        let b = ticks_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn stopwatch_advances() {
+        let w = Stopwatch::start();
+        std::thread::sleep(Duration::from_millis(1));
+        assert!(w.elapsed_ns() >= 1_000_000);
+        assert!(w.elapsed() >= Duration::from_millis(1));
+    }
+}

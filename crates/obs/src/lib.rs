@@ -1,0 +1,720 @@
+//! # gced-obs — deterministic span tracing and stage profiling
+//!
+//! A zero-dependency observability layer for the Grow-and-Clip
+//! pipeline: RAII [`span`] guards record a tree of stage timings and
+//! **deterministic counter payloads** (trials pruned, cache hits, spans
+//! scored) per distillation, a [`capture`] scope collects one tree per
+//! unit of work (one request, one offline distillation), and exporters
+//! turn trees into Chrome trace-event JSON ([`chrome_trace`], loadable
+//! in Perfetto / `chrome://tracing`), a per-stage text summary
+//! ([`stage_summary`]), or deterministic sidecar JSON
+//! ([`SpanNode::render_json`], the serve flight recorder's format).
+//!
+//! ## Determinism contract
+//!
+//! Monotonic-clock reads live exclusively in [`clock`] (DET003
+//! allowlisted); every other module — including this one — handles
+//! opaque `u64` tick offsets. Traces are a *sidecar channel*: span
+//! names, nesting, and counters are pure functions of the input, and
+//! nothing observed here may feed rendered result bytes. The serve
+//! byte-parity pin (served body == offline body) holds with tracing on.
+//!
+//! ## Cost model
+//!
+//! Tracing is off by default. Disabled, [`span`] and [`counter`] are a
+//! single relaxed atomic load — the `obs/span_disabled_overhead` bench
+//! gates the instrumented hot loop against the pre-instrumentation
+//! `gced/distill_end_to_end` median. Enabled, each span is two clock
+//! reads and a `Vec` push on a thread-local buffer; recording happens
+//! only inside a [`capture`] scope (or, for whole-process profiling,
+//! with [`set_ambient`] collection armed), so an enabled process pays
+//! nothing on threads that aren't tracing.
+
+pub mod clock;
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+// ---------------------------------------------------------------------------
+// Global switches
+// ---------------------------------------------------------------------------
+
+/// Master switch: when off, instrumentation is one relaxed load.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Ambient collection: completed root spans on threads *without* a
+/// [`capture`] scope are pushed to the global collector (whole-process
+/// profiling for `gced run --profile`). Off by default so a long-lived
+/// server can trace per-request without unbounded global accumulation.
+static AMBIENT: AtomicBool = AtomicBool::new(false);
+
+/// Enable or disable tracing process-wide.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Is tracing enabled?
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Arm or disarm ambient (whole-process) collection. Implies nothing
+/// about [`set_enabled`]; profiling callers set both.
+pub fn set_ambient(on: bool) {
+    AMBIENT.store(on, Ordering::Relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Thread-local recording
+// ---------------------------------------------------------------------------
+
+/// One recorded span, flat form (tree-ified on take).
+struct Rec {
+    name: &'static str,
+    parent: Option<usize>,
+    start_ns: u64,
+    dur_ns: u64,
+    counters: Vec<(&'static str, u64)>,
+}
+
+struct Buf {
+    recs: Vec<Rec>,
+    stack: Vec<usize>,
+    /// Ambient buffers flush each completed root span to the global
+    /// collector; capture buffers hand the whole tree to their scope.
+    ambient: bool,
+}
+
+impl Buf {
+    fn new(ambient: bool) -> Self {
+        Buf {
+            recs: Vec::new(),
+            stack: Vec::new(),
+            ambient,
+        }
+    }
+}
+
+thread_local! {
+    static BUF: RefCell<Option<Buf>> = const { RefCell::new(None) };
+}
+
+/// Stable per-thread index for profiler exports (assignment order, not
+/// OS thread id — DET004-clean).
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Completed ambient root spans: `(thread index, tree)`.
+static COLLECTOR: Mutex<Vec<(u64, SpanNode)>> = Mutex::new(Vec::new());
+
+/// Drain everything ambient collection gathered, sorted by
+/// `(thread index, start tick)`.
+pub fn drain_ambient() -> Vec<(u64, SpanNode)> {
+    let mut trees = std::mem::take(
+        &mut *COLLECTOR
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner),
+    );
+    trees.sort_by_key(|(tid, n)| (*tid, n.start_ns));
+    trees
+}
+
+/// An RAII span: created open by [`span`], closed (duration stamped) on
+/// drop. Inert (zero further cost) when tracing is disabled or the
+/// thread isn't recording.
+pub struct SpanGuard {
+    idx: Option<usize>,
+}
+
+/// Open a span named `name` under the current span of this thread's
+/// trace, if one is being recorded.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard { idx: None };
+    }
+    span_slow(name)
+}
+
+#[inline(never)]
+fn span_slow(name: &'static str) -> SpanGuard {
+    BUF.with(|cell| {
+        let mut cell = cell.borrow_mut();
+        let buf = match cell.as_mut() {
+            Some(buf) => buf,
+            None if AMBIENT.load(Ordering::Relaxed) => cell.insert(Buf::new(true)),
+            None => return SpanGuard { idx: None },
+        };
+        let parent = buf.stack.last().copied();
+        let idx = buf.recs.len();
+        buf.recs.push(Rec {
+            name,
+            parent,
+            start_ns: clock::ticks_ns(),
+            dur_ns: 0,
+            counters: Vec::new(),
+        });
+        buf.stack.push(idx);
+        SpanGuard { idx: Some(idx) }
+    })
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(idx) = self.idx else { return };
+        BUF.with(|cell| {
+            let mut cell = cell.borrow_mut();
+            let Some(buf) = cell.as_mut() else { return };
+            let end = clock::ticks_ns();
+            // Close any children a panic left open, then this span.
+            while let Some(top) = buf.stack.pop() {
+                buf.recs[top].dur_ns = end.saturating_sub(buf.recs[top].start_ns);
+                if top == idx {
+                    break;
+                }
+            }
+            if buf.ambient && buf.stack.is_empty() {
+                let recs = std::mem::take(&mut buf.recs);
+                for tree in build_forest(recs) {
+                    let tid = TID.with(|t| *t);
+                    COLLECTOR
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .push((tid, tree));
+                }
+            }
+        });
+    }
+}
+
+/// Add `delta` to the named counter of the innermost open span on this
+/// thread. Counters must be **deterministic payloads** (cache hits,
+/// trials pruned — pure functions of the input), never timings.
+#[inline]
+pub fn counter(name: &'static str, delta: u64) {
+    if !enabled() {
+        return;
+    }
+    counter_slow(name, delta);
+}
+
+#[inline(never)]
+fn counter_slow(name: &'static str, delta: u64) {
+    BUF.with(|cell| {
+        let mut cell = cell.borrow_mut();
+        let Some(buf) = cell.as_mut() else { return };
+        let Some(&top) = buf.stack.last() else { return };
+        let counters = &mut buf.recs[top].counters;
+        match counters.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, v)) => *v += delta,
+            None => counters.push((name, delta)),
+        }
+    });
+}
+
+/// Run `f` with a fresh trace on this thread, rooted at a span named
+/// `root`, and return its result plus the recorded tree. Returns
+/// `None` for the tree when tracing is disabled. Nested captures stack:
+/// the outer trace pauses and resumes untouched; if `f` panics the
+/// partial trace is discarded and the outer trace restored.
+pub fn capture<T>(root: &'static str, f: impl FnOnce() -> T) -> (T, Option<SpanNode>) {
+    if !enabled() {
+        return (f(), None);
+    }
+    struct Restore {
+        prev: Option<Option<Buf>>,
+    }
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            if let Some(prev) = self.prev.take() {
+                BUF.with(|cell| *cell.borrow_mut() = prev);
+            }
+        }
+    }
+    let prev = BUF.with(|cell| cell.borrow_mut().replace(Buf::new(false)));
+    let mut restore = Restore { prev: Some(prev) };
+    let guard = span(root);
+    let out = f();
+    drop(guard);
+    let buf = BUF.with(|cell| {
+        let mut cell = cell.borrow_mut();
+        let taken = cell.take();
+        *cell = restore.prev.take().flatten();
+        taken
+    });
+    // `restore` is now disarmed (prev taken); its drop is a no-op.
+    drop(restore);
+    (
+        out,
+        buf.and_then(|b| build_forest(b.recs).into_iter().next()),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Span trees
+// ---------------------------------------------------------------------------
+
+/// One node of a recorded span tree. `start_ns`/`dur_ns` are monotonic
+/// sidecar timings (excluded from determinism comparisons); `name`,
+/// `counters` (insertion-ordered), and `children` (execution-ordered)
+/// are deterministic for a given input.
+#[derive(Debug, Clone)]
+pub struct SpanNode {
+    pub name: &'static str,
+    pub start_ns: u64,
+    pub dur_ns: u64,
+    pub counters: Vec<(&'static str, u64)>,
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    /// A hand-assembled node (the serve batcher grafts a
+    /// `batch.coalesce` root over each request's distill tree).
+    pub fn synthetic(name: &'static str, start_ns: u64, dur_ns: u64) -> SpanNode {
+        SpanNode {
+            name,
+            start_ns,
+            dur_ns,
+            counters: Vec::new(),
+            children: Vec::new(),
+        }
+    }
+
+    /// Total duration of every span named `name` in this tree (ns).
+    pub fn total_ns(&self, name: &str) -> u64 {
+        let own = if self.name == name { self.dur_ns } else { 0 };
+        own + self.children.iter().map(|c| c.total_ns(name)).sum::<u64>()
+    }
+
+    /// Sum of the named counter over the whole tree.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        let own: u64 = self
+            .counters
+            .iter()
+            .filter(|(n, _)| *n == name)
+            .map(|(_, v)| *v)
+            .sum();
+        own + self
+            .children
+            .iter()
+            .map(|c| c.counter_total(name))
+            .sum::<u64>()
+    }
+
+    /// Render the tree as JSON. With `include_timings` false the output
+    /// contains only the deterministic fields (names, counters,
+    /// children) — what the flight-recorder determinism test compares.
+    pub fn render_json(&self, include_timings: bool) -> String {
+        let mut out = String::with_capacity(256);
+        self.push_json(&mut out, include_timings);
+        out
+    }
+
+    fn push_json(&self, out: &mut String, include_timings: bool) {
+        out.push_str("{\"name\":");
+        push_json_string(out, self.name);
+        if include_timings {
+            out.push_str(",\"start_ns\":");
+            out.push_str(&self.start_ns.to_string());
+            out.push_str(",\"dur_ns\":");
+            out.push_str(&self.dur_ns.to_string());
+        }
+        out.push_str(",\"counters\":{");
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_json_string(out, name);
+            out.push(':');
+            out.push_str(&value.to_string());
+        }
+        out.push_str("},\"children\":[");
+        for (i, child) in self.children.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            child.push_json(out, include_timings);
+        }
+        out.push_str("]}");
+    }
+}
+
+/// Tree-ify a flat record list (children keep execution order). Spans
+/// without a parent become roots; the normal capture path produces
+/// exactly one.
+fn build_forest(recs: Vec<Rec>) -> Vec<SpanNode> {
+    let mut nodes: Vec<Option<SpanNode>> = recs
+        .iter()
+        .map(|r| {
+            Some(SpanNode {
+                name: r.name,
+                start_ns: r.start_ns,
+                dur_ns: r.dur_ns,
+                counters: r.counters.clone(),
+                children: Vec::new(),
+            })
+        })
+        .collect();
+    let mut roots = Vec::new();
+    // Children appear after their parent in record order, so walking
+    // from the end attaches each subtree fully built.
+    for i in (0..recs.len()).rev() {
+        let node = nodes[i].take().expect("unvisited node");
+        match recs[i].parent {
+            Some(p) => {
+                let parent = nodes[p].as_mut().expect("parent outlives child");
+                parent.children.insert(0, node);
+            }
+            None => roots.insert(0, node),
+        }
+    }
+    roots
+}
+
+// ---------------------------------------------------------------------------
+// Exporters
+// ---------------------------------------------------------------------------
+
+/// Minimal JSON string escape (names are identifiers, but stay safe).
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Render span trees as Chrome trace-event JSON (the format Perfetto
+/// and `chrome://tracing` load): one complete (`"ph":"X"`) event per
+/// span, timestamps in microseconds on the shared process timeline,
+/// counters as event `args`.
+pub fn chrome_trace(threads: &[(u64, SpanNode)]) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    for (tid, tree) in threads {
+        push_chrome_events(&mut out, *tid, tree, &mut first);
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}\n");
+    out
+}
+
+fn push_chrome_events(out: &mut String, tid: u64, node: &SpanNode, first: &mut bool) {
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+    out.push_str("{\"name\":");
+    push_json_string(out, node.name);
+    out.push_str(",\"ph\":\"X\",\"ts\":");
+    push_micros(out, node.start_ns);
+    out.push_str(",\"dur\":");
+    push_micros(out, node.dur_ns);
+    out.push_str(",\"pid\":1,\"tid\":");
+    out.push_str(&tid.to_string());
+    out.push_str(",\"args\":{");
+    for (i, (name, value)) in node.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_json_string(out, name);
+        out.push(':');
+        out.push_str(&value.to_string());
+    }
+    out.push_str("}}");
+    for child in &node.children {
+        push_chrome_events(out, tid, child, first);
+    }
+}
+
+/// Nanoseconds as microseconds with fixed millinanosecond precision
+/// (`123456` ns → `123.456`).
+fn push_micros(out: &mut String, ns: u64) {
+    out.push_str(&(ns / 1_000).to_string());
+    out.push('.');
+    out.push_str(&format!("{:03}", ns % 1_000));
+}
+
+/// Per-stage totals aggregated over a set of trees.
+#[derive(Debug, Clone)]
+pub struct StageRow {
+    pub name: &'static str,
+    pub calls: u64,
+    pub total_ns: u64,
+    /// Total minus time spent in child spans.
+    pub self_ns: u64,
+}
+
+/// Aggregate spans by name over `threads`, sorted by self time
+/// (descending), ties by name — the profiler's table rows.
+pub fn stage_rows(threads: &[(u64, SpanNode)]) -> Vec<StageRow> {
+    let mut rows: Vec<StageRow> = Vec::new();
+    fn visit(node: &SpanNode, rows: &mut Vec<StageRow>) {
+        let children_ns: u64 = node.children.iter().map(|c| c.dur_ns).sum();
+        let self_ns = node.dur_ns.saturating_sub(children_ns);
+        match rows.iter_mut().find(|r| r.name == node.name) {
+            Some(row) => {
+                row.calls += 1;
+                row.total_ns += node.dur_ns;
+                row.self_ns += self_ns;
+            }
+            None => rows.push(StageRow {
+                name: node.name,
+                calls: 1,
+                total_ns: node.dur_ns,
+                self_ns,
+            }),
+        }
+        for child in &node.children {
+            visit(child, rows);
+        }
+    }
+    for (_, tree) in threads {
+        visit(tree, &mut rows);
+    }
+    rows.sort_by(|a, b| b.self_ns.cmp(&a.self_ns).then(a.name.cmp(b.name)));
+    rows
+}
+
+/// The sorted per-stage text summary `--profile` prints: self/total
+/// time and call counts per stage.
+pub fn stage_summary(threads: &[(u64, SpanNode)]) -> String {
+    let rows = stage_rows(threads);
+    let name_w = rows
+        .iter()
+        .map(|r| r.name.len())
+        .chain(std::iter::once("stage".len()))
+        .max()
+        .unwrap_or(5);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<name_w$}  {:>8}  {:>12}  {:>12}\n",
+        "stage", "calls", "self(ms)", "total(ms)"
+    ));
+    for r in &rows {
+        out.push_str(&format!(
+            "{:<name_w$}  {:>8}  {:>12.3}  {:>12.3}\n",
+            r.name,
+            r.calls,
+            r.self_ns as f64 / 1e6,
+            r.total_ns as f64 / 1e6,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serialize: the tests flip process-global switches.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn with_tracing<T>(f: impl FnOnce() -> T) -> T {
+        let _guard = TEST_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        set_enabled(true);
+        let out = f();
+        set_enabled(false);
+        set_ambient(false);
+        out
+    }
+
+    #[test]
+    fn disabled_tracing_records_nothing() {
+        let _guard = TEST_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        set_enabled(false);
+        let (value, tree) = capture("root", || {
+            let _s = span("child");
+            counter("hits", 3);
+            41 + 1
+        });
+        assert_eq!(value, 42);
+        assert!(tree.is_none());
+    }
+
+    #[test]
+    fn capture_builds_a_nested_tree_with_counters() {
+        let tree = with_tracing(|| {
+            let (value, tree) = capture("distill", || {
+                {
+                    let _g = span("grow");
+                    {
+                        let _t = span("grow.trial");
+                        counter("scored", 2);
+                    }
+                    let _t2 = span("grow.trial");
+                    counter("pruned", 1);
+                    counter("pruned", 4);
+                }
+                let _c = span("clip");
+                7
+            });
+            assert_eq!(value, 7);
+            tree.expect("tree recorded")
+        });
+        assert_eq!(tree.name, "distill");
+        assert_eq!(tree.children.len(), 2);
+        let grow = &tree.children[0];
+        assert_eq!(grow.name, "grow");
+        assert_eq!(grow.children.len(), 2);
+        assert_eq!(grow.children[0].counters, vec![("scored", 2)]);
+        // Repeated counter() calls on one span accumulate.
+        assert_eq!(grow.children[1].counters, vec![("pruned", 5)]);
+        assert_eq!(tree.children[1].name, "clip");
+        assert_eq!(tree.counter_total("pruned"), 5);
+        assert_eq!(tree.counter_total("scored"), 2);
+        assert!(tree.total_ns("grow.trial") <= tree.total_ns("grow"));
+    }
+
+    #[test]
+    fn spans_outside_any_scope_are_inert() {
+        with_tracing(|| {
+            // Enabled, but no capture and no ambient: nothing recorded,
+            // nothing leaks into a later capture.
+            {
+                let _s = span("stray");
+                counter("stray", 1);
+            }
+            let (_, tree) = capture("root", || ());
+            let tree = tree.expect("tree");
+            assert!(tree.children.is_empty());
+            assert_eq!(tree.counter_total("stray"), 0);
+        });
+    }
+
+    #[test]
+    fn nested_captures_restore_the_outer_trace() {
+        let tree = with_tracing(|| {
+            let (_, outer) = capture("outer", || {
+                let _before = span("before");
+                drop(_before);
+                let (_, inner) = capture("inner", || {
+                    let _s = span("inner.child");
+                });
+                let inner = inner.expect("inner tree");
+                assert_eq!(inner.name, "inner");
+                assert_eq!(inner.children.len(), 1);
+                let _after = span("after");
+            });
+            outer.expect("outer tree")
+        });
+        // The inner capture's spans never contaminate the outer tree.
+        let names: Vec<&str> = tree.children.iter().map(|c| c.name).collect();
+        assert_eq!(names, vec!["before", "after"]);
+    }
+
+    #[test]
+    fn capture_discards_on_panic_and_restores() {
+        with_tracing(|| {
+            let result = std::panic::catch_unwind(|| {
+                let (_, _) = capture("doomed", || {
+                    let _s = span("child");
+                    panic!("boom");
+                });
+            });
+            assert!(result.is_err());
+            // The thread still captures cleanly afterwards.
+            let (_, tree) = capture("next", || {
+                let _s = span("ok");
+            });
+            let tree = tree.expect("tree");
+            assert_eq!(tree.children.len(), 1);
+            assert_eq!(tree.children[0].name, "ok");
+        });
+    }
+
+    #[test]
+    fn ambient_collection_gathers_root_spans() {
+        with_tracing(|| {
+            set_ambient(true);
+            drain_ambient();
+            {
+                let _root = span("unit");
+                let _child = span("unit.child");
+            }
+            {
+                let _root = span("unit2");
+            }
+            set_ambient(false);
+            let trees = drain_ambient();
+            let names: Vec<&str> = trees.iter().map(|(_, t)| t.name).collect();
+            assert_eq!(names, vec!["unit", "unit2"]);
+            assert_eq!(trees[0].1.children.len(), 1);
+            assert!(drain_ambient().is_empty());
+        });
+    }
+
+    #[test]
+    fn render_json_is_deterministic_and_timings_are_optional() {
+        let tree = with_tracing(|| {
+            let (_, tree) = capture("root", || {
+                let _s = span("stage");
+                counter("hits", 2);
+            });
+            tree.expect("tree")
+        });
+        let with_t = tree.render_json(true);
+        assert!(with_t.contains("\"start_ns\":"));
+        assert!(with_t.contains("\"dur_ns\":"));
+        let bare = tree.render_json(false);
+        assert!(!bare.contains("_ns\""));
+        assert_eq!(
+            bare,
+            "{\"name\":\"root\",\"counters\":{},\"children\":[\
+             {\"name\":\"stage\",\"counters\":{\"hits\":2},\"children\":[]}]}"
+        );
+        assert_eq!(bare, tree.render_json(false), "byte-stable");
+    }
+
+    #[test]
+    fn chrome_trace_emits_one_complete_event_per_span() {
+        let mut root = SpanNode::synthetic("root", 1_500, 10_000);
+        let mut child = SpanNode::synthetic("child", 2_000, 3_250);
+        child.counters.push(("pruned", 4));
+        root.children.push(child);
+        let json = chrome_trace(&[(1, root)]);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"name\":\"root\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ts\":1.500"));
+        assert!(json.contains("\"ts\":2.000"));
+        assert!(json.contains("\"dur\":3.250"));
+        assert!(json.contains("\"args\":{\"pruned\":4}"));
+    }
+
+    #[test]
+    fn stage_summary_aggregates_self_and_total() {
+        let mut root = SpanNode::synthetic("distill", 0, 10_000_000);
+        let mut grow = SpanNode::synthetic("grow", 0, 6_000_000);
+        grow.children.push(SpanNode::synthetic("qa", 0, 2_000_000));
+        grow.children.push(SpanNode::synthetic("qa", 0, 1_000_000));
+        root.children.push(grow);
+        let rows = stage_rows(&[(1, root)]);
+        let find = |n: &str| rows.iter().find(|r| r.name == n).expect("row");
+        assert_eq!(find("qa").calls, 2);
+        assert_eq!(find("qa").total_ns, 3_000_000);
+        assert_eq!(find("grow").self_ns, 3_000_000);
+        assert_eq!(find("distill").self_ns, 4_000_000);
+        let text = stage_summary(&[(1, SpanNode::synthetic("only", 0, 1_000))]);
+        assert!(text.contains("stage"));
+        assert!(text.contains("only"));
+    }
+}

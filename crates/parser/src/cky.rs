@@ -250,13 +250,16 @@ impl CkyParser {
     /// identical trees, trading a little duplicate work for zero
     /// serialization of the O(n³) path.
     pub fn parse_tokens(&self, tokens: &[Token]) -> DepTree {
+        let _span = gced_obs::span("parse");
         let Some(cache) = &self.cache else {
             return self.parse_tokens_uncached(tokens);
         };
         let signature: Vec<Pos> = tokens.iter().map(|t| t.pos).collect();
         if let Some(tree) = cache.lock().expect("parse cache lock").get(&signature) {
+            gced_obs::counter("parse_cache_hits", 1);
             return tree;
         }
+        gced_obs::counter("parse_cache_misses", 1);
         let tree = self.parse_tokens_uncached(tokens);
         cache
             .lock()

@@ -316,6 +316,7 @@ impl QaModel {
                 b
             } else {
                 cache.run_misses += 1;
+                let _span = gced_obs::span("qa.predict");
                 let b = score_run(
                     self,
                     q,

@@ -386,6 +386,7 @@ impl QaModel {
         clues: &[usize],
         question: &str,
     ) -> Prediction {
+        let _span = gced_obs::span("qa.predict");
         let noise_key = self.noise_key(question);
         if question_coverage(doc, q) < self.threshold() {
             return Prediction::none();

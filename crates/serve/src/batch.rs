@@ -37,7 +37,9 @@
 
 use crate::fault::{FaultPlan, Site};
 use crate::metrics::Metrics;
+use crate::recorder::{FlightRecorder, RecordedRequest};
 use gced::{DistillError, Distillation, Gced};
+use gced_obs::SpanNode;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::Ordering;
@@ -94,6 +96,8 @@ pub struct BatcherConfig {
 }
 
 struct Pending {
+    /// Server-assigned request id (the flight recorder's key).
+    id: u64,
     question: String,
     answer: String,
     context: String,
@@ -114,6 +118,7 @@ struct Inner {
     gced: Arc<Gced>,
     faults: Arc<FaultPlan>,
     metrics: Arc<Metrics>,
+    recorder: Arc<FlightRecorder>,
 }
 
 /// Handle to the batcher thread.
@@ -132,6 +137,7 @@ impl Batcher {
         config: BatcherConfig,
         faults: Arc<FaultPlan>,
         metrics: Arc<Metrics>,
+        recorder: Arc<FlightRecorder>,
     ) -> Self {
         let inner = Arc::new(Inner {
             state: Mutex::new(State {
@@ -147,6 +153,7 @@ impl Batcher {
             gced,
             faults,
             metrics,
+            recorder,
         });
         Batcher {
             handle: Mutex::new(Some(spawn_batcher(&inner))),
@@ -161,6 +168,7 @@ impl Batcher {
     /// (after calling [`Batcher::revive`]).
     pub fn enqueue(
         &self,
+        id: u64,
         question: String,
         answer: String,
         context: String,
@@ -174,6 +182,7 @@ impl Batcher {
             return Err(EnqueueError::Full);
         }
         st.queue.push_back(Pending {
+            id,
             question,
             answer,
             context,
@@ -338,6 +347,16 @@ fn batcher_loop(inner: &Inner) {
             .iter()
             .map(|p| (p.question.as_str(), p.answer.as_str(), p.context.as_str()))
             .collect();
+        // Queue wait ends here: the batch is about to run.
+        let queue_ns: Vec<u64> = live
+            .iter()
+            .map(|p| {
+                let ns = p.enqueued_at.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+                inner.metrics.queue_wait_ns.record(ns);
+                ns
+            })
+            .collect();
+        let batch_started = gced_obs::clock::ticks_ns();
         // Ring 1: a panic anywhere in the coalesced call — including
         // the injected `batch_panic` chaos site — fails this batch, not
         // the thread. `AssertUnwindSafe` is sound because nothing the
@@ -349,19 +368,33 @@ fn batcher_loop(inner: &Inner) {
             if inner.faults.fire(Site::BatchPanic).is_some() {
                 panic!("chaos: batch_panic fired");
             }
-            inner.gced.distill_batch(&items)
+            inner.gced.distill_batch_traced(&items)
         }));
+        let batch_ns = gced_obs::clock::ticks_ns().saturating_sub(batch_started);
         inner.metrics.batches_total.fetch_add(1, Ordering::Relaxed);
         inner.metrics.batch_size.record(live.len() as u64);
         match results {
             Ok(results) => {
-                for (pending, result) in live.into_iter().zip(results) {
+                let batch_size = live.len() as u64;
+                for ((pending, (result, tree)), queue_ns) in
+                    live.into_iter().zip(results).zip(queue_ns)
+                {
                     let elapsed_us = pending
                         .enqueued_at
                         .elapsed()
                         .as_micros()
                         .min(u128::from(u64::MAX));
                     inner.metrics.latency_us.record(elapsed_us as u64);
+                    if let Some(tree) = tree {
+                        observe(
+                            inner,
+                            pending.id,
+                            result.is_ok(),
+                            queue_ns,
+                            (batch_started, batch_ns, batch_size),
+                            tree,
+                        );
+                    }
                     // A client that hung up just discards its reply.
                     let _ = pending.tx.send(Reply::Done(Box::new(result)));
                 }
@@ -373,6 +406,46 @@ fn batcher_loop(inner: &Inner) {
             }
         }
     }
+}
+
+/// Fold one traced request into the stage histograms, the
+/// search-effectiveness counters, and the flight recorder. `batch` is
+/// the coalesced call this request rode in: `(start ticks, duration
+/// ns, size)` — grafted over the request's own tree as a synthetic
+/// `batch.coalesce` root.
+fn observe(
+    inner: &Inner,
+    id: u64,
+    ok: bool,
+    queue_ns: u64,
+    batch: (u64, u64, u64),
+    tree: SpanNode,
+) {
+    let m = &inner.metrics;
+    m.parse_ns.record(tree.total_ns("parse"));
+    m.grow_ns.record(tree.total_ns("grow"));
+    m.clip_ns.record(tree.total_ns("clip"));
+    m.qa_ns.record(tree.total_ns("qa.predict"));
+    m.grow_trials
+        .fetch_add(tree.counter_total("trials"), Ordering::Relaxed);
+    m.grow_trials_pruned
+        .fetch_add(tree.counter_total("trials_pruned"), Ordering::Relaxed);
+    m.span_cache_hits
+        .fetch_add(tree.counter_total("span_cache_hits"), Ordering::Relaxed);
+    m.span_cache_misses
+        .fetch_add(tree.counter_total("span_cache_misses"), Ordering::Relaxed);
+    let (batch_started, batch_ns, batch_size) = batch;
+    let total_ns = queue_ns + tree.dur_ns;
+    let mut root = SpanNode::synthetic("batch.coalesce", batch_started, batch_ns);
+    root.counters.push(("batch_size", batch_size));
+    root.children.push(tree);
+    inner.recorder.record(RecordedRequest {
+        id,
+        ok,
+        queue_ns,
+        total_ns,
+        tree: root,
+    });
 }
 
 #[cfg(test)]
@@ -415,6 +488,7 @@ mod tests {
             },
             Arc::new(faults),
             Arc::clone(metrics),
+            Arc::new(FlightRecorder::new(8, 2)),
         )
     }
 
@@ -444,7 +518,7 @@ mod tests {
         );
         let expected = gced.distill(Q, A, C).unwrap();
         let receivers: Vec<_> = (0..6)
-            .map(|_| b.enqueue(Q.into(), A.into(), C.into()).unwrap())
+            .map(|_| b.enqueue(0, Q.into(), A.into(), C.into()).unwrap())
             .collect();
         for rx in receivers {
             let got = done(rx.recv().unwrap()).unwrap();
@@ -461,6 +535,43 @@ mod tests {
     }
 
     #[test]
+    fn traced_batches_feed_the_recorder_and_stage_metrics() {
+        let metrics = Arc::new(Metrics::new());
+        let recorder = Arc::new(FlightRecorder::new(8, 2));
+        gced_obs::set_enabled(true);
+        let b = Batcher::start(
+            pipeline(),
+            BatcherConfig {
+                batch_max: 4,
+                flush: Duration::from_millis(1),
+                capacity: 16,
+                deadline: Duration::ZERO,
+            },
+            Arc::new(FaultPlan::none()),
+            Arc::clone(&metrics),
+            Arc::clone(&recorder),
+        );
+        let rx = b.enqueue(41, Q.into(), A.into(), C.into()).unwrap();
+        assert!(done(rx.recv().unwrap()).is_ok());
+        b.shutdown();
+        gced_obs::set_enabled(false);
+        let rec = recorder.get(41).expect("traced request recorded");
+        assert!(rec.ok);
+        assert_eq!(rec.tree.name, "batch.coalesce");
+        assert_eq!(rec.tree.counter_total("batch_size"), 1);
+        let distill = &rec.tree.children[0];
+        assert_eq!(distill.name, "distill");
+        assert!(distill.total_ns("grow") > 0, "grow span recorded");
+        assert!(distill.total_ns("clip") > 0, "clip span recorded");
+        assert!(metrics.grow_ns.count() >= 1);
+        assert!(metrics.queue_wait_ns.count() >= 1);
+        assert!(
+            metrics.grow_trials.load(Ordering::Relaxed) > 0,
+            "trial counters flow from the span tree"
+        );
+    }
+
+    #[test]
     fn pipeline_errors_travel_to_the_caller() {
         let metrics = Arc::new(Metrics::new());
         let b = start(
@@ -471,7 +582,7 @@ mod tests {
             FaultPlan::none(),
             &metrics,
         );
-        let rx = b.enqueue(Q.into(), String::new(), C.into()).unwrap();
+        let rx = b.enqueue(0, Q.into(), String::new(), C.into()).unwrap();
         assert!(matches!(
             done(rx.recv().unwrap()),
             Err(DistillError::EmptyAnswer)
@@ -492,12 +603,12 @@ mod tests {
             &metrics,
         );
         // Fill the queue faster than the 5s flush window drains it.
-        let _rx1 = b.enqueue(Q.into(), A.into(), C.into()).unwrap();
-        let _rx2 = b.enqueue(Q.into(), A.into(), C.into()).unwrap();
+        let _rx1 = b.enqueue(0, Q.into(), A.into(), C.into()).unwrap();
+        let _rx2 = b.enqueue(0, Q.into(), A.into(), C.into()).unwrap();
         let mut shed = 0;
         for _ in 0..4 {
             if matches!(
-                b.enqueue(Q.into(), A.into(), C.into()),
+                b.enqueue(0, Q.into(), A.into(), C.into()),
                 Err(EnqueueError::Full)
             ) {
                 shed += 1;
@@ -520,14 +631,14 @@ mod tests {
             &metrics,
         );
         let receivers: Vec<_> = (0..3)
-            .map(|_| b.enqueue(Q.into(), A.into(), C.into()).unwrap())
+            .map(|_| b.enqueue(0, Q.into(), A.into(), C.into()).unwrap())
             .collect();
         b.shutdown();
         for rx in receivers {
             assert!(done(rx.recv().unwrap()).is_ok(), "drained request answered");
         }
         assert!(matches!(
-            b.enqueue(Q.into(), A.into(), C.into()),
+            b.enqueue(0, Q.into(), A.into(), C.into()),
             Err(EnqueueError::ShuttingDown)
         ));
     }
@@ -545,7 +656,7 @@ mod tests {
             FaultPlan::none(),
             &metrics,
         );
-        let rx = b.enqueue(Q.into(), A.into(), C.into()).unwrap();
+        let rx = b.enqueue(0, Q.into(), A.into(), C.into()).unwrap();
         assert!(matches!(rx.recv().unwrap(), Reply::Expired));
         // No distillation ran for the shed request.
         assert_eq!(metrics.latency_us.count(), 0);
@@ -566,11 +677,11 @@ mod tests {
             &metrics,
         );
         // First batch rides into the injected panic …
-        let rx = b.enqueue(Q.into(), A.into(), C.into()).unwrap();
+        let rx = b.enqueue(0, Q.into(), A.into(), C.into()).unwrap();
         assert!(matches!(rx.recv().unwrap(), Reply::Panicked));
         // … and the thread survives to answer the next one correctly.
         assert!(b.is_alive(), "batcher thread must outlive a batch panic");
-        let rx = b.enqueue(Q.into(), A.into(), C.into()).unwrap();
+        let rx = b.enqueue(0, Q.into(), A.into(), C.into()).unwrap();
         let got = done(rx.recv().unwrap()).unwrap();
         let expected = pipeline().distill(Q, A, C).unwrap();
         assert_eq!(got.evidence, expected.evidence);
@@ -590,7 +701,7 @@ mod tests {
             faults,
             &metrics,
         );
-        let rx = b.enqueue(Q.into(), A.into(), C.into()).unwrap();
+        let rx = b.enqueue(0, Q.into(), A.into(), C.into()).unwrap();
         // The kill site panics outside the catch: the thread dies and
         // the waiting channel disconnects instead of replying.
         assert!(rx.recv().is_err(), "expected a disconnect, not a reply");
@@ -600,7 +711,7 @@ mod tests {
         // Reviving an already-live batcher is a no-op.
         assert!(!b.revive());
         // The revived thread serves correctly (the kill was capped x1).
-        let rx = b.enqueue(Q.into(), A.into(), C.into()).unwrap();
+        let rx = b.enqueue(0, Q.into(), A.into(), C.into()).unwrap();
         assert!(done(rx.recv().unwrap()).is_ok());
         b.shutdown();
         // Shutdown forbids revival.
@@ -622,10 +733,10 @@ mod tests {
             faults,
             &metrics,
         );
-        let doomed = b.enqueue(Q.into(), A.into(), C.into()).unwrap();
+        let doomed = b.enqueue(0, Q.into(), A.into(), C.into()).unwrap();
         assert!(doomed.recv().is_err(), "first request rides the kill");
         let stranded: Vec<_> = (0..3)
-            .map(|_| b.enqueue(Q.into(), A.into(), C.into()).unwrap())
+            .map(|_| b.enqueue(0, Q.into(), A.into(), C.into()).unwrap())
             .collect();
         b.shutdown();
         for rx in stranded {

@@ -33,6 +33,9 @@ pub struct Response {
     /// Parsed `Retry-After` header (seconds), present on shed (503)
     /// responses.
     pub retry_after: Option<u64>,
+    /// Parsed `X-Gced-Request-Id` header — the server-assigned id a
+    /// distill request can be looked up under at `/debug/requests/{id}`.
+    pub request_id: Option<u64>,
 }
 
 impl Response {
@@ -86,6 +89,7 @@ fn parse_response(raw: &[u8]) -> Option<Response> {
         body: raw[head_end + 4..].to_vec(),
         keep_alive: header_keep_alive(head),
         retry_after: header_retry_after(head),
+        request_id: header_u64(head, "x-gced-request-id"),
     })
 }
 
@@ -99,9 +103,13 @@ fn header_keep_alive(head: &str) -> bool {
 }
 
 fn header_retry_after(head: &str) -> Option<u64> {
+    header_u64(head, "retry-after")
+}
+
+fn header_u64(head: &str, header: &str) -> Option<u64> {
     head.lines().find_map(|l| {
         let (name, value) = l.split_once(':')?;
-        if name.trim().eq_ignore_ascii_case("retry-after") {
+        if name.trim().eq_ignore_ascii_case(header) {
             value.trim().parse().ok()
         } else {
             None
@@ -332,6 +340,7 @@ impl Session {
             body,
             keep_alive: header_keep_alive(&head),
             retry_after: header_retry_after(&head),
+            request_id: header_u64(&head, "x-gced-request-id"),
         })
     }
 }
@@ -361,6 +370,9 @@ mod tests {
         let shed =
             b"HTTP/1.1 503 Service Unavailable\r\nRetry-After: 3\r\nContent-Length: 0\r\n\r\n";
         assert_eq!(parse_response(shed).unwrap().retry_after, Some(3));
+        assert_eq!(parse_response(shed).unwrap().request_id, None);
+        let tagged = b"HTTP/1.1 200 OK\r\nX-Gced-Request-Id: 42\r\nContent-Length: 0\r\n\r\n";
+        assert_eq!(parse_response(tagged).unwrap().request_id, Some(42));
     }
 
     #[test]

@@ -273,6 +273,21 @@ pub fn render_response(
     keep_alive: bool,
     retry_after: Option<u64>,
 ) -> Vec<u8> {
+    render_response_tagged(status, body, keep_alive, retry_after, None)
+}
+
+/// [`render_response`] plus the server-assigned `X-Gced-Request-Id`
+/// header when `request_id` is present — the flight recorder's lookup
+/// key, echoed so clients can correlate a response with its recorded
+/// span tree under `GET /debug/requests/{id}`. The body bytes stay
+/// identical whatever the header set.
+pub fn render_response_tagged(
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+    retry_after: Option<u64>,
+    request_id: Option<u64>,
+) -> Vec<u8> {
     let mut out = format!(
         "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n",
         reason(status),
@@ -280,6 +295,9 @@ pub fn render_response(
     );
     if let Some(secs) = retry_after {
         out.push_str(&format!("Retry-After: {secs}\r\n"));
+    }
+    if let Some(id) = request_id {
+        out.push_str(&format!("X-Gced-Request-Id: {id}\r\n"));
     }
     out.push_str(if keep_alive {
         "Connection: keep-alive\r\n\r\n"
@@ -483,6 +501,27 @@ mod tests {
 
         let text = String::from_utf8(render_response(503, "{}", true, None)).unwrap();
         assert!(!text.contains("Retry-After"), "{text}");
+    }
+
+    #[test]
+    fn request_id_header_is_emitted_only_when_asked() {
+        let text =
+            String::from_utf8(render_response_tagged(200, "{}", true, None, Some(7))).unwrap();
+        assert!(text.contains("X-Gced-Request-Id: 7\r\n"), "{text}");
+        assert!(text.ends_with("\r\n\r\n{}"));
+        let text = String::from_utf8(render_response_tagged(200, "{}", true, None, None)).unwrap();
+        assert!(!text.contains("X-Gced-Request-Id"), "{text}");
+        // Tagging never changes the body bytes.
+        assert_eq!(
+            render_response(200, "{\"x\":1}", false, None)
+                .split(|&b| b == b'\n')
+                .next_back()
+                .unwrap(),
+            render_response_tagged(200, "{\"x\":1}", false, None, Some(9))
+                .split(|&b| b == b'\n')
+                .next_back()
+                .unwrap(),
+        );
     }
 
     #[test]

@@ -44,11 +44,13 @@ pub mod client;
 pub mod fault;
 pub mod http;
 pub mod metrics;
+pub mod recorder;
 pub mod wire;
 
 use batch::{Batcher, BatcherConfig, EnqueueError, Reply};
 use fault::{FaultPlan, Site};
 use metrics::Metrics;
+use recorder::FlightRecorder;
 use std::collections::HashMap;
 use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -99,6 +101,15 @@ pub struct ServeConfig {
     /// the dev corpus of the served fingerprint), so first requests hit
     /// a warm cache. Ignored when `parse_cache` is 0.
     pub warmup_docs: Vec<String>,
+    /// Per-request span tracing plus the `/debug/requests` flight
+    /// recorder. On by default: traces are a sidecar channel (response
+    /// bodies stay byte-identical to offline rendering), and the cost
+    /// per span is two monotonic-clock reads and a thread-local push.
+    pub trace: bool,
+    /// Recent-ring capacity of the flight recorder — the last N traced
+    /// requests are kept (the slowest few are kept besides; see
+    /// [`recorder::DEFAULT_SLOW`]).
+    pub flight_requests: usize,
 }
 
 impl Default for ServeConfig {
@@ -115,6 +126,8 @@ impl Default for ServeConfig {
             read_deadline: Duration::from_secs(30),
             fault_plan: None,
             warmup_docs: Vec::new(),
+            trace: true,
+            flight_requests: recorder::DEFAULT_RECENT,
         }
     }
 }
@@ -142,6 +155,13 @@ struct Shared {
     /// exchanges still finish and close via the shutdown flag.
     conns: Mutex<HashMap<u64, TcpStream>>,
     next_conn_id: AtomicU64,
+    /// The flight recorder the batcher feeds (`/debug/requests`).
+    recorder: Arc<FlightRecorder>,
+    /// Server-assigned `/v1/distill` request ids, echoed as
+    /// `X-Gced-Request-Id` (ids start at 1).
+    next_request_id: AtomicU64,
+    /// Process-epoch stopwatch behind `uptime_seconds`.
+    started: gced_obs::clock::Stopwatch,
 }
 
 /// Removes a connection's registry entry when its handler exits (also
@@ -201,6 +221,16 @@ pub fn start(gced: gced::Gced, mut config: ServeConfig) -> std::io::Result<Serve
         .fault_plan
         .clone()
         .unwrap_or_else(|| Arc::new(FaultPlan::none()));
+    if config.trace {
+        // Tracing is process-global but recording is scoped: spans hit
+        // only threads inside a capture (the batcher's traced batches),
+        // and traces never touch response bytes.
+        gced_obs::set_enabled(true);
+    }
+    let flight = Arc::new(FlightRecorder::new(
+        config.flight_requests,
+        recorder::DEFAULT_SLOW,
+    ));
     let batcher = Batcher::start(
         Arc::clone(&gced),
         BatcherConfig {
@@ -211,6 +241,7 @@ pub fn start(gced: gced::Gced, mut config: ServeConfig) -> std::io::Result<Serve
         },
         Arc::clone(&faults),
         Arc::clone(&metrics),
+        Arc::clone(&flight),
     );
     let shared = Arc::new(Shared {
         gced,
@@ -223,6 +254,9 @@ pub fn start(gced: gced::Gced, mut config: ServeConfig) -> std::io::Result<Serve
         warmup,
         conns: Mutex::new(HashMap::new()),
         next_conn_id: AtomicU64::new(0),
+        recorder: flight,
+        next_request_id: AtomicU64::new(0),
+        started: gced_obs::clock::Stopwatch::start(),
     });
     let accept_shared = Arc::clone(&shared);
     let accept_thread = std::thread::Builder::new()
@@ -389,16 +423,16 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
                 .keepalive_reuses
                 .fetch_add(1, Ordering::Relaxed);
         }
-        let (status, body, retry_after) = route(&request, shared);
+        let routed = route(&request, shared);
         // HTTP-layer rejections only: 422/500 are already counted as
         // distill errors, 503 as shed — the counters must decompose.
-        if matches!(status, 400 | 404 | 405 | 413) {
+        if matches!(routed.status, 400 | 404 | 405 | 413) {
             shared.metrics.http_errors.fetch_add(1, Ordering::Relaxed);
         }
         let keep = request.keep_alive
             && served + 1 < max_requests
             && !shared.shutdown.load(Ordering::SeqCst);
-        if write_reply(&mut writer, status, &body, keep, retry_after, shared).is_err() || !keep {
+        if write_reply(&mut writer, &routed, keep, shared).is_err() || !keep {
             return;
         }
     }
@@ -410,13 +444,17 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
 /// a response cut mid-frame.
 fn write_reply(
     writer: &mut TcpStream,
-    status: u16,
-    body: &str,
+    routed: &Routed,
     keep_alive: bool,
-    retry_after: Option<u64>,
     shared: &Shared,
 ) -> std::io::Result<()> {
-    let frame = http::render_response(status, body, keep_alive, retry_after);
+    let frame = http::render_response_tagged(
+        routed.status,
+        &routed.body,
+        keep_alive,
+        routed.retry_after,
+        routed.request_id,
+    );
     if shared.faults.fire(Site::TornWrite).is_some() {
         let cut = (frame.len() / 2).max(1);
         let _ = writer.write_all(&frame[..cut]);
@@ -430,33 +468,69 @@ fn write_reply(
     writer.flush()
 }
 
-/// Dispatch one parsed request to its endpoint. Returns
-/// `(status, body, retry_after)`.
-fn route(request: &http::Request, shared: &Shared) -> (u16, String, Option<u64>) {
+/// One routed response: status, body, and the optional headers the
+/// endpoint asked for (`Retry-After` on sheds, `X-Gced-Request-Id` on
+/// distill requests).
+struct Routed {
+    status: u16,
+    body: String,
+    retry_after: Option<u64>,
+    request_id: Option<u64>,
+}
+
+impl Routed {
+    fn plain(status: u16, body: String) -> Routed {
+        Routed {
+            status,
+            body,
+            retry_after: None,
+            request_id: None,
+        }
+    }
+}
+
+/// Dispatch one parsed request to its endpoint.
+fn route(request: &http::Request, shared: &Shared) -> Routed {
     shared
         .metrics
         .requests_total
         .fetch_add(1, Ordering::Relaxed);
     match (request.method.as_str(), request.path.as_str()) {
-        ("GET", "/healthz") => (200, healthz_body(shared), None),
-        ("GET", "/metrics") => (200, metrics_body(shared), None),
+        ("GET", "/healthz") => Routed::plain(200, healthz_body(shared)),
+        ("GET", "/metrics") => Routed::plain(200, metrics_body(shared)),
         ("POST", "/v1/distill") => distill(request, shared),
         ("POST", "/shutdown") => {
             trigger_shutdown(shared);
-            (200, "{\"status\":\"shutting down\"}".to_string(), None)
+            Routed::plain(200, "{\"status\":\"shutting down\"}".to_string())
         }
-        ("GET" | "POST", "/healthz" | "/metrics" | "/v1/distill" | "/shutdown") => (
+        ("GET", "/debug/requests") => Routed::plain(200, shared.recorder.list_json()),
+        ("GET", path) if path.starts_with("/debug/requests/") => {
+            let tail = &path["/debug/requests/".len()..];
+            match tail
+                .parse::<u64>()
+                .ok()
+                .and_then(|id| shared.recorder.get_json(id, true))
+            {
+                Some(body) => Routed::plain(200, body),
+                None => Routed::plain(
+                    404,
+                    wire::render_error(&format!("no recorded request {tail:?}")),
+                ),
+            }
+        }
+        (
+            "GET" | "POST",
+            "/healthz" | "/metrics" | "/v1/distill" | "/shutdown" | "/debug/requests",
+        ) => Routed::plain(
             405,
             wire::render_error(&format!(
                 "method {} not allowed on {}",
                 request.method, request.path
             )),
-            None,
         ),
-        _ => (
+        _ => Routed::plain(
             404,
             wire::render_error(&format!("no route for {}", request.path)),
-            None,
         ),
     }
 }
@@ -477,21 +551,31 @@ fn recv_backstop(config: &ServeConfig) -> Duration {
 /// whose body parses increments `distill_requests_total` and exactly
 /// one outcome counter — all from this function, so the `/metrics`
 /// decomposition holds exactly (see [`metrics::Metrics`]).
-fn distill(request: &http::Request, shared: &Shared) -> (u16, String, Option<u64>) {
+fn distill(request: &http::Request, shared: &Shared) -> Routed {
     let parsed = match wire::parse_request(&request.body) {
         Ok(p) => p,
-        Err(e) => return (400, wire::render_error(&e), None),
+        Err(e) => return Routed::plain(400, wire::render_error(&e)),
     };
     let m = &shared.metrics;
     m.distill_requests_total.fetch_add(1, Ordering::Relaxed);
+    // The id is assigned to every parseable request — shed ones too —
+    // and echoed back as `X-Gced-Request-Id`; only requests that rode a
+    // traced batch appear under `/debug/requests`.
+    let id = shared.next_request_id.fetch_add(1, Ordering::Relaxed) + 1;
+    let tagged = |status: u16, body: String, retry_after: Option<u64>| Routed {
+        status,
+        body,
+        retry_after,
+        request_id: Some(id),
+    };
     let rx = match shared
         .batcher
-        .enqueue(parsed.question, parsed.answer, parsed.context)
+        .enqueue(id, parsed.question, parsed.answer, parsed.context)
     {
         Ok(rx) => rx,
         Err(EnqueueError::Full) => {
             m.shed_full.fetch_add(1, Ordering::Relaxed);
-            return (
+            return tagged(
                 503,
                 wire::render_error("queue full, retry later"),
                 Some(RETRY_AFTER_SECS),
@@ -499,7 +583,7 @@ fn distill(request: &http::Request, shared: &Shared) -> (u16, String, Option<u64
         }
         Err(EnqueueError::ShuttingDown) => {
             m.shed_shutdown.fetch_add(1, Ordering::Relaxed);
-            return (
+            return tagged(
                 503,
                 wire::render_error("server is shutting down"),
                 Some(RETRY_AFTER_SECS),
@@ -510,11 +594,11 @@ fn distill(request: &http::Request, shared: &Shared) -> (u16, String, Option<u64
         Ok(Reply::Done(outcome)) => match *outcome {
             Ok(d) => {
                 m.distill_ok.fetch_add(1, Ordering::Relaxed);
-                (200, wire::render_distillation(&d), None)
+                tagged(200, wire::render_distillation(&d), None)
             }
             Err(e) => {
                 m.distill_error.fetch_add(1, Ordering::Relaxed);
-                (
+                tagged(
                     422,
                     wire::render_error(&wire::distill_error_message(&e)),
                     None,
@@ -523,7 +607,7 @@ fn distill(request: &http::Request, shared: &Shared) -> (u16, String, Option<u64
         },
         Ok(Reply::Panicked) => {
             m.distill_panics.fetch_add(1, Ordering::Relaxed);
-            (
+            tagged(
                 500,
                 wire::render_error("distillation batch panicked, safe to retry"),
                 None,
@@ -531,7 +615,7 @@ fn distill(request: &http::Request, shared: &Shared) -> (u16, String, Option<u64
         }
         Ok(Reply::Expired) => {
             m.shed_expired.fetch_add(1, Ordering::Relaxed);
-            (
+            tagged(
                 503,
                 wire::render_error("request deadline expired in queue, retry later"),
                 Some(RETRY_AFTER_SECS),
@@ -539,7 +623,7 @@ fn distill(request: &http::Request, shared: &Shared) -> (u16, String, Option<u64
         }
         Ok(Reply::Shutdown) => {
             m.shed_shutdown.fetch_add(1, Ordering::Relaxed);
-            (
+            tagged(
                 503,
                 wire::render_error("server is shutting down"),
                 Some(RETRY_AFTER_SECS),
@@ -552,7 +636,7 @@ fn distill(request: &http::Request, shared: &Shared) -> (u16, String, Option<u64
         Err(RecvTimeoutError::Disconnected) => {
             m.distill_panics.fetch_add(1, Ordering::Relaxed);
             shared.batcher.revive();
-            (
+            tagged(
                 500,
                 wire::render_error("batcher died mid-batch, safe to retry"),
                 None,
@@ -562,7 +646,7 @@ fn distill(request: &http::Request, shared: &Shared) -> (u16, String, Option<u64
         // Never leave the client hanging.
         Err(RecvTimeoutError::Timeout) => {
             m.distill_timeouts.fetch_add(1, Ordering::Relaxed);
-            (
+            tagged(
                 500,
                 wire::render_error("no batcher reply within backstop, safe to retry"),
                 None,
@@ -580,13 +664,25 @@ fn healthz_body(shared: &Shared) -> String {
         shared.batcher.revive();
     }
     format!(
-        "{{\"status\":\"ok\",\"batcher_alive\":{},\"pool_threads\":{},\"queued\":{},\"batch_max\":{},\"queue_capacity\":{},\"max_requests_per_conn\":{}}}",
+        "{{\"status\":\"ok\",\"batcher_alive\":{},\"pool_threads\":{},\"queued\":{},\"batch_max\":{},\"queue_capacity\":{},\"max_requests_per_conn\":{},\"uptime_seconds\":{},\"build_info\":{}}}",
         shared.batcher.is_alive(),
         gced_par::effective_parallelism(),
         shared.batcher.queued(),
         shared.config.batch_max,
         shared.config.queue_capacity,
-        shared.config.max_requests_per_conn
+        shared.config.max_requests_per_conn,
+        shared.started.elapsed().as_secs(),
+        build_info(),
+    )
+}
+
+/// Crate version and compiled feature set, under `build_info` in both
+/// `/healthz` and `/metrics`.
+fn build_info() -> String {
+    format!(
+        "{{\"version\":\"{}\",\"features\":{{\"chaos\":{}}}}}",
+        env!("CARGO_PKG_VERSION"),
+        cfg!(feature = "chaos"),
     )
 }
 
@@ -613,6 +709,16 @@ fn metrics_body(shared: &Shared) -> String {
             shared.config.read_deadline.as_millis().to_string(),
         ),
         (
+            "uptime_seconds",
+            shared.started.elapsed().as_secs().to_string(),
+        ),
+        ("build_info", build_info()),
+        ("trace", shared.config.trace.to_string()),
+        (
+            "flight_recorded_total",
+            shared.recorder.recorded_total().to_string(),
+        ),
+        (
             "warmup",
             format!(
                 "{{\"docs\":{},\"sentences\":{}}}",
@@ -621,11 +727,21 @@ fn metrics_body(shared: &Shared) -> String {
         ),
     ];
     if let Some(stats) = shared.gced.parse_cache_stats() {
+        let mut hit_rate = String::new();
+        let lookups = stats.hits + stats.misses;
+        gced_datasets::json::push_f64(
+            &mut hit_rate,
+            if lookups == 0 {
+                0.0
+            } else {
+                stats.hits as f64 / lookups as f64
+            },
+        );
         extra.push((
             "parse_cache",
             format!(
-                "{{\"hits\":{},\"misses\":{},\"len\":{},\"capacity\":{}}}",
-                stats.hits, stats.misses, stats.len, stats.capacity
+                "{{\"hits\":{},\"misses\":{},\"len\":{},\"capacity\":{},\"hit_rate\":{}}}",
+                stats.hits, stats.misses, stats.len, stats.capacity, hit_rate
             ),
         ));
     }

@@ -22,6 +22,27 @@ pub const LATENCY_BOUNDS_US: &[u64] = &[
 /// Upper bounds (inclusive) of the coalesced-batch-size buckets.
 pub const BATCH_BOUNDS: &[u64] = &[1, 2, 4, 8, 16, 32, 64, 128];
 
+/// Upper bounds (inclusive) of the per-stage duration buckets, in
+/// nanoseconds (50 µs … 5 s); an implicit overflow bucket catches the
+/// rest. Stage durations come from the span tracer, which records ns.
+pub const STAGE_BOUNDS_NS: &[u64] = &[
+    50_000,
+    100_000,
+    250_000,
+    500_000,
+    1_000_000,
+    2_500_000,
+    5_000_000,
+    10_000_000,
+    25_000_000,
+    50_000_000,
+    100_000_000,
+    250_000_000,
+    500_000_000,
+    1_000_000_000,
+    5_000_000_000,
+];
+
 /// A fixed-bucket histogram with total count and sum.
 #[derive(Debug)]
 pub struct Histogram {
@@ -191,6 +212,33 @@ pub struct Metrics {
     pub batch_size: Histogram,
     /// End-to-end request latency (enqueue → response ready), µs.
     pub latency_us: Histogram,
+    /// ASE grow trials scored (span-tracer counter, traced requests).
+    pub grow_trials: AtomicU64,
+    /// ASE grow trials pruned before scoring (never QA-scored).
+    pub grow_trials_pruned: AtomicU64,
+    /// Selection-score span-cache hits across grow + clip.
+    pub span_cache_hits: AtomicU64,
+    /// Selection-score span-cache misses across grow + clip.
+    pub span_cache_misses: AtomicU64,
+    /// Per-request time inside `parse` spans (CKY), ns.
+    pub parse_ns: Histogram,
+    /// Per-request time inside the ASE `grow` span, ns.
+    pub grow_ns: Histogram,
+    /// Per-request time inside the OEC `clip` span, ns.
+    pub clip_ns: Histogram,
+    /// Per-request time inside `qa.predict` spans, ns.
+    pub qa_ns: Histogram,
+    /// Time requests waited in the batch queue before dequeue, ns.
+    pub queue_wait_ns: Histogram,
+}
+
+/// `num / den` as a rate in `[0, 1]`; 0.0 when the denominator is 0.
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
 }
 
 impl Metrics {
@@ -214,6 +262,15 @@ impl Metrics {
             batches_total: AtomicU64::new(0),
             batch_size: Histogram::new(BATCH_BOUNDS),
             latency_us: Histogram::new(LATENCY_BOUNDS_US),
+            grow_trials: AtomicU64::new(0),
+            grow_trials_pruned: AtomicU64::new(0),
+            span_cache_hits: AtomicU64::new(0),
+            span_cache_misses: AtomicU64::new(0),
+            parse_ns: Histogram::new(STAGE_BOUNDS_NS),
+            grow_ns: Histogram::new(STAGE_BOUNDS_NS),
+            clip_ns: Histogram::new(STAGE_BOUNDS_NS),
+            qa_ns: Histogram::new(STAGE_BOUNDS_NS),
+            queue_wait_ns: Histogram::new(STAGE_BOUNDS_NS),
         }
     }
 
@@ -266,6 +323,34 @@ impl Metrics {
         self.batch_size.push_json(&mut out);
         out.push_str(",\"latency_us\":");
         self.latency_us.push_json(&mut out);
+        let trials = self.grow_trials.load(Ordering::Relaxed);
+        let pruned = self.grow_trials_pruned.load(Ordering::Relaxed);
+        let sc_hits = self.span_cache_hits.load(Ordering::Relaxed);
+        let sc_misses = self.span_cache_misses.load(Ordering::Relaxed);
+        out.push_str(",\"grow_trials_total\":");
+        out.push_str(&trials.to_string());
+        out.push_str(",\"grow_trials_pruned\":");
+        out.push_str(&pruned.to_string());
+        // Prune rate over every grow candidate: each one is either
+        // pruned or scored as a trial.
+        out.push_str(",\"grow_prune_rate\":");
+        json::push_f64(&mut out, ratio(pruned, trials + pruned));
+        out.push_str(",\"span_cache_hits\":");
+        out.push_str(&sc_hits.to_string());
+        out.push_str(",\"span_cache_misses\":");
+        out.push_str(&sc_misses.to_string());
+        out.push_str(",\"span_cache_hit_rate\":");
+        json::push_f64(&mut out, ratio(sc_hits, sc_hits + sc_misses));
+        out.push_str(",\"parse_ns\":");
+        self.parse_ns.push_json(&mut out);
+        out.push_str(",\"grow_ns\":");
+        self.grow_ns.push_json(&mut out);
+        out.push_str(",\"clip_ns\":");
+        self.clip_ns.push_json(&mut out);
+        out.push_str(",\"qa_ns\":");
+        self.qa_ns.push_json(&mut out);
+        out.push_str(",\"queue_wait_ns\":");
+        self.queue_wait_ns.push_json(&mut out);
         for (key, value) in extra {
             out.push(',');
             json::push_string(&mut out, key);
@@ -319,6 +404,78 @@ mod tests {
     }
 
     #[test]
+    fn quantile_edges_empty_extremes_and_clamping() {
+        // Empty histogram: every quantile answers 0, including the
+        // extremes.
+        let h = Histogram::new(BATCH_BOUNDS);
+        assert_eq!(h.quantile(0.0), 0.0);
+        assert_eq!(h.quantile(1.0), 0.0);
+        // A single observation: every quantile lands in its bucket.
+        h.record(3); // bucket (2, 4]
+        for q in [0.0, 0.25, 0.5, 1.0] {
+            let v = h.quantile(q);
+            assert!((2.0..=4.0).contains(&v), "q={q}: {v}");
+        }
+        // Out-of-range q clamps instead of exploding.
+        assert_eq!(h.quantile(-1.0), h.quantile(0.0));
+        assert_eq!(h.quantile(2.0), h.quantile(1.0));
+    }
+
+    #[test]
+    fn quantile_on_a_single_bucket_histogram() {
+        static ONE: &[u64] = &[10];
+        let h = Histogram::new(ONE);
+        h.record(5);
+        h.record(7);
+        let p0 = h.quantile(0.0);
+        let p100 = h.quantile(1.0);
+        assert!((0.0..=10.0).contains(&p0), "p0 = {p0}");
+        assert!((0.0..=10.0).contains(&p100), "p100 = {p100}");
+        assert!(p0 <= p100);
+    }
+
+    #[test]
+    fn values_beyond_the_last_bound_report_its_lower_bound() {
+        let h = Histogram::new(BATCH_BOUNDS);
+        h.record(u64::MAX);
+        // The overflow bucket cannot interpolate; both extremes answer
+        // the last finite bound.
+        assert_eq!(h.quantile(0.0), 128.0);
+        assert_eq!(h.quantile(0.5), 128.0);
+        assert_eq!(h.quantile(1.0), 128.0);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.sum(), u64::MAX);
+    }
+
+    #[test]
+    fn effectiveness_rates_render_from_the_counters() {
+        let m = Metrics::new();
+        m.grow_trials.fetch_add(30, Ordering::Relaxed);
+        m.grow_trials_pruned.fetch_add(10, Ordering::Relaxed);
+        m.span_cache_hits.fetch_add(3, Ordering::Relaxed);
+        m.span_cache_misses.fetch_add(1, Ordering::Relaxed);
+        m.parse_ns.record(1_000_000);
+        let root = json::parse(&m.render(&[])).expect("valid JSON");
+        let num = |k: &str| root.get(k).and_then(Json::as_f64).unwrap_or(-1.0);
+        assert_eq!(num("grow_trials_total"), 30.0);
+        assert_eq!(num("grow_trials_pruned"), 10.0);
+        assert!((num("grow_prune_rate") - 0.25).abs() < 1e-9);
+        assert!((num("span_cache_hit_rate") - 0.75).abs() < 1e-9);
+        assert_eq!(
+            root.get("parse_ns")
+                .and_then(|h| h.get("count"))
+                .and_then(Json::as_f64),
+            Some(1.0)
+        );
+        // Zero denominators render 0, not NaN.
+        let fresh = json::parse(&Metrics::new().render(&[])).expect("valid JSON");
+        assert_eq!(
+            fresh.get("grow_prune_rate").and_then(Json::as_f64),
+            Some(0.0)
+        );
+    }
+
+    #[test]
     fn render_is_valid_json_with_extras() {
         let m = Metrics::new();
         m.requests_total.fetch_add(3, Ordering::Relaxed);
@@ -368,6 +525,17 @@ mod tests {
             "\"batches_total\":",
             "\"batch_size\":",
             "\"latency_us\":",
+            "\"grow_trials_total\":",
+            "\"grow_trials_pruned\":",
+            "\"grow_prune_rate\":",
+            "\"span_cache_hits\":",
+            "\"span_cache_misses\":",
+            "\"span_cache_hit_rate\":",
+            "\"parse_ns\":",
+            "\"grow_ns\":",
+            "\"clip_ns\":",
+            "\"qa_ns\":",
+            "\"queue_wait_ns\":",
             "\"pool_threads\":",
             "\"queue_cap\":",
         ];

@@ -1,0 +1,240 @@
+//! The serve flight recorder: a bounded in-memory history of request
+//! span trees, served back over `GET /debug/requests`.
+//!
+//! Every traced `/v1/distill` request that rode a batch leaves one
+//! [`RecordedRequest`]: the server-assigned id (echoed to the client as
+//! `X-Gced-Request-Id`), its outcome, its queue wait, and the span tree
+//! the batcher captured around its distillation. Two bounded retention
+//! classes keep memory flat however long the server runs:
+//!
+//! * a **recent ring** holding the last `recent_cap` requests, and
+//! * a **slow keep** holding the `slow_cap` slowest requests seen so
+//!   far (ranked by queue wait + distill time), so the requests most
+//!   worth debugging survive after the ring has cycled past them.
+//!
+//! Listings are sorted by request id — a deterministic order for a
+//! given request sequence — and trees render through
+//! [`SpanNode::render_json`], whose non-timing fields (span names,
+//! nesting, counters) are a pure function of the request input.
+
+use gced_obs::SpanNode;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Default recent-ring capacity.
+pub const DEFAULT_RECENT: usize = 64;
+/// Default slow-keep capacity.
+pub const DEFAULT_SLOW: usize = 8;
+
+/// One traced request held by the recorder.
+#[derive(Debug, Clone)]
+pub struct RecordedRequest {
+    /// Server-assigned id (the `X-Gced-Request-Id` response header).
+    pub id: u64,
+    /// Did the distillation succeed (HTTP 200)?
+    pub ok: bool,
+    /// Time the request waited in the batch queue, ns.
+    pub queue_ns: u64,
+    /// Queue wait plus distill time, ns — the slow-keep ranking key.
+    pub total_ns: u64,
+    /// The request's span tree, rooted at `batch.coalesce`.
+    pub tree: SpanNode,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    recent: VecDeque<RecordedRequest>,
+    slow: Vec<RecordedRequest>,
+    recorded_total: u64,
+}
+
+/// Bounded recent + slowest retention of traced requests.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    recent_cap: usize,
+    slow_cap: usize,
+    inner: Mutex<Inner>,
+}
+
+impl FlightRecorder {
+    /// A recorder keeping the last `recent_cap` and the slowest
+    /// `slow_cap` requests (both clamped to at least 1).
+    pub fn new(recent_cap: usize, slow_cap: usize) -> Self {
+        FlightRecorder {
+            recent_cap: recent_cap.max(1),
+            slow_cap: slow_cap.max(1),
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Admit one traced request.
+    pub fn record(&self, req: RecordedRequest) {
+        let mut inner = self.lock();
+        inner.recorded_total += 1;
+        if inner.slow.len() < self.slow_cap {
+            inner.slow.push(req.clone());
+        } else if let Some(fastest) = inner
+            .slow
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, r)| r.total_ns)
+            .map(|(i, _)| i)
+        {
+            if req.total_ns > inner.slow[fastest].total_ns {
+                inner.slow[fastest] = req.clone();
+            }
+        }
+        inner.recent.push_back(req);
+        while inner.recent.len() > self.recent_cap {
+            inner.recent.pop_front();
+        }
+    }
+
+    /// Requests ever recorded (admitted, whether still retained or not).
+    pub fn recorded_total(&self) -> u64 {
+        self.lock().recorded_total
+    }
+
+    /// Look up a retained request by id (recent ring first, then the
+    /// slow keep).
+    pub fn get(&self, id: u64) -> Option<RecordedRequest> {
+        let inner = self.lock();
+        inner
+            .recent
+            .iter()
+            .chain(inner.slow.iter())
+            .find(|r| r.id == id)
+            .cloned()
+    }
+
+    /// The `GET /debug/requests` body: every retained request as a
+    /// summary line, sorted by id.
+    pub fn list_json(&self) -> String {
+        let inner = self.lock();
+        let slow_ids: Vec<u64> = inner.slow.iter().map(|r| r.id).collect();
+        let mut all: Vec<&RecordedRequest> = inner.recent.iter().chain(inner.slow.iter()).collect();
+        all.sort_by_key(|r| r.id);
+        all.dedup_by_key(|r| r.id);
+        let mut out = String::with_capacity(256);
+        out.push_str("{\"recorded_total\":");
+        out.push_str(&inner.recorded_total.to_string());
+        out.push_str(",\"requests\":[");
+        for (i, r) in all.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"id\":{},\"ok\":{},\"slow\":{},\"queue_ns\":{},\"total_ns\":{}}}",
+                r.id,
+                r.ok,
+                slow_ids.contains(&r.id),
+                r.queue_ns,
+                r.total_ns,
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// The `GET /debug/requests/{id}` body: the full span tree. With
+    /// `include_timings` false only the deterministic fields render —
+    /// what the cross-run determinism test compares.
+    pub fn get_json(&self, id: u64, include_timings: bool) -> Option<String> {
+        let req = self.get(id)?;
+        let mut out = String::with_capacity(512);
+        out.push_str(&format!("{{\"id\":{},\"ok\":{}", req.id, req.ok));
+        if include_timings {
+            out.push_str(&format!(
+                ",\"queue_ns\":{},\"total_ns\":{}",
+                req.queue_ns, req.total_ns
+            ));
+        }
+        out.push_str(",\"spans\":");
+        out.push_str(&req.tree.render_json(include_timings));
+        out.push('}');
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(id: u64, total_ns: u64) -> RecordedRequest {
+        RecordedRequest {
+            id,
+            ok: true,
+            queue_ns: 10,
+            total_ns,
+            tree: SpanNode::synthetic("batch.coalesce", 0, total_ns),
+        }
+    }
+
+    #[test]
+    fn recent_ring_evicts_oldest_but_slow_keep_survives() {
+        let rec = FlightRecorder::new(2, 1);
+        rec.record(req(1, 900)); // the slowest — must outlive the ring
+        rec.record(req(2, 10));
+        rec.record(req(3, 20));
+        rec.record(req(4, 30));
+        // Ring holds 3, 4; the slow keep still holds 1; 2 is gone.
+        assert!(rec.get(1).is_some(), "slow request kept past eviction");
+        assert!(rec.get(2).is_none(), "fast evicted request dropped");
+        assert!(rec.get(3).is_some());
+        assert!(rec.get(4).is_some());
+        assert_eq!(rec.recorded_total(), 4);
+    }
+
+    #[test]
+    fn slow_keep_tracks_the_slowest_seen() {
+        let rec = FlightRecorder::new(1, 2);
+        rec.record(req(1, 100));
+        rec.record(req(2, 300));
+        rec.record(req(3, 200)); // slower than 1: replaces it
+        rec.record(req(4, 50)); // faster than both kept: ignored
+        let listed = rec.list_json();
+        assert!(listed.contains("\"id\":2,\"ok\":true,\"slow\":true"));
+        assert!(listed.contains("\"id\":3,\"ok\":true,\"slow\":true"));
+        assert!(!listed.contains("\"id\":1,"));
+    }
+
+    #[test]
+    fn listing_is_sorted_by_id_without_duplicates() {
+        let rec = FlightRecorder::new(4, 2);
+        rec.record(req(7, 300));
+        rec.record(req(3, 100));
+        rec.record(req(5, 200));
+        let listed = rec.list_json();
+        let i3 = listed.find("\"id\":3").expect("id 3 listed");
+        let i5 = listed.find("\"id\":5").expect("id 5 listed");
+        let i7 = listed.find("\"id\":7").expect("id 7 listed");
+        assert!(i3 < i5 && i5 < i7, "sorted by id: {listed}");
+        // 7 sits in both the ring and the slow keep; listed once.
+        assert_eq!(listed.matches("\"id\":7").count(), 1);
+        assert_eq!(listed, rec.list_json(), "byte-stable");
+    }
+
+    #[test]
+    fn get_json_renders_with_and_without_timings() {
+        let rec = FlightRecorder::new(4, 1);
+        rec.record(req(9, 500));
+        let full = rec.get_json(9, true).expect("recorded");
+        assert!(full.contains("\"queue_ns\":10"));
+        assert!(full.contains("\"total_ns\":500"));
+        assert!(full.contains("\"spans\":{\"name\":\"batch.coalesce\""));
+        let bare = rec.get_json(9, false).expect("recorded");
+        assert!(!bare.contains("_ns\""), "{bare}");
+        assert_eq!(
+            bare,
+            "{\"id\":9,\"ok\":true,\"spans\":{\"name\":\"batch.coalesce\",\
+             \"counters\":{},\"children\":[]}}"
+        );
+        assert!(rec.get_json(10, true).is_none());
+    }
+}

@@ -38,7 +38,7 @@ gced — sharded experiment runner for the Grow-and-Clip reproduction
 USAGE:
   gced run <experiment> [--kind K] [--shards N] [--in-process]
            [--scale smoke|default|full] [--seed S] [--out PATH]
-           [--fit-cache PATH]
+           [--fit-cache PATH] [--profile PATH]
   gced shard <experiment> --shard-index I --of N [--kind K]
            [--scale smoke|default|full] [--seed S] --out PATH
            [--fit-cache PATH]
@@ -55,6 +55,7 @@ USAGE:
            [--retry-base-ms N] [--retry-cap-ms N] [--seed S]
   gced distill --question Q --answer A --context C [--kind K]
            [--scale S] [--seed S] [--fit-cache PATH] [--out PATH]
+           [--profile PATH]
   gced fit --fit-cache PATH [--kind K] [--scale S] [--seed S]
   gced analyze [--root DIR] [--json] [--out PATH]
 
@@ -121,6 +122,19 @@ PROBE:
   and match the --expect file byte-for-byte when given — or the
   command exits nonzero. CI drives it against a fault-plan server to
   prove surviving responses stay byte-identical to offline output.
+  After a successful run it prints a per-request latency summary
+  (min/p50/p99/max in µs, retries and backoff included) estimated
+  from the same fixed-bucket histogram the server's /metrics uses.
+
+PROFILE:
+  --profile PATH (on `distill` and `run`) enables the gced-obs span
+  tracer and writes a Chrome trace-event JSON profile to PATH — load
+  it in chrome://tracing or Perfetto — plus a per-stage text summary
+  (calls, self/total ms) on stderr. Spans carry deterministic counter
+  payloads (grow trials, prune counts, cache hits); only timings vary
+  between runs, and output bytes never depend on the clock. For `run`
+  the profile covers the driver process only: worker-process shards
+  (`--shards N` without --in-process) trace nothing of their children.
 
 ANALYZE:
   `gced analyze` runs the gced-analyze static pass over every .rs
@@ -270,6 +284,18 @@ fn write_or_print(out: Option<&str>, text: &str) -> Result<(), String> {
     }
 }
 
+/// Write a `--profile` capture: Chrome trace-event JSON to `path`
+/// (chrome://tracing / Perfetto both load it) and the per-stage text
+/// summary to stderr.
+fn write_profile(path: &str, spans: &[(u64, gced_obs::SpanNode)]) -> Result<(), String> {
+    ensure_parent_dir(Path::new(path))?;
+    std::fs::write(path, gced_obs::chrome_trace(spans))
+        .map_err(|e| format!("cannot write profile {path}: {e}"))?;
+    eprint!("{}", gced_obs::stage_summary(spans));
+    eprintln!("gced: profile trace written to {path}");
+    Ok(())
+}
+
 /// Create the missing parent directories of an output path, naming both
 /// the directory and the target in the error.
 fn ensure_parent_dir(path: &Path) -> Result<(), String> {
@@ -316,6 +342,15 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
         return Err("--shards: shard count must be at least 1".to_string());
     }
     let fit_cache = p.flag("fit-cache").map(PathBuf::from);
+    let profile = p.flag("profile").map(str::to_string);
+    if profile.is_some() {
+        // Ambient capture: every span opened anywhere in this process
+        // (driver thread and the gced-par pool alike) is retained and
+        // drained after the run. Worker-process shards are separate
+        // binaries and contribute nothing — see PROFILE in the usage.
+        gced_obs::set_enabled(true);
+        gced_obs::set_ambient(true);
+    }
 
     let merged = if shards == 1 {
         let output = run_shard_cached(
@@ -352,6 +387,9 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
             fit_cache,
         )?
     };
+    if let Some(path) = &profile {
+        write_profile(path, &gced_obs::drain_ambient())?;
+    }
     write_or_print(p.flag("out"), &merged.render())?;
     Ok(ExitCode::SUCCESS)
 }
@@ -744,9 +782,18 @@ fn cmd_probe(args: &[String]) -> Result<ExitCode, String> {
     };
     let expect = expect.as_deref();
     let body = body.as_str();
+    // Per-request wall latency (µs), retries and backoff included:
+    // recorded into the same fixed-bucket histogram the server's
+    // /metrics uses, so the p50/p99 estimates match its math. The
+    // histogram cannot see past its last bound, so true min/max ride
+    // alongside as atomics.
+    let latency = gced_serve::metrics::Histogram::new(gced_serve::metrics::LATENCY_BOUNDS_US);
+    let lat_min = std::sync::atomic::AtomicU64::new(u64::MAX);
+    let lat_max = std::sync::atomic::AtomicU64::new(0);
     let outcomes: Vec<Result<usize, String>> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..clients)
             .map(|c| {
+                let (latency, lat_min, lat_max) = (&latency, &lat_min, &lat_max);
                 s.spawn(move || -> Result<usize, String> {
                     let policy = gced_serve::client::RetryPolicy {
                         budget: retries,
@@ -757,9 +804,14 @@ fn cmd_probe(args: &[String]) -> Result<ExitCode, String> {
                     let mut session = connect_with_patience(addr)?;
                     let mut served = 0usize;
                     for i in (c..requests).step_by(clients) {
+                        let watch = gced_obs::clock::Stopwatch::start();
                         let r = session
                             .post_with_retry("/v1/distill", body, &policy)
                             .map_err(|e| format!("client {c} request {i}: {e}"))?;
+                        let us = watch.elapsed_ns() / 1_000;
+                        latency.record(us);
+                        lat_min.fetch_min(us, std::sync::atomic::Ordering::Relaxed);
+                        lat_max.fetch_max(us, std::sync::atomic::Ordering::Relaxed);
                         if r.status != 200 {
                             return Err(format!(
                                 "client {c} request {i}: terminal status {}: {}",
@@ -811,6 +863,16 @@ fn cmd_probe(args: &[String]) -> Result<ExitCode, String> {
             ""
         }
     );
+    if latency.count() > 0 {
+        eprintln!(
+            "gced: probe latency (us, per request incl. retries): \
+             min={} p50={:.0} p99={:.0} max={}",
+            lat_min.load(std::sync::atomic::Ordering::Relaxed),
+            latency.quantile(0.50),
+            latency.quantile(0.99),
+            lat_max.load(std::sync::atomic::Ordering::Relaxed),
+        );
+    }
     Ok(ExitCode::SUCCESS)
 }
 
@@ -843,21 +905,31 @@ fn cmd_distill(args: &[String]) -> Result<ExitCode, String> {
     let question = required("question")?;
     let answer = required("answer")?;
     let context = required("context")?;
+    let profile = p.flag("profile").map(str::to_string);
     let (fitted, _) = warm_pipeline(&p)?;
     // The exact response-body bytes the server produces for this input
     // (tests/serve_parity.rs and the CI smoke job byte-compare them).
-    let body = match fitted.distill(&question, &answer, &context) {
-        Ok(d) => gced_serve::wire::render_distillation(&d),
-        Err(e) => {
-            write_or_print(
-                p.flag("out"),
-                &gced_serve::wire::render_error(&e.to_string()),
-            )?;
-            return Ok(ExitCode::FAILURE);
-        }
+    // --profile traces the same call: the body bytes are identical
+    // either way (timings never reach the output).
+    let (result, tree) = if profile.is_some() {
+        gced_obs::set_enabled(true);
+        fitted.distill_traced(&question, &answer, &context)
+    } else {
+        (fitted.distill(&question, &answer, &context), None)
+    };
+    if let Some(path) = &profile {
+        let spans: Vec<(u64, gced_obs::SpanNode)> = tree.into_iter().map(|t| (1, t)).collect();
+        write_profile(path, &spans)?;
+    }
+    let (body, code) = match result {
+        Ok(d) => (gced_serve::wire::render_distillation(&d), ExitCode::SUCCESS),
+        Err(e) => (
+            gced_serve::wire::render_error(&e.to_string()),
+            ExitCode::FAILURE,
+        ),
     };
     write_or_print(p.flag("out"), &body)?;
-    Ok(ExitCode::SUCCESS)
+    Ok(code)
 }
 
 fn cmd_fit(args: &[String]) -> Result<ExitCode, String> {

@@ -6,6 +6,7 @@ pub use gced_lexicon as lexicon;
 pub use gced_lm as lm;
 pub use gced_metrics as metrics;
 pub use gced_nn as nn;
+pub use gced_obs as obs;
 pub use gced_parser as parser;
 pub use gced_qa as qa;
 pub use gced_serve as serve;

@@ -343,6 +343,153 @@ fn graceful_shutdown_via_endpoint_drains_and_stops() {
     );
 }
 
+/// Blank out the four timing-valued keys of a recorded span-tree JSON
+/// document, leaving structure and counters intact. Timings are the
+/// only run-varying content a `/debug/requests/{id}` answer may carry.
+fn strip_timings(s: &str) -> String {
+    let mut out = s.to_string();
+    for key in [
+        "\"start_ns\":",
+        "\"dur_ns\":",
+        "\"queue_ns\":",
+        "\"total_ns\":",
+    ] {
+        let mut result = String::with_capacity(out.len());
+        let mut rest = out.as_str();
+        while let Some(i) = rest.find(key) {
+            let end = i + key.len();
+            result.push_str(&rest[..end]);
+            result.push('X');
+            rest = rest[end..].trim_start_matches(|c: char| c.is_ascii_digit());
+        }
+        result.push_str(rest);
+        out = result;
+    }
+    out
+}
+
+#[test]
+fn tracing_on_keeps_served_bytes_identical_to_offline() {
+    // The span tracer is on by default (the flight recorder depends on
+    // it), so every parity test in this file already runs traced. This
+    // one makes the coupling explicit: the recorder must actually have
+    // captured the requests whose bodies stayed byte-identical.
+    assert!(
+        ServeConfig::default().trace,
+        "tracing must default on — the flight recorder depends on it"
+    );
+    let corpus = offline_corpus(4);
+    let handle = server(ServeConfig::default());
+    let addr = handle.addr();
+    for (request, expected) in &corpus {
+        let r = client::post(addr, "/v1/distill", request).expect("post");
+        assert_eq!(r.status, 200, "{}", r.text());
+        assert_eq!(
+            r.body,
+            expected.as_bytes(),
+            "traced body diverged from offline"
+        );
+    }
+    let listing = client::get(addr, "/debug/requests")
+        .expect("listing")
+        .text();
+    let root = gced_datasets::json::parse(&listing).expect("listing JSON");
+    let recorded = root
+        .get("recorded_total")
+        .and_then(gced_datasets::json::Json::as_f64)
+        .unwrap_or(0.0);
+    assert!(
+        recorded >= corpus.len() as f64,
+        "recorder missed traced requests: {listing}"
+    );
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn request_ids_are_echoed_and_served_by_the_flight_recorder() {
+    let corpus = offline_corpus(1);
+    let handle = server(ServeConfig::default());
+    let addr = handle.addr();
+    let r = client::post(addr, "/v1/distill", &corpus[0].0).expect("post");
+    assert_eq!(r.status, 200);
+    let id = r
+        .request_id
+        .expect("X-Gced-Request-Id on a distill response");
+    // Non-distill endpoints carry no request id.
+    let health = client::get(addr, "/healthz").expect("healthz");
+    assert_eq!(health.request_id, None);
+
+    // The id from the response header appears in the listing...
+    let listing = client::get(addr, "/debug/requests")
+        .expect("listing")
+        .text();
+    let root = gced_datasets::json::parse(&listing).expect("listing JSON");
+    let ids: Vec<u64> = root
+        .get("requests")
+        .and_then(gced_datasets::json::Json::as_arr)
+        .expect("requests array")
+        .iter()
+        .filter_map(|r| r.get("id").and_then(gced_datasets::json::Json::as_f64))
+        .map(|v| v as u64)
+        .collect();
+    assert!(ids.contains(&id), "id {id} not in listing: {listing}");
+
+    // ...and the detail endpoint serves its span tree, rooted at the
+    // batch that carried it.
+    let detail = client::get(addr, &format!("/debug/requests/{id}")).expect("detail");
+    assert_eq!(detail.status, 200);
+    let doc = gced_datasets::json::parse(&detail.text()).expect("detail JSON");
+    assert_eq!(
+        doc.get("id").and_then(gced_datasets::json::Json::as_f64),
+        Some(id as f64)
+    );
+    let spans = doc.get("spans").expect("span tree in detail");
+    assert_eq!(
+        spans
+            .get("name")
+            .and_then(gced_datasets::json::Json::as_str),
+        Some("batch.coalesce")
+    );
+    // An id the recorder never saw is a 404.
+    let missing = client::get(addr, "/debug/requests/9999999").expect("missing");
+    assert_eq!(missing.status, 404);
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn recorded_span_trees_are_deterministic_across_runs() {
+    // Two fresh servers given the same single request must record the
+    // same span tree — names, nesting, and counter payloads — with only
+    // the timing fields free to differ.
+    let corpus = offline_corpus(1);
+    let capture = || {
+        let handle = server(ServeConfig::default());
+        let addr = handle.addr();
+        let r = client::post(addr, "/v1/distill", &corpus[0].0).expect("post");
+        assert_eq!(r.status, 200);
+        let id = r.request_id.expect("request id");
+        let detail = client::get(addr, &format!("/debug/requests/{id}")).expect("detail");
+        assert_eq!(detail.status, 200);
+        let text = detail.text();
+        handle.shutdown();
+        handle.join();
+        (id, text)
+    };
+    let (id_a, run_a) = capture();
+    let (id_b, run_b) = capture();
+    assert_eq!(id_a, id_b, "fresh servers must assign identical ids");
+    assert_eq!(
+        strip_timings(&run_a),
+        strip_timings(&run_b),
+        "span tree diverged between identical runs"
+    );
+    // The stripping actually removed something — otherwise the equality
+    // above silently proves less than it claims.
+    assert_ne!(strip_timings(&run_a), run_a, "no timings found to strip");
+}
+
 #[test]
 fn served_response_parses_as_the_wire_document() {
     let corpus = offline_corpus(1);
