@@ -74,11 +74,13 @@ pub fn is_test_path(path: &str) -> bool {
 /// DET001 scope: the output/serialization path modules, where an
 /// unsorted map iteration becomes nondeterministic *bytes* — the wire
 /// format, the fit-cache artifact, eval JSON/tables, /metrics
-/// rendering, and the interchange (`to_parts`/`idf_parts`) layers that
-/// feed the artifact encoder.
+/// rendering, the response cache / evidence store (whose eviction scan
+/// order decides which stored bytes survive), and the interchange
+/// (`to_parts`/`idf_parts`) layers that feed the artifact encoder.
 pub fn det001_in_scope(path: &str) -> bool {
     const SCOPE: &[&str] = &[
         "crates/serve/src/wire.rs",
+        "crates/store/src/lib.rs",
         "crates/serve/src/metrics.rs",
         "crates/core/src/cache.rs",
         "crates/datasets/src/json.rs",
@@ -143,6 +145,7 @@ mod tests {
         assert!(!is_test_path("crates/nn/src/kernels.rs"));
 
         assert!(det001_in_scope("crates/serve/src/wire.rs"));
+        assert!(det001_in_scope("crates/store/src/lib.rs"));
         assert!(!det001_in_scope("crates/serve/src/batch.rs"));
 
         assert!(det002_in_scope("crates/nn/src/attention.rs"));

@@ -39,6 +39,35 @@ const CORPUS: &[Case] = &[
                    }\n",
     },
     Case {
+        // Second DET001 site: the response cache's eviction scan. An
+        // unsorted map walk here picks a nondeterministic victim, which
+        // changes WHICH stored response bytes survive to be replayed.
+        lint: "DET001",
+        path: "crates/store/src/lib.rs",
+        positive: "use std::collections::HashMap;\n\
+                   fn victim(entries: &HashMap<u128, u64>) -> Option<u128> {\n\
+                       let mut best: Option<(u128, u64)> = None;\n\
+                       for (fp, used) in entries.iter() {\n\
+                           if best.map_or(true, |(_, b)| *used < b) {\n\
+                               best = Some((*fp, *used));\n\
+                           }\n\
+                       }\n\
+                       best.map(|(fp, _)| fp)\n\
+                   }\n",
+        negative: "struct Entry { fp: u128, used: u64 }\n\
+                   fn victim(entries: &[Entry]) -> Option<u128> {\n\
+                       // entries is kept sorted by fingerprint; the scan\n\
+                       // order (and the tie-break) is deterministic.\n\
+                       let mut best: Option<(u128, u64)> = None;\n\
+                       for e in entries {\n\
+                           if best.map_or(true, |(_, b)| e.used < b) {\n\
+                               best = Some((e.fp, e.used));\n\
+                           }\n\
+                       }\n\
+                       best.map(|(fp, _)| fp)\n\
+                   }\n",
+    },
+    Case {
         lint: "DET002",
         path: "crates/nn/src/embedding.rs",
         positive: "fn dot(a: &[f32], b: &[f32]) -> f32 {\n\
@@ -123,7 +152,16 @@ fn every_catalog_lint_has_a_corpus_case() {
             l.id
         );
     }
-    assert_eq!(CORPUS.len(), policy::LINTS.len());
+    // Every case covers a catalog lint (a lint may have several cases
+    // at different in-scope paths, e.g. DET001).
+    for c in CORPUS {
+        assert!(
+            policy::LINTS.iter().any(|l| l.id == c.lint),
+            "corpus case for unknown lint {}",
+            c.lint
+        );
+    }
+    assert!(CORPUS.len() >= policy::LINTS.len());
 }
 
 #[test]

@@ -12,8 +12,17 @@
 //! Knobs: `GCED_SERVE_CLIENTS` (default 8), `GCED_SERVE_REQUESTS`
 //! (total measured requests, default 192), `GCED_SERVE_WARMUP`
 //! (default 32), `GCED_SERVE_BATCH_MAX` (default 16),
-//! `GCED_SERVE_FLUSH_US` (default 2000). The fit honors
-//! `GCED_FIT_CACHE` like every other bench runner.
+//! `GCED_SERVE_FLUSH_US` (default 2000), `GCED_SERVE_CACHE_REQUESTS`
+//! (Zipf phase, default 256). The fit honors `GCED_FIT_CACHE` like
+//! every other bench runner.
+//!
+//! Phase 1 runs with the response cache DISABLED so the cold pipeline
+//! numbers stay comparable across revisions. Phase 2 starts a second
+//! server with the gced-store response cache on and replays a
+//! Zipf-distributed request mix (seeded splitmix64 inverse-CDF
+//! sampling, exponent 1.1 — a few hot requests dominate, the long tail
+//! stays cold), splitting latencies by the X-Gced-Cache header into
+//! warm-hit and miss quantiles.
 
 use gced_bench::{finish, fitted, start};
 use gced_datasets::json::{self, Json};
@@ -68,13 +77,15 @@ fn main() {
         "dev split produced no answerable examples"
     );
 
+    // Response cache OFF in phase 1: these are the pipeline's numbers.
     let config = ServeConfig {
         batch_max,
         flush: Duration::from_micros(flush_us as u64),
         queue_capacity: (requests + clients).max(256),
+        cache_entries: 0,
         ..ServeConfig::default()
     };
-    let handle = gced_serve::start(pipeline, config).expect("bind ephemeral port");
+    let handle = gced_serve::start(pipeline.clone(), config).expect("bind ephemeral port");
     let addr = handle.addr();
     println!(
         "server: {addr} (clients={clients}, requests={requests}, warmup={warmup}, \
@@ -152,6 +163,112 @@ fn main() {
     println!("mean coalesced batch size: {mean_batch:.2}");
     println!("parse cache: {parse_cache}");
 
+    handle.shutdown();
+    handle.join();
+
+    // ---- Phase 2: Zipf-repeated workload against the response cache.
+    let cache_requests = env_usize("GCED_SERVE_CACHE_REQUESTS", 256).max(clients);
+    let zipf_s = 1.1f64;
+    let cdf: Vec<f64> = {
+        let weights: Vec<f64> = (0..corpus.len())
+            .map(|i| 1.0 / ((i + 1) as f64).powf(zipf_s))
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        weights
+            .iter()
+            .map(|w| {
+                acc += w / total;
+                acc
+            })
+            .collect()
+    };
+    let cache_handle = gced_serve::start(
+        pipeline,
+        ServeConfig {
+            batch_max,
+            flush: Duration::from_micros(flush_us as u64),
+            queue_capacity: (cache_requests + clients).max(256),
+            ..ServeConfig::default() // response cache ON (defaults)
+        },
+    )
+    .expect("bind ephemeral port");
+    let cache_addr = cache_handle.addr();
+    println!(
+        "\ncache phase: {cache_addr} (zipf s={zipf_s}, requests={cache_requests}, \
+         corpus={})",
+        corpus.len()
+    );
+    // (latency_us, was_hit) per request; each client samples its own
+    // deterministic splitmix64 stream.
+    let tagged: Vec<(u64, bool)> = std::thread::scope(|scope| {
+        let (corpus, cdf) = (&corpus, &cdf);
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                scope.spawn(move || {
+                    let share =
+                        cache_requests / clients + usize::from(c < cache_requests % clients);
+                    let mut rng = seed ^ (c as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                    let mut lat = Vec::with_capacity(share);
+                    for _ in 0..share {
+                        let u = (splitmix64(&mut rng) >> 11) as f64 / (1u64 << 53) as f64;
+                        let idx = cdf.partition_point(|&p| p < u).min(corpus.len() - 1);
+                        let t = Instant::now();
+                        let r = client::post(cache_addr, "/v1/distill", &corpus[idx])
+                            .expect("cache-phase request");
+                        let us = t.elapsed().as_micros() as u64;
+                        assert!(
+                            r.status == 200 || r.status == 422,
+                            "status {}: {}",
+                            r.status,
+                            r.text()
+                        );
+                        lat.push((us, r.cache.as_deref() == Some("hit")));
+                    }
+                    lat
+                })
+            })
+            .collect();
+        let mut all = Vec::with_capacity(cache_requests);
+        for h in handles {
+            all.extend(h.join().expect("cache-phase client thread"));
+        }
+        all
+    });
+    let mut hit_us: Vec<u64> = tagged
+        .iter()
+        .filter(|(_, h)| *h)
+        .map(|(us, _)| *us)
+        .collect();
+    let mut miss_us: Vec<u64> = tagged
+        .iter()
+        .filter(|(_, h)| !*h)
+        .map(|(us, _)| *us)
+        .collect();
+    hit_us.sort_unstable();
+    miss_us.sort_unstable();
+    let q = |s: &[u64], q: f64| -> f64 {
+        if s.is_empty() {
+            return 0.0;
+        }
+        s[((q * (s.len() - 1) as f64).round() as usize).min(s.len() - 1)] as f64
+    };
+    let hit_rate = hit_us.len() as f64 / tagged.len() as f64;
+    let warm_hit_p50_ms = q(&hit_us, 0.50) / 1000.0;
+    let warm_hit_p99_ms = q(&hit_us, 0.99) / 1000.0;
+    let miss_p50_ms = q(&miss_us, 0.50) / 1000.0;
+    println!(
+        "cache: hits={} misses={} hit_rate={hit_rate:.3}",
+        hit_us.len(),
+        miss_us.len()
+    );
+    println!(
+        "cache: warm_hit_p50={warm_hit_p50_ms:.3}ms warm_hit_p99={warm_hit_p99_ms:.3}ms \
+         miss_p50={miss_p50_ms:.3}ms"
+    );
+    cache_handle.shutdown();
+    cache_handle.join();
+
     let mut out = String::with_capacity(1024);
     out.push_str("{\n  \"description\": \"gced-serve load generator: warm-path request latency (client-side, us) and batch coalescing; regenerate with `cargo bench -p gced-bench --bench serve_load`\",\n");
     out.push_str(&format!(
@@ -170,7 +287,16 @@ fn main() {
     out.push_str(&format!("  \"throughput_rps\": {throughput:.1},\n"));
     out.push_str(&format!("  \"mean_batch_size\": {mean_batch:.3},\n"));
     out.push_str(&format!("  \"batch_histogram\": {batch_buckets},\n"));
-    out.push_str(&format!("  \"parse_cache\": {parse_cache}\n"));
+    out.push_str(&format!("  \"parse_cache\": {parse_cache},\n"));
+    out.push_str(&format!(
+        "  \"cache\": {{\"zipf_exponent\": {zipf_s}, \"requests\": {}, \"hits\": {}, \
+         \"misses\": {}, \"hit_rate\": {hit_rate:.3}, \"warm_hit_p50_ms\": \
+         {warm_hit_p50_ms:.3}, \"warm_hit_p99_ms\": {warm_hit_p99_ms:.3}, \
+         \"miss_p50_ms\": {miss_p50_ms:.3}}}\n",
+        tagged.len(),
+        hit_us.len(),
+        miss_us.len(),
+    ));
     out.push_str("}\n");
     // `cargo bench` sets the CWD to the package dir; the committed
     // record lives at the workspace root, two levels up.
@@ -179,10 +305,16 @@ fn main() {
     std::fs::write(&out_path, &out)
         .unwrap_or_else(|e| panic!("cannot write bench record {out_path}: {e}"));
     println!("recorded: {out_path}");
-
-    handle.shutdown();
-    handle.join();
     finish(t0);
+}
+
+/// Deterministic splitmix64 stream for the Zipf inverse-CDF sampler.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 /// Re-render the `/metrics` batch buckets as compact JSON.

@@ -36,6 +36,12 @@ pub struct Response {
     /// Parsed `X-Gced-Request-Id` header — the server-assigned id a
     /// distill request can be looked up under at `/debug/requests/{id}`.
     pub request_id: Option<u64>,
+    /// Parsed `X-Gced-Evidence-Id` header — the durable id a served
+    /// distillation can be replayed under at `/v1/evidence/{id}`.
+    pub evidence_id: Option<String>,
+    /// Parsed `X-Gced-Cache` header (`"hit"` / `"miss"`), present on
+    /// cache-probed distill responses.
+    pub cache: Option<String>,
 }
 
 impl Response {
@@ -90,6 +96,8 @@ fn parse_response(raw: &[u8]) -> Option<Response> {
         keep_alive: header_keep_alive(head),
         retry_after: header_retry_after(head),
         request_id: header_u64(head, "x-gced-request-id"),
+        evidence_id: header_string(head, "x-gced-evidence-id"),
+        cache: header_string(head, "x-gced-cache"),
     })
 }
 
@@ -107,10 +115,14 @@ fn header_retry_after(head: &str) -> Option<u64> {
 }
 
 fn header_u64(head: &str, header: &str) -> Option<u64> {
+    header_string(head, header).and_then(|v| v.parse().ok())
+}
+
+fn header_string(head: &str, header: &str) -> Option<String> {
     head.lines().find_map(|l| {
         let (name, value) = l.split_once(':')?;
         if name.trim().eq_ignore_ascii_case(header) {
-            value.trim().parse().ok()
+            Some(value.trim().to_string())
         } else {
             None
         }
@@ -341,6 +353,8 @@ impl Session {
             keep_alive: header_keep_alive(&head),
             retry_after: header_retry_after(&head),
             request_id: header_u64(&head, "x-gced-request-id"),
+            evidence_id: header_string(&head, "x-gced-evidence-id"),
+            cache: header_string(&head, "x-gced-cache"),
         })
     }
 }
@@ -373,6 +387,12 @@ mod tests {
         assert_eq!(parse_response(shed).unwrap().request_id, None);
         let tagged = b"HTTP/1.1 200 OK\r\nX-Gced-Request-Id: 42\r\nContent-Length: 0\r\n\r\n";
         assert_eq!(parse_response(tagged).unwrap().request_id, Some(42));
+        assert_eq!(parse_response(tagged).unwrap().evidence_id, None);
+        assert_eq!(parse_response(tagged).unwrap().cache, None);
+        let cached = b"HTTP/1.1 200 OK\r\nX-Gced-Evidence-Id: 00ff\r\nX-Gced-Cache: hit\r\nContent-Length: 0\r\n\r\n";
+        let r = parse_response(cached).unwrap();
+        assert_eq!(r.evidence_id.as_deref(), Some("00ff"));
+        assert_eq!(r.cache.as_deref(), Some("hit"));
     }
 
     #[test]

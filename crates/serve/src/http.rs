@@ -276,17 +276,51 @@ pub fn render_response(
     render_response_tagged(status, body, keep_alive, retry_after, None)
 }
 
+/// Optional response headers beyond the fixed set. Every tag is a
+/// header only — the body bytes are identical whatever the tag set
+/// (the offline/online byte-parity pin compares bodies).
+#[derive(Debug, Clone, Default)]
+pub struct ResponseTags<'a> {
+    /// `X-Gced-Request-Id`: the flight recorder's lookup key, echoed so
+    /// clients can correlate a response with its recorded span tree
+    /// under `GET /debug/requests/{id}`.
+    pub request_id: Option<u64>,
+    /// `X-Gced-Evidence-Id`: the durable evidence id of a distillation
+    /// (replayable via `GET /v1/evidence/{id}`).
+    pub evidence_id: Option<&'a str>,
+    /// `X-Gced-Cache`: `"hit"` or `"miss"` on cache-probed responses.
+    pub cache: Option<&'static str>,
+}
+
 /// [`render_response`] plus the server-assigned `X-Gced-Request-Id`
-/// header when `request_id` is present — the flight recorder's lookup
-/// key, echoed so clients can correlate a response with its recorded
-/// span tree under `GET /debug/requests/{id}`. The body bytes stay
-/// identical whatever the header set.
+/// header when `request_id` is present. See [`render_response_with`].
 pub fn render_response_tagged(
     status: u16,
     body: &str,
     keep_alive: bool,
     retry_after: Option<u64>,
     request_id: Option<u64>,
+) -> Vec<u8> {
+    render_response_with(
+        status,
+        body,
+        keep_alive,
+        retry_after,
+        &ResponseTags {
+            request_id,
+            ..ResponseTags::default()
+        },
+    )
+}
+
+/// [`render_response`] plus the optional [`ResponseTags`] headers. The
+/// body bytes stay identical whatever the header set.
+pub fn render_response_with(
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+    retry_after: Option<u64>,
+    tags: &ResponseTags<'_>,
 ) -> Vec<u8> {
     let mut out = format!(
         "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n",
@@ -296,8 +330,14 @@ pub fn render_response_tagged(
     if let Some(secs) = retry_after {
         out.push_str(&format!("Retry-After: {secs}\r\n"));
     }
-    if let Some(id) = request_id {
+    if let Some(id) = tags.request_id {
         out.push_str(&format!("X-Gced-Request-Id: {id}\r\n"));
+    }
+    if let Some(eid) = tags.evidence_id {
+        out.push_str(&format!("X-Gced-Evidence-Id: {eid}\r\n"));
+    }
+    if let Some(cache) = tags.cache {
+        out.push_str(&format!("X-Gced-Cache: {cache}\r\n"));
     }
     out.push_str(if keep_alive {
         "Connection: keep-alive\r\n\r\n"
@@ -521,6 +561,38 @@ mod tests {
                 .split(|&b| b == b'\n')
                 .next_back()
                 .unwrap(),
+        );
+    }
+
+    #[test]
+    fn evidence_and_cache_headers_never_change_the_body() {
+        let tags = ResponseTags {
+            request_id: Some(3),
+            evidence_id: Some("0123456789abcdef0123456789abcdef"),
+            cache: Some("hit"),
+        };
+        let text = String::from_utf8(render_response_with(200, "{}", true, None, &tags)).unwrap();
+        assert!(
+            text.contains("X-Gced-Evidence-Id: 0123456789abcdef0123456789abcdef\r\n"),
+            "{text}"
+        );
+        assert!(text.contains("X-Gced-Cache: hit\r\n"), "{text}");
+        assert!(text.contains("X-Gced-Request-Id: 3\r\n"), "{text}");
+        assert!(text.ends_with("\r\n\r\n{}"));
+        let bare = String::from_utf8(render_response_with(
+            200,
+            "{}",
+            true,
+            None,
+            &ResponseTags::default(),
+        ))
+        .unwrap();
+        assert!(!bare.contains("X-Gced-Evidence-Id"), "{bare}");
+        assert!(!bare.contains("X-Gced-Cache"), "{bare}");
+        // Tagging never changes the body bytes.
+        assert_eq!(
+            text.rsplit("\r\n\r\n").next().unwrap(),
+            bare.rsplit("\r\n\r\n").next().unwrap()
         );
     }
 

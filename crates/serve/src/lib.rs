@@ -18,6 +18,14 @@
 //!   parse once;
 //! * backpressure **sheds load**: a bounded queue answers 503 when
 //!   full instead of buffering unboundedly;
+//! * a sharded, byte-deterministic **response cache** (`gced-store`)
+//!   is probed before the batch queue: a warm hit answers with the
+//!   exact stored bytes and skips coalescing entirely, and every
+//!   successful distillation becomes a durable evidence artifact
+//!   replayable via `GET /v1/evidence/{id}` (the id — the hex request
+//!   fingerprint — rides the body and the `X-Gced-Evidence-Id`
+//!   header); eviction is LRU plus a logical TTL measured in
+//!   subsequent insertions, never wall-clock;
 //! * `GET /healthz` and `GET /metrics` expose liveness, counters, and
 //!   batch-size / latency histograms ([`metrics`]);
 //! * shutdown (`POST /shutdown` or [`ServerHandle::shutdown`]) is
@@ -110,6 +118,16 @@ pub struct ServeConfig {
     /// requests are kept (the slowest few are kept besides; see
     /// [`recorder::DEFAULT_SLOW`]).
     pub flight_requests: usize,
+    /// Response-cache entry capacity across shards (0 disables the
+    /// cache and the evidence store).
+    pub cache_entries: usize,
+    /// Response-cache byte budget across shards (0 disables).
+    pub cache_bytes: usize,
+    /// Logical TTL: a cached entry expires after this many subsequent
+    /// insertions into its shard (0 = entries never expire by age).
+    pub cache_ttl_ops: u64,
+    /// Response-cache shard count (rounded up to a power of two).
+    pub cache_shards: usize,
 }
 
 impl Default for ServeConfig {
@@ -128,6 +146,10 @@ impl Default for ServeConfig {
             warmup_docs: Vec::new(),
             trace: true,
             flight_requests: recorder::DEFAULT_RECENT,
+            cache_entries: 4096,
+            cache_bytes: 32 << 20,
+            cache_ttl_ops: 0,
+            cache_shards: 8,
         }
     }
 }
@@ -160,6 +182,9 @@ struct Shared {
     /// Server-assigned `/v1/distill` request ids, echoed as
     /// `X-Gced-Request-Id` (ids start at 1).
     next_request_id: AtomicU64,
+    /// The response cache + durable evidence store, probed before the
+    /// batch queue and filled on every successful distillation.
+    store: gced_store::ResponseStore,
     /// Process-epoch stopwatch behind `uptime_seconds`.
     started: gced_obs::clock::Stopwatch,
 }
@@ -231,6 +256,12 @@ pub fn start(gced: gced::Gced, mut config: ServeConfig) -> std::io::Result<Serve
         config.flight_requests,
         recorder::DEFAULT_SLOW,
     ));
+    let store_config = gced_store::StoreConfig {
+        entries: config.cache_entries,
+        bytes: config.cache_bytes,
+        ttl_ops: config.cache_ttl_ops,
+        shards: config.cache_shards,
+    };
     let batcher = Batcher::start(
         Arc::clone(&gced),
         BatcherConfig {
@@ -256,6 +287,7 @@ pub fn start(gced: gced::Gced, mut config: ServeConfig) -> std::io::Result<Serve
         next_conn_id: AtomicU64::new(0),
         recorder: flight,
         next_request_id: AtomicU64::new(0),
+        store: gced_store::ResponseStore::new(store_config),
         started: gced_obs::clock::Stopwatch::start(),
     });
     let accept_shared = Arc::clone(&shared);
@@ -448,12 +480,16 @@ fn write_reply(
     keep_alive: bool,
     shared: &Shared,
 ) -> std::io::Result<()> {
-    let frame = http::render_response_tagged(
+    let frame = http::render_response_with(
         routed.status,
         &routed.body,
         keep_alive,
         routed.retry_after,
-        routed.request_id,
+        &http::ResponseTags {
+            request_id: routed.request_id,
+            evidence_id: routed.evidence_id.as_deref(),
+            cache: routed.cache,
+        },
     );
     if shared.faults.fire(Site::TornWrite).is_some() {
         let cut = (frame.len() / 2).max(1);
@@ -470,12 +506,15 @@ fn write_reply(
 
 /// One routed response: status, body, and the optional headers the
 /// endpoint asked for (`Retry-After` on sheds, `X-Gced-Request-Id` on
-/// distill requests).
+/// distill requests, `X-Gced-Evidence-Id`/`X-Gced-Cache` on cache-aware
+/// responses).
 struct Routed {
     status: u16,
     body: String,
     retry_after: Option<u64>,
     request_id: Option<u64>,
+    evidence_id: Option<String>,
+    cache: Option<&'static str>,
 }
 
 impl Routed {
@@ -485,6 +524,8 @@ impl Routed {
             body,
             retry_after: None,
             request_id: None,
+            evidence_id: None,
+            cache: None,
         }
     }
 }
@@ -504,6 +545,16 @@ fn route(request: &http::Request, shared: &Shared) -> Routed {
             Routed::plain(200, "{\"status\":\"shutting down\"}".to_string())
         }
         ("GET", "/debug/requests") => Routed::plain(200, shared.recorder.list_json()),
+        ("GET", path) if path.starts_with("/v1/evidence/") => {
+            evidence(shared, &path["/v1/evidence/".len()..])
+        }
+        (_, path) if path.starts_with("/v1/evidence/") => Routed::plain(
+            405,
+            wire::render_error(&format!(
+                "method {} not allowed on {}",
+                request.method, request.path
+            )),
+        ),
         ("GET", path) if path.starts_with("/debug/requests/") => {
             let tail = &path["/debug/requests/".len()..];
             match tail
@@ -547,10 +598,47 @@ fn recv_backstop(config: &ServeConfig) -> Duration {
     }
 }
 
-/// Run one `/v1/distill` request through the batcher. Every request
-/// whose body parses increments `distill_requests_total` and exactly
-/// one outcome counter — all from this function, so the `/metrics`
-/// decomposition holds exactly (see [`metrics::Metrics`]).
+/// Replay a stored distillation: `GET /v1/evidence/{id}`. A hit serves
+/// the exact bytes the original `/v1/distill` response carried;
+/// replays count under `evidence_replays_total`, outside the distill
+/// decomposition.
+fn evidence(shared: &Shared, id: &str) -> Routed {
+    let Some(fp) = gced_store::parse_evidence_id(id) else {
+        return Routed::plain(
+            404,
+            wire::render_error(&format!("malformed evidence id {id:?}")),
+        );
+    };
+    match shared.store.get(fp) {
+        Some(body) => {
+            shared
+                .metrics
+                .evidence_replays
+                .fetch_add(1, Ordering::Relaxed);
+            Routed {
+                status: 200,
+                body,
+                retry_after: None,
+                request_id: None,
+                evidence_id: Some(id.to_string()),
+                cache: Some("hit"),
+            }
+        }
+        None => Routed::plain(
+            404,
+            wire::render_error(&format!("no stored evidence {id:?}")),
+        ),
+    }
+}
+
+/// Run one `/v1/distill` request through the response cache, then (on
+/// a miss) the batcher. Every request whose body parses increments
+/// `distill_requests_total` and exactly one outcome counter — all from
+/// this function, so the `/metrics` decomposition holds exactly (see
+/// [`metrics::Metrics`]). With the cache enabled the same requests
+/// also increment exactly one of `cache_hits_total` /
+/// `cache_misses_total`, probed **before** the batch queue — a warm
+/// hit answers the stored bytes and never touches the batcher.
 fn distill(request: &http::Request, shared: &Shared) -> Routed {
     let parsed = match wire::parse_request(&request.body) {
         Ok(p) => p,
@@ -560,13 +648,49 @@ fn distill(request: &http::Request, shared: &Shared) -> Routed {
     m.distill_requests_total.fetch_add(1, Ordering::Relaxed);
     // The id is assigned to every parseable request — shed ones too —
     // and echoed back as `X-Gced-Request-Id`; only requests that rode a
-    // traced batch appear under `/debug/requests`.
+    // traced batch (or probed the cache under tracing) appear under
+    // `/debug/requests`.
     let id = shared.next_request_id.fetch_add(1, Ordering::Relaxed) + 1;
+    // The fingerprint keys the cache AND derives the evidence id the
+    // body carries, so it is computed whether or not the cache is on —
+    // offline `gced distill` derives the identical id.
+    let fp = gced_store::request_fingerprint(&parsed.question, &parsed.answer, &parsed.context);
+    let eid = gced_store::evidence_id(fp);
+    if shared.store.enabled() {
+        let (probe, tree) = gced_obs::capture("cache.probe", || shared.store.get(fp));
+        if let Some(body) = probe {
+            m.cache_hits.fetch_add(1, Ordering::Relaxed);
+            m.distill_ok.fetch_add(1, Ordering::Relaxed);
+            if let Some(tree) = tree {
+                // Hits are debuggable too: the flight recorder gets a
+                // tree rooted at `cache.probe` instead of
+                // `batch.coalesce`, with zero queue wait.
+                shared.recorder.record(recorder::RecordedRequest {
+                    id,
+                    ok: true,
+                    queue_ns: 0,
+                    total_ns: tree.dur_ns,
+                    tree,
+                });
+            }
+            return Routed {
+                status: 200,
+                body,
+                retry_after: None,
+                request_id: Some(id),
+                evidence_id: Some(eid),
+                cache: Some("hit"),
+            };
+        }
+        m.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
     let tagged = |status: u16, body: String, retry_after: Option<u64>| Routed {
         status,
         body,
         retry_after,
         request_id: Some(id),
+        evidence_id: None,
+        cache: None,
     };
     let rx = match shared
         .batcher
@@ -594,7 +718,22 @@ fn distill(request: &http::Request, shared: &Shared) -> Routed {
         Ok(Reply::Done(outcome)) => match *outcome {
             Ok(d) => {
                 m.distill_ok.fetch_add(1, Ordering::Relaxed);
-                tagged(200, wire::render_distillation(&d), None)
+                let body = wire::render_distillation_with_id(&eid, &d);
+                if shared.store.enabled() {
+                    // The single store-fill site: evictions the insert
+                    // performed (LRU + logical-TTL sweep) are added
+                    // here, keeping `evictions_total` single-sided.
+                    let out = shared.store.insert(fp, &body);
+                    m.cache_evictions.fetch_add(out.evicted, Ordering::Relaxed);
+                }
+                Routed {
+                    status: 200,
+                    body,
+                    retry_after: None,
+                    request_id: Some(id),
+                    evidence_id: Some(eid),
+                    cache: shared.store.enabled().then_some("miss"),
+                }
             }
             Err(e) => {
                 m.distill_error.fetch_add(1, Ordering::Relaxed);
@@ -745,6 +884,20 @@ fn metrics_body(shared: &Shared) -> String {
             ),
         ));
     }
+    let cache_cfg = shared.store.config();
+    extra.push((
+        "cache",
+        format!(
+            "{{\"enabled\":{},\"entries\":{},\"bytes\":{},\"ttl_ops\":{},\"shards\":{},\"len\":{},\"bytes_used\":{}}}",
+            shared.store.enabled(),
+            cache_cfg.entries,
+            cache_cfg.bytes,
+            cache_cfg.ttl_ops,
+            shared.store.shard_count(),
+            shared.store.len(),
+            shared.store.bytes_used(),
+        ),
+    ));
     if !shared.faults.is_empty() {
         extra.push(("faults", shared.faults.render_json()));
     }

@@ -168,6 +168,15 @@ impl Histogram {
 /// whenever no request is in flight (`tests/serve_chaos.rs` asserts it
 /// under randomized concurrent chaos load). `shed_total` is rendered as
 /// the sum of the three shed classes.
+///
+/// The response-cache counters decompose the same way: with the cache
+/// enabled, every request in the decomposition base probes the store
+/// exactly once before the batch queue, so `cache_hits_total +
+/// cache_misses_total == distill_requests_total` (and every hit is a
+/// `distill_ok`). `evictions_total` counts entries the store dropped
+/// (LRU + logical TTL); `evidence_replays_total` counts
+/// `GET /v1/evidence/{id}` hits, which are deliberately *outside* the
+/// distill decomposition.
 #[derive(Debug)]
 pub struct Metrics {
     /// Requests that parsed into a known route.
@@ -206,6 +215,15 @@ pub struct Metrics {
     /// Requests served on an already-open persistent connection (i.e.
     /// exchanges that skipped a TCP handshake thanks to keep-alive).
     pub keepalive_reuses: AtomicU64,
+    /// Response-cache probes answered from the store (skipped the
+    /// batch queue entirely).
+    pub cache_hits: AtomicU64,
+    /// Response-cache probes that missed and rode the pipeline.
+    pub cache_misses: AtomicU64,
+    /// Entries the response store evicted (LRU + logical TTL).
+    pub cache_evictions: AtomicU64,
+    /// `GET /v1/evidence/{id}` requests answered from the store.
+    pub evidence_replays: AtomicU64,
     /// Coalesced `distill_batch` calls executed.
     pub batches_total: AtomicU64,
     /// Coalesced batch sizes.
@@ -259,6 +277,10 @@ impl Metrics {
             http_errors: AtomicU64::new(0),
             connections_total: AtomicU64::new(0),
             keepalive_reuses: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            cache_evictions: AtomicU64::new(0),
+            evidence_replays: AtomicU64::new(0),
             batches_total: AtomicU64::new(0),
             batch_size: Histogram::new(BATCH_BOUNDS),
             latency_us: Histogram::new(LATENCY_BOUNDS_US),
@@ -317,6 +339,18 @@ impl Metrics {
         out.push_str(&self.connections_total.load(Ordering::Relaxed).to_string());
         out.push_str(",\"keepalive_reuses\":");
         out.push_str(&self.keepalive_reuses.load(Ordering::Relaxed).to_string());
+        let cache_hits = self.cache_hits.load(Ordering::Relaxed);
+        let cache_misses = self.cache_misses.load(Ordering::Relaxed);
+        out.push_str(",\"cache_hits_total\":");
+        out.push_str(&cache_hits.to_string());
+        out.push_str(",\"cache_misses_total\":");
+        out.push_str(&cache_misses.to_string());
+        out.push_str(",\"cache_hit_rate\":");
+        json::push_f64(&mut out, ratio(cache_hits, cache_hits + cache_misses));
+        out.push_str(",\"evictions_total\":");
+        out.push_str(&self.cache_evictions.load(Ordering::Relaxed).to_string());
+        out.push_str(",\"evidence_replays_total\":");
+        out.push_str(&self.evidence_replays.load(Ordering::Relaxed).to_string());
         out.push_str(",\"batches_total\":");
         out.push_str(&self.batches_total.load(Ordering::Relaxed).to_string());
         out.push_str(",\"batch_size\":");
@@ -522,6 +556,11 @@ mod tests {
             "\"http_errors\":",
             "\"connections_total\":",
             "\"keepalive_reuses\":",
+            "\"cache_hits_total\":",
+            "\"cache_misses_total\":",
+            "\"cache_hit_rate\":",
+            "\"evictions_total\":",
+            "\"evidence_replays_total\":",
             "\"batches_total\":",
             "\"batch_size\":",
             "\"latency_us\":",
@@ -546,6 +585,28 @@ mod tests {
                 .unwrap_or_else(|| panic!("{key} missing or out of order in {text}"));
             cursor += at + key.len();
         }
+    }
+
+    #[test]
+    fn cache_counters_render_with_their_hit_rate() {
+        let m = Metrics::new();
+        m.cache_hits.fetch_add(3, Ordering::Relaxed);
+        m.cache_misses.fetch_add(1, Ordering::Relaxed);
+        m.cache_evictions.fetch_add(2, Ordering::Relaxed);
+        m.evidence_replays.fetch_add(5, Ordering::Relaxed);
+        let root = json::parse(&m.render(&[])).expect("valid JSON");
+        let num = |k: &str| root.get(k).and_then(Json::as_f64).unwrap_or(-1.0);
+        assert_eq!(num("cache_hits_total"), 3.0);
+        assert_eq!(num("cache_misses_total"), 1.0);
+        assert!((num("cache_hit_rate") - 0.75).abs() < 1e-9);
+        assert_eq!(num("evictions_total"), 2.0);
+        assert_eq!(num("evidence_replays_total"), 5.0);
+        // Zero denominator renders 0, not NaN.
+        let fresh = json::parse(&Metrics::new().render(&[])).expect("valid JSON");
+        assert_eq!(
+            fresh.get("cache_hit_rate").and_then(Json::as_f64),
+            Some(0.0)
+        );
     }
 
     #[test]

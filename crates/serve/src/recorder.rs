@@ -37,7 +37,9 @@ pub struct RecordedRequest {
     pub queue_ns: u64,
     /// Queue wait plus distill time, ns — the slow-keep ranking key.
     pub total_ns: u64,
-    /// The request's span tree, rooted at `batch.coalesce`.
+    /// The request's span tree: rooted at `batch.coalesce` for
+    /// pipeline-served requests, at `cache.probe` for response-cache
+    /// hits (which never reach a batch).
     pub tree: SpanNode,
 }
 

@@ -54,32 +54,55 @@ pub fn render_request(req: &DistillRequest) -> String {
     out
 }
 
-/// Canonical response body for one successful distillation.
+/// Canonical response body for one successful distillation, carrying
+/// its durable evidence id (the hex-rendered request fingerprint; see
+/// `gced_store::evidence_id`). The id is a pure function of the
+/// request, so the server and offline `gced distill` derive identical
+/// ids — the byte-parity guarantee extends to `GET /v1/evidence/{id}`
+/// replays.
+pub fn render_distillation_with_id(evidence_id: &str, d: &Distillation) -> String {
+    let mut out = String::with_capacity(560);
+    out.push_str("{\"evidence_id\":");
+    json::push_string(&mut out, evidence_id);
+    out.push(',');
+    push_distillation_fields(&mut out, d);
+    out
+}
+
+/// Canonical response body for one successful distillation (no
+/// evidence id — the form stored offline artifacts used before ids
+/// existed; the server always renders through
+/// [`render_distillation_with_id`]).
 pub fn render_distillation(d: &Distillation) -> String {
     let mut out = String::with_capacity(512);
-    out.push_str("{\"evidence\":");
-    json::push_string(&mut out, &d.evidence);
+    out.push('{');
+    push_distillation_fields(&mut out, d);
+    out
+}
+
+fn push_distillation_fields(out: &mut String, d: &Distillation) {
+    out.push_str("\"evidence\":");
+    json::push_string(out, &d.evidence);
     out.push_str(",\"evidence_tokens\":[");
     for (i, t) in d.evidence_tokens.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
-        json::push_string(&mut out, t);
+        json::push_string(out, t);
     }
     out.push_str("],\"scores\":{\"informativeness\":");
-    json::push_f64(&mut out, d.scores.informativeness);
+    json::push_f64(out, d.scores.informativeness);
     out.push_str(",\"conciseness\":");
-    json::push_f64(&mut out, d.scores.conciseness);
+    json::push_f64(out, d.scores.conciseness);
     out.push_str(",\"readability\":");
-    json::push_f64(&mut out, d.scores.readability);
+    json::push_f64(out, d.scores.readability);
     out.push_str(",\"hybrid\":");
-    json::push_f64(&mut out, d.scores.hybrid);
+    json::push_f64(out, d.scores.hybrid);
     out.push_str("},\"word_reduction\":");
-    json::push_f64(&mut out, d.word_reduction);
+    json::push_f64(out, d.word_reduction);
     out.push_str(",\"aos\":");
-    json::push_string(&mut out, &d.aos_text);
+    json::push_string(out, &d.aos_text);
     out.push('}');
-    out
 }
 
 /// Error body: `{"error": "..."}`.
@@ -121,6 +144,35 @@ mod tests {
         assert!(err.contains("question"), "{err}");
         assert!(parse_request(b"not json").is_err());
         assert!(parse_request(&[0xff, 0xfe]).is_err());
+    }
+
+    #[test]
+    fn id_bearing_body_is_the_canonical_body_plus_a_leading_id() {
+        let d = Distillation {
+            evidence: "the broncos won".to_string(),
+            evidence_tokens: vec!["the".into(), "broncos".into(), "won".into()],
+            scores: gced::EvidenceScores {
+                informativeness: 0.5,
+                conciseness_raw: 0.1,
+                readability_raw: 0.2,
+                conciseness: 0.3,
+                readability: 0.4,
+                hybrid: 0.45,
+            },
+            aos_text: "the broncos won.".to_string(),
+            word_reduction: 0.785,
+            trace: Default::default(),
+        };
+        let plain = render_distillation(&d);
+        let id = "0123456789abcdef0123456789abcdef";
+        let with_id = render_distillation_with_id(id, &d);
+        assert_eq!(
+            with_id,
+            format!("{{\"evidence_id\":\"{id}\",{}", &plain[1..]),
+            "id prefixes the otherwise-unchanged canonical fields"
+        );
+        let root = json::parse(&with_id).unwrap();
+        assert_eq!(root.get("evidence_id").and_then(Json::as_str), Some(id));
     }
 
     #[test]

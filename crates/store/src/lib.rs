@@ -1,0 +1,526 @@
+//! gced-store — a bounded, shard-aware, byte-deterministic response
+//! cache plus durable evidence store.
+//!
+//! The store maps a **request fingerprint** — a 128-bit hash of the
+//! canonicalized request JSON — to the exact rendered response bytes,
+//! so a cache hit is trivially byte-identical to the miss that filled
+//! it. Canonicalization follows the same bit-exact discipline as
+//! `gced::cache`: object keys sorted, strings escaped through
+//! `gced_datasets::json::push_string`, and floats rendered with the
+//! shortest-roundtrip form of `gced_datasets::json::push_f64`.
+//!
+//! Internals are deterministic by construction:
+//!
+//! * N shards (N rounded to a power of two, clamped so every shard can
+//!   hold at least one entry), selected by masking the fingerprint's
+//!   low bits; each shard has its own lock so hot hits never contend
+//!   with each other or the batcher.
+//! * Each shard keeps its entries in a `Vec` **sorted by fingerprint**
+//!   — lookups binary-search, and every scan (LRU victim selection,
+//!   TTL sweep) walks ascending fingerprint order. No `HashMap`
+//!   anywhere, so there is no nondeterministic iteration order to leak
+//!   into observable behavior.
+//! * Eviction is LRU (a per-shard operation counter stamps recency;
+//!   stamps are unique, so the victim is unique) plus a **logical
+//!   TTL**: an entry expires once more than `ttl_ops` subsequent
+//!   insertions have landed in its shard. No wall-clock reads — served
+//!   bytes and eviction order are pure functions of the request
+//!   sequence, so the repo's cross-run determinism pins survive.
+//!
+//! The store never counts its own traffic: `get`/`insert` report what
+//! happened and the single caller (the serve layer) owns the metrics,
+//! keeping every counter single-sided.
+
+use std::sync::Mutex;
+
+/// Sizing knobs for [`ResponseStore`]. An `entries` or `bytes` of 0
+/// disables the store entirely (every probe misses, inserts are
+/// dropped).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreConfig {
+    /// Total entry capacity across all shards.
+    pub entries: usize,
+    /// Total byte budget (sum of stored body lengths) across shards.
+    pub bytes: usize,
+    /// Logical TTL: an entry expires after more than this many
+    /// subsequent insertions into its shard. 0 means no TTL.
+    pub ttl_ops: u64,
+    /// Requested shard count; rounded up to a power of two and clamped
+    /// so no shard has a zero entry budget.
+    pub shards: usize,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            entries: 4096,
+            bytes: 32 << 20,
+            ttl_ops: 0,
+            shards: 8,
+        }
+    }
+}
+
+/// What [`ResponseStore::insert`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InsertOutcome {
+    /// Was a new entry stored? False when the store is disabled, the
+    /// body exceeds a shard's whole byte budget, or the fingerprint
+    /// was already present (the existing entry is refreshed instead).
+    pub stored: bool,
+    /// Entries removed by this call (logical-TTL sweep + LRU/byte
+    /// evictions).
+    pub evicted: u64,
+}
+
+#[derive(Debug)]
+struct Entry {
+    fp: u128,
+    body: String,
+    /// Recency stamp from the shard's op counter (unique per shard).
+    last_used: u64,
+    /// Value of the shard's insertion counter when this entry landed.
+    inserted: u64,
+}
+
+#[derive(Debug, Default)]
+struct Shard {
+    /// Sorted by `fp` — binary-search lookups, deterministic scans.
+    entries: Vec<Entry>,
+    bytes: usize,
+    /// Recency clock: bumped on every hit and insert.
+    ops: u64,
+    /// Insertion clock: bumped on every insert; drives the logical TTL.
+    inserts: u64,
+}
+
+/// Sharded fingerprint → response-bytes cache with LRU + logical-TTL
+/// eviction. See the module docs for the determinism contract.
+#[derive(Debug)]
+pub struct ResponseStore {
+    shards: Vec<Mutex<Shard>>,
+    mask: usize,
+    shard_entries: usize,
+    shard_bytes: usize,
+    ttl_ops: u64,
+    config: StoreConfig,
+}
+
+impl ResponseStore {
+    /// Build a store. `entries == 0` or `bytes == 0` yields a disabled
+    /// store that never hits and never retains.
+    pub fn new(config: StoreConfig) -> Self {
+        let enabled = config.entries > 0 && config.bytes > 0;
+        let mut shards = config.shards.max(1).next_power_of_two();
+        while shards > 1 && shards > config.entries {
+            shards /= 2;
+        }
+        let shard_entries = if enabled {
+            config.entries.div_ceil(shards)
+        } else {
+            0
+        };
+        let shard_bytes = if enabled {
+            config.bytes.div_ceil(shards).max(1)
+        } else {
+            0
+        };
+        let mut vec = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            vec.push(Mutex::new(Shard::default()));
+        }
+        ResponseStore {
+            shards: vec,
+            mask: shards - 1,
+            shard_entries,
+            shard_bytes,
+            ttl_ops: config.ttl_ops,
+            config,
+        }
+    }
+
+    /// Is the store retaining anything at all?
+    pub fn enabled(&self) -> bool {
+        self.shard_entries > 0
+    }
+
+    /// The configuration the store was built from (as requested, before
+    /// shard rounding).
+    pub fn config(&self) -> StoreConfig {
+        self.config
+    }
+
+    /// Effective shard count (power of two).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard(&self, fp: u128) -> &Mutex<Shard> {
+        &self.shards[(fp as u64 as usize) & self.mask]
+    }
+
+    fn lock(m: &Mutex<Shard>) -> std::sync::MutexGuard<'_, Shard> {
+        m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Probe for a stored response. A hit refreshes the entry's LRU
+    /// recency. Expiry never happens here: entries only age when an
+    /// insertion lands, and insertions sweep their shard immediately,
+    /// so nothing observable ever sits expired.
+    pub fn get(&self, fp: u128) -> Option<String> {
+        if !self.enabled() {
+            return None;
+        }
+        let mut shard = Self::lock(self.shard(fp));
+        shard.ops += 1;
+        let stamp = shard.ops;
+        let i = shard.entries.binary_search_by(|e| e.fp.cmp(&fp)).ok()?;
+        shard.entries[i].last_used = stamp;
+        Some(shard.entries[i].body.clone())
+    }
+
+    /// Store `body` under `fp`. Sweeps the shard's logical-TTL expiries
+    /// first (ascending fingerprint order), then inserts, then evicts
+    /// LRU victims until the shard is back inside its entry and byte
+    /// budgets. A body larger than the whole shard byte budget is never
+    /// stored (and evicts nothing).
+    pub fn insert(&self, fp: u128, body: &str) -> InsertOutcome {
+        if !self.enabled() || body.len() > self.shard_bytes {
+            return InsertOutcome {
+                stored: false,
+                evicted: 0,
+            };
+        }
+        let mut shard = Self::lock(self.shard(fp));
+        shard.ops += 1;
+        shard.inserts += 1;
+        let (stamp, clock) = (shard.ops, shard.inserts);
+        let mut evicted = 0u64;
+        if self.ttl_ops > 0 {
+            let ttl = self.ttl_ops;
+            let mut freed = 0usize;
+            shard.entries.retain(|e| {
+                let expired = clock - e.inserted > ttl;
+                if expired {
+                    freed += e.body.len();
+                    evicted += 1;
+                }
+                !expired
+            });
+            shard.bytes -= freed;
+        }
+        match shard.entries.binary_search_by(|e| e.fp.cmp(&fp)) {
+            Ok(i) => {
+                // Deterministic responses mean the body is already
+                // identical; just refresh recency and TTL age.
+                shard.entries[i].last_used = stamp;
+                shard.entries[i].inserted = clock;
+                return InsertOutcome {
+                    stored: false,
+                    evicted,
+                };
+            }
+            Err(i) => {
+                shard.bytes += body.len();
+                shard.entries.insert(
+                    i,
+                    Entry {
+                        fp,
+                        body: body.to_string(),
+                        last_used: stamp,
+                        inserted: clock,
+                    },
+                );
+            }
+        }
+        while shard.entries.len() > self.shard_entries || shard.bytes > self.shard_bytes {
+            // Unique recency stamps make the LRU victim unique; the
+            // ascending-fingerprint scan keeps the walk deterministic.
+            let victim = shard
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(i, _)| i)
+                .expect("over-budget shard is non-empty");
+            let gone = shard.entries.remove(victim);
+            shard.bytes -= gone.body.len();
+            evicted += 1;
+        }
+        InsertOutcome {
+            stored: true,
+            evicted,
+        }
+    }
+
+    /// Entries currently retained (sums shards in index order).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| Self::lock(s).entries.len())
+            .sum()
+    }
+
+    /// Is the store empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Bytes currently retained (sum of stored body lengths).
+    pub fn bytes_used(&self) -> usize {
+        self.shards.iter().map(|s| Self::lock(s).bytes).sum()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Canonicalization + fingerprints
+// ---------------------------------------------------------------------------
+
+use gced_datasets::json::{self, Json};
+
+/// Render `value` in canonical form: object keys sorted bytewise,
+/// strings escaped via [`json::push_string`], numbers rendered via
+/// [`json::push_f64`] (shortest roundtrip — the `gced::cache`
+/// discipline). Two JSON documents that differ only in key order or
+/// float spelling canonicalize to identical bytes.
+pub fn canonicalize(value: &Json) -> String {
+    let mut out = String::with_capacity(64);
+    push_canonical(&mut out, value);
+    out
+}
+
+fn push_canonical(out: &mut String, value: &Json) {
+    match value {
+        Json::Null => out.push_str("null"),
+        Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Json::Num(v) => json::push_f64(out, *v),
+        Json::Str(s) => json::push_string(out, s),
+        Json::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                push_canonical(out, item);
+            }
+            out.push(']');
+        }
+        Json::Obj(fields) => {
+            let mut order: Vec<usize> = (0..fields.len()).collect();
+            order.sort_by(|&a, &b| fields[a].0.cmp(&fields[b].0));
+            out.push('{');
+            for (i, &f) in order.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                json::push_string(out, &fields[f].0);
+                out.push(':');
+                push_canonical(out, &fields[f].1);
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// The canonical form of a `/v1/distill` request: the three fields in
+/// sorted key order, whatever order the client sent them in.
+pub fn canonical_request(question: &str, answer: &str, context: &str) -> String {
+    let mut out = String::with_capacity(question.len() + answer.len() + context.len() + 40);
+    out.push_str("{\"answer\":");
+    json::push_string(&mut out, answer);
+    out.push_str(",\"context\":");
+    json::push_string(&mut out, context);
+    out.push_str(",\"question\":");
+    json::push_string(&mut out, question);
+    out.push('}');
+    out
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a64(seed: u64, bytes: &[u8]) -> u64 {
+    let mut h = seed;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// 128-bit fingerprint of arbitrary bytes: two independently seeded
+/// FNV-1a streams, each finalized through a splitmix64 mix so the low
+/// bits (which pick the shard) are well distributed.
+pub fn fingerprint_bytes(bytes: &[u8]) -> u128 {
+    let hi = splitmix64(fnv1a64(FNV_OFFSET, bytes));
+    let lo = splitmix64(fnv1a64(FNV_OFFSET ^ 0x5851_f42d_4c95_7f2d, bytes) ^ bytes.len() as u64);
+    ((hi as u128) << 64) | lo as u128
+}
+
+/// Fingerprint of a `/v1/distill` request (canonicalized first, so key
+/// order and float spelling in the client's JSON cannot split the
+/// cache).
+pub fn request_fingerprint(question: &str, answer: &str, context: &str) -> u128 {
+    fingerprint_bytes(canonical_request(question, answer, context).as_bytes())
+}
+
+/// The durable evidence id for a fingerprint: 32 lowercase hex chars.
+pub fn evidence_id(fp: u128) -> String {
+    format!("{fp:032x}")
+}
+
+/// Parse an evidence id back to its fingerprint. Strict: exactly 32
+/// lowercase hex chars, so an id roundtrips byte-identically.
+pub fn parse_evidence_id(id: &str) -> Option<u128> {
+    if id.len() != 32
+        || !id
+            .bytes()
+            .all(|b| b.is_ascii_digit() || (b'a'..=b'f').contains(&b))
+    {
+        return None;
+    }
+    u128::from_str_radix(id, 16).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonicalize_sorts_keys_and_pins_float_rendering() {
+        let doc = json::parse("{\"b\":1e2,\"a\":{\"z\":0.1,\"y\":[true,null]}}").unwrap();
+        assert_eq!(
+            canonicalize(&doc),
+            "{\"a\":{\"y\":[true,null],\"z\":0.1},\"b\":100.0}"
+        );
+        let reordered =
+            json::parse("{\"a\":{\"y\":[true,null],\"z\":1.0e-1},\"b\":100.0}").unwrap();
+        assert_eq!(canonicalize(&doc), canonicalize(&reordered));
+    }
+
+    #[test]
+    fn request_fingerprint_ignores_field_order_but_not_content() {
+        let a = request_fingerprint("q", "a", "c");
+        assert_eq!(a, request_fingerprint("q", "a", "c"));
+        assert_ne!(a, request_fingerprint("q", "a", "c2"));
+        assert_ne!(
+            a,
+            request_fingerprint("a", "q", "c"),
+            "fields are positional"
+        );
+    }
+
+    #[test]
+    fn evidence_id_roundtrips_and_rejects_sloppy_forms() {
+        let fp = request_fingerprint("q", "a", "c");
+        let id = evidence_id(fp);
+        assert_eq!(id.len(), 32);
+        assert_eq!(parse_evidence_id(&id), Some(fp));
+        assert_eq!(
+            parse_evidence_id(&id.to_uppercase()),
+            None,
+            "uppercase rejected"
+        );
+        assert_eq!(parse_evidence_id(&id[..31]), None, "short rejected");
+        assert_eq!(parse_evidence_id(&format!("{id}0")), None, "long rejected");
+        assert_eq!(parse_evidence_id("zz".repeat(16).as_str()), None);
+    }
+
+    #[test]
+    fn get_insert_and_lru_eviction() {
+        let store = ResponseStore::new(StoreConfig {
+            entries: 2,
+            bytes: 1 << 20,
+            ttl_ops: 0,
+            shards: 1,
+        });
+        assert!(store.enabled());
+        assert_eq!(store.get(1), None);
+        assert!(store.insert(1, "one").stored);
+        assert!(store.insert(2, "two").stored);
+        assert_eq!(store.get(1).as_deref(), Some("one")); // refresh 1
+        let out = store.insert(3, "three");
+        assert!(out.stored);
+        assert_eq!(out.evicted, 1, "LRU victim evicted");
+        assert_eq!(store.get(2), None, "2 was least recently used");
+        assert_eq!(store.get(1).as_deref(), Some("one"));
+        assert_eq!(store.get(3).as_deref(), Some("three"));
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.bytes_used(), "one".len() + "three".len());
+    }
+
+    #[test]
+    fn duplicate_insert_refreshes_without_storing() {
+        let store = ResponseStore::new(StoreConfig {
+            entries: 8,
+            bytes: 1 << 20,
+            ttl_ops: 0,
+            shards: 1,
+        });
+        assert!(store.insert(7, "body").stored);
+        let again = store.insert(7, "body");
+        assert!(!again.stored);
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.bytes_used(), 4);
+    }
+
+    #[test]
+    fn disabled_store_never_retains() {
+        for config in [
+            StoreConfig {
+                entries: 0,
+                bytes: 1 << 20,
+                ttl_ops: 0,
+                shards: 4,
+            },
+            StoreConfig {
+                entries: 16,
+                bytes: 0,
+                ttl_ops: 0,
+                shards: 4,
+            },
+        ] {
+            let store = ResponseStore::new(config);
+            assert!(!store.enabled());
+            let out = store.insert(1, "x");
+            assert!(!out.stored);
+            assert_eq!(out.evicted, 0);
+            assert_eq!(store.get(1), None);
+            assert!(store.is_empty());
+        }
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two_and_respects_capacity() {
+        assert_eq!(
+            ResponseStore::new(StoreConfig {
+                entries: 1024,
+                bytes: 1 << 20,
+                ttl_ops: 0,
+                shards: 6,
+            })
+            .shard_count(),
+            8
+        );
+        // A capacity-1 store collapses to one shard so the global
+        // capacity really is 1.
+        let tiny = ResponseStore::new(StoreConfig {
+            entries: 1,
+            bytes: 1 << 20,
+            ttl_ops: 0,
+            shards: 16,
+        });
+        assert_eq!(tiny.shard_count(), 1);
+        assert!(tiny.insert(10, "a").stored);
+        let out = tiny.insert(11, "b");
+        assert_eq!((out.stored, out.evicted), (true, 1));
+        assert_eq!(tiny.len(), 1);
+    }
+}

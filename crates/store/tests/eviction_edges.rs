@@ -1,0 +1,130 @@
+//! Eviction edge cases for the response store: disabled stores,
+//! capacity 1, single oversized entries against the byte budget, and
+//! logical-TTL expiry ordering.
+
+use gced_store::{ResponseStore, StoreConfig};
+
+fn cfg(entries: usize, bytes: usize, ttl_ops: u64, shards: usize) -> StoreConfig {
+    StoreConfig {
+        entries,
+        bytes,
+        ttl_ops,
+        shards,
+    }
+}
+
+#[test]
+fn capacity_zero_disables_the_store() {
+    let store = ResponseStore::new(cfg(0, 1 << 20, 3, 8));
+    assert!(!store.enabled());
+    for fp in 0..16u128 {
+        let out = store.insert(fp, "body");
+        assert!(!out.stored);
+        assert_eq!(out.evicted, 0);
+        assert_eq!(store.get(fp), None);
+    }
+    assert_eq!(store.len(), 0);
+    assert_eq!(store.bytes_used(), 0);
+}
+
+#[test]
+fn capacity_one_keeps_exactly_the_latest_entry_across_any_shard_request() {
+    // Even with 16 shards requested, capacity 1 must mean ONE entry
+    // globally — the store collapses to a single shard.
+    let store = ResponseStore::new(cfg(1, 1 << 20, 0, 16));
+    assert_eq!(store.shard_count(), 1);
+    for fp in 0..8u128 {
+        let out = store.insert(fp, &fp.to_string());
+        assert!(out.stored);
+        assert_eq!(out.evicted, u64::from(fp > 0), "one in, one out");
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.get(fp).as_deref(), Some(fp.to_string().as_str()));
+        if fp > 0 {
+            assert_eq!(store.get(fp - 1), None, "previous entry evicted");
+        }
+    }
+}
+
+#[test]
+fn oversized_entry_is_rejected_without_disturbing_residents() {
+    let store = ResponseStore::new(cfg(8, 10, 0, 1));
+    assert!(store.insert(1, "12345").stored); // 5 of 10 bytes
+    let out = store.insert(2, "elevenbytes"); // 11 > 10: can never fit
+    assert!(!out.stored);
+    assert_eq!(out.evicted, 0, "a hopeless insert evicts nothing");
+    assert_eq!(store.get(1).as_deref(), Some("12345"), "resident untouched");
+    assert_eq!(store.len(), 1);
+    assert_eq!(store.bytes_used(), 5);
+}
+
+#[test]
+fn byte_budget_overflow_evicts_lru_until_the_new_entry_fits() {
+    let store = ResponseStore::new(cfg(8, 10, 0, 1));
+    assert!(store.insert(1, "aaaa").stored); // 4 bytes
+    assert!(store.insert(2, "bbbb").stored); // 8 bytes total
+    assert_eq!(store.get(1).as_deref(), Some("aaaa")); // 1 is now MRU
+    let out = store.insert(3, "cccccc"); // 6 bytes: 14 > 10 → evict
+    assert!(out.stored);
+    assert_eq!(out.evicted, 1);
+    assert_eq!(store.get(2), None, "LRU victim was 2, not the refreshed 1");
+    assert_eq!(store.get(1).as_deref(), Some("aaaa"));
+    assert_eq!(store.get(3).as_deref(), Some("cccccc"));
+    assert_eq!(store.bytes_used(), 10);
+}
+
+#[test]
+fn logical_ttl_expires_entries_in_insertion_order() {
+    // ttl_ops = 2: an entry survives exactly two subsequent insertions
+    // into its shard and is swept by the third.
+    let store = ResponseStore::new(cfg(16, 1 << 20, 2, 1));
+    assert_eq!(store.insert(1, "a").evicted, 0);
+    assert_eq!(store.insert(2, "b").evicted, 0);
+    assert_eq!(store.insert(3, "c").evicted, 0); // 1 is 2 old: survives
+    assert_eq!(store.get(1).as_deref(), Some("a"));
+    let out = store.insert(4, "d"); // 1 is now 3 old: swept
+    assert_eq!(out.evicted, 1);
+    assert_eq!(store.get(1), None, "oldest expired first");
+    assert_eq!(
+        store.get(2).as_deref(),
+        Some("b"),
+        "next-oldest still alive"
+    );
+    let out = store.insert(5, "e"); // sweeps 2
+    assert_eq!(out.evicted, 1);
+    assert_eq!(store.get(2), None);
+    assert_eq!(store.len(), 3, "3, 4, 5 remain");
+}
+
+#[test]
+fn ttl_age_is_not_reset_by_reads() {
+    let store = ResponseStore::new(cfg(16, 1 << 20, 1, 1));
+    assert!(store.insert(1, "a").stored);
+    assert_eq!(
+        store.get(1).as_deref(),
+        Some("a"),
+        "reads do not refresh TTL"
+    );
+    assert_eq!(store.insert(2, "b").evicted, 0); // 1 is 1 old: survives
+    assert_eq!(
+        store.get(1).as_deref(),
+        Some("a"),
+        "still alive, still aging"
+    );
+    assert_eq!(store.insert(3, "c").evicted, 1); // 1 is 2 old: swept
+    assert_eq!(store.get(1), None);
+}
+
+#[test]
+fn ttl_refresh_keeps_a_reinserted_entry_alive() {
+    let store = ResponseStore::new(cfg(16, 1 << 20, 2, 1));
+    assert!(store.insert(1, "a").stored);
+    assert_eq!(store.insert(2, "b").evicted, 0);
+    assert!(!store.insert(1, "a").stored); // refresh 1's age to 0
+    assert_eq!(store.insert(3, "c").evicted, 0);
+    // Three insertions after 1 first landed — but only two since the
+    // refresh, so 1 survives and un-refreshed 2 is the one swept next.
+    let out = store.insert(4, "d");
+    assert_eq!(out.evicted, 1);
+    assert_eq!(store.get(1).as_deref(), Some("a"));
+    assert_eq!(store.get(2), None);
+}

@@ -1,0 +1,49 @@
+//! Property: with ample budgets, a shard-masked store answers every
+//! lookup exactly like a single-shard store, for any shard count —
+//! fingerprint routing neither loses nor misroutes entries.
+
+use gced_store::{fingerprint_bytes, ResponseStore, StoreConfig};
+use proptest::prelude::*;
+
+fn store_with_shards(shards: usize) -> ResponseStore {
+    ResponseStore::new(StoreConfig {
+        entries: 4096,
+        bytes: 1 << 20,
+        ttl_ops: 0,
+        shards,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn sharded_lookup_matches_single_shard_lookup(
+        shards in 1usize..33,
+        ops in prop::collection::vec(0u8..80, 1..120),
+    ) {
+        let sharded = store_with_shards(shards);
+        let single = store_with_shards(1);
+        prop_assert_eq!(single.shard_count(), 1);
+        for op in ops {
+            // Low half of the op range inserts key `op`; high half
+            // probes key `op - 40`.
+            let (key, is_insert) = (op % 40, op < 40);
+            // Real fingerprints (not small integers) so the shard mask
+            // actually scatters keys across shards.
+            let fp = fingerprint_bytes(key.to_string().as_bytes());
+            if is_insert {
+                let body = format!("body-{key}");
+                let a = sharded.insert(fp, &body);
+                let b = single.insert(fp, &body);
+                prop_assert_eq!(a.stored, b.stored);
+                prop_assert!(a.evicted == 0, "ample budgets never evict");
+                prop_assert_eq!(b.evicted, 0);
+            } else {
+                prop_assert_eq!(sharded.get(fp), single.get(fp));
+            }
+        }
+        prop_assert_eq!(sharded.len(), single.len());
+        prop_assert_eq!(sharded.bytes_used(), single.bytes_used());
+    }
+}

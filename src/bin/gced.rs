@@ -50,9 +50,12 @@ USAGE:
            [--queue-cap N] [--parse-cache N] [--warmup N]
            [--conn-max N] [--request-deadline-ms N]
            [--read-deadline-ms N] [--fault-plan SPEC]
+           [--cache-entries N] [--cache-bytes N] [--cache-ttl-ops N]
+           [--cache-shards N]
   gced probe --addr HOST:PORT --question Q --answer A --context C
            [--requests N] [--clients N] [--expect PATH] [--retries N]
            [--retry-base-ms N] [--retry-cap-ms N] [--seed S]
+           [--repeat N] [--duplicates]
   gced distill --question Q --answer A --context C [--kind K]
            [--scale S] [--seed S] [--fit-cache PATH] [--out PATH]
            [--profile PATH]
@@ -99,6 +102,23 @@ SERVE:
   cache (0 disables; warmup counts land in /metrics). A served body is
   byte-identical to `gced distill` of the same input.
 
+RESPONSE CACHE / EVIDENCE STORE:
+  Every parseable distill request is fingerprinted (canonical request
+  JSON, hashed) and probed against the gced-store response cache
+  BEFORE the batch queue: a warm hit answers the exact stored bytes
+  (still byte-identical to offline output) and skips coalescing
+  entirely. Successful distillations are stored under a durable
+  evidence id — the hex fingerprint, carried in the body and the
+  X-Gced-Evidence-Id header — and replayed byte-identically by
+  GET /v1/evidence/{id}. Sizing: --cache-entries (default 4096, 0
+  disables), --cache-bytes (default 33554432), --cache-shards
+  (default 8, rounded to a power of two), and --cache-ttl-ops, a
+  LOGICAL TTL: an entry expires after N subsequent insertions into
+  its shard (never wall-clock; 0 = no TTL). Eviction is LRU within
+  each shard's entry/byte budget. X-Gced-Cache: hit|miss tags probed
+  responses; cache_hits_total + cache_misses_total ==
+  distill_requests_total in /metrics while the cache is on.
+
 FAILURE MODEL:
   Queued requests carry a deadline (--request-deadline-ms, default
   10000, 0 disables): one that expires before its batch runs is shed
@@ -125,6 +145,11 @@ PROBE:
   After a successful run it prints a per-request latency summary
   (min/p50/p99/max in µs, retries and backoff included) estimated
   from the same fixed-bucket histogram the server's /metrics uses.
+  --repeat N replays the whole workload N times (rounds after the
+  first hit the server's response cache) and --duplicates posts every
+  request twice back-to-back; when the server reports X-Gced-Cache
+  headers the summary adds the observed hit rate plus separate
+  hit-vs-miss latency quantiles from the same histogram code.
 
 PROFILE:
   --profile PATH (on `distill` and `run`) enables the gced-obs span
@@ -189,7 +214,7 @@ struct Parsed {
 }
 
 /// Flags that take no value.
-const SWITCHES: &[&str] = &["--in-process", "--json", "--fix"];
+const SWITCHES: &[&str] = &["--in-process", "--json", "--fix", "--duplicates"];
 
 fn parse_args(args: &[String]) -> Result<Parsed, String> {
     let mut parsed = Parsed {
@@ -697,6 +722,10 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
         config.read_deadline.as_millis() as usize,
     )?;
     config.read_deadline = std::time::Duration::from_millis(read_deadline_ms as u64);
+    config.cache_entries = p.usize_flag("cache-entries", config.cache_entries)?;
+    config.cache_bytes = p.usize_flag("cache-bytes", config.cache_bytes)?;
+    config.cache_ttl_ops = p.usize_flag("cache-ttl-ops", config.cache_ttl_ops as usize)? as u64;
+    config.cache_shards = p.usize_flag("cache-shards", config.cache_shards)?;
     // --fault-plan wins over the GCED_CHAOS env var (same grammar).
     let fault_spec = p
         .flag("fault-plan")
@@ -725,9 +754,32 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
     // `start` consumes the warmup corpus; capture the banner fields
     // first so no second copy of the dev contexts outlives startup.
     let n_warmup = config.warmup_docs.len();
+    // The cache plan as the server will actually run it: build a
+    // throwaway store so the logged shard count reflects the
+    // power-of-two / capacity clamping, not the raw flag.
+    let cache_plan = {
+        let probe = gced_store::ResponseStore::new(gced_store::StoreConfig {
+            entries: config.cache_entries,
+            bytes: config.cache_bytes,
+            ttl_ops: config.cache_ttl_ops,
+            shards: config.cache_shards,
+        });
+        if probe.enabled() {
+            format!(
+                "entries:{},bytes:{},ttl_ops:{},shards:{}",
+                config.cache_entries,
+                config.cache_bytes,
+                config.cache_ttl_ops,
+                probe.shard_count(),
+            )
+        } else {
+            "off".to_string()
+        }
+    };
     let banner = format!(
         "batch_max={}, flush={}us, queue_cap={}, parse_cache={}, warmup_docs={n_warmup}, \
-         conn_max={}, request_deadline={}ms, read_deadline={}ms, pool_threads={}",
+         conn_max={}, request_deadline={}ms, read_deadline={}ms, pool_threads={}, \
+         cache={cache_plan}",
         config.batch_max,
         config.flush.as_micros(),
         config.queue_capacity,
@@ -753,6 +805,9 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
 /// distill request `--requests` times over `--clients` concurrent
 /// sessions with `Session::post_with_retry`, requiring every request to
 /// end 200 (and, with `--expect`, byte-identical to the given file).
+/// `--repeat`/`--duplicates` replay the workload so later posts land in
+/// the server's response cache; X-Gced-Cache headers then split the
+/// latency summary into hit and miss quantiles.
 fn cmd_probe(args: &[String]) -> Result<ExitCode, String> {
     let p = parse_args(args)?;
     let required = |name: &str| -> Result<String, String> {
@@ -770,6 +825,9 @@ fn cmd_probe(args: &[String]) -> Result<ExitCode, String> {
     });
     let requests = p.usize_flag("requests", 16)?;
     let clients = p.usize_flag("clients", 4)?.max(1);
+    let repeat = p.usize_flag("repeat", 1)?.max(1);
+    let duplicates = p.switch("duplicates");
+    let copies = if duplicates { 2usize } else { 1 };
     let retries = p.usize_flag("retries", 8)? as u32;
     let base = std::time::Duration::from_millis(p.usize_flag("retry-base-ms", 50)? as u64);
     let cap = std::time::Duration::from_millis(p.usize_flag("retry-cap-ms", 2000)? as u64);
@@ -790,10 +848,16 @@ fn cmd_probe(args: &[String]) -> Result<ExitCode, String> {
     let latency = gced_serve::metrics::Histogram::new(gced_serve::metrics::LATENCY_BOUNDS_US);
     let lat_min = std::sync::atomic::AtomicU64::new(u64::MAX);
     let lat_max = std::sync::atomic::AtomicU64::new(0);
+    // Hit/miss split: requests tagged by the server's X-Gced-Cache
+    // header land in their own histogram so --repeat/--duplicates runs
+    // can show warm-hit latency separately from pipeline misses.
+    let hit_latency = gced_serve::metrics::Histogram::new(gced_serve::metrics::LATENCY_BOUNDS_US);
+    let miss_latency = gced_serve::metrics::Histogram::new(gced_serve::metrics::LATENCY_BOUNDS_US);
     let outcomes: Vec<Result<usize, String>> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..clients)
             .map(|c| {
                 let (latency, lat_min, lat_max) = (&latency, &lat_min, &lat_max);
+                let (hit_latency, miss_latency) = (&hit_latency, &miss_latency);
                 s.spawn(move || -> Result<usize, String> {
                     let policy = gced_serve::client::RetryPolicy {
                         budget: retries,
@@ -803,33 +867,45 @@ fn cmd_probe(args: &[String]) -> Result<ExitCode, String> {
                     };
                     let mut session = connect_with_patience(addr)?;
                     let mut served = 0usize;
-                    for i in (c..requests).step_by(clients) {
-                        let watch = gced_obs::clock::Stopwatch::start();
-                        let r = session
-                            .post_with_retry("/v1/distill", body, &policy)
-                            .map_err(|e| format!("client {c} request {i}: {e}"))?;
-                        let us = watch.elapsed_ns() / 1_000;
-                        latency.record(us);
-                        lat_min.fetch_min(us, std::sync::atomic::Ordering::Relaxed);
-                        lat_max.fetch_max(us, std::sync::atomic::Ordering::Relaxed);
-                        if r.status != 200 {
-                            return Err(format!(
-                                "client {c} request {i}: terminal status {}: {}",
-                                r.status,
-                                r.text()
-                            ));
-                        }
-                        if let Some(exp) = expect {
-                            if r.body != exp {
-                                return Err(format!(
-                                    "client {c} request {i}: 200 body differs from --expect \
-                                     ({} vs {} bytes)",
-                                    r.body.len(),
-                                    exp.len()
-                                ));
+                    for round in 0..repeat {
+                        for i in (c..requests).step_by(clients) {
+                            for _copy in 0..copies {
+                                let watch = gced_obs::clock::Stopwatch::start();
+                                let r = session
+                                    .post_with_retry("/v1/distill", body, &policy)
+                                    .map_err(|e| {
+                                        format!("client {c} round {round} request {i}: {e}")
+                                    })?;
+                                let us = watch.elapsed_ns() / 1_000;
+                                latency.record(us);
+                                lat_min.fetch_min(us, std::sync::atomic::Ordering::Relaxed);
+                                lat_max.fetch_max(us, std::sync::atomic::Ordering::Relaxed);
+                                match r.cache.as_deref() {
+                                    Some("hit") => hit_latency.record(us),
+                                    Some("miss") => miss_latency.record(us),
+                                    _ => {}
+                                }
+                                if r.status != 200 {
+                                    return Err(format!(
+                                        "client {c} round {round} request {i}: \
+                                         terminal status {}: {}",
+                                        r.status,
+                                        r.text()
+                                    ));
+                                }
+                                if let Some(exp) = expect {
+                                    if r.body != exp {
+                                        return Err(format!(
+                                            "client {c} round {round} request {i}: 200 body \
+                                             differs from --expect ({} vs {} bytes)",
+                                            r.body.len(),
+                                            exp.len()
+                                        ));
+                                    }
+                                }
+                                served += 1;
                             }
                         }
-                        served += 1;
                     }
                     Ok(served)
                 })
@@ -848,10 +924,11 @@ fn cmd_probe(args: &[String]) -> Result<ExitCode, String> {
             Err(e) => failures.push(e),
         }
     }
+    let expected = requests * repeat * copies;
     if !failures.is_empty() {
         return Err(format!(
-            "probe: {} of {requests} requests failed:\n  {}",
-            requests - served,
+            "probe: {} of {expected} requests failed:\n  {}",
+            expected - served,
             failures.join("\n  ")
         ));
     }
@@ -872,6 +949,27 @@ fn cmd_probe(args: &[String]) -> Result<ExitCode, String> {
             latency.quantile(0.99),
             lat_max.load(std::sync::atomic::Ordering::Relaxed),
         );
+    }
+    let (hits, misses) = (hit_latency.count(), miss_latency.count());
+    if hits + misses > 0 {
+        eprintln!(
+            "gced: probe cache split: hits={hits} misses={misses} hit_rate={:.3}",
+            hits as f64 / (hits + misses) as f64
+        );
+        if hits > 0 {
+            eprintln!(
+                "gced: probe hit latency (us): p50={:.0} p99={:.0}",
+                hit_latency.quantile(0.50),
+                hit_latency.quantile(0.99),
+            );
+        }
+        if misses > 0 {
+            eprintln!(
+                "gced: probe miss latency (us): p50={:.0} p99={:.0}",
+                miss_latency.quantile(0.50),
+                miss_latency.quantile(0.99),
+            );
+        }
     }
     Ok(ExitCode::SUCCESS)
 }
@@ -921,8 +1019,17 @@ fn cmd_distill(args: &[String]) -> Result<ExitCode, String> {
         let spans: Vec<(u64, gced_obs::SpanNode)> = tree.into_iter().map(|t| (1, t)).collect();
         write_profile(path, &spans)?;
     }
+    // The body leads with the same evidence_id the server would assign:
+    // the id is a pure function of the request (hex fingerprint), so
+    // offline output stays byte-identical to served and replayed bytes.
+    let evidence_id = gced_store::evidence_id(gced_store::request_fingerprint(
+        &question, &answer, &context,
+    ));
     let (body, code) = match result {
-        Ok(d) => (gced_serve::wire::render_distillation(&d), ExitCode::SUCCESS),
+        Ok(d) => (
+            gced_serve::wire::render_distillation_with_id(&evidence_id, &d),
+            ExitCode::SUCCESS,
+        ),
         Err(e) => (
             gced_serve::wire::render_error(&e.to_string()),
             ExitCode::FAILURE,

@@ -23,7 +23,7 @@ use gced_datasets::json::{self, Json};
 use gced_datasets::{generate, DatasetKind, GeneratorConfig};
 use gced_serve::client::{self, RetryPolicy, Session};
 use gced_serve::fault::FaultPlan;
-use gced_serve::wire::{render_distillation, render_request, DistillRequest};
+use gced_serve::wire::{render_distillation_with_id, render_request, DistillRequest};
 use gced_serve::{ServeConfig, ServerHandle};
 use proptest::prelude::*;
 use std::io::{Read, Write};
@@ -64,7 +64,12 @@ fn offline_corpus(n: usize) -> Vec<(String, String)> {
             let d = g
                 .distill(&e.question, &e.answer, &e.context)
                 .expect("offline distill");
-            (body, render_distillation(&d))
+            let eid = gced_store::evidence_id(gced_store::request_fingerprint(
+                &e.question,
+                &e.answer,
+                &e.context,
+            ));
+            (body, render_distillation_with_id(&eid, &d))
         })
         .collect()
 }
@@ -106,7 +111,9 @@ fn num(root: &Json, key: &str) -> f64 {
     root.get(key).and_then(Json::as_f64).unwrap_or(-1.0)
 }
 
-/// `distill_requests_total` must equal the sum of its outcome classes.
+/// `distill_requests_total` must equal the sum of its outcome classes —
+/// and, when the response cache is on, of the hit/miss split too (every
+/// parseable distill request is either a cache hit or a cache miss).
 fn assert_decomposition(root: &Json) {
     let total = num(root, "distill_requests_total");
     let sum = num(root, "distill_ok")
@@ -120,6 +127,14 @@ fn assert_decomposition(root: &Json) {
         total, sum,
         "outcome counters do not decompose: total {total} != sum {sum}"
     );
+    let cache_on = root.get("cache").and_then(|c| c.get("enabled")) == Some(&Json::Bool(true));
+    if cache_on {
+        let split = num(root, "cache_hits_total") + num(root, "cache_misses_total");
+        assert_eq!(
+            total, split,
+            "cache hit/miss counters do not decompose: total {total} != hits+misses {split}"
+        );
+    }
 }
 
 /// The acceptance criterion: a panic injected into `distill_batch`
@@ -482,6 +497,12 @@ proptest! {
         prop_assert_eq!(
             num(&m, "shed_total"),
             num(&m, "shed_full") + num(&m, "shed_expired") + num(&m, "shed_shutdown")
+        );
+        // The response cache (on by default here) sees every parseable
+        // distill request exactly once: hit + miss covers the total.
+        prop_assert_eq!(
+            num(&m, "cache_hits_total") + num(&m, "cache_misses_total"),
+            total
         );
         handle.shutdown();
         handle.join();

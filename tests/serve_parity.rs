@@ -6,7 +6,7 @@
 
 use gced::{Gced, GcedConfig};
 use gced_datasets::{generate, DatasetKind, GeneratorConfig};
-use gced_serve::wire::{render_distillation, render_request, DistillRequest};
+use gced_serve::wire::{render_distillation_with_id, render_request, DistillRequest};
 use gced_serve::{client, ServeConfig, ServerHandle};
 use std::sync::OnceLock;
 use std::time::Duration;
@@ -45,7 +45,14 @@ fn offline_corpus(n: usize) -> Vec<(String, String)> {
             let d = g
                 .distill(&e.question, &e.answer, &e.context)
                 .expect("offline distill");
-            (body, render_distillation(&d))
+            // The server assigns evidence ids as a pure function of the
+            // request, so offline expectations carry the same id.
+            let eid = gced_store::evidence_id(gced_store::request_fingerprint(
+                &e.question,
+                &e.answer,
+                &e.context,
+            ));
+            (body, render_distillation_with_id(&eid, &d))
         })
         .collect()
 }
@@ -59,10 +66,14 @@ fn server(config: ServeConfig) -> ServerHandle {
 fn concurrent_clients_get_bytes_identical_to_offline() {
     let corpus = offline_corpus(10);
     assert!(corpus.len() >= 6, "dev split too small");
+    // Response cache off: this test pins the PIPELINE (parse cache,
+    // batching) as the byte-identical path; the cache tests below pin
+    // the warm-hit path.
     let handle = server(ServeConfig {
         batch_max: 4,
         flush: Duration::from_millis(2),
         parse_cache: 512,
+        cache_entries: 0,
         ..ServeConfig::default()
     });
     let addr = handle.addr();
@@ -491,6 +502,155 @@ fn recorded_span_trees_are_deterministic_across_runs() {
 }
 
 #[test]
+fn repeated_request_is_a_cache_hit_with_identical_bytes() {
+    let corpus = offline_corpus(1);
+    let handle = server(ServeConfig::default());
+    let addr = handle.addr();
+    let (request, expected) = &corpus[0];
+
+    let cold = client::post(addr, "/v1/distill", request).expect("cold post");
+    assert_eq!(cold.status, 200, "{}", cold.text());
+    assert_eq!(cold.cache.as_deref(), Some("miss"), "first post must miss");
+    assert_eq!(cold.body, expected.as_bytes(), "cold body diverged");
+    let eid = cold.evidence_id.clone().expect("evidence id on a miss");
+
+    let warm = client::post(addr, "/v1/distill", request).expect("warm post");
+    assert_eq!(warm.status, 200);
+    assert_eq!(warm.cache.as_deref(), Some("hit"), "second post must hit");
+    assert_eq!(warm.evidence_id.as_deref(), Some(eid.as_str()));
+    assert_eq!(
+        warm.body, cold.body,
+        "cache hit bytes diverged from the cold miss"
+    );
+    assert_eq!(warm.body, expected.as_bytes(), "hit body diverged offline");
+
+    // The counters saw exactly this traffic and decompose.
+    let metrics = client::get(addr, "/metrics").expect("metrics").text();
+    let root = gced_datasets::json::parse(&metrics).expect("metrics JSON");
+    let num = |k: &str| {
+        root.get(k)
+            .and_then(gced_datasets::json::Json::as_f64)
+            .unwrap_or(-1.0)
+    };
+    assert_eq!(num("cache_hits_total"), 1.0, "{metrics}");
+    assert_eq!(num("cache_misses_total"), 1.0, "{metrics}");
+    assert_eq!(
+        num("cache_hits_total") + num("cache_misses_total"),
+        num("distill_requests_total"),
+        "cache counters do not decompose distill traffic: {metrics}"
+    );
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn evidence_endpoint_replays_stored_bytes_after_unrelated_traffic() {
+    let corpus = offline_corpus(5);
+    let handle = server(ServeConfig::default());
+    let addr = handle.addr();
+    let (request, expected) = &corpus[0];
+    let first = client::post(addr, "/v1/distill", request).expect("post");
+    assert_eq!(first.status, 200);
+    let eid = first.evidence_id.expect("evidence id header");
+
+    // Unrelated traffic between store and replay.
+    for (other, _) in &corpus[1..] {
+        let r = client::post(addr, "/v1/distill", other).expect("post");
+        assert_eq!(r.status, 200);
+    }
+
+    let replay = client::get(addr, &format!("/v1/evidence/{eid}")).expect("replay");
+    assert_eq!(replay.status, 200, "{}", replay.text());
+    assert_eq!(replay.cache.as_deref(), Some("hit"));
+    assert_eq!(replay.evidence_id.as_deref(), Some(eid.as_str()));
+    assert_eq!(
+        replay.body,
+        expected.as_bytes(),
+        "evidence replay diverged from the stored response"
+    );
+
+    // Contract edges: malformed id and never-stored id are 404, wrong
+    // method is 405, and replays are counted outside the distill
+    // decomposition.
+    assert_eq!(
+        client::get(addr, "/v1/evidence/not-hex")
+            .expect("404")
+            .status,
+        404
+    );
+    let absent = format!("{:032x}", 0xdead_beefu64);
+    assert_eq!(
+        client::get(addr, &format!("/v1/evidence/{absent}"))
+            .expect("404")
+            .status,
+        404
+    );
+    assert_eq!(
+        client::post(addr, &format!("/v1/evidence/{eid}"), "{}")
+            .expect("405")
+            .status,
+        405
+    );
+    let metrics = client::get(addr, "/metrics").expect("metrics").text();
+    let root = gced_datasets::json::parse(&metrics).expect("metrics JSON");
+    let num = |k: &str| {
+        root.get(k)
+            .and_then(gced_datasets::json::Json::as_f64)
+            .unwrap_or(-1.0)
+    };
+    assert_eq!(num("evidence_replays_total"), 1.0, "{metrics}");
+    assert_eq!(num("distill_requests_total"), corpus.len() as f64);
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn cache_disabled_serves_every_request_through_the_pipeline() {
+    let corpus = offline_corpus(1);
+    let handle = server(ServeConfig {
+        cache_entries: 0,
+        ..ServeConfig::default()
+    });
+    let addr = handle.addr();
+    let (request, expected) = &corpus[0];
+    for pass in 0..3 {
+        let r = client::post(addr, "/v1/distill", request).expect("post");
+        assert_eq!(r.status, 200);
+        assert_eq!(r.cache, None, "pass {pass}: cache tag with cache off");
+        // The body still carries the (purely request-derived) id.
+        assert!(r.evidence_id.is_some(), "pass {pass}: no evidence id");
+        assert_eq!(r.body, expected.as_bytes(), "pass {pass}: body diverged");
+    }
+    // Stored nothing, so replay is a 404 and the counters stayed zero.
+    let eid = gced_store::evidence_id(gced_store::request_fingerprint(
+        "ignored", "ignored", "ignored",
+    ));
+    assert_eq!(
+        client::get(addr, &format!("/v1/evidence/{eid}"))
+            .expect("404")
+            .status,
+        404
+    );
+    let metrics = client::get(addr, "/metrics").expect("metrics").text();
+    let root = gced_datasets::json::parse(&metrics).expect("metrics JSON");
+    let num = |k: &str| {
+        root.get(k)
+            .and_then(gced_datasets::json::Json::as_f64)
+            .unwrap_or(-1.0)
+    };
+    assert_eq!(num("cache_hits_total"), 0.0, "{metrics}");
+    assert_eq!(num("cache_misses_total"), 0.0, "{metrics}");
+    let enabled = root.get("cache").and_then(|c| c.get("enabled"));
+    assert_eq!(
+        enabled,
+        Some(&gced_datasets::json::Json::Bool(false)),
+        "{metrics}"
+    );
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
 fn served_response_parses_as_the_wire_document() {
     let corpus = offline_corpus(1);
     let handle = server(ServeConfig::default());
@@ -498,6 +658,7 @@ fn served_response_parses_as_the_wire_document() {
     assert_eq!(r.status, 200);
     let root = gced_datasets::json::parse(&r.text()).expect("response JSON");
     for key in [
+        "evidence_id",
         "evidence",
         "evidence_tokens",
         "scores",
